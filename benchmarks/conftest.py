@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(or one ablation called out in DESIGN.md).  Benchmarks print the regenerated
+rows/series so that running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the same quantities the paper reports; EXPERIMENTS.md records the
+paper-vs-measured comparison for each of them.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are not part of the unit-test run; they are executed with
+    # `pytest benchmarks/ --benchmark-only`.
+    config.addinivalue_line("markers", "figure: marks a paper-figure reproduction benchmark")

@@ -1,0 +1,58 @@
+"""Ablation -- Eq. 5 piecewise-linear cosine vs exact cosine.
+
+Measures the extra dot-product error the hardware cosine approximation
+introduces on top of the hashing error, and the hardware cost it saves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import ApproximateDotProduct, algebraic_dot
+from repro.evaluation.reporting import format_table
+from repro.hw.cosine_unit import CosineUnit
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    dims = 64
+    pairs = [(rng.uniform(0.1, 1.0, size=dims), rng.uniform(0.1, 1.0, size=dims))
+             for _ in range(32)]
+    results = {}
+    for label, exact in (("pwl_eq5", False), ("exact_cosine", True)):
+        errors = []
+        for x, y in pairs:
+            engine = ApproximateDotProduct(dims, 1024, seed=1, use_exact_cosine=exact)
+            reference = algebraic_dot(x, y)
+            errors.append(abs(engine(x, y) - reference) / abs(reference))
+        unit = CosineUnit(use_exact=exact)
+        cost = unit.hardware_cost()
+        results[label] = {
+            "mean_relative_error": float(np.mean(errors)),
+            "max_relative_error": float(np.max(errors)),
+            "energy_pj_per_op": cost.energy_pj,
+            "latency_cycles": cost.latency_cycles,
+        }
+    return results
+
+
+@pytest.mark.figure
+def test_ablation_cosine_approximation(benchmark):
+    results = benchmark(_run)
+
+    rows = [[label, m["mean_relative_error"], m["max_relative_error"],
+             m["energy_pj_per_op"], m["latency_cycles"]]
+            for label, m in results.items()]
+    print()
+    print(format_table(
+        ["cosine implementation", "mean rel. error", "max rel. error",
+         "energy/op (pJ)", "latency (cycles)"],
+        rows, title="Ablation: Eq. 5 PWL cosine vs exact cosine (k=1024)"))
+
+    pwl = results["pwl_eq5"]
+    exact = results["exact_cosine"]
+    # The PWL unit is much cheaper per operation...
+    assert pwl["energy_pj_per_op"] < exact["energy_pj_per_op"]
+    assert pwl["latency_cycles"] < exact["latency_cycles"]
+    # ...at the cost of a bounded accuracy penalty.
+    assert pwl["mean_relative_error"] < 0.25
+    assert exact["mean_relative_error"] <= pwl["mean_relative_error"] + 1e-9

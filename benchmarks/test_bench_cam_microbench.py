@@ -1,0 +1,44 @@
+"""Microbenchmark -- bit-level CAM search throughput of the functional model.
+
+Not a paper figure: measures how fast this repository's bit-accurate
+DynamicCam model executes searches, which bounds how large a model the
+hardware-path simulator (``use_cam_hardware=True``) can handle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cam.dynamic import DynamicCam, DynamicCamConfig
+
+
+@pytest.fixture(scope="module")
+def loaded_cam():
+    rng = np.random.default_rng(0)
+    cam = DynamicCam(DynamicCamConfig(rows=64))
+    cam.configure_word_bits(1024)
+    cam.write_rows(rng.integers(0, 2, size=(64, 1024)).astype(np.uint8))
+    queries = rng.integers(0, 2, size=(16, 1024)).astype(np.uint8)
+    return cam, queries
+
+
+def test_cam_search_throughput(benchmark, loaded_cam):
+    cam, queries = loaded_cam
+
+    def run():
+        distances, energy, latency = cam.search_batch(queries)
+        return distances
+
+    distances = benchmark(run)
+    assert distances.shape == (16, 64)
+    assert np.all((distances >= 0) & (distances <= 1024))
+
+
+def test_cam_reconfiguration_cost(benchmark):
+    def run():
+        cam = DynamicCam(DynamicCamConfig(rows=64))
+        for width in (256, 512, 768, 1024, 256):
+            cam.configure_word_bits(width)
+        return cam.reconfiguration_count
+
+    count = benchmark(run)
+    assert count == 4

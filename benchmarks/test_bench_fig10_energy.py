@@ -1,0 +1,42 @@
+"""Fig. 10 -- normalized energy per inference vs Eyeriss.
+
+Regenerates the energy comparison of DeepCAM with variable hash lengths
+against the homogeneous-256-bit DeepCAM baseline, the homogeneous-1024-bit
+"Max DeepCAM" and Eyeriss, for both dataflows and 64/512 CAM rows.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import run_fig10_energy
+from repro.evaluation.reporting import format_table
+
+
+def _run():
+    return run_fig10_energy(cam_rows_list=(64, 512))
+
+
+@pytest.mark.figure
+def test_fig10_normalized_energy(benchmark):
+    rows = benchmark(_run)
+
+    table = [[r.network, r.cam_rows, r.dataflow, r.deepcam_baseline256_uj,
+              r.deepcam_vhl_uj, r.deepcam_max1024_uj, r.eyeriss_uj,
+              r.vhl_normalized, r.max_normalized, r.energy_reduction_vs_eyeriss]
+             for r in rows]
+    print()
+    print(format_table(
+        ["network", "rows", "dataflow", "base-256 (uJ)", "VHL (uJ)", "Max-1024 (uJ)",
+         "Eyeriss (uJ)", "VHL norm.", "Max norm.", "Eyeriss/VHL"],
+        table, title="Fig. 10: energy per inference, normalized to 256-bit DeepCAM"))
+
+    for row in rows:
+        # Ordering of the three hash policies: 256 <= VHL <= Max.
+        assert row.deepcam_baseline256_uj <= row.deepcam_vhl_uj <= row.deepcam_max1024_uj
+        # DeepCAM (VHL) is more energy-efficient than Eyeriss everywhere
+        # (paper range: 1.78x - 109.4x).
+        assert row.energy_reduction_vs_eyeriss > 1.0
+
+    # The reduction factor spans a wide range across networks/configurations,
+    # as in the paper.
+    reductions = [r.energy_reduction_vs_eyeriss for r in rows]
+    assert max(reductions) / min(reductions) > 3.0

@@ -1,0 +1,35 @@
+"""Fig. 2 -- approximate vs algebraic dot-product as a function of hash length.
+
+Regenerates the convergence curve on the paper's own worked example (whose
+algebraic dot-product is 2.0765): the mean approximate value approaches the
+reference and its seed-to-seed spread shrinks as the hash length grows.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import run_fig2_dot_product_sweep
+from repro.evaluation.reporting import format_table
+
+HASH_LENGTHS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _run():
+    return run_fig2_dot_product_sweep(hash_lengths=HASH_LENGTHS, seeds=tuple(range(8)),
+                                      use_exact_cosine=True)
+
+
+@pytest.mark.figure
+def test_fig2_dot_product_sweep(benchmark):
+    sweep = benchmark(_run)
+
+    rows = [[k, sweep[k]["reference"], sweep[k]["mean"], sweep[k]["std"],
+             sweep[k]["mean_relative_error"]] for k in HASH_LENGTHS]
+    print()
+    print(format_table(
+        ["hash length k", "algebraic", "approx mean", "approx std", "mean rel. error"],
+        rows, title="Fig. 2: approximate vs algebraic dot-product (paper example)"))
+
+    # Qualitative claim: longer hash lengths approximate better.
+    assert sweep[4096]["mean_relative_error"] < sweep[64]["mean_relative_error"]
+    assert sweep[4096]["std"] < sweep[64]["std"]
+    assert sweep[256]["reference"] == pytest.approx(2.0765, abs=1e-3)

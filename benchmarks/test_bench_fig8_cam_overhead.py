@@ -1,0 +1,40 @@
+"""Fig. 8 -- CAM hardware overhead (search energy, area) vs rows and word width."""
+
+import pytest
+
+from repro.evaluation.experiments import run_fig8_cam_overhead
+from repro.evaluation.reporting import format_table
+
+
+def _run():
+    return run_fig8_cam_overhead()
+
+
+@pytest.mark.figure
+def test_fig8_cam_overhead_sweep(benchmark):
+    result = benchmark(_run)
+    sweep = result["sweep"]
+
+    rows = [[r.rows, r.word_bits, r.search_energy_pj, r.area_um2 / 1e3,
+             r.search_delay_ns, r.energy_per_bit_fj] for r in sweep]
+    print()
+    print(format_table(
+        ["rows", "word bits", "search energy (pJ)", "area (10^3 um2)",
+         "delay (ns)", "energy/bit (fJ)"],
+        rows, title="Fig. 8: FeFET CAM overhead vs rows x word width"))
+    print(f"FeFET vs CMOS search-energy advantage: "
+          f"{result['fefet_vs_cmos_energy_ratio']:.2f}x (cell-level 2.4x)")
+    print(f"FeFET vs CMOS area advantage: "
+          f"{result['fefet_vs_cmos_area_ratio']:.2f}x (cell-level 7.5x)")
+
+    # Shape checks: energy and area grow monotonically along both axes.
+    by_geometry = {(r.rows, r.word_bits): r for r in sweep}
+    for rows_count in (64, 128, 256, 512):
+        energies = [by_geometry[(rows_count, w)].search_energy_pj
+                    for w in (256, 512, 768, 1024)]
+        assert energies == sorted(energies)
+    for word_bits in (256, 512, 768, 1024):
+        areas = [by_geometry[(r, word_bits)].area_um2 for r in (64, 128, 256, 512)]
+        assert areas == sorted(areas)
+    assert result["fefet_vs_cmos_energy_ratio"] > 1.5
+    assert result["fefet_vs_cmos_area_ratio"] > 3.0

@@ -1,0 +1,50 @@
+"""Fig. 9 -- computational cycles and hardware utilization.
+
+Regenerates the comparison of DeepCAM (weight- and activation-stationary)
+against the Eyeriss 14x12 systolic array and the Skylake AVX-512 CPU for the
+four CNN workloads, at 64 and 512 CAM rows.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import run_fig9_cycles
+from repro.evaluation.reporting import format_table
+
+
+def _run():
+    return {rows: run_fig9_cycles(cam_rows=rows) for rows in (64, 512)}
+
+
+@pytest.mark.figure
+def test_fig9_cycles_and_utilization(benchmark):
+    results = benchmark(_run)
+
+    for cam_rows, rows in results.items():
+        table = [[r.network, r.dataset, r.eyeriss_cycles, r.cpu_cycles,
+                  r.deepcam_ws_cycles, r.deepcam_as_cycles,
+                  r.deepcam_ws_utilization, r.deepcam_as_utilization,
+                  r.speedup_vs_eyeriss_as, r.speedup_vs_cpu_as] for r in rows]
+        print()
+        print(format_table(
+            ["network", "dataset", "Eyeriss cyc", "CPU cyc", "DeepCAM WS cyc",
+             "DeepCAM AS cyc", "WS util", "AS util", "speedup vs Eyeriss (AS)",
+             "speedup vs CPU (AS)"],
+            table, title=f"Fig. 9: cycles and utilization ({cam_rows} CAM rows)"))
+
+    rows64 = {r.network: r for r in results[64]}
+    rows512 = {r.network: r for r in results[512]}
+
+    for row in rows64.values():
+        # DeepCAM beats both baselines on every workload (paper headline).
+        assert row.speedup_vs_eyeriss_as > 1.0
+        assert row.speedup_vs_cpu_as > 1.0
+
+    # LeNet: activation-stationary beats weight-stationary in cycles and
+    # utilization (the paper's worked example, Sec. IV-B).
+    assert rows64["lenet5"].deepcam_as_cycles <= rows64["lenet5"].deepcam_ws_cycles
+    assert rows64["lenet5"].deepcam_as_utilization > rows64["lenet5"].deepcam_ws_utilization
+
+    # Increasing the CAM row count reduces DeepCAM cycles (paper: ResNet18
+    # improves from 3.3x to 26.4x over Eyeriss when going 64 -> 512 rows).
+    for network in rows64:
+        assert rows512[network].deepcam_as_cycles <= rows64[network].deepcam_as_cycles

@@ -1,0 +1,42 @@
+"""Headline claims -- the abstract's speedup and energy-reduction ratios.
+
+Paper: up to 523x faster than Eyeriss, up to 3498x faster than a Skylake
+CPU, and 2.16x-109x lower energy than Eyeriss.  This benchmark computes the
+same ratios from this repository's models and checks their directions; the
+absolute factors are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import run_headline_claims
+from repro.evaluation.reporting import format_table
+
+
+def _run():
+    return run_headline_claims(cam_rows=64)
+
+
+@pytest.mark.figure
+def test_headline_claims(benchmark):
+    claims = benchmark(_run)
+
+    paper = {
+        "max_speedup_vs_eyeriss": 523.0,
+        "max_speedup_vs_cpu": 3498.0,
+        "lenet_speedup_vs_eyeriss": 523.5,
+        "lenet_speedup_vs_cpu": 3498.0,
+        "resnet18_speedup_vs_eyeriss": 3.3,
+        "min_energy_reduction_vs_eyeriss": 2.16,
+        "max_energy_reduction_vs_eyeriss": 109.4,
+    }
+    rows = [[key, value, paper.get(key, float("nan"))] for key, value in claims.items()]
+    print()
+    print(format_table(["claim", "measured", "paper"], rows,
+                       title="Headline claims: measured vs paper"))
+
+    # Directional checks: DeepCAM wins on every axis by a large margin.
+    assert claims["max_speedup_vs_eyeriss"] > 10
+    assert claims["max_speedup_vs_cpu"] > 10
+    assert claims["min_energy_reduction_vs_eyeriss"] > 1.0
+    # The CPU is the slowest platform, Eyeriss in between, DeepCAM fastest.
+    assert claims["max_speedup_vs_cpu"] > claims["resnet18_speedup_vs_eyeriss"]

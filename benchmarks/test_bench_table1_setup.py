@@ -1,0 +1,21 @@
+"""Table I -- hardware evaluation setup summary."""
+
+import pytest
+
+from repro.evaluation.experiments import run_table1_setup
+from repro.evaluation.reporting import format_table
+
+
+@pytest.mark.figure
+def test_table1_setup(benchmark):
+    table = benchmark(run_table1_setup)
+
+    rows = [[row["category"], row["cpu"], row["systolic"], row["deepcam"]] for row in table]
+    print()
+    print(format_table(["category", "CPU", "Systolic", "DeepCAM"], rows,
+                       title="Table I: hardware evaluation setup"))
+
+    assert any("Skylake" in row["cpu"] for row in table)
+    assert any("Eyeriss (14 x 12)" in row["systolic"] for row in table)
+    assert any("FeFET CAM" in row["deepcam"] for row in table)
+    assert any("resnet18" in row["deepcam"] for row in table)

@@ -1,0 +1,80 @@
+"""Compare DeepCAM against Eyeriss, a Skylake CPU and analog PIM engines.
+
+Regenerates, from the public API, the performance/energy story of the
+paper's evaluation section for all four CNN workloads:
+
+* cycles and CAM utilization for weight- and activation-stationary DeepCAM
+  versus Eyeriss (SCALE-Sim-style 14x12 array) and a Skylake AVX-512 CPU
+  (Fig. 9);
+* energy per inference for the three hash-length policies versus Eyeriss
+  (Fig. 10);
+* the Table II comparison against the NeuroSim RRAM and Valavi SRAM analog
+  PIM baselines on VGG11.
+
+Usage::
+
+    python examples/accelerator_comparison.py [--rows 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import Dataflow, DeepCAMConfig
+from repro.evaluation.experiments import (
+    run_fig9_cycles,
+    run_fig10_energy,
+    run_table2_pim_comparison,
+)
+from repro.evaluation.reporting import format_table
+
+
+def show_cycles(cam_rows: int) -> None:
+    """Fig. 9-style cycles and utilization table."""
+    rows = run_fig9_cycles(cam_rows=cam_rows)
+    table = [[r.network, r.eyeriss_cycles, r.cpu_cycles, r.deepcam_ws_cycles,
+              r.deepcam_as_cycles, f"{r.deepcam_as_utilization:.2f}",
+              f"{r.speedup_vs_eyeriss_as:.1f}x", f"{r.speedup_vs_cpu_as:.1f}x"]
+             for r in rows]
+    print(format_table(
+        ["network", "Eyeriss cyc", "CPU cyc", "DeepCAM WS", "DeepCAM AS",
+         "AS util", "vs Eyeriss", "vs CPU"],
+        table, title=f"Computation cycles per inference ({cam_rows} CAM rows)"))
+    print()
+
+
+def show_energy(cam_rows: int) -> None:
+    """Fig. 10-style energy table (activation-stationary)."""
+    rows = run_fig10_energy(cam_rows_list=(cam_rows,),
+                            dataflows=(Dataflow.ACTIVATION_STATIONARY,))
+    table = [[r.network, r.deepcam_baseline256_uj, r.deepcam_vhl_uj,
+              r.deepcam_max1024_uj, r.eyeriss_uj,
+              f"{r.energy_reduction_vs_eyeriss:.1f}x"] for r in rows]
+    print(format_table(
+        ["network", "256-bit (uJ)", "VHL (uJ)", "1024-bit (uJ)", "Eyeriss (uJ)",
+         "reduction vs Eyeriss"],
+        table, title=f"Energy per inference ({cam_rows} CAM rows, activation stationary)"))
+    print()
+
+
+def show_pim_comparison(cam_rows: int) -> None:
+    """Table II-style analog PIM comparison."""
+    rows = run_table2_pim_comparison(cam_rows=cam_rows)
+    table = [[r.work, r.device, r.dot_product_mode, f"{r.energy_uj:.2f}",
+              f"{r.cycles:.3g}"] for r in rows]
+    print(format_table(["work", "device", "dot-product", "energy (uJ)", "cycles"],
+                       table, title="VGG11/CIFAR10 vs prior PIM accelerators"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=64,
+                        help="CAM row count (the paper sweeps 64..512)")
+    args = parser.parse_args()
+    show_cycles(args.rows)
+    show_energy(args.rows)
+    show_pim_comparison(args.rows)
+
+
+if __name__ == "__main__":
+    main()

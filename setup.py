@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 517/660 builds (which need ``bdist_wheel``) fail.  Keeping a
+classic ``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .``
+fall back to the legacy editable-install path (see the accompanying pip
+configuration written by the project docs: ``no-build-isolation`` and
+``no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

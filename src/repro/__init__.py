@@ -1,0 +1,51 @@
+"""DeepCAM reproduction: a fully CAM-based DNN inference accelerator.
+
+This package reproduces *DeepCAM: A Fully CAM-based Inference Accelerator
+with Variable Hash Lengths for Energy-efficient Deep Neural Networks*
+(Nguyen et al., DATE 2023) as a self-contained Python library:
+
+* :mod:`repro.core` -- the approximate geometric dot-product, context
+  generation, variable hash lengths, the CAM mapping/cycle model, the
+  energy model and the functional inference simulator.
+* :mod:`repro.cam` -- the CAM substrate (cells, arrays, dynamic chunked CAM,
+  sense amplifiers, EvaCAM-style overhead model).
+* :mod:`repro.crossbar` -- the NVM crossbar used for on-chip hashing.
+* :mod:`repro.hw` -- digital building blocks with 45 nm cost models.
+* :mod:`repro.nn` -- a NumPy CNN framework (layers, training, quantization,
+  LeNet5/VGG/ResNet18 builders).
+* :mod:`repro.datasets` -- synthetic stand-ins for MNIST/CIFAR.
+* :mod:`repro.workloads` -- layer-shape traces of the paper's four networks.
+* :mod:`repro.baselines` -- Eyeriss (SCALE-Sim-style), Skylake AVX-512 and
+  analog PIM baselines.
+* :mod:`repro.evaluation` -- one experiment runner per table/figure.
+
+Quickstart::
+
+    from repro.core import ApproximateDotProduct, algebraic_dot
+    engine = ApproximateDotProduct(input_dim=64, hash_length=1024)
+    x, y = np.random.rand(64), np.random.rand(64)
+    print(algebraic_dot(x, y), engine(x, y))
+"""
+
+from repro.core import (
+    ApproximateDotProduct,
+    DeepCAMConfig,
+    DeepCAMEnergyModel,
+    DeepCAMMapper,
+    DeepCAMSimulator,
+    Dataflow,
+    VariableHashLengthSearch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateDotProduct",
+    "Dataflow",
+    "DeepCAMConfig",
+    "DeepCAMEnergyModel",
+    "DeepCAMMapper",
+    "DeepCAMSimulator",
+    "VariableHashLengthSearch",
+    "__version__",
+]

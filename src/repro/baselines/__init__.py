@@ -1,0 +1,29 @@
+"""Baseline accelerator models the paper compares DeepCAM against.
+
+* :mod:`repro.baselines.systolic` -- a SCALE-Sim-style analytical cycle and
+  utilization model of a weight-stationary systolic array, configured as the
+  Eyeriss 14x12 array the paper uses.
+* :mod:`repro.baselines.eyeriss` -- Eyeriss energy model on top of the
+  systolic cycle model (MAC energy plus the RF/NoC/SRAM/DRAM access-energy
+  hierarchy from the Eyeriss journal paper).
+* :mod:`repro.baselines.cpu` -- an Intel Skylake AVX-512 (VNNI) CPU cycle
+  model.
+* :mod:`repro.baselines.analog_pim` -- parametric analog PIM models standing
+  in for NeuroSim (RRAM) and Valavi et al. (SRAM charge-domain), used by the
+  Table II comparison.
+"""
+
+from repro.baselines.analog_pim import AnalogPIMModel, NEUROSIM_RRAM, VALAVI_SRAM
+from repro.baselines.cpu import SkylakeCPUModel
+from repro.baselines.eyeriss import EyerissModel
+from repro.baselines.systolic import SystolicArrayConfig, SystolicArrayModel
+
+__all__ = [
+    "AnalogPIMModel",
+    "EyerissModel",
+    "NEUROSIM_RRAM",
+    "SkylakeCPUModel",
+    "SystolicArrayConfig",
+    "SystolicArrayModel",
+    "VALAVI_SRAM",
+]

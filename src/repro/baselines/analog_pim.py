@@ -1,0 +1,196 @@
+"""Analog processing-in-memory baselines for the Table II comparison.
+
+Table II of the paper compares DeepCAM (FeFET, geometric dot-products)
+against two previously published analog PIM engines that compute *algebraic*
+dot-products, both evaluated on VGG11/CIFAR10:
+
+* the RRAM crossbar macro benchmarked with DNN+NeuroSim (Peng et al., IEDM
+  2019) -- reported at 34.98 uJ and 5.74e5 cycles per inference;
+* the 64-tile SRAM charge-domain macro of Valavi et al. (JSSC 2019) --
+  reported at 3.55 uJ and 2.56e5 cycles per inference.
+
+Neither tool/chip is available offline, so this module provides a parametric
+analog-PIM model whose per-operation constants are calibrated to the
+*published characteristics of the two designs* (bit-sliced RRAM cells read
+bit-serially with shared SAR ADCs for NeuroSim; binary-weight charge-domain
+accumulation with one conversion per output for Valavi).  The resulting
+energy-per-MAC (~230 fJ for the RRAM+ADC design, ~25 fJ for the charge-domain
+design) and array-operation throughput land in the ranges those publications
+report, which is what makes the regenerated Table II comparable in *shape*
+to the paper's even though the absolute numbers come from our own model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.specs import LayerSpec, NetworkTrace
+
+
+@dataclass(frozen=True)
+class AnalogPIMConfig:
+    """Operating point of an analog PIM macro.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in reports.
+    crossbar_rows / crossbar_cols:
+        Size of one analog compute array (rows = dot-product length the
+        array can accumulate in one shot, cols = output channels per array).
+    num_macros:
+        Number of arrays that can operate fully in parallel on one layer.
+    weight_bits_per_cell:
+        Weight bits stored per device; bit-slicing spreads an 8-bit weight
+        over ``8 / weight_bits_per_cell`` columns.
+    weight_bits / activation_bits:
+        Datapath precision (INT8 in the paper's comparison).
+    cell_read_energy_fj:
+        Energy per device per read pulse.
+    adc_energy_pj:
+        Energy of one analog-to-digital conversion.
+    adc_conversions_per_output:
+        Conversions needed to produce one (full-precision) output element:
+        bit-serial input streaming and weight bit-slicing both multiply this.
+    adcs_per_macro:
+        Number of ADCs shared by the macro's columns (time multiplexing).
+    cycle_time_ns:
+        Duration of one array operation (integrate + convert slot).
+    digital_energy_per_mac_fj:
+        Digital shift-add/accumulation energy per MAC.
+    """
+
+    name: str
+    crossbar_rows: int
+    crossbar_cols: int
+    num_macros: int
+    weight_bits_per_cell: int
+    weight_bits: int
+    activation_bits: int
+    cell_read_energy_fj: float
+    adc_energy_pj: float
+    adc_conversions_per_output: int
+    adcs_per_macro: int
+    cycle_time_ns: float
+    digital_energy_per_mac_fj: float
+
+    def __post_init__(self) -> None:
+        if min(self.crossbar_rows, self.crossbar_cols, self.num_macros,
+               self.weight_bits_per_cell, self.weight_bits, self.activation_bits,
+               self.adc_conversions_per_output, self.adcs_per_macro) <= 0:
+            raise ValueError(f"{self.name}: all structural parameters must be positive")
+        if min(self.cell_read_energy_fj, self.adc_energy_pj, self.cycle_time_ns,
+               self.digital_energy_per_mac_fj) < 0:
+            raise ValueError(f"{self.name}: energies and times must be non-negative")
+
+    @property
+    def weight_slices(self) -> int:
+        """Columns needed per logical weight (bit slicing)."""
+        return math.ceil(self.weight_bits / self.weight_bits_per_cell)
+
+    @property
+    def cell_reads_per_mac(self) -> int:
+        """Device read pulses needed per 8b x 8b MAC."""
+        return self.weight_slices * self.activation_bits
+
+
+#: NeuroSim-style RRAM macro: 128x128 arrays, 1 bit/cell (8 slices per
+#: weight), bit-serial 8-bit inputs, 5-bit SAR ADCs shared 8 columns per ADC.
+#: The ADC conversions dominate the energy -- the reason DeepCAM's ADC-free
+#: sign read-out wins by such a large factor in Table II.
+NEUROSIM_RRAM = AnalogPIMConfig(
+    name="neurosim_rram",
+    crossbar_rows=128,
+    crossbar_cols=128,
+    num_macros=16,
+    weight_bits_per_cell=1,
+    weight_bits=8,
+    activation_bits=8,
+    cell_read_energy_fj=1.2,
+    adc_energy_pj=0.42,
+    adc_conversions_per_output=64,   # 8 weight slices x 8 input bits
+    adcs_per_macro=16,
+    cycle_time_ns=20.0,
+    digital_energy_per_mac_fj=20.0,
+)
+
+#: Valavi et al. SRAM charge-domain macro: binary-weight multiplying
+#: bit-cells, charge-domain accumulation over a very tall column, and a
+#: single conversion per output per input bit -- roughly an order of
+#: magnitude lower energy per MAC than the RRAM+ADC design.
+VALAVI_SRAM = AnalogPIMConfig(
+    name="valavi_sram",
+    crossbar_rows=2304,
+    crossbar_cols=64,
+    num_macros=8,
+    weight_bits_per_cell=8,
+    weight_bits=8,
+    activation_bits=8,
+    cell_read_energy_fj=0.05,
+    adc_energy_pj=1.0,
+    adc_conversions_per_output=8,    # one conversion per input bit
+    adcs_per_macro=64,
+    cycle_time_ns=12.0,
+    digital_energy_per_mac_fj=10.0,
+)
+
+
+@dataclass(frozen=True)
+class AnalogPIMReport:
+    """Energy and cycle estimate of one network on an analog PIM engine."""
+
+    name: str
+    network: str
+    energy_uj: float
+    cycles: int
+
+    @property
+    def energy_pj(self) -> float:
+        """Energy in picojoules."""
+        return self.energy_uj * 1e6
+
+
+class AnalogPIMModel:
+    """First-principles energy/cycle model of an analog PIM accelerator."""
+
+    def __init__(self, config: AnalogPIMConfig) -> None:
+        self.config = config
+
+    # -- per-layer ----------------------------------------------------------------
+
+    def layer_energy_pj(self, layer: LayerSpec) -> float:
+        """Dynamic energy of one layer."""
+        cfg = self.config
+        cell_energy_pj = layer.macs * cfg.cell_reads_per_mac * cfg.cell_read_energy_fj * 1e-3
+        row_tiles = math.ceil(layer.context_length / cfg.crossbar_rows)
+        adc_energy_pj = (layer.output_elements * row_tiles
+                         * cfg.adc_conversions_per_output * cfg.adc_energy_pj)
+        digital_energy_pj = layer.macs * cfg.digital_energy_per_mac_fj * 1e-3
+        return cell_energy_pj + adc_energy_pj + digital_energy_pj
+
+    def layer_cycles(self, layer: LayerSpec) -> int:
+        """Cycles of one layer (array operations serialized over the macros)."""
+        cfg = self.config
+        row_tiles = math.ceil(layer.context_length / cfg.crossbar_rows)
+        col_tiles = math.ceil(layer.num_kernels * cfg.weight_slices / cfg.crossbar_cols)
+        array_ops = layer.contexts_per_image * row_tiles * col_tiles * cfg.activation_bits
+        parallel_ops = math.ceil(array_ops / cfg.num_macros)
+        # Columns share ADCs, so each array operation occupies the macro for
+        # ceil(cols / adcs) conversion slots.
+        adc_slots = math.ceil(cfg.crossbar_cols / cfg.adcs_per_macro)
+        return parallel_ops * adc_slots
+
+    # -- whole network --------------------------------------------------------------
+
+    def evaluate(self, network: NetworkTrace) -> AnalogPIMReport:
+        """Energy (uJ) and cycles of a full inference."""
+        energy_pj = sum(self.layer_energy_pj(layer) for layer in network)
+        cycles = sum(self.layer_cycles(layer) for layer in network)
+        return AnalogPIMReport(name=self.config.name, network=network.name,
+                               energy_uj=energy_pj * 1e-6, cycles=cycles)
+
+    def energy_per_mac_fj(self, network: NetworkTrace) -> float:
+        """Average energy per MAC over a network, in femtojoules."""
+        energy_pj = sum(self.layer_energy_pj(layer) for layer in network)
+        return energy_pj * 1e3 / network.total_macs

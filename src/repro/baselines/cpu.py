@@ -1,0 +1,134 @@
+"""Intel Skylake AVX-512 (VNNI-class) CPU baseline model.
+
+The paper's second baseline is a Skylake-generation CPU with the AVX-512
+extension running INT8 inference (Sec. IV-A).  Its cycle count is estimated
+from three terms:
+
+* **compute** -- each 512-bit vector MAC instruction performs 64 INT8 MACs;
+  with two vector FMA ports the peak is 128 MACs/cycle, derated by an
+  ``issue_efficiency`` factor that captures port contention, im2col address
+  arithmetic and loop overhead;
+* **memory** -- every weight and (im2col-expanded) activation byte must be
+  loaded at least once; bytes that miss in the last-level cache pay DRAM
+  bandwidth, modelled with a per-layer working-set check against the L2+LLC
+  capacity;
+* **framework overhead** -- a fixed per-layer cost (kernel launch, tensor
+  reshape, dispatch) that dominates tiny layers, which is why measured CPU
+  latencies on small CNNs are far from the theoretical peak.
+
+The defaults are calibrated so that end-to-end effective throughput lands in
+the range measured for small-batch INT8 CNN inference on desktop Skylake
+parts (a few MACs per cycle for small networks, tens of MACs per cycle for
+large convolution-heavy networks), which is the regime the paper's very
+large DeepCAM-vs-CPU ratios imply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.specs import LayerSpec, NetworkTrace
+
+
+@dataclass(frozen=True)
+class CPULayerReport:
+    """Cycle breakdown of one layer on the CPU."""
+
+    layer_name: str
+    compute_cycles: int
+    memory_cycles: int
+    overhead_cycles: int
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles: compute and memory overlap, overhead does not."""
+        return max(self.compute_cycles, self.memory_cycles) + self.overhead_cycles
+
+
+@dataclass(frozen=True)
+class CPUReport:
+    """Aggregate CPU report for a network."""
+
+    network: str
+    layers: tuple[CPULayerReport, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total inference cycles."""
+        return sum(layer.cycles for layer in self.layers)
+
+
+class SkylakeCPUModel:
+    """Analytical Skylake AVX-512 INT8 inference model.
+
+    Parameters
+    ----------
+    vector_macs_per_cycle:
+        Peak INT8 MACs per cycle (2 ports x 64 lanes = 128 for AVX-512 VNNI).
+    issue_efficiency:
+        Fraction of peak sustained inside the GEMM inner loops.
+    frequency_hz:
+        Core clock; the paper normalises all baselines to cycle counts, so
+        this only matters for latency-in-seconds conversions.
+    bytes_per_cycle:
+        Sustainable load bandwidth from the cache hierarchy.
+    dram_bytes_per_cycle:
+        Sustainable DRAM bandwidth (per core) for working sets that spill.
+    cache_bytes:
+        Private L2 + shared LLC slice capacity used for the spill check.
+    per_layer_overhead_cycles:
+        Fixed per-layer framework/dispatch overhead.
+    """
+
+    def __init__(self, vector_macs_per_cycle: int = 128,
+                 issue_efficiency: float = 0.25,
+                 frequency_hz: float = 3.0e9,
+                 bytes_per_cycle: float = 64.0,
+                 dram_bytes_per_cycle: float = 8.0,
+                 cache_bytes: int = 2 * 1024 * 1024,
+                 per_layer_overhead_cycles: int = 20_000) -> None:
+        if vector_macs_per_cycle <= 0:
+            raise ValueError("vector_macs_per_cycle must be positive")
+        if not 0.0 < issue_efficiency <= 1.0:
+            raise ValueError("issue_efficiency must be in (0, 1]")
+        if bytes_per_cycle <= 0 or dram_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth terms must be positive")
+        if per_layer_overhead_cycles < 0:
+            raise ValueError("per_layer_overhead_cycles must be non-negative")
+        self.vector_macs_per_cycle = vector_macs_per_cycle
+        self.issue_efficiency = issue_efficiency
+        self.frequency_hz = frequency_hz
+        self.bytes_per_cycle = bytes_per_cycle
+        self.dram_bytes_per_cycle = dram_bytes_per_cycle
+        self.cache_bytes = cache_bytes
+        self.per_layer_overhead_cycles = per_layer_overhead_cycles
+
+    def map_layer(self, layer: LayerSpec) -> CPULayerReport:
+        """Cycle estimate for one layer."""
+        effective_macs_per_cycle = self.vector_macs_per_cycle * self.issue_efficiency
+        compute_cycles = math.ceil(layer.macs / effective_macs_per_cycle)
+
+        # INT8 operands: one byte per weight and per im2col-expanded input,
+        # one byte per output store.
+        bytes_moved = layer.weight_count + layer.input_elements + layer.output_elements
+        working_set = layer.weight_count + layer.input_elements
+        bandwidth = (self.bytes_per_cycle if working_set <= self.cache_bytes
+                     else self.dram_bytes_per_cycle)
+        memory_cycles = math.ceil(bytes_moved / bandwidth)
+
+        return CPULayerReport(
+            layer_name=layer.name,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            overhead_cycles=self.per_layer_overhead_cycles,
+        )
+
+    def map_network(self, network: NetworkTrace) -> CPUReport:
+        """Cycle estimate for every layer of a network."""
+        return CPUReport(network=network.name,
+                         layers=tuple(self.map_layer(layer) for layer in network))
+
+    def latency_s(self, network: NetworkTrace) -> float:
+        """Inference latency in seconds at the configured clock."""
+        return self.map_network(network).total_cycles / self.frequency_hz

@@ -1,0 +1,144 @@
+"""Eyeriss energy model (cycles from the systolic model + memory hierarchy).
+
+Eyeriss's energy is dominated by data movement.  The journal paper reports
+the relative access energies the DeepCAM paper quotes in its introduction:
+relative to one MAC, a register-file access costs ~1x, an inter-PE/NoC hop
+~2x, an on-chip SRAM (global buffer) access ~6x and a DRAM access ~200x.
+This module combines those ratios with a reuse-aware count of how many times
+each operand crosses each level of the hierarchy, under a row-stationary-
+like dataflow:
+
+* every MAC reads its weight and activation from the local register file and
+  writes a partial sum to it;
+* each weight is fetched from the global buffer once per *column fold* (it
+  is reused across all output pixels within a fold) and from DRAM once;
+* each input activation element is fetched from the global buffer once per
+  *row fold* and from DRAM once;
+* each output activation is written back through the buffer to DRAM once.
+
+The absolute MAC energy comes from the shared 45 nm cost library, so the
+DeepCAM and Eyeriss energy numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.systolic import SystolicArrayConfig, SystolicArrayModel
+from repro.hw.components import CostLibrary, DEFAULT_COST_LIBRARY
+from repro.workloads.specs import LayerSpec, NetworkTrace
+
+
+@dataclass(frozen=True)
+class EyerissLayerEnergy:
+    """Energy breakdown of one layer on Eyeriss (picojoules)."""
+
+    layer_name: str
+    mac_pj: float
+    rf_pj: float
+    noc_pj: float
+    sram_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total dynamic energy of the layer."""
+        return self.mac_pj + self.rf_pj + self.noc_pj + self.sram_pj + self.dram_pj
+
+
+@dataclass(frozen=True)
+class EyerissReport:
+    """Cycles, utilization and energy of a network on Eyeriss."""
+
+    network: str
+    total_cycles: int
+    mean_utilization: float
+    layer_energies: tuple[EyerissLayerEnergy, ...]
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total dynamic energy per inference in picojoules."""
+        return sum(layer.total_pj for layer in self.layer_energies)
+
+    @property
+    def total_energy_uj(self) -> float:
+        """Total dynamic energy per inference in microjoules."""
+        return self.total_energy_pj * 1e-6
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-component energy totals in picojoules."""
+        return {
+            "mac_pj": sum(l.mac_pj for l in self.layer_energies),
+            "rf_pj": sum(l.rf_pj for l in self.layer_energies),
+            "noc_pj": sum(l.noc_pj for l in self.layer_energies),
+            "sram_pj": sum(l.sram_pj for l in self.layer_energies),
+            "dram_pj": sum(l.dram_pj for l in self.layer_energies),
+        }
+
+
+class EyerissModel:
+    """Eyeriss 14x12 cycle + energy model."""
+
+    def __init__(self, config: SystolicArrayConfig | None = None,
+                 library: CostLibrary | None = None,
+                 batch_size: int = 1) -> None:
+        self.config = config if config is not None else SystolicArrayConfig()
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.systolic = SystolicArrayModel(self.config)
+
+    # -- energy ---------------------------------------------------------------------
+
+    def layer_energy(self, layer: LayerSpec) -> EyerissLayerEnergy:
+        """Dynamic energy of one layer per inference."""
+        lib = self.library
+        mac_energy = lib.get("int8_mac").energy_pj
+        rf_energy = lib.get("rf_read_8b").energy_pj
+        noc_energy = lib.get("noc_hop_8b").energy_pj
+        sram_energy = lib.get("sram_read_8b").energy_pj
+        dram_energy = lib.get("dram_read_8b").energy_pj
+
+        macs = layer.macs
+        row_folds = math.ceil(layer.context_length / self.config.rows)
+        col_folds = math.ceil(layer.num_kernels / self.config.cols)
+
+        # Register file: weight read + activation read + psum read/write per MAC.
+        rf_accesses = 4 * macs
+        # NoC: each activation element is multicast across a PE row once per
+        # column fold; each psum hops once per accumulation group.
+        noc_accesses = layer.input_elements * col_folds + layer.output_elements * row_folds
+        # Global buffer: weights once per column fold, activations once per
+        # row fold, outputs written once (batch amortisation applies to the
+        # weight term only).
+        sram_accesses = (layer.weight_count * col_folds / self.batch_size
+                         + layer.input_elements * row_folds
+                         + layer.output_elements)
+        # DRAM: weights once per inference batch, activations + outputs once.
+        dram_accesses = (layer.weight_count / self.batch_size
+                         + layer.input_elements + layer.output_elements)
+
+        return EyerissLayerEnergy(
+            layer_name=layer.name,
+            mac_pj=mac_energy * macs,
+            rf_pj=rf_energy * rf_accesses,
+            noc_pj=noc_energy * noc_accesses,
+            sram_pj=sram_energy * sram_accesses,
+            dram_pj=dram_energy * dram_accesses,
+        )
+
+    # -- full report ------------------------------------------------------------------
+
+    def evaluate(self, network: NetworkTrace) -> EyerissReport:
+        """Cycles, utilization and energy of a full inference."""
+        cycles_report = self.systolic.map_network(network)
+        energies = tuple(self.layer_energy(layer) for layer in network)
+        return EyerissReport(
+            network=network.name,
+            total_cycles=cycles_report.total_cycles,
+            mean_utilization=cycles_report.mean_utilization,
+            layer_energies=energies,
+        )

@@ -1,0 +1,142 @@
+"""SCALE-Sim-style analytical systolic-array model (Eyeriss baseline).
+
+The paper evaluates Eyeriss by running SCALE-Sim with a 14x12 processing
+array and an INT8 datapath (Sec. IV-A).  SCALE-Sim's analytical mode
+computes, for a weight-stationary dataflow, the number of cycles needed to
+stream every im2col "operand matrix" through the array:
+
+* the ``context_length x num_kernels`` weight matrix is tiled onto the
+  ``rows x cols`` array, giving ``ceil(context_length/rows) *
+  ceil(num_kernels/cols)`` *folds*;
+* each fold loads the weights (``rows`` cycles), then streams all
+  ``contexts_per_image`` activation columns through the array, paying the
+  systolic fill/drain overhead of ``rows + cols - 2`` cycles.
+
+The same equations cover output-stationary and input-stationary dataflows by
+permuting which operand is tiled; only weight-stationary (Eyeriss's
+row-stationary is closest to it at this abstraction level) is exposed here
+because that is what the paper's SCALE-Sim configuration uses.
+
+Utilization is the fraction of PEs doing useful MACs averaged over the whole
+layer -- the second metric Fig. 9 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.specs import LayerSpec, NetworkTrace
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Geometry and timing of a systolic array.
+
+    Attributes
+    ----------
+    rows / cols:
+        PE array dimensions (14 x 12 for Eyeriss).
+    frequency_hz:
+        Clock frequency (the paper evaluates everything at 300 MHz).
+    weight_bits / activation_bits:
+        Datapath precision (INT8 in the paper's configuration).
+    """
+
+    rows: int = 14
+    cols: int = 12
+    frequency_hz: float = 300e6
+    weight_bits: int = 8
+    activation_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """Number of processing elements."""
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class SystolicLayerReport:
+    """Cycle/utilization breakdown of one layer on the systolic array."""
+
+    layer: LayerSpec
+    folds: int
+    cycles: int
+    utilization: float
+    macs: int
+
+
+@dataclass(frozen=True)
+class SystolicNetworkReport:
+    """Aggregate over a network trace."""
+
+    network: str
+    layers: tuple[SystolicLayerReport, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total inference cycles."""
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Cycle-weighted mean PE utilization."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return sum(layer.utilization * layer.cycles for layer in self.layers) / total
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC operations."""
+        return sum(layer.macs for layer in self.layers)
+
+
+class SystolicArrayModel:
+    """Analytical weight-stationary systolic-array simulator."""
+
+    def __init__(self, config: SystolicArrayConfig | None = None) -> None:
+        self.config = config if config is not None else SystolicArrayConfig()
+
+    def map_layer(self, layer: LayerSpec) -> SystolicLayerReport:
+        """Cycle count and utilization of one layer.
+
+        Weight-stationary mapping: the ``context_length`` dimension is spread
+        over the array rows and the ``num_kernels`` dimension over the array
+        columns; activations stream through, one im2col column per cycle in
+        steady state.
+        """
+        cfg = self.config
+        row_folds = math.ceil(layer.context_length / cfg.rows)
+        col_folds = math.ceil(layer.num_kernels / cfg.cols)
+        folds = row_folds * col_folds
+
+        # Per fold: load weights (rows cycles, one diagonal wavefront),
+        # then stream the activation columns with fill + drain overhead.
+        cycles_per_fold = cfg.rows + (cfg.rows + cfg.cols - 2) + layer.contexts_per_image
+        cycles = folds * cycles_per_fold
+
+        useful_mac_cycles = layer.macs  # one MAC per PE per cycle when busy
+        provisioned = cycles * cfg.num_pes
+        utilization = min(1.0, useful_mac_cycles / provisioned) if provisioned else 0.0
+
+        return SystolicLayerReport(layer=layer, folds=folds, cycles=cycles,
+                                   utilization=utilization, macs=layer.macs)
+
+    def map_network(self, network: NetworkTrace) -> SystolicNetworkReport:
+        """Cycle count and utilization of every layer in a network."""
+        return SystolicNetworkReport(
+            network=network.name,
+            layers=tuple(self.map_layer(layer) for layer in network),
+        )
+
+    def latency_s(self, network: NetworkTrace) -> float:
+        """Inference latency in seconds."""
+        return self.map_network(network).total_cycles / self.config.frequency_hz

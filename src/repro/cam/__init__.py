@@ -1,0 +1,41 @@
+"""Content-addressable memory (CAM) substrate.
+
+This subpackage implements the CAM hardware that DeepCAM is built on
+(paper Sec. II-A and III-B):
+
+* :mod:`repro.cam.cell` -- CMOS and FeFET CAM/TCAM cell models with the
+  transistor-count, area and search-energy relationships the paper cites.
+* :mod:`repro.cam.sense_amplifier` -- the clocked self-referenced sense
+  amplifier (Ni et al., Nature Electronics 2019) that converts match-line
+  discharge time into a Hamming distance.
+* :mod:`repro.cam.array` -- a functional + timing model of a single CAM
+  array: store rows, broadcast a search key, obtain per-row Hamming
+  distances through the match-line discharge model.
+* :mod:`repro.cam.dynamic` -- the dynamic-size CAM built from 256-bit
+  chunks joined by transmission gates, reconfigurable from 256 to 1024 bits.
+* :mod:`repro.cam.energy_model` -- an EvaCAM-style analytical model of
+  search energy, area and delay versus row count, word width and device
+  technology, used for the Fig. 8 overhead sweep.
+"""
+
+from repro.cam.array import CamArray, CamSearchResult
+from repro.cam.cell import CamCell, CellTechnology, CMOS_CAM_CELL, CMOS_TCAM_CELL, FEFET_CAM_CELL
+from repro.cam.dynamic import DynamicCam, DynamicCamConfig
+from repro.cam.energy_model import CamEnergyModel, CamOverheadReport
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp, SenseAmpReading
+
+__all__ = [
+    "CamArray",
+    "CamCell",
+    "CamEnergyModel",
+    "CamOverheadReport",
+    "CamSearchResult",
+    "CellTechnology",
+    "ClockedSelfReferencedSenseAmp",
+    "CMOS_CAM_CELL",
+    "CMOS_TCAM_CELL",
+    "DynamicCam",
+    "DynamicCamConfig",
+    "FEFET_CAM_CELL",
+    "SenseAmpReading",
+]

@@ -1,0 +1,246 @@
+"""Functional and timing model of a single CAM array.
+
+A CAM array stores ``rows`` words of ``word_bits`` bits each.  During a
+search the query is broadcast on the search lines, every row compares itself
+against the query in parallel, and the per-row match-line discharge time is
+digitised by the clocked self-referenced sense amplifiers into per-row
+Hamming distances -- all within O(1) time, independent of the number of rows
+(paper Sec. II-A).
+
+The model in this module is *bit-accurate* for the stored contents and the
+mismatch counts, and *analytical* for energy and latency: search energy is
+``cells_active * cell.search_energy_fj`` plus peripheral overhead, and search
+latency is a fixed number of accelerator clock cycles per search operation
+(precharge + discharge sensing + read-out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cam.cell import CamCell, FEFET_CAM_CELL
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+
+
+@dataclass(frozen=True)
+class CamSearchResult:
+    """Outcome of one CAM search operation.
+
+    Attributes
+    ----------
+    distances:
+        Per-row Hamming distances as reported by the sense amplifiers
+        (``-1`` for rows that are not populated).
+    true_distances:
+        Exact per-row Hamming distances (for populated rows).
+    energy_pj:
+        Dynamic search energy of the operation in picojoules.
+    latency_cycles:
+        Latency of the operation in accelerator clock cycles.
+    matched_rows:
+        Indices of populated rows with distance zero (exact matches), kept
+        for associative-memory style uses of the array.
+    """
+
+    distances: np.ndarray
+    true_distances: np.ndarray
+    energy_pj: float
+    latency_cycles: int
+    matched_rows: tuple[int, ...]
+
+
+class CamArray:
+    """A single CAM array of ``rows`` x ``word_bits`` cells.
+
+    Parameters
+    ----------
+    rows:
+        Number of CAM words (rows).
+    word_bits:
+        Width of each word in bits.
+    cell:
+        Device model of the cells.
+    search_latency_cycles:
+        Accelerator cycles consumed by one search (precharge, discharge
+        sensing window, sense-amplifier read-out).  DeepCAM runs its CAM at
+        300 MHz with a 3-cycle search pipeline by default.
+    sense_amp:
+        Sense-amplifier model; a noise-free one is constructed by default.
+    peripheral_energy_factor:
+        Multiplier applied on top of raw cell search energy to account for
+        search-line drivers, precharge and sense amplifiers (1.25 = 25 %
+        overhead, consistent with EvaCAM-style breakdowns).
+    """
+
+    def __init__(self, rows: int, word_bits: int, cell: CamCell = FEFET_CAM_CELL,
+                 search_latency_cycles: int = 3,
+                 sense_amp: ClockedSelfReferencedSenseAmp | None = None,
+                 peripheral_energy_factor: float = 1.25) -> None:
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        if word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if search_latency_cycles <= 0:
+            raise ValueError("search_latency_cycles must be positive")
+        if peripheral_energy_factor < 1.0:
+            raise ValueError("peripheral_energy_factor must be >= 1.0")
+        self.rows = int(rows)
+        self.word_bits = int(word_bits)
+        self.cell = cell
+        self.search_latency_cycles = int(search_latency_cycles)
+        self.peripheral_energy_factor = float(peripheral_energy_factor)
+        self.sense_amp = sense_amp if sense_amp is not None else ClockedSelfReferencedSenseAmp(
+            word_bits=word_bits, cell=cell)
+        self._storage = np.zeros((self.rows, self.word_bits), dtype=np.uint8)
+        self._populated = np.zeros(self.rows, dtype=bool)
+        self._write_energy_pj = 0.0
+        self._search_energy_pj = 0.0
+        self._search_count = 0
+
+    # -- contents ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Number of populated rows."""
+        return int(np.count_nonzero(self._populated))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of rows currently populated (the Fig. 9 utilization metric)."""
+        return self.occupancy / self.rows
+
+    @property
+    def total_cells(self) -> int:
+        """Number of cells in the array."""
+        return self.rows * self.word_bits
+
+    def area_um2(self) -> float:
+        """Cell-array area (peripheral area is covered by the energy model)."""
+        return self.total_cells * self.cell.area_um2
+
+    def clear(self) -> None:
+        """Erase all rows (contents and occupancy flags)."""
+        self._storage[:] = 0
+        self._populated[:] = False
+
+    def write_row(self, row: int, bits: np.ndarray) -> float:
+        """Store ``bits`` into ``row``; returns the write energy in pJ."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
+        data = np.asarray(bits).ravel()
+        if data.size != self.word_bits:
+            raise ValueError(f"expected {self.word_bits} bits, got {data.size}")
+        if not np.all(np.isin(data, (0, 1))):
+            raise ValueError("bits must be 0/1 values")
+        self._storage[row] = data.astype(np.uint8)
+        self._populated[row] = True
+        energy_pj = self.word_bits * self.cell.write_energy_fj * 1e-3
+        self._write_energy_pj += energy_pj
+        return energy_pj
+
+    def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
+        """Store several rows starting at ``start_row``; returns write energy in pJ."""
+        matrix = np.asarray(bits_matrix)
+        if matrix.ndim != 2:
+            raise ValueError("bits_matrix must be 2-D")
+        if start_row + matrix.shape[0] > self.rows:
+            raise ValueError(
+                f"cannot store {matrix.shape[0]} rows starting at {start_row}: "
+                f"array has only {self.rows} rows"
+            )
+        energy = 0.0
+        for offset, row_bits in enumerate(matrix):
+            energy += self.write_row(start_row + offset, row_bits)
+        return energy
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read back a stored row (for verification; not a hardware fast path)."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
+        if not self._populated[row]:
+            raise ValueError(f"row {row} is not populated")
+        return self._storage[row].copy()
+
+    # -- search --------------------------------------------------------------------
+
+    def search_energy_pj(self) -> float:
+        """Dynamic energy of one search over the whole array in pJ."""
+        active_cells = self.occupancy * self.word_bits
+        raw_fj = active_cells * self.cell.search_energy_fj
+        return raw_fj * self.peripheral_energy_factor * 1e-3
+
+    def search(self, query_bits: np.ndarray) -> CamSearchResult:
+        """Broadcast ``query_bits`` and return per-row Hamming distances."""
+        query = np.asarray(query_bits).ravel()
+        if query.size != self.word_bits:
+            raise ValueError(f"query must have {self.word_bits} bits, got {query.size}")
+        if not np.all(np.isin(query, (0, 1))):
+            raise ValueError("query bits must be 0/1 values")
+
+        mismatches = np.where(
+            self._populated[:, None],
+            self._storage != query.astype(np.uint8)[None, :],
+            False,
+        ).sum(axis=1)
+
+        true_distances = np.where(self._populated, mismatches, -1).astype(np.int64)
+        populated_counts = mismatches[self._populated]
+        sensed = np.full(self.rows, -1, dtype=np.int64)
+        if populated_counts.size:
+            sensed_populated = self.sense_amp.estimate_distances(populated_counts)
+            sensed[self._populated] = sensed_populated
+
+        energy = self.search_energy_pj()
+        self._search_energy_pj += energy
+        self._search_count += 1
+
+        matched = tuple(int(i) for i in np.nonzero((sensed == 0) & self._populated)[0])
+        return CamSearchResult(
+            distances=sensed,
+            true_distances=true_distances,
+            energy_pj=energy,
+            latency_cycles=self.search_latency_cycles,
+            matched_rows=matched,
+        )
+
+    def search_batch(self, queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Search several queries back to back.
+
+        Returns
+        -------
+        (distances, energy_pj, latency_cycles):
+            ``distances`` has shape ``(num_queries, rows)``; unpopulated rows
+            hold ``-1``.  Energy and latency are totals over all queries
+            (queries are serialised on the single search port).
+        """
+        query_matrix = np.asarray(queries)
+        if query_matrix.ndim != 2:
+            raise ValueError("queries must be a 2-D bit matrix")
+        distances = np.empty((query_matrix.shape[0], self.rows), dtype=np.int64)
+        energy = 0.0
+        latency = 0
+        for index, query in enumerate(query_matrix):
+            result = self.search(query)
+            distances[index] = result.distances
+            energy += result.energy_pj
+            latency += result.latency_cycles
+        return distances, energy, latency
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def accumulated_write_energy_pj(self) -> float:
+        """Total write energy spent since construction/clear."""
+        return self._write_energy_pj
+
+    @property
+    def accumulated_search_energy_pj(self) -> float:
+        """Total search energy spent since construction."""
+        return self._search_energy_pj
+
+    @property
+    def search_count(self) -> int:
+        """Number of search operations performed."""
+        return self._search_count

@@ -1,0 +1,152 @@
+"""CAM and TCAM cell models (CMOS SRAM-based and FeFET-based).
+
+Paper Sec. II-A summarises the device-level trade-off DeepCAM builds on:
+
+* a CMOS binary CAM cell needs 9-10 transistors and a CMOS TCAM cell needs
+  16 transistors (SRAM storage plus a pull-down compare network);
+* a non-volatile FeFET implementation needs only two transistors and two
+  FeFET nodes, giving roughly **7.5x smaller cells** and **2.4x lower search
+  energy** than the CMOS equivalent (Yin et al., FeCAM).
+
+This module captures those relationships in a small, explicit data model so
+that every higher-level energy/area estimate (array, dynamic CAM, Fig. 8
+sweep) is derived from the same per-cell constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CellTechnology(Enum):
+    """Device technology of a CAM cell."""
+
+    CMOS = "cmos"
+    FEFET = "fefet"
+    RRAM = "rram"
+
+
+@dataclass(frozen=True)
+class CamCell:
+    """Per-cell physical and electrical parameters.
+
+    Attributes
+    ----------
+    technology:
+        Device technology of the storage/compare elements.
+    ternary:
+        ``True`` for a TCAM cell (stores 0/1/X), ``False`` for binary CAM.
+    transistors:
+        Transistor count per cell (FeFET devices count as transistors here
+        since each FeFET is a gate-stack transistor).
+    area_um2:
+        Layout area of one cell in square micrometres (45 nm-class node).
+    search_energy_fj:
+        Dynamic energy of one compare (search) operation per cell in
+        femtojoules, including its share of the search-line toggling.
+    write_energy_fj:
+        Energy to program one cell.
+    leakage_nw:
+        Static leakage per cell in nanowatts.
+    match_pulldown_current_ua:
+        Pull-down current contributed by one *mismatching* cell on the match
+        line in microamperes; the discharge-time model in
+        :mod:`repro.cam.array` uses this to convert mismatch counts into
+        time.
+    """
+
+    technology: CellTechnology
+    ternary: bool
+    transistors: int
+    area_um2: float
+    search_energy_fj: float
+    write_energy_fj: float
+    leakage_nw: float
+    match_pulldown_current_ua: float
+
+    def __post_init__(self) -> None:
+        if self.transistors <= 0:
+            raise ValueError("transistors must be positive")
+        if self.area_um2 <= 0:
+            raise ValueError("area_um2 must be positive")
+        if self.search_energy_fj < 0 or self.write_energy_fj < 0:
+            raise ValueError("energies must be non-negative")
+        if self.match_pulldown_current_ua <= 0:
+            raise ValueError("match_pulldown_current_ua must be positive")
+
+    @property
+    def is_nonvolatile(self) -> bool:
+        """Whether the cell retains its contents without power."""
+        return self.technology in (CellTechnology.FEFET, CellTechnology.RRAM)
+
+    def scaled_area_ratio(self, other: "CamCell") -> float:
+        """Area of this cell relative to ``other`` (e.g. FeFET vs CMOS)."""
+        return self.area_um2 / other.area_um2
+
+    def scaled_energy_ratio(self, other: "CamCell") -> float:
+        """Search energy of this cell relative to ``other``."""
+        return self.search_energy_fj / other.search_energy_fj
+
+
+# ---------------------------------------------------------------------------
+# Reference cells.
+#
+# The CMOS numbers correspond to a 16T TCAM / 9T CAM at a 45 nm-class node
+# (cell area ~1.4 um^2 for the TCAM).  The FeFET numbers follow the 7.5x
+# area and 2.4x search-energy advantages reported in Yin et al. (FeCAM) and
+# quoted by the DeepCAM paper.
+# ---------------------------------------------------------------------------
+
+CMOS_CAM_CELL = CamCell(
+    technology=CellTechnology.CMOS,
+    ternary=False,
+    transistors=9,
+    area_um2=0.90,
+    search_energy_fj=1.20,
+    write_energy_fj=0.80,
+    leakage_nw=0.45,
+    match_pulldown_current_ua=20.0,
+)
+
+CMOS_TCAM_CELL = CamCell(
+    technology=CellTechnology.CMOS,
+    ternary=True,
+    transistors=16,
+    area_um2=1.40,
+    search_energy_fj=1.65,
+    write_energy_fj=1.10,
+    leakage_nw=0.80,
+    match_pulldown_current_ua=20.0,
+)
+
+FEFET_CAM_CELL = CamCell(
+    technology=CellTechnology.FEFET,
+    ternary=True,
+    transistors=2,
+    area_um2=CMOS_TCAM_CELL.area_um2 / 7.5,
+    search_energy_fj=CMOS_TCAM_CELL.search_energy_fj / 2.4,
+    write_energy_fj=8.0,  # FeFET programming is more expensive than a search.
+    leakage_nw=0.02,
+    match_pulldown_current_ua=12.0,
+)
+
+
+def cell_for_technology(technology: CellTechnology | str, ternary: bool = True) -> CamCell:
+    """Look up the reference cell for a technology.
+
+    Parameters
+    ----------
+    technology:
+        A :class:`CellTechnology` or its string value (``"cmos"``/``"fefet"``).
+    ternary:
+        For CMOS, selects the 16T TCAM cell instead of the 9T binary cell.
+        FeFET cells are natively ternary-capable.
+    """
+    if isinstance(technology, str):
+        technology = CellTechnology(technology.lower())
+    if technology is CellTechnology.FEFET:
+        return FEFET_CAM_CELL
+    if technology is CellTechnology.CMOS:
+        return CMOS_TCAM_CELL if ternary else CMOS_CAM_CELL
+    raise ValueError(f"no reference CAM cell for technology {technology}")

@@ -1,0 +1,267 @@
+"""Dynamic-size CAM built from 256-bit chunks (paper Sec. III-B, Fig. 6).
+
+The DeepCAM accelerator needs a different hash length -- and therefore a
+different CAM word width -- for every CNN layer.  Rather than provisioning a
+fixed 1024-bit CAM and wasting search energy on unused columns, the paper
+splits each row into four 256-bit *chunks* connected by transmission gates.
+Enabling one to four chunks yields effective word widths of 256, 512, 768 or
+1024 bits; disabled chunks are isolated from the match line and consume no
+search energy.
+
+:class:`DynamicCam` wraps a full-width :class:`~repro.cam.array.CamArray`
+and adds the chunk-enable control, the transmission-gate overhead, and the
+reconfiguration bookkeeping.  It is the hardware unit the DeepCAM mapper
+(:mod:`repro.core.mapping`) instantiates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cam.array import CamArray, CamSearchResult
+from repro.cam.cell import CamCell, FEFET_CAM_CELL
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+
+#: Width of one chunk in bits.
+CHUNK_BITS = 256
+
+#: Number of chunks per row in the DeepCAM design.
+NUM_CHUNKS = 4
+
+#: Row counts the paper evaluates (Sec. IV-A).
+SUPPORTED_ROW_COUNTS = (64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class DynamicCamConfig:
+    """Static configuration of a dynamic CAM instance.
+
+    Attributes
+    ----------
+    rows:
+        Number of CAM rows (64/128/256/512 in the paper's sweeps; other
+        positive values are accepted for exploration).
+    max_word_bits:
+        Full word width when all chunks are enabled.
+    chunk_bits:
+        Width of one chunk.
+    cell:
+        Device model of the cells.
+    search_latency_cycles:
+        Pipeline depth of one search operation in accelerator cycles.
+    transmission_gate_energy_fj:
+        Energy of toggling one transmission gate during reconfiguration.
+    """
+
+    rows: int = 64
+    max_word_bits: int = CHUNK_BITS * NUM_CHUNKS
+    chunk_bits: int = CHUNK_BITS
+    cell: CamCell = FEFET_CAM_CELL
+    search_latency_cycles: int = 3
+    transmission_gate_energy_fj: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError("rows must be positive")
+        if self.chunk_bits <= 0:
+            raise ValueError("chunk_bits must be positive")
+        if self.max_word_bits % self.chunk_bits != 0:
+            raise ValueError("max_word_bits must be a multiple of chunk_bits")
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks per row."""
+        return self.max_word_bits // self.chunk_bits
+
+    @property
+    def supported_word_bits(self) -> tuple[int, ...]:
+        """Word widths reachable by enabling 1..num_chunks chunks."""
+        return tuple(self.chunk_bits * n for n in range(1, self.num_chunks + 1))
+
+
+class DynamicCam:
+    """A chunked, width-reconfigurable CAM array.
+
+    The active word width starts at one chunk (256 bits) and is changed with
+    :meth:`configure_word_bits`.  Writes and searches always operate at the
+    *active* width; the underlying storage keeps the full width so that
+    re-enabling chunks does not destroy previously written data.
+    """
+
+    def __init__(self, config: DynamicCamConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else DynamicCamConfig()
+        self._array = CamArray(
+            rows=self.config.rows,
+            word_bits=self.config.max_word_bits,
+            cell=self.config.cell,
+            search_latency_cycles=self.config.search_latency_cycles,
+            sense_amp=ClockedSelfReferencedSenseAmp(
+                word_bits=self.config.max_word_bits, cell=self.config.cell, seed=seed),
+        )
+        self._active_chunks = 1
+        self._reconfigurations = 0
+        self._reconfiguration_energy_pj = 0.0
+
+    # -- configuration ----------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Number of CAM rows."""
+        return self.config.rows
+
+    @property
+    def active_chunks(self) -> int:
+        """Number of currently enabled chunks."""
+        return self._active_chunks
+
+    @property
+    def active_word_bits(self) -> int:
+        """Currently active word width in bits."""
+        return self._active_chunks * self.config.chunk_bits
+
+    @property
+    def reconfiguration_count(self) -> int:
+        """How many times the word width has been changed."""
+        return self._reconfigurations
+
+    @property
+    def reconfiguration_energy_pj(self) -> float:
+        """Total energy spent toggling transmission gates."""
+        return self._reconfiguration_energy_pj
+
+    def configure_word_bits(self, word_bits: int) -> None:
+        """Enable as many chunks as needed to reach ``word_bits``.
+
+        ``word_bits`` must be one of the chunk-aligned widths (256/512/768/
+        1024 for the default geometry).  Reconfiguration toggles one
+        transmission gate per row per chunk whose enable state changes.
+        """
+        if word_bits not in self.config.supported_word_bits:
+            raise ValueError(
+                f"word_bits {word_bits} not supported; choose one of "
+                f"{self.config.supported_word_bits}"
+            )
+        new_chunks = word_bits // self.config.chunk_bits
+        if new_chunks == self._active_chunks:
+            return
+        toggled = abs(new_chunks - self._active_chunks) * self.rows
+        self._reconfiguration_energy_pj += (
+            toggled * self.config.transmission_gate_energy_fj * 1e-3
+        )
+        self._active_chunks = new_chunks
+        self._reconfigurations += 1
+
+    def configure_for_hash_length(self, hash_length: int) -> int:
+        """Enable the minimum word width that fits ``hash_length`` bits.
+
+        Returns the configured word width.  Hash lengths above the maximum
+        word width are rejected -- the mapper must split such signatures.
+        """
+        if hash_length <= 0:
+            raise ValueError("hash_length must be positive")
+        if hash_length > self.config.max_word_bits:
+            raise ValueError(
+                f"hash_length {hash_length} exceeds the maximum word width "
+                f"{self.config.max_word_bits}"
+            )
+        for width in self.config.supported_word_bits:
+            if hash_length <= width:
+                self.configure_word_bits(width)
+                return width
+        raise AssertionError("unreachable: supported widths cover max_word_bits")
+
+    # -- data path -----------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Erase all stored rows."""
+        self._array.clear()
+
+    def _pad_to_active_width(self, bits: np.ndarray) -> np.ndarray:
+        data = np.asarray(bits).ravel()
+        if data.size > self.active_word_bits:
+            raise ValueError(
+                f"data of {data.size} bits exceeds the active word width "
+                f"{self.active_word_bits}"
+            )
+        padded = np.zeros(self.config.max_word_bits, dtype=np.uint8)
+        padded[: data.size] = data
+        return padded
+
+    def write_row(self, row: int, bits: np.ndarray) -> float:
+        """Write a signature into a row at the active word width."""
+        return self._array.write_row(row, self._pad_to_active_width(bits))
+
+    def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
+        """Write several signatures starting at ``start_row``."""
+        matrix = np.asarray(bits_matrix)
+        if matrix.ndim != 2:
+            raise ValueError("bits_matrix must be 2-D")
+        energy = 0.0
+        for offset, row_bits in enumerate(matrix):
+            energy += self.write_row(start_row + offset, row_bits)
+        return energy
+
+    def search(self, query_bits: np.ndarray) -> CamSearchResult:
+        """Search at the active word width.
+
+        Only the enabled chunks contribute mismatches and search energy; the
+        raw result from the full-width array is corrected accordingly.
+        """
+        query = np.asarray(query_bits).ravel()
+        if query.size > self.active_word_bits:
+            raise ValueError(
+                f"query of {query.size} bits exceeds the active word width "
+                f"{self.active_word_bits}"
+            )
+        padded = self._pad_to_active_width(query)
+        result = self._array.search(padded)
+        # Scale energy down to the enabled fraction of the row: disabled
+        # chunks are isolated by the transmission gates.
+        fraction = self.active_word_bits / self.config.max_word_bits
+        scaled_energy = result.energy_pj * fraction
+        return CamSearchResult(
+            distances=result.distances,
+            true_distances=result.true_distances,
+            energy_pj=scaled_energy,
+            latency_cycles=result.latency_cycles,
+            matched_rows=result.matched_rows,
+        )
+
+    def search_batch(self, queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Search several queries back to back at the active width."""
+        query_matrix = np.asarray(queries)
+        if query_matrix.ndim != 2:
+            raise ValueError("queries must be a 2-D bit matrix")
+        distances = np.empty((query_matrix.shape[0], self.rows), dtype=np.int64)
+        energy = 0.0
+        latency = 0
+        for index, query in enumerate(query_matrix):
+            result = self.search(query)
+            distances[index] = result.distances
+            energy += result.energy_pj
+            latency += result.latency_cycles
+        return distances, energy, latency
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Number of populated rows."""
+        return self._array.occupancy
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of rows populated."""
+        return self._array.utilization
+
+    def area_um2(self) -> float:
+        """Cell-array area including transmission-gate columns.
+
+        One transmission-gate column (roughly two minimum-size transistors
+        per row) sits between adjacent chunks.
+        """
+        gate_area_per_row = 0.4  # um^2 for an NMOS+PMOS pass gate at 45 nm
+        gates = (self.config.num_chunks - 1) * self.rows
+        return self._array.area_um2() + gates * gate_area_per_row

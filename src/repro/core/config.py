@@ -1,0 +1,170 @@
+"""DeepCAM accelerator configuration.
+
+A single :class:`DeepCAMConfig` object captures every architectural knob the
+paper sweeps -- CAM row count, dataflow, hash-length policy, device
+technology -- so that the functional simulator, the cycle model and the
+energy model all read from the same source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Mapping
+
+from repro.cam.cell import CellTechnology
+
+#: Hash lengths the dynamic CAM supports (one to four 256-bit chunks).
+SUPPORTED_HASH_LENGTHS: tuple[int, ...] = (256, 512, 768, 1024)
+
+#: CAM row counts evaluated in the paper (Sec. IV-A).
+SUPPORTED_ROW_COUNTS: tuple[int, ...] = (64, 128, 256, 512)
+
+
+class Dataflow(Enum):
+    """Which operand is resident in the CAM rows during a layer.
+
+    ``AUTO`` is an extension beyond the paper: the mapper picks, per layer,
+    whichever of the two stationarities needs fewer CAM searches (FC layers
+    strongly favour weight-stationary, early conv layers strongly favour
+    activation-stationary).
+    """
+
+    WEIGHT_STATIONARY = "weight_stationary"
+    ACTIVATION_STATIONARY = "activation_stationary"
+    AUTO = "auto"
+
+
+class HashLengthPolicy(Enum):
+    """How per-layer hash lengths are chosen."""
+
+    #: One fixed hash length for every layer (the Fig. 10 "baseline" uses 256,
+    #: "Max DeepCAM" uses 1024).
+    HOMOGENEOUS = "homogeneous"
+    #: Per-layer hash lengths (the paper's variable-hash-length proposal).
+    VARIABLE = "variable"
+
+
+@dataclass(frozen=True)
+class DeepCAMConfig:
+    """Complete architectural configuration of a DeepCAM instance.
+
+    Attributes
+    ----------
+    cam_rows:
+        Number of rows in the dynamic CAM (64/128/256/512 in the paper).
+    dataflow:
+        Weight-stationary or activation-stationary mapping.
+    hash_policy:
+        Homogeneous or variable (per-layer) hash lengths.
+    homogeneous_hash_length:
+        Hash length used when ``hash_policy`` is homogeneous.
+    layer_hash_lengths:
+        Per-layer hash lengths (layer name -> bits) used when the policy is
+        variable; layers not listed fall back to ``homogeneous_hash_length``.
+    cell_technology:
+        CAM cell device technology (FeFET in the paper).
+    clock_frequency_hz:
+        Accelerator clock (300 MHz in the paper).
+    search_latency_cycles:
+        Pipeline latency of one CAM search operation.
+    write_latency_cycles:
+        Cycles to write one CAM row.
+    postprocess_lanes:
+        Number of parallel post-processing lanes (cosine + norm-multiply
+        units); the post-processing throughput is pipelined against CAM
+        searches.
+    count_activation_write_cycles:
+        Charge one CAM-write cycle per resident activation context in
+        activation-stationary mode.  The default (``False``) assumes the
+        contexts are written by the previous layer's transformation unit
+        while that layer is still computing (double-buffered rows), which is
+        the assumption behind the paper's activation-stationary results;
+        setting ``True`` exposes the un-hidden cost for the dataflow
+        ablation.
+    use_exact_cosine:
+        Replace the Eq. 5 piecewise-linear cosine with an exact cosine
+        (ablation knob only).
+    quantize_norms:
+        Quantise context norms to the 8-bit minifloat grid.
+    seed:
+        Base seed for the per-layer random projections.
+    """
+
+    cam_rows: int = 64
+    dataflow: Dataflow = Dataflow.ACTIVATION_STATIONARY
+    hash_policy: HashLengthPolicy = HashLengthPolicy.VARIABLE
+    homogeneous_hash_length: int = 256
+    layer_hash_lengths: Mapping[str, int] = field(default_factory=dict)
+    cell_technology: CellTechnology = CellTechnology.FEFET
+    clock_frequency_hz: float = 300e6
+    search_latency_cycles: int = 3
+    write_latency_cycles: int = 1
+    postprocess_lanes: int = 32
+    count_activation_write_cycles: bool = False
+    use_exact_cosine: bool = False
+    quantize_norms: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cam_rows <= 0:
+            raise ValueError("cam_rows must be positive")
+        if self.homogeneous_hash_length not in SUPPORTED_HASH_LENGTHS:
+            raise ValueError(
+                f"homogeneous_hash_length must be one of {SUPPORTED_HASH_LENGTHS}"
+            )
+        for layer, length in self.layer_hash_lengths.items():
+            if length not in SUPPORTED_HASH_LENGTHS:
+                raise ValueError(
+                    f"layer {layer!r}: hash length {length} not in {SUPPORTED_HASH_LENGTHS}"
+                )
+        if self.clock_frequency_hz <= 0:
+            raise ValueError("clock_frequency_hz must be positive")
+        if self.search_latency_cycles <= 0 or self.write_latency_cycles <= 0:
+            raise ValueError("latencies must be positive")
+        if self.postprocess_lanes <= 0:
+            raise ValueError("postprocess_lanes must be positive")
+
+    # -- hash length resolution ---------------------------------------------------
+
+    def hash_length_for(self, layer_name: str) -> int:
+        """Hash length to use for a given layer under the configured policy."""
+        if self.hash_policy is HashLengthPolicy.HOMOGENEOUS:
+            return self.homogeneous_hash_length
+        return int(self.layer_hash_lengths.get(layer_name, self.homogeneous_hash_length))
+
+    def layer_seed(self, layer_index: int) -> int:
+        """Deterministic projection seed for a layer.
+
+        Weight hashing (offline, software) and activation hashing (online,
+        crossbar) must share the projection matrix; deriving the seed from
+        the layer index guarantees that.
+        """
+        if layer_index < 0:
+            raise ValueError("layer_index must be non-negative")
+        return self.seed * 10_007 + layer_index
+
+    # -- derived views --------------------------------------------------------------
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.clock_frequency_hz
+
+    def with_rows(self, cam_rows: int) -> "DeepCAMConfig":
+        """Copy of the config with a different row count."""
+        return replace(self, cam_rows=cam_rows)
+
+    def with_dataflow(self, dataflow: Dataflow) -> "DeepCAMConfig":
+        """Copy of the config with a different dataflow."""
+        return replace(self, dataflow=dataflow)
+
+    def with_hash_lengths(self, layer_hash_lengths: Mapping[str, int]) -> "DeepCAMConfig":
+        """Copy of the config with per-layer (variable) hash lengths."""
+        return replace(self, hash_policy=HashLengthPolicy.VARIABLE,
+                       layer_hash_lengths=dict(layer_hash_lengths))
+
+    def homogeneous(self, hash_length: int) -> "DeepCAMConfig":
+        """Copy of the config forced to one homogeneous hash length."""
+        return replace(self, hash_policy=HashLengthPolicy.HOMOGENEOUS,
+                       homogeneous_hash_length=hash_length, layer_hash_lengths={})

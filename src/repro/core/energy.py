@@ -1,0 +1,192 @@
+"""DeepCAM energy-per-inference model (paper Sec. IV-C, Fig. 10, Table II).
+
+The dynamic inference energy of DeepCAM is the sum of four contributions,
+each derived analytically from the layer mapping produced by
+:class:`~repro.core.mapping.DeepCAMMapper`:
+
+1. **CAM search energy** -- one search over the occupied rows at the layer's
+   hash length, per search operation (EvaCAM-style model).
+2. **CAM write energy** -- programming the resident contexts (activation
+   contexts every fill in AS mode; weight contexts once per layer in WS
+   mode, charged because the FeFET rows must still be programmed at least
+   once per network load).
+3. **Post-processing energy** -- one cosine evaluation, one minifloat norm
+   multiply and one fixed-point multiply per output element, plus ReLU.
+4. **Context-generation energy** -- the on-the-fly activation context
+   generator (crossbar hashing + adder tree + square root) for every
+   activation context of every layer except the first (whose contexts are
+   prepared offline in software, per the paper).
+
+Buffer (SRAM) traffic for streaming contexts in and results out is also
+charged so that the comparison against Eyeriss (whose energy is dominated by
+memory hierarchy traffic) is not unfairly favourable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.cam.cell import cell_for_technology
+from repro.cam.energy_model import CamEnergyModel
+from repro.core.config import Dataflow, DeepCAMConfig
+from repro.core.mapping import DeepCAMMapper, LayerMapping, NetworkMapping
+from repro.hw.components import CostLibrary, DEFAULT_COST_LIBRARY
+from repro.workloads.specs import NetworkTrace
+
+
+@dataclass(frozen=True)
+class LayerEnergy:
+    """Energy breakdown of one layer in picojoules."""
+
+    layer_name: str
+    hash_length: int
+    cam_search_pj: float
+    cam_write_pj: float
+    postprocess_pj: float
+    context_generation_pj: float
+    buffer_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total dynamic energy of the layer."""
+        return (self.cam_search_pj + self.cam_write_pj + self.postprocess_pj
+                + self.context_generation_pj + self.buffer_pj)
+
+
+@dataclass(frozen=True)
+class NetworkEnergy:
+    """Energy breakdown of a whole network inference."""
+
+    network: str
+    config: DeepCAMConfig
+    layers: tuple[LayerEnergy, ...]
+
+    @property
+    def total_pj(self) -> float:
+        """Total dynamic energy per inference in picojoules."""
+        return sum(layer.total_pj for layer in self.layers)
+
+    @property
+    def total_uj(self) -> float:
+        """Total dynamic energy per inference in microjoules."""
+        return self.total_pj * 1e-6
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-component totals in picojoules."""
+        return {
+            "cam_search_pj": sum(l.cam_search_pj for l in self.layers),
+            "cam_write_pj": sum(l.cam_write_pj for l in self.layers),
+            "postprocess_pj": sum(l.postprocess_pj for l in self.layers),
+            "context_generation_pj": sum(l.context_generation_pj for l in self.layers),
+            "buffer_pj": sum(l.buffer_pj for l in self.layers),
+        }
+
+
+class DeepCAMEnergyModel:
+    """Analytical energy model driven by a :class:`DeepCAMConfig`."""
+
+    def __init__(self, config: DeepCAMConfig,
+                 cam_model: CamEnergyModel | None = None,
+                 library: CostLibrary | None = None,
+                 crossbar_energy_per_bit_pj: float = 0.02) -> None:
+        self.config = config
+        self.cam_model = cam_model if cam_model is not None else CamEnergyModel(
+            cell=cell_for_technology(config.cell_technology))
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+        # Energy of producing one hash bit on the NVM crossbar (device reads,
+        # bit-serial drivers and the sign sense amplifier, amortised per bit).
+        self.crossbar_energy_per_bit_pj = float(crossbar_energy_per_bit_pj)
+
+    # -- per-layer ------------------------------------------------------------------
+
+    def layer_energy(self, mapping: LayerMapping, is_first_layer: bool = False) -> LayerEnergy:
+        """Energy of one mapped layer."""
+        config = self.config
+        layer = mapping.layer
+        rows = config.cam_rows
+        hash_bits = mapping.hash_length
+
+        # 1. CAM searches: each search activates the occupied rows at the
+        # layer's word width.  The average occupancy equals rows*utilization.
+        occupied_rows = max(1, round(rows * mapping.utilization))
+        search_energy = self.cam_model.search_energy_pj(occupied_rows, hash_bits)
+        cam_search_pj = search_energy * mapping.searches
+
+        # 2. CAM writes: every resident context is programmed once.
+        cell = self.cam_model.cell
+        writes = mapping.stationary_count
+        cam_write_pj = writes * hash_bits * cell.write_energy_fj * 1e-3
+
+        # 3. Post-processing: cosine + minifloat multiply + int16 multiply +
+        # ReLU per output element.
+        per_output_pj = (
+            self.library.get("cosine_pwl").energy_pj
+            + self.library.get("minifloat8_mult").energy_pj
+            + self.library.get("int16_mult").energy_pj
+            + self.library.get("relu_8b").energy_pj
+        )
+        postprocess_pj = per_output_pj * layer.output_elements
+
+        # 4. On-the-fly context generation for the activation contexts of
+        # every layer except the first (input contexts are precomputed in
+        # software, paper Sec. III-A).
+        if is_first_layer:
+            context_generation_pj = 0.0
+        else:
+            per_context_pj = (
+                hash_bits * self.crossbar_energy_per_bit_pj            # crossbar hashing
+                + layer.context_length * self.library.multiplier(8).energy_pj  # squares
+                + layer.context_length * self.library.adder(16).energy_pj       # adder tree
+                + self.library.get("sqrt_16b").energy_pj                        # square root
+            )
+            context_generation_pj = per_context_pj * layer.contexts_per_image
+
+        # 5. Buffer traffic: stream query signatures + norms in, results out.
+        query_bits = mapping.query_count * (hash_bits + 8) * mapping.fills
+        result_bits = layer.output_elements * 8
+        buffer_pj = self.library.sram_access(8).energy_pj * (query_bits + result_bits) / 8.0
+
+        return LayerEnergy(
+            layer_name=layer.name,
+            hash_length=hash_bits,
+            cam_search_pj=cam_search_pj,
+            cam_write_pj=cam_write_pj,
+            postprocess_pj=postprocess_pj,
+            context_generation_pj=context_generation_pj,
+            buffer_pj=buffer_pj,
+        )
+
+    # -- whole network ------------------------------------------------------------------
+
+    def network_energy(self, network: NetworkTrace,
+                       hash_lengths: Dict[str, int] | None = None) -> NetworkEnergy:
+        """Energy of a full inference of ``network`` under the configuration."""
+        mapper = DeepCAMMapper(self.config)
+        mapping = mapper.map_network(network, hash_lengths=hash_lengths)
+        layers = []
+        for index, layer_mapping in enumerate(mapping.layers):
+            layers.append(self.layer_energy(layer_mapping, is_first_layer=(index == 0)))
+        return NetworkEnergy(network=network.name, config=self.config, layers=tuple(layers))
+
+
+def energy_vs_hash_policy(network: NetworkTrace, config: DeepCAMConfig,
+                          variable_hash_lengths: Dict[str, int]) -> Dict[str, float]:
+    """Energy (uJ) of the three hash-length policies compared in Fig. 10.
+
+    Returns the energy of:
+
+    * ``"baseline_256"`` -- homogeneous 256-bit hash lengths (the paper's
+      normalisation baseline),
+    * ``"max_1024"``     -- homogeneous 1024-bit hash lengths ("Max DeepCAM"),
+    * ``"variable"``     -- the per-layer variable hash lengths.
+    """
+    results = {}
+    for label, cfg, lengths in (
+        ("baseline_256", config.homogeneous(256), None),
+        ("max_1024", config.homogeneous(1024), None),
+        ("variable", config.with_hash_lengths(variable_hash_lengths), variable_hash_lengths),
+    ):
+        model = DeepCAMEnergyModel(cfg)
+        results[label] = model.network_energy(network, hash_lengths=lengths).total_uj
+    return results

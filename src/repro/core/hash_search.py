@@ -1,0 +1,199 @@
+"""Variable hash-length selection (paper Sec. III-A, Fig. 5).
+
+The approximation error of the geometric dot-product depends on the hash
+length ``k``; the paper observes that every CNN layer has a *minimum* hash
+length below which classification accuracy collapses, and that this minimum
+differs strongly between layers.  Provisioning the worst-case length
+everywhere wastes CAM energy, so DeepCAM assigns each layer its own length
+(variable hash length, VHL) out of the CAM-supported set {256, 512, 768,
+1024}.
+
+This module implements the selection procedure as a greedy per-layer search:
+
+1. measure the baseline (software) accuracy and the DeepCAM accuracy with
+   every layer at the maximum hash length;
+2. walk the layers in order; for each one, pick the smallest supported
+   length whose accuracy stays within ``tolerance`` of the all-max DeepCAM
+   accuracy, keeping previously chosen layers at their selected lengths and
+   not-yet-visited layers at the maximum.
+
+The search cost is ``O(num_layers x num_lengths)`` accuracy evaluations, so
+an evaluation subset is used for large models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.accelerator import DeepCAMSimulator
+from repro.core.config import DeepCAMConfig, HashLengthPolicy, SUPPORTED_HASH_LENGTHS
+from repro.nn.layers import Module
+from repro.nn.train import evaluate_accuracy
+
+
+@dataclass
+class HashLengthSearchResult:
+    """Outcome of one variable-hash-length search.
+
+    Attributes
+    ----------
+    baseline_accuracy:
+        Accuracy of the exact (software) model -- the "BL" bars of Fig. 5.
+    max_hash_accuracy:
+        DeepCAM accuracy with every layer at the maximum hash length.
+    deepcam_accuracy:
+        DeepCAM accuracy with the selected variable hash lengths -- the "DC"
+        bars of Fig. 5.
+    layer_hash_lengths:
+        Selected hash length per dot-product layer (``layer0``, ``layer1``,
+        ... in forward order, the names the simulator assigns).
+    evaluations:
+        Number of accuracy evaluations the search spent.
+    """
+
+    baseline_accuracy: float
+    max_hash_accuracy: float
+    deepcam_accuracy: float
+    layer_hash_lengths: Dict[str, int]
+    evaluations: int = 0
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Baseline-to-DeepCAM accuracy drop (positive = DeepCAM worse)."""
+        return self.baseline_accuracy - self.deepcam_accuracy
+
+    @property
+    def mean_hash_length(self) -> float:
+        """Average selected hash length across layers."""
+        if not self.layer_hash_lengths:
+            return 0.0
+        return float(np.mean(list(self.layer_hash_lengths.values())))
+
+
+class VariableHashLengthSearch:
+    """Greedy per-layer hash-length selection.
+
+    Parameters
+    ----------
+    config:
+        Base DeepCAM configuration (row count, cosine mode, ...); its hash
+        policy is overridden during the search.
+    candidate_lengths:
+        Hash lengths to consider, smallest first.
+    tolerance:
+        Maximum allowed accuracy drop (absolute, e.g. 0.02 = 2 points)
+        relative to the all-max-hash DeepCAM accuracy.
+    batch_size:
+        Evaluation batch size.
+    """
+
+    def __init__(self, config: DeepCAMConfig | None = None,
+                 candidate_lengths: Sequence[int] = SUPPORTED_HASH_LENGTHS,
+                 tolerance: float = 0.02,
+                 batch_size: int = 64) -> None:
+        self.config = config if config is not None else DeepCAMConfig()
+        lengths = sorted(int(k) for k in candidate_lengths)
+        if not lengths:
+            raise ValueError("candidate_lengths must not be empty")
+        for length in lengths:
+            if length not in SUPPORTED_HASH_LENGTHS:
+                raise ValueError(
+                    f"hash length {length} is not CAM-supported {SUPPORTED_HASH_LENGTHS}"
+                )
+        self.candidate_lengths = tuple(lengths)
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.tolerance = float(tolerance)
+        self.batch_size = int(batch_size)
+
+    # -- helpers ------------------------------------------------------------------
+
+    @property
+    def max_length(self) -> int:
+        """Largest candidate hash length."""
+        return self.candidate_lengths[-1]
+
+    def _deepcam_accuracy(self, model: Module, images: np.ndarray, labels: np.ndarray,
+                          layer_lengths: Dict[str, int]) -> float:
+        # Layers not named in the mapping fall back to the homogeneous value;
+        # pin that fallback to the maximum candidate so unvisited layers do
+        # not perturb the search.
+        config = replace(self.config,
+                         hash_policy=HashLengthPolicy.VARIABLE,
+                         homogeneous_hash_length=self.max_length,
+                         layer_hash_lengths=dict(layer_lengths))
+        simulator = DeepCAMSimulator(config)
+        return evaluate_accuracy(model, images, labels, batch_size=self.batch_size,
+                                 forward_fn=simulator.forward_fn(model))
+
+    def _discover_layer_names(self, model: Module, images: np.ndarray) -> List[str]:
+        """Run one small batch to learn the simulator's layer naming."""
+        probe_config = self.config.homogeneous(self.max_length)
+        simulator = DeepCAMSimulator(probe_config)
+        simulator.run(model, images[: min(2, images.shape[0])])
+        return [f"layer{i}" for i in range(simulator.stats.dot_product_layers)]
+
+    # -- search -------------------------------------------------------------------
+
+    def search(self, model: Module, images: np.ndarray, labels: np.ndarray,
+               verbose: bool = False) -> HashLengthSearchResult:
+        """Run the greedy search and return the selected per-layer lengths."""
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+
+        baseline = evaluate_accuracy(model, images, labels, batch_size=self.batch_size)
+        layer_names = self._discover_layer_names(model, images)
+
+        evaluations = 0
+        all_max = {name: self.max_length for name in layer_names}
+        max_accuracy = self._deepcam_accuracy(model, images, labels, all_max)
+        evaluations += 1
+        target = max_accuracy - self.tolerance
+
+        selected = dict(all_max)
+        for name in layer_names:
+            for candidate in self.candidate_lengths:
+                if candidate >= selected[name]:
+                    break
+                trial = dict(selected)
+                trial[name] = candidate
+                accuracy = self._deepcam_accuracy(model, images, labels, trial)
+                evaluations += 1
+                if verbose:
+                    print(f"{name}: k={candidate} -> acc {accuracy:.3f} (target {target:.3f})")
+                if accuracy >= target:
+                    selected[name] = candidate
+                    break
+
+        final_accuracy = self._deepcam_accuracy(model, images, labels, selected)
+        evaluations += 1
+        return HashLengthSearchResult(
+            baseline_accuracy=baseline,
+            max_hash_accuracy=max_accuracy,
+            deepcam_accuracy=final_accuracy,
+            layer_hash_lengths=selected,
+            evaluations=evaluations,
+        )
+
+
+def accuracy_vs_hash_length(model: Module, images: np.ndarray, labels: np.ndarray,
+                            config: DeepCAMConfig | None = None,
+                            hash_lengths: Sequence[int] = SUPPORTED_HASH_LENGTHS,
+                            batch_size: int = 64) -> Dict[int, float]:
+    """DeepCAM accuracy for several *homogeneous* hash lengths.
+
+    This is the sweep behind the observation motivating variable hash
+    lengths: accuracy rises with hash length and saturates at a
+    model-dependent point.
+    """
+    base = config if config is not None else DeepCAMConfig()
+    results: Dict[int, float] = {}
+    for length in hash_lengths:
+        simulator = DeepCAMSimulator(base.homogeneous(int(length)))
+        results[int(length)] = evaluate_accuracy(
+            model, images, labels, batch_size=batch_size,
+            forward_fn=simulator.forward_fn(model))
+    return results

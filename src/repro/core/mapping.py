@@ -1,0 +1,240 @@
+"""Mapping CNN layers onto the dynamic CAM: cycle and utilization model.
+
+DeepCAM lowers every conv/FC layer to a matrix of approximate dot-products
+between *stationary* contexts (held in CAM rows) and *query* contexts
+(broadcast on the search lines).  Which operand is stationary is the
+dataflow choice the paper studies (Sec. IV-B):
+
+* **weight-stationary (WS)** -- the ``num_kernels`` weight contexts are
+  resident; every activation context is one search.
+* **activation-stationary (AS)** -- the ``contexts_per_image`` activation
+  contexts are resident (in batches of ``cam_rows``); every weight context
+  is one search per batch.
+
+Per layer the model computes:
+
+* ``fills``      = ceil(stationary / cam_rows) -- how many times the CAM is
+  (re)loaded;
+* ``searches``   = fills x queries -- each search returns ``cam_rows``
+  Hamming distances in O(1);
+* ``cycles``     = search cycles + CAM-row write cycles + the pipelined
+  post-processing term (one cosine + norm-multiply per output element,
+  spread over ``postprocess_lanes`` lanes and overlapped with the searches);
+* ``utilization`` = useful row-compares / provisioned row-compares, the
+  quantity Fig. 9 plots.
+
+Weight contexts are prepared offline in software (paper Sec. III-A), so in
+WS mode the resident rows are preloaded before inference and only the
+activation writes of AS mode cost runtime cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.config import Dataflow, DeepCAMConfig
+from repro.workloads.specs import LayerSpec, NetworkTrace
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Cycle/utilization breakdown of one layer on DeepCAM.
+
+    Attributes
+    ----------
+    layer:
+        The layer spec that was mapped.
+    hash_length:
+        Hash length used for this layer.
+    stationary_count / query_count:
+        Sizes of the resident and broadcast operand sets.
+    fills:
+        Number of CAM (re)loads.
+    searches:
+        Total CAM search operations.
+    search_cycles / write_cycles / postprocess_cycles:
+        Cycle contributions of each pipeline stage.
+    cycles:
+        Total cycles charged to the layer (searches and post-processing are
+        pipelined, so the slower of the two dominates; runtime writes add on
+        top).
+    utilization:
+        Average fraction of CAM rows doing useful compares per search.
+    """
+
+    layer: LayerSpec
+    hash_length: int
+    stationary_count: int
+    query_count: int
+    fills: int
+    searches: int
+    search_cycles: int
+    write_cycles: int
+    postprocess_cycles: int
+    cycles: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class NetworkMapping:
+    """Aggregate mapping of a whole network."""
+
+    network: str
+    config: DeepCAMConfig
+    layers: tuple[LayerMapping, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total inference cycles."""
+        return sum(m.cycles for m in self.layers)
+
+    @property
+    def total_searches(self) -> int:
+        """Total CAM search operations per inference."""
+        return sum(m.searches for m in self.layers)
+
+    @property
+    def total_fills(self) -> int:
+        """Total CAM fills per inference."""
+        return sum(m.fills for m in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Work-weighted average CAM utilization (the Fig. 9 metric).
+
+        Weighted by useful row-compares (``stationary x queries``), i.e. by
+        the amount of dot-product work each layer contributes, so that a
+        network's utilization reflects where its compute actually happens.
+        """
+        useful = sum(m.stationary_count * m.query_count for m in self.layers)
+        provisioned = self.total_searches * self.config.cam_rows
+        if provisioned == 0:
+            return 0.0
+        return useful / provisioned
+
+    @property
+    def latency_s(self) -> float:
+        """Inference latency in seconds at the configured clock."""
+        return self.total_cycles * self.config.cycle_time_s
+
+    def layer_by_name(self, name: str) -> LayerMapping:
+        """Look up one layer's mapping."""
+        for mapping in self.layers:
+            if mapping.layer.name == name:
+                return mapping
+        raise KeyError(f"no layer named {name!r} in mapping of {self.network}")
+
+
+class DeepCAMMapper:
+    """Maps layer specs onto a DeepCAM configuration."""
+
+    def __init__(self, config: DeepCAMConfig) -> None:
+        self.config = config
+
+    # -- single layer -----------------------------------------------------------
+
+    def _operand_split(self, layer: LayerSpec) -> tuple[int, int]:
+        """Return ``(stationary_count, query_count)`` for the configured dataflow."""
+        rows = self.config.cam_rows
+        weight_split = (layer.num_kernels, layer.contexts_per_image)
+        activation_split = (layer.contexts_per_image, layer.num_kernels)
+        if self.config.dataflow is Dataflow.WEIGHT_STATIONARY:
+            return weight_split
+        if self.config.dataflow is Dataflow.ACTIVATION_STATIONARY:
+            return activation_split
+        # AUTO: pick the stationarity that minimises search operations.
+        ws_searches = math.ceil(weight_split[0] / rows) * weight_split[1]
+        as_searches = math.ceil(activation_split[0] / rows) * activation_split[1]
+        return activation_split if as_searches <= ws_searches else weight_split
+
+    def map_layer(self, layer: LayerSpec, hash_length: int | None = None) -> LayerMapping:
+        """Map one layer and return its cycle/utilization breakdown."""
+        config = self.config
+        rows = config.cam_rows
+        hash_bits = hash_length if hash_length is not None else config.hash_length_for(layer.name)
+
+        stationary, queries = self._operand_split(layer)
+        fills = math.ceil(stationary / rows)
+        searches = fills * queries
+        search_cycles = searches * config.search_latency_cycles
+
+        # Runtime CAM writes: weight contexts are preloaded offline.  In
+        # activation-stationary mode the resident activation contexts are
+        # streamed straight out of the previous layer's transformation unit
+        # into double-buffered CAM rows, so by default their write cycles are
+        # hidden; `count_activation_write_cycles` exposes them for ablation.
+        if (config.dataflow is Dataflow.ACTIVATION_STATIONARY
+                and config.count_activation_write_cycles):
+            write_cycles = stationary * config.write_latency_cycles
+        else:
+            write_cycles = 0
+
+        # Post-processing: one cosine + norm multiply + accumulate per output
+        # element, spread across the configured number of parallel lanes and
+        # pipelined behind the CAM searches.
+        outputs = layer.output_elements
+        postprocess_cycles = math.ceil(outputs / config.postprocess_lanes)
+
+        pipelined = max(search_cycles, postprocess_cycles)
+        cycles = pipelined + write_cycles
+
+        # Utilization: useful row-compares over provisioned row-compares.
+        useful = stationary * queries
+        provisioned = searches * rows
+        utilization = useful / provisioned if provisioned else 0.0
+
+        return LayerMapping(
+            layer=layer,
+            hash_length=hash_bits,
+            stationary_count=stationary,
+            query_count=queries,
+            fills=fills,
+            searches=searches,
+            search_cycles=search_cycles,
+            write_cycles=write_cycles,
+            postprocess_cycles=postprocess_cycles,
+            cycles=cycles,
+            utilization=utilization,
+        )
+
+    # -- whole network -------------------------------------------------------------
+
+    def map_network(self, network: NetworkTrace,
+                    hash_lengths: dict[str, int] | None = None) -> NetworkMapping:
+        """Map every layer of a network trace.
+
+        Parameters
+        ----------
+        network:
+            The network trace to map.
+        hash_lengths:
+            Optional explicit per-layer hash lengths overriding the config's
+            policy (used by the variable-hash-length search).
+        """
+        mappings = []
+        for layer in network:
+            override = hash_lengths.get(layer.name) if hash_lengths else None
+            mappings.append(self.map_layer(layer, hash_length=override))
+        return NetworkMapping(network=network.name, config=self.config,
+                              layers=tuple(mappings))
+
+
+def compare_dataflows(network: NetworkTrace, config: DeepCAMConfig) -> dict[str, NetworkMapping]:
+    """Map a network under both dataflows (the Fig. 9 WS-vs-AS comparison)."""
+    results = {}
+    for dataflow in (Dataflow.WEIGHT_STATIONARY, Dataflow.ACTIVATION_STATIONARY):
+        mapper = DeepCAMMapper(config.with_dataflow(dataflow))
+        results[dataflow.value] = mapper.map_network(network)
+    return results
+
+
+def sweep_rows(network: NetworkTrace, config: DeepCAMConfig,
+               row_counts: Sequence[int] = (64, 128, 256, 512)) -> dict[int, NetworkMapping]:
+    """Map a network for several CAM row counts (the Fig. 9/10 row sweep)."""
+    results = {}
+    for rows in row_counts:
+        mapper = DeepCAMMapper(config.with_rows(int(rows)))
+        results[int(rows)] = mapper.map_network(network)
+    return results

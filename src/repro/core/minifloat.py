@@ -1,0 +1,208 @@
+"""8-bit minifloat representation used for L2 norms.
+
+DeepCAM stores the Euclidean norm of every weight/activation context in an
+"8-bit minifloat representation" (paper Sec. III-A, citing the Ristretto
+framework).  This module implements a generic small floating-point format
+with a sign bit, ``exponent_bits`` exponent bits (biased) and
+``mantissa_bits`` mantissa bits, supporting subnormals, round-to-nearest-even
+and saturation, plus exact bit-level encode/decode so hardware contexts can
+be serialised.
+
+The default format is 1-4-3 (sign, exponent, mantissa), which covers the
+dynamic range of L2 norms encountered in the evaluated CNNs with a worst-case
+relative quantisation error of about 6 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Minifloat:
+    """A small IEEE-754-like floating-point format.
+
+    Parameters
+    ----------
+    exponent_bits:
+        Number of exponent bits (biased by ``2**(exponent_bits-1) - 1``).
+    mantissa_bits:
+        Number of explicit mantissa (fraction) bits.
+    signed:
+        Whether a sign bit is included.  L2 norms are non-negative, but the
+        general datapath keeps the sign bit so the same format can also carry
+        signed post-processing values.
+    """
+
+    exponent_bits: int = 4
+    mantissa_bits: int = 3
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2 or self.exponent_bits > 8:
+            raise ValueError("exponent_bits must be in 2..8")
+        if self.mantissa_bits < 1 or self.mantissa_bits > 10:
+            raise ValueError("mantissa_bits must be in 1..10")
+
+    # -- format properties ----------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width of one encoded value."""
+        return self.exponent_bits + self.mantissa_bits + (1 if self.signed else 0)
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest *biased* exponent used for normal numbers.
+
+        Unlike IEEE-754 we do not reserve the top exponent code for
+        infinities/NaN -- the hardware saturates instead -- so every exponent
+        code encodes a finite value.
+        """
+        return 2 ** self.exponent_bits - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        mantissa = 2.0 - 2.0 ** (-self.mantissa_bits)
+        return mantissa * 2.0 ** (self.max_exponent - self.bias)
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0 ** (1 - self.bias)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return 2.0 ** (1 - self.bias - self.mantissa_bits)
+
+    # -- quantisation ---------------------------------------------------------
+
+    def quantize(self, value: float) -> float:
+        """Round ``value`` to the nearest representable number (saturating)."""
+        return float(self.quantize_array(np.asarray([value]))[0])
+
+    def quantize_array(self, values: np.ndarray | Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`quantize`."""
+        data = np.asarray(values, dtype=np.float64)
+        result = np.empty_like(data)
+
+        magnitude = np.abs(data)
+        sign = np.sign(data)
+        if not self.signed:
+            if np.any(data < 0):
+                raise ValueError("format is unsigned but negative values were given")
+            sign = np.ones_like(data)
+
+        # Saturate overflow.
+        saturated = magnitude > self.max_value
+        # Flush tiny values toward the subnormal grid (including zero).
+        with np.errstate(divide="ignore"):
+            exponent = np.floor(np.log2(np.where(magnitude > 0, magnitude, 1.0)))
+        exponent = np.clip(exponent, 1 - self.bias, self.max_exponent - self.bias)
+
+        # Step size of the representable grid around each value: for normals
+        # the spacing is 2^(e - mantissa_bits); subnormals share the spacing
+        # of the smallest normal binade.
+        spacing = 2.0 ** (exponent - self.mantissa_bits)
+        subnormal = magnitude < self.min_normal
+        spacing = np.where(subnormal, self.min_subnormal, spacing)
+
+        quantised = np.round(magnitude / spacing) * spacing
+        # Rounding can push a value into the next binade (e.g. 1.96 -> 2.0);
+        # that is still representable so no correction is needed, but values
+        # rounded past the max must saturate.
+        quantised = np.where(quantised > self.max_value, self.max_value, quantised)
+        quantised = np.where(saturated, self.max_value, quantised)
+
+        result = sign * quantised
+        return result
+
+    def relative_error(self, values: np.ndarray | Iterable[float]) -> np.ndarray:
+        """Element-wise relative quantisation error (0 where the value is 0)."""
+        data = np.asarray(values, dtype=np.float64)
+        quantised = self.quantize_array(data)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            error = np.where(data != 0.0, np.abs(quantised - data) / np.abs(data), 0.0)
+        return error
+
+    # -- bit-level encode / decode ---------------------------------------------
+
+    def encode(self, value: float) -> int:
+        """Encode ``value`` into its integer bit pattern."""
+        quantised = self.quantize(value)
+        sign_bit = 0
+        magnitude = quantised
+        if self.signed:
+            sign_bit = 1 if quantised < 0 else 0
+            magnitude = abs(quantised)
+        elif quantised < 0:
+            raise ValueError("cannot encode a negative value in an unsigned format")
+
+        if magnitude == 0.0:
+            exponent_code = 0
+            mantissa_code = 0
+        elif magnitude < self.min_normal:
+            exponent_code = 0
+            mantissa_code = int(round(magnitude / self.min_subnormal))
+            # A subnormal mantissa that rounds up to 2^mantissa_bits is really
+            # the smallest normal number.
+            if mantissa_code == 2 ** self.mantissa_bits:
+                exponent_code = 1
+                mantissa_code = 0
+        else:
+            exponent = int(np.floor(np.log2(magnitude)))
+            exponent = min(exponent, self.max_exponent - self.bias)
+            mantissa = magnitude / (2.0 ** exponent) - 1.0
+            mantissa_code = int(round(mantissa * 2 ** self.mantissa_bits))
+            if mantissa_code == 2 ** self.mantissa_bits:
+                mantissa_code = 0
+                exponent += 1
+            exponent_code = exponent + self.bias
+
+        word = (exponent_code << self.mantissa_bits) | mantissa_code
+        if self.signed:
+            word |= sign_bit << (self.exponent_bits + self.mantissa_bits)
+        return word
+
+    def decode(self, word: int) -> float:
+        """Decode an integer bit pattern back into a float."""
+        if word < 0 or word >= 2 ** self.total_bits:
+            raise ValueError(f"word {word} does not fit in {self.total_bits} bits")
+        mantissa_mask = 2 ** self.mantissa_bits - 1
+        mantissa_code = word & mantissa_mask
+        exponent_code = (word >> self.mantissa_bits) & (2 ** self.exponent_bits - 1)
+        sign = 1.0
+        if self.signed and (word >> (self.exponent_bits + self.mantissa_bits)) & 1:
+            sign = -1.0
+
+        if exponent_code == 0:
+            magnitude = mantissa_code * self.min_subnormal
+        else:
+            mantissa = 1.0 + mantissa_code / 2 ** self.mantissa_bits
+            magnitude = mantissa * 2.0 ** (exponent_code - self.bias)
+        return sign * magnitude
+
+    def encode_array(self, values: np.ndarray | Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`encode`; returns ``uint8``/``uint16`` codes."""
+        data = np.asarray(values, dtype=np.float64).ravel()
+        dtype = np.uint8 if self.total_bits <= 8 else np.uint16
+        return np.array([self.encode(float(v)) for v in data], dtype=dtype)
+
+    def decode_array(self, words: np.ndarray | Iterable[int]) -> np.ndarray:
+        """Vectorised :meth:`decode`."""
+        data = np.asarray(words).ravel()
+        return np.array([self.decode(int(w)) for w in data], dtype=np.float64)
+
+
+#: The paper's default 8-bit (1-4-3) minifloat format for L2 norms.
+MINIFLOAT8 = Minifloat(exponent_bits=4, mantissa_bits=3, signed=True)

@@ -1,0 +1,21 @@
+"""NVM crossbar substrate for on-chip hashing.
+
+DeepCAM's post-processing & transformation unit hashes intermediate
+activations on the fly using a non-volatile-memory crossbar that stores the
+random projection matrix ``C`` as synaptic conductances (paper Sec. III-C).
+Because only the *sign* of each projection is needed, the usual
+high-resolution ADCs are replaced with simple sign-detecting sense
+amplifiers.
+
+* :mod:`repro.crossbar.crossbar` -- the functional + energy model of the
+  crossbar, including conductance quantisation, bit-serial input streaming,
+  device variation and the sign sense amplifiers.
+"""
+
+from repro.crossbar.crossbar import (
+    CrossbarConfig,
+    HashingCrossbar,
+    SignSenseAmplifier,
+)
+
+__all__ = ["CrossbarConfig", "HashingCrossbar", "SignSenseAmplifier"]

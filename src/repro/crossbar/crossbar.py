@@ -1,0 +1,226 @@
+"""FeFET crossbar that computes sign(x C) for on-chip hashing.
+
+The random projection matrix ``C`` (one per CNN layer) is programmed into a
+crossbar as differential conductance pairs: column ``j`` holds ``C[:, j]``
+split into a positive and a negative device so that signed weights can be
+represented with unipolar conductances.  An input activation vector is
+applied on the rows (bit-serially, one input bit per cycle), the column
+currents accumulate the analog dot products, and a sign-detecting sense
+amplifier per column outputs one hash bit.
+
+Compared to a full analog PIM engine this datapath is drastically cheaper
+because no ADC is needed -- only the sign matters -- which is exactly the
+argument the paper makes for the on-the-fly activation-context generator.
+
+The model covers:
+
+* conductance quantisation (finite device levels),
+* multiplicative log-normal device variation,
+* input bit-serial streaming (cycles scale with input bit width),
+* energy per hash operation built from device, DAC-less input driver and
+  sense-amplifier contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.components import CostLibrary, DEFAULT_COST_LIBRARY
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Static parameters of the hashing crossbar.
+
+    Attributes
+    ----------
+    rows:
+        Number of word lines = dimensionality of the vectors being hashed.
+    columns:
+        Number of bit lines = hash length produced per pass.
+    conductance_levels:
+        Number of programmable conductance levels per device (FeFET devices
+        give 16-32 usable levels; 32 is the NeuroSim default for FeFET).
+    g_min_us / g_max_us:
+        Minimum / maximum device conductance in microsiemens.
+    read_voltage:
+        Read voltage applied to active rows.
+    device_variation_sigma:
+        Sigma of the log-normal multiplicative conductance variation
+        (0 disables variation).
+    input_bits:
+        Bit width of the streamed input activations (bit-serial DACs).
+    device_read_energy_fj:
+        Energy per device per read pulse.
+    """
+
+    rows: int
+    columns: int
+    conductance_levels: int = 32
+    g_min_us: float = 0.1
+    g_max_us: float = 5.0
+    read_voltage: float = 0.2
+    device_variation_sigma: float = 0.0
+    input_bits: int = 8
+    device_read_energy_fj: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        if self.conductance_levels < 2:
+            raise ValueError("conductance_levels must be at least 2")
+        if not 0 < self.g_min_us < self.g_max_us:
+            raise ValueError("require 0 < g_min_us < g_max_us")
+        if self.input_bits <= 0:
+            raise ValueError("input_bits must be positive")
+        if self.device_variation_sigma < 0:
+            raise ValueError("device_variation_sigma must be non-negative")
+
+
+class SignSenseAmplifier:
+    """Sign detector on a differential column pair.
+
+    The positive and negative columns of a differential pair are compared;
+    the output bit is 1 when the positive current wins.  An input-referred
+    offset (in microamperes) models comparator mismatch.
+    """
+
+    def __init__(self, offset_sigma_ua: float = 0.0, seed: int = 0) -> None:
+        if offset_sigma_ua < 0:
+            raise ValueError("offset_sigma_ua must be non-negative")
+        self.offset_sigma_ua = float(offset_sigma_ua)
+        rng = np.random.default_rng(seed)
+        # One static offset per instantiation; redrawn only on construction,
+        # exactly like silicon mismatch.
+        self._offset_ua = rng.normal(0.0, offset_sigma_ua) if offset_sigma_ua > 0 else 0.0
+
+    @property
+    def offset_ua(self) -> float:
+        """The static input-referred offset of this comparator."""
+        return self._offset_ua
+
+    def decide(self, positive_current_ua: np.ndarray,
+               negative_current_ua: np.ndarray) -> np.ndarray:
+        """Return 1 where the (offset-corrupted) differential current is >= 0."""
+        diff = np.asarray(positive_current_ua) - np.asarray(negative_current_ua)
+        return (diff + self._offset_ua >= 0.0).astype(np.uint8)
+
+
+class HashingCrossbar:
+    """Crossbar that evaluates ``sign(x C)`` for activation hashing.
+
+    Parameters
+    ----------
+    projection:
+        The layer's random projection matrix ``C`` with shape
+        ``(input_dim, hash_length)``.
+    config:
+        Crossbar geometry and device parameters; ``rows``/``columns`` must
+        match the projection shape.  If ``None`` a config matching the
+        projection is created.
+    library:
+        Digital cost library for the peripheral sense amplifiers.
+    seed:
+        Seed for device-variation sampling.
+    """
+
+    def __init__(self, projection: np.ndarray, config: CrossbarConfig | None = None,
+                 library: CostLibrary | None = None, seed: int = 0) -> None:
+        matrix = np.asarray(projection, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("projection must be a 2-D matrix")
+        if config is None:
+            config = CrossbarConfig(rows=matrix.shape[0], columns=matrix.shape[1])
+        if config.rows != matrix.shape[0] or config.columns != matrix.shape[1]:
+            raise ValueError(
+                f"config geometry {(config.rows, config.columns)} does not match "
+                f"projection shape {matrix.shape}"
+            )
+        self.config = config
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+        self._rng = np.random.default_rng(seed)
+        self.sense_amp = SignSenseAmplifier(offset_sigma_ua=0.0, seed=seed)
+        self._g_positive, self._g_negative = self._program(matrix)
+
+    # -- programming -----------------------------------------------------------
+
+    def _program(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map signed weights onto differential quantised conductances."""
+        cfg = self.config
+        scale = np.max(np.abs(matrix))
+        if scale == 0.0:
+            scale = 1.0
+        normalised = matrix / scale  # in [-1, 1]
+
+        positive = np.clip(normalised, 0.0, None)
+        negative = np.clip(-normalised, 0.0, None)
+
+        step = (cfg.g_max_us - cfg.g_min_us) / (cfg.conductance_levels - 1)
+
+        def quantise(weights: np.ndarray) -> np.ndarray:
+            conductance = cfg.g_min_us + weights * (cfg.g_max_us - cfg.g_min_us)
+            levels = np.round((conductance - cfg.g_min_us) / step)
+            return cfg.g_min_us + levels * step
+
+        g_pos = quantise(positive)
+        g_neg = quantise(negative)
+
+        if cfg.device_variation_sigma > 0.0:
+            g_pos = g_pos * self._rng.lognormal(0.0, cfg.device_variation_sigma, g_pos.shape)
+            g_neg = g_neg * self._rng.lognormal(0.0, cfg.device_variation_sigma, g_neg.shape)
+        return g_pos, g_neg
+
+    # -- evaluation -------------------------------------------------------------
+
+    def hash(self, vector: np.ndarray) -> np.ndarray:
+        """Hash one input vector into ``columns`` bits."""
+        return self.hash_batch(np.asarray(vector, dtype=np.float64).reshape(1, -1))[0]
+
+    def hash_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Hash a batch of vectors; returns ``(batch, columns)`` bits."""
+        data = np.asarray(matrix, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != self.config.rows:
+            raise ValueError(
+                f"expected shape (batch, {self.config.rows}), got {data.shape}"
+            )
+        voltage = data * self.config.read_voltage
+        current_pos = voltage @ self._g_positive  # uA (V * uS)
+        current_neg = voltage @ self._g_negative
+        return self.sense_amp.decide(current_pos, current_neg)
+
+    def agreement_with_ideal(self, matrix: np.ndarray, ideal_bits: np.ndarray) -> float:
+        """Fraction of hash bits matching an ideal software hash."""
+        produced = self.hash_batch(matrix)
+        ideal = np.asarray(ideal_bits, dtype=np.uint8)
+        if produced.shape != ideal.shape:
+            raise ValueError("shape mismatch between produced and ideal bits")
+        return float(np.mean(produced == ideal))
+
+    # -- cost model ---------------------------------------------------------------
+
+    def energy_per_hash_pj(self) -> float:
+        """Energy of hashing one input vector.
+
+        Devices in both differential planes are read once per input bit
+        (bit-serial streaming); each column pair fires one sign sense
+        amplifier per hash.
+        """
+        cfg = self.config
+        device_reads = 2 * cfg.rows * cfg.columns * cfg.input_bits
+        device_energy_pj = device_reads * cfg.device_read_energy_fj * 1e-3
+        driver_energy_pj = self.library.get("dac_1bit").energy_pj * cfg.rows * cfg.input_bits
+        senseamp_energy_pj = self.library.get("sign_sense_amp").energy_pj * cfg.columns
+        return device_energy_pj + driver_energy_pj + senseamp_energy_pj
+
+    def latency_cycles(self) -> int:
+        """Cycles to hash one vector (one per input bit plus one sensing cycle)."""
+        return self.config.input_bits + 1
+
+    def area_um2(self) -> float:
+        """Macro area: differential device planes plus column sense amplifiers."""
+        device_area = 0.05  # um^2 per FeFET device at 45 nm-class pitch
+        devices = 2 * self.config.rows * self.config.columns
+        senseamp_area = self.library.get("sign_sense_amp").area_um2 * self.config.columns
+        return devices * device_area + senseamp_area

@@ -1,0 +1,34 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on MNIST, CIFAR10 and CIFAR100, none of which can be
+downloaded in this offline environment.  The generators here produce
+class-conditional synthetic image datasets with the same tensor geometry
+(1x28x28 or 3x32x32) and a controllable difficulty, so that:
+
+* the software-baseline CNNs reach non-trivial accuracy after a short
+  CPU-only training run, and
+* the DeepCAM approximation's accuracy drop as a function of hash length
+  (the mechanism Fig. 5 measures) can be observed on the same data.
+
+See DESIGN.md ("Substitutions") for the full rationale.
+"""
+
+from repro.datasets.loaders import DatasetSplit, SyntheticImageDataset, train_test_split
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_mnist_like,
+    make_synthetic_classification,
+)
+
+__all__ = [
+    "DatasetSplit",
+    "SyntheticImageDataset",
+    "SyntheticSpec",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_mnist_like",
+    "make_synthetic_classification",
+    "train_test_split",
+]

@@ -1,0 +1,105 @@
+"""Dataset containers and split helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_mnist_like,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """One split (train or test) of an image classification dataset."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels must have the same number of samples")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels present in the split."""
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def subset(self, count: int) -> "DatasetSplit":
+        """First ``count`` samples (deterministic, used by quick tests)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        count = min(count, len(self))
+        return DatasetSplit(images=self.images[:count], labels=self.labels[:count])
+
+
+def train_test_split(images: np.ndarray, labels: np.ndarray, test_fraction: float = 0.2,
+                     seed: int = 0) -> tuple[DatasetSplit, DatasetSplit]:
+    """Shuffle and split into train/test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    count = images.shape[0]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(count)
+    test_count = max(1, int(round(count * test_fraction)))
+    test_index = order[:test_count]
+    train_index = order[test_count:]
+    return (
+        DatasetSplit(images=images[train_index], labels=labels[train_index]),
+        DatasetSplit(images=images[test_index], labels=labels[test_index]),
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticImageDataset:
+    """A complete dataset: train split, test split and generation spec."""
+
+    name: str
+    train: DatasetSplit
+    test: DatasetSplit
+    spec: SyntheticSpec
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes in the generation spec."""
+        return self.spec.num_classes
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """``(channels, height, width)`` of one sample."""
+        return (self.spec.channels, self.spec.image_size, self.spec.image_size)
+
+    @classmethod
+    def mnist_like(cls, num_samples: int = 2000, num_classes: int = 10,
+                   difficulty: float = 0.30, seed: int = 0,
+                   test_fraction: float = 0.25) -> "SyntheticImageDataset":
+        """Build the MNIST-substitute dataset."""
+        images, labels, spec = make_mnist_like(num_samples, num_classes, difficulty, seed)
+        train, test = train_test_split(images, labels, test_fraction, seed=seed + 1)
+        return cls(name="mnist-like", train=train, test=test, spec=spec)
+
+    @classmethod
+    def cifar10_like(cls, num_samples: int = 2000, num_classes: int = 10,
+                     difficulty: float = 0.40, seed: int = 0,
+                     test_fraction: float = 0.25) -> "SyntheticImageDataset":
+        """Build the CIFAR10-substitute dataset."""
+        images, labels, spec = make_cifar10_like(num_samples, num_classes, difficulty, seed)
+        train, test = train_test_split(images, labels, test_fraction, seed=seed + 1)
+        return cls(name="cifar10-like", train=train, test=test, spec=spec)
+
+    @classmethod
+    def cifar100_like(cls, num_samples: int = 4000, num_classes: int = 100,
+                      difficulty: float = 0.35, seed: int = 0,
+                      test_fraction: float = 0.25) -> "SyntheticImageDataset":
+        """Build the CIFAR100-substitute dataset."""
+        images, labels, spec = make_cifar100_like(num_samples, num_classes, difficulty, seed)
+        train, test = train_test_split(images, labels, test_fraction, seed=seed + 1)
+        return cls(name="cifar100-like", train=train, test=test, spec=spec)

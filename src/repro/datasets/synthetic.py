@@ -1,0 +1,194 @@
+"""Class-conditional synthetic image generators.
+
+Each class is defined by a *prototype image* built from a few randomly
+placed, randomly oriented geometric primitives (bars, blobs and gratings).
+A sample is the class prototype plus a random affine jitter (shift), a
+per-sample contrast/brightness perturbation and additive Gaussian noise.
+The difficulty knob is the noise-to-signal ratio: at ``difficulty=0`` the
+classes are trivially separable, at ``difficulty=1`` the prototypes are
+buried in noise.
+
+This construction has the two properties the Fig. 5 experiment relies on:
+
+* a CNN can learn the task quickly (prototype + jitter is exactly the kind
+  of structure convolutions excel at), giving a meaningful baseline
+  accuracy, and
+* classification depends on *dot-product angles* between learned filters
+  and local patches, so replacing exact dot-products with DeepCAM's
+  hash-based approximation degrades accuracy progressively as the hash
+  length shrinks -- the same mechanism the paper's real datasets expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Geometry and difficulty of a synthetic dataset.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of classes.
+    channels / image_size:
+        Tensor geometry (``channels`` x ``image_size`` x ``image_size``).
+    difficulty:
+        0..1 noise-to-signal knob; 0.35 gives MNIST-like separability.
+    max_shift:
+        Maximum per-sample translation jitter in pixels.
+    primitives_per_class:
+        Number of geometric primitives composing each class prototype.
+    """
+
+    num_classes: int
+    channels: int
+    image_size: int
+    difficulty: float = 0.35
+    max_shift: int = 2
+    primitives_per_class: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if self.channels not in (1, 3):
+            raise ValueError("channels must be 1 or 3")
+        if self.image_size < 8:
+            raise ValueError("image_size must be at least 8")
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError("difficulty must be in [0, 1]")
+        if self.max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        if self.primitives_per_class < 1:
+            raise ValueError("primitives_per_class must be at least 1")
+
+
+def _draw_primitive(canvas: np.ndarray, rng: np.random.Generator) -> None:
+    """Draw one random primitive (bar, blob or grating) onto ``canvas`` in place."""
+    size = canvas.shape[-1]
+    kind = rng.integers(0, 3)
+    yy, xx = np.mgrid[0:size, 0:size]
+    cy, cx = rng.uniform(size * 0.2, size * 0.8, size=2)
+    amplitude = rng.uniform(0.6, 1.0)
+    channel_weights = rng.uniform(0.3, 1.0, size=canvas.shape[0])
+
+    if kind == 0:
+        # Oriented bar: a thin rotated rectangle rendered as a soft ridge.
+        angle = rng.uniform(0.0, np.pi)
+        thickness = rng.uniform(1.0, 2.5)
+        distance = np.abs((xx - cx) * np.sin(angle) - (yy - cy) * np.cos(angle))
+        pattern = np.exp(-(distance ** 2) / (2 * thickness ** 2))
+    elif kind == 1:
+        # Gaussian blob.
+        sigma = rng.uniform(size * 0.06, size * 0.18)
+        pattern = np.exp(-(((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma ** 2)))
+    else:
+        # Localised sinusoidal grating.
+        frequency = rng.uniform(0.2, 0.6)
+        angle = rng.uniform(0.0, np.pi)
+        phase = rng.uniform(0.0, 2 * np.pi)
+        sigma = rng.uniform(size * 0.1, size * 0.25)
+        carrier = np.sin(frequency * ((xx - cx) * np.cos(angle)
+                                      + (yy - cy) * np.sin(angle)) + phase)
+        envelope = np.exp(-(((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma ** 2)))
+        pattern = 0.5 * (carrier + 1.0) * envelope
+
+    for channel, weight in enumerate(channel_weights):
+        canvas[channel] += amplitude * weight * pattern
+
+
+def _make_prototypes(spec: SyntheticSpec, rng: np.random.Generator) -> np.ndarray:
+    """Build one prototype image per class, normalised to zero mean / unit max."""
+    prototypes = np.zeros((spec.num_classes, spec.channels, spec.image_size, spec.image_size))
+    for class_index in range(spec.num_classes):
+        for _ in range(spec.primitives_per_class):
+            _draw_primitive(prototypes[class_index], rng)
+        prototype = prototypes[class_index]
+        prototype -= prototype.mean()
+        peak = np.max(np.abs(prototype))
+        if peak > 0:
+            prototype /= peak
+    return prototypes
+
+
+def _shift_image(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Translate an image by (dy, dx) pixels with zero fill."""
+    shifted = np.zeros_like(image)
+    size = image.shape[-1]
+    src_y = slice(max(0, -dy), min(size, size - dy))
+    src_x = slice(max(0, -dx), min(size, size - dx))
+    dst_y = slice(max(0, dy), min(size, size + dy))
+    dst_x = slice(max(0, dx), min(size, size + dx))
+    shifted[:, dst_y, dst_x] = image[:, src_y, src_x]
+    return shifted
+
+
+def make_synthetic_classification(spec: SyntheticSpec, num_samples: int,
+                                  seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``num_samples`` images and labels following ``spec``.
+
+    Returns
+    -------
+    (images, labels):
+        ``images`` has shape ``(num_samples, channels, size, size)`` and is
+        roughly zero-mean/unit-range; ``labels`` is an ``int64`` vector.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    rng = np.random.default_rng(seed)
+    prototypes = _make_prototypes(spec, rng)
+
+    images = np.empty((num_samples, spec.channels, spec.image_size, spec.image_size))
+    labels = rng.integers(0, spec.num_classes, size=num_samples).astype(np.int64)
+    noise_scale = 0.15 + 1.1 * spec.difficulty
+
+    for index in range(num_samples):
+        prototype = prototypes[labels[index]]
+        if spec.max_shift > 0:
+            dy, dx = rng.integers(-spec.max_shift, spec.max_shift + 1, size=2)
+            sample = _shift_image(prototype, int(dy), int(dx))
+        else:
+            sample = prototype.copy()
+        contrast = rng.uniform(0.8, 1.2)
+        brightness = rng.uniform(-0.1, 0.1)
+        sample = contrast * sample + brightness
+        sample = sample + rng.normal(0.0, noise_scale, size=sample.shape)
+        images[index] = sample
+    return images, labels
+
+
+def make_mnist_like(num_samples: int = 2000, num_classes: int = 10,
+                    difficulty: float = 0.30, seed: int = 0
+                    ) -> tuple[np.ndarray, np.ndarray, SyntheticSpec]:
+    """MNIST-geometry dataset: ``num_classes`` classes of 1x28x28 images."""
+    spec = SyntheticSpec(num_classes=num_classes, channels=1, image_size=28,
+                         difficulty=difficulty)
+    images, labels = make_synthetic_classification(spec, num_samples, seed=seed)
+    return images, labels, spec
+
+
+def make_cifar10_like(num_samples: int = 2000, num_classes: int = 10,
+                      difficulty: float = 0.40, seed: int = 0
+                      ) -> tuple[np.ndarray, np.ndarray, SyntheticSpec]:
+    """CIFAR10-geometry dataset: ``num_classes`` classes of 3x32x32 images."""
+    spec = SyntheticSpec(num_classes=num_classes, channels=3, image_size=32,
+                         difficulty=difficulty)
+    images, labels = make_synthetic_classification(spec, num_samples, seed=seed)
+    return images, labels, spec
+
+
+def make_cifar100_like(num_samples: int = 4000, num_classes: int = 100,
+                       difficulty: float = 0.35, seed: int = 0
+                       ) -> tuple[np.ndarray, np.ndarray, SyntheticSpec]:
+    """CIFAR100-geometry dataset: ``num_classes`` classes of 3x32x32 images.
+
+    The default class count of 100 matches CIFAR100; reduce it (e.g. to 20)
+    when a quick experiment only needs the geometry, not the class count.
+    """
+    spec = SyntheticSpec(num_classes=num_classes, channels=3, image_size=32,
+                         difficulty=difficulty, primitives_per_class=5)
+    images, labels = make_synthetic_classification(spec, num_samples, seed=seed)
+    return images, labels, spec

@@ -1,0 +1,48 @@
+"""Experiment runners and reporting utilities.
+
+One runner per table/figure of the paper's evaluation section, each
+returning plain data structures that the benchmark harness prints and the
+tests assert on:
+
+* :func:`repro.evaluation.experiments.run_fig2_dot_product_sweep`
+* :func:`repro.evaluation.experiments.run_fig5_accuracy`
+* :func:`repro.evaluation.experiments.run_fig8_cam_overhead`
+* :func:`repro.evaluation.experiments.run_fig9_cycles`
+* :func:`repro.evaluation.experiments.run_fig10_energy`
+* :func:`repro.evaluation.experiments.run_table1_setup`
+* :func:`repro.evaluation.experiments.run_table2_pim_comparison`
+* :func:`repro.evaluation.experiments.run_headline_claims`
+"""
+
+from repro.evaluation.experiments import (
+    Fig5Result,
+    Fig9Row,
+    Fig10Row,
+    Table2Row,
+    run_fig2_dot_product_sweep,
+    run_fig5_accuracy,
+    run_fig8_cam_overhead,
+    run_fig9_cycles,
+    run_fig10_energy,
+    run_headline_claims,
+    run_table1_setup,
+    run_table2_pim_comparison,
+)
+from repro.evaluation.reporting import format_table, series_to_rows
+
+__all__ = [
+    "Fig5Result",
+    "Fig9Row",
+    "Fig10Row",
+    "Table2Row",
+    "format_table",
+    "run_fig2_dot_product_sweep",
+    "run_fig5_accuracy",
+    "run_fig8_cam_overhead",
+    "run_fig9_cycles",
+    "run_fig10_energy",
+    "run_headline_claims",
+    "run_table1_setup",
+    "run_table2_pim_comparison",
+    "series_to_rows",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str | None = None, float_format: str = "{:.4g}") -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; everything else is ``str()``.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line([str(h) for h in headers]))
+    lines.append(_line(["-" * w for w in widths]))
+    lines.extend(_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def series_to_rows(series: Mapping[Any, Mapping[str, Any]],
+                   key_header: str = "key") -> tuple[list[str], list[list[Any]]]:
+    """Convert ``{key: {col: value}}`` into (headers, rows) for :func:`format_table`.
+
+    Column order follows the first entry's insertion order.
+    """
+    if not series:
+        return [key_header], []
+    first = next(iter(series.values()))
+    columns = list(first.keys())
+    headers = [key_header] + columns
+    rows = []
+    for key, values in series.items():
+        rows.append([key] + [values.get(column) for column in columns])
+    return headers, rows

@@ -1,0 +1,40 @@
+"""Digital hardware building blocks and their 45 nm cost models.
+
+This subpackage models the digital logic that surrounds the CAM array in
+DeepCAM's *post-processing & transformation* unit (paper Fig. 7):
+
+* :mod:`repro.hw.components` -- a calibrated per-operation cost library
+  (energy, area, latency) for 45 nm CMOS at 300 MHz, used by every
+  energy/cycle model in the repository.
+* :mod:`repro.hw.adder_tree` -- the adder tree used to accumulate squared
+  activations for on-the-fly L2-norm computation.
+* :mod:`repro.hw.sqrt` -- the non-restoring digital square-root module that
+  finishes the L2-norm computation.
+* :mod:`repro.hw.cosine_unit` -- the piecewise-linear cosine unit
+  implementing Eq. 5 of the paper.
+* :mod:`repro.hw.multiplier` -- fixed-point / minifloat multipliers used to
+  scale the cosine output by the operand norms.
+"""
+
+from repro.hw.adder_tree import AdderTree
+from repro.hw.components import (
+    ComponentCost,
+    CostLibrary,
+    DEFAULT_COST_LIBRARY,
+    TechnologyNode,
+)
+from repro.hw.cosine_unit import CosineUnit
+from repro.hw.multiplier import FixedPointMultiplier, MinifloatMultiplier
+from repro.hw.sqrt import DigitalSquareRoot
+
+__all__ = [
+    "AdderTree",
+    "ComponentCost",
+    "CostLibrary",
+    "CosineUnit",
+    "DEFAULT_COST_LIBRARY",
+    "DigitalSquareRoot",
+    "FixedPointMultiplier",
+    "MinifloatMultiplier",
+    "TechnologyNode",
+]

@@ -1,0 +1,182 @@
+"""Adder tree model for on-the-fly L2-norm accumulation.
+
+The online activation-context generator in DeepCAM's post-processing &
+transformation unit (paper Sec. III-C) computes the L2 norm of each
+intermediate activation vector in hardware.  The sum of squares is produced
+by a balanced binary adder tree; this module provides both a *functional*
+model (exact integer/float accumulation, including an optional fixed-point
+truncation mode) and a *cost* model (energy, area, latency in cycles)
+parameterised by the number of leaf inputs and the operand bit width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hw.components import ComponentCost, CostLibrary, DEFAULT_COST_LIBRARY
+
+
+@dataclass(frozen=True)
+class AdderTreeReport:
+    """Outcome of one adder-tree reduction.
+
+    Attributes
+    ----------
+    value:
+        The accumulated sum.
+    adders_used:
+        Number of two-input additions performed (``n - 1`` for ``n`` leaves).
+    depth:
+        Number of adder stages, i.e. the latency in cycles when one stage is
+        registered per cycle.
+    energy_pj:
+        Dynamic energy of the reduction.
+    """
+
+    value: float
+    adders_used: int
+    depth: int
+    energy_pj: float
+
+
+class AdderTree:
+    """Balanced binary adder tree with ``num_inputs`` leaves.
+
+    Parameters
+    ----------
+    num_inputs:
+        Number of leaf operands the tree reduces per invocation.  Inputs
+        shorter than this are zero-padded; longer inputs are processed in
+        multiple passes (the report accounts for the extra energy/latency).
+    input_bits:
+        Bit width of each leaf operand.  Internal widths grow by one bit per
+        stage, as in a real implementation, and the cost model accounts for
+        this growth.
+    library:
+        Cost library supplying per-adder energy/area.
+    """
+
+    def __init__(self, num_inputs: int, input_bits: int = 16,
+                 library: CostLibrary | None = None) -> None:
+        if num_inputs < 2:
+            raise ValueError("an adder tree needs at least 2 inputs")
+        if input_bits <= 0:
+            raise ValueError("input_bits must be positive")
+        self.num_inputs = int(num_inputs)
+        self.input_bits = int(input_bits)
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+
+    # -- structural properties ----------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of adder stages from leaves to root."""
+        return int(math.ceil(math.log2(self.num_inputs)))
+
+    @property
+    def num_adders(self) -> int:
+        """Number of two-input adders instantiated in the tree."""
+        return self.num_inputs - 1
+
+    def stage_widths(self) -> list[int]:
+        """Operand bit width at each stage (grows by one bit per stage)."""
+        return [self.input_bits + level for level in range(1, self.depth + 1)]
+
+    # -- cost model -----------------------------------------------------------
+
+    def hardware_cost(self) -> ComponentCost:
+        """Area, leakage and single-pass energy/latency of the whole tree."""
+        total = ComponentCost(energy_pj=0.0, area_um2=0.0, latency_cycles=0.0)
+        remaining = self.num_inputs
+        for width in self.stage_widths():
+            adders_this_stage = remaining // 2
+            stage_cost = self.library.adder(width).scaled(energy=adders_this_stage,
+                                                          area=adders_this_stage)
+            total = ComponentCost(
+                energy_pj=total.energy_pj + stage_cost.energy_pj,
+                area_um2=total.area_um2 + stage_cost.area_um2,
+                latency_cycles=total.latency_cycles + 1.0,
+                leakage_uw=total.leakage_uw + stage_cost.leakage_uw,
+            )
+            remaining = (remaining + 1) // 2
+        return total
+
+    # -- functional model -----------------------------------------------------
+
+    def reduce(self, values: Sequence[float] | np.ndarray,
+               truncate_bits: int | None = None) -> AdderTreeReport:
+        """Accumulate ``values`` exactly as the hardware tree would.
+
+        Parameters
+        ----------
+        values:
+            Leaf operands.  If there are more operands than leaves, the tree
+            is reused over multiple passes and the partial sums are folded in
+            (costing one extra adder per pass).
+        truncate_bits:
+            If given, every intermediate sum is truncated to this many
+            integer bits (modelling a narrow datapath).  ``None`` keeps full
+            precision.
+        """
+        data = np.asarray(values, dtype=np.float64).ravel()
+        if data.size == 0:
+            return AdderTreeReport(value=0.0, adders_used=0, depth=self.depth, energy_pj=0.0)
+
+        passes = int(math.ceil(data.size / self.num_inputs))
+        single_pass_cost = self.hardware_cost()
+        total = 0.0
+        adders_used = 0
+        for index in range(passes):
+            chunk = data[index * self.num_inputs: (index + 1) * self.num_inputs]
+            padded = np.zeros(self.num_inputs, dtype=np.float64)
+            padded[: chunk.size] = chunk
+            partial = self._reduce_one_pass(padded, truncate_bits)
+            total = self._maybe_truncate(total + partial, truncate_bits)
+            adders_used += self.num_adders + (1 if index > 0 else 0)
+
+        energy = single_pass_cost.energy_pj * passes
+        # Extra accumulation adds (one per pass beyond the first) use the
+        # widest stage adder.
+        if passes > 1:
+            energy += self.library.adder(self.stage_widths()[-1]).energy_pj * (passes - 1)
+        return AdderTreeReport(value=float(total), adders_used=adders_used,
+                               depth=self.depth, energy_pj=energy)
+
+    def _reduce_one_pass(self, values: np.ndarray, truncate_bits: int | None) -> float:
+        level = values
+        while level.size > 1:
+            if level.size % 2 == 1:
+                level = np.concatenate([level, [0.0]])
+            level = level[0::2] + level[1::2]
+            if truncate_bits is not None:
+                level = np.vectorize(lambda v: self._maybe_truncate(v, truncate_bits))(level)
+        return float(level[0])
+
+    @staticmethod
+    def _maybe_truncate(value: float, truncate_bits: int | None) -> float:
+        if truncate_bits is None:
+            return value
+        limit = float(2 ** truncate_bits - 1)
+        return float(min(math.floor(value), limit))
+
+    # -- convenience ----------------------------------------------------------
+
+    def sum_of_squares(self, values: Sequence[float] | np.ndarray) -> AdderTreeReport:
+        """Square each leaf then reduce; the front-end of the L2-norm unit.
+
+        The squaring multipliers are accounted for in the reported energy.
+        """
+        data = np.asarray(values, dtype=np.float64).ravel()
+        squared = data * data
+        report = self.reduce(squared)
+        square_energy = self.library.multiplier(self.input_bits).energy_pj * data.size
+        return AdderTreeReport(
+            value=report.value,
+            adders_used=report.adders_used,
+            depth=report.depth,
+            energy_pj=report.energy_pj + square_energy,
+        )

@@ -1,0 +1,333 @@
+"""Per-operation cost library for 45 nm CMOS digital logic.
+
+DeepCAM's hardware evaluation (paper Sec. IV-A) extracts power, area and
+timing from Synopsys Design Compiler / PrimeTime runs at a 45 nm technology
+node and a 300 MHz clock.  Those tools are not available in this
+reproduction, so this module provides an analytical cost library whose
+per-operation constants are taken from widely cited 45 nm measurements
+(Horowitz, ISSCC 2014 "Computing's Energy Problem", and the Eyeriss journal
+paper's relative-access-energy table).  Every energy/cycle model in the
+repository draws its constants from a single :class:`CostLibrary` instance so
+that baselines and DeepCAM are compared under identical assumptions.
+
+The library is deliberately explicit: each operation is a named
+:class:`ComponentCost` with energy in picojoules, area in square micrometres
+and latency in clock cycles.  Scaling helpers derive costs for other bit
+widths from the 8-bit / 32-bit anchor points using the quadratic
+(multiplier) and linear (adder, register, wire) models that are standard in
+architecture-level estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS technology operating point.
+
+    Parameters
+    ----------
+    name:
+        Human readable label, e.g. ``"45nm"``.
+    feature_nm:
+        Drawn feature size in nanometres.
+    vdd:
+        Supply voltage in volts.
+    frequency_hz:
+        Clock frequency the cost library is calibrated for.
+    """
+
+    name: str = "45nm"
+    feature_nm: float = 45.0
+    vdd: float = 1.0
+    frequency_hz: float = 300e6
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def scaled_to(self, feature_nm: float, vdd: float | None = None) -> "TechnologyNode":
+        """Return a new node scaled to a different feature size.
+
+        Frequency is kept constant (the paper evaluates everything at
+        300 MHz); only the geometry changes.
+        """
+        if feature_nm <= 0:
+            raise ValueError("feature_nm must be positive")
+        new_vdd = self.vdd if vdd is None else vdd
+        return TechnologyNode(
+            name=f"{feature_nm:g}nm",
+            feature_nm=feature_nm,
+            vdd=new_vdd,
+            frequency_hz=self.frequency_hz,
+        )
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Cost of one hardware operation or one hardware block instance.
+
+    Attributes
+    ----------
+    energy_pj:
+        Dynamic energy per operation in picojoules.
+    area_um2:
+        Silicon area of the block in square micrometres.
+    latency_cycles:
+        Latency of one operation in clock cycles (may be fractional for
+        combinational blocks that are chained several-per-cycle).
+    leakage_uw:
+        Static (leakage) power of the block in microwatts.
+    """
+
+    energy_pj: float
+    area_um2: float
+    latency_cycles: float = 1.0
+    leakage_uw: float = 0.0
+
+    def scaled(self, energy: float = 1.0, area: float = 1.0, latency: float = 1.0) -> "ComponentCost":
+        """Return a copy with energy/area/latency multiplied by the factors."""
+        return ComponentCost(
+            energy_pj=self.energy_pj * energy,
+            area_um2=self.area_um2 * area,
+            latency_cycles=self.latency_cycles * latency,
+            leakage_uw=self.leakage_uw * area,
+        )
+
+    def __add__(self, other: "ComponentCost") -> "ComponentCost":
+        return ComponentCost(
+            energy_pj=self.energy_pj + other.energy_pj,
+            area_um2=self.area_um2 + other.area_um2,
+            latency_cycles=self.latency_cycles + other.latency_cycles,
+            leakage_uw=self.leakage_uw + other.leakage_uw,
+        )
+
+
+# ---------------------------------------------------------------------------
+# 45 nm anchor costs.
+#
+# Energy numbers (pJ) follow Horowitz ISSCC'14 for 45 nm, 0.9-1.0 V:
+#   int8 add   0.03    int32 add   0.1
+#   int8 mult  0.2     int32 mult  3.1
+#   fp16 add   0.4     fp32 add    0.9
+#   fp16 mult  1.1     fp32 mult   3.7
+#   8KB SRAM read (64 bit)  ~10     DRAM access (64 bit)  ~1300-2600
+# Area numbers are synthesis-typical for 45 nm standard-cell implementations.
+# ---------------------------------------------------------------------------
+
+_ANCHOR_COSTS: Dict[str, ComponentCost] = {
+    # Arithmetic
+    "int8_add": ComponentCost(energy_pj=0.03, area_um2=36.0, latency_cycles=1.0, leakage_uw=0.02),
+    "int16_add": ComponentCost(energy_pj=0.05, area_um2=67.0, latency_cycles=1.0, leakage_uw=0.03),
+    "int32_add": ComponentCost(energy_pj=0.10, area_um2=137.0, latency_cycles=1.0, leakage_uw=0.06),
+    "int8_mult": ComponentCost(energy_pj=0.20, area_um2=282.0, latency_cycles=1.0, leakage_uw=0.12),
+    "int16_mult": ComponentCost(energy_pj=0.80, area_um2=1100.0, latency_cycles=1.0, leakage_uw=0.45),
+    "int32_mult": ComponentCost(energy_pj=3.10, area_um2=3495.0, latency_cycles=1.0, leakage_uw=1.40),
+    "int8_mac": ComponentCost(energy_pj=0.23, area_um2=318.0, latency_cycles=1.0, leakage_uw=0.14),
+    "fp16_add": ComponentCost(energy_pj=0.40, area_um2=1360.0, latency_cycles=1.0, leakage_uw=0.50),
+    "fp16_mult": ComponentCost(energy_pj=1.10, area_um2=1640.0, latency_cycles=1.0, leakage_uw=0.60),
+    "fp32_add": ComponentCost(energy_pj=0.90, area_um2=4184.0, latency_cycles=1.0, leakage_uw=1.60),
+    "fp32_mult": ComponentCost(energy_pj=3.70, area_um2=7700.0, latency_cycles=1.0, leakage_uw=2.80),
+    # Minifloat (1-4-3, 8-bit) arithmetic used for the L2 norms.
+    "minifloat8_add": ComponentCost(energy_pj=0.06, area_um2=210.0, latency_cycles=1.0, leakage_uw=0.08),
+    "minifloat8_mult": ComponentCost(energy_pj=0.12, area_um2=260.0, latency_cycles=1.0, leakage_uw=0.10),
+    # Comparators, muxes, registers (per bit for register/mux).
+    "int8_compare": ComponentCost(energy_pj=0.02, area_um2=30.0, latency_cycles=1.0, leakage_uw=0.01),
+    "register_bit": ComponentCost(energy_pj=0.002, area_um2=4.5, latency_cycles=0.0, leakage_uw=0.004),
+    "mux2_bit": ComponentCost(energy_pj=0.0008, area_um2=1.8, latency_cycles=0.0, leakage_uw=0.001),
+    "xor_bit": ComponentCost(energy_pj=0.0006, area_um2=1.6, latency_cycles=0.0, leakage_uw=0.001),
+    # Memory accesses (per 8-bit word unless noted).
+    "rf_read_8b": ComponentCost(energy_pj=0.06, area_um2=0.0, latency_cycles=1.0),
+    "rf_write_8b": ComponentCost(energy_pj=0.06, area_um2=0.0, latency_cycles=1.0),
+    "sram_read_8b": ComponentCost(energy_pj=1.25, area_um2=0.0, latency_cycles=1.0),
+    "sram_write_8b": ComponentCost(energy_pj=1.35, area_um2=0.0, latency_cycles=1.0),
+    "noc_hop_8b": ComponentCost(energy_pj=0.35, area_um2=0.0, latency_cycles=1.0),
+    "dram_read_8b": ComponentCost(energy_pj=41.0, area_um2=0.0, latency_cycles=30.0),
+    "dram_write_8b": ComponentCost(energy_pj=41.0, area_um2=0.0, latency_cycles=30.0),
+    # Activation-function / pooling style operations.
+    "relu_8b": ComponentCost(energy_pj=0.015, area_um2=20.0, latency_cycles=1.0, leakage_uw=0.01),
+    "maxpool_compare_8b": ComponentCost(energy_pj=0.02, area_um2=30.0, latency_cycles=1.0, leakage_uw=0.01),
+    "batchnorm_8b": ComponentCost(energy_pj=0.26, area_um2=360.0, latency_cycles=1.0, leakage_uw=0.16),
+    # Digital square root (non-restoring, 16-bit radicand) -- per result.
+    "sqrt_16b": ComponentCost(energy_pj=1.60, area_um2=900.0, latency_cycles=8.0, leakage_uw=0.40),
+    # Piecewise-linear cosine unit (Eq. 5) -- one multiply + one add + compares.
+    "cosine_pwl": ComponentCost(energy_pj=0.30, area_um2=420.0, latency_cycles=1.0, leakage_uw=0.20),
+    # Crossbar peripheral: sign-detecting sense amplifier (replaces an ADC).
+    "sign_sense_amp": ComponentCost(energy_pj=0.05, area_um2=90.0, latency_cycles=1.0, leakage_uw=0.02),
+    "adc_8bit": ComponentCost(energy_pj=2.55, area_um2=3000.0, latency_cycles=1.0, leakage_uw=2.00),
+    "dac_1bit": ComponentCost(energy_pj=0.006, area_um2=20.0, latency_cycles=1.0, leakage_uw=0.005),
+}
+
+
+class CostLibrary:
+    """A queryable collection of :class:`ComponentCost` entries.
+
+    The library is keyed by operation name (see ``_ANCHOR_COSTS``) and is
+    immutable from the caller's point of view; :meth:`with_override` returns
+    a modified copy, which keeps experiment configurations reproducible.
+    """
+
+    def __init__(self, costs: Mapping[str, ComponentCost] | None = None,
+                 technology: TechnologyNode | None = None) -> None:
+        self._costs: Dict[str, ComponentCost] = dict(costs if costs is not None else _ANCHOR_COSTS)
+        self.technology = technology if technology is not None else TechnologyNode()
+
+    # -- basic access -------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._costs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._costs))
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    def get(self, name: str) -> ComponentCost:
+        """Return the cost entry for ``name``.
+
+        Raises
+        ------
+        KeyError
+            If the operation is not in the library; the error message lists
+            the closest matches to help catch typos in experiment configs.
+        """
+        try:
+            return self._costs[name]
+        except KeyError:
+            candidates = [key for key in self._costs if key.split("_")[0] == name.split("_")[0]]
+            raise KeyError(
+                f"unknown operation {name!r}; similar entries: {sorted(candidates) or sorted(self._costs)[:8]}"
+            ) from None
+
+    def energy_pj(self, name: str, count: float = 1.0) -> float:
+        """Total dynamic energy in pJ for ``count`` operations of ``name``."""
+        return self.get(name).energy_pj * count
+
+    def area_um2(self, name: str, instances: float = 1.0) -> float:
+        """Total area in um^2 for ``instances`` copies of block ``name``."""
+        return self.get(name).area_um2 * instances
+
+    def latency_cycles(self, name: str, count: float = 1.0) -> float:
+        """Total latency in cycles for ``count`` *serialized* operations."""
+        return self.get(name).latency_cycles * count
+
+    # -- derived / scaled costs --------------------------------------------
+
+    def adder(self, bits: int) -> ComponentCost:
+        """Cost of a ripple/Kogge-Stone style adder of width ``bits``.
+
+        Adder energy and area scale approximately linearly with bit width.
+        """
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        anchor = self.get("int8_add")
+        factor = bits / 8.0
+        return anchor.scaled(energy=factor, area=factor)
+
+    def multiplier(self, bits: int) -> ComponentCost:
+        """Cost of an array multiplier of width ``bits`` x ``bits``.
+
+        Multiplier energy and area scale approximately quadratically with
+        bit width.
+        """
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        anchor = self.get("int8_mult")
+        factor = (bits / 8.0) ** 2
+        return anchor.scaled(energy=factor, area=factor)
+
+    def register(self, bits: int) -> ComponentCost:
+        """Cost of a ``bits``-wide register (per write)."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        return self.get("register_bit").scaled(energy=bits, area=bits)
+
+    def sram_access(self, bits: int, write: bool = False) -> ComponentCost:
+        """Cost of reading or writing ``bits`` bits from on-chip SRAM."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        anchor = self.get("sram_write_8b" if write else "sram_read_8b")
+        return anchor.scaled(energy=bits / 8.0, area=1.0, latency=1.0)
+
+    def dram_access(self, bits: int, write: bool = False) -> ComponentCost:
+        """Cost of reading or writing ``bits`` bits from off-chip DRAM."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        anchor = self.get("dram_write_8b" if write else "dram_read_8b")
+        return anchor.scaled(energy=bits / 8.0, area=1.0, latency=1.0)
+
+    # -- customisation ------------------------------------------------------
+
+    def with_override(self, **overrides: ComponentCost) -> "CostLibrary":
+        """Return a copy of the library with some entries replaced.
+
+        Example
+        -------
+        >>> lib = DEFAULT_COST_LIBRARY.with_override(
+        ...     int8_mac=ComponentCost(energy_pj=0.5, area_um2=400.0))
+        >>> lib.get("int8_mac").energy_pj
+        0.5
+        """
+        merged = dict(self._costs)
+        merged.update(overrides)
+        return CostLibrary(merged, technology=self.technology)
+
+    def scaled_to_node(self, feature_nm: float, vdd: float | None = None) -> "CostLibrary":
+        """Return a copy scaled to a different technology node.
+
+        Dynamic energy scales as ``(L/L0) * (V/V0)^2`` and area as
+        ``(L/L0)^2`` under classic Dennard-style rules; this first-order
+        scaling is sufficient for the cross-technology comparisons in
+        Table II of the paper.
+        """
+        new_node = self.technology.scaled_to(feature_nm, vdd)
+        length_ratio = new_node.feature_nm / self.technology.feature_nm
+        voltage_ratio = new_node.vdd / self.technology.vdd
+        energy_factor = length_ratio * voltage_ratio ** 2
+        area_factor = length_ratio ** 2
+        scaled = {
+            name: cost.scaled(energy=energy_factor, area=area_factor)
+            for name, cost in self._costs.items()
+        }
+        return CostLibrary(scaled, technology=new_node)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Return a human-readable table of every entry in the library."""
+        lines = [f"Cost library @ {self.technology.name}, {self.technology.frequency_hz / 1e6:.0f} MHz"]
+        lines.append(f"{'operation':<24}{'energy (pJ)':>14}{'area (um2)':>14}{'latency (cyc)':>16}")
+        for name in self:
+            cost = self._costs[name]
+            lines.append(
+                f"{name:<24}{cost.energy_pj:>14.4f}{cost.area_um2:>14.1f}{cost.latency_cycles:>16.2f}"
+            )
+        return "\n".join(lines)
+
+
+#: Shared default instance used across the repository.  Experiments that want
+#: different constants should call :meth:`CostLibrary.with_override` rather
+#: than mutating this object.
+DEFAULT_COST_LIBRARY = CostLibrary()
+
+
+def energy_of_mac_sweep(bit_widths: Tuple[int, ...] = (4, 8, 16, 32),
+                        library: CostLibrary | None = None) -> Dict[int, float]:
+    """Convenience helper: MAC energy (pJ) as a function of operand width.
+
+    Used by documentation examples and the ablation benchmarks to show how
+    the INT8 datapath choice (paper Sec. IV-A) affects baseline energy.
+    """
+    lib = library if library is not None else DEFAULT_COST_LIBRARY
+    result: Dict[int, float] = {}
+    for bits in bit_widths:
+        mult = lib.multiplier(bits)
+        add = lib.adder(max(2 * bits, 8))
+        result[bits] = mult.energy_pj + add.energy_pj
+    return result

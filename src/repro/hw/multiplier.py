@@ -1,0 +1,148 @@
+"""Multiplier models used by the post-processing unit.
+
+After the CAM returns a Hamming distance and the cosine unit converts it to
+an angular similarity, DeepCAM multiplies the cosine output by the L2 norms
+of the weight and activation vectors (paper Eq. 4).  The norms are stored in
+an 8-bit minifloat format, so two flavours of multiplier are modelled here:
+
+* :class:`FixedPointMultiplier` -- a conventional integer/fixed-point array
+  multiplier with saturation, used for the cosine x norm products once the
+  norms have been expanded to fixed point.
+* :class:`MinifloatMultiplier` -- multiplies two minifloat-encoded norms
+  directly in the compressed domain (add exponents, multiply mantissas),
+  which is how the hardware avoids carrying full-precision norms around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.minifloat import Minifloat
+from repro.hw.components import ComponentCost, CostLibrary, DEFAULT_COST_LIBRARY
+
+
+@dataclass(frozen=True)
+class MultiplyResult:
+    """Product value together with the energy spent producing it."""
+
+    value: float
+    energy_pj: float
+    saturated: bool = False
+
+
+class FixedPointMultiplier:
+    """Signed fixed-point multiplier with configurable word and fraction bits.
+
+    Parameters
+    ----------
+    word_bits:
+        Total width of each operand including the sign bit.
+    fraction_bits:
+        Number of fractional bits in each operand.
+    library:
+        Cost library used for energy/area.
+    """
+
+    def __init__(self, word_bits: int = 16, fraction_bits: int = 8,
+                 library: CostLibrary | None = None) -> None:
+        if word_bits <= 1:
+            raise ValueError("word_bits must be at least 2")
+        if not 0 <= fraction_bits < word_bits:
+            raise ValueError("fraction_bits must be in [0, word_bits)")
+        self.word_bits = int(word_bits)
+        self.fraction_bits = int(fraction_bits)
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+
+    @property
+    def scale(self) -> float:
+        """Value of one LSB."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable operand value."""
+        return (2 ** (self.word_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable operand value."""
+        return -(2 ** (self.word_bits - 1)) * self.scale
+
+    def quantize(self, value: float) -> float:
+        """Round ``value`` to the operand grid, saturating at the rails."""
+        clipped = float(np.clip(value, self.min_value, self.max_value))
+        return round(clipped / self.scale) * self.scale
+
+    def hardware_cost(self) -> ComponentCost:
+        """Cost of one multiplication."""
+        return self.library.multiplier(self.word_bits)
+
+    def multiply(self, a: float, b: float) -> MultiplyResult:
+        """Quantize both operands, multiply and saturate the product."""
+        qa = self.quantize(a)
+        qb = self.quantize(b)
+        product = qa * qb
+        saturated = False
+        if product > self.max_value or product < self.min_value:
+            product = float(np.clip(product, self.min_value, self.max_value))
+            saturated = True
+        # Product keeps the operand grid (the hardware truncates the extra
+        # fraction bits after the multiply).
+        product = round(product / self.scale) * self.scale
+        return MultiplyResult(value=product, energy_pj=self.hardware_cost().energy_pj,
+                              saturated=saturated)
+
+    def multiply_array(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, float]:
+        """Vectorised multiply; returns products and total energy."""
+        a_arr = np.asarray(a, dtype=np.float64)
+        b_arr = np.asarray(b, dtype=np.float64)
+        qa = np.clip(np.round(a_arr / self.scale) * self.scale, self.min_value, self.max_value)
+        qb = np.clip(np.round(b_arr / self.scale) * self.scale, self.min_value, self.max_value)
+        product = np.clip(qa * qb, self.min_value, self.max_value)
+        product = np.round(product / self.scale) * self.scale
+        energy = self.hardware_cost().energy_pj * product.size
+        return product, energy
+
+
+class MinifloatMultiplier:
+    """Multiplies two 8-bit minifloat operands in the encoded domain.
+
+    The L2 norms of weight and activation contexts are stored as 8-bit
+    minifloats (paper Sec. III-A); their product ``||x|| * ||y||`` is needed
+    for every output pixel, so the hardware multiplies the encoded values
+    directly: exponents add, mantissas multiply, then the result is
+    re-normalised back into the minifloat grid.
+    """
+
+    def __init__(self, fmt: Minifloat | None = None,
+                 library: CostLibrary | None = None) -> None:
+        self.fmt = fmt if fmt is not None else Minifloat()
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+
+    def hardware_cost(self) -> ComponentCost:
+        """Cost of one encoded-domain multiplication."""
+        return self.library.get("minifloat8_mult")
+
+    def multiply(self, a: float, b: float) -> MultiplyResult:
+        """Multiply two values as their minifloat encodings would.
+
+        Both operands are first snapped onto the minifloat grid (the error a
+        real datapath would already carry), multiplied exactly, then the
+        product is snapped again -- mirroring a normalise-and-round stage.
+        """
+        qa = self.fmt.quantize(a)
+        qb = self.fmt.quantize(b)
+        product = self.fmt.quantize(qa * qb)
+        saturated = abs(qa * qb) > self.fmt.max_value
+        return MultiplyResult(value=product, energy_pj=self.hardware_cost().energy_pj,
+                              saturated=saturated)
+
+    def multiply_array(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, float]:
+        """Vectorised encoded-domain multiply; returns products and energy."""
+        qa = self.fmt.quantize_array(np.asarray(a, dtype=np.float64))
+        qb = self.fmt.quantize_array(np.asarray(b, dtype=np.float64))
+        product = self.fmt.quantize_array(qa * qb)
+        energy = self.hardware_cost().energy_pj * product.size
+        return product, energy

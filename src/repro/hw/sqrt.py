@@ -1,0 +1,162 @@
+"""Non-restoring digital square-root module.
+
+The on-the-fly activation-context generator (paper Sec. III-C) finishes the
+L2-norm computation with "a simple adder tree and a digital square-root
+module".  This module provides a bit-accurate model of the classic
+non-restoring integer square-root algorithm -- the same iterative shift/
+subtract structure a synthesized RTL implementation would use -- together
+with its energy/latency cost.  A fractional mode refines the integer result
+with a configurable number of binary fraction bits so the norm fed to the
+minifloat encoder keeps enough precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.components import ComponentCost, CostLibrary, DEFAULT_COST_LIBRARY
+
+
+@dataclass(frozen=True)
+class SqrtResult:
+    """Result of one square-root evaluation.
+
+    Attributes
+    ----------
+    value:
+        The computed root (integer part plus optional binary fraction).
+    iterations:
+        Number of shift/subtract iterations executed, i.e. the latency in
+        cycles of an iterative implementation.
+    energy_pj:
+        Dynamic energy of the evaluation.
+    exact:
+        ``True`` when the radicand was a perfect square (integer mode only).
+    """
+
+    value: float
+    iterations: int
+    energy_pj: float
+    exact: bool
+
+
+class DigitalSquareRoot:
+    """Iterative non-restoring square root over ``radicand_bits``-wide inputs.
+
+    Parameters
+    ----------
+    radicand_bits:
+        Width of the integer radicand the unit accepts.  The L2-norm unit in
+        DeepCAM uses 16-bit sums of squares by default.
+    fraction_bits:
+        Number of binary fraction bits appended to the result.  Each fraction
+        bit costs one extra iteration, matching a hardware implementation
+        that left-shifts the remainder by two per extra bit.
+    library:
+        Cost library supplying per-iteration adder/subtractor energy.
+    """
+
+    def __init__(self, radicand_bits: int = 16, fraction_bits: int = 4,
+                 library: CostLibrary | None = None) -> None:
+        if radicand_bits <= 0 or radicand_bits > 64:
+            raise ValueError("radicand_bits must be in 1..64")
+        if fraction_bits < 0 or fraction_bits > 16:
+            raise ValueError("fraction_bits must be in 0..16")
+        self.radicand_bits = int(radicand_bits)
+        self.fraction_bits = int(fraction_bits)
+        self.library = library if library is not None else DEFAULT_COST_LIBRARY
+
+    # -- cost model -----------------------------------------------------------
+
+    @property
+    def iterations_per_op(self) -> int:
+        """Iterations (cycles) needed for one full-precision evaluation."""
+        return self.radicand_bits // 2 + self.fraction_bits
+
+    def hardware_cost(self) -> ComponentCost:
+        """Area and per-operation energy/latency of the iterative unit."""
+        # One subtractor/adder of the remainder width plus control muxes.
+        remainder_bits = self.radicand_bits + 2 * self.fraction_bits + 2
+        adder = self.library.adder(remainder_bits)
+        mux = self.library.get("mux2_bit").scaled(energy=remainder_bits, area=remainder_bits)
+        register = self.library.register(remainder_bits)
+        per_iteration_energy = adder.energy_pj + mux.energy_pj + register.energy_pj
+        return ComponentCost(
+            energy_pj=per_iteration_energy * self.iterations_per_op,
+            area_um2=adder.area_um2 + mux.area_um2 + register.area_um2,
+            latency_cycles=float(self.iterations_per_op),
+            leakage_uw=adder.leakage_uw + mux.leakage_uw + register.leakage_uw,
+        )
+
+    # -- functional model -----------------------------------------------------
+
+    def isqrt(self, radicand: int) -> SqrtResult:
+        """Integer square root (floor) via the non-restoring algorithm."""
+        if radicand < 0:
+            raise ValueError("radicand must be non-negative")
+        max_value = (1 << self.radicand_bits) - 1
+        if radicand > max_value:
+            raise ValueError(
+                f"radicand {radicand} does not fit in {self.radicand_bits} bits"
+            )
+        root = 0
+        remainder = 0
+        value = int(radicand)
+        iterations = self.radicand_bits // 2
+        for step in range(iterations - 1, -1, -1):
+            # Bring down the next two bits of the radicand.
+            remainder = (remainder << 2) | ((value >> (2 * step)) & 0b11)
+            trial = (root << 2) | 1
+            root <<= 1
+            if remainder >= trial:
+                remainder -= trial
+                root |= 1
+        cost = self.hardware_cost()
+        per_iteration_energy = cost.energy_pj / self.iterations_per_op
+        return SqrtResult(
+            value=float(root),
+            iterations=iterations,
+            energy_pj=per_iteration_energy * iterations,
+            exact=(root * root == radicand),
+        )
+
+    def sqrt(self, radicand: float) -> SqrtResult:
+        """Square root with ``fraction_bits`` binary fraction bits.
+
+        The radicand may be fractional; it is scaled by ``4**fraction_bits``
+        (two left shifts per fraction bit), rounded to an integer, rooted,
+        then scaled back -- exactly what a fixed-point RTL unit does.
+        """
+        if radicand < 0:
+            raise ValueError("radicand must be non-negative")
+        scale = 4 ** self.fraction_bits
+        scaled = int(round(radicand * scale))
+        max_value = (1 << (self.radicand_bits + 2 * self.fraction_bits)) - 1
+        if scaled > max_value:
+            raise ValueError(
+                f"radicand {radicand} does not fit in the scaled datapath"
+            )
+        # Run the integer algorithm on the widened radicand.
+        wide = DigitalSquareRoot(
+            radicand_bits=self.radicand_bits + 2 * self.fraction_bits,
+            fraction_bits=0,
+            library=self.library,
+        )
+        integer_result = wide.isqrt(scaled)
+        value = integer_result.value / (2 ** self.fraction_bits)
+        return SqrtResult(
+            value=value,
+            iterations=self.iterations_per_op,
+            energy_pj=self.hardware_cost().energy_pj,
+            exact=math.isclose(value * value, radicand, rel_tol=0.0, abs_tol=1.0 / scale),
+        )
+
+    def relative_error(self, radicand: float) -> float:
+        """Relative error of the fixed-point root against ``math.sqrt``."""
+        if radicand < 0:
+            raise ValueError("radicand must be non-negative")
+        if radicand == 0:
+            return 0.0
+        reference = math.sqrt(radicand)
+        return abs(self.sqrt(radicand).value - reference) / reference

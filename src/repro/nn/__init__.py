@@ -1,0 +1,52 @@
+"""Minimal NumPy CNN framework.
+
+The DeepCAM paper evaluates pre-trained PyTorch models (LeNet5, VGG11,
+VGG16, ResNet18).  PyTorch is not available in this offline reproduction, so
+this subpackage provides a small but complete CNN framework built on NumPy:
+
+* :mod:`repro.nn.functional` -- im2col/col2im, convolution, pooling,
+  softmax and cross-entropy primitives.
+* :mod:`repro.nn.layers` -- layer modules (Conv2d, Linear, ReLU, pooling,
+  BatchNorm2d, Flatten, Sequential) with forward *and* backward passes so
+  small models can be trained from scratch on the synthetic datasets.
+* :mod:`repro.nn.optim` -- SGD (with momentum) and Adam optimisers.
+* :mod:`repro.nn.losses` -- cross-entropy and MSE losses.
+* :mod:`repro.nn.train` -- a training/evaluation loop.
+* :mod:`repro.nn.quantize` -- INT8 post-training quantisation used by the
+  Eyeriss/CPU baselines' datapath assumptions.
+* :mod:`repro.nn.models` -- LeNet5, VGG11/16 and ResNet18 builders plus the
+  layer-shape traces consumed by the performance models.
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.train import Trainer, evaluate_accuracy
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Flatten",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "MSELoss",
+    "ReLU",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "Trainer",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,252 @@
+"""Functional primitives for the NumPy CNN framework.
+
+All tensors follow the NCHW layout (``batch, channels, height, width``) and
+are ``float64`` unless otherwise stated.  The convolution primitives are
+implemented with im2col/col2im so that a convolution becomes a single matrix
+multiplication -- which is also exactly the view the DeepCAM mapper takes
+when it lowers a convolution onto the CAM (each im2col row is one
+"activation context", each filter one "weight context").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def _pair(value: int | Tuple[int, int]) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument into a pair."""
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise ValueError("expected a pair")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: Tuple[int, int]) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    pad_h, pad_w = padding
+    if pad_h == 0 and pad_w == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant")
+
+
+def im2col(x: np.ndarray, kernel_size: int | Tuple[int, int],
+           stride: int | Tuple[int, int] = 1,
+           padding: int | Tuple[int, int] = 0) -> np.ndarray:
+    """Unfold an NCHW tensor into convolution patches.
+
+    Returns an array of shape ``(batch, out_h * out_w, channels * kh * kw)``
+    where each row is one receptive-field patch -- the "activation context"
+    vector DeepCAM hashes.
+    """
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    padded = pad_nchw(x, (ph, pw))
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    # (batch, out_h, out_w, channels, kh, kw) -> (batch, out_h*out_w, C*kh*kw)
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch, out_h * out_w, channels * kh * kw)
+    return cols
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+           kernel_size: int | Tuple[int, int],
+           stride: int | Tuple[int, int] = 1,
+           padding: int | Tuple[int, int] = 0) -> np.ndarray:
+    """Fold patch gradients back into an NCHW tensor (adjoint of im2col)."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    expected = (batch, out_h * out_w, channels * kh * kw)
+    if cols.shape != expected:
+        raise ValueError(f"cols has shape {cols.shape}, expected {expected}")
+
+    cols6 = cols.reshape(batch, out_h, out_w, channels, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols6[:, :, i, j, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph:height + ph, pw:width + pw]
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           stride: int | Tuple[int, int] = 1,
+           padding: int | Tuple[int, int] = 0) -> np.ndarray:
+    """2-D convolution (cross-correlation) of an NCHW input.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_channels, H, W)``.
+    weight:
+        Filters of shape ``(out_channels, in_channels, kH, kW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(out_channels,)``.
+    """
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ValueError("x must be NCHW and weight must be OIHW")
+    out_channels, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    batch = x.shape[0]
+    out_h = conv_output_size(x.shape[2], kh, sh, ph)
+    out_w = conv_output_size(x.shape[3], kw, sw, pw)
+
+    cols = im2col(x, (kh, kw), (sh, sw), (ph, pw))          # (B, P, C*kh*kw)
+    w_mat = weight.reshape(out_channels, -1)                 # (O, C*kh*kw)
+    out = cols @ w_mat.T                                     # (B, P, O)
+    if bias is not None:
+        out = out + bias.reshape(1, 1, -1)
+    return out.transpose(0, 2, 1).reshape(batch, out_channels, out_h, out_w)
+
+
+def max_pool2d(x: np.ndarray, kernel_size: int | Tuple[int, int],
+               stride: int | Tuple[int, int] | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns the pooled tensor and the argmax indices.
+
+    The indices (flat within each pooling window) are needed by the backward
+    pass and by tests that check gradient routing.
+    """
+    kh, kw = _pair(kernel_size)
+    stride = (kh, kw) if stride is None else _pair(stride)
+    sh, sw = stride
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kh, sh, 0)
+    out_w = conv_output_size(width, kw, sw, 0)
+
+    # View as patches per channel: treat channels as batch for im2col.
+    reshaped = x.reshape(batch * channels, 1, height, width)
+    cols = im2col(reshaped, (kh, kw), (sh, sw), 0)            # (B*C, P, kh*kw)
+    argmax = np.argmax(cols, axis=2)
+    pooled = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
+    pooled = pooled.reshape(batch, channels, out_h, out_w)
+    return pooled, argmax.reshape(batch, channels, out_h * out_w)
+
+
+def max_pool2d_backward(grad_out: np.ndarray, argmax: np.ndarray,
+                        input_shape: Tuple[int, int, int, int],
+                        kernel_size: int | Tuple[int, int],
+                        stride: int | Tuple[int, int] | None = None) -> np.ndarray:
+    """Backward pass of :func:`max_pool2d`."""
+    kh, kw = _pair(kernel_size)
+    stride = (kh, kw) if stride is None else _pair(stride)
+    batch, channels, height, width = input_shape
+    out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+
+    cols_grad = np.zeros((batch * channels, out_h * out_w, kh * kw), dtype=grad_out.dtype)
+    flat_grad = grad_out.reshape(batch * channels, out_h * out_w)
+    flat_argmax = argmax.reshape(batch * channels, out_h * out_w)
+    np.put_along_axis(cols_grad, flat_argmax[:, :, None], flat_grad[:, :, None], axis=2)
+    grad_in = col2im(cols_grad, (batch * channels, 1, height, width), (kh, kw), stride, 0)
+    return grad_in.reshape(batch, channels, height, width)
+
+
+def avg_pool2d(x: np.ndarray, kernel_size: int | Tuple[int, int],
+               stride: int | Tuple[int, int] | None = None) -> np.ndarray:
+    """Average pooling."""
+    kh, kw = _pair(kernel_size)
+    stride = (kh, kw) if stride is None else _pair(stride)
+    sh, sw = stride
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kh, sh, 0)
+    out_w = conv_output_size(width, kw, sw, 0)
+    reshaped = x.reshape(batch * channels, 1, height, width)
+    cols = im2col(reshaped, (kh, kw), (sh, sw), 0)
+    pooled = cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
+    return pooled
+
+
+def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
+    """Global average pooling to a 1x1 spatial size."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, num_classes)`` raw scores.
+    labels:
+        ``(batch,)`` integer class indices.
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    batch = logits.shape[0]
+    if labels.shape != (batch,):
+        raise ValueError("labels must be a 1-D integer array matching the batch size")
+    log_probs = log_softmax(logits, axis=1)
+    loss = -float(np.mean(log_probs[np.arange(batch), labels]))
+    grad = softmax(logits, axis=1)
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def kaiming_normal(shape: Tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He-normal initialisation suited to ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,434 @@
+"""Layer modules with forward and backward passes.
+
+A deliberately small module system: every layer is a :class:`Module` with
+``forward`` / ``backward`` methods, a dictionary of parameters and matching
+gradients, and a ``train``/``eval`` mode flag (used by batch-norm).  The
+:class:`Sequential` container is enough to express LeNet5 and the VGG
+family; ResNet18's skip connections are handled by the dedicated
+:class:`~repro.nn.models.resnet.BasicBlock` module.
+
+Conv2d and Linear additionally expose :meth:`Conv2d.weight_matrix` /
+:meth:`Linear.weight_matrix`, the flattened per-output-neuron weight vectors
+that the DeepCAM context generator hashes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Module:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward` and register
+    parameters in ``self.params`` with matching entries in ``self.grads``.
+    """
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    # -- interface ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``grad_output`` and accumulate parameter gradients."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- mode / parameter management ----------------------------------------------
+
+    def train(self) -> "Module":
+        """Switch to training mode (affects batch-norm statistics)."""
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    def children(self) -> Iterator["Module"]:
+        """Yield direct sub-modules."""
+        return iter(())
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(name, parameter)`` pairs for this module and children."""
+        for name, value in self.params.items():
+            yield f"{prefix}{name}", value
+        for index, child in enumerate(self.children()):
+            yield from child.named_parameters(prefix=f"{prefix}{index}.")
+
+    def parameters(self) -> List[np.ndarray]:
+        """All parameter arrays (shared references, suitable for an optimiser)."""
+        return [param for _, param in self.named_parameters()]
+
+    def parameter_gradients(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """``(parameter, gradient)`` pairs aligned for an optimiser step."""
+        pairs: List[Tuple[np.ndarray, np.ndarray]] = []
+        for module in self.modules():
+            for name in module.params:
+                pairs.append((module.params[name], module.grads[name]))
+        return pairs
+
+    def zero_grad(self) -> None:
+        """Reset all accumulated gradients to zero."""
+        for module in self.modules():
+            for name in module.grads:
+                module.grads[name][...] = 0.0
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # -- (de)serialisation -----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter names to copies of their values."""
+        return {name: param.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters saved by :meth:`state_dict` (shapes must match)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.shape} vs {state[name].shape}")
+            param[...] = state[name]
+
+
+class Conv2d(Module):
+    """2-D convolution layer (OIHW weights, NCHW activations)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channel counts and kernel size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.has_bias = bias
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params["weight"] = F.kaiming_normal(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        self.grads["weight"] = np.zeros_like(self.params["weight"])
+        if bias:
+            self.params["bias"] = np.zeros(out_channels)
+            self.grads["bias"] = np.zeros_like(self.params["bias"])
+        self._cache: tuple | None = None
+
+    @property
+    def weight(self) -> np.ndarray:
+        """The OIHW filter tensor."""
+        return self.params["weight"]
+
+    @property
+    def bias(self) -> np.ndarray | None:
+        """The per-channel bias vector, or ``None``."""
+        return self.params.get("bias")
+
+    def weight_matrix(self) -> np.ndarray:
+        """Filters flattened to ``(out_channels, in_channels*kh*kw)``.
+
+        Each row is one "weight context" vector in DeepCAM terminology.
+        """
+        return self.params["weight"].reshape(self.out_channels, -1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols = F.im2col(x, self.kernel_size, self.stride, self.padding)
+        w_mat = self.weight_matrix()
+        out = cols @ w_mat.T
+        if self.has_bias:
+            out = out + self.params["bias"].reshape(1, 1, -1)
+        batch = x.shape[0]
+        out_h = F.conv_output_size(x.shape[2], self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(x.shape[3], self.kernel_size, self.stride, self.padding)
+        self._cache = (x.shape, cols)
+        return out.transpose(0, 2, 1).reshape(batch, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, cols = self._cache
+        batch, _, out_h, out_w = grad_output.shape
+        grad_mat = grad_output.reshape(batch, self.out_channels, out_h * out_w)
+        grad_mat = grad_mat.transpose(0, 2, 1)                     # (B, P, O)
+
+        w_mat = self.weight_matrix()                               # (O, K)
+        grad_w = np.einsum("bpo,bpk->ok", grad_mat, cols)
+        self.grads["weight"] += grad_w.reshape(self.params["weight"].shape)
+        if self.has_bias:
+            self.grads["bias"] += grad_mat.sum(axis=(0, 1))
+
+        grad_cols = grad_mat @ w_mat                               # (B, P, K)
+        return F.col2im(grad_cols, input_shape, self.kernel_size, self.stride, self.padding)
+
+    def output_shape(self, input_hw: Tuple[int, int]) -> Tuple[int, int]:
+        """Spatial output size for a given spatial input size."""
+        out_h = F.conv_output_size(input_hw[0], self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(input_hw[1], self.kernel_size, self.stride, self.padding)
+        return out_h, out_w
+
+
+class Linear(Module):
+    """Fully connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.has_bias = bias
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.params["weight"] = F.kaiming_normal((out_features, in_features), in_features, rng)
+        self.grads["weight"] = np.zeros_like(self.params["weight"])
+        if bias:
+            self.params["bias"] = np.zeros(out_features)
+            self.grads["bias"] = np.zeros_like(self.params["bias"])
+        self._cache: np.ndarray | None = None
+
+    @property
+    def weight(self) -> np.ndarray:
+        """The ``(out_features, in_features)`` weight matrix."""
+        return self.params["weight"]
+
+    @property
+    def bias(self) -> np.ndarray | None:
+        """The bias vector, or ``None``."""
+        return self.params.get("bias")
+
+    def weight_matrix(self) -> np.ndarray:
+        """Alias of :attr:`weight`; each row is one weight context."""
+        return self.params["weight"]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected input of shape (batch, {self.in_features}), got {x.shape}")
+        self._cache = x
+        out = x @ self.params["weight"].T
+        if self.has_bias:
+            out = out + self.params["bias"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache
+        self.grads["weight"] += grad_output.T @ x
+        if self.has_bias:
+            self.grads["bias"] += grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pooled, argmax = F.max_pool2d(x, self.kernel_size, self.stride)
+        self._cache = (x.shape, argmax)
+        return pooled
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, argmax = self._cache
+        return F.max_pool2d_backward(grad_output, argmax, input_shape,
+                                     self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._input_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        k = self.kernel_size
+        s = self.stride
+        grad_in = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+        share = grad_output / (k * k)
+        for i in range(out_h):
+            for j in range(out_w):
+                grad_in[:, :, i * s:i * s + k, j * s:j * s + k] += share[:, :, i:i + 1, j:j + 1]
+        return grad_in
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.params["gamma"] = np.ones(num_features)
+        self.params["beta"] = np.zeros(num_features)
+        self.grads["gamma"] = np.zeros(num_features)
+        self.grads["beta"] = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(f"expected NCHW input with {self.num_features} channels, got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        normalised = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+        self._cache = (normalised, std)
+        return (self.params["gamma"].reshape(1, -1, 1, 1) * normalised
+                + self.params["beta"].reshape(1, -1, 1, 1))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalised, std = self._cache
+        gamma = self.params["gamma"].reshape(1, -1, 1, 1)
+        count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+
+        self.grads["gamma"] += (grad_output * normalised).sum(axis=(0, 2, 3))
+        self.grads["beta"] += grad_output.sum(axis=(0, 2, 3))
+
+        grad_norm = grad_output * gamma
+        grad_mean = grad_norm.sum(axis=(0, 2, 3), keepdims=True)
+        grad_dot = (grad_norm * normalised).sum(axis=(0, 2, 3), keepdims=True)
+        grad_in = (grad_norm - grad_mean / count - normalised * grad_dot / count)
+        return grad_in / std.reshape(1, -1, 1, 1)
+
+    def fold_into_affine(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-channel ``(scale, shift)`` equivalent at inference time.
+
+        DeepCAM's post-processing module applies batch-norm digitally after
+        the CAM dot-product; folding it to an affine form is how the
+        hardware implements it.
+        """
+        std = np.sqrt(self.running_var + self.eps)
+        scale = self.params["gamma"] / std
+        shift = self.params["beta"] - self.running_mean * scale
+        return scale, shift
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+class Sequential(Module):
+    """Runs sub-modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def children(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end."""
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

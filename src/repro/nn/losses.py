@@ -1,0 +1,55 @@
+"""Loss functions for training the NumPy CNN models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the scalar loss; ``backward`` returns the gradient
+    with respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self) -> None:
+        self._grad: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        loss, grad = F.cross_entropy(logits, np.asarray(labels, dtype=np.int64))
+        self._grad = grad
+        return loss
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+    def backward(self) -> np.ndarray:
+        if self._grad is None:
+            raise RuntimeError("backward called before forward")
+        return self._grad
+
+
+class MSELoss:
+    """Mean squared error, used by regression-style unit tests."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError("predictions and targets must have the same shape")
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size

@@ -1,0 +1,24 @@
+"""CNN model builders evaluated by the paper.
+
+The paper evaluates LeNet5 (MNIST), VGG11 (CIFAR10), VGG16 (CIFAR100) and
+ResNet18 (CIFAR100).  Every builder here accepts a ``width_multiplier`` so
+that functionally identical but narrower models can be trained/evaluated on
+CPU within the reproduction's budget; the *performance* experiments (cycles,
+energy) always use the full-size layer shape traces from
+:mod:`repro.evaluation.workloads`, which do not require instantiating
+weights.
+"""
+
+from repro.nn.models.lenet import build_lenet5
+from repro.nn.models.resnet import BasicBlock, ResNet18, build_resnet18
+from repro.nn.models.vgg import build_vgg, build_vgg11, build_vgg16
+
+__all__ = [
+    "BasicBlock",
+    "ResNet18",
+    "build_lenet5",
+    "build_resnet18",
+    "build_vgg",
+    "build_vgg11",
+    "build_vgg16",
+]

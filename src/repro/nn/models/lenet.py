@@ -1,0 +1,69 @@
+"""LeNet5 (LeCun et al., 1998) -- the MNIST workload of the paper.
+
+The classic topology for 32x32 single-channel inputs:
+
+    conv 6@5x5 -> ReLU -> maxpool 2x2
+    conv 16@5x5 -> ReLU -> maxpool 2x2
+    fc 120 -> ReLU -> fc 84 -> ReLU -> fc num_classes
+
+28x28 MNIST-style inputs are handled by padding the first convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+
+
+def build_lenet5(num_classes: int = 10, in_channels: int = 1, input_size: int = 32,
+                 width_multiplier: float = 1.0, seed: int = 0) -> Sequential:
+    """Build a LeNet5 model.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes.
+    in_channels:
+        Input channels (1 for MNIST-style data).
+    input_size:
+        Spatial input size; 32 (original) and 28 (MNIST native, padded) are
+        supported.
+    width_multiplier:
+        Scales the channel/feature counts; 1.0 is the original topology.
+    seed:
+        Weight-initialisation seed.
+    """
+    if input_size not in (28, 32):
+        raise ValueError("LeNet5 supports input sizes 28 and 32")
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+
+    rng = np.random.default_rng(seed)
+    c1 = max(1, round(6 * width_multiplier))
+    c2 = max(1, round(16 * width_multiplier))
+    f1 = max(num_classes, round(120 * width_multiplier))
+    f2 = max(num_classes, round(84 * width_multiplier))
+
+    first_padding = 2 if input_size == 28 else 0
+    # With padding=2 a 28x28 input behaves exactly like a 32x32 input.
+    spatial_after_conv1 = 28
+    spatial_after_pool1 = spatial_after_conv1 // 2        # 14
+    spatial_after_conv2 = spatial_after_pool1 - 4          # 10
+    spatial_after_pool2 = spatial_after_conv2 // 2         # 5
+    flat_features = c2 * spatial_after_pool2 * spatial_after_pool2
+
+    return Sequential(
+        Conv2d(in_channels, c1, kernel_size=5, padding=first_padding, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(c1, c2, kernel_size=5, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(flat_features, f1, rng=rng),
+        ReLU(),
+        Linear(f1, f2, rng=rng),
+        ReLU(),
+        Linear(f2, num_classes, rng=rng),
+    )

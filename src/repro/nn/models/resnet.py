@@ -1,0 +1,137 @@
+"""ResNet18 (He et al., 2016) for 32x32 CIFAR-style inputs.
+
+The CIFAR adaptation of ResNet18: a 3x3 stem convolution (no max pool), four
+stages of two :class:`BasicBlock`\\ s each with channel widths
+64/128/256/512, global average pooling and a single linear classifier.  The
+skip connections require a module that is not expressible with
+:class:`~repro.nn.layers.Sequential`, so the block and the network are
+written as explicit modules with hand-rolled backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, Module, ReLU, Sequential
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection.
+
+    When the block changes the channel count or spatial stride, the shortcut
+    path applies a 1x1 convolution (with batch-norm) to match shapes.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, kernel_size=3, stride=stride,
+                            padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, kernel_size=3, stride=1,
+                            padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+
+        self.downsample: Sequential | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, kernel_size=1, stride=stride,
+                       bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+
+    def children(self) -> Iterator[Module]:
+        children: List[Module] = [self.conv1, self.bn1, self.relu1,
+                                  self.conv2, self.bn2, self.relu2]
+        if self.downsample is not None:
+            children.append(self.downsample)
+        return iter(children)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + identity)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_sum = self.relu2.backward(grad_output)
+        # Main path.
+        grad_main = self.conv1.backward(
+            self.bn1.backward(
+                self.relu1.backward(
+                    self.conv2.backward(self.bn2.backward(grad_sum)))))
+        # Shortcut path.
+        if self.downsample is not None:
+            grad_identity = self.downsample.backward(grad_sum)
+        else:
+            grad_identity = grad_sum
+        return grad_main + grad_identity
+
+
+class ResNet18(Module):
+    """CIFAR-style ResNet18."""
+
+    #: Blocks per stage for ResNet18.
+    STAGE_BLOCKS = (2, 2, 2, 2)
+    #: Base channel widths per stage.
+    STAGE_CHANNELS = (64, 128, 256, 512)
+
+    def __init__(self, num_classes: int = 100, in_channels: int = 3,
+                 width_multiplier: float = 1.0, seed: int = 0) -> None:
+        super().__init__()
+        if width_multiplier <= 0:
+            raise ValueError("width_multiplier must be positive")
+        rng = np.random.default_rng(seed)
+        widths = [max(1, round(c * width_multiplier)) for c in self.STAGE_CHANNELS]
+
+        self.stem_conv = Conv2d(in_channels, widths[0], kernel_size=3, padding=1,
+                                bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.stem_relu = ReLU()
+
+        self.blocks: List[BasicBlock] = []
+        channels = widths[0]
+        for stage, (num_blocks, out_channels) in enumerate(zip(self.STAGE_BLOCKS, widths)):
+            for block_index in range(num_blocks):
+                stride = 2 if (stage > 0 and block_index == 0) else 1
+                self.blocks.append(BasicBlock(channels, out_channels, stride=stride, rng=rng))
+                channels = out_channels
+
+        self.classifier = Linear(channels, num_classes, rng=rng)
+        self._pool_input_shape: tuple | None = None
+
+    def children(self) -> Iterator[Module]:
+        return iter([self.stem_conv, self.stem_bn, self.stem_relu,
+                     *self.blocks, self.classifier])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.stem_relu(self.stem_bn(self.stem_conv(x)))
+        for block in self.blocks:
+            out = block(out)
+        self._pool_input_shape = out.shape
+        pooled = F.global_avg_pool2d(out).reshape(out.shape[0], -1)
+        return self.classifier(pooled)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._pool_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = self.classifier.backward(grad_output)
+        batch, channels, height, width = self._pool_input_shape
+        grad = grad.reshape(batch, channels, 1, 1) / (height * width)
+        grad = np.broadcast_to(grad, self._pool_input_shape).copy()
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.stem_conv.backward(self.stem_bn.backward(self.stem_relu.backward(grad)))
+
+
+def build_resnet18(num_classes: int = 100, in_channels: int = 3,
+                   width_multiplier: float = 1.0, seed: int = 0) -> ResNet18:
+    """Build a CIFAR-style ResNet18, the paper's CIFAR100 workload."""
+    return ResNet18(num_classes=num_classes, in_channels=in_channels,
+                    width_multiplier=width_multiplier, seed=seed)

@@ -1,0 +1,100 @@
+"""VGG11 and VGG16 (Simonyan & Zisserman) for 32x32 CIFAR-style inputs.
+
+The paper evaluates VGG11 on CIFAR10 and VGG16 on CIFAR100.  The standard
+CIFAR adaptation is used: five max-pool stages reduce 32x32 down to 1x1, the
+classifier is a single fully connected layer, and batch-norm follows every
+convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+
+#: Layer plans: integers are conv output-channel counts, "M" is a 2x2 max pool.
+VGG_PLANS: dict[str, tuple] = {
+    "vgg11": (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg13": (64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg16": (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"),
+    "vgg19": (64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"),
+}
+
+
+def build_vgg(plan: str | Sequence, num_classes: int = 10, in_channels: int = 3,
+              input_size: int = 32, width_multiplier: float = 1.0,
+              batch_norm: bool = True, seed: int = 0) -> Sequential:
+    """Build a VGG-style model from a plan.
+
+    Parameters
+    ----------
+    plan:
+        Either a named plan (``"vgg11"``, ``"vgg16"``, ...) or an explicit
+        sequence mixing channel counts and ``"M"`` pooling markers.
+    num_classes / in_channels / input_size:
+        Dataset geometry; ``input_size`` must be divisible by ``2**n_pools``.
+    width_multiplier:
+        Scales every conv width (minimum one channel).
+    batch_norm:
+        Insert BatchNorm2d after each convolution (the CIFAR-standard
+        configuration, and the one the paper's accuracy numbers imply).
+    """
+    if isinstance(plan, str):
+        if plan not in VGG_PLANS:
+            raise ValueError(f"unknown VGG plan {plan!r}; known: {sorted(VGG_PLANS)}")
+        plan_items: Sequence = VGG_PLANS[plan]
+    else:
+        plan_items = tuple(plan)
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+
+    num_pools = sum(1 for item in plan_items if item == "M")
+    if input_size % (2 ** num_pools) != 0:
+        raise ValueError(
+            f"input_size {input_size} is not divisible by 2^{num_pools}"
+        )
+    final_spatial = input_size // (2 ** num_pools)
+
+    rng = np.random.default_rng(seed)
+    layers = []
+    channels = in_channels
+    for item in plan_items:
+        if item == "M":
+            layers.append(MaxPool2d(2))
+            continue
+        out_channels = max(1, round(int(item) * width_multiplier))
+        layers.append(Conv2d(channels, out_channels, kernel_size=3, padding=1, rng=rng))
+        if batch_norm:
+            layers.append(BatchNorm2d(out_channels))
+        layers.append(ReLU())
+        channels = out_channels
+
+    layers.append(Flatten())
+    layers.append(Linear(channels * final_spatial * final_spatial, num_classes, rng=rng))
+    return Sequential(*layers)
+
+
+def build_vgg11(num_classes: int = 10, in_channels: int = 3, input_size: int = 32,
+                width_multiplier: float = 1.0, seed: int = 0) -> Sequential:
+    """VGG11 with batch-norm, the paper's CIFAR10 workload."""
+    return build_vgg("vgg11", num_classes=num_classes, in_channels=in_channels,
+                     input_size=input_size, width_multiplier=width_multiplier, seed=seed)
+
+
+def build_vgg16(num_classes: int = 100, in_channels: int = 3, input_size: int = 32,
+                width_multiplier: float = 1.0, seed: int = 0) -> Sequential:
+    """VGG16 with batch-norm, the paper's CIFAR100 workload."""
+    return build_vgg("vgg16", num_classes=num_classes, in_channels=in_channels,
+                     input_size=input_size, width_multiplier=width_multiplier, seed=seed)

@@ -1,0 +1,93 @@
+"""Optimisers for training the NumPy CNN models."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+class Optimizer:
+    """Base optimiser operating on a module's ``(param, grad)`` pairs."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on the model."""
+        self.model.zero_grad()
+
+    def _pairs(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return self.model.parameter_gradients()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, model: Module, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(model)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[np.ndarray] | None = None
+
+    def step(self) -> None:
+        pairs = self._pairs()
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(param) for param, _ in pairs]
+        for (param, grad), velocity in zip(pairs, self._velocity):
+            update = grad + self.weight_decay * param
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += update
+                update = velocity
+            param -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, model: Module, lr: float = 1e-3, betas: Tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(model)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[np.ndarray] | None = None
+        self._v: List[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self) -> None:
+        pairs = self._pairs()
+        if self._m is None or self._v is None:
+            self._m = [np.zeros_like(param) for param, _ in pairs]
+            self._v = [np.zeros_like(param) for param, _ in pairs]
+        self._t += 1
+        beta1, beta2 = self.betas
+        for (param, grad), m, v in zip(pairs, self._m, self._v):
+            update = grad + self.weight_decay * param
+            m *= beta1
+            m += (1 - beta1) * update
+            v *= beta2
+            v += (1 - beta2) * update * update
+            m_hat = m / (1 - beta1 ** self._t)
+            v_hat = v / (1 - beta2 ** self._t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

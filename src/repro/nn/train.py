@@ -1,0 +1,150 @@
+"""Training and evaluation loops for the NumPy CNN models.
+
+The accuracy experiments in the paper (Fig. 5) need CNNs with non-trivial
+baseline accuracy whose dot-products can then be replaced by the DeepCAM
+approximation.  This module provides a compact trainer used to fit the
+LeNet-class models on the synthetic datasets, plus the evaluation helpers
+shared by the software baseline and the DeepCAM functional simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training metrics."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def best_validation_accuracy(self) -> float:
+        """Best validation accuracy seen so far (0.0 if never evaluated)."""
+        return max(self.validation_accuracy, default=0.0)
+
+
+def iterate_minibatches(images: np.ndarray, labels: np.ndarray, batch_size: int,
+                        shuffle: bool = True,
+                        rng: np.random.Generator | None = None
+                        ) -> Iterable[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels)`` minibatches."""
+    if images.shape[0] != labels.shape[0]:
+        raise ValueError("images and labels must have the same first dimension")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    count = images.shape[0]
+    order = np.arange(count)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start:start + batch_size]
+        yield images[index], labels[index]
+
+
+def evaluate_accuracy(model: Module, images: np.ndarray, labels: np.ndarray,
+                      batch_size: int = 128,
+                      forward_fn: Callable[[np.ndarray], np.ndarray] | None = None) -> float:
+    """Top-1 accuracy of ``model`` (or an arbitrary forward function).
+
+    Parameters
+    ----------
+    model:
+        Model whose ``eval`` mode is used; ignored if ``forward_fn`` is given
+        except for setting the mode.
+    forward_fn:
+        Optional replacement forward pass -- the DeepCAM functional simulator
+        passes its approximate forward here so the baseline and DeepCAM are
+        scored by exactly the same code path.
+    """
+    model.eval()
+    forward = forward_fn if forward_fn is not None else model.forward
+    correct = 0
+    total = 0
+    for batch_images, batch_labels in iterate_minibatches(images, labels, batch_size,
+                                                          shuffle=False):
+        logits = forward(batch_images)
+        correct += int(np.sum(np.argmax(logits, axis=1) == batch_labels))
+        total += batch_labels.shape[0]
+    return correct / total if total else 0.0
+
+
+class Trainer:
+    """Minimal minibatch trainer with optional validation tracking.
+
+    Parameters
+    ----------
+    model:
+        The module to train.
+    optimizer:
+        An optimiser already bound to ``model``.
+    loss:
+        Loss object; defaults to cross-entropy.
+    batch_size:
+        Minibatch size.
+    seed:
+        Seed of the shuffling RNG (kept separate from model init seeds).
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer,
+                 loss: CrossEntropyLoss | None = None,
+                 batch_size: int = 64, seed: int = 0) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self.history = TrainingHistory()
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+        """Run one epoch; returns ``(mean_loss, accuracy)`` on the training data."""
+        self.model.train()
+        losses = []
+        correct = 0
+        total = 0
+        for batch_images, batch_labels in iterate_minibatches(
+                images, labels, self.batch_size, shuffle=True, rng=self._rng):
+            logits = self.model(batch_images)
+            loss_value = self.loss(logits, batch_labels)
+            self.optimizer.zero_grad()
+            self.model.backward(self.loss.backward())
+            self.optimizer.step()
+            losses.append(loss_value)
+            correct += int(np.sum(np.argmax(logits, axis=1) == batch_labels))
+            total += batch_labels.shape[0]
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        accuracy = correct / total if total else 0.0
+        return mean_loss, accuracy
+
+    def fit(self, train_images: np.ndarray, train_labels: np.ndarray,
+            epochs: int,
+            validation: tuple[np.ndarray, np.ndarray] | None = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` epochs, optionally tracking validation accuracy."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        for epoch in range(epochs):
+            loss_value, accuracy = self.train_epoch(train_images, train_labels)
+            self.history.train_loss.append(loss_value)
+            self.history.train_accuracy.append(accuracy)
+            if validation is not None:
+                val_acc = evaluate_accuracy(self.model, validation[0], validation[1],
+                                            batch_size=self.batch_size)
+                self.history.validation_accuracy.append(val_acc)
+            if verbose:
+                val_msg = (f", val acc {self.history.validation_accuracy[-1]:.3f}"
+                           if validation is not None else "")
+                print(f"epoch {epoch + 1}/{epochs}: loss {loss_value:.4f}, "
+                      f"train acc {accuracy:.3f}{val_msg}")
+        return self.history

@@ -1,0 +1,34 @@
+"""CNN workload shape traces.
+
+The performance and energy experiments (Fig. 9, Fig. 10, Table II) only need
+the *shapes* of every layer -- channel counts, kernel sizes, feature-map
+sizes -- not trained weights.  This subpackage defines the layer-spec data
+model and the full-size traces of the four networks the paper evaluates
+(LeNet5, VGG11, VGG16, ResNet18) at their respective input resolutions.
+"""
+
+from repro.workloads.specs import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    NetworkTrace,
+    all_paper_networks,
+    lenet5_trace,
+    network_by_name,
+    resnet18_trace,
+    vgg11_trace,
+    vgg16_trace,
+)
+
+__all__ = [
+    "ConvSpec",
+    "FCSpec",
+    "LayerSpec",
+    "NetworkTrace",
+    "all_paper_networks",
+    "lenet5_trace",
+    "network_by_name",
+    "resnet18_trace",
+    "vgg11_trace",
+    "vgg16_trace",
+]

@@ -1,0 +1,258 @@
+"""Layer-shape specifications and network traces.
+
+A :class:`LayerSpec` captures everything the cycle/energy models need to know
+about one dot-product layer when it is lowered to a matrix multiplication:
+
+* ``contexts_per_image`` -- how many *activation context* vectors the layer
+  produces per input image (one per output pixel for a convolution, one for
+  a fully connected layer);
+* ``num_kernels`` -- how many *weight context* vectors it has (one per
+  output channel / output neuron);
+* ``context_length`` -- the dimensionality of each context vector
+  (``C_in * kH * kW`` for a convolution, ``in_features`` for an FC layer);
+* ``output_elements`` / ``macs`` -- derived totals used by every baseline.
+
+The four network traces match the exact topologies the paper evaluates:
+LeNet5 on 28x28 MNIST, VGG11 on 32x32 CIFAR10, VGG16 and ResNet18 on 32x32
+CIFAR100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Shape of one dot-product layer lowered to a matrix multiplication.
+
+    Attributes
+    ----------
+    name:
+        Layer name, unique within its network.
+    contexts_per_image:
+        Number of activation-context vectors per inference (output pixels
+        for a conv layer, 1 for an FC layer).
+    num_kernels:
+        Number of weight-context vectors (output channels / neurons).
+    context_length:
+        Dimensionality of each context vector.
+    kind:
+        ``"conv"`` or ``"fc"``, used by reporting and by the Eyeriss model.
+    """
+
+    name: str
+    contexts_per_image: int
+    num_kernels: int
+    context_length: int
+    kind: str = "conv"
+
+    def __post_init__(self) -> None:
+        if self.contexts_per_image <= 0 or self.num_kernels <= 0 or self.context_length <= 0:
+            raise ValueError(f"layer {self.name}: all dimensions must be positive")
+        if self.kind not in ("conv", "fc"):
+            raise ValueError(f"layer {self.name}: kind must be 'conv' or 'fc'")
+
+    @property
+    def output_elements(self) -> int:
+        """Number of output activations produced per inference."""
+        return self.contexts_per_image * self.num_kernels
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations per inference."""
+        return self.output_elements * self.context_length
+
+    @property
+    def weight_count(self) -> int:
+        """Number of scalar weights in the layer."""
+        return self.num_kernels * self.context_length
+
+    @property
+    def input_elements(self) -> int:
+        """Number of scalar activation inputs consumed (with im2col replication)."""
+        return self.contexts_per_image * self.context_length
+
+
+def ConvSpec(name: str, in_channels: int, out_channels: int, kernel_size: int,
+             input_size: int, stride: int = 1, padding: int = 0) -> LayerSpec:
+    """Build a :class:`LayerSpec` for a square 2-D convolution.
+
+    Parameters mirror a standard conv layer; ``input_size`` is the spatial
+    size of the (square) input feature map.
+    """
+    if input_size <= 0:
+        raise ValueError(f"layer {name}: input_size must be positive")
+    out_size = (input_size + 2 * padding - kernel_size) // stride + 1
+    if out_size <= 0:
+        raise ValueError(f"layer {name}: non-positive output size")
+    return LayerSpec(
+        name=name,
+        contexts_per_image=out_size * out_size,
+        num_kernels=out_channels,
+        context_length=in_channels * kernel_size * kernel_size,
+        kind="conv",
+    )
+
+
+def FCSpec(name: str, in_features: int, out_features: int) -> LayerSpec:
+    """Build a :class:`LayerSpec` for a fully connected layer."""
+    return LayerSpec(
+        name=name,
+        contexts_per_image=1,
+        num_kernels=out_features,
+        context_length=in_features,
+        kind="fc",
+    )
+
+
+@dataclass(frozen=True)
+class NetworkTrace:
+    """An ordered list of layer specs plus dataset metadata."""
+
+    name: str
+    dataset: str
+    input_shape: tuple[int, int, int]
+    num_classes: int
+    layers: tuple[LayerSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a network trace needs at least one layer")
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            raise ValueError("layer names must be unique within a trace")
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs per inference."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Total scalar weights."""
+        return sum(layer.weight_count for layer in self.layers)
+
+    @property
+    def total_output_elements(self) -> int:
+        """Total output activations per inference."""
+        return sum(layer.output_elements for layer in self.layers)
+
+    def layer(self, name: str) -> LayerSpec:
+        """Look up a layer by name."""
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+
+# ---------------------------------------------------------------------------
+# Network traces.
+# ---------------------------------------------------------------------------
+
+def lenet5_trace() -> NetworkTrace:
+    """LeNet5 on 28x28 MNIST (first conv padded to behave like 32x32)."""
+    layers = (
+        ConvSpec("conv1", in_channels=1, out_channels=6, kernel_size=5,
+                 input_size=28, padding=2),               # 28x28 out
+        ConvSpec("conv2", in_channels=6, out_channels=16, kernel_size=5,
+                 input_size=14),                            # 10x10 out
+        FCSpec("fc1", in_features=16 * 5 * 5, out_features=120),
+        FCSpec("fc2", in_features=120, out_features=84),
+        FCSpec("fc3", in_features=84, out_features=10),
+    )
+    return NetworkTrace(name="lenet5", dataset="mnist", input_shape=(1, 28, 28),
+                        num_classes=10, layers=layers)
+
+
+def _vgg_trace(plan: Sequence, name: str, dataset: str, num_classes: int) -> NetworkTrace:
+    layers: List[LayerSpec] = []
+    channels = 3
+    size = 32
+    conv_index = 0
+    for item in plan:
+        if item == "M":
+            size //= 2
+            continue
+        conv_index += 1
+        layers.append(ConvSpec(f"conv{conv_index}", in_channels=channels,
+                               out_channels=int(item), kernel_size=3,
+                               input_size=size, padding=1))
+        channels = int(item)
+    layers.append(FCSpec("fc", in_features=channels * size * size, out_features=num_classes))
+    return NetworkTrace(name=name, dataset=dataset, input_shape=(3, 32, 32),
+                        num_classes=num_classes, layers=tuple(layers))
+
+
+def vgg11_trace() -> NetworkTrace:
+    """VGG11 on 32x32 CIFAR10."""
+    plan = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M")
+    return _vgg_trace(plan, "vgg11", "cifar10", num_classes=10)
+
+
+def vgg16_trace() -> NetworkTrace:
+    """VGG16 on 32x32 CIFAR100."""
+    plan = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+            512, 512, 512, "M", 512, 512, 512, "M")
+    return _vgg_trace(plan, "vgg16", "cifar100", num_classes=100)
+
+
+def resnet18_trace() -> NetworkTrace:
+    """ResNet18 (CIFAR variant) on 32x32 CIFAR100."""
+    layers: List[LayerSpec] = [
+        ConvSpec("stem", in_channels=3, out_channels=64, kernel_size=3,
+                 input_size=32, padding=1),
+    ]
+    stage_channels = (64, 128, 256, 512)
+    stage_sizes = (32, 16, 8, 4)
+    in_channels = 64
+    for stage, (out_channels, out_size) in enumerate(zip(stage_channels, stage_sizes), start=1):
+        for block in range(1, 3):
+            stride = 2 if (stage > 1 and block == 1) else 1
+            input_size = out_size * stride
+            layers.append(ConvSpec(
+                f"stage{stage}_block{block}_conv1", in_channels=in_channels,
+                out_channels=out_channels, kernel_size=3, input_size=input_size,
+                stride=stride, padding=1))
+            layers.append(ConvSpec(
+                f"stage{stage}_block{block}_conv2", in_channels=out_channels,
+                out_channels=out_channels, kernel_size=3, input_size=out_size,
+                padding=1))
+            if stride != 1 or in_channels != out_channels:
+                layers.append(ConvSpec(
+                    f"stage{stage}_block{block}_downsample", in_channels=in_channels,
+                    out_channels=out_channels, kernel_size=1, input_size=input_size,
+                    stride=stride))
+            in_channels = out_channels
+    layers.append(FCSpec("fc", in_features=512, out_features=100))
+    return NetworkTrace(name="resnet18", dataset="cifar100", input_shape=(3, 32, 32),
+                        num_classes=100, layers=tuple(layers))
+
+
+#: The four paper workloads keyed by name.
+_TRACE_BUILDERS = {
+    "lenet5": lenet5_trace,
+    "vgg11": vgg11_trace,
+    "vgg16": vgg16_trace,
+    "resnet18": resnet18_trace,
+}
+
+
+def network_by_name(name: str) -> NetworkTrace:
+    """Return the trace of one of the paper's four workloads."""
+    key = name.lower()
+    if key not in _TRACE_BUILDERS:
+        raise KeyError(f"unknown network {name!r}; known: {sorted(_TRACE_BUILDERS)}")
+    return _TRACE_BUILDERS[key]()
+
+
+def all_paper_networks() -> tuple[NetworkTrace, ...]:
+    """All four (network, dataset) pairs from Table I, in paper order."""
+    return tuple(builder() for builder in _TRACE_BUILDERS.values())

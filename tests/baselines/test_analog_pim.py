@@ -1,0 +1,72 @@
+"""Tests for the analog PIM baselines (Table II)."""
+
+import pytest
+
+from repro.baselines.analog_pim import (
+    AnalogPIMConfig,
+    AnalogPIMModel,
+    NEUROSIM_RRAM,
+    VALAVI_SRAM,
+)
+from repro.workloads.specs import lenet5_trace, vgg11_trace
+
+
+class TestConfigs:
+    def test_presets_valid(self):
+        assert NEUROSIM_RRAM.weight_slices == 8
+        assert VALAVI_SRAM.weight_slices == 1
+        assert NEUROSIM_RRAM.cell_reads_per_mac == 64
+        assert VALAVI_SRAM.cell_reads_per_mac == 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            AnalogPIMConfig(name="bad", crossbar_rows=0, crossbar_cols=1, num_macros=1,
+                            weight_bits_per_cell=1, weight_bits=8, activation_bits=8,
+                            cell_read_energy_fj=1, adc_energy_pj=1,
+                            adc_conversions_per_output=1, adcs_per_macro=1,
+                            cycle_time_ns=1, digital_energy_per_mac_fj=1)
+        with pytest.raises(ValueError):
+            AnalogPIMConfig(name="bad", crossbar_rows=8, crossbar_cols=8, num_macros=1,
+                            weight_bits_per_cell=1, weight_bits=8, activation_bits=8,
+                            cell_read_energy_fj=-1, adc_energy_pj=1,
+                            adc_conversions_per_output=1, adcs_per_macro=1,
+                            cycle_time_ns=1, digital_energy_per_mac_fj=1)
+
+
+class TestEnergyAndCycles:
+    def test_rram_costs_more_energy_than_charge_domain_sram(self):
+        trace = vgg11_trace()
+        rram = AnalogPIMModel(NEUROSIM_RRAM).evaluate(trace)
+        sram = AnalogPIMModel(VALAVI_SRAM).evaluate(trace)
+        # The published gap is ~10x (34.98 uJ vs 3.55 uJ); require a clear win.
+        assert rram.energy_uj > 5 * sram.energy_uj
+
+    def test_energy_per_mac_in_published_ranges(self):
+        trace = vgg11_trace()
+        rram = AnalogPIMModel(NEUROSIM_RRAM).energy_per_mac_fj(trace)
+        sram = AnalogPIMModel(VALAVI_SRAM).energy_per_mac_fj(trace)
+        assert 100 < rram < 600      # RRAM + ADC designs: hundreds of fJ/MAC
+        assert 5 < sram < 60         # charge-domain SRAM: tens of fJ/MAC
+
+    def test_vgg11_energy_order_of_magnitude_vs_paper(self):
+        # Paper Table II: 34.98 uJ (NeuroSim) and 3.55 uJ (Valavi).
+        trace = vgg11_trace()
+        rram = AnalogPIMModel(NEUROSIM_RRAM).evaluate(trace).energy_uj
+        sram = AnalogPIMModel(VALAVI_SRAM).evaluate(trace).energy_uj
+        assert 10 < rram < 120
+        assert 0.5 < sram < 12
+
+    def test_cycles_positive_and_rram_slower(self):
+        trace = vgg11_trace()
+        rram = AnalogPIMModel(NEUROSIM_RRAM).evaluate(trace)
+        sram = AnalogPIMModel(VALAVI_SRAM).evaluate(trace)
+        assert rram.cycles > sram.cycles > 0
+
+    def test_small_network_costs_less(self):
+        model = AnalogPIMModel(NEUROSIM_RRAM)
+        assert (model.evaluate(lenet5_trace()).energy_uj
+                < model.evaluate(vgg11_trace()).energy_uj)
+
+    def test_report_unit_conversion(self):
+        report = AnalogPIMModel(VALAVI_SRAM).evaluate(lenet5_trace())
+        assert report.energy_pj == pytest.approx(report.energy_uj * 1e6)

@@ -1,0 +1,65 @@
+"""Tests for the Skylake AVX-512 CPU model."""
+
+import pytest
+
+from repro.baselines.cpu import SkylakeCPUModel
+from repro.workloads.specs import ConvSpec, FCSpec, lenet5_trace, resnet18_trace, vgg11_trace
+
+
+class TestLayerModel:
+    def test_compute_cycles_scale_with_macs(self):
+        model = SkylakeCPUModel()
+        small = model.map_layer(ConvSpec("s", 16, 16, 3, input_size=8))
+        large = model.map_layer(ConvSpec("l", 64, 64, 3, input_size=16))
+        assert large.compute_cycles > small.compute_cycles
+
+    def test_total_includes_overhead(self):
+        model = SkylakeCPUModel(per_layer_overhead_cycles=5000)
+        report = model.map_layer(FCSpec("fc", 128, 10))
+        assert report.cycles >= 5000
+
+    def test_spilled_working_set_uses_dram_bandwidth(self):
+        model = SkylakeCPUModel(cache_bytes=1024)
+        big_layer = ConvSpec("c", 256, 256, 3, input_size=8, padding=1)
+        slow = model.map_layer(big_layer).memory_cycles
+        fast = SkylakeCPUModel(cache_bytes=64 * 1024 * 1024).map_layer(big_layer).memory_cycles
+        assert slow > fast
+
+    def test_efficiency_increases_speed(self):
+        layer = ConvSpec("c", 64, 64, 3, input_size=16, padding=1)
+        slow = SkylakeCPUModel(issue_efficiency=0.1).map_layer(layer).compute_cycles
+        fast = SkylakeCPUModel(issue_efficiency=0.8).map_layer(layer).compute_cycles
+        assert fast < slow
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SkylakeCPUModel(vector_macs_per_cycle=0)
+        with pytest.raises(ValueError):
+            SkylakeCPUModel(issue_efficiency=0.0)
+        with pytest.raises(ValueError):
+            SkylakeCPUModel(per_layer_overhead_cycles=-1)
+
+
+class TestNetworkModel:
+    def test_totals_and_latency(self):
+        model = SkylakeCPUModel()
+        trace = lenet5_trace()
+        report = model.map_network(trace)
+        assert report.total_cycles == sum(l.cycles for l in report.layers)
+        assert model.latency_s(trace) == pytest.approx(report.total_cycles / model.frequency_hz)
+
+    def test_network_ordering(self):
+        model = SkylakeCPUModel()
+        lenet = model.map_network(lenet5_trace()).total_cycles
+        vgg = model.map_network(vgg11_trace()).total_cycles
+        resnet = model.map_network(resnet18_trace()).total_cycles
+        assert lenet < vgg < resnet
+
+    def test_effective_throughput_is_sub_peak(self):
+        # The model must not be optimistic: sustained MACs/cycle stays well
+        # below the 128 MACs/cycle AVX-512 VNNI peak for small-batch CNNs.
+        model = SkylakeCPUModel()
+        trace = vgg11_trace()
+        cycles = model.map_network(trace).total_cycles
+        macs_per_cycle = trace.total_macs / cycles
+        assert macs_per_cycle < 64

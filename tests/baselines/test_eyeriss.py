@@ -1,0 +1,61 @@
+"""Tests for the Eyeriss energy model."""
+
+import pytest
+
+from repro.baselines.eyeriss import EyerissModel
+from repro.workloads.specs import lenet5_trace, resnet18_trace, vgg11_trace
+
+
+class TestLayerEnergy:
+    def test_breakdown_positive(self):
+        model = EyerissModel()
+        energy = model.layer_energy(lenet5_trace().layer("conv1"))
+        assert energy.mac_pj > 0
+        assert energy.rf_pj > 0
+        assert energy.sram_pj > 0
+        assert energy.dram_pj > 0
+        assert energy.total_pj == pytest.approx(
+            energy.mac_pj + energy.rf_pj + energy.noc_pj + energy.sram_pj + energy.dram_pj)
+
+    def test_memory_dominates_compute(self):
+        # The architectural premise the paper leans on: data movement costs
+        # far more than the MACs themselves in a von-Neumann accelerator.
+        model = EyerissModel()
+        report = model.evaluate(vgg11_trace())
+        breakdown = report.breakdown()
+        memory = breakdown["rf_pj"] + breakdown["noc_pj"] + breakdown["sram_pj"] + breakdown["dram_pj"]
+        assert memory > breakdown["mac_pj"]
+
+    def test_batching_amortises_weight_traffic(self):
+        single = EyerissModel(batch_size=1).evaluate(vgg11_trace()).total_energy_uj
+        batched = EyerissModel(batch_size=16).evaluate(vgg11_trace()).total_energy_uj
+        assert batched < single
+
+
+class TestNetworkReport:
+    def test_report_fields(self):
+        report = EyerissModel().evaluate(lenet5_trace())
+        assert report.network == "lenet5"
+        assert report.total_cycles > 0
+        assert 0 < report.mean_utilization <= 1.0
+        assert report.total_energy_uj == pytest.approx(report.total_energy_pj * 1e-6)
+
+    def test_energy_ordering_across_networks(self):
+        model = EyerissModel()
+        lenet = model.evaluate(lenet5_trace()).total_energy_uj
+        vgg = model.evaluate(vgg11_trace()).total_energy_uj
+        resnet = model.evaluate(resnet18_trace()).total_energy_uj
+        assert lenet < vgg < resnet
+
+    def test_energy_per_mac_is_physically_plausible(self):
+        # End-to-end energy per MAC for an Eyeriss-class design sits in the
+        # single-digit picojoule range once memory traffic is included.
+        model = EyerissModel()
+        trace = vgg11_trace()
+        energy_pj = model.evaluate(trace).total_energy_pj
+        per_mac = energy_pj / trace.total_macs
+        assert 0.5 < per_mac < 20.0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            EyerissModel(batch_size=0)

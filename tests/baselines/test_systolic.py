@@ -1,0 +1,82 @@
+"""Tests for the SCALE-Sim-style systolic array model."""
+
+import pytest
+
+from repro.baselines.systolic import SystolicArrayConfig, SystolicArrayModel
+from repro.workloads.specs import ConvSpec, FCSpec, lenet5_trace, vgg11_trace
+
+
+class TestConfig:
+    def test_eyeriss_default_geometry(self):
+        config = SystolicArrayConfig()
+        assert (config.rows, config.cols) == (14, 12)
+        assert config.num_pes == 168
+        assert config.weight_bits == 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(frequency_hz=0)
+
+
+class TestLayerMapping:
+    def test_fold_count(self):
+        model = SystolicArrayModel()
+        layer = ConvSpec("c", in_channels=1, out_channels=6, kernel_size=5, input_size=32)
+        report = model.map_layer(layer)
+        # context_length 25 over 14 rows -> 2 folds; 6 kernels over 12 cols -> 1.
+        assert report.folds == 2
+
+    def test_cycles_grow_with_larger_layers(self):
+        model = SystolicArrayModel()
+        small = model.map_layer(ConvSpec("s", 16, 16, 3, input_size=8))
+        large = model.map_layer(ConvSpec("l", 64, 64, 3, input_size=16))
+        assert large.cycles > small.cycles
+
+    def test_utilization_bounded(self):
+        model = SystolicArrayModel()
+        for layer in vgg11_trace():
+            report = model.map_layer(layer)
+            assert 0.0 < report.utilization <= 1.0
+
+    def test_fc_layer_has_poor_utilization(self):
+        # One im2col column (P=1) cannot keep a systolic array busy.
+        model = SystolicArrayModel()
+        report = model.map_layer(FCSpec("fc", in_features=400, out_features=120))
+        assert report.utilization < 0.05
+
+    def test_big_conv_has_good_utilization(self):
+        model = SystolicArrayModel()
+        report = model.map_layer(ConvSpec("c", 128, 128, 3, input_size=16, padding=1))
+        assert report.utilization > 0.5
+
+
+class TestNetworkMapping:
+    def test_totals_are_sums(self):
+        model = SystolicArrayModel()
+        report = model.map_network(lenet5_trace())
+        assert report.total_cycles == sum(l.cycles for l in report.layers)
+        assert report.total_macs == lenet5_trace().total_macs
+
+    def test_vgg_needs_more_cycles_than_lenet(self):
+        model = SystolicArrayModel()
+        assert (model.map_network(vgg11_trace()).total_cycles
+                > model.map_network(lenet5_trace()).total_cycles)
+
+    def test_bigger_array_is_faster(self):
+        small = SystolicArrayModel(SystolicArrayConfig(rows=14, cols=12))
+        big = SystolicArrayModel(SystolicArrayConfig(rows=28, cols=24))
+        trace = vgg11_trace()
+        assert big.map_network(trace).total_cycles < small.map_network(trace).total_cycles
+
+    def test_latency_uses_frequency(self):
+        model = SystolicArrayModel()
+        trace = lenet5_trace()
+        assert model.latency_s(trace) == pytest.approx(
+            model.map_network(trace).total_cycles / 300e6)
+
+    def test_mean_utilization_weighted_by_cycles(self):
+        model = SystolicArrayModel()
+        report = model.map_network(lenet5_trace())
+        assert 0.0 < report.mean_utilization < 1.0

@@ -1,0 +1,121 @@
+"""Tests for the CAM array functional model."""
+
+import numpy as np
+import pytest
+
+from repro.cam.array import CamArray
+from repro.cam.cell import CMOS_TCAM_CELL, FEFET_CAM_CELL
+
+
+def random_bits(rng, *shape):
+    return rng.integers(0, 2, size=shape).astype(np.uint8)
+
+
+class TestStorage:
+    def test_write_and_read_roundtrip(self, rng):
+        cam = CamArray(rows=8, word_bits=64)
+        bits = random_bits(rng, 64)
+        cam.write_row(3, bits)
+        assert np.array_equal(cam.read_row(3), bits)
+
+    def test_occupancy_and_utilization(self, rng):
+        cam = CamArray(rows=10, word_bits=32)
+        cam.write_rows(random_bits(rng, 4, 32))
+        assert cam.occupancy == 4
+        assert cam.utilization == pytest.approx(0.4)
+
+    def test_clear_resets_contents(self, rng):
+        cam = CamArray(rows=4, word_bits=16)
+        cam.write_rows(random_bits(rng, 4, 16))
+        cam.clear()
+        assert cam.occupancy == 0
+        with pytest.raises(ValueError):
+            cam.read_row(0)
+
+    def test_write_bounds_checked(self, rng):
+        cam = CamArray(rows=4, word_bits=16)
+        with pytest.raises(IndexError):
+            cam.write_row(4, random_bits(rng, 16))
+        with pytest.raises(ValueError):
+            cam.write_row(0, random_bits(rng, 15))
+        with pytest.raises(ValueError):
+            cam.write_row(0, np.full(16, 2, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            cam.write_rows(random_bits(rng, 3, 16), start_row=2)
+
+    def test_write_energy_accumulates(self, rng):
+        cam = CamArray(rows=4, word_bits=16)
+        energy = cam.write_row(0, random_bits(rng, 16))
+        assert energy > 0
+        cam.write_row(1, random_bits(rng, 16))
+        assert cam.accumulated_write_energy_pj == pytest.approx(2 * energy)
+
+
+class TestSearch:
+    def test_distances_match_exact_hamming(self, rng):
+        cam = CamArray(rows=16, word_bits=128)
+        stored = random_bits(rng, 16, 128)
+        cam.write_rows(stored)
+        query = random_bits(rng, 128)
+        result = cam.search(query)
+        expected = (stored != query).sum(axis=1)
+        assert np.array_equal(result.distances, expected)
+        assert np.array_equal(result.true_distances, expected)
+
+    def test_unpopulated_rows_report_minus_one(self, rng):
+        cam = CamArray(rows=8, word_bits=32)
+        cam.write_rows(random_bits(rng, 3, 32))
+        result = cam.search(random_bits(rng, 32))
+        assert np.all(result.distances[3:] == -1)
+
+    def test_exact_match_detection(self, rng):
+        cam = CamArray(rows=4, word_bits=64)
+        stored = random_bits(rng, 4, 64)
+        cam.write_rows(stored)
+        result = cam.search(stored[2])
+        assert 2 in result.matched_rows
+
+    def test_search_energy_scales_with_occupancy(self, rng):
+        sparse = CamArray(rows=64, word_bits=256)
+        dense = CamArray(rows=64, word_bits=256)
+        sparse.write_rows(random_bits(rng, 8, 256))
+        dense.write_rows(random_bits(rng, 64, 256))
+        assert dense.search_energy_pj() > sparse.search_energy_pj()
+
+    def test_fefet_search_cheaper_than_cmos(self, rng):
+        fefet = CamArray(rows=32, word_bits=256, cell=FEFET_CAM_CELL)
+        cmos = CamArray(rows=32, word_bits=256, cell=CMOS_TCAM_CELL)
+        bits = random_bits(rng, 32, 256)
+        fefet.write_rows(bits)
+        cmos.write_rows(bits)
+        assert fefet.search_energy_pj() < cmos.search_energy_pj()
+
+    def test_search_validates_query(self, rng):
+        cam = CamArray(rows=4, word_bits=32)
+        with pytest.raises(ValueError):
+            cam.search(random_bits(rng, 31))
+        with pytest.raises(ValueError):
+            cam.search(np.full(32, 3, dtype=np.uint8))
+
+    def test_search_batch_accumulates_energy_and_latency(self, rng):
+        cam = CamArray(rows=8, word_bits=64)
+        cam.write_rows(random_bits(rng, 8, 64))
+        queries = random_bits(rng, 5, 64)
+        distances, energy, latency = cam.search_batch(queries)
+        assert distances.shape == (5, 8)
+        assert energy == pytest.approx(5 * cam.search_energy_pj())
+        assert latency == 5 * cam.search_latency_cycles
+        assert cam.search_count == 5
+
+    def test_area_scales_with_cells(self):
+        small = CamArray(rows=16, word_bits=256).area_um2()
+        big = CamArray(rows=64, word_bits=256).area_um2()
+        assert big == pytest.approx(4 * small)
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            CamArray(rows=0, word_bits=64)
+        with pytest.raises(ValueError):
+            CamArray(rows=4, word_bits=0)
+        with pytest.raises(ValueError):
+            CamArray(rows=4, word_bits=64, peripheral_energy_factor=0.5)

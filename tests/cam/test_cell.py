@@ -1,0 +1,65 @@
+"""Tests for the CAM cell device models."""
+
+import pytest
+
+from repro.cam.cell import (
+    CamCell,
+    CellTechnology,
+    CMOS_CAM_CELL,
+    CMOS_TCAM_CELL,
+    FEFET_CAM_CELL,
+    cell_for_technology,
+)
+
+
+class TestReferenceCells:
+    def test_transistor_counts_match_paper(self):
+        # Paper Sec. II-A: CMOS CAM 9-10 T, CMOS TCAM 16 T, FeFET cell 2 T.
+        assert CMOS_CAM_CELL.transistors in (9, 10)
+        assert CMOS_TCAM_CELL.transistors == 16
+        assert FEFET_CAM_CELL.transistors == 2
+
+    def test_fefet_area_advantage_is_7_5x(self):
+        assert CMOS_TCAM_CELL.area_um2 / FEFET_CAM_CELL.area_um2 == pytest.approx(7.5)
+
+    def test_fefet_search_energy_advantage_is_2_4x(self):
+        ratio = CMOS_TCAM_CELL.search_energy_fj / FEFET_CAM_CELL.search_energy_fj
+        assert ratio == pytest.approx(2.4)
+
+    def test_fefet_is_nonvolatile_cmos_is_not(self):
+        assert FEFET_CAM_CELL.is_nonvolatile
+        assert not CMOS_TCAM_CELL.is_nonvolatile
+
+    def test_ratio_helpers(self):
+        assert FEFET_CAM_CELL.scaled_area_ratio(CMOS_TCAM_CELL) == pytest.approx(1 / 7.5)
+        assert FEFET_CAM_CELL.scaled_energy_ratio(CMOS_TCAM_CELL) == pytest.approx(1 / 2.4)
+
+
+class TestLookup:
+    def test_lookup_by_enum(self):
+        assert cell_for_technology(CellTechnology.FEFET) is FEFET_CAM_CELL
+
+    def test_lookup_by_string(self):
+        assert cell_for_technology("cmos") is CMOS_TCAM_CELL
+        assert cell_for_technology("cmos", ternary=False) is CMOS_CAM_CELL
+        assert cell_for_technology("fefet") is FEFET_CAM_CELL
+
+    def test_unknown_technology_raises(self):
+        with pytest.raises(ValueError):
+            cell_for_technology("rram")
+
+
+class TestValidation:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CamCell(technology=CellTechnology.CMOS, ternary=False, transistors=0,
+                    area_um2=1.0, search_energy_fj=1.0, write_energy_fj=1.0,
+                    leakage_nw=0.1, match_pulldown_current_ua=10.0)
+        with pytest.raises(ValueError):
+            CamCell(technology=CellTechnology.CMOS, ternary=False, transistors=9,
+                    area_um2=-1.0, search_energy_fj=1.0, write_energy_fj=1.0,
+                    leakage_nw=0.1, match_pulldown_current_ua=10.0)
+        with pytest.raises(ValueError):
+            CamCell(technology=CellTechnology.CMOS, ternary=False, transistors=9,
+                    area_um2=1.0, search_energy_fj=1.0, write_energy_fj=1.0,
+                    leakage_nw=0.1, match_pulldown_current_ua=0.0)

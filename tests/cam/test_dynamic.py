@@ -1,0 +1,118 @@
+"""Tests for the dynamic-size (chunked) CAM."""
+
+import numpy as np
+import pytest
+
+from repro.cam.dynamic import CHUNK_BITS, DynamicCam, DynamicCamConfig
+
+
+def random_bits(rng, *shape):
+    return rng.integers(0, 2, size=shape).astype(np.uint8)
+
+
+class TestConfiguration:
+    def test_default_geometry_matches_paper(self):
+        config = DynamicCamConfig()
+        assert config.chunk_bits == 256
+        assert config.num_chunks == 4
+        assert config.supported_word_bits == (256, 512, 768, 1024)
+
+    def test_initial_width_is_one_chunk(self):
+        cam = DynamicCam()
+        assert cam.active_word_bits == CHUNK_BITS
+        assert cam.active_chunks == 1
+
+    def test_configure_word_bits(self):
+        cam = DynamicCam()
+        cam.configure_word_bits(768)
+        assert cam.active_word_bits == 768
+        assert cam.active_chunks == 3
+
+    def test_configure_rejects_unsupported_width(self):
+        cam = DynamicCam()
+        with pytest.raises(ValueError):
+            cam.configure_word_bits(300)
+
+    def test_configure_for_hash_length_rounds_up(self):
+        cam = DynamicCam()
+        assert cam.configure_for_hash_length(257) == 512
+        assert cam.configure_for_hash_length(1024) == 1024
+        assert cam.configure_for_hash_length(100) == 256
+
+    def test_configure_for_hash_length_rejects_oversize(self):
+        cam = DynamicCam()
+        with pytest.raises(ValueError):
+            cam.configure_for_hash_length(1025)
+
+    def test_reconfiguration_counts_and_energy(self):
+        cam = DynamicCam()
+        cam.configure_word_bits(1024)
+        cam.configure_word_bits(1024)  # no-op
+        cam.configure_word_bits(256)
+        assert cam.reconfiguration_count == 2
+        assert cam.reconfiguration_energy_pj > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicCamConfig(rows=0)
+        with pytest.raises(ValueError):
+            DynamicCamConfig(max_word_bits=1000, chunk_bits=256)
+
+
+class TestDataPath:
+    def test_search_matches_exact_hamming_at_each_width(self, rng):
+        for width in (256, 512, 768, 1024):
+            cam = DynamicCam(DynamicCamConfig(rows=8))
+            cam.configure_word_bits(width)
+            stored = random_bits(rng, 8, width)
+            cam.write_rows(stored)
+            query = random_bits(rng, width)
+            result = cam.search(query)
+            expected = (stored != query).sum(axis=1)
+            assert np.array_equal(result.distances, expected), f"width={width}"
+
+    def test_write_rejects_data_wider_than_active_width(self, rng):
+        cam = DynamicCam()
+        with pytest.raises(ValueError):
+            cam.write_row(0, random_bits(rng, 512))
+
+    def test_search_rejects_query_wider_than_active_width(self, rng):
+        cam = DynamicCam()
+        with pytest.raises(ValueError):
+            cam.search(random_bits(rng, 512))
+
+    def test_search_energy_scales_with_active_chunks(self, rng):
+        narrow = DynamicCam(DynamicCamConfig(rows=16))
+        wide = DynamicCam(DynamicCamConfig(rows=16))
+        narrow.configure_word_bits(256)
+        wide.configure_word_bits(1024)
+        narrow.write_rows(random_bits(rng, 16, 256))
+        wide.write_rows(random_bits(rng, 16, 1024))
+        narrow_energy = narrow.search(random_bits(rng, 256)).energy_pj
+        wide_energy = wide.search(random_bits(rng, 1024)).energy_pj
+        assert wide_energy > 2 * narrow_energy
+
+    def test_search_batch(self, rng):
+        cam = DynamicCam(DynamicCamConfig(rows=8))
+        cam.configure_word_bits(512)
+        cam.write_rows(random_bits(rng, 8, 512))
+        queries = random_bits(rng, 3, 512)
+        distances, energy, latency = cam.search_batch(queries)
+        assert distances.shape == (3, 8)
+        assert energy > 0
+        assert latency == 3 * cam.config.search_latency_cycles
+
+    def test_clear_and_occupancy(self, rng):
+        cam = DynamicCam(DynamicCamConfig(rows=4))
+        cam.write_rows(random_bits(rng, 2, 256))
+        assert cam.occupancy == 2
+        assert cam.utilization == pytest.approx(0.5)
+        cam.clear()
+        assert cam.occupancy == 0
+
+    def test_area_includes_transmission_gates(self):
+        chunked = DynamicCam(DynamicCamConfig(rows=64))
+        assert chunked.area_um2() > 0
+        # More rows -> more gates -> more area.
+        bigger = DynamicCam(DynamicCamConfig(rows=512))
+        assert bigger.area_um2() > chunked.area_um2()

@@ -1,0 +1,90 @@
+"""Tests for the clocked self-referenced sense amplifier."""
+
+import numpy as np
+import pytest
+
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+
+
+class TestDischargeModel:
+    def test_full_match_never_discharges(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256)
+        assert np.isinf(amp.discharge_time_ns(0))
+
+    def test_more_mismatches_discharge_faster(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256)
+        times = [amp.discharge_time_ns(n) for n in (1, 4, 16, 64, 256)]
+        assert all(times[i] > times[i + 1] for i in range(len(times) - 1))
+
+    def test_out_of_range_mismatch_rejected(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=64)
+        with pytest.raises(ValueError):
+            amp.discharge_time_ns(65)
+        with pytest.raises(ValueError):
+            amp.discharge_time_ns(-1)
+
+    def test_capacitance_scales_with_word_width(self):
+        short = ClockedSelfReferencedSenseAmp(word_bits=256)
+        long = ClockedSelfReferencedSenseAmp(word_bits=1024)
+        assert long.match_line_capacitance_ff > short.match_line_capacitance_ff
+
+
+class TestNoiseFreeReadout:
+    @pytest.mark.parametrize("distance", [0, 1, 2, 5, 17, 64, 200, 256])
+    def test_exact_recovery_without_noise(self, distance):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256, timing_noise_sigma_ps=0.0)
+        reading = amp.read(distance)
+        assert reading.hamming_distance == distance
+        assert reading.true_distance == distance
+
+    def test_read_many_matches_read(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=128)
+        distances = np.array([0, 3, 7, 100, 128])
+        readings = amp.read_many(distances)
+        assert [r.hamming_distance for r in readings] == list(distances)
+
+    def test_estimate_distances_vectorised(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=64)
+        distances = np.arange(0, 65)
+        assert np.array_equal(amp.estimate_distances(distances), distances)
+
+    def test_sampling_cycles_zero_for_match(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256)
+        assert amp.read(0).sampling_cycles == 0
+        assert amp.read(1).sampling_cycles >= 1
+
+    def test_rejects_out_of_range_distances(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=32)
+        with pytest.raises(ValueError):
+            amp.read(33)
+
+
+class TestNoisyReadout:
+    def test_noise_introduces_bounded_errors(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256, timing_noise_sigma_ps=2.0, seed=0)
+        true = np.full(200, 8)
+        estimates = amp.estimate_distances(true)
+        # Small distances are well separated in time, so errors stay small.
+        assert np.all(np.abs(estimates - 8) <= 2)
+
+    def test_noise_is_reproducible_with_seed(self):
+        a = ClockedSelfReferencedSenseAmp(word_bits=256, timing_noise_sigma_ps=5.0, seed=42)
+        b = ClockedSelfReferencedSenseAmp(word_bits=256, timing_noise_sigma_ps=5.0, seed=42)
+        distances = np.full(50, 100)
+        assert np.array_equal(a.estimate_distances(distances), b.estimate_distances(distances))
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            ClockedSelfReferencedSenseAmp(word_bits=64, timing_noise_sigma_ps=-1.0)
+
+
+class TestResolution:
+    def test_resolution_limit_within_word(self):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256)
+        limit = amp.resolution_limit()
+        assert 1 <= limit <= 256
+
+    def test_faster_clock_improves_resolution(self):
+        slow = ClockedSelfReferencedSenseAmp(word_bits=256, sampling_frequency_ghz=1.0)
+        fast = ClockedSelfReferencedSenseAmp(word_bits=256, sampling_frequency_ghz=8.0)
+        assert fast.resolution_limit() >= slow.resolution_limit()

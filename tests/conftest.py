@@ -1,0 +1,48 @@
+"""Shared fixtures for the DeepCAM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepCAMConfig
+from repro.datasets.loaders import SyntheticImageDataset
+from repro.nn.models.lenet import build_lenet5
+from repro.nn.optim import Adam
+from repro.nn.train import Trainer
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def default_config() -> DeepCAMConfig:
+    """A small default DeepCAM configuration."""
+    return DeepCAMConfig(cam_rows=64)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist_dataset() -> SyntheticImageDataset:
+    """A small MNIST-like synthetic dataset shared across tests."""
+    return SyntheticImageDataset.mnist_like(num_samples=400, num_classes=4,
+                                            difficulty=0.2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_lenet(tiny_mnist_dataset: SyntheticImageDataset):
+    """A small LeNet trained briefly on the tiny dataset (session-scoped).
+
+    Returns ``(model, dataset, test_accuracy)``.  Training is short but the
+    dataset is easy, so the accuracy is well above chance, which the
+    dependent tests rely on.
+    """
+    dataset = tiny_mnist_dataset
+    model = build_lenet5(num_classes=dataset.num_classes, input_size=28,
+                         width_multiplier=0.5, seed=3)
+    trainer = Trainer(model, Adam(model, lr=3e-3), batch_size=32, seed=0)
+    history = trainer.fit(dataset.train.images, dataset.train.labels, epochs=3,
+                          validation=(dataset.test.images, dataset.test.labels))
+    return model, dataset, history.validation_accuracy[-1]

@@ -1,0 +1,98 @@
+"""Tests for the DeepCAM configuration object."""
+
+import pytest
+
+from repro.cam.cell import CellTechnology
+from repro.core.config import (
+    Dataflow,
+    DeepCAMConfig,
+    HashLengthPolicy,
+    SUPPORTED_HASH_LENGTHS,
+    SUPPORTED_ROW_COUNTS,
+)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = DeepCAMConfig()
+        assert config.cam_rows == 64
+        assert config.dataflow is Dataflow.ACTIVATION_STATIONARY
+        assert config.cell_technology is CellTechnology.FEFET
+        assert config.clock_frequency_hz == 300e6
+
+    def test_supported_constants(self):
+        assert SUPPORTED_HASH_LENGTHS == (256, 512, 768, 1024)
+        assert SUPPORTED_ROW_COUNTS == (64, 128, 256, 512)
+
+    def test_cycle_time(self):
+        assert DeepCAMConfig().cycle_time_s == pytest.approx(1 / 300e6)
+
+
+class TestValidation:
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            DeepCAMConfig(cam_rows=0)
+
+    def test_invalid_homogeneous_length(self):
+        with pytest.raises(ValueError):
+            DeepCAMConfig(homogeneous_hash_length=300)
+
+    def test_invalid_layer_hash_length(self):
+        with pytest.raises(ValueError):
+            DeepCAMConfig(layer_hash_lengths={"layer0": 100})
+
+    def test_invalid_latencies(self):
+        with pytest.raises(ValueError):
+            DeepCAMConfig(search_latency_cycles=0)
+        with pytest.raises(ValueError):
+            DeepCAMConfig(postprocess_lanes=0)
+
+    def test_negative_layer_seed_index(self):
+        with pytest.raises(ValueError):
+            DeepCAMConfig().layer_seed(-1)
+
+
+class TestHashLengthResolution:
+    def test_homogeneous_policy_ignores_layer_table(self):
+        config = DeepCAMConfig(hash_policy=HashLengthPolicy.HOMOGENEOUS,
+                               homogeneous_hash_length=512,
+                               layer_hash_lengths={"layer0": 1024})
+        assert config.hash_length_for("layer0") == 512
+
+    def test_variable_policy_uses_layer_table_with_fallback(self):
+        config = DeepCAMConfig(hash_policy=HashLengthPolicy.VARIABLE,
+                               homogeneous_hash_length=256,
+                               layer_hash_lengths={"layer1": 768})
+        assert config.hash_length_for("layer1") == 768
+        assert config.hash_length_for("layer9") == 256
+
+    def test_layer_seed_deterministic_and_distinct(self):
+        config = DeepCAMConfig(seed=7)
+        assert config.layer_seed(0) == DeepCAMConfig(seed=7).layer_seed(0)
+        assert config.layer_seed(0) != config.layer_seed(1)
+        assert DeepCAMConfig(seed=7).layer_seed(0) != DeepCAMConfig(seed=8).layer_seed(0)
+
+
+class TestDerivedCopies:
+    def test_with_rows(self):
+        assert DeepCAMConfig().with_rows(512).cam_rows == 512
+
+    def test_with_dataflow(self):
+        config = DeepCAMConfig().with_dataflow(Dataflow.WEIGHT_STATIONARY)
+        assert config.dataflow is Dataflow.WEIGHT_STATIONARY
+
+    def test_with_hash_lengths_switches_policy(self):
+        config = DeepCAMConfig().with_hash_lengths({"layer0": 512})
+        assert config.hash_policy is HashLengthPolicy.VARIABLE
+        assert config.hash_length_for("layer0") == 512
+
+    def test_homogeneous_clears_layer_table(self):
+        config = DeepCAMConfig(layer_hash_lengths={"layer0": 512}).homogeneous(1024)
+        assert config.hash_policy is HashLengthPolicy.HOMOGENEOUS
+        assert config.hash_length_for("layer0") == 1024
+        assert config.layer_hash_lengths == {}
+
+    def test_copies_do_not_mutate_original(self):
+        config = DeepCAMConfig()
+        config.with_rows(512)
+        assert config.cam_rows == 64

@@ -1,0 +1,107 @@
+"""Tests for the software context generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextGenerator, LayerContext
+from repro.core.minifloat import MINIFLOAT8
+from repro.nn.layers import Conv2d, Linear
+
+
+class TestLayerContext:
+    def test_validation(self, rng):
+        bits = rng.integers(0, 2, size=(4, 256)).astype(np.uint8)
+        norms = rng.uniform(1, 2, size=4)
+        context = LayerContext(bits=bits, norms=norms, hash_length=256,
+                               input_dim=9, layer_name="conv")
+        assert context.count == 4
+        assert context.storage_bits() == 4 * (256 + 8)
+        with pytest.raises(ValueError):
+            LayerContext(bits=bits, norms=norms[:3], hash_length=256,
+                         input_dim=9, layer_name="conv")
+        with pytest.raises(ValueError):
+            LayerContext(bits=bits, norms=norms, hash_length=128,
+                         input_dim=9, layer_name="conv")
+
+
+class TestWeightContexts:
+    def test_conv_layer_contexts(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, rng=rng)
+        generator = ContextGenerator(input_dim=27, hash_length=256, seed=0)
+        contexts = generator.weight_contexts(layer)
+        assert contexts.count == 8
+        assert contexts.bits.shape == (8, 256)
+
+    def test_linear_layer_contexts(self, rng):
+        layer = Linear(64, 10, rng=rng)
+        generator = ContextGenerator(input_dim=64, hash_length=512)
+        contexts = generator.weight_contexts(layer)
+        assert contexts.count == 10
+        assert contexts.hash_length == 512
+
+    def test_norms_are_minifloat_quantised_by_default(self, rng):
+        layer = Linear(32, 4, rng=rng)
+        generator = ContextGenerator(input_dim=32, hash_length=256)
+        contexts = generator.weight_contexts(layer)
+        exact = np.linalg.norm(layer.weight_matrix(), axis=1)
+        assert np.allclose(contexts.norms, MINIFLOAT8.quantize_array(exact))
+
+    def test_exact_norms_when_format_disabled(self, rng):
+        layer = Linear(32, 4, rng=rng)
+        generator = ContextGenerator(input_dim=32, hash_length=256, norm_format=None)
+        contexts = generator.weight_contexts(layer)
+        assert np.allclose(contexts.norms, np.linalg.norm(layer.weight_matrix(), axis=1))
+
+    def test_accepts_raw_matrix(self, rng):
+        matrix = rng.normal(size=(5, 16))
+        generator = ContextGenerator(input_dim=16, hash_length=256)
+        assert generator.weight_contexts(matrix).count == 5
+
+    def test_dimension_mismatch_raises(self, rng):
+        generator = ContextGenerator(input_dim=16, hash_length=256)
+        with pytest.raises(ValueError):
+            generator.contexts_from_matrix(rng.normal(size=(5, 17)))
+
+
+class TestActivationContexts:
+    def test_patch_extraction_matches_expected_count(self, rng):
+        generator = ContextGenerator(input_dim=1 * 3 * 3, hash_length=256)
+        image = rng.normal(size=(1, 8, 8))
+        contexts, (out_h, out_w) = generator.activation_contexts(image, kernel_size=3,
+                                                                 stride=1, padding=1)
+        assert (out_h, out_w) == (8, 8)
+        assert contexts.count == 64
+
+    def test_accepts_batched_single_image(self, rng):
+        generator = ContextGenerator(input_dim=3 * 3 * 3, hash_length=256)
+        image = rng.normal(size=(1, 3, 6, 6))
+        contexts, _ = generator.activation_contexts(image, kernel_size=3)
+        assert contexts.count == 16
+
+    def test_rejects_multi_image_batch(self, rng):
+        generator = ContextGenerator(input_dim=9, hash_length=256)
+        with pytest.raises(ValueError):
+            generator.activation_contexts(rng.normal(size=(2, 1, 6, 6)), kernel_size=3)
+
+    def test_patch_dimension_mismatch_raises(self, rng):
+        generator = ContextGenerator(input_dim=10, hash_length=256)
+        with pytest.raises(ValueError):
+            generator.activation_contexts(rng.normal(size=(1, 6, 6)), kernel_size=3)
+
+
+class TestSharedProjection:
+    def test_weights_and_activations_share_projection(self, rng):
+        # The Hamming distance between a weight context and an activation
+        # context is only meaningful because both use the same matrix.
+        generator = ContextGenerator(input_dim=16, hash_length=1024, seed=3,
+                                     norm_format=None)
+        vector = rng.normal(size=16)
+        as_weight = generator.weight_contexts(vector.reshape(1, -1))
+        as_activation = generator.activation_contexts_from_patches(vector.reshape(1, -1))
+        assert np.array_equal(as_weight.bits, as_activation.bits)
+
+    def test_same_seed_same_generator(self, rng):
+        vector = rng.normal(size=16)
+        a = ContextGenerator(16, 256, seed=5).contexts_from_matrix(vector.reshape(1, -1))
+        b = ContextGenerator(16, 256, seed=5).contexts_from_matrix(vector.reshape(1, -1))
+        assert np.array_equal(a.bits, b.bits)

@@ -1,0 +1,85 @@
+"""Tests for the DeepCAM energy model."""
+
+import pytest
+
+from repro.core.config import Dataflow, DeepCAMConfig
+from repro.core.energy import DeepCAMEnergyModel, energy_vs_hash_policy
+from repro.workloads.specs import lenet5_trace, vgg11_trace
+
+
+class TestLayerAndNetworkEnergy:
+    def test_breakdown_components_positive(self):
+        model = DeepCAMEnergyModel(DeepCAMConfig())
+        energy = model.network_energy(lenet5_trace())
+        breakdown = energy.breakdown()
+        assert all(value >= 0 for value in breakdown.values())
+        assert breakdown["cam_search_pj"] > 0
+        assert breakdown["postprocess_pj"] > 0
+
+    def test_total_is_sum_of_layers(self):
+        model = DeepCAMEnergyModel(DeepCAMConfig())
+        energy = model.network_energy(lenet5_trace())
+        assert energy.total_pj == pytest.approx(sum(l.total_pj for l in energy.layers))
+        assert energy.total_uj == pytest.approx(energy.total_pj * 1e-6)
+
+    def test_first_layer_has_no_online_context_generation(self):
+        model = DeepCAMEnergyModel(DeepCAMConfig())
+        energy = model.network_energy(lenet5_trace())
+        assert energy.layers[0].context_generation_pj == 0.0
+        assert energy.layers[1].context_generation_pj > 0.0
+
+    def test_larger_network_costs_more(self):
+        model = DeepCAMEnergyModel(DeepCAMConfig())
+        assert (model.network_energy(vgg11_trace()).total_uj
+                > model.network_energy(lenet5_trace()).total_uj)
+
+    def test_longer_hash_costs_more(self):
+        trace = lenet5_trace()
+        short = DeepCAMEnergyModel(DeepCAMConfig().homogeneous(256)).network_energy(trace)
+        long = DeepCAMEnergyModel(DeepCAMConfig().homogeneous(1024)).network_energy(trace)
+        assert long.total_uj > short.total_uj
+
+    def test_vgg11_energy_in_expected_order_of_magnitude(self):
+        # The paper reports 0.488 uJ for VGG11/CIFAR10 on DeepCAM with VHL;
+        # our model should land within roughly an order of magnitude.
+        config = DeepCAMConfig()
+        energy = DeepCAMEnergyModel(config).network_energy(vgg11_trace())
+        assert 0.05 < energy.total_uj < 20.0
+
+
+class TestHashPolicyComparison:
+    def test_vhl_between_baseline_and_max(self):
+        trace = lenet5_trace()
+        vhl = {layer.name: 512 for layer in trace}
+        energies = energy_vs_hash_policy(trace, DeepCAMConfig(), vhl)
+        assert energies["baseline_256"] <= energies["variable"] <= energies["max_1024"]
+
+    def test_vhl_equal_to_baseline_when_all_256(self):
+        trace = lenet5_trace()
+        vhl = {layer.name: 256 for layer in trace}
+        energies = energy_vs_hash_policy(trace, DeepCAMConfig(), vhl)
+        assert energies["variable"] == pytest.approx(energies["baseline_256"], rel=1e-6)
+
+    def test_keys_present(self):
+        trace = lenet5_trace()
+        energies = energy_vs_hash_policy(trace, DeepCAMConfig(),
+                                         {layer.name: 768 for layer in trace})
+        assert set(energies) == {"baseline_256", "max_1024", "variable"}
+
+
+class TestRowAndDataflowSensitivity:
+    def test_row_count_changes_search_energy(self):
+        trace = vgg11_trace()
+        small = DeepCAMEnergyModel(DeepCAMConfig(cam_rows=64)).network_energy(trace)
+        large = DeepCAMEnergyModel(DeepCAMConfig(cam_rows=512)).network_energy(trace)
+        assert small.breakdown()["cam_search_pj"] != large.breakdown()["cam_search_pj"]
+
+    def test_dataflow_changes_write_energy(self):
+        trace = lenet5_trace()
+        ws = DeepCAMEnergyModel(DeepCAMConfig(dataflow=Dataflow.WEIGHT_STATIONARY)
+                                ).network_energy(trace)
+        as_ = DeepCAMEnergyModel(DeepCAMConfig(dataflow=Dataflow.ACTIVATION_STATIONARY)
+                                 ).network_energy(trace)
+        # AS writes one row per activation context, WS one per kernel: very
+        # different write-energy totals.
+        assert ws.breakdown()["cam_write_pj"] != as_.breakdown()["cam_write_pj"]

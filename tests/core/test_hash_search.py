@@ -1,0 +1,89 @@
+"""Tests for the variable-hash-length search."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepCAMConfig
+from repro.core.hash_search import (
+    HashLengthSearchResult,
+    VariableHashLengthSearch,
+    accuracy_vs_hash_length,
+)
+from repro.nn.train import evaluate_accuracy
+
+
+class TestSearchResultDataclass:
+    def test_derived_properties(self):
+        result = HashLengthSearchResult(
+            baseline_accuracy=0.9, max_hash_accuracy=0.88, deepcam_accuracy=0.86,
+            layer_hash_lengths={"layer0": 256, "layer1": 768})
+        assert result.accuracy_drop == pytest.approx(0.04)
+        assert result.mean_hash_length == pytest.approx(512)
+
+    def test_empty_lengths(self):
+        result = HashLengthSearchResult(0.5, 0.5, 0.5, {})
+        assert result.mean_hash_length == 0.0
+
+
+class TestSearchConstruction:
+    def test_rejects_unsupported_lengths(self):
+        with pytest.raises(ValueError):
+            VariableHashLengthSearch(candidate_lengths=(100, 256))
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            VariableHashLengthSearch(candidate_lengths=())
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            VariableHashLengthSearch(tolerance=-0.1)
+
+    def test_max_length_is_largest_candidate(self):
+        search = VariableHashLengthSearch(candidate_lengths=(512, 256))
+        assert search.max_length == 512
+
+
+class TestGreedySearch:
+    def test_search_on_trained_model(self, trained_tiny_lenet):
+        model, dataset, baseline_accuracy = trained_tiny_lenet
+        images = dataset.test.images[:80]
+        labels = dataset.test.labels[:80]
+        search = VariableHashLengthSearch(
+            config=DeepCAMConfig(cam_rows=64),
+            candidate_lengths=(256, 512, 1024),
+            tolerance=0.05, batch_size=40)
+        result = search.search(model, images, labels)
+
+        # Baseline accuracy matches an independent evaluation on the subset.
+        assert result.baseline_accuracy == pytest.approx(
+            evaluate_accuracy(model, images, labels), abs=1e-9)
+        # One hash length per dot-product layer (LeNet5 has 5).
+        assert len(result.layer_hash_lengths) == 5
+        assert all(k in (256, 512, 1024) for k in result.layer_hash_lengths.values())
+        # DeepCAM accuracy stays within the configured tolerance of the
+        # all-max accuracy (that is the search's stopping criterion).
+        assert result.deepcam_accuracy >= result.max_hash_accuracy - 0.05 - 1e-9
+        # And the whole point of the paper: the drop versus the software
+        # baseline is small.
+        assert result.accuracy_drop <= 0.15
+        assert result.evaluations >= 2
+
+    def test_variable_lengths_not_all_maximum(self, trained_tiny_lenet):
+        # At least one layer should accept a shorter hash than the maximum --
+        # the observation motivating variable hash lengths.
+        model, dataset, _ = trained_tiny_lenet
+        search = VariableHashLengthSearch(
+            config=DeepCAMConfig(cam_rows=64),
+            candidate_lengths=(256, 1024), tolerance=0.08, batch_size=40)
+        result = search.search(model, dataset.test.images[:60], dataset.test.labels[:60])
+        assert min(result.layer_hash_lengths.values()) < 1024
+
+
+class TestAccuracySweep:
+    def test_accuracy_increases_with_hash_length_on_average(self, trained_tiny_lenet):
+        model, dataset, _ = trained_tiny_lenet
+        sweep = accuracy_vs_hash_length(model, dataset.test.images[:80],
+                                        dataset.test.labels[:80],
+                                        hash_lengths=(256, 1024), batch_size=40)
+        assert set(sweep) == {256, 1024}
+        assert sweep[1024] >= sweep[256] - 0.05

@@ -1,0 +1,172 @@
+"""Tests for random-projection hashing and Hamming-distance estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import (
+    CAM_CHUNK_BITS,
+    HashedVector,
+    RandomProjectionHasher,
+    SUPPORTED_HASH_LENGTHS,
+    angle_from_hamming,
+    chunks_for_hash_length,
+    expected_hamming,
+    hamming_distance,
+    hamming_distance_matrix,
+    hash_collision_probability,
+    validate_hash_length,
+)
+
+
+class TestValidation:
+    def test_supported_lengths_are_chunk_multiples(self):
+        assert all(k % CAM_CHUNK_BITS == 0 for k in SUPPORTED_HASH_LENGTHS)
+
+    def test_strict_mode_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            validate_hash_length(300, strict=True)
+
+    def test_non_strict_allows_any_positive(self):
+        assert validate_hash_length(10) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            validate_hash_length(0)
+
+    @pytest.mark.parametrize("length,chunks", [(256, 1), (257, 2), (512, 2), (768, 3), (1024, 4)])
+    def test_chunk_count(self, length, chunks):
+        assert chunks_for_hash_length(length) == chunks
+
+
+class TestHasher:
+    def test_deterministic_given_seed(self):
+        a = RandomProjectionHasher(16, 256, seed=5)
+        b = RandomProjectionHasher(16, 256, seed=5)
+        vector = np.arange(16, dtype=float)
+        assert np.array_equal(a.hash(vector), b.hash(vector))
+
+    def test_different_seeds_differ(self, rng):
+        vector = rng.normal(size=32)
+        a = RandomProjectionHasher(32, 512, seed=0).hash(vector)
+        b = RandomProjectionHasher(32, 512, seed=1).hash(vector)
+        assert not np.array_equal(a, b)
+
+    def test_output_shape_and_dtype(self, rng):
+        hasher = RandomProjectionHasher(20, 256)
+        bits = hasher.hash(rng.normal(size=20))
+        assert bits.shape == (256,)
+        assert bits.dtype == np.uint8
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_batch_matches_single(self, rng):
+        hasher = RandomProjectionHasher(12, 256)
+        matrix = rng.normal(size=(5, 12))
+        batch = hasher.hash_batch(matrix)
+        singles = np.stack([hasher.hash(row) for row in matrix])
+        assert np.array_equal(batch, singles)
+
+    def test_scaling_invariance(self, rng):
+        # sign(alpha * x @ C) == sign(x @ C) for alpha > 0.
+        hasher = RandomProjectionHasher(16, 512)
+        vector = rng.normal(size=16)
+        assert np.array_equal(hasher.hash(vector), hasher.hash(3.7 * vector))
+
+    def test_negation_flips_most_bits(self, rng):
+        hasher = RandomProjectionHasher(16, 1024)
+        vector = rng.normal(size=16)
+        flipped = hamming_distance(hasher.hash(vector), hasher.hash(-vector))
+        assert flipped == 1024  # every projection changes sign (ties measure-zero)
+
+    def test_dimension_mismatch_raises(self, rng):
+        hasher = RandomProjectionHasher(16, 256)
+        with pytest.raises(ValueError):
+            hasher.hash(rng.normal(size=17))
+        with pytest.raises(ValueError):
+            hasher.hash_batch(rng.normal(size=(4, 15)))
+
+    def test_truncated_is_prefix(self, rng):
+        hasher = RandomProjectionHasher(16, 1024, seed=2)
+        short = hasher.truncated(256)
+        vector = rng.normal(size=16)
+        assert np.array_equal(hasher.hash(vector)[:256], short.hash(vector))
+
+    def test_truncated_rejects_longer(self):
+        with pytest.raises(ValueError):
+            RandomProjectionHasher(16, 256).truncated(512)
+
+    def test_projection_matrix_is_read_only(self):
+        hasher = RandomProjectionHasher(8, 256)
+        with pytest.raises(ValueError):
+            hasher.projection_matrix[0, 0] = 1.0
+
+    def test_hash_with_norm(self, rng):
+        hasher = RandomProjectionHasher(10, 256)
+        vector = rng.normal(size=10)
+        hashed = hasher.hash_with_norm(vector)
+        assert isinstance(hashed, HashedVector)
+        assert hashed.norm == pytest.approx(np.linalg.norm(vector))
+        assert hashed.packed().size == 256 // 8
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            RandomProjectionHasher(0, 256)
+        with pytest.raises(ValueError):
+            RandomProjectionHasher(16, 300, strict_lengths=True)
+
+
+class TestHammingDistance:
+    def test_simple_distance(self):
+        assert hamming_distance([0, 1, 1, 0], [1, 1, 0, 0]) == 2
+
+    def test_zero_distance(self):
+        bits = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert hamming_distance(bits, bits) == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0, 1], [0, 1, 1])
+
+    def test_matrix_matches_pairwise(self, rng):
+        a = rng.integers(0, 2, size=(6, 64)).astype(np.uint8)
+        b = rng.integers(0, 2, size=(4, 64)).astype(np.uint8)
+        matrix = hamming_distance_matrix(a, b)
+        for i in range(6):
+            for j in range(4):
+                assert matrix[i, j] == hamming_distance(a[i], b[j])
+
+    def test_matrix_requires_matching_width(self, rng):
+        with pytest.raises(ValueError):
+            hamming_distance_matrix(np.zeros((2, 8)), np.zeros((2, 9)))
+
+
+class TestAngleEstimation:
+    def test_angle_from_hamming_extremes(self):
+        assert angle_from_hamming(0, 256) == pytest.approx(0.0)
+        assert angle_from_hamming(256, 256) == pytest.approx(math.pi)
+
+    def test_angle_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            angle_from_hamming(300, 256)
+
+    def test_expected_hamming_inverts_angle(self):
+        theta = 1.1
+        hd = expected_hamming(theta, 512)
+        assert angle_from_hamming(hd, 512) == pytest.approx(theta)
+
+    def test_collision_probability_range(self):
+        assert hash_collision_probability(0.0) == 0.0
+        assert hash_collision_probability(math.pi) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            hash_collision_probability(4.0)
+
+    def test_hamming_estimates_known_angle(self, rng):
+        # Two vectors at a known 60-degree angle: the normalised Hamming
+        # distance should concentrate around theta/pi = 1/3 for long hashes.
+        theta = math.pi / 3
+        x = np.array([1.0, 0.0])
+        y = np.array([math.cos(theta), math.sin(theta)])
+        hasher = RandomProjectionHasher(2, 1024, seed=11)
+        hd = hamming_distance(hasher.hash(x), hasher.hash(y))
+        assert hd / 1024 == pytest.approx(theta / math.pi, abs=0.05)

@@ -1,0 +1,127 @@
+"""Tests for the DeepCAM mapping (cycle/utilization) model."""
+
+import math
+
+import pytest
+
+from repro.core.config import Dataflow, DeepCAMConfig
+from repro.core.mapping import DeepCAMMapper, compare_dataflows, sweep_rows
+from repro.workloads.specs import ConvSpec, FCSpec, lenet5_trace, vgg11_trace
+
+
+@pytest.fixture
+def lenet_conv1():
+    # The paper's worked example: 32x32 single-channel input, 6 kernels of
+    # 5x5, stride 1 -> 784 activation contexts, 6 weight contexts.
+    return ConvSpec("conv1", in_channels=1, out_channels=6, kernel_size=5, input_size=32)
+
+
+class TestPaperWorkedExample:
+    def test_weight_stationary_utilization_is_9_4_percent(self, lenet_conv1):
+        config = DeepCAMConfig(cam_rows=64, dataflow=Dataflow.WEIGHT_STATIONARY)
+        mapping = DeepCAMMapper(config).map_layer(lenet_conv1)
+        # Paper Sec. IV-B: 6 occupied rows out of 64 = 9.4 % utilization.
+        assert mapping.utilization == pytest.approx(6 / 64, abs=1e-3)
+
+    def test_activation_stationary_utilization_is_much_higher(self, lenet_conv1):
+        config = DeepCAMConfig(cam_rows=64, dataflow=Dataflow.ACTIVATION_STATIONARY)
+        mapping = DeepCAMMapper(config).map_layer(lenet_conv1)
+        # 784 contexts over ceil(784/64)=13 fills -> 94 % average occupancy.
+        assert mapping.utilization > 0.9
+
+    def test_activation_stationary_needs_fewer_searches(self, lenet_conv1):
+        ws = DeepCAMMapper(DeepCAMConfig(dataflow=Dataflow.WEIGHT_STATIONARY)).map_layer(lenet_conv1)
+        as_ = DeepCAMMapper(DeepCAMConfig(dataflow=Dataflow.ACTIVATION_STATIONARY)).map_layer(lenet_conv1)
+        assert ws.searches == 784          # one search per activation context
+        assert as_.searches == 13 * 6      # 13 fills x 6 kernel queries
+        assert as_.searches < ws.searches
+
+
+class TestLayerMapping:
+    def test_fc_layer_prefers_weight_stationary(self):
+        layer = FCSpec("fc", in_features=400, out_features=120)
+        ws = DeepCAMMapper(DeepCAMConfig(dataflow=Dataflow.WEIGHT_STATIONARY)).map_layer(layer)
+        as_ = DeepCAMMapper(DeepCAMConfig(dataflow=Dataflow.ACTIVATION_STATIONARY)).map_layer(layer)
+        assert ws.searches < as_.searches
+
+    def test_auto_dataflow_picks_minimum_searches(self, lenet_conv1):
+        auto = DeepCAMMapper(DeepCAMConfig(dataflow=Dataflow.AUTO))
+        conv_mapping = auto.map_layer(lenet_conv1)
+        fc_mapping = auto.map_layer(FCSpec("fc", 400, 120))
+        assert conv_mapping.searches == 13 * 6          # activation stationary
+        assert fc_mapping.searches == math.ceil(120 / 64)  # weight stationary
+
+    def test_hash_length_resolution(self, lenet_conv1):
+        config = DeepCAMConfig().with_hash_lengths({"conv1": 768})
+        mapping = DeepCAMMapper(config).map_layer(lenet_conv1)
+        assert mapping.hash_length == 768
+
+    def test_explicit_hash_length_overrides_config(self, lenet_conv1):
+        mapping = DeepCAMMapper(DeepCAMConfig()).map_layer(lenet_conv1, hash_length=1024)
+        assert mapping.hash_length == 1024
+
+    def test_postprocess_cycles_scale_with_outputs(self, lenet_conv1):
+        few_lanes = DeepCAMConfig(postprocess_lanes=1)
+        many_lanes = DeepCAMConfig(postprocess_lanes=64)
+        few = DeepCAMMapper(few_lanes).map_layer(lenet_conv1)
+        many = DeepCAMMapper(many_lanes).map_layer(lenet_conv1)
+        assert few.postprocess_cycles == lenet_conv1.output_elements
+        assert many.postprocess_cycles == math.ceil(lenet_conv1.output_elements / 64)
+        assert few.cycles >= many.cycles
+
+    def test_activation_write_cycles_optional(self, lenet_conv1):
+        hidden = DeepCAMMapper(DeepCAMConfig()).map_layer(lenet_conv1)
+        counted = DeepCAMMapper(DeepCAMConfig(count_activation_write_cycles=True)).map_layer(lenet_conv1)
+        assert hidden.write_cycles == 0
+        assert counted.write_cycles == 784
+        assert counted.cycles > hidden.cycles
+
+    def test_weight_stationary_has_no_runtime_writes(self, lenet_conv1):
+        config = DeepCAMConfig(dataflow=Dataflow.WEIGHT_STATIONARY,
+                               count_activation_write_cycles=True)
+        assert DeepCAMMapper(config).map_layer(lenet_conv1).write_cycles == 0
+
+
+class TestNetworkMapping:
+    def test_total_cycles_is_sum_of_layers(self):
+        mapping = DeepCAMMapper(DeepCAMConfig()).map_network(lenet5_trace())
+        assert mapping.total_cycles == sum(m.cycles for m in mapping.layers)
+        assert mapping.total_searches == sum(m.searches for m in mapping.layers)
+
+    def test_latency_uses_clock(self):
+        mapping = DeepCAMMapper(DeepCAMConfig()).map_network(lenet5_trace())
+        assert mapping.latency_s == pytest.approx(mapping.total_cycles / 300e6)
+
+    def test_layer_lookup(self):
+        mapping = DeepCAMMapper(DeepCAMConfig()).map_network(lenet5_trace())
+        assert mapping.layer_by_name("conv1").layer.name == "conv1"
+        with pytest.raises(KeyError):
+            mapping.layer_by_name("missing")
+
+    def test_more_rows_reduce_cycles(self):
+        trace = vgg11_trace()
+        results = sweep_rows(trace, DeepCAMConfig(), row_counts=(64, 128, 256, 512))
+        cycles = [results[r].total_cycles for r in (64, 128, 256, 512)]
+        assert cycles == sorted(cycles, reverse=True)
+        assert cycles[0] > cycles[-1]
+
+    def test_compare_dataflows_returns_both(self):
+        results = compare_dataflows(lenet5_trace(), DeepCAMConfig())
+        assert set(results) == {"weight_stationary", "activation_stationary"}
+
+    def test_lenet_activation_stationary_beats_weight_stationary(self):
+        # The Fig. 9 claim for the LeNet/MNIST workload.
+        results = compare_dataflows(lenet5_trace(), DeepCAMConfig())
+        assert (results["activation_stationary"].total_cycles
+                <= results["weight_stationary"].total_cycles)
+
+    def test_per_layer_hash_override_applied_to_network(self):
+        trace = lenet5_trace()
+        lengths = {layer.name: 512 for layer in trace}
+        mapping = DeepCAMMapper(DeepCAMConfig()).map_network(trace, hash_lengths=lengths)
+        assert all(m.hash_length == 512 for m in mapping.layers)
+
+    def test_mean_utilization_between_zero_and_one(self):
+        for trace in (lenet5_trace(), vgg11_trace()):
+            mapping = DeepCAMMapper(DeepCAMConfig()).map_network(trace)
+            assert 0.0 < mapping.mean_utilization <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for the 8-bit minifloat format."""
+
+import numpy as np
+import pytest
+
+from repro.core.minifloat import MINIFLOAT8, Minifloat
+
+
+class TestFormatProperties:
+    def test_default_format_is_8_bits(self):
+        assert MINIFLOAT8.total_bits == 8
+
+    def test_unsigned_format_width(self):
+        fmt = Minifloat(exponent_bits=4, mantissa_bits=3, signed=False)
+        assert fmt.total_bits == 7
+
+    def test_max_value_formula(self):
+        fmt = Minifloat(exponent_bits=4, mantissa_bits=3)
+        assert fmt.max_value == pytest.approx((2 - 2 ** -3) * 2 ** (15 - 7))
+
+    def test_min_subnormal_below_min_normal(self):
+        assert MINIFLOAT8.min_subnormal < MINIFLOAT8.min_normal
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            Minifloat(exponent_bits=1, mantissa_bits=3)
+        with pytest.raises(ValueError):
+            Minifloat(exponent_bits=4, mantissa_bits=0)
+
+
+class TestQuantisation:
+    def test_representable_values_are_fixed_points(self):
+        fmt = MINIFLOAT8
+        for value in (0.0, 1.0, 1.5, 2.0, 3.5, 0.25, -2.0, fmt.max_value):
+            assert fmt.quantize(value) == pytest.approx(value)
+
+    def test_saturates_above_max(self):
+        fmt = MINIFLOAT8
+        assert fmt.quantize(1e6) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-1e6) == pytest.approx(-fmt.max_value)
+
+    def test_relative_error_bounded_for_normals(self, rng):
+        fmt = MINIFLOAT8
+        values = rng.uniform(fmt.min_normal, fmt.max_value / 2, size=500)
+        errors = fmt.relative_error(values)
+        # 3 mantissa bits -> worst-case relative error 1/2^4 = 6.25 %.
+        assert np.max(errors) <= 2 ** -(fmt.mantissa_bits + 1) + 1e-9
+
+    def test_zero_maps_to_zero(self):
+        assert MINIFLOAT8.quantize(0.0) == 0.0
+
+    def test_unsigned_rejects_negative(self):
+        fmt = Minifloat(signed=False)
+        with pytest.raises(ValueError):
+            fmt.quantize(-1.0)
+
+    def test_quantize_array_matches_scalar(self, rng):
+        fmt = MINIFLOAT8
+        values = rng.uniform(-100, 100, size=64)
+        array = fmt.quantize_array(values)
+        scalars = np.array([fmt.quantize(float(v)) for v in values])
+        assert np.allclose(array, scalars)
+
+    def test_quantisation_idempotent(self, rng):
+        fmt = MINIFLOAT8
+        values = fmt.quantize_array(rng.uniform(-50, 50, size=100))
+        assert np.allclose(fmt.quantize_array(values), values)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_on_representable_values(self):
+        fmt = MINIFLOAT8
+        for value in (0.0, 1.0, -1.0, 0.125, 3.5, 240.0, -0.0625):
+            assert fmt.decode(fmt.encode(value)) == pytest.approx(fmt.quantize(value))
+
+    def test_all_codes_decode_and_reencode(self):
+        fmt = MINIFLOAT8
+        for word in range(256):
+            value = fmt.decode(word)
+            # decode -> encode may normalise -0.0 to +0.0 but preserves value.
+            assert fmt.decode(fmt.encode(value)) == pytest.approx(value)
+
+    def test_encode_rejects_out_of_range_words(self):
+        with pytest.raises(ValueError):
+            MINIFLOAT8.decode(256)
+        with pytest.raises(ValueError):
+            MINIFLOAT8.decode(-1)
+
+    def test_encode_array_dtype(self):
+        codes = MINIFLOAT8.encode_array([1.0, 2.0, 3.0])
+        assert codes.dtype == np.uint8
+
+    def test_decode_array_roundtrip(self, rng):
+        fmt = MINIFLOAT8
+        values = fmt.quantize_array(rng.uniform(0.1, 100, size=32))
+        assert np.allclose(fmt.decode_array(fmt.encode_array(values)), values)
+
+    def test_monotonic_encoding_of_positive_values(self):
+        # Larger positive values never get smaller exponent/mantissa codes.
+        fmt = Minifloat(signed=False)
+        values = [0.1, 0.5, 1.0, 2.0, 10.0, 100.0]
+        codes = [fmt.encode(v) for v in values]
+        assert codes == sorted(codes)

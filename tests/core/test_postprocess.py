@@ -1,0 +1,107 @@
+"""Tests for the post-processing & transformation unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextGenerator
+from repro.core.postprocess import OnlineContextGenerator, PostProcessor
+
+
+class TestPostProcessorDotProducts:
+    def test_zero_distance_gives_norm_product(self):
+        processor = PostProcessor(hash_length=256)
+        products = processor.dot_products(np.zeros((2, 3)),
+                                          stationary_norms=[2.0, 3.0],
+                                          query_norms=[1.0, 2.0, 4.0])
+        assert products.shape == (2, 3)
+        assert products[0, 0] == pytest.approx(2.0)
+        assert products[1, 2] == pytest.approx(12.0)
+
+    def test_full_distance_gives_negative_norm_product(self):
+        processor = PostProcessor(hash_length=256)
+        products = processor.dot_products(np.full((1, 1), 256), [2.0], [3.0])
+        assert products[0, 0] == pytest.approx(-6.0)
+
+    def test_half_distance_near_zero(self):
+        processor = PostProcessor(hash_length=256)
+        products = processor.dot_products(np.full((1, 1), 128), [5.0], [5.0])
+        assert abs(products[0, 0]) < 0.2
+
+    def test_energy_accumulates_per_output(self):
+        processor = PostProcessor(hash_length=256)
+        processor.dot_products(np.zeros((4, 8)), np.ones(4), np.ones(8))
+        first = processor.energy.total_pj
+        processor.dot_products(np.zeros((4, 8)), np.ones(4), np.ones(8))
+        assert processor.energy.total_pj == pytest.approx(2 * first)
+        assert processor.energy.cosine_pj > 0
+        assert processor.energy.norm_multiply_pj > 0
+
+    def test_validation(self):
+        processor = PostProcessor(hash_length=128)
+        with pytest.raises(ValueError):
+            processor.dot_products(np.full((1, 1), 200), [1.0], [1.0])
+        with pytest.raises(ValueError):
+            processor.dot_products(np.zeros((2, 2)), [1.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            PostProcessor(hash_length=0)
+
+
+class TestDigitalPeripherals:
+    def test_relu_clamps_and_charges_energy(self, rng):
+        processor = PostProcessor(hash_length=256)
+        feature_map = rng.normal(size=(2, 4, 4))
+        out = processor.relu(feature_map)
+        assert np.all(out >= 0)
+        assert processor.energy.relu_pj > 0
+
+    def test_bias_add(self, rng):
+        processor = PostProcessor(hash_length=256)
+        feature_map = rng.normal(size=(3, 2, 2))
+        out = processor.add_bias(feature_map, np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(out - feature_map, np.array([1.0, 2.0, 3.0]).reshape(3, 1, 1))
+        with pytest.raises(ValueError):
+            processor.add_bias(feature_map, np.array([1.0]))
+
+    def test_max_pool(self):
+        processor = PostProcessor(hash_length=256)
+        feature_map = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = processor.max_pool(feature_map, 2)
+        assert np.array_equal(out[0], [[5, 7], [13, 15]])
+        assert processor.energy.pooling_pj > 0
+
+    def test_batchnorm_affine(self, rng):
+        processor = PostProcessor(hash_length=256)
+        feature_map = rng.normal(size=(2, 3, 3))
+        scale = np.array([2.0, 0.5])
+        shift = np.array([1.0, -1.0])
+        out = processor.batchnorm(feature_map, scale, shift)
+        expected = feature_map * scale.reshape(2, 1, 1) + shift.reshape(2, 1, 1)
+        assert np.allclose(out, expected)
+        with pytest.raises(ValueError):
+            processor.batchnorm(feature_map, np.ones(3), np.ones(3))
+
+
+class TestOnlineContextGenerator:
+    def test_matches_software_generator(self, rng):
+        software = ContextGenerator(input_dim=18, hash_length=256, seed=2, layer_name="conv")
+        online = OnlineContextGenerator(software)
+        patches = rng.normal(size=(12, 18))
+        hardware_context, report = online.generate(patches)
+        software_context = software.contexts_from_matrix(patches)
+        # Hash bits essentially identical; norms within the minifloat grid
+        # error plus the fixed-point sqrt error.
+        assert report.hash_agreement > 0.97
+        assert np.allclose(hardware_context.norms, software_context.norms, rtol=0.15)
+        assert report.energy_pj > 0
+        assert report.cycles > 0
+
+    def test_shape_validation(self, rng):
+        software = ContextGenerator(input_dim=10, hash_length=256)
+        online = OnlineContextGenerator(software)
+        with pytest.raises(ValueError):
+            online.generate(rng.normal(size=(4, 11)))
+
+    def test_energy_per_context_positive_and_scales_with_hash_length(self):
+        short = OnlineContextGenerator(ContextGenerator(input_dim=32, hash_length=256))
+        long = OnlineContextGenerator(ContextGenerator(input_dim=32, hash_length=1024))
+        assert 0 < short.energy_per_context_pj() < long.energy_per_context_pj()

@@ -1,0 +1,86 @@
+"""Tests for the NVM hashing crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import RandomProjectionHasher
+from repro.crossbar.crossbar import CrossbarConfig, HashingCrossbar, SignSenseAmplifier
+
+
+class TestSignSenseAmplifier:
+    def test_ideal_comparator_decides_on_sign(self):
+        amp = SignSenseAmplifier()
+        positive = np.array([1.0, 3.0, 0.5])
+        negative = np.array([0.5, 4.0, 0.5])
+        assert list(amp.decide(positive, negative)) == [1, 0, 1]
+
+    def test_offset_is_static_per_instance(self):
+        amp = SignSenseAmplifier(offset_sigma_ua=5.0, seed=3)
+        assert amp.offset_ua == SignSenseAmplifier(offset_sigma_ua=5.0, seed=3).offset_ua
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SignSenseAmplifier(offset_sigma_ua=-1.0)
+
+
+class TestCrossbarConfig:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0, columns=10)
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=10, columns=10, conductance_levels=1)
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=10, columns=10, g_min_us=5.0, g_max_us=1.0)
+
+
+class TestHashingCrossbar:
+    def test_matches_ideal_hash_without_nonidealities(self, rng):
+        hasher = RandomProjectionHasher(input_dim=24, hash_length=256, seed=4)
+        crossbar = HashingCrossbar(hasher.projection_matrix)
+        data = rng.normal(size=(16, 24))
+        ideal = hasher.hash_batch(data)
+        produced = crossbar.hash_batch(data)
+        agreement = np.mean(produced == ideal)
+        # Conductance quantisation flips only bits whose projection is very
+        # close to zero; agreement stays essentially perfect.
+        assert agreement > 0.97
+
+    def test_single_vector_hash_matches_batch(self, rng):
+        hasher = RandomProjectionHasher(input_dim=12, hash_length=256, seed=1)
+        crossbar = HashingCrossbar(hasher.projection_matrix)
+        vector = rng.normal(size=12)
+        assert np.array_equal(crossbar.hash(vector), crossbar.hash_batch(vector.reshape(1, -1))[0])
+
+    def test_device_variation_reduces_agreement(self, rng):
+        hasher = RandomProjectionHasher(input_dim=32, hash_length=512, seed=2)
+        data = rng.normal(size=(32, 32))
+        ideal = hasher.hash_batch(data)
+        clean = HashingCrossbar(hasher.projection_matrix)
+        noisy = HashingCrossbar(
+            hasher.projection_matrix,
+            config=CrossbarConfig(rows=32, columns=512, device_variation_sigma=0.5),
+            seed=9)
+        assert noisy.agreement_with_ideal(data, ideal) <= clean.agreement_with_ideal(data, ideal)
+        # Even heavy variation keeps a clear majority of bits correct.
+        assert noisy.agreement_with_ideal(data, ideal) > 0.7
+
+    def test_geometry_mismatch_rejected(self, rng):
+        projection = rng.normal(size=(16, 64))
+        with pytest.raises(ValueError):
+            HashingCrossbar(projection, config=CrossbarConfig(rows=8, columns=64))
+        crossbar = HashingCrossbar(projection)
+        with pytest.raises(ValueError):
+            crossbar.hash_batch(rng.normal(size=(4, 15)))
+
+    def test_energy_and_latency_positive_and_scale(self):
+        small = HashingCrossbar(np.ones((16, 256)))
+        large = HashingCrossbar(np.ones((64, 1024)))
+        assert 0 < small.energy_per_hash_pj() < large.energy_per_hash_pj()
+        assert small.latency_cycles() == small.config.input_bits + 1
+        assert small.area_um2() < large.area_um2()
+
+    def test_agreement_helper_validates_shape(self, rng):
+        crossbar = HashingCrossbar(rng.normal(size=(8, 64)))
+        data = rng.normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            crossbar.agreement_with_ideal(data, np.zeros((3, 64), dtype=np.uint8))

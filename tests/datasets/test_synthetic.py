@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import DatasetSplit, SyntheticImageDataset, train_test_split
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_mnist_like,
+    make_synthetic_classification,
+)
+
+
+class TestSyntheticSpec:
+    def test_valid_spec(self):
+        spec = SyntheticSpec(num_classes=10, channels=3, image_size=32)
+        assert spec.difficulty == pytest.approx(0.35)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_classes": 1, "channels": 1, "image_size": 28},
+        {"num_classes": 10, "channels": 2, "image_size": 28},
+        {"num_classes": 10, "channels": 1, "image_size": 4},
+        {"num_classes": 10, "channels": 1, "image_size": 28, "difficulty": 1.5},
+        {"num_classes": 10, "channels": 1, "image_size": 28, "max_shift": -1},
+    ])
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticSpec(**kwargs)
+
+
+class TestGeneration:
+    def test_shapes_and_labels(self):
+        spec = SyntheticSpec(num_classes=5, channels=1, image_size=16)
+        images, labels = make_synthetic_classification(spec, 50, seed=0)
+        assert images.shape == (50, 1, 16, 16)
+        assert labels.shape == (50,)
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(num_classes=3, channels=1, image_size=12)
+        a = make_synthetic_classification(spec, 20, seed=5)
+        b = make_synthetic_classification(spec, 20, seed=5)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        spec = SyntheticSpec(num_classes=3, channels=1, image_size=12)
+        a = make_synthetic_classification(spec, 20, seed=1)
+        b = make_synthetic_classification(spec, 20, seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_same_class_samples_are_correlated(self):
+        # Low difficulty: two samples of the same class correlate much more
+        # than samples of different classes (that is what makes it learnable).
+        spec = SyntheticSpec(num_classes=2, channels=1, image_size=20,
+                             difficulty=0.1, max_shift=0)
+        images, labels = make_synthetic_classification(spec, 200, seed=3)
+        flat = images.reshape(len(images), -1)
+        same, different = [], []
+        for i in range(0, 100, 2):
+            for j in range(1, 100, 2):
+                corr = np.corrcoef(flat[i], flat[j])[0, 1]
+                (same if labels[i] == labels[j] else different).append(corr)
+        assert np.mean(same) > np.mean(different) + 0.2
+
+    def test_difficulty_increases_noise(self):
+        easy_spec = SyntheticSpec(num_classes=2, channels=1, image_size=16, difficulty=0.0)
+        hard_spec = SyntheticSpec(num_classes=2, channels=1, image_size=16, difficulty=1.0)
+        easy, _ = make_synthetic_classification(easy_spec, 50, seed=0)
+        hard, _ = make_synthetic_classification(hard_spec, 50, seed=0)
+        assert hard.std() > easy.std()
+
+    def test_invalid_sample_count(self):
+        spec = SyntheticSpec(num_classes=2, channels=1, image_size=16)
+        with pytest.raises(ValueError):
+            make_synthetic_classification(spec, 0)
+
+    def test_named_generators_geometry(self):
+        mnist_images, _, mnist_spec = make_mnist_like(num_samples=10)
+        cifar_images, _, cifar_spec = make_cifar10_like(num_samples=10)
+        cifar100_images, _, cifar100_spec = make_cifar100_like(num_samples=10, num_classes=100)
+        assert mnist_images.shape[1:] == (1, 28, 28)
+        assert cifar_images.shape[1:] == (3, 32, 32)
+        assert cifar100_images.shape[1:] == (3, 32, 32)
+        assert cifar100_spec.num_classes == 100
+        assert mnist_spec.channels == 1 and cifar_spec.channels == 3
+
+
+class TestSplitsAndDatasets:
+    def test_train_test_split_fractions(self, rng):
+        images = rng.normal(size=(100, 1, 8, 8))
+        labels = rng.integers(0, 3, size=100)
+        train, test = train_test_split(images, labels, test_fraction=0.2, seed=0)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_split_is_disjoint_and_complete(self, rng):
+        images = np.arange(50).reshape(50, 1, 1, 1).astype(float)
+        labels = np.zeros(50, dtype=np.int64)
+        train, test = train_test_split(images, labels, test_fraction=0.3, seed=1)
+        combined = np.concatenate([train.images, test.images]).ravel()
+        assert sorted(combined.tolist()) == list(range(50))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(rng.normal(size=(10, 1, 2, 2)), np.zeros(10), test_fraction=1.5)
+
+    def test_dataset_split_validation(self, rng):
+        with pytest.raises(ValueError):
+            DatasetSplit(images=rng.normal(size=(5, 1, 2, 2)), labels=np.zeros(4))
+
+    def test_dataset_split_subset(self, rng):
+        split = DatasetSplit(images=rng.normal(size=(10, 1, 2, 2)),
+                             labels=np.arange(10))
+        subset = split.subset(3)
+        assert len(subset) == 3
+        with pytest.raises(ValueError):
+            split.subset(0)
+
+    def test_synthetic_dataset_factories(self):
+        dataset = SyntheticImageDataset.mnist_like(num_samples=60, num_classes=3, seed=0)
+        assert dataset.num_classes == 3
+        assert dataset.input_shape == (1, 28, 28)
+        assert len(dataset.train) + len(dataset.test) == 60

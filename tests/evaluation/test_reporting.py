@@ -1,0 +1,48 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.evaluation.reporting import format_table, series_to_rows
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_column_alignment(self):
+        text = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches width
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "a"
+
+
+class TestSeriesToRows:
+    def test_roundtrip(self):
+        series = {64: {"energy": 1.0, "area": 2.0}, 128: {"energy": 3.0, "area": 4.0}}
+        headers, rows = series_to_rows(series, key_header="rows")
+        assert headers == ["rows", "energy", "area"]
+        assert rows[0] == [64, 1.0, 2.0]
+        assert rows[1] == [128, 3.0, 4.0]
+
+    def test_empty_series(self):
+        headers, rows = series_to_rows({})
+        assert headers == ["key"]
+        assert rows == []
+
+    def test_feeds_format_table(self):
+        series = {"a": {"v": 1}, "b": {"v": 2}}
+        headers, rows = series_to_rows(series)
+        assert "v" in format_table(headers, rows)

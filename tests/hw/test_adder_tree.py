@@ -1,0 +1,81 @@
+"""Tests for the adder-tree model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.adder_tree import AdderTree
+
+
+class TestStructure:
+    def test_depth_is_log2_of_inputs(self):
+        assert AdderTree(8).depth == 3
+        assert AdderTree(9).depth == 4
+        assert AdderTree(2).depth == 1
+
+    def test_num_adders(self):
+        assert AdderTree(8).num_adders == 7
+        assert AdderTree(32).num_adders == 31
+
+    def test_rejects_fewer_than_two_inputs(self):
+        with pytest.raises(ValueError):
+            AdderTree(1)
+
+    def test_stage_widths_grow_by_one_bit(self):
+        tree = AdderTree(8, input_bits=16)
+        assert tree.stage_widths() == [17, 18, 19]
+
+    def test_hardware_cost_latency_equals_depth(self):
+        tree = AdderTree(16)
+        assert tree.hardware_cost().latency_cycles == tree.depth
+
+
+class TestReduction:
+    def test_exact_sum(self, rng):
+        tree = AdderTree(16)
+        values = rng.uniform(0, 10, size=16)
+        assert tree.reduce(values).value == pytest.approx(values.sum())
+
+    def test_sum_with_padding(self, rng):
+        tree = AdderTree(16)
+        values = rng.uniform(0, 10, size=11)
+        assert tree.reduce(values).value == pytest.approx(values.sum())
+
+    def test_multi_pass_sum(self, rng):
+        tree = AdderTree(8)
+        values = rng.uniform(0, 5, size=50)
+        report = tree.reduce(values)
+        assert report.value == pytest.approx(values.sum())
+        # 50 leaves over 8-input tree -> 7 passes, extra accumulate adds.
+        assert report.adders_used > tree.num_adders
+
+    def test_empty_input_gives_zero(self):
+        report = AdderTree(8).reduce([])
+        assert report.value == 0.0
+        assert report.energy_pj == 0.0
+
+    def test_energy_grows_with_passes(self, rng):
+        tree = AdderTree(8)
+        small = tree.reduce(rng.uniform(0, 1, size=8)).energy_pj
+        large = tree.reduce(rng.uniform(0, 1, size=64)).energy_pj
+        assert large > small
+
+    def test_truncation_floors_partial_sums(self):
+        tree = AdderTree(4)
+        report = tree.reduce([1.9, 1.9, 1.9, 1.9], truncate_bits=8)
+        # Each pairwise sum 3.8 is floored to 3, final 6.
+        assert report.value == pytest.approx(6.0)
+
+
+class TestSumOfSquares:
+    def test_matches_numpy(self, rng):
+        tree = AdderTree(32)
+        values = rng.normal(0, 2, size=32)
+        report = tree.sum_of_squares(values)
+        assert report.value == pytest.approx(float(np.sum(values ** 2)))
+
+    def test_includes_multiplier_energy(self, rng):
+        tree = AdderTree(16)
+        values = rng.normal(0, 1, size=16)
+        squares_energy = tree.sum_of_squares(values).energy_pj
+        plain_energy = tree.reduce(values ** 2).energy_pj
+        assert squares_energy > plain_energy

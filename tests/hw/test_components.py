@@ -1,0 +1,120 @@
+"""Tests for the 45 nm cost library."""
+
+import math
+
+import pytest
+
+from repro.hw.components import (
+    ComponentCost,
+    CostLibrary,
+    DEFAULT_COST_LIBRARY,
+    TechnologyNode,
+    energy_of_mac_sweep,
+)
+
+
+class TestTechnologyNode:
+    def test_default_is_45nm_300mhz(self):
+        node = TechnologyNode()
+        assert node.feature_nm == 45.0
+        assert node.frequency_hz == 300e6
+
+    def test_cycle_time(self):
+        node = TechnologyNode(frequency_hz=300e6)
+        assert node.cycle_time_s == pytest.approx(1.0 / 300e6)
+
+    def test_scaled_to_changes_name_and_geometry(self):
+        node = TechnologyNode().scaled_to(22.0)
+        assert node.feature_nm == 22.0
+        assert "22" in node.name
+
+    def test_scaled_to_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TechnologyNode().scaled_to(0.0)
+
+
+class TestComponentCost:
+    def test_scaled_multiplies_energy_and_area(self):
+        cost = ComponentCost(energy_pj=1.0, area_um2=10.0, latency_cycles=1.0)
+        scaled = cost.scaled(energy=2.0, area=3.0)
+        assert scaled.energy_pj == pytest.approx(2.0)
+        assert scaled.area_um2 == pytest.approx(30.0)
+
+    def test_addition_sums_fields(self):
+        a = ComponentCost(energy_pj=1.0, area_um2=2.0, latency_cycles=1.0)
+        b = ComponentCost(energy_pj=0.5, area_um2=1.0, latency_cycles=2.0)
+        total = a + b
+        assert total.energy_pj == pytest.approx(1.5)
+        assert total.area_um2 == pytest.approx(3.0)
+        assert total.latency_cycles == pytest.approx(3.0)
+
+
+class TestCostLibrary:
+    def test_contains_core_operations(self):
+        for name in ("int8_mac", "int8_add", "int8_mult", "sram_read_8b",
+                     "dram_read_8b", "cosine_pwl", "sign_sense_amp"):
+            assert name in DEFAULT_COST_LIBRARY
+
+    def test_unknown_operation_raises_keyerror_with_hint(self):
+        with pytest.raises(KeyError):
+            DEFAULT_COST_LIBRARY.get("int8_divide")
+
+    def test_energy_scales_with_count(self):
+        unit = DEFAULT_COST_LIBRARY.energy_pj("int8_mac", 1)
+        assert DEFAULT_COST_LIBRARY.energy_pj("int8_mac", 10) == pytest.approx(10 * unit)
+
+    def test_mac_cheaper_than_sram_cheaper_than_dram(self):
+        # The memory-hierarchy ordering the paper's introduction quotes.
+        mac = DEFAULT_COST_LIBRARY.get("int8_mac").energy_pj
+        sram = DEFAULT_COST_LIBRARY.get("sram_read_8b").energy_pj
+        dram = DEFAULT_COST_LIBRARY.get("dram_read_8b").energy_pj
+        assert mac < sram < dram
+        assert sram / mac > 3.0
+        assert dram / mac > 100.0
+
+    def test_adder_scales_linearly(self):
+        lib = DEFAULT_COST_LIBRARY
+        assert lib.adder(16).energy_pj == pytest.approx(2 * lib.adder(8).energy_pj)
+
+    def test_multiplier_scales_quadratically(self):
+        lib = DEFAULT_COST_LIBRARY
+        assert lib.multiplier(16).energy_pj == pytest.approx(4 * lib.multiplier(8).energy_pj)
+
+    def test_adder_and_multiplier_reject_non_positive_width(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_LIBRARY.adder(0)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_LIBRARY.multiplier(-8)
+
+    def test_with_override_does_not_mutate_original(self):
+        new_cost = ComponentCost(energy_pj=99.0, area_um2=1.0)
+        lib = DEFAULT_COST_LIBRARY.with_override(int8_mac=new_cost)
+        assert lib.get("int8_mac").energy_pj == 99.0
+        assert DEFAULT_COST_LIBRARY.get("int8_mac").energy_pj != 99.0
+
+    def test_scaled_to_node_reduces_energy_and_area(self):
+        scaled = DEFAULT_COST_LIBRARY.scaled_to_node(22.5)
+        assert scaled.get("int8_mac").energy_pj < DEFAULT_COST_LIBRARY.get("int8_mac").energy_pj
+        assert scaled.get("int8_mac").area_um2 < DEFAULT_COST_LIBRARY.get("int8_mac").area_um2
+
+    def test_sram_access_scales_with_bits(self):
+        lib = DEFAULT_COST_LIBRARY
+        assert lib.sram_access(64).energy_pj == pytest.approx(8 * lib.sram_access(8).energy_pj)
+
+    def test_summary_lists_all_entries(self):
+        text = DEFAULT_COST_LIBRARY.summary()
+        assert "int8_mac" in text
+        assert len(text.splitlines()) >= len(DEFAULT_COST_LIBRARY) + 2
+
+    def test_len_and_iteration_sorted(self):
+        names = list(DEFAULT_COST_LIBRARY)
+        assert len(names) == len(DEFAULT_COST_LIBRARY)
+        assert names == sorted(names)
+
+
+class TestMacSweep:
+    def test_mac_energy_increases_with_width(self):
+        sweep = energy_of_mac_sweep((4, 8, 16, 32))
+        values = [sweep[b] for b in (4, 8, 16, 32)]
+        assert values == sorted(values)
+        assert all(v > 0 for v in values)

@@ -1,0 +1,76 @@
+"""Tests for the piecewise-linear cosine unit (Eq. 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hw.cosine_unit import CosineUnit
+
+
+class TestPiecewiseValues:
+    def test_segment_boundaries_follow_eq5(self):
+        unit = CosineUnit()
+        # Low segment: 1 - theta/pi.
+        assert unit(0.0) == pytest.approx(1.0)
+        assert unit(math.pi / 4) == pytest.approx(1 - 0.25)
+        # Middle segment: -0.96*theta + 1.51.
+        theta = math.pi / 2.5  # between pi/3 and pi/2
+        assert unit(theta) == pytest.approx(-0.96 * theta + 1.51)
+        # Obtuse fold: cos(theta) = -cos(pi - theta).
+        assert unit(3 * math.pi / 4) == pytest.approx(-unit(math.pi / 4))
+
+    def test_orthogonal_vectors_give_near_zero(self):
+        unit = CosineUnit()
+        assert abs(unit(math.pi / 2)) < 0.01
+
+    def test_pi_gives_minus_one(self):
+        assert CosineUnit()(math.pi) == pytest.approx(-1.0)
+
+    def test_scalar_in_scalar_out(self):
+        result = CosineUnit()(0.3)
+        assert isinstance(result, float)
+
+    def test_array_in_array_out(self):
+        angles = np.linspace(0, math.pi, 11)
+        result = CosineUnit()(angles)
+        assert isinstance(result, np.ndarray)
+        assert result.shape == angles.shape
+
+    def test_rejects_out_of_range_angles(self):
+        with pytest.raises(ValueError):
+            CosineUnit()(-0.5)
+        with pytest.raises(ValueError):
+            CosineUnit()(math.pi + 0.5)
+
+    def test_monotonically_decreasing(self):
+        angles = np.linspace(0, math.pi, 200)
+        values = CosineUnit()(angles)
+        assert np.all(np.diff(values) <= 1e-12)
+
+
+class TestErrorAgainstExactCosine:
+    def test_max_error_is_bounded(self):
+        stats = CosineUnit().error_stats()
+        # Eq. 5 is deliberately crude: its worst error (at theta = pi/3,
+        # where the first segment gives 2/3 against cos = 1/2) is 1/6.
+        assert stats.max_abs_error == pytest.approx(1.0 / 6.0, abs=5e-3)
+        assert stats.mean_abs_error < 0.05
+        assert stats.rmse <= stats.max_abs_error
+
+    def test_exact_mode_has_zero_error(self):
+        unit = CosineUnit(use_exact=True)
+        angles = np.linspace(0, math.pi, 50)
+        assert np.allclose(unit(angles), np.cos(angles))
+
+    def test_error_stats_needs_two_points(self):
+        with pytest.raises(ValueError):
+            CosineUnit().error_stats(num_points=1)
+
+
+class TestCost:
+    def test_pwl_cheaper_than_cordic(self):
+        pwl = CosineUnit(use_exact=False).hardware_cost()
+        cordic = CosineUnit(use_exact=True).hardware_cost()
+        assert pwl.energy_pj < cordic.energy_pj
+        assert pwl.latency_cycles < cordic.latency_cycles

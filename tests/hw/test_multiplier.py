@@ -1,0 +1,80 @@
+"""Tests for the fixed-point and minifloat multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.core.minifloat import MINIFLOAT8
+from repro.hw.multiplier import FixedPointMultiplier, MinifloatMultiplier
+
+
+class TestFixedPointMultiplier:
+    def test_exact_product_on_grid(self):
+        mult = FixedPointMultiplier(word_bits=16, fraction_bits=8)
+        result = mult.multiply(2.0, 3.0)
+        assert result.value == pytest.approx(6.0)
+        assert not result.saturated
+
+    def test_quantize_rounds_to_grid(self):
+        mult = FixedPointMultiplier(word_bits=16, fraction_bits=8)
+        assert mult.quantize(1.0 / 512) in (0.0, 1.0 / 256)
+
+    def test_saturation_flag(self):
+        mult = FixedPointMultiplier(word_bits=8, fraction_bits=2)
+        result = mult.multiply(30.0, 30.0)
+        assert result.saturated
+        assert result.value <= mult.max_value
+
+    def test_negative_operands(self):
+        mult = FixedPointMultiplier(word_bits=16, fraction_bits=8)
+        assert mult.multiply(-2.0, 3.0).value == pytest.approx(-6.0)
+
+    def test_multiply_array_matches_scalar(self, rng):
+        mult = FixedPointMultiplier(word_bits=16, fraction_bits=8)
+        a = rng.uniform(-5, 5, size=16)
+        b = rng.uniform(-5, 5, size=16)
+        products, energy = mult.multiply_array(a, b)
+        scalar = np.array([mult.multiply(x, y).value for x, y in zip(a, b)])
+        assert np.allclose(products, scalar)
+        assert energy == pytest.approx(mult.hardware_cost().energy_pj * 16)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            FixedPointMultiplier(word_bits=1)
+        with pytest.raises(ValueError):
+            FixedPointMultiplier(word_bits=8, fraction_bits=8)
+
+    def test_quantization_error_bounded_by_half_lsb(self, rng):
+        mult = FixedPointMultiplier(word_bits=16, fraction_bits=10)
+        values = rng.uniform(-10, 10, size=100)
+        for value in values:
+            assert abs(mult.quantize(value) - value) <= mult.scale / 2 + 1e-12
+
+
+class TestMinifloatMultiplier:
+    def test_product_close_to_exact(self, rng):
+        mult = MinifloatMultiplier(MINIFLOAT8)
+        for _ in range(20):
+            a = float(rng.uniform(0.1, 100.0))
+            b = float(rng.uniform(0.1, 100.0))
+            result = mult.multiply(a, b)
+            if not result.saturated:
+                assert result.value == pytest.approx(a * b, rel=0.20)
+
+    def test_saturation_on_overflow(self):
+        mult = MinifloatMultiplier(MINIFLOAT8)
+        result = mult.multiply(MINIFLOAT8.max_value, MINIFLOAT8.max_value)
+        assert result.saturated
+        assert result.value <= MINIFLOAT8.max_value
+
+    def test_energy_cheaper_than_fp32_style_multiplier(self):
+        mini = MinifloatMultiplier().hardware_cost().energy_pj
+        fixed = FixedPointMultiplier(word_bits=32).hardware_cost().energy_pj
+        assert mini < fixed
+
+    def test_multiply_array_shape_and_energy(self, rng):
+        mult = MinifloatMultiplier()
+        a = rng.uniform(0.5, 4.0, size=(3, 4))
+        b = rng.uniform(0.5, 4.0, size=(3, 4))
+        products, energy = mult.multiply_array(a, b)
+        assert products.shape == (3, 4)
+        assert energy > 0

@@ -1,0 +1,71 @@
+"""Tests for the non-restoring digital square-root module."""
+
+import math
+
+import pytest
+
+from repro.hw.sqrt import DigitalSquareRoot
+
+
+class TestIntegerSqrt:
+    @pytest.mark.parametrize("radicand", [0, 1, 2, 3, 4, 15, 16, 17, 255, 256, 1000, 65535])
+    def test_matches_floor_sqrt(self, radicand):
+        unit = DigitalSquareRoot(radicand_bits=16, fraction_bits=0)
+        assert unit.isqrt(radicand).value == math.isqrt(radicand)
+
+    def test_exact_flag_for_perfect_squares(self):
+        unit = DigitalSquareRoot(radicand_bits=16, fraction_bits=0)
+        assert unit.isqrt(144).exact is True
+        assert unit.isqrt(145).exact is False
+
+    def test_rejects_negative_radicand(self):
+        with pytest.raises(ValueError):
+            DigitalSquareRoot().isqrt(-1)
+
+    def test_rejects_out_of_range_radicand(self):
+        unit = DigitalSquareRoot(radicand_bits=8, fraction_bits=0)
+        with pytest.raises(ValueError):
+            unit.isqrt(256)
+
+    def test_iterations_is_half_the_width(self):
+        unit = DigitalSquareRoot(radicand_bits=16, fraction_bits=0)
+        assert unit.isqrt(1000).iterations == 8
+
+
+class TestFractionalSqrt:
+    @pytest.mark.parametrize("value", [0.0, 0.25, 1.0, 2.0, 7.3, 100.0, 4095.9])
+    def test_relative_error_small(self, value):
+        unit = DigitalSquareRoot(radicand_bits=16, fraction_bits=6)
+        assert unit.relative_error(value) < 0.02
+
+    def test_more_fraction_bits_reduce_error(self):
+        coarse = DigitalSquareRoot(radicand_bits=16, fraction_bits=1)
+        fine = DigitalSquareRoot(radicand_bits=16, fraction_bits=8)
+        value = 7.7
+        assert fine.relative_error(value) <= coarse.relative_error(value)
+
+    def test_zero_input(self):
+        assert DigitalSquareRoot().sqrt(0.0).value == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DigitalSquareRoot().sqrt(-0.5)
+
+
+class TestCostModel:
+    def test_latency_includes_fraction_iterations(self):
+        base = DigitalSquareRoot(radicand_bits=16, fraction_bits=0)
+        extended = DigitalSquareRoot(radicand_bits=16, fraction_bits=4)
+        assert extended.iterations_per_op == base.iterations_per_op + 4
+
+    def test_hardware_cost_positive(self):
+        cost = DigitalSquareRoot().hardware_cost()
+        assert cost.energy_pj > 0
+        assert cost.area_um2 > 0
+        assert cost.latency_cycles == DigitalSquareRoot().iterations_per_op
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DigitalSquareRoot(radicand_bits=0)
+        with pytest.raises(ValueError):
+            DigitalSquareRoot(fraction_bits=-1)

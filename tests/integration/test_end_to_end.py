@@ -1,0 +1,140 @@
+"""Integration tests across the full DeepCAM stack.
+
+These tests exercise the paths the paper's system actually uses end to end:
+train a CNN, run it through the DeepCAM functional simulator with variable
+hash lengths, check the accuracy story (Fig. 5 mechanism), and check that the
+offline (software) and online (crossbar + adder tree + sqrt) context
+generators produce interoperable contexts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import DeepCAMSimulator
+from repro.core.config import DeepCAMConfig
+from repro.core.context import ContextGenerator
+from repro.core.energy import DeepCAMEnergyModel
+from repro.core.hash_search import VariableHashLengthSearch
+from repro.core.mapping import DeepCAMMapper
+from repro.core.postprocess import OnlineContextGenerator, PostProcessor
+from repro.core.hashing import hamming_distance_matrix
+from repro.evaluation.experiments import default_vhl_profile
+from repro.nn.train import evaluate_accuracy
+from repro.workloads.specs import lenet5_trace
+
+
+class TestAccuracyPipeline:
+    def test_deepcam_preserves_most_of_the_accuracy(self, trained_tiny_lenet):
+        # Fig. 5 in miniature: the DeepCAM forward pass with a generous hash
+        # length stays close to the software baseline.
+        model, dataset, baseline_accuracy = trained_tiny_lenet
+        assert baseline_accuracy > 0.5  # the substrate must have learned something
+
+        images = dataset.test.images[:80]
+        labels = dataset.test.labels[:80]
+        software = evaluate_accuracy(model, images, labels)
+        simulator = DeepCAMSimulator(DeepCAMConfig().homogeneous(1024))
+        deepcam = evaluate_accuracy(model, images, labels,
+                                    forward_fn=simulator.forward_fn(model))
+        assert deepcam >= software - 0.15
+
+    def test_very_short_hash_degrades_accuracy_more_than_long_hash(self, trained_tiny_lenet):
+        model, dataset, _ = trained_tiny_lenet
+        images = dataset.test.images[:80]
+        labels = dataset.test.labels[:80]
+
+        def deepcam_accuracy(hash_length):
+            simulator = DeepCAMSimulator(DeepCAMConfig(use_exact_cosine=True)
+                                         .homogeneous(hash_length))
+            return evaluate_accuracy(model, images, labels,
+                                     forward_fn=simulator.forward_fn(model))
+
+        assert deepcam_accuracy(1024) >= deepcam_accuracy(256) - 0.05
+
+    def test_search_then_simulate_roundtrip(self, trained_tiny_lenet):
+        # The lengths chosen by the search, fed back through a fresh
+        # simulator, reproduce the accuracy the search reported.
+        model, dataset, _ = trained_tiny_lenet
+        images = dataset.test.images[:60]
+        labels = dataset.test.labels[:60]
+        search = VariableHashLengthSearch(config=DeepCAMConfig(),
+                                          candidate_lengths=(256, 1024),
+                                          tolerance=0.08, batch_size=30)
+        result = search.search(model, images, labels)
+        config = DeepCAMConfig(homogeneous_hash_length=1024).with_hash_lengths(
+            result.layer_hash_lengths)
+        simulator = DeepCAMSimulator(config)
+        accuracy = evaluate_accuracy(model, images, labels,
+                                     forward_fn=simulator.forward_fn(model),
+                                     batch_size=30)
+        assert accuracy == pytest.approx(result.deepcam_accuracy, abs=1e-9)
+
+
+class TestContextInteroperability:
+    def test_online_and_offline_contexts_agree_in_the_cam(self, rng):
+        # Weights hashed offline and activations hashed online (crossbar +
+        # adder tree + sqrt) must meet meaningfully in the CAM: the Hamming
+        # distances computed from the two paths match the all-software path.
+        generator = ContextGenerator(input_dim=27, hash_length=256, seed=5,
+                                     layer_name="conv")
+        online = OnlineContextGenerator(generator)
+
+        weights = rng.normal(size=(8, 27))
+        patches = rng.normal(size=(20, 27))
+
+        weight_contexts = generator.weight_contexts(weights)
+        offline_activations = generator.contexts_from_matrix(patches)
+        online_activations, report = online.generate(patches)
+
+        reference = hamming_distance_matrix(weight_contexts.bits, offline_activations.bits)
+        hardware = hamming_distance_matrix(weight_contexts.bits, online_activations.bits)
+        assert report.hash_agreement > 0.97
+        # Distances may differ by at most the few disagreeing bits.
+        assert np.max(np.abs(reference - hardware)) <= 256 * (1 - report.hash_agreement) + 2
+
+    def test_postprocessor_completes_dot_products_consistently(self, rng):
+        # CAM distances + PostProcessor == ApproximateDotProduct matrix path.
+        generator = ContextGenerator(input_dim=16, hash_length=256, seed=1,
+                                     norm_format=None, layer_name="fc")
+        weights = rng.normal(size=(4, 16))
+        activations = rng.normal(size=(6, 16))
+        w_ctx = generator.weight_contexts(weights)
+        a_ctx = generator.contexts_from_matrix(activations)
+        distances = hamming_distance_matrix(w_ctx.bits, a_ctx.bits)
+        processor = PostProcessor(hash_length=256)
+        products = processor.dot_products(distances, w_ctx.norms, a_ctx.norms)
+
+        from repro.core.geometric import ApproximateDotProduct
+        engine = ApproximateDotProduct(input_dim=16, hash_length=256, seed=1)
+        expected = engine.compute_matrix(weights, activations)
+        assert np.allclose(products, expected)
+
+
+class TestPerformanceAndEnergyPipeline:
+    def test_mapping_and_energy_share_the_vhl_profile(self):
+        trace = lenet5_trace()
+        profile = default_vhl_profile(trace)
+        config = DeepCAMConfig().with_hash_lengths(profile)
+        mapping = DeepCAMMapper(config).map_network(trace, hash_lengths=profile)
+        energy = DeepCAMEnergyModel(config).network_energy(trace, hash_lengths=profile)
+        assert [m.hash_length for m in mapping.layers] == [l.hash_length for l in energy.layers]
+        assert mapping.total_cycles > 0
+        assert energy.total_uj > 0
+
+    def test_simulator_search_count_matches_mapper_estimate(self, rng):
+        # The functional simulator's search counter and the analytical
+        # mapper agree on the number of CAM searches for the same layer
+        # geometry (activation-stationary, single image).
+        from repro.nn.layers import Conv2d, Sequential
+        from repro.workloads.specs import ConvSpec
+
+        conv = Conv2d(1, 6, kernel_size=5, rng=rng)
+        model = Sequential(conv)
+        config = DeepCAMConfig(cam_rows=64)
+        simulator = DeepCAMSimulator(config)
+        simulator.run(model, rng.normal(size=(1, 1, 32, 32)))
+
+        spec = ConvSpec("conv1", in_channels=1, out_channels=6, kernel_size=5, input_size=32)
+        mapping = DeepCAMMapper(config).map_layer(spec)
+        assert simulator.stats.cam_searches == mapping.searches
+        assert simulator.stats.cam_fills == mapping.fills

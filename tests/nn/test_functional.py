@@ -1,0 +1,157 @@
+"""Tests for the NN functional primitives."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic_sizes(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 5, 1, 0) == 28
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 64, 27)
+
+    def test_identity_kernel_recovers_pixels(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        cols = F.im2col(x, 1, 1, 0)
+        assert np.allclose(cols.reshape(5, 5), x[0, 0])
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y -- the defining
+        # property of a correct backward pass.
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, 3, 2, 1)))
+        assert lhs == pytest.approx(rhs)
+
+    def test_col2im_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            F.col2im(rng.normal(size=(1, 4, 9)), (1, 1, 5, 5), 3, 1, 0)
+
+
+class TestConv2d:
+    def test_matches_scipy_correlate(self, rng):
+        x = rng.normal(size=(1, 1, 10, 10))
+        w = rng.normal(size=(1, 1, 3, 3))
+        ours = F.conv2d(x, w)
+        reference = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        assert np.allclose(ours[0, 0], reference)
+
+    def test_multi_channel_sum(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        w = rng.normal(size=(2, 3, 3, 3))
+        ours = F.conv2d(x, w)
+        reference = np.zeros((2, 6, 6))
+        for o in range(2):
+            for c in range(3):
+                reference[o] += signal.correlate2d(x[0, c], w[o, c], mode="valid")
+        assert np.allclose(ours[0], reference)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = rng.normal(size=(2, 1, 3, 3))
+        bias = np.array([1.0, -2.0])
+        with_bias = F.conv2d(x, w, bias=bias)
+        without = F.conv2d(x, w)
+        assert np.allclose(with_bias - without, bias.reshape(1, 2, 1, 1))
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 32, 32))
+        w = rng.normal(size=(8, 3, 3, 3))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 8, 16, 16)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(rng.normal(size=(1, 2, 8, 8)), rng.normal(size=(4, 3, 3, 3)))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled, _ = F.max_pool2d(x, 2)
+        assert np.array_equal(pooled[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_backward_routes_gradient_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled, argmax = F.max_pool2d(x, 2)
+        grad = np.ones_like(pooled)
+        grad_in = F.max_pool2d_backward(grad, argmax, x.shape, 2)
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.array_equal(grad_in[0, 0], expected)
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = F.avg_pool2d(x, 2)
+        assert np.allclose(pooled[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        pooled = F.global_avg_pool2d(x)
+        assert pooled.shape == (2, 3, 1, 1)
+        assert np.allclose(pooled[:, :, 0, 0], x.mean(axis=(2, 3)))
+
+
+class TestActivationsAndLosses:
+    def test_relu(self):
+        assert np.array_equal(F.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_softmax_sums_to_one(self, rng):
+        logits = rng.normal(size=(4, 10)) * 50  # large values: stability check
+        probs = F.softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        logits = rng.normal(size=(3, 5))
+        assert np.allclose(np.exp(F.log_softmax(logits)), F.softmax(logits))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        loss, grad = F.cross_entropy(logits, labels)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.allclose(grad, 0.0, atol=1e-6)
+
+    def test_cross_entropy_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        _, grad = F.cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numerical = (F.cross_entropy(plus, labels)[0]
+                             - F.cross_entropy(minus, labels)[0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numerical, abs=1e-5)
+
+    def test_cross_entropy_validates_shapes(self, rng):
+        with pytest.raises(ValueError):
+            F.cross_entropy(rng.normal(size=(3, 4)), np.array([0, 1]))
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4], [0.3, 0.7]])
+        labels = np.array([0, 1, 1, 1])
+        assert F.accuracy(logits, labels) == pytest.approx(0.75)
+
+    def test_kaiming_normal_statistics(self, rng):
+        weights = F.kaiming_normal((1000, 64), fan_in=64, rng=rng)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 64), rel=0.1)

@@ -1,0 +1,230 @@
+"""Tests for the layer modules, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+
+def numerical_gradient(func, array, eps=1e-6):
+    """Central-difference gradient of a scalar-valued ``func`` w.r.t. ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = func()
+        flat[index] = original - eps
+        minus = func()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, tolerance=1e-5):
+    """Verify the layer's input gradient against finite differences."""
+    out = layer.forward(x)
+    upstream = np.random.default_rng(0).normal(size=out.shape)
+    analytic = layer.backward(upstream)
+
+    def loss():
+        return float(np.sum(layer.forward(x) * upstream))
+
+    numeric = numerical_gradient(loss, x)
+    assert np.allclose(analytic, numeric, atol=tolerance), (
+        f"input gradient mismatch: max abs diff "
+        f"{np.max(np.abs(analytic - numeric)):.2e}")
+
+
+def check_parameter_gradients(layer, x, tolerance=1e-5):
+    """Verify every parameter gradient of the layer against finite differences."""
+    out = layer.forward(x)
+    upstream = np.random.default_rng(1).normal(size=out.shape)
+    layer.zero_grad()
+    layer.backward(upstream)
+
+    for name, param in layer.params.items():
+        analytic = layer.grads[name].copy()
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        numeric = numerical_gradient(loss, param)
+        assert np.allclose(analytic, numeric, atol=tolerance), (
+            f"gradient mismatch for parameter {name!r}")
+
+
+class TestConv2d:
+    def test_forward_matches_functional(self, rng):
+        layer = Conv2d(3, 4, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(2, 3, 8, 8))
+        expected = F.conv2d(x, layer.weight, layer.bias, stride=1, padding=1)
+        assert np.allclose(layer(x), expected)
+
+    def test_weight_matrix_shape(self):
+        layer = Conv2d(3, 8, kernel_size=5)
+        assert layer.weight_matrix().shape == (8, 75)
+
+    def test_input_gradient(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_parameter_gradients(self, rng):
+        layer = Conv2d(2, 2, kernel_size=3, rng=rng)
+        check_parameter_gradients(layer, rng.normal(size=(2, 2, 5, 5)))
+
+    def test_output_shape_helper(self):
+        layer = Conv2d(1, 1, kernel_size=5, stride=1, padding=2)
+        assert layer.output_shape((28, 28)) == (28, 28)
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Conv2d(1, 1, 3).backward(rng.normal(size=(1, 1, 3, 3)))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 1, 3)
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        layer = Linear(8, 4, rng=rng)
+        x = rng.normal(size=(3, 8))
+        assert np.allclose(layer(x), x @ layer.weight.T + layer.bias)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Linear(6, 5, rng=rng), rng.normal(size=(4, 6)))
+
+    def test_parameter_gradients(self, rng):
+        check_parameter_gradients(Linear(5, 3, rng=rng), rng.normal(size=(3, 5)))
+
+    def test_no_bias_mode(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert np.allclose(layer(np.zeros((1, 4))), 0.0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Linear(4, 2)(rng.normal(size=(1, 5)))
+
+
+class TestActivationAndPooling:
+    def test_relu_gradient(self, rng):
+        check_input_gradient(ReLU(), rng.normal(size=(3, 4)) + 0.1)
+
+    def test_maxpool_gradient(self, rng):
+        check_input_gradient(MaxPool2d(2), rng.normal(size=(2, 2, 4, 4)))
+
+    def test_avgpool_gradient(self, rng):
+        check_input_gradient(AvgPool2d(2), rng.normal(size=(2, 2, 4, 4)))
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer(x)
+        assert out.shape == (2, 48)
+        assert np.array_equal(layer.backward(out), x)
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self, rng):
+        layer = BatchNorm2d(3)
+        x = rng.normal(loc=5.0, scale=3.0, size=(8, 3, 4, 4))
+        out = layer(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_statistics(self, rng):
+        layer = BatchNorm2d(2)
+        for _ in range(20):
+            layer(rng.normal(loc=2.0, size=(16, 2, 4, 4)))
+        layer.eval()
+        x = rng.normal(loc=2.0, size=(4, 2, 4, 4))
+        out = layer(x)
+        assert abs(out.mean()) < 0.5
+
+    def test_input_gradient(self, rng):
+        layer = BatchNorm2d(2)
+        check_input_gradient(layer, rng.normal(size=(4, 2, 3, 3)), tolerance=1e-4)
+
+    def test_parameter_gradients(self, rng):
+        layer = BatchNorm2d(2)
+        check_parameter_gradients(layer, rng.normal(size=(4, 2, 3, 3)), tolerance=1e-4)
+
+    def test_fold_into_affine_matches_eval_forward(self, rng):
+        layer = BatchNorm2d(3)
+        for _ in range(10):
+            layer(rng.normal(size=(8, 3, 4, 4)))
+        layer.eval()
+        x = rng.normal(size=(2, 3, 4, 4))
+        scale, shift = layer.fold_into_affine()
+        expected = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        assert np.allclose(layer(x), expected)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(rng.normal(size=(1, 2, 4, 4)))
+
+
+class TestSequentialAndModule:
+    def test_forward_backward_chain_gradient(self, rng):
+        model = Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+        x = rng.normal(size=(4, 6))
+        check_input_gradient(model, x)
+
+    def test_parameter_enumeration(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), ReLU(), Flatten(), Linear(8, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4  # conv weight/bias + linear weight/bias
+        assert model.num_parameters() == sum(p.size for p in model.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        state = model.state_dict()
+        clone = Sequential(Linear(4, 3, rng=np.random.default_rng(99)), ReLU(),
+                           Linear(3, 2, rng=np.random.default_rng(98)))
+        clone.load_state_dict(state)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(model(x), clone(x))
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        model = Sequential(Linear(4, 3, rng=rng))
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_train_eval_propagates(self):
+        model = Sequential(BatchNorm2d(2), ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_gradients(self, rng):
+        model = Sequential(Linear(4, 2, rng=rng))
+        out = model(rng.normal(size=(2, 4)))
+        model.backward(np.ones_like(out))
+        assert np.any(model.layers[0].grads["weight"] != 0)
+        model.zero_grad()
+        assert np.all(model.layers[0].grads["weight"] == 0)
+
+    def test_sequential_indexing_and_append(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng))
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_base_module_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))

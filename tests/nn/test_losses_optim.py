@@ -1,0 +1,116 @@
+"""Tests for losses and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_loss_is_log_classes(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        labels = np.zeros(4, dtype=np.int64)
+        assert loss(logits, labels) == pytest.approx(np.log(10))
+
+    def test_backward_requires_forward(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_gradient_shape(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(5, 3))
+        loss(logits, np.array([0, 1, 2, 1, 0]))
+        assert loss.backward().shape == (5, 3)
+
+
+class TestMSELoss:
+    def test_zero_for_equal_inputs(self, rng):
+        loss = MSELoss()
+        x = rng.normal(size=(3, 4))
+        assert loss(x, x.copy()) == 0.0
+
+    def test_gradient_matches_analytic(self, rng):
+        loss = MSELoss()
+        predictions = rng.normal(size=(2, 3))
+        targets = rng.normal(size=(2, 3))
+        loss(predictions, targets)
+        assert np.allclose(loss.backward(), 2 * (predictions - targets) / predictions.size)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            MSELoss()(rng.normal(size=(2, 3)), rng.normal(size=(3, 2)))
+
+
+def _quadratic_model_and_loss(rng):
+    """A tiny regression problem: fit y = Wx with one linear layer."""
+    model = Sequential(Linear(4, 1, rng=rng))
+    true_w = rng.normal(size=(1, 4))
+    x = rng.normal(size=(64, 4))
+    y = x @ true_w.T
+    return model, x, y
+
+
+def _train_steps(model, optimizer, x, y, steps):
+    loss_fn = MSELoss()
+    losses = []
+    for _ in range(steps):
+        predictions = model(x)
+        losses.append(loss_fn(predictions, y))
+        optimizer.zero_grad()
+        model.backward(loss_fn.backward())
+        optimizer.step()
+    return losses
+
+
+class TestSGD:
+    def test_decreases_loss_on_regression(self, rng):
+        model, x, y = _quadratic_model_and_loss(rng)
+        losses = _train_steps(model, SGD(model, lr=0.05), x, y, steps=60)
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_momentum_converges_faster_than_plain(self, rng):
+        model_a, x, y = _quadratic_model_and_loss(rng)
+        model_b = Sequential(Linear(4, 1, rng=np.random.default_rng(1234)))
+        model_b.load_state_dict(model_a.state_dict())
+        plain = _train_steps(model_a, SGD(model_a, lr=0.02), x, y, steps=40)
+        momentum = _train_steps(model_b, SGD(model_b, lr=0.02, momentum=0.9), x, y, steps=40)
+        assert momentum[-1] < plain[-1]
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng))
+        optimizer = SGD(model, lr=0.1, weight_decay=0.5)
+        x = np.zeros((2, 4))
+        before = np.linalg.norm(model.layers[0].weight)
+        _train_steps(model, optimizer, x, np.zeros((2, 4)), steps=5)
+        assert np.linalg.norm(model.layers[0].weight) < before
+
+    def test_invalid_hyperparameters(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_decreases_loss_on_regression(self, rng):
+        model, x, y = _quadratic_model_and_loss(rng)
+        losses = _train_steps(model, Adam(model, lr=0.05), x, y, steps=80)
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_handles_relu_network(self, rng):
+        model = Sequential(Linear(4, 16, rng=rng), ReLU(), Linear(16, 1, rng=rng))
+        x = rng.normal(size=(64, 4))
+        y = np.abs(x[:, :1])
+        losses = _train_steps(model, Adam(model, lr=0.01), x, y, steps=100)
+        assert losses[-1] < losses[0]
+
+    def test_invalid_hyperparameters(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng))
+        with pytest.raises(ValueError):
+            Adam(model, lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam(model, betas=(1.0, 0.999))

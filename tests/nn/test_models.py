@@ -1,0 +1,122 @@
+"""Tests for the LeNet5 / VGG / ResNet18 model builders."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.lenet import build_lenet5
+from repro.nn.models.resnet import BasicBlock, build_resnet18
+from repro.nn.models.vgg import VGG_PLANS, build_vgg, build_vgg11, build_vgg16
+
+
+class TestLeNet5:
+    def test_forward_shape_28(self, rng):
+        model = build_lenet5(num_classes=10, input_size=28)
+        logits = model(rng.normal(size=(2, 1, 28, 28)))
+        assert logits.shape == (2, 10)
+
+    def test_forward_shape_32(self, rng):
+        model = build_lenet5(num_classes=10, input_size=32)
+        logits = model(rng.normal(size=(2, 1, 32, 32)))
+        assert logits.shape == (2, 10)
+
+    def test_parameter_count_full_width(self):
+        # Classic LeNet5 has ~61.7k parameters (conv 156+2416, fc 48120+10164+850).
+        model = build_lenet5(num_classes=10, input_size=32, width_multiplier=1.0)
+        assert model.num_parameters() == pytest.approx(61706, abs=0)
+
+    def test_width_multiplier_reduces_parameters(self):
+        full = build_lenet5(width_multiplier=1.0).num_parameters()
+        half = build_lenet5(width_multiplier=0.5).num_parameters()
+        assert half < full
+
+    def test_invalid_input_size(self):
+        with pytest.raises(ValueError):
+            build_lenet5(input_size=30)
+
+    def test_backward_runs(self, rng):
+        model = build_lenet5(width_multiplier=0.5)
+        logits = model(rng.normal(size=(2, 1, 32, 32)))
+        model.backward(np.ones_like(logits))
+
+
+class TestVGG:
+    def test_vgg11_forward_shape(self, rng):
+        model = build_vgg11(num_classes=10, width_multiplier=0.125)
+        logits = model(rng.normal(size=(2, 3, 32, 32)))
+        assert logits.shape == (2, 10)
+
+    def test_vgg16_forward_shape(self, rng):
+        model = build_vgg16(num_classes=100, width_multiplier=0.125)
+        logits = model(rng.normal(size=(1, 3, 32, 32)))
+        assert logits.shape == (1, 100)
+
+    def test_vgg11_has_8_convs_vgg16_has_13(self):
+        from repro.nn.layers import Conv2d
+        vgg11 = build_vgg11(width_multiplier=0.125)
+        vgg16 = build_vgg16(width_multiplier=0.125)
+        assert sum(isinstance(m, Conv2d) for m in vgg11.modules()) == 8
+        assert sum(isinstance(m, Conv2d) for m in vgg16.modules()) == 13
+
+    def test_custom_plan(self, rng):
+        model = build_vgg((8, "M", 16, "M"), num_classes=5, input_size=32)
+        assert model(rng.normal(size=(1, 3, 32, 32))).shape == (1, 5)
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError):
+            build_vgg("vgg99")
+
+    def test_input_size_must_match_pooling(self):
+        with pytest.raises(ValueError):
+            build_vgg("vgg11", input_size=24)
+
+    def test_all_named_plans_are_consistent(self):
+        for name, plan in VGG_PLANS.items():
+            convs = sum(1 for item in plan if item != "M")
+            pools = sum(1 for item in plan if item == "M")
+            assert pools == 5, name
+            assert convs in (8, 10, 13, 16), name
+
+
+class TestResNet18:
+    def test_forward_shape(self, rng):
+        model = build_resnet18(num_classes=20, width_multiplier=0.125)
+        logits = model(rng.normal(size=(2, 3, 32, 32)))
+        assert logits.shape == (2, 20)
+
+    def test_has_8_basic_blocks(self):
+        model = build_resnet18(width_multiplier=0.125)
+        assert len(model.blocks) == 8
+
+    def test_downsample_only_on_stride_or_channel_change(self):
+        model = build_resnet18(width_multiplier=0.25)
+        downsamples = [block.downsample is not None for block in model.blocks]
+        # First block of stages 2-4 change stride/channels; stage 1 does not.
+        assert downsamples == [False, False, True, False, True, False, True, False]
+
+    def test_backward_runs_and_produces_gradients(self, rng):
+        model = build_resnet18(num_classes=5, width_multiplier=0.125)
+        logits = model(rng.normal(size=(2, 3, 32, 32)))
+        model.backward(np.ones_like(logits))
+        grads = [np.abs(module.grads[name]).sum()
+                 for module in model.modules() for name in module.grads]
+        assert sum(g > 0 for g in grads) > len(grads) // 2
+
+    def test_basic_block_identity_path_shape(self, rng):
+        block = BasicBlock(8, 8, stride=1)
+        x = rng.normal(size=(1, 8, 8, 8))
+        assert block(x).shape == x.shape
+
+    def test_basic_block_downsample_shape(self, rng):
+        block = BasicBlock(8, 16, stride=2)
+        x = rng.normal(size=(1, 8, 8, 8))
+        assert block(x).shape == (1, 16, 4, 4)
+
+    def test_invalid_width_multiplier(self):
+        with pytest.raises(ValueError):
+            build_resnet18(width_multiplier=0.0)
+
+    def test_resnet_full_width_parameter_count_order(self):
+        # CIFAR ResNet18 has ~11.2M parameters; allow a wide band since the
+        # classifier size depends on num_classes.
+        model = build_resnet18(num_classes=100, width_multiplier=1.0)
+        assert 10.5e6 < model.num_parameters() < 11.6e6

@@ -1,0 +1,94 @@
+"""Tests for INT8 post-training quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, Flatten, Linear, ReLU, Sequential
+from repro.nn.quantize import (
+    QuantizationParams,
+    activation_fake_quantizer,
+    compute_scale,
+    dequantize,
+    fake_quantize,
+    quantization_error,
+    quantize,
+    quantize_model_weights,
+)
+
+
+class TestQuantizationParams:
+    def test_qmin_qmax_for_int8(self):
+        params = QuantizationParams(scale=0.1, num_bits=8)
+        assert params.qmax == 127
+        assert params.qmin == -128
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(scale=0.0)
+        with pytest.raises(ValueError):
+            QuantizationParams(scale=0.1, num_bits=1)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        tensor = rng.normal(size=1000)
+        params = compute_scale(tensor)
+        recovered = dequantize(quantize(tensor, params), params)
+        assert np.max(np.abs(recovered - tensor)) <= params.scale / 2 + 1e-12
+
+    def test_quantized_values_within_range(self, rng):
+        tensor = rng.normal(size=500) * 10
+        params = compute_scale(tensor)
+        codes = quantize(tensor, params)
+        assert codes.max() <= params.qmax
+        assert codes.min() >= params.qmin
+
+    def test_zero_tensor_has_unit_scale(self):
+        params = compute_scale(np.zeros(10))
+        assert params.scale > 0
+
+    def test_fake_quantize_idempotent(self, rng):
+        tensor = rng.normal(size=200)
+        once = fake_quantize(tensor)
+        twice = fake_quantize(once)
+        assert np.allclose(once, twice)
+
+    def test_quantization_error_decreases_with_bits(self, rng):
+        tensor = rng.normal(size=2000)
+        assert quantization_error(tensor, 8) < quantization_error(tensor, 4)
+        assert quantization_error(tensor, 4) < quantization_error(tensor, 2)
+
+    def test_quantization_error_empty_tensor(self):
+        assert quantization_error(np.array([])) == 0.0
+
+
+class TestModelQuantisation:
+    def _model(self, rng):
+        return Sequential(Conv2d(1, 4, 3, rng=rng), ReLU(), Flatten(),
+                          Linear(4 * 6 * 6, 5, rng=rng))
+
+    def test_quantised_model_output_close_to_original(self, rng):
+        model = self._model(rng)
+        x = rng.normal(size=(2, 1, 8, 8))
+        before = model(x)
+        quantize_model_weights(model, num_bits=8)
+        after = model(x)
+        assert np.allclose(before, after, rtol=0.1, atol=0.1)
+
+    def test_weights_land_on_quantisation_grid(self, rng):
+        model = self._model(rng)
+        quantize_model_weights(model, num_bits=8, per_channel=False)
+        weight = model.layers[0].weight
+        params = compute_scale(weight)
+        codes = weight / params.scale
+        assert np.allclose(codes, np.round(codes), atol=1e-6)
+
+    def test_per_channel_mode_runs(self, rng):
+        model = self._model(rng)
+        quantize_model_weights(model, num_bits=8, per_channel=True)
+        assert np.all(np.isfinite(model.layers[0].weight))
+
+    def test_activation_quantizer_callable(self, rng):
+        quantizer = activation_fake_quantizer(8)
+        tensor = rng.normal(size=(4, 4))
+        assert quantizer(tensor).shape == tensor.shape

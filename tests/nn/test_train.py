@@ -1,0 +1,97 @@
+"""Tests for the training / evaluation loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Flatten, Linear, ReLU, Sequential
+from repro.nn.optim import Adam
+from repro.nn.train import Trainer, evaluate_accuracy, iterate_minibatches
+
+
+class TestMinibatches:
+    def test_covers_all_samples_once(self, rng):
+        images = rng.normal(size=(25, 2))
+        labels = np.arange(25)
+        seen = []
+        for batch_images, batch_labels in iterate_minibatches(images, labels, 8, shuffle=False):
+            assert batch_images.shape[0] == batch_labels.shape[0]
+            seen.extend(batch_labels.tolist())
+        assert sorted(seen) == list(range(25))
+
+    def test_shuffle_is_deterministic_with_rng(self, rng):
+        images = rng.normal(size=(10, 2))
+        labels = np.arange(10)
+        a = [l.tolist() for _, l in iterate_minibatches(images, labels, 4,
+                                                        rng=np.random.default_rng(3))]
+        b = [l.tolist() for _, l in iterate_minibatches(images, labels, 4,
+                                                        rng=np.random.default_rng(3))]
+        assert a == b
+
+    def test_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(rng.normal(size=(4, 2)), np.zeros(3), 2))
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(rng.normal(size=(4, 2)), np.zeros(4), 0))
+
+
+def _flat_classifier(rng, num_features=32, num_classes=3):
+    return Sequential(Linear(num_features, 32, rng=rng), ReLU(), Linear(32, num_classes, rng=rng))
+
+
+def _separable_problem(rng, samples=300, num_features=32, num_classes=3):
+    """Linearly separable clusters: quick to learn, deterministic."""
+    centers = rng.normal(scale=3.0, size=(num_classes, num_features))
+    labels = rng.integers(0, num_classes, size=samples)
+    images = centers[labels] + rng.normal(scale=0.5, size=(samples, num_features))
+    return images, labels.astype(np.int64)
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self, rng):
+        images, labels = _separable_problem(rng)
+        model = _flat_classifier(rng)
+        trainer = Trainer(model, Adam(model, lr=5e-3), batch_size=32)
+        history = trainer.fit(images, labels, epochs=5, validation=(images, labels))
+        assert history.train_accuracy[-1] > 0.9
+        assert history.best_validation_accuracy > 0.9
+
+    def test_loss_decreases(self, rng):
+        images, labels = _separable_problem(rng)
+        model = _flat_classifier(rng)
+        trainer = Trainer(model, Adam(model, lr=5e-3), batch_size=32)
+        history = trainer.fit(images, labels, epochs=4)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_invalid_epochs(self, rng):
+        model = _flat_classifier(rng)
+        trainer = Trainer(model, Adam(model))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 32)), np.zeros(4, dtype=np.int64), epochs=0)
+
+
+class TestEvaluateAccuracy:
+    def test_perfect_model_scores_one(self, rng):
+        images, labels = _separable_problem(rng, samples=100)
+        model = _flat_classifier(rng)
+        trainer = Trainer(model, Adam(model, lr=5e-3), batch_size=32)
+        trainer.fit(images, labels, epochs=6)
+        assert evaluate_accuracy(model, images, labels) > 0.95
+
+    def test_custom_forward_fn_is_used(self, rng):
+        images, labels = _separable_problem(rng, samples=50, num_classes=2)
+        model = _flat_classifier(rng, num_classes=2)
+
+        def oracle_forward(batch):
+            # Perfect predictions regardless of the model.
+            logits = np.zeros((batch.shape[0], 2))
+            return logits
+
+        # With all-zero logits argmax is class 0 -> accuracy equals fraction of 0 labels.
+        accuracy = evaluate_accuracy(model, images, labels, forward_fn=oracle_forward)
+        assert accuracy == pytest.approx(np.mean(labels == 0))
+
+    def test_untrained_model_near_chance(self, rng):
+        images, labels = _separable_problem(rng, samples=200, num_classes=4)
+        model = _flat_classifier(rng, num_classes=4)
+        accuracy = evaluate_accuracy(model, images, labels)
+        assert accuracy < 0.7

@@ -1,0 +1,90 @@
+"""Property-based tests for the CAM substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cam.array import CamArray
+from repro.cam.dynamic import DynamicCam, DynamicCamConfig
+from repro.cam.energy_model import CamEnergyModel
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+
+
+def bit_matrix(rows, bits):
+    return hnp.arrays(dtype=np.uint8, shape=(rows, bits), elements=st.integers(0, 1))
+
+
+class TestCamArrayProperties:
+    @given(data=st.data(), rows=st.integers(1, 16), bits=st.integers(8, 128))
+    @settings(max_examples=30, deadline=None)
+    def test_search_distances_match_exact_xor_count(self, data, rows, bits):
+        stored = data.draw(bit_matrix(rows, bits))
+        query = data.draw(hnp.arrays(dtype=np.uint8, shape=bits, elements=st.integers(0, 1)))
+        cam = CamArray(rows=rows, word_bits=bits)
+        cam.write_rows(stored)
+        result = cam.search(query)
+        expected = (stored != query).sum(axis=1)
+        assert np.array_equal(result.distances, expected)
+        assert np.all((result.distances >= 0) & (result.distances <= bits))
+
+    @given(data=st.data(), rows=st.integers(2, 12), bits=st.integers(8, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_stored_row_always_matches_itself(self, data, rows, bits):
+        stored = data.draw(bit_matrix(rows, bits))
+        row = data.draw(st.integers(0, rows - 1))
+        cam = CamArray(rows=rows, word_bits=bits)
+        cam.write_rows(stored)
+        result = cam.search(stored[row])
+        assert result.distances[row] == 0
+
+    @given(rows=st.integers(1, 64), bits=st.sampled_from([64, 128, 256, 512, 1024]))
+    @settings(max_examples=30, deadline=None)
+    def test_search_energy_monotone_in_occupancy(self, rows, bits):
+        cam = CamArray(rows=64, word_bits=bits)
+        rng = np.random.default_rng(0)
+        cam.write_rows(rng.integers(0, 2, size=(rows, bits)).astype(np.uint8))
+        energy_partial = cam.search_energy_pj()
+        cam.write_rows(rng.integers(0, 2, size=(64, bits)).astype(np.uint8))
+        assert cam.search_energy_pj() >= energy_partial
+
+
+class TestDynamicCamProperties:
+    @given(data=st.data(), width=st.sampled_from([256, 512, 768, 1024]),
+           rows=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_dynamic_cam_equals_plain_cam_at_same_width(self, data, width, rows):
+        stored = data.draw(bit_matrix(rows, width))
+        query = data.draw(hnp.arrays(dtype=np.uint8, shape=width, elements=st.integers(0, 1)))
+        dynamic = DynamicCam(DynamicCamConfig(rows=rows))
+        dynamic.configure_word_bits(width)
+        dynamic.write_rows(stored)
+        plain = CamArray(rows=rows, word_bits=width)
+        plain.write_rows(stored)
+        assert np.array_equal(dynamic.search(query).distances, plain.search(query).distances)
+
+
+class TestSenseAmpProperties:
+    @given(distances=hnp.arrays(dtype=np.int64, shape=st.integers(1, 64),
+                                elements=st.integers(0, 256)))
+    @settings(max_examples=40, deadline=None)
+    def test_noise_free_readout_is_exact(self, distances):
+        amp = ClockedSelfReferencedSenseAmp(word_bits=256)
+        assert np.array_equal(amp.estimate_distances(distances), distances)
+
+
+class TestEnergyModelProperties:
+    @given(rows=st.integers(1, 1024), bits=st.integers(1, 4096))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_area_delay_positive(self, rows, bits):
+        model = CamEnergyModel()
+        assert model.search_energy_pj(rows, bits) > 0
+        assert model.area_um2(rows, bits) > 0
+        assert model.search_delay_ns(rows, bits) > 0
+
+    @given(rows=st.integers(1, 512), bits=st.integers(1, 2048), factor=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_monotone_in_geometry(self, rows, bits, factor):
+        model = CamEnergyModel()
+        assert model.search_energy_pj(rows * factor, bits) > model.search_energy_pj(rows, bits)
+        assert model.search_energy_pj(rows, bits * factor) > model.search_energy_pj(rows, bits)

@@ -1,0 +1,126 @@
+"""Property-based tests for hashing and the geometric dot-product."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.geometric import ApproximateDotProduct, algebraic_dot
+from repro.core.hashing import (
+    RandomProjectionHasher,
+    angle_from_hamming,
+    hamming_distance,
+    hamming_distance_matrix,
+)
+
+
+def finite_vectors(dim, min_value=-100.0, max_value=100.0):
+    return hnp.arrays(dtype=np.float64, shape=dim,
+                      elements=st.floats(min_value=min_value, max_value=max_value,
+                                         allow_nan=False, allow_infinity=False))
+
+
+class TestHammingDistanceProperties:
+    @given(bits=hnp.arrays(dtype=np.uint8, shape=st.integers(1, 200),
+                           elements=st.integers(0, 1)))
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, bits):
+        assert hamming_distance(bits, bits) == 0
+
+    @given(data=st.data(), length=st.integers(1, 128))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_and_bounds(self, data, length):
+        a = data.draw(hnp.arrays(dtype=np.uint8, shape=length, elements=st.integers(0, 1)))
+        b = data.draw(hnp.arrays(dtype=np.uint8, shape=length, elements=st.integers(0, 1)))
+        distance = hamming_distance(a, b)
+        assert distance == hamming_distance(b, a)
+        assert 0 <= distance <= length
+
+    @given(data=st.data(), length=st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, data, length):
+        bits = [data.draw(hnp.arrays(dtype=np.uint8, shape=length, elements=st.integers(0, 1)))
+                for _ in range(3)]
+        ab = hamming_distance(bits[0], bits[1])
+        bc = hamming_distance(bits[1], bits[2])
+        ac = hamming_distance(bits[0], bits[2])
+        assert ac <= ab + bc
+
+    @given(data=st.data(), rows_a=st.integers(1, 6), rows_b=st.integers(1, 6),
+           length=st.integers(8, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_consistent_with_scalar(self, data, rows_a, rows_b, length):
+        a = data.draw(hnp.arrays(dtype=np.uint8, shape=(rows_a, length),
+                                 elements=st.integers(0, 1)))
+        b = data.draw(hnp.arrays(dtype=np.uint8, shape=(rows_b, length),
+                                 elements=st.integers(0, 1)))
+        matrix = hamming_distance_matrix(a, b)
+        for i in range(rows_a):
+            for j in range(rows_b):
+                assert matrix[i, j] == hamming_distance(a[i], b[j])
+
+
+class TestHasherProperties:
+    @given(vector=finite_vectors(12), scale=st.floats(min_value=1e-3, max_value=1e3,
+                                                      allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_positive_scaling_invariance(self, vector, scale):
+        hasher = RandomProjectionHasher(12, 256, seed=0)
+        assert np.array_equal(hasher.hash(vector), hasher.hash(scale * vector))
+
+    @given(vector=finite_vectors(8))
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_binary_and_correct_length(self, vector):
+        hasher = RandomProjectionHasher(8, 512, seed=1)
+        bits = hasher.hash(vector)
+        assert bits.shape == (512,)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    @given(seed=st.integers(0, 2 ** 16), dim=st.integers(2, 32))
+    @settings(max_examples=25, deadline=None)
+    def test_determinism_across_instances(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        vector = rng.normal(size=dim)
+        a = RandomProjectionHasher(dim, 256, seed=seed).hash(vector)
+        b = RandomProjectionHasher(dim, 256, seed=seed).hash(vector)
+        assert np.array_equal(a, b)
+
+
+class TestDotProductProperties:
+    @given(x=finite_vectors(16, -10, 10), y=finite_vectors(16, -10, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, x, y):
+        engine = ApproximateDotProduct(16, 256, seed=0)
+        assert engine(x, y) == pytest.approx(engine(y, x), rel=1e-9, abs=1e-9)
+
+    @given(x=finite_vectors(16, -10, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_self_product_is_norm_squared(self, x):
+        engine = ApproximateDotProduct(16, 256, seed=0)
+        assert engine(x, x) == pytest.approx(float(np.dot(x, x)), rel=1e-9, abs=1e-9)
+
+    @given(x=finite_vectors(16, -10, 10), y=finite_vectors(16, -10, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_magnitude_bounded_by_norm_product(self, x, y):
+        engine = ApproximateDotProduct(16, 512, seed=2)
+        bound = float(np.linalg.norm(x) * np.linalg.norm(y))
+        assert abs(engine(x, y)) <= bound * (1.0 + 1e-9) + 1e-12
+
+    @given(x=finite_vectors(32, 0.01, 10), y=finite_vectors(32, 0.01, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_positive_orthant_vectors_have_positive_products(self, x, y):
+        # Two vectors with all-positive entries are at most 90 degrees apart,
+        # so the approximation (with exact cosine) must not be very negative.
+        engine = ApproximateDotProduct(32, 1024, seed=3, use_exact_cosine=True)
+        reference = algebraic_dot(x, y)
+        assert engine(x, y) > -0.25 * reference
+
+
+class TestAngleEstimateProperties:
+    @given(distance=st.integers(0, 1024))
+    @settings(max_examples=50, deadline=None)
+    def test_angle_within_range(self, distance):
+        theta = angle_from_hamming(distance, 1024)
+        assert 0.0 <= theta <= math.pi

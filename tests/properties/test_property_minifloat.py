@@ -1,0 +1,74 @@
+"""Property-based tests for the minifloat format and quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.minifloat import MINIFLOAT8, Minifloat
+from repro.nn.quantize import compute_scale, dequantize, fake_quantize, quantize
+
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                          allow_infinity=False)
+
+
+class TestMinifloatProperties:
+    @given(value=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_quantisation_is_idempotent(self, value):
+        once = MINIFLOAT8.quantize(value)
+        assert MINIFLOAT8.quantize(once) == once
+
+    @given(value=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_quantisation_preserves_sign_and_bounds(self, value):
+        quantised = MINIFLOAT8.quantize(value)
+        assert abs(quantised) <= MINIFLOAT8.max_value
+        if quantised != 0.0:
+            assert np.sign(quantised) == np.sign(value)
+
+    @given(value=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_roundtrip(self, value):
+        quantised = MINIFLOAT8.quantize(value)
+        assert MINIFLOAT8.decode(MINIFLOAT8.encode(quantised)) == pytest.approx(quantised)
+
+    @given(value=st.floats(min_value=1e-2, max_value=200.0, allow_nan=False),
+           exponent_bits=st.integers(3, 6), mantissa_bits=st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_relative_error_bound_for_normals(self, value, exponent_bits, mantissa_bits):
+        fmt = Minifloat(exponent_bits=exponent_bits, mantissa_bits=mantissa_bits)
+        if fmt.min_normal <= value <= fmt.max_value:
+            error = abs(fmt.quantize(value) - value) / value
+            assert error <= 2.0 ** -(mantissa_bits + 1) + 1e-12
+
+    @given(a=finite_floats, b=finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_quantisation_is_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert MINIFLOAT8.quantize(low) <= MINIFLOAT8.quantize(high)
+
+
+class TestInt8QuantisationProperties:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded(self, values):
+        tensor = np.asarray(values)
+        params = compute_scale(tensor)
+        recovered = dequantize(quantize(tensor, params), params)
+        assert np.max(np.abs(recovered - tensor)) <= params.scale / 2 + 1e-9
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_fake_quantize_idempotent(self, values):
+        tensor = np.asarray(values)
+        once = fake_quantize(tensor)
+        assert np.allclose(fake_quantize(once), once)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=64),
+           scale_factor=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_covers_max_abs(self, values, scale_factor):
+        tensor = np.asarray(values) * scale_factor
+        params = compute_scale(tensor)
+        assert params.scale * params.qmax >= np.max(np.abs(tensor)) - 1e-9

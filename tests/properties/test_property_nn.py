@@ -1,0 +1,96 @@
+"""Property-based tests for the NumPy CNN substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear
+
+
+@st.composite
+def conv_geometry(draw):
+    """A random but valid (input, kernel, stride, padding) conv geometry."""
+    kernel = draw(st.integers(1, 4))
+    stride = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, 2))
+    min_size = max(kernel - 2 * padding, 1)
+    size = draw(st.integers(min_size + 2, min_size + 8))
+    channels = draw(st.integers(1, 3))
+    batch = draw(st.integers(1, 2))
+    return batch, channels, size, kernel, stride, padding
+
+
+class TestIm2ColProperties:
+    @given(geometry=conv_geometry(), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_im2col_col2im_adjoint(self, geometry, seed):
+        # <im2col(x), y> == <x, col2im(y)>: im2col and col2im are adjoint
+        # linear maps, which is exactly what a correct conv backward needs.
+        batch, channels, size, kernel, stride, padding = geometry
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, channels, size, size))
+        cols = F.im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, kernel, stride, padding)))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+    @given(geometry=conv_geometry(), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_im2col_patch_count(self, geometry, seed):
+        batch, channels, size, kernel, stride, padding = geometry
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(batch, channels, size, size))
+        out = F.conv_output_size(size, kernel, stride, padding)
+        cols = F.im2col(x, kernel, stride, padding)
+        assert cols.shape == (batch, out * out, channels * kernel * kernel)
+
+
+class TestConvolutionProperties:
+    @given(geometry=conv_geometry(), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_conv_is_linear_in_input(self, geometry, seed):
+        batch, channels, size, kernel, stride, padding = geometry
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(2, channels, kernel, kernel))
+        x1 = rng.normal(size=(batch, channels, size, size))
+        x2 = rng.normal(size=(batch, channels, size, size))
+        alpha = 0.7
+        combined = F.conv2d(x1 + alpha * x2, w, stride=stride, padding=padding)
+        separate = (F.conv2d(x1, w, stride=stride, padding=padding)
+                    + alpha * F.conv2d(x2, w, stride=stride, padding=padding))
+        assert np.allclose(combined, separate)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_layer_forward_matches_functional(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 7, 7))
+        assert np.allclose(layer(x), F.conv2d(x, layer.weight, layer.bias, padding=1))
+
+
+class TestSoftmaxProperties:
+    @given(seed=st.integers(0, 1000), batch=st.integers(1, 8), classes=st.integers(2, 20),
+           shift=st.floats(min_value=-50, max_value=50, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_shift_invariance_and_normalisation(self, seed, batch, classes, shift):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(batch, classes)) * 10
+        probs = F.softmax(logits)
+        shifted = F.softmax(logits + shift)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.allclose(probs, shifted, atol=1e-9)
+
+
+class TestLinearProperties:
+    @given(seed=st.integers(0, 1000), in_features=st.integers(1, 16),
+           out_features=st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, seed, in_features, out_features):
+        rng = np.random.default_rng(seed)
+        layer = Linear(in_features, out_features, bias=False, rng=rng)
+        x1 = rng.normal(size=(3, in_features))
+        x2 = rng.normal(size=(3, in_features))
+        assert np.allclose(layer(x1 + x2), layer(x1) + layer(x2))

@@ -1,0 +1,107 @@
+"""Tests for the layer-shape specifications and network traces."""
+
+import pytest
+
+from repro.workloads.specs import (
+    ConvSpec,
+    FCSpec,
+    LayerSpec,
+    NetworkTrace,
+    all_paper_networks,
+    lenet5_trace,
+    network_by_name,
+    resnet18_trace,
+    vgg11_trace,
+    vgg16_trace,
+)
+
+
+class TestLayerSpec:
+    def test_conv_spec_dimensions(self):
+        layer = ConvSpec("conv", in_channels=3, out_channels=64, kernel_size=3,
+                         input_size=32, padding=1)
+        assert layer.contexts_per_image == 32 * 32
+        assert layer.num_kernels == 64
+        assert layer.context_length == 27
+        assert layer.macs == 1024 * 64 * 27
+
+    def test_conv_spec_stride(self):
+        layer = ConvSpec("conv", 64, 128, 3, input_size=32, stride=2, padding=1)
+        assert layer.contexts_per_image == 16 * 16
+
+    def test_fc_spec(self):
+        layer = FCSpec("fc", in_features=512, out_features=10)
+        assert layer.contexts_per_image == 1
+        assert layer.macs == 5120
+        assert layer.kind == "fc"
+
+    def test_derived_quantities(self):
+        layer = ConvSpec("c", 1, 6, 5, input_size=28, padding=2)
+        assert layer.output_elements == 28 * 28 * 6
+        assert layer.weight_count == 6 * 25
+        assert layer.input_elements == 28 * 28 * 25
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            LayerSpec("bad", contexts_per_image=0, num_kernels=1, context_length=1)
+        with pytest.raises(ValueError):
+            LayerSpec("bad", contexts_per_image=1, num_kernels=1, context_length=1,
+                      kind="pool")
+        with pytest.raises(ValueError):
+            ConvSpec("bad", 1, 1, 7, input_size=4)
+
+
+class TestNetworkTraces:
+    def test_lenet5_structure(self):
+        trace = lenet5_trace()
+        assert len(trace) == 5
+        assert trace.layer("conv1").num_kernels == 6
+        assert trace.layer("fc3").num_kernels == 10
+        # LeNet5 is ~0.4M MACs per inference.
+        assert 3.5e5 < trace.total_macs < 5.0e5
+
+    def test_vgg11_macs_in_expected_range(self):
+        # VGG11 on 32x32 inputs is ~150M MACs.
+        assert 1.2e8 < vgg11_trace().total_macs < 1.8e8
+
+    def test_vgg16_larger_than_vgg11(self):
+        assert vgg16_trace().total_macs > vgg11_trace().total_macs
+
+    def test_resnet18_macs_in_expected_range(self):
+        # CIFAR ResNet18 is ~0.55 GMACs.
+        assert 4.5e8 < resnet18_trace().total_macs < 6.5e8
+
+    def test_resnet18_has_downsample_layers(self):
+        names = [layer.name for layer in resnet18_trace()]
+        assert sum("downsample" in name for name in names) == 3
+
+    def test_vgg_weight_counts(self):
+        # VGG11 (conv only ~9.2M weights) plus the 5k classifier.
+        assert 9.0e6 < vgg11_trace().total_weights < 9.6e6
+
+    def test_traces_have_unique_layer_names(self):
+        for trace in all_paper_networks():
+            names = [layer.name for layer in trace]
+            assert len(names) == len(set(names)), trace.name
+
+    def test_network_by_name_roundtrip(self):
+        for name in ("lenet5", "vgg11", "vgg16", "resnet18"):
+            assert network_by_name(name).name == name
+
+    def test_network_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            network_by_name("alexnet")
+
+    def test_layer_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            lenet5_trace().layer("conv9")
+
+    def test_all_paper_networks_order_and_datasets(self):
+        traces = all_paper_networks()
+        assert [t.name for t in traces] == ["lenet5", "vgg11", "vgg16", "resnet18"]
+        assert [t.dataset for t in traces] == ["mnist", "cifar10", "cifar100", "cifar100"]
+
+    def test_trace_requires_layers(self):
+        with pytest.raises(ValueError):
+            NetworkTrace(name="empty", dataset="none", input_shape=(1, 8, 8),
+                         num_classes=2, layers=())
