@@ -7,12 +7,12 @@ against the homogeneous-256-bit DeepCAM baseline, the homogeneous-1024-bit
 
 import pytest
 
-from repro.evaluation.experiments import run_fig10_energy
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 
 def _run():
-    return run_fig10_energy(cam_rows_list=(64, 512))
+    return ExperimentRunner().run("fig10_energy", cam_rows_list=(64, 512)).raw
 
 
 @pytest.mark.figure

@@ -7,15 +7,15 @@ reference and its seed-to-seed spread shrinks as the hash length grows.
 
 import pytest
 
-from repro.evaluation.experiments import run_fig2_dot_product_sweep
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 HASH_LENGTHS = (64, 128, 256, 512, 1024, 2048, 4096)
 
 
 def _run():
-    return run_fig2_dot_product_sweep(hash_lengths=HASH_LENGTHS, seeds=tuple(range(8)),
-                                      use_exact_cosine=True)
+    return ExperimentRunner().run("fig2_dot_product_sweep", hash_lengths=HASH_LENGTHS, seeds=tuple(range(8)),
+                                      use_exact_cosine=True).raw
 
 
 @pytest.mark.figure

@@ -13,13 +13,13 @@ for the full sweep.
 
 import pytest
 
-from repro.evaluation.experiments import run_fig5_accuracy
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 
 def _run():
-    return run_fig5_accuracy(models=("lenet5",), samples=600, epochs=3,
-                             eval_samples=120, tolerance=0.04)
+    return ExperimentRunner().run("fig5_accuracy", models=("lenet5",), samples=600, epochs=3,
+                             eval_samples=120, tolerance=0.04).raw
 
 
 @pytest.mark.figure

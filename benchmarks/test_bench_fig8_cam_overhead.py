@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.evaluation.experiments import run_fig8_cam_overhead
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 
 def _run():
-    return run_fig8_cam_overhead()
+    return ExperimentRunner().run("fig8_cam_overhead").raw
 
 
 @pytest.mark.figure

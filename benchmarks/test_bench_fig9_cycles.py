@@ -7,12 +7,12 @@ four CNN workloads, at 64 and 512 CAM rows.
 
 import pytest
 
-from repro.evaluation.experiments import run_fig9_cycles
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 
 def _run():
-    return {rows: run_fig9_cycles(cam_rows=rows) for rows in (64, 512)}
+    return {rows: ExperimentRunner().run("fig9_cycles", cam_rows=rows).raw for rows in (64, 512)}
 
 
 @pytest.mark.figure

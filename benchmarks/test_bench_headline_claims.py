@@ -8,12 +8,12 @@ absolute factors are recorded in EXPERIMENTS.md.
 
 import pytest
 
-from repro.evaluation.experiments import run_headline_claims
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 
 def _run():
-    return run_headline_claims(cam_rows=64)
+    return ExperimentRunner().run("headline_claims", cam_rows=64).raw
 
 
 @pytest.mark.figure

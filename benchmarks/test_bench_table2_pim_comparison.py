@@ -8,12 +8,12 @@ reference.
 
 import pytest
 
-from repro.evaluation.experiments import run_table2_pim_comparison
+from repro.api import ExperimentRunner
 from repro.evaluation.reporting import format_table
 
 
 def _run():
-    return run_table2_pim_comparison(cam_rows=64)
+    return ExperimentRunner().run("table2_pim_comparison", cam_rows=64).raw
 
 
 @pytest.mark.figure

@@ -1,41 +1,58 @@
 """Compare DeepCAM against Eyeriss, a Skylake CPU and analog PIM engines.
 
-Regenerates, from the public API, the performance/energy story of the
-paper's evaluation section for all four CNN workloads:
+Regenerates, through the unified :mod:`repro.api` runtime, the
+performance/energy story of the paper's evaluation section for all four CNN
+workloads:
 
 * cycles and CAM utilization for weight- and activation-stationary DeepCAM
   versus Eyeriss (SCALE-Sim-style 14x12 array) and a Skylake AVX-512 CPU
-  (Fig. 9);
+  (Fig. 9), via the registered ``fig9_cycles`` experiment;
 * energy per inference for the three hash-length policies versus Eyeriss
-  (Fig. 10);
+  (Fig. 10), via the registered ``fig10_energy`` experiment;
 * the Table II comparison against the NeuroSim RRAM and Valavi SRAM analog
-  PIM baselines on VGG11.
+  PIM baselines on VGG11, via ``table2_pim_comparison``;
+* a per-backend :class:`CostReport` sweep straight off the backend registry.
 
 Usage::
 
-    python examples/accelerator_comparison.py [--rows 64]
+    python examples/accelerator_comparison.py [--rows 64] [--progress]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.core.config import Dataflow, DeepCAMConfig
-from repro.evaluation.experiments import (
-    run_fig9_cycles,
-    run_fig10_energy,
-    run_table2_pim_comparison,
-)
+import repro.api as api
 from repro.evaluation.reporting import format_table
 
 
-def show_cycles(cam_rows: int) -> None:
+def show_registry_sweep(cam_rows: int) -> None:
+    """Every registered backend estimating every paper network."""
+    print("Cost estimates straight from the backend registry")
+    rows = []
+    for trace in api.all_paper_networks():
+        for name in api.list_backends():
+            if name == "deepcam":
+                backend = api.deepcam(rows=cam_rows)
+            else:
+                backend = api.get_backend(name)
+            report = backend.estimate(trace)
+            energy = ("-" if report.total_energy_uj is None
+                      else f"{report.total_energy_uj:.3f}")
+            util = ("-" if report.mean_utilization is None
+                    else f"{report.mean_utilization:.2f}")
+            rows.append([trace.name, name, report.total_cycles, energy, util])
+    print(format_table(["network", "backend", "cycles", "energy (uJ)", "util"], rows))
+    print()
+
+
+def show_cycles(runner: api.ExperimentRunner, cam_rows: int) -> None:
     """Fig. 9-style cycles and utilization table."""
-    rows = run_fig9_cycles(cam_rows=cam_rows)
-    table = [[r.network, r.eyeriss_cycles, r.cpu_cycles, r.deepcam_ws_cycles,
-              r.deepcam_as_cycles, f"{r.deepcam_as_utilization:.2f}",
-              f"{r.speedup_vs_eyeriss_as:.1f}x", f"{r.speedup_vs_cpu_as:.1f}x"]
-             for r in rows]
+    result = runner.run("fig9_cycles", cam_rows=cam_rows)
+    table = [[r["network"], r["eyeriss_cycles"], r["cpu_cycles"], r["deepcam_ws_cycles"],
+              r["deepcam_as_cycles"], f"{r['deepcam_as_utilization']:.2f}",
+              f"{r['speedup_vs_eyeriss_as']:.1f}x", f"{r['speedup_vs_cpu_as']:.1f}x"]
+             for r in result.rows]
     print(format_table(
         ["network", "Eyeriss cyc", "CPU cyc", "DeepCAM WS", "DeepCAM AS",
          "AS util", "vs Eyeriss", "vs CPU"],
@@ -43,13 +60,13 @@ def show_cycles(cam_rows: int) -> None:
     print()
 
 
-def show_energy(cam_rows: int) -> None:
+def show_energy(runner: api.ExperimentRunner, cam_rows: int) -> None:
     """Fig. 10-style energy table (activation-stationary)."""
-    rows = run_fig10_energy(cam_rows_list=(cam_rows,),
-                            dataflows=(Dataflow.ACTIVATION_STATIONARY,))
-    table = [[r.network, r.deepcam_baseline256_uj, r.deepcam_vhl_uj,
-              r.deepcam_max1024_uj, r.eyeriss_uj,
-              f"{r.energy_reduction_vs_eyeriss:.1f}x"] for r in rows]
+    result = runner.run("fig10_energy", cam_rows_list=(cam_rows,),
+                        dataflows=(api.Dataflow.ACTIVATION_STATIONARY,))
+    table = [[r["network"], r["deepcam_baseline256_uj"], r["deepcam_vhl_uj"],
+              r["deepcam_max1024_uj"], r["eyeriss_uj"],
+              f"{r['energy_reduction_vs_eyeriss']:.1f}x"] for r in result.rows]
     print(format_table(
         ["network", "256-bit (uJ)", "VHL (uJ)", "1024-bit (uJ)", "Eyeriss (uJ)",
          "reduction vs Eyeriss"],
@@ -57,11 +74,11 @@ def show_energy(cam_rows: int) -> None:
     print()
 
 
-def show_pim_comparison(cam_rows: int) -> None:
+def show_pim_comparison(runner: api.ExperimentRunner, cam_rows: int) -> None:
     """Table II-style analog PIM comparison."""
-    rows = run_table2_pim_comparison(cam_rows=cam_rows)
-    table = [[r.work, r.device, r.dot_product_mode, f"{r.energy_uj:.2f}",
-              f"{r.cycles:.3g}"] for r in rows]
+    result = runner.run("table2_pim_comparison", cam_rows=cam_rows)
+    table = [[r["work"], r["device"], r["dot_product_mode"], f"{r['energy_uj']:.2f}",
+              f"{r['cycles']:.3g}"] for r in result.rows]
     print(format_table(["work", "device", "dot-product", "energy (uJ)", "cycles"],
                        table, title="VGG11/CIFAR10 vs prior PIM accelerators"))
 
@@ -70,10 +87,17 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", type=int, default=64,
                         help="CAM row count (the paper sweeps 64..512)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print experiment progress events")
     args = parser.parse_args()
-    show_cycles(args.rows)
-    show_energy(args.rows)
-    show_pim_comparison(args.rows)
+
+    observers = [api.PrintProgressObserver()] if args.progress else []
+    runner = api.ExperimentRunner(observers)
+
+    show_registry_sweep(args.rows)
+    show_cycles(runner, args.rows)
+    show_energy(runner, args.rows)
+    show_pim_comparison(runner, args.rows)
 
 
 if __name__ == "__main__":

@@ -1,11 +1,15 @@
-"""Quickstart: the approximate geometric dot-product and a first accelerator map.
+"""Quickstart: the unified ``repro.api`` runtime in four short demos.
 
-Runs in a few seconds and touches the three layers of the library:
+Runs in a few seconds and touches every layer of the public API:
 
 1. the approximate dot-product primitive (paper Eq. 4) on the paper's own
    worked example,
-2. the bit-level dynamic CAM computing Hamming distances for a small batch,
-3. the analytical mapper/energy model for LeNet5 on a 64-row DeepCAM.
+2. a configured DeepCAM backend from the fluent builder, estimating
+   cycles/energy for LeNet5 as a typed :class:`CostReport`,
+3. the backend registry: the same trace estimated on every registered
+   accelerator through one loop,
+4. a registered paper experiment executed by the ``ExperimentRunner`` with
+   a progress observer, and its JSON round-trip.
 
 Usage::
 
@@ -14,16 +18,13 @@ Usage::
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
-from repro.cam.dynamic import DynamicCam, DynamicCamConfig
-from repro.core.config import DeepCAMConfig
-from repro.core.energy import DeepCAMEnergyModel
+import repro.api as api
 from repro.core.geometric import ApproximateDotProduct, algebraic_dot
-from repro.core.hashing import RandomProjectionHasher
-from repro.core.mapping import DeepCAMMapper
 from repro.evaluation.reporting import format_table
-from repro.workloads.specs import lenet5_trace
 
 
 def demo_dot_product() -> None:
@@ -44,40 +45,49 @@ def demo_dot_product() -> None:
     print()
 
 
-def demo_cam() -> None:
-    """Hamming distances measured by the bit-level dynamic CAM."""
-    print("== Dynamic CAM search (64 rows, 256-bit words) ==")
-    rng = np.random.default_rng(0)
-    hasher = RandomProjectionHasher(input_dim=27, hash_length=256, seed=0)
-    weights = rng.normal(size=(6, 27))       # six 3x3x3 kernels
-    patch = rng.normal(size=27)               # one activation patch
-
-    cam = DynamicCam(DynamicCamConfig(rows=64))
-    cam.configure_for_hash_length(256)
-    cam.write_rows(hasher.hash_batch(weights))
-    result = cam.search(hasher.hash(patch))
-    print(f"per-kernel Hamming distances: {result.distances[:6].tolist()}")
-    print(f"search energy: {result.energy_pj:.2f} pJ, latency: {result.latency_cycles} cycles")
+def demo_backend() -> None:
+    """A configured DeepCAM backend estimating LeNet5, as a typed report."""
+    print("== DeepCAM backend from the fluent builder ==")
+    backend = api.deepcam(rows=64, dataflow="activation_stationary", seed=0)
+    report = backend.estimate(api.network_by_name("lenet5"))
+    print(f"backend={report.backend} network={report.network}")
+    print(f"total cycles: {report.total_cycles}  "
+          f"(latency {report.latency_s(300e6) * 1e6:.2f} us at 300 MHz)")
+    print(f"total energy: {report.total_energy_uj:.3f} uJ per inference "
+          f"(utilization {report.mean_utilization:.2f})")
     print()
 
 
-def demo_mapping_and_energy() -> None:
-    """Analytical cycles/energy of LeNet5 on a 64-row DeepCAM."""
-    print("== LeNet5 on DeepCAM (64 rows, activation-stationary) ==")
-    config = DeepCAMConfig(cam_rows=64)
-    trace = lenet5_trace()
-    mapping = DeepCAMMapper(config).map_network(trace)
-    energy = DeepCAMEnergyModel(config).network_energy(trace)
+def demo_registry() -> None:
+    """One loop over the backend registry: every accelerator, one contract."""
+    print("== Backend registry: LeNet5 on every registered accelerator ==")
+    trace = api.network_by_name("lenet5")
+    rows = []
+    for name in api.list_backends():
+        report = api.get_backend(name).estimate(trace)
+        energy = ("-" if report.total_energy_uj is None
+                  else f"{report.total_energy_uj:.3f}")
+        rows.append([name, report.total_cycles, energy])
+    print(format_table(["backend", "cycles", "energy (uJ)"], rows))
+    print()
 
-    rows = [[m.layer.name, m.searches, m.fills, m.cycles, f"{m.utilization:.2f}"]
-            for m in mapping.layers]
-    print(format_table(["layer", "searches", "fills", "cycles", "utilization"], rows))
-    print(f"total cycles: {mapping.total_cycles}  "
-          f"(latency {mapping.latency_s * 1e6:.2f} us at 300 MHz)")
-    print(f"total energy: {energy.total_uj:.3f} uJ per inference")
+
+def demo_experiment() -> None:
+    """Run a registered paper experiment with observer hooks + JSON round-trip."""
+    print("== Registered experiment via ExperimentRunner ==")
+    runner = api.ExperimentRunner([api.PrintProgressObserver()])
+    result = runner.run("fig9_cycles", networks=("lenet5", "vgg11"))
+    rows = [[r["network"], r["eyeriss_cycles"], r["cpu_cycles"], r["deepcam_as_cycles"],
+             f"{r['speedup_vs_eyeriss_as']:.1f}x"] for r in result.rows]
+    print(format_table(["network", "Eyeriss", "CPU", "DeepCAM AS", "vs Eyeriss"], rows))
+
+    round_trip = api.ExperimentResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    print(f"JSON round-trip ok: {round_trip.rows == result.rows}")
+    print(f"registered experiments: {', '.join(api.list_experiments())}")
 
 
 if __name__ == "__main__":
     demo_dot_product()
-    demo_cam()
-    demo_mapping_and_energy()
+    demo_backend()
+    demo_registry()
+    demo_experiment()

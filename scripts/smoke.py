@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Smoke-check the unified repro.api runtime: schema violations exit nonzero.
+
+For every registered backend this script runs one tiny estimate and checks
+that the resulting :class:`CostReport` obeys the typed schema and survives a
+real JSON round-trip; it then runs one tiny registered experiment per
+backend family (cycle models, energy models, the CAM overhead model and the
+PIM comparison) and checks the :class:`ExperimentResult` schema the same
+way.  Finally it runs one micro inference through the DeepCAM backend to
+check the :class:`RunResult` path.
+
+Intended for CI / ``make check``:
+
+    PYTHONPATH=src python scripts/smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import traceback
+
+import numpy as np
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def check_cost_reports(api) -> None:
+    trace = api.network_by_name("lenet5")
+    for name in api.list_backends():
+        report = api.get_backend(name).estimate(trace)
+        check(isinstance(report, api.CostReport),
+              f"{name}: estimate() must return a CostReport")
+        check(report.backend == name, f"{name}: report.backend mismatch")
+        check(report.network == trace.name, f"{name}: report.network mismatch")
+        check(report.total_cycles > 0, f"{name}: cycles must be positive")
+        rebuilt = api.CostReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        check(rebuilt == report, f"{name}: CostReport JSON round-trip changed the value")
+        print(f"  [ok] backend {name}: {report.total_cycles} cycles, "
+              f"energy={report.total_energy_uj}")
+
+
+def check_experiments(api) -> None:
+    # One tiny registered experiment per backend family: fig9 covers the
+    # deepcam/eyeriss/cpu cycle models, fig10 the energy models, fig8 the CAM
+    # overhead model and table2 the analog PIM backends.
+    tiny_params = {
+        "fig9_cycles": {"networks": ("lenet5",)},
+        "fig10_energy": {"cam_rows_list": (64,), "networks": ("lenet5",)},
+        "fig8_cam_overhead": {"row_sizes": (64,), "word_sizes": (256,)},
+        "table2_pim_comparison": {"cam_rows": 64},
+        "table1_setup": {},
+    }
+    runner = api.ExperimentRunner()
+    for name, params in tiny_params.items():
+        result = runner.run(name, **params)
+        check(isinstance(result, api.ExperimentResult),
+              f"{name}: run() must return an ExperimentResult")
+        check(len(result.rows) > 0, f"{name}: no rows produced")
+        check(all(isinstance(row, dict) for row in result.rows),
+              f"{name}: rows must be plain dicts")
+        payload = json.dumps(result.to_dict())  # raises if not JSON-serialisable
+        rebuilt = api.ExperimentResult.from_dict(json.loads(payload))
+        check(rebuilt.rows == result.rows,
+              f"{name}: ExperimentResult JSON round-trip changed the rows")
+        print(f"  [ok] experiment {name}: {len(result.rows)} rows")
+
+
+def check_inference(api) -> None:
+    from repro.nn.models.lenet import build_lenet5
+
+    model = build_lenet5(num_classes=4, input_size=28, width_multiplier=0.25, seed=0)
+    batch = np.random.default_rng(0).normal(size=(2, 1, 28, 28))
+    backend = api.deepcam(rows=64, hash_length=256)
+    result = backend.run(model, batch)
+    check(isinstance(result, api.RunResult), "deepcam run() must return a RunResult")
+    check(result.num_samples == 2, "RunResult.num_samples mismatch")
+    check(result.stats.get("cam_searches", 0) > 0, "simulator stats missing")
+    rebuilt = api.RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    check(rebuilt == result, "RunResult JSON round-trip changed the value")
+    print(f"  [ok] deepcam inference: predictions={result.predictions}")
+
+
+def main() -> int:
+    try:
+        import repro.api as api
+    except Exception:
+        traceback.print_exc()
+        print("FAIL: repro.api did not import")
+        return 1
+
+    steps = (
+        ("cost reports per backend", check_cost_reports),
+        ("registered experiments", check_experiments),
+        ("functional inference", check_inference),
+    )
+    for title, step in steps:
+        print(f"== {title} ==")
+        try:
+            step(api)
+        except Exception:
+            traceback.print_exc()
+            print(f"FAIL: {title}")
+            return 1
+    print("smoke: all API schema checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

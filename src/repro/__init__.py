@@ -4,6 +4,11 @@ This package reproduces *DeepCAM: A Fully CAM-based Inference Accelerator
 with Variable Hash Lengths for Energy-efficient Deep Neural Networks*
 (Nguyen et al., DATE 2023) as a self-contained Python library:
 
+* :mod:`repro.api` -- the unified runtime API: the :class:`Backend`
+  protocol with a string-keyed registry over DeepCAM and every baseline,
+  the typed :class:`CostReport`/:class:`RunResult`/:class:`ExperimentResult`
+  schema, and the observer-driven :class:`ExperimentRunner` over the
+  registered paper experiments.
 * :mod:`repro.core` -- the approximate geometric dot-product, context
   generation, variable hash lengths, the CAM mapping/cycle model, the
   energy model and the functional inference simulator.
@@ -17,16 +22,40 @@ with Variable Hash Lengths for Energy-efficient Deep Neural Networks*
 * :mod:`repro.workloads` -- layer-shape traces of the paper's four networks.
 * :mod:`repro.baselines` -- Eyeriss (SCALE-Sim-style), Skylake AVX-512 and
   analog PIM baselines.
-* :mod:`repro.evaluation` -- one experiment runner per table/figure.
+* :mod:`repro.evaluation` -- the experiment implementations behind the
+  registry (one per table/figure).
 
 Quickstart::
 
-    from repro.core import ApproximateDotProduct, algebraic_dot
-    engine = ApproximateDotProduct(input_dim=64, hash_length=1024)
-    x, y = np.random.rand(64), np.random.rand(64)
-    print(algebraic_dot(x, y), engine(x, y))
+    import repro
+
+    backend = repro.get_backend("deepcam")
+    report = backend.estimate(repro.network_by_name("lenet5"))
+    print(report.total_cycles, report.total_energy_uj)
+
+    result = repro.ExperimentRunner().run("fig9_cycles", networks=("vgg11",))
+    print(result.rows[0]["speedup_vs_eyeriss_as"])
 """
 
+from repro.api import (
+    Backend,
+    CallbackObserver,
+    CostReport,
+    DeepCAMBackend,
+    DeepCAMConfigBuilder,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    RunResult,
+    deepcam,
+    get_backend,
+    get_experiment,
+    list_backends,
+    list_experiments,
+    network_by_name,
+    register_backend,
+    register_experiment,
+)
 from repro.core import (
     ApproximateDotProduct,
     DeepCAMConfig,
@@ -37,15 +66,32 @@ from repro.core import (
     VariableHashLengthSearch,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApproximateDotProduct",
+    "Backend",
+    "CallbackObserver",
+    "CostReport",
     "Dataflow",
+    "DeepCAMBackend",
     "DeepCAMConfig",
+    "DeepCAMConfigBuilder",
     "DeepCAMEnergyModel",
     "DeepCAMMapper",
     "DeepCAMSimulator",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "RunResult",
     "VariableHashLengthSearch",
     "__version__",
+    "deepcam",
+    "get_backend",
+    "get_experiment",
+    "list_backends",
+    "list_experiments",
+    "network_by_name",
+    "register_backend",
+    "register_experiment",
 ]

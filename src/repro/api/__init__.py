@@ -1,0 +1,152 @@
+"""Unified runtime API: one backend contract, one experiment registry.
+
+This subsystem is the single public surface over the whole reproduction:
+
+* :class:`Backend` -- the uniform accelerator contract
+  (``estimate(trace) -> CostReport``, ``infer(model, batch) -> logits``),
+  with DeepCAM and every baseline registered under string keys
+  (``"deepcam"``, ``"eyeriss"``, ``"cpu"``, ``"analog_pim"``);
+* :class:`CostReport` / :class:`RunResult` / :class:`ExperimentResult` --
+  the typed, JSON-round-trippable result schema;
+* :class:`ExperimentRunner` + the experiment registry -- every paper
+  figure/table is a registered :class:`ExperimentSpec`, runnable with
+  observer hooks for progress and per-row callbacks;
+* :class:`DeepCAMConfigBuilder` / :func:`deepcam` -- fluent configuration
+  with eager validation.
+
+Quickstart::
+
+    import repro.api as api
+
+    backend = api.deepcam(rows=128, dataflow="activation_stationary")
+    report = backend.estimate(api.network_by_name("lenet5"))
+    print(report.total_cycles, report.total_energy_uj)
+
+    result = api.ExperimentRunner().run("fig9_cycles", networks=("lenet5",))
+    print(result.rows[0]["speedup_vs_eyeriss_as"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.api.backend import (
+    Backend,
+    BackendNotFoundError,
+    DuplicateBackendError,
+    get_backend,
+    list_backends,
+    register_backend,
+    unregister_backend,
+)
+from repro.api.builder import DeepCAMConfigBuilder
+from repro.api.experiments import (
+    CallbackObserver,
+    DuplicateExperimentError,
+    ExperimentNotFoundError,
+    ExperimentObserver,
+    ExperimentRunner,
+    ExperimentSpec,
+    PrintProgressObserver,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    unregister_experiment,
+)
+from repro.api.results import (
+    CostReport,
+    ExperimentResult,
+    RunResult,
+    SchemaError,
+    json_sanitize,
+)
+from repro.api.adapters import (
+    AnalogPIMBackend,
+    BaseBackend,
+    DeepCAMBackend,
+    EyerissBackend,
+    SkylakeCPUBackend,
+    exact_forward,
+)
+from repro.core.config import Dataflow, DeepCAMConfig
+from repro.workloads.specs import NetworkTrace, all_paper_networks, network_by_name
+
+# Importing the specs module registers every paper experiment.
+import repro.api.specs  # noqa: F401  (import for registration side effect)
+
+
+def deepcam(rows: int = 64,
+            dataflow: "Dataflow | str" = Dataflow.ACTIVATION_STATIONARY,
+            hash_lengths: Optional[Mapping[str, int]] = None,
+            hash_length: Optional[int] = None,
+            seed: int = 0,
+            use_cam_hardware: bool = False,
+            **builder_kwargs: Any) -> DeepCAMBackend:
+    """Convenience factory: a configured DeepCAM backend in one call.
+
+    Parameters map onto :class:`DeepCAMConfigBuilder` setters: ``rows``,
+    ``dataflow`` (enum or string), either ``hash_lengths`` (per-layer,
+    variable policy) or ``hash_length`` (homogeneous policy), ``seed``, and
+    any further keyword whose name matches a builder method
+    (``technology="cmos"``, ``exact_cosine=True``, ...).
+    """
+    builder = (DeepCAMConfig.builder()
+               .rows(rows)
+               .dataflow(dataflow)
+               .seed(seed))
+    if hash_lengths is not None and hash_length is not None:
+        raise ValueError("pass either hash_lengths (variable) or hash_length "
+                         "(homogeneous), not both")
+    if hash_lengths is not None:
+        builder.hash_lengths(hash_lengths)
+    if hash_length is not None:
+        builder.homogeneous(hash_length)
+    passthrough_setters = ("technology", "clock_frequency", "postprocess_lanes",
+                           "fallback_hash_length", "count_activation_writes",
+                           "exact_cosine", "quantize_norms")
+    for name, value in builder_kwargs.items():
+        if name not in passthrough_setters:
+            raise TypeError(f"deepcam() got an unexpected keyword {name!r}; "
+                            f"expected one of: {', '.join(passthrough_setters)}")
+        getattr(builder, name)(value)
+    return DeepCAMBackend(config=builder.build(), use_cam_hardware=use_cam_hardware)
+
+
+__all__ = [
+    "AnalogPIMBackend",
+    "Backend",
+    "BackendNotFoundError",
+    "BaseBackend",
+    "CallbackObserver",
+    "CostReport",
+    "Dataflow",
+    "DeepCAMBackend",
+    "DeepCAMConfig",
+    "DeepCAMConfigBuilder",
+    "DuplicateBackendError",
+    "DuplicateExperimentError",
+    "ExperimentNotFoundError",
+    "ExperimentObserver",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "EyerissBackend",
+    "NetworkTrace",
+    "PrintProgressObserver",
+    "RunResult",
+    "SchemaError",
+    "SkylakeCPUBackend",
+    "all_paper_networks",
+    "deepcam",
+    "exact_forward",
+    "get_backend",
+    "get_experiment",
+    "json_sanitize",
+    "list_backends",
+    "list_experiments",
+    "network_by_name",
+    "register_backend",
+    "register_experiment",
+    "unregister_backend",
+    "unregister_experiment",
+]

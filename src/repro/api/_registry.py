@@ -1,0 +1,67 @@
+"""Generic string-keyed registry shared by the backend and experiment APIs.
+
+Both public registries (:mod:`repro.api.backend` and
+:mod:`repro.api.experiments`) expose the same behaviour -- duplicate keys
+rejected unless overwritten, lookups that name the known keys on failure,
+sorted listing, idempotent unregister -- so the mechanics live here once and
+each facade contributes only its domain-specific error types and wording.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Type, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryNotFoundError(KeyError):
+    """A requested key is not in a registry; subclasses set ``kind``."""
+
+    kind = "key"
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return (f"no {self.kind} registered under {self.name!r}; "
+                f"known {self.kind}s: {', '.join(self.known) or '(none)'}")
+
+
+class Registry(Generic[T]):
+    """Minimal string-keyed registry with explicit error types."""
+
+    def __init__(self, kind: str,
+                 not_found_error: Type[RegistryNotFoundError],
+                 duplicate_error: Type[ValueError]) -> None:
+        self._kind = kind
+        self._not_found_error = not_found_error
+        self._duplicate_error = duplicate_error
+        self._items: Dict[str, T] = {}
+
+    def register(self, name: str, value: T, *, overwrite: bool = False) -> T:
+        """Add ``value`` under ``name``; duplicates raise unless ``overwrite``."""
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self._kind} name must be a non-empty string")
+        if not overwrite and name in self._items:
+            raise self._duplicate_error(
+                f"{self._kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it")
+        self._items[name] = value
+        return value
+
+    def unregister(self, name: str) -> None:
+        """Remove a key; missing keys are ignored."""
+        self._items.pop(name, None)
+
+    def get(self, name: str) -> T:
+        """Look up a key; unknown keys raise the registry's not-found error."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise self._not_found_error(name, self.keys()) from None
+
+    def keys(self) -> List[str]:
+        """Sorted registered keys."""
+        return sorted(self._items)

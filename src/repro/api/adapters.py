@@ -1,0 +1,247 @@
+"""Backend adapters: DeepCAM and every baseline behind one contract.
+
+Each adapter wraps one of the existing accelerator models --
+:class:`~repro.core.accelerator.DeepCAMSimulator` /
+:class:`~repro.core.mapping.DeepCAMMapper` /
+:class:`~repro.core.energy.DeepCAMEnergyModel` for DeepCAM itself,
+:class:`~repro.baselines.eyeriss.EyerissModel`,
+:class:`~repro.baselines.cpu.SkylakeCPUModel` and
+:class:`~repro.baselines.analog_pim.AnalogPIMModel` for the baselines --
+and exposes the uniform :class:`~repro.api.backend.Backend` surface:
+``estimate(trace) -> CostReport`` and ``infer(model, batch) -> logits``.
+
+The digital baselines compute *algebraic* dot-products, so their ``infer``
+is the model's exact forward pass; DeepCAM's ``infer`` routes through the
+approximate geometric dot-product simulator.  All four are registered in the
+backend registry under ``"deepcam"``, ``"eyeriss"``, ``"cpu"`` and
+``"analog_pim"`` (plus the ``"analog_pim_sram"`` Valavi variant used by the
+Table II comparison).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.api.backend import register_backend
+from repro.api.results import CostReport, RunResult
+from repro.baselines.analog_pim import AnalogPIMConfig, AnalogPIMModel, NEUROSIM_RRAM, VALAVI_SRAM
+from repro.baselines.cpu import SkylakeCPUModel
+from repro.baselines.eyeriss import EyerissModel
+from repro.baselines.systolic import SystolicArrayConfig
+from repro.core.accelerator import DeepCAMSimulator
+from repro.core.config import DeepCAMConfig, HashLengthPolicy
+from repro.core.energy import DeepCAMEnergyModel
+from repro.core.mapping import DeepCAMMapper
+from repro.hw.components import CostLibrary
+from repro.workloads.specs import NetworkTrace
+
+
+def exact_forward(model: Any, batch: np.ndarray) -> np.ndarray:
+    """Exact digital inference: the reference path of every baseline."""
+    data = np.asarray(batch, dtype=np.float64)
+    model.eval()
+    return model(data)
+
+
+class BaseBackend:
+    """Shared convenience layer on top of the ``Backend`` protocol.
+
+    ``run`` wraps ``infer`` into a typed :class:`RunResult` so callers get
+    predictions/accuracy/stats without re-deriving them per backend.
+    """
+
+    name: str = "base"
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def run_stats(self) -> Dict[str, Any]:
+        """Backend-specific counters from the most recent ``infer`` call."""
+        return {}
+
+    def run(self, model: Any, batch: np.ndarray,
+            labels: Optional[np.ndarray] = None) -> RunResult:
+        """Execute ``model`` on ``batch`` and return a typed result."""
+        logits = self.infer(model, batch)
+        return RunResult.from_logits(self.name, logits, labels=labels,
+                                     stats=self.run_stats())
+
+
+class DeepCAMBackend(BaseBackend):
+    """DeepCAM behind the uniform backend contract.
+
+    ``estimate`` combines the cycle mapper and the energy model;
+    ``infer`` runs the functional simulator (approximate geometric
+    dot-products).  When the config uses the variable hash-length policy but
+    carries no explicit per-layer lengths, ``estimate`` derives the
+    representative profile from the trace (the same
+    :func:`~repro.evaluation.experiments.default_vhl_profile` the paper
+    experiments use); the report's ``meta["hash_lengths"]`` records the
+    profile actually costed.
+
+    Note that the derived profile applies to *estimates only*: trace layers
+    are named (``"conv1"``, ...) while the functional simulator numbers the
+    layers it encounters (``"layer0"``, ...), so ``infer``/``run`` always
+    resolve hash lengths from the config as given (falling back to its
+    homogeneous length for unlisted layers).  To make the functional machine
+    match a cost estimate, configure it explicitly -- e.g.
+    ``deepcam(hash_length=512)`` or a config built with per-layer lengths
+    keyed by simulator layer names.
+    """
+
+    name = "deepcam"
+
+    def __init__(self, config: DeepCAMConfig | None = None,
+                 use_cam_hardware: bool = False) -> None:
+        self.config = config if config is not None else DeepCAMConfig()
+        self.simulator = DeepCAMSimulator(self.config, use_cam_hardware=use_cam_hardware)
+
+    def _profile_for(self, trace: NetworkTrace,
+                     hash_lengths: Optional[Mapping[str, int]]) -> Optional[Dict[str, int]]:
+        if hash_lengths is not None:
+            return dict(hash_lengths)
+        if (self.config.hash_policy is HashLengthPolicy.VARIABLE
+                and not self.config.layer_hash_lengths):
+            from repro.evaluation.experiments import default_vhl_profile
+            return default_vhl_profile(trace)
+        return None
+
+    def estimate(self, trace: NetworkTrace,
+                 hash_lengths: Optional[Mapping[str, int]] = None) -> CostReport:
+        """Cycles + energy of one inference under the configured mapping."""
+        profile = self._profile_for(trace, hash_lengths)
+        config = self.config.with_hash_lengths(profile) if profile else self.config
+        mapping = DeepCAMMapper(config).map_network(trace, hash_lengths=profile)
+        energy = DeepCAMEnergyModel(config).network_energy_from_mapping(mapping)
+        return CostReport(
+            backend=self.name,
+            network=trace.name,
+            total_cycles=mapping.total_cycles,
+            total_energy_uj=energy.total_uj,
+            mean_utilization=mapping.mean_utilization,
+            breakdown=energy.breakdown(),
+            meta={
+                "cam_rows": config.cam_rows,
+                "dataflow": config.dataflow.value,
+                "hash_policy": config.hash_policy.value,
+                "hash_lengths": {m.layer.name: m.hash_length for m in mapping.layers},
+                "total_searches": mapping.total_searches,
+                "total_fills": mapping.total_fills,
+            },
+        )
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        """Approximate inference through the DeepCAM functional simulator."""
+        return self.simulator.run(model, np.asarray(batch, dtype=np.float64))
+
+    def run_stats(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self.simulator.stats)
+
+
+class EyerissBackend(BaseBackend):
+    """Eyeriss 14x12 systolic baseline behind the backend contract."""
+
+    name = "eyeriss"
+
+    def __init__(self, config: SystolicArrayConfig | None = None,
+                 library: CostLibrary | None = None,
+                 batch_size: int = 1) -> None:
+        self.model = EyerissModel(config=config, library=library, batch_size=batch_size)
+
+    def estimate(self, trace: NetworkTrace) -> CostReport:
+        """Cycles + memory-hierarchy energy from the Eyeriss model."""
+        report = self.model.evaluate(trace)
+        return CostReport(
+            backend=self.name,
+            network=trace.name,
+            total_cycles=report.total_cycles,
+            total_energy_uj=report.total_energy_uj,
+            mean_utilization=report.mean_utilization,
+            breakdown=report.breakdown(),
+            meta={"array": f"{self.model.config.rows}x{self.model.config.cols}"},
+        )
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        """Eyeriss computes algebraic dot-products: exact forward pass."""
+        return exact_forward(model, batch)
+
+
+class SkylakeCPUBackend(BaseBackend):
+    """Skylake AVX-512 CPU baseline behind the backend contract.
+
+    The CPU model estimates cycles only, so ``total_energy_uj`` is None.
+    """
+
+    name = "cpu"
+
+    def __init__(self, model: SkylakeCPUModel | None = None, **model_kwargs: Any) -> None:
+        if model is not None and model_kwargs:
+            raise ValueError("pass either a model instance or keyword overrides, not both")
+        self.model = model if model is not None else SkylakeCPUModel(**model_kwargs)
+
+    def estimate(self, trace: NetworkTrace) -> CostReport:
+        """Cycle estimate (compute/memory/overhead) from the CPU model."""
+        report = self.model.evaluate(trace)
+        return CostReport(
+            backend=self.name,
+            network=trace.name,
+            total_cycles=report.total_cycles,
+            total_energy_uj=None,
+            mean_utilization=None,
+            breakdown={
+                "compute_cycles": float(sum(l.compute_cycles for l in report.layers)),
+                "memory_cycles": float(sum(l.memory_cycles for l in report.layers)),
+                "overhead_cycles": float(sum(l.overhead_cycles for l in report.layers)),
+            },
+            meta={"frequency_hz": self.model.frequency_hz},
+        )
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        """The CPU runs exact INT8-class inference: exact forward pass."""
+        return exact_forward(model, batch)
+
+
+class AnalogPIMBackend(BaseBackend):
+    """Analog PIM baseline (NeuroSim RRAM by default) behind the contract."""
+
+    name = "analog_pim"
+
+    def __init__(self, config: AnalogPIMConfig | None = None) -> None:
+        self.config = config if config is not None else NEUROSIM_RRAM
+        self.model = AnalogPIMModel(self.config)
+
+    def estimate(self, trace: NetworkTrace) -> CostReport:
+        """Energy + cycles from the parametric analog PIM model."""
+        report = self.model.evaluate(trace)
+        return CostReport(
+            backend=self.name,
+            network=trace.name,
+            total_cycles=report.cycles,
+            total_energy_uj=report.energy_uj,
+            mean_utilization=None,
+            breakdown={},
+            meta={
+                "macro": self.config.name,
+                "energy_per_mac_fj": self.model.energy_per_mac_fj(trace),
+            },
+        )
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        """Analog PIM computes algebraic dot-products: exact forward pass."""
+        return exact_forward(model, batch)
+
+
+def _analog_pim_sram_factory(config: AnalogPIMConfig | None = None) -> AnalogPIMBackend:
+    return AnalogPIMBackend(config=config if config is not None else VALAVI_SRAM)
+
+
+# overwrite=True keeps module re-imports/reloads idempotent (as specs.py
+# does for the experiment registry).
+register_backend("deepcam", DeepCAMBackend, overwrite=True)
+register_backend("eyeriss", EyerissBackend, overwrite=True)
+register_backend("cpu", SkylakeCPUBackend, overwrite=True)
+register_backend("analog_pim", AnalogPIMBackend, overwrite=True)
+register_backend("analog_pim_sram", _analog_pim_sram_factory, overwrite=True)

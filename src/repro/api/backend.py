@@ -1,0 +1,105 @@
+"""The :class:`Backend` protocol and the string-keyed backend registry.
+
+A *backend* is anything that can (a) estimate the cost of running a network
+trace and (b) functionally execute a model on a batch of inputs.  DeepCAM
+itself and all three baselines are exposed through this one contract (see
+:mod:`repro.api.adapters`), so sweeps, benchmarks and the smoke checker can
+iterate ``for name in list_backends(): get_backend(name).estimate(trace)``
+without knowing any model-specific constructor.
+
+Backends are registered under a string key with :func:`register_backend`
+(usable as a decorator) and instantiated with :func:`get_backend`; extra
+keyword arguments are forwarded to the registered factory, so configured
+variants (``get_backend("deepcam", config=...)``) need no extra keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api._registry import Registry, RegistryNotFoundError
+from repro.api.results import CostReport
+from repro.workloads.specs import NetworkTrace
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Uniform contract every accelerator model satisfies.
+
+    Implementations must expose a ``name`` (the registry key they were
+    created under), an analytical ``estimate`` and a functional ``infer``.
+    """
+
+    name: str
+
+    def estimate(self, trace: NetworkTrace) -> CostReport:
+        """Analytical cost (cycles/energy/utilization) of one inference."""
+        ...
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        """Functionally execute ``model`` on ``batch``; returns the logits."""
+        ...
+
+
+BackendFactory = Callable[..., Backend]
+
+
+class BackendNotFoundError(RegistryNotFoundError):
+    """Requested backend key is not in the registry."""
+
+    kind = "backend"
+
+
+class DuplicateBackendError(ValueError):
+    """A backend key is already taken and ``overwrite`` was not requested."""
+
+
+_REGISTRY: Registry[BackendFactory] = Registry(
+    "backend", BackendNotFoundError, DuplicateBackendError)
+
+
+def register_backend(name: str, factory: BackendFactory | None = None, *,
+                     overwrite: bool = False):
+    """Register a backend factory under ``name``.
+
+    Usable directly (``register_backend("cpu", CPUBackend)``) or as a class
+    decorator (``@register_backend("cpu")``).  Raises
+    :class:`DuplicateBackendError` if the key is taken, unless
+    ``overwrite=True``.
+    """
+
+    def _register(target: BackendFactory) -> BackendFactory:
+        return _REGISTRY.register(name, target, overwrite=overwrite)
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend key (primarily for tests); missing keys are ignored."""
+    _REGISTRY.unregister(name)
+
+
+def get_backend(name: str, **kwargs: Any) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    Keyword arguments are forwarded to the registered factory.  When the
+    instance allows it, its ``name`` attribute is stamped with the registry
+    key so reports are traceable to how the backend was obtained; frozen or
+    slotted implementations keep their own ``name``.
+    """
+    backend = _REGISTRY.get(name)(**kwargs)
+    if getattr(backend, "name", None) != name:
+        try:
+            backend.name = name
+        except (AttributeError, TypeError):
+            pass
+    return backend
+
+
+def list_backends() -> List[str]:
+    """Sorted registry keys."""
+    return _REGISTRY.keys()

@@ -1,0 +1,176 @@
+"""Fluent builder for :class:`~repro.core.config.DeepCAMConfig`.
+
+The frozen config dataclass validates on construction, but a builder gives
+*eager*, per-call validation with friendlier coercions (dataflows and cell
+technologies by name, hash lengths checked against the supported chunk
+sizes the dynamic CAM can be configured for) and reads naturally in
+experiment scripts::
+
+    config = (DeepCAMConfig.builder()
+              .rows(128)
+              .dataflow("activation_stationary")
+              .hash_lengths({"conv1": 256, "fc1": 512})
+              .seed(7)
+              .build())
+
+``DeepCAMConfig.builder()`` and ``repro.api.deepcam(...)`` both route
+through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.cam.cell import CellTechnology
+from repro.core.config import (
+    Dataflow,
+    DeepCAMConfig,
+    HashLengthPolicy,
+    SUPPORTED_HASH_LENGTHS,
+)
+
+
+def _coerce_dataflow(value: Dataflow | str) -> Dataflow:
+    if isinstance(value, Dataflow):
+        return value
+    try:
+        return Dataflow(str(value).lower())
+    except ValueError:
+        options = ", ".join(d.value for d in Dataflow)
+        raise ValueError(f"unknown dataflow {value!r}; expected one of: {options}") from None
+
+
+def _coerce_technology(value: CellTechnology | str) -> CellTechnology:
+    if isinstance(value, CellTechnology):
+        return value
+    try:
+        return CellTechnology(str(value).lower())
+    except ValueError:
+        options = ", ".join(t.value for t in CellTechnology)
+        raise ValueError(f"unknown cell technology {value!r}; "
+                         f"expected one of: {options}") from None
+
+
+def _check_hash_length(bits: int, context: str) -> int:
+    bits = int(bits)
+    if bits not in SUPPORTED_HASH_LENGTHS:
+        raise ValueError(f"{context}: hash length {bits} is not supported; "
+                         f"the dynamic CAM chunks to {SUPPORTED_HASH_LENGTHS}")
+    return bits
+
+
+class DeepCAMConfigBuilder:
+    """Accumulates config fields with eager validation; ``build()`` freezes.
+
+    Every setter validates its argument immediately and returns ``self``.
+    Conflicting hash-length choices (an explicit homogeneous policy combined
+    with per-layer lengths) fail at ``build()`` time rather than producing a
+    config whose policy silently ignores half the input.
+    """
+
+    def __init__(self, base: DeepCAMConfig | None = None) -> None:
+        self._config = base if base is not None else DeepCAMConfig()
+        self._homogeneous_forced = False
+        self._variable_forced = False
+        self._fallback_set = False
+
+    # -- architecture ------------------------------------------------------------
+
+    def rows(self, cam_rows: int) -> "DeepCAMConfigBuilder":
+        """Set the CAM row count (the paper sweeps 64/128/256/512)."""
+        cam_rows = int(cam_rows)
+        if cam_rows <= 0:
+            raise ValueError("cam_rows must be positive")
+        self._config = replace(self._config, cam_rows=cam_rows)
+        return self
+
+    def dataflow(self, dataflow: Dataflow | str) -> "DeepCAMConfigBuilder":
+        """Set the dataflow; accepts the enum or its string value."""
+        self._config = replace(self._config, dataflow=_coerce_dataflow(dataflow))
+        return self
+
+    def technology(self, technology: CellTechnology | str) -> "DeepCAMConfigBuilder":
+        """Set the CAM cell technology; accepts the enum or its string value."""
+        self._config = replace(self._config, cell_technology=_coerce_technology(technology))
+        return self
+
+    def clock_frequency(self, hz: float) -> "DeepCAMConfigBuilder":
+        """Set the accelerator clock in hertz."""
+        hz = float(hz)
+        if hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self._config = replace(self._config, clock_frequency_hz=hz)
+        return self
+
+    def postprocess_lanes(self, lanes: int) -> "DeepCAMConfigBuilder":
+        """Set the number of parallel post-processing lanes."""
+        lanes = int(lanes)
+        if lanes <= 0:
+            raise ValueError("postprocess_lanes must be positive")
+        self._config = replace(self._config, postprocess_lanes=lanes)
+        return self
+
+    # -- hash-length policy --------------------------------------------------------
+
+    def homogeneous(self, hash_length: int) -> "DeepCAMConfigBuilder":
+        """Force one hash length for every layer."""
+        if self._fallback_set:
+            raise ValueError("homogeneous() conflicts with fallback_hash_length(); "
+                             "a fallback only applies to the variable policy")
+        bits = _check_hash_length(hash_length, "homogeneous")
+        self._config = replace(self._config, hash_policy=HashLengthPolicy.HOMOGENEOUS,
+                               homogeneous_hash_length=bits, layer_hash_lengths={})
+        self._homogeneous_forced = True
+        return self
+
+    def hash_lengths(self, layer_hash_lengths: Mapping[str, int]) -> "DeepCAMConfigBuilder":
+        """Set per-layer (variable) hash lengths; each is validated eagerly."""
+        validated = {name: _check_hash_length(bits, f"layer {name!r}")
+                     for name, bits in layer_hash_lengths.items()}
+        self._config = replace(self._config, hash_policy=HashLengthPolicy.VARIABLE,
+                               layer_hash_lengths=validated)
+        self._variable_forced = True
+        return self
+
+    def fallback_hash_length(self, hash_length: int) -> "DeepCAMConfigBuilder":
+        """Hash length for layers not covered by the variable profile."""
+        if self._homogeneous_forced:
+            raise ValueError("fallback_hash_length() conflicts with homogeneous(); "
+                             "a fallback only applies to the variable policy")
+        bits = _check_hash_length(hash_length, "fallback")
+        self._config = replace(self._config, homogeneous_hash_length=bits)
+        self._fallback_set = True
+        return self
+
+    # -- simulation knobs ----------------------------------------------------------
+
+    def count_activation_writes(self, enabled: bool = True) -> "DeepCAMConfigBuilder":
+        """Charge CAM-write cycles for resident activations (ablation knob)."""
+        self._config = replace(self._config, count_activation_write_cycles=bool(enabled))
+        return self
+
+    def exact_cosine(self, enabled: bool = True) -> "DeepCAMConfigBuilder":
+        """Use an exact cosine instead of the Eq. 5 piecewise-linear one."""
+        self._config = replace(self._config, use_exact_cosine=bool(enabled))
+        return self
+
+    def quantize_norms(self, enabled: bool = True) -> "DeepCAMConfigBuilder":
+        """Quantise context norms to the 8-bit minifloat grid."""
+        self._config = replace(self._config, quantize_norms=bool(enabled))
+        return self
+
+    def seed(self, seed: int) -> "DeepCAMConfigBuilder":
+        """Base seed for the per-layer random projections."""
+        self._config = replace(self._config, seed=int(seed))
+        return self
+
+    # -- finalisation ---------------------------------------------------------------
+
+    def build(self) -> DeepCAMConfig:
+        """Validate the combination and return the frozen config."""
+        if self._homogeneous_forced and self._variable_forced:
+            raise ValueError(
+                "conflicting hash-length policy: both homogeneous() and "
+                "hash_lengths() were set; choose one")
+        return self._config

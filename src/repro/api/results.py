@@ -1,0 +1,285 @@
+"""Typed result schema shared by every backend and experiment.
+
+Three dataclasses replace the ad-hoc dicts/dataclasses the individual models
+return, so that benchmarks, examples and downstream tooling can consume any
+backend or experiment through one shape:
+
+* :class:`CostReport` -- the uniform cost estimate every
+  :class:`~repro.api.backend.Backend` produces for a network trace (cycles,
+  energy, utilization, per-component breakdown);
+* :class:`RunResult` -- the outcome of one functional inference run
+  (predictions, optional accuracy, backend statistics);
+* :class:`ExperimentResult` -- the outcome of one registered experiment
+  (tabular rows plus metadata, with the legacy raw object attached).
+
+All three round-trip through JSON via ``to_dict()`` / ``from_dict()``;
+``to_dict`` sanitises NumPy scalars, enums and nested dataclasses so the
+output is always ``json.dumps``-able.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def json_sanitize(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable plain Python.
+
+    NumPy scalars become Python numbers, arrays become lists, enums their
+    values, dataclasses dicts; anything else unrecognised falls back to
+    ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [json_sanitize(v) for v in value.tolist()]
+    if isinstance(value, Enum):
+        return json_sanitize(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        to_dict = getattr(value, "to_dict", None)
+        if callable(to_dict):
+            return json_sanitize(to_dict())
+        return {k: json_sanitize(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_sanitize(v) for v in value]
+    return str(value)
+
+
+class SchemaError(ValueError):
+    """A result object violates the typed schema."""
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Uniform cost estimate of one network on one backend.
+
+    Attributes
+    ----------
+    backend:
+        Registry key of the backend that produced the estimate.
+    network:
+        Name of the network trace that was estimated.
+    total_cycles:
+        Computation cycles per inference.
+    total_energy_uj:
+        Dynamic energy per inference in microjoules; ``None`` for backends
+        whose model does not estimate energy (the CPU baseline).
+    mean_utilization:
+        Average compute-array utilization in [0, 1]; ``None`` where the
+        concept does not apply.
+    breakdown:
+        Per-component totals (units encoded in the key, e.g. ``"sram_pj"``).
+    meta:
+        Free-form JSON-serialisable annotations (row counts, hash policy,
+        dataflow, ...).
+    """
+
+    backend: str
+    network: str
+    total_cycles: int
+    total_energy_uj: Optional[float] = None
+    mean_utilization: Optional[float] = None
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise SchemaError("CostReport.backend must be a non-empty string")
+        if not self.network:
+            raise SchemaError("CostReport.network must be a non-empty string")
+        if self.total_cycles < 0:
+            raise SchemaError("CostReport.total_cycles must be non-negative")
+        if self.total_energy_uj is not None and self.total_energy_uj < 0:
+            raise SchemaError("CostReport.total_energy_uj must be non-negative")
+        if self.mean_utilization is not None and not 0.0 <= self.mean_utilization <= 1.0:
+            raise SchemaError("CostReport.mean_utilization must be in [0, 1]")
+
+    @property
+    def total_energy_pj(self) -> Optional[float]:
+        """Energy per inference in picojoules (``None`` if not modelled)."""
+        if self.total_energy_uj is None:
+            return None
+        return self.total_energy_uj * 1e6
+
+    def latency_s(self, clock_hz: float) -> float:
+        """Latency in seconds at a given clock frequency."""
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        return self.total_cycles / clock_hz
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dict representation."""
+        return {
+            "backend": self.backend,
+            "network": self.network,
+            "total_cycles": int(self.total_cycles),
+            "total_energy_uj": json_sanitize(self.total_energy_uj),
+            "mean_utilization": json_sanitize(self.mean_utilization),
+            "breakdown": json_sanitize(self.breakdown),
+            "meta": json_sanitize(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            backend=data["backend"],
+            network=data["network"],
+            total_cycles=int(data["total_cycles"]),
+            total_energy_uj=(None if data.get("total_energy_uj") is None
+                             else float(data["total_energy_uj"])),
+            mean_utilization=(None if data.get("mean_utilization") is None
+                              else float(data["mean_utilization"])),
+            breakdown=dict(data.get("breakdown", {})),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one functional inference run through ``Backend.infer``.
+
+    Attributes
+    ----------
+    backend:
+        Registry key of the backend that executed the model.
+    num_samples:
+        Batch size of the run.
+    predictions:
+        Argmax class index per sample.
+    accuracy:
+        Top-1 accuracy against the provided labels, if any were given.
+    stats:
+        Backend-specific counters (CAM searches, fills, hash lengths, ...).
+    """
+
+    backend: str
+    num_samples: int
+    predictions: tuple
+    accuracy: Optional[float] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise SchemaError("RunResult.backend must be a non-empty string")
+        if self.num_samples < 0:
+            raise SchemaError("RunResult.num_samples must be non-negative")
+        if len(self.predictions) != self.num_samples:
+            raise SchemaError("RunResult.predictions must have num_samples entries")
+        if self.accuracy is not None and not 0.0 <= self.accuracy <= 1.0:
+            raise SchemaError("RunResult.accuracy must be in [0, 1]")
+
+    @classmethod
+    def from_logits(cls, backend: str, logits: np.ndarray,
+                    labels: Optional[np.ndarray] = None,
+                    stats: Optional[Mapping[str, Any]] = None) -> "RunResult":
+        """Build a result from a ``(batch, classes)`` logit matrix."""
+        logits = np.asarray(logits)
+        if logits.ndim != 2:
+            raise SchemaError("logits must be a (batch, classes) matrix")
+        predictions = np.argmax(logits, axis=1)
+        accuracy = None
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape[0] != logits.shape[0]:
+                raise SchemaError("labels must match the logit batch size")
+            accuracy = float(np.mean(predictions == labels))
+        return cls(backend=backend,
+                   num_samples=int(logits.shape[0]),
+                   predictions=tuple(int(p) for p in predictions),
+                   accuracy=accuracy,
+                   stats=dict(stats) if stats else {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dict representation."""
+        return {
+            "backend": self.backend,
+            "num_samples": int(self.num_samples),
+            "predictions": [int(p) for p in self.predictions],
+            "accuracy": json_sanitize(self.accuracy),
+            "stats": json_sanitize(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            backend=data["backend"],
+            num_samples=int(data["num_samples"]),
+            predictions=tuple(int(p) for p in data.get("predictions", ())),
+            accuracy=(None if data.get("accuracy") is None
+                      else float(data["accuracy"])),
+            stats=dict(data.get("stats", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one registered experiment.
+
+    Attributes
+    ----------
+    experiment:
+        Registry key of the experiment that ran.
+    params:
+        The (sanitised) parameters the experiment ran with, defaults merged.
+    rows:
+        The tabular form of the result: one plain dict per reported row.
+    meta:
+        Experiment-level scalars that are not per-row (headline ratios,
+        titles, ...).
+    raw:
+        The object the underlying implementation returned, in its legacy
+        shape.  Excluded from serialisation and equality.
+    """
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    raw: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise SchemaError("ExperimentResult.experiment must be a non-empty string")
+        for index, row in enumerate(self.rows):
+            if not isinstance(row, Mapping):
+                raise SchemaError(f"ExperimentResult.rows[{index}] must be a mapping")
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column across all rows (missing cells become None)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dict representation (``raw`` is dropped)."""
+        return {
+            "experiment": self.experiment,
+            "params": json_sanitize(self.params),
+            "rows": json_sanitize(self.rows),
+            "meta": json_sanitize(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (``raw`` stays None)."""
+        return cls(
+            experiment=data["experiment"],
+            params=dict(data.get("params", {})),
+            rows=[dict(row) for row in data.get("rows", [])],
+            meta=dict(data.get("meta", {})),
+        )

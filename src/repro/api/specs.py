@@ -1,0 +1,123 @@
+"""Registered experiment specs for every table/figure of the paper.
+
+Importing this module (which :mod:`repro.api` does on import) populates the
+experiment registry with one :class:`~repro.api.experiments.ExperimentSpec`
+per paper experiment, wrapping the implementations in
+:mod:`repro.evaluation.experiments`.  Each spec converts the
+implementation's native return shape into plain-dict rows so the results
+serialise uniformly; the native object stays reachable via
+``ExperimentResult.raw``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+from repro.api.experiments import ExperimentSpec, register_experiment
+from repro.evaluation import experiments as _impl
+
+
+def _fig2_rows(raw: Dict[int, Dict[str, float]]) -> List[Dict[str, Any]]:
+    return [{"hash_length": length, **stats} for length, stats in sorted(raw.items())]
+
+
+def _fig5_rows(raw: List[_impl.Fig5Result]) -> List[Dict[str, Any]]:
+    return [{**dataclasses.asdict(r), "accuracy_drop": r.accuracy_drop} for r in raw]
+
+
+def _fig8_rows(raw: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [dataclasses.asdict(report) for report in raw["sweep"]]
+
+
+def _fig8_meta(raw: Dict[str, Any]) -> Dict[str, Any]:
+    return {"fefet_vs_cmos_energy_ratio": raw["fefet_vs_cmos_energy_ratio"],
+            "fefet_vs_cmos_area_ratio": raw["fefet_vs_cmos_area_ratio"]}
+
+
+def _fig9_rows(raw: List[_impl.Fig9Row]) -> List[Dict[str, Any]]:
+    return [{**dataclasses.asdict(r),
+             "speedup_vs_eyeriss_as": r.speedup_vs_eyeriss_as,
+             "speedup_vs_cpu_as": r.speedup_vs_cpu_as,
+             "speedup_vs_cpu_ws": r.speedup_vs_cpu_ws} for r in raw]
+
+
+def _fig10_rows(raw: List[_impl.Fig10Row]) -> List[Dict[str, Any]]:
+    return [{**dataclasses.asdict(r),
+             "vhl_normalized": r.vhl_normalized,
+             "max_normalized": r.max_normalized,
+             "eyeriss_normalized": r.eyeriss_normalized,
+             "energy_reduction_vs_eyeriss": r.energy_reduction_vs_eyeriss}
+            for r in raw]
+
+
+def _table_rows(raw: List[Any]) -> List[Dict[str, Any]]:
+    return [row if isinstance(row, dict) else dataclasses.asdict(row) for row in raw]
+
+
+def _single_row(raw: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [dict(raw)]
+
+
+PAPER_EXPERIMENTS: tuple = (
+    ExperimentSpec(
+        name="fig2_dot_product_sweep",
+        title="Fig. 2: approximate vs algebraic dot-product error by hash length",
+        runner=_impl._fig2_dot_product_sweep_impl,
+        to_rows=_fig2_rows,
+        tags=("fast", "figure"),
+    ),
+    ExperimentSpec(
+        name="fig5_accuracy",
+        title="Fig. 5: baseline vs DeepCAM accuracy with variable hash lengths",
+        runner=_impl._fig5_accuracy_impl,
+        to_rows=_fig5_rows,
+        tags=("slow", "training", "figure"),
+    ),
+    ExperimentSpec(
+        name="fig8_cam_overhead",
+        title="Fig. 8: CAM hardware overhead vs rows and word width",
+        runner=_impl._fig8_cam_overhead_impl,
+        to_rows=_fig8_rows,
+        to_meta=_fig8_meta,
+        tags=("fast", "figure"),
+    ),
+    ExperimentSpec(
+        name="fig9_cycles",
+        title="Fig. 9: computation cycles and utilization vs Eyeriss and CPU",
+        runner=_impl._fig9_cycles_impl,
+        to_rows=_fig9_rows,
+        tags=("fast", "figure"),
+    ),
+    ExperimentSpec(
+        name="fig10_energy",
+        title="Fig. 10: normalized energy per inference vs Eyeriss",
+        runner=_impl._fig10_energy_impl,
+        to_rows=_fig10_rows,
+        tags=("fast", "figure"),
+    ),
+    ExperimentSpec(
+        name="table1_setup",
+        title="Table I: hardware evaluation setup",
+        runner=_impl._table1_setup_impl,
+        to_rows=_table_rows,
+        tags=("fast", "table"),
+    ),
+    ExperimentSpec(
+        name="table2_pim_comparison",
+        title="Table II: DeepCAM vs prior analog PIM accelerators (VGG11)",
+        runner=_impl._table2_pim_comparison_impl,
+        to_rows=_table_rows,
+        tags=("fast", "table"),
+    ),
+    ExperimentSpec(
+        name="headline_claims",
+        title="Headline speedup/energy ratios from the abstract",
+        runner=_impl._headline_claims_impl,
+        to_rows=_single_row,
+        tags=("fast",),
+    ),
+)
+
+for _spec in PAPER_EXPERIMENTS:
+    register_experiment(_spec, overwrite=True)

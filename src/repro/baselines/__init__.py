@@ -13,12 +13,18 @@
   Table II comparison.
 """
 
-from repro.baselines.analog_pim import AnalogPIMModel, NEUROSIM_RRAM, VALAVI_SRAM
+from repro.baselines.analog_pim import (
+    AnalogPIMConfig,
+    AnalogPIMModel,
+    NEUROSIM_RRAM,
+    VALAVI_SRAM,
+)
 from repro.baselines.cpu import SkylakeCPUModel
 from repro.baselines.eyeriss import EyerissModel
 from repro.baselines.systolic import SystolicArrayConfig, SystolicArrayModel
 
 __all__ = [
+    "AnalogPIMConfig",
     "AnalogPIMModel",
     "EyerissModel",
     "NEUROSIM_RRAM",

@@ -129,6 +129,10 @@ class SkylakeCPUModel:
         return CPUReport(network=network.name,
                          layers=tuple(self.map_layer(layer) for layer in network))
 
+    def evaluate(self, network: NetworkTrace) -> CPUReport:
+        """Alias of :meth:`map_network`, matching the other baselines."""
+        return self.map_network(network)
+
     def latency_s(self, network: NetworkTrace) -> float:
         """Inference latency in seconds at the configured clock."""
         return self.map_network(network).total_cycles / self.frequency_hz

@@ -144,6 +144,19 @@ class DeepCAMConfig:
             raise ValueError("layer_index must be non-negative")
         return self.seed * 10_007 + layer_index
 
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def builder(cls, base: "DeepCAMConfig | None" = None) -> "DeepCAMConfigBuilder":
+        """Fluent builder with eager validation (see :mod:`repro.api.builder`).
+
+        Starts from ``base`` (or the defaults) and returns a
+        :class:`~repro.api.builder.DeepCAMConfigBuilder` whose ``build()``
+        produces the frozen config.
+        """
+        from repro.api.builder import DeepCAMConfigBuilder
+        return DeepCAMConfigBuilder(base=base)
+
     # -- derived views --------------------------------------------------------------
 
     @property

@@ -164,10 +164,13 @@ class DeepCAMEnergyModel:
         """Energy of a full inference of ``network`` under the configuration."""
         mapper = DeepCAMMapper(self.config)
         mapping = mapper.map_network(network, hash_lengths=hash_lengths)
-        layers = []
-        for index, layer_mapping in enumerate(mapping.layers):
-            layers.append(self.layer_energy(layer_mapping, is_first_layer=(index == 0)))
-        return NetworkEnergy(network=network.name, config=self.config, layers=tuple(layers))
+        return self.network_energy_from_mapping(mapping)
+
+    def network_energy_from_mapping(self, mapping: NetworkMapping) -> NetworkEnergy:
+        """Energy of an already-mapped network (avoids re-mapping the trace)."""
+        layers = tuple(self.layer_energy(layer_mapping, is_first_layer=(index == 0))
+                       for index, layer_mapping in enumerate(mapping.layers))
+        return NetworkEnergy(network=mapping.network, config=self.config, layers=layers)
 
 
 def energy_vs_hash_policy(network: NetworkTrace, config: DeepCAMConfig,

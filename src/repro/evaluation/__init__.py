@@ -1,8 +1,11 @@
-"""Experiment runners and reporting utilities.
+"""Experiment implementations and reporting utilities.
 
-One runner per table/figure of the paper's evaluation section, each
+One experiment per table/figure of the paper's evaluation section, each
 returning plain data structures that the benchmark harness prints and the
-tests assert on:
+tests assert on.  The canonical entry point is the :mod:`repro.api`
+experiment registry (``repro.api.ExperimentRunner().run("fig9_cycles")``);
+the ``run_*`` functions below are deprecated wrappers kept for
+compatibility:
 
 * :func:`repro.evaluation.experiments.run_fig2_dot_product_sweep`
 * :func:`repro.evaluation.experiments.run_fig5_accuracy`

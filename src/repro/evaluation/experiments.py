@@ -1,13 +1,22 @@
-"""Experiment runners: one per table/figure of the paper's evaluation.
+"""Experiment implementations: one per table/figure of the paper's evaluation.
 
-Every runner is a pure function returning plain data (dataclasses, dicts,
-lists) so that the benchmark harness can print the same rows the paper
-reports and the tests can assert on the qualitative claims (who wins, by
-roughly what factor) without re-implementing the experiment logic.
+Every experiment is a pure function returning plain data (dataclasses,
+dicts, lists) so that the benchmark harness can print the same rows the
+paper reports and the tests can assert on the qualitative claims (who wins,
+by roughly what factor) without re-implementing the experiment logic.
+
+The canonical way to run these is through the :mod:`repro.api` experiment
+registry: every implementation in this module is registered as an
+:class:`~repro.api.experiments.ExperimentSpec` (see :mod:`repro.api.specs`)
+and executed via ``repro.api.ExperimentRunner().run("fig9_cycles", ...)``.
+The historical ``run_fig*``/``run_table*`` free functions remain as thin
+deprecated wrappers that route through the runner and return their original
+shapes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence
 
@@ -39,7 +48,7 @@ PAPER_EXAMPLE_Y = (0.9044, 0.5352, 0.8110, 0.9243)
 # Fig. 2 -- approximate vs algebraic dot-product as a function of hash length.
 # ---------------------------------------------------------------------------
 
-def run_fig2_dot_product_sweep(hash_lengths: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
+def _fig2_dot_product_sweep_impl(hash_lengths: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
                                seeds: Sequence[int] = tuple(range(8)),
                                use_exact_cosine: bool = False) -> Dict[int, Dict[str, float]]:
     """Reproduce Fig. 2 on the paper's own example vectors.
@@ -83,7 +92,7 @@ def _train_small_model(model, dataset: SyntheticImageDataset, epochs: int,
     return trainer.history.validation_accuracy[-1]
 
 
-def run_fig5_accuracy(models: Sequence[str] = ("lenet5", "vgg11"),
+def _fig5_accuracy_impl(models: Sequence[str] = ("lenet5", "vgg11"),
                       samples: int = 900,
                       epochs: int = 4,
                       eval_samples: int = 160,
@@ -153,7 +162,7 @@ def run_fig5_accuracy(models: Sequence[str] = ("lenet5", "vgg11"),
 # Fig. 8 -- CAM hardware overhead vs rows and word width.
 # ---------------------------------------------------------------------------
 
-def run_fig8_cam_overhead(row_sizes: Sequence[int] = (64, 128, 256, 512),
+def _fig8_cam_overhead_impl(row_sizes: Sequence[int] = (64, 128, 256, 512),
                           word_sizes: Sequence[int] = (256, 512, 768, 1024)
                           ) -> Dict[str, object]:
     """Reproduce the Fig. 8 sweep plus the FeFET-vs-CMOS sanity ratios."""
@@ -231,7 +240,7 @@ class Fig9Row:
         return self.cpu_cycles / self.deepcam_ws_cycles
 
 
-def run_fig9_cycles(cam_rows: int = 64,
+def _fig9_cycles_impl(cam_rows: int = 64,
                     networks: Sequence[str] = ("lenet5", "vgg11", "vgg16", "resnet18"),
                     config: DeepCAMConfig | None = None) -> List[Fig9Row]:
     """Reproduce Fig. 9: cycles + utilization for DeepCAM WS/AS, Eyeriss, CPU."""
@@ -308,7 +317,7 @@ class Fig10Row:
         return self.eyeriss_uj / self.deepcam_vhl_uj
 
 
-def run_fig10_energy(cam_rows_list: Sequence[int] = (64, 512),
+def _fig10_energy_impl(cam_rows_list: Sequence[int] = (64, 512),
                      dataflows: Sequence[Dataflow] = (Dataflow.WEIGHT_STATIONARY,
                                                       Dataflow.ACTIVATION_STATIONARY),
                      networks: Sequence[str] = ("lenet5", "vgg11", "vgg16", "resnet18"),
@@ -343,7 +352,7 @@ def run_fig10_energy(cam_rows_list: Sequence[int] = (64, 512),
 # Table I -- evaluation setup summary.
 # ---------------------------------------------------------------------------
 
-def run_table1_setup() -> List[Dict[str, str]]:
+def _table1_setup_impl() -> List[Dict[str, str]]:
     """Reproduce Table I: the hardware evaluation setup."""
     networks = all_paper_networks()
     workloads = ", ".join(f"{n.name} ({n.dataset})" for n in networks)
@@ -377,7 +386,7 @@ class Table2Row:
     paper_cycles: float | None = None
 
 
-def run_table2_pim_comparison(cam_rows: int = 64,
+def _table2_pim_comparison_impl(cam_rows: int = 64,
                               config: DeepCAMConfig | None = None) -> List[Table2Row]:
     """Reproduce Table II: DeepCAM vs NeuroSim (RRAM) vs Valavi (SRAM)."""
     trace = vgg11_trace()
@@ -409,14 +418,14 @@ def run_table2_pim_comparison(cam_rows: int = 64,
 # Headline claims.
 # ---------------------------------------------------------------------------
 
-def run_headline_claims(cam_rows: int = 64) -> Dict[str, float]:
+def _headline_claims_impl(cam_rows: int = 64) -> Dict[str, float]:
     """Compute the abstract's headline ratios from the Fig. 9 / Fig. 10 data.
 
     Paper claims: up to 523x faster than Eyeriss, up to 3498x faster than a
     Skylake CPU, and 2.16x-109x lower energy than Eyeriss.
     """
-    fig9 = run_fig9_cycles(cam_rows=cam_rows)
-    fig10 = run_fig10_energy(cam_rows_list=(cam_rows, 512))
+    fig9 = _fig9_cycles_impl(cam_rows=cam_rows)
+    fig10 = _fig10_energy_impl(cam_rows_list=(cam_rows, 512))
 
     best_vs_eyeriss = max(row.speedup_vs_eyeriss_as for row in fig9)
     best_vs_cpu = max(row.speedup_vs_cpu_as for row in fig9)
@@ -433,3 +442,91 @@ def run_headline_claims(cam_rows: int = 64) -> Dict[str, float]:
         "min_energy_reduction_vs_eyeriss": min(energy_reductions),
         "max_energy_reduction_vs_eyeriss": max(energy_reductions),
     }
+
+
+# ---------------------------------------------------------------------------
+# Legacy entry points: deprecated wrappers over the registered specs.
+# ---------------------------------------------------------------------------
+
+def _run_registered(experiment: str, **params):
+    """Route a legacy call through the :mod:`repro.api` experiment runner."""
+    from repro.api import ExperimentRunner
+    return ExperimentRunner().run(experiment, **params).raw
+
+
+def _warn_legacy(func_name: str, experiment: str) -> None:
+    warnings.warn(
+        f"{func_name}() is deprecated; use "
+        f"repro.api.ExperimentRunner().run({experiment!r}) instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def run_fig2_dot_product_sweep(hash_lengths: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
+                               seeds: Sequence[int] = tuple(range(8)),
+                               use_exact_cosine: bool = False) -> Dict[int, Dict[str, float]]:
+    """Deprecated: run the registered ``fig2_dot_product_sweep`` experiment."""
+    _warn_legacy("run_fig2_dot_product_sweep", "fig2_dot_product_sweep")
+    return _run_registered("fig2_dot_product_sweep", hash_lengths=hash_lengths,
+                           seeds=seeds, use_exact_cosine=use_exact_cosine)
+
+
+def run_fig5_accuracy(models: Sequence[str] = ("lenet5", "vgg11"),
+                      samples: int = 900,
+                      epochs: int = 4,
+                      eval_samples: int = 160,
+                      tolerance: float = 0.03,
+                      cam_rows: int = 64,
+                      seed: int = 0) -> List[Fig5Result]:
+    """Deprecated: run the registered ``fig5_accuracy`` experiment."""
+    _warn_legacy("run_fig5_accuracy", "fig5_accuracy")
+    return _run_registered("fig5_accuracy", models=models, samples=samples,
+                           epochs=epochs, eval_samples=eval_samples,
+                           tolerance=tolerance, cam_rows=cam_rows, seed=seed)
+
+
+def run_fig8_cam_overhead(row_sizes: Sequence[int] = (64, 128, 256, 512),
+                          word_sizes: Sequence[int] = (256, 512, 768, 1024)
+                          ) -> Dict[str, object]:
+    """Deprecated: run the registered ``fig8_cam_overhead`` experiment."""
+    _warn_legacy("run_fig8_cam_overhead", "fig8_cam_overhead")
+    return _run_registered("fig8_cam_overhead", row_sizes=row_sizes,
+                           word_sizes=word_sizes)
+
+
+def run_fig9_cycles(cam_rows: int = 64,
+                    networks: Sequence[str] = ("lenet5", "vgg11", "vgg16", "resnet18"),
+                    config: DeepCAMConfig | None = None) -> List[Fig9Row]:
+    """Deprecated: run the registered ``fig9_cycles`` experiment."""
+    _warn_legacy("run_fig9_cycles", "fig9_cycles")
+    return _run_registered("fig9_cycles", cam_rows=cam_rows, networks=networks,
+                           config=config)
+
+
+def run_fig10_energy(cam_rows_list: Sequence[int] = (64, 512),
+                     dataflows: Sequence[Dataflow] = (Dataflow.WEIGHT_STATIONARY,
+                                                      Dataflow.ACTIVATION_STATIONARY),
+                     networks: Sequence[str] = ("lenet5", "vgg11", "vgg16", "resnet18"),
+                     config: DeepCAMConfig | None = None) -> List[Fig10Row]:
+    """Deprecated: run the registered ``fig10_energy`` experiment."""
+    _warn_legacy("run_fig10_energy", "fig10_energy")
+    return _run_registered("fig10_energy", cam_rows_list=cam_rows_list,
+                           dataflows=dataflows, networks=networks, config=config)
+
+
+def run_table1_setup() -> List[Dict[str, str]]:
+    """Deprecated: run the registered ``table1_setup`` experiment."""
+    _warn_legacy("run_table1_setup", "table1_setup")
+    return _run_registered("table1_setup")
+
+
+def run_table2_pim_comparison(cam_rows: int = 64,
+                              config: DeepCAMConfig | None = None) -> List[Table2Row]:
+    """Deprecated: run the registered ``table2_pim_comparison`` experiment."""
+    _warn_legacy("run_table2_pim_comparison", "table2_pim_comparison")
+    return _run_registered("table2_pim_comparison", cam_rows=cam_rows, config=config)
+
+
+def run_headline_claims(cam_rows: int = 64) -> Dict[str, float]:
+    """Deprecated: run the registered ``headline_claims`` experiment."""
+    _warn_legacy("run_headline_claims", "headline_claims")
+    return _run_registered("headline_claims", cam_rows=cam_rows)

@@ -1,0 +1,111 @@
+"""Backend adapter tests, including cross-backend parity with the raw models."""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.baselines.analog_pim import AnalogPIMModel, NEUROSIM_RRAM, VALAVI_SRAM
+from repro.baselines.cpu import SkylakeCPUModel
+from repro.baselines.eyeriss import EyerissModel
+from repro.core.accelerator import DeepCAMSimulator
+from repro.core.config import DeepCAMConfig
+from repro.core.energy import DeepCAMEnergyModel
+from repro.core.mapping import DeepCAMMapper
+from repro.evaluation.experiments import default_vhl_profile
+from repro.workloads.specs import lenet5_trace, vgg11_trace
+
+
+class TestDeepCAMParity:
+    def test_infer_matches_direct_simulator(self, trained_tiny_lenet):
+        """get_backend("deepcam") must match direct DeepCAMSimulator output."""
+        model, dataset, _ = trained_tiny_lenet
+        batch = dataset.test.images[:8]
+        config = DeepCAMConfig(cam_rows=64, seed=0).homogeneous(512)
+
+        direct = DeepCAMSimulator(config).run(model, batch)
+        via_registry = api.get_backend("deepcam", config=config).infer(model, batch)
+        np.testing.assert_allclose(via_registry, direct)
+
+    def test_estimate_matches_mapper_and_energy_model(self):
+        trace = lenet5_trace()
+        profile = default_vhl_profile(trace)
+        config = DeepCAMConfig(cam_rows=64).with_hash_lengths(profile)
+
+        mapping = DeepCAMMapper(config).map_network(trace, hash_lengths=profile)
+        energy = DeepCAMEnergyModel(config).network_energy(trace, hash_lengths=profile)
+
+        report = api.get_backend("deepcam", config=config).estimate(trace)
+        assert report.total_cycles == mapping.total_cycles
+        assert report.total_energy_uj == pytest.approx(energy.total_uj)
+        assert report.mean_utilization == pytest.approx(mapping.mean_utilization)
+
+    def test_estimate_derives_vhl_profile_by_default(self):
+        trace = lenet5_trace()
+        default_report = api.get_backend("deepcam").estimate(trace)
+        explicit = api.get_backend("deepcam").estimate(
+            trace, hash_lengths=default_vhl_profile(trace))
+        assert default_report.total_cycles == explicit.total_cycles
+        assert default_report.meta["hash_policy"] == "variable"
+
+    def test_run_returns_typed_result_with_stats(self, trained_tiny_lenet):
+        model, dataset, _ = trained_tiny_lenet
+        backend = api.deepcam(rows=64, hash_length=256)
+        result = backend.run(model, dataset.test.images[:4],
+                             labels=dataset.test.labels[:4])
+        assert result.backend == "deepcam"
+        assert result.num_samples == 4
+        assert result.stats["cam_searches"] > 0
+        assert result.to_dict() == api.RunResult.from_dict(result.to_dict()).to_dict()
+
+
+class TestBaselineParity:
+    def test_eyeriss_estimate_matches_model(self):
+        trace = vgg11_trace()
+        direct = EyerissModel().evaluate(trace)
+        report = api.get_backend("eyeriss").estimate(trace)
+        assert report.total_cycles == direct.total_cycles
+        assert report.total_energy_uj == pytest.approx(direct.total_energy_uj)
+        assert report.breakdown == direct.breakdown()
+
+    def test_cpu_estimate_matches_model(self):
+        trace = vgg11_trace()
+        direct = SkylakeCPUModel().map_network(trace)
+        report = api.get_backend("cpu").estimate(trace)
+        assert report.total_cycles == direct.total_cycles
+        assert report.total_energy_uj is None
+
+    def test_analog_pim_estimate_matches_model(self):
+        trace = vgg11_trace()
+        direct = AnalogPIMModel(NEUROSIM_RRAM).evaluate(trace)
+        report = api.get_backend("analog_pim").estimate(trace)
+        assert report.total_cycles == direct.cycles
+        assert report.total_energy_uj == pytest.approx(direct.energy_uj)
+
+    def test_analog_pim_sram_variant(self):
+        trace = vgg11_trace()
+        direct = AnalogPIMModel(VALAVI_SRAM).evaluate(trace)
+        report = api.get_backend("analog_pim_sram").estimate(trace)
+        assert report.total_cycles == direct.cycles
+        assert report.meta["macro"] == "valavi_sram"
+
+    def test_digital_baselines_infer_exactly(self, trained_tiny_lenet):
+        model, dataset, _ = trained_tiny_lenet
+        batch = dataset.test.images[:4]
+        model.eval()
+        expected = model(np.asarray(batch, dtype=np.float64))
+        for name in ("eyeriss", "cpu", "analog_pim"):
+            np.testing.assert_allclose(api.get_backend(name).infer(model, batch),
+                                       expected)
+
+
+class TestUniformSurface:
+    def test_every_registered_backend_estimates_lenet5(self):
+        trace = lenet5_trace()
+        for name in api.list_backends():
+            report = api.get_backend(name).estimate(trace)
+            assert isinstance(report, api.CostReport)
+            assert report.backend == name
+            assert report.network == trace.name
+            assert report.total_cycles > 0
+            # every report JSON-round-trips
+            assert api.CostReport.from_dict(report.to_dict()) == report

@@ -1,0 +1,95 @@
+"""Tests for the fluent config builder and the deepcam() factory."""
+
+import pytest
+
+import repro.api as api
+from repro.cam.cell import CellTechnology
+from repro.core.config import Dataflow, DeepCAMConfig, HashLengthPolicy
+
+
+class TestBuilder:
+    def test_fluent_chain_equals_direct_construction(self):
+        built = (DeepCAMConfig.builder()
+                 .rows(128)
+                 .dataflow(Dataflow.WEIGHT_STATIONARY)
+                 .homogeneous(512)
+                 .seed(7)
+                 .build())
+        direct = DeepCAMConfig(cam_rows=128, dataflow=Dataflow.WEIGHT_STATIONARY,
+                               hash_policy=HashLengthPolicy.HOMOGENEOUS,
+                               homogeneous_hash_length=512, seed=7)
+        assert built == direct
+
+    def test_strings_are_coerced(self):
+        config = (DeepCAMConfig.builder()
+                  .dataflow("auto")
+                  .technology("cmos")
+                  .build())
+        assert config.dataflow is Dataflow.AUTO
+        assert config.cell_technology is CellTechnology.CMOS
+
+    def test_invalid_values_fail_eagerly(self):
+        builder = DeepCAMConfig.builder()
+        with pytest.raises(ValueError, match="cam_rows"):
+            builder.rows(0)
+        with pytest.raises(ValueError, match="dataflow"):
+            builder.dataflow("sideways")
+        with pytest.raises(ValueError, match="not supported"):
+            builder.homogeneous(300)
+        with pytest.raises(ValueError, match="conv9"):
+            builder.hash_lengths({"conv9": 333})
+        with pytest.raises(ValueError, match="technology"):
+            builder.technology("graphene")
+
+    def test_fallback_conflicts_with_homogeneous_eagerly(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            DeepCAMConfig.builder().homogeneous(256).fallback_hash_length(512)
+        with pytest.raises(ValueError, match="conflicts"):
+            DeepCAMConfig.builder().fallback_hash_length(512).homogeneous(256)
+
+    def test_conflicting_hash_policies_fail_at_build(self):
+        builder = (DeepCAMConfig.builder()
+                   .homogeneous(256)
+                   .hash_lengths({"conv1": 512}))
+        with pytest.raises(ValueError, match="conflicting"):
+            builder.build()
+
+    def test_variable_profile_is_applied(self):
+        config = (DeepCAMConfig.builder()
+                  .hash_lengths({"conv1": 256, "fc1": 1024})
+                  .fallback_hash_length(512)
+                  .build())
+        assert config.hash_policy is HashLengthPolicy.VARIABLE
+        assert config.hash_length_for("conv1") == 256
+        assert config.hash_length_for("unlisted") == 512
+
+    def test_builder_starts_from_base(self):
+        base = DeepCAMConfig(cam_rows=256, seed=11)
+        config = DeepCAMConfig.builder(base).dataflow("weight_stationary").build()
+        assert config.cam_rows == 256
+        assert config.seed == 11
+        assert config.dataflow is Dataflow.WEIGHT_STATIONARY
+
+
+class TestDeepcamFactory:
+    def test_factory_builds_configured_backend(self):
+        backend = api.deepcam(rows=128, dataflow="weight_stationary",
+                              hash_length=512, seed=3)
+        assert isinstance(backend, api.DeepCAMBackend)
+        assert backend.config.cam_rows == 128
+        assert backend.config.dataflow is Dataflow.WEIGHT_STATIONARY
+        assert backend.config.homogeneous_hash_length == 512
+        assert backend.config.seed == 3
+
+    def test_factory_forwards_builder_kwargs(self):
+        backend = api.deepcam(technology="rram", exact_cosine=True)
+        assert backend.config.cell_technology is CellTechnology.RRAM
+        assert backend.config.use_exact_cosine is True
+
+    def test_factory_rejects_conflicting_hash_options(self):
+        with pytest.raises(ValueError, match="not both"):
+            api.deepcam(hash_lengths={"conv1": 256}, hash_length=512)
+
+    def test_factory_rejects_unknown_kwargs(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            api.deepcam(warp_speed=9)

@@ -1,0 +1,100 @@
+"""Tests for the string-keyed backend registry."""
+
+import pytest
+
+import repro.api as api
+from repro.api.backend import BackendNotFoundError, DuplicateBackendError
+
+
+class TestBackendRegistry:
+    def test_all_four_paper_backends_are_registered(self):
+        names = api.list_backends()
+        for expected in ("deepcam", "eyeriss", "cpu", "analog_pim"):
+            assert expected in names
+
+    def test_get_backend_returns_protocol_instances(self):
+        for name in ("deepcam", "eyeriss", "cpu", "analog_pim"):
+            backend = api.get_backend(name)
+            assert isinstance(backend, api.Backend)
+            assert backend.name == name
+
+    def test_get_backend_forwards_kwargs_to_factory(self):
+        config = api.DeepCAMConfig(cam_rows=256)
+        backend = api.get_backend("deepcam", config=config)
+        assert backend.config.cam_rows == 256
+
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(BackendNotFoundError) as excinfo:
+            api.get_backend("tpu")
+        message = str(excinfo.value)
+        assert "tpu" in message
+        assert "deepcam" in message
+
+    def test_duplicate_key_raises(self):
+        with pytest.raises(DuplicateBackendError):
+            api.register_backend("deepcam", api.DeepCAMBackend)
+
+    def test_register_custom_backend_roundtrip(self):
+        class NullBackend(api.BaseBackend):
+            def estimate(self, trace):
+                return api.CostReport(backend=self.name, network=trace.name,
+                                      total_cycles=1)
+
+            def infer(self, model, batch):
+                raise NotImplementedError
+
+        try:
+            api.register_backend("null", NullBackend)
+            backend = api.get_backend("null")
+            report = backend.estimate(api.network_by_name("lenet5"))
+            assert report.backend == "null"
+            assert report.total_cycles == 1
+            assert "null" in api.list_backends()
+        finally:
+            api.unregister_backend("null")
+        assert "null" not in api.list_backends()
+
+    def test_register_as_decorator(self):
+        try:
+            @api.register_backend("decorated")
+            class Decorated(api.BaseBackend):
+                def estimate(self, trace):
+                    return api.CostReport(backend=self.name, network=trace.name,
+                                          total_cycles=0)
+
+                def infer(self, model, batch):
+                    raise NotImplementedError
+
+            assert "decorated" in api.list_backends()
+            assert isinstance(api.get_backend("decorated"), Decorated)
+        finally:
+            api.unregister_backend("decorated")
+
+    def test_frozen_backend_keeps_its_own_name(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class FrozenBackend:
+            name: str = "frozen"
+
+            def estimate(self, trace):
+                return api.CostReport(backend=self.name, network=trace.name,
+                                      total_cycles=1)
+
+            def infer(self, model, batch):
+                raise NotImplementedError
+
+        try:
+            api.register_backend("frozen-key", FrozenBackend)
+            backend = api.get_backend("frozen-key")  # must not raise
+            assert backend.name == "frozen"
+        finally:
+            api.unregister_backend("frozen-key")
+
+    def test_overwrite_replaces_factory(self):
+        try:
+            api.register_backend("tmp", api.SkylakeCPUBackend)
+            api.register_backend("tmp", api.EyerissBackend, overwrite=True)
+            assert isinstance(api.get_backend("tmp"), api.EyerissBackend)
+        finally:
+            api.unregister_backend("tmp")

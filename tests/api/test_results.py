@@ -1,0 +1,114 @@
+"""Tests for the typed result schema and its JSON round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.results import (
+    CostReport,
+    ExperimentResult,
+    RunResult,
+    SchemaError,
+    json_sanitize,
+)
+
+
+def roundtrip(obj):
+    """Serialise through real JSON text and rebuild."""
+    return type(obj).from_dict(json.loads(json.dumps(obj.to_dict())))
+
+
+class TestCostReport:
+    def test_json_roundtrip_preserves_equality(self):
+        report = CostReport(backend="deepcam", network="lenet5",
+                            total_cycles=972, total_energy_uj=0.0448,
+                            mean_utilization=0.31,
+                            breakdown={"cam_search_pj": 1.5},
+                            meta={"cam_rows": 64})
+        assert roundtrip(report) == report
+
+    def test_numpy_scalars_are_sanitized(self):
+        report = CostReport(backend="cpu", network="vgg11",
+                            total_cycles=int(np.int64(10)),
+                            breakdown={"x": np.float64(1.25)},
+                            meta={"count": np.int32(3), "flag": np.bool_(True)})
+        payload = json.dumps(report.to_dict())  # must not raise
+        rebuilt = CostReport.from_dict(json.loads(payload))
+        assert rebuilt.breakdown["x"] == 1.25
+        assert rebuilt.meta["count"] == 3
+
+    def test_energy_may_be_absent(self):
+        report = CostReport(backend="cpu", network="lenet5", total_cycles=5)
+        assert report.total_energy_uj is None
+        assert report.total_energy_pj is None
+        assert roundtrip(report) == report
+
+    def test_latency_helper(self):
+        report = CostReport(backend="deepcam", network="lenet5", total_cycles=300)
+        assert report.latency_s(300e6) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            report.latency_s(0)
+
+    def test_schema_violations_raise(self):
+        with pytest.raises(SchemaError):
+            CostReport(backend="", network="lenet5", total_cycles=1)
+        with pytest.raises(SchemaError):
+            CostReport(backend="x", network="lenet5", total_cycles=-1)
+        with pytest.raises(SchemaError):
+            CostReport(backend="x", network="lenet5", total_cycles=1,
+                       mean_utilization=1.5)
+
+
+class TestRunResult:
+    def test_from_logits_and_roundtrip(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2], [0.3, 0.7]])
+        labels = np.array([1, 0, 0])
+        result = RunResult.from_logits("deepcam", logits, labels=labels,
+                                       stats={"cam_searches": np.int64(12)})
+        assert result.predictions == (1, 0, 1)
+        assert result.accuracy == pytest.approx(2 / 3)
+        assert roundtrip(result) == result
+
+    def test_without_labels_accuracy_is_none(self):
+        result = RunResult.from_logits("cpu", np.eye(4))
+        assert result.accuracy is None
+        assert roundtrip(result) == result
+
+    def test_prediction_count_must_match(self):
+        with pytest.raises(SchemaError):
+            RunResult(backend="x", num_samples=2, predictions=(1,))
+
+
+class TestExperimentResult:
+    def test_roundtrip_drops_raw_but_keeps_rows(self):
+        result = ExperimentResult(experiment="fig9_cycles",
+                                  params={"cam_rows": 64},
+                                  rows=[{"network": "lenet5", "cycles": 972}],
+                                  meta={"title": "Fig. 9"},
+                                  raw=object())
+        rebuilt = roundtrip(result)
+        assert rebuilt == result  # raw is excluded from equality
+        assert rebuilt.raw is None
+        assert rebuilt.rows == result.rows
+
+    def test_column_extraction(self):
+        result = ExperimentResult(experiment="e", rows=[{"a": 1}, {"a": 2}, {"b": 3}])
+        assert result.column("a") == [1, 2, None]
+
+    def test_rows_must_be_mappings(self):
+        with pytest.raises(SchemaError):
+            ExperimentResult(experiment="e", rows=[42])
+
+
+class TestJsonSanitize:
+    def test_handles_nested_numpy_enum_and_dataclass(self):
+        from repro.core.config import Dataflow
+
+        value = {"arr": np.arange(3), "flow": Dataflow.AUTO,
+                 "nested": [(np.float32(1.5), {"k": np.int8(2)})]}
+        clean = json_sanitize(value)
+        json.dumps(clean)  # must not raise
+        assert clean["arr"] == [0, 1, 2]
+        assert clean["flow"] == "auto"
+        assert clean["nested"] == [[1.5, {"k": 2}]]
