@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test bench
+.PHONY: check smoke test bench bench-quick bench-paper
 
 check: smoke test
 
@@ -11,5 +11,14 @@ smoke:
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json.
 bench:
+	$(PYTHON) scripts/bench.py
+
+# Smoke-sized bench run for CI: same JSON outputs, smaller grid/rounds.
+bench-quick:
+	$(PYTHON) scripts/bench.py --quick
+
+# Raw pytest-benchmark view of the paper-figure workloads.
+bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

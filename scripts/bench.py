@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: write BENCH_kernels.json and BENCH_e2e.json.
+
+Runs two suites and records median wall-clock per workload, stamped with
+the commit and timestamp, so every PR has a perf baseline to beat:
+
+* kernel microbench -- packed XOR+popcount Hamming kernel vs the legacy
+  +-1 int16 GEMM across a rows x hash-length grid (includes the 2048x2048,
+  k=128 acceptance workload, which must show >= 5x speedup);
+* end-to-end -- DeepCAM approximate inference, bit-level CAM batch search,
+  batch hashing, and (in full mode) the pytest-benchmark timings of the
+  paper-figure workloads under ``benchmarks/``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py             # full run (make bench)
+    PYTHONPATH=src python scripts/bench.py --quick     # smoke run (make bench-quick)
+    PYTHONPATH=src python scripts/bench.py --skip-paper --out-dir /tmp
+
+Exit status is nonzero when the kernel acceptance criterion fails, so CI
+can gate on perf regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_KERNEL_GRID,
+    QUICK_KERNEL_GRID,
+    collect_environment,
+    e2e_benchmarks,
+    kernel_microbench,
+    run_paper_benchmarks,
+    write_bench_report,
+)
+
+#: Paper-figure benchmark files exercised in --quick mode (fast ones).
+QUICK_PAPER_FILES = (
+    "benchmarks/test_bench_fig2_dot_product.py",
+    "benchmarks/test_bench_fig8_cam_overhead.py",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: smaller grid, fewer rounds, "
+                             "only the fast paper benchmarks")
+    parser.add_argument("--skip-paper", action="store_true",
+                        help="skip the pytest-benchmark paper workloads")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override timed rounds per workload")
+    parser.add_argument("--out-dir", type=Path, default=REPO_ROOT,
+                        help="directory for the BENCH_*.json files")
+    args = parser.parse_args(argv)
+
+    environment = collect_environment(REPO_ROOT)
+    mode = "quick" if args.quick else "full"
+    rounds = args.rounds if args.rounds is not None else (3 if args.quick else 5)
+
+    # -- kernels --------------------------------------------------------------
+    grid = QUICK_KERNEL_GRID if args.quick else DEFAULT_KERNEL_GRID
+    print(f"[bench] kernel microbench ({mode}): grid={list(grid)}, rounds={rounds}")
+    kernel_records, kernel_summary = kernel_microbench(grid=grid, rounds=rounds)
+    kernels_path = args.out_dir / "BENCH_kernels.json"
+    write_bench_report(kernels_path, kernel_records, environment,
+                       extra={"mode": mode, "summary": kernel_summary})
+    for cell, speedup in kernel_summary["speedups"].items():
+        print(f"[bench]   packed vs unpacked {cell}: {speedup:.1f}x")
+    print(f"[bench] wrote {kernels_path}")
+
+    # -- end to end -----------------------------------------------------------
+    print(f"[bench] end-to-end workloads ({mode})")
+    e2e_records = e2e_benchmarks(quick=args.quick, rounds=rounds)
+    if not args.skip_paper:
+        files = list(QUICK_PAPER_FILES) if args.quick else None
+        max_time = 0.2 if args.quick else 0.5
+        print(f"[bench] paper workloads via pytest-benchmark "
+              f"({'subset' if files else 'all'})")
+        e2e_records.extend(run_paper_benchmarks(REPO_ROOT, files=files,
+                                                max_time_s=max_time))
+    e2e_path = args.out_dir / "BENCH_e2e.json"
+    write_bench_report(e2e_path, e2e_records, environment, extra={"mode": mode})
+    for record in e2e_records:
+        if record.group == "e2e":
+            print(f"[bench]   {record.name}: median {record.median_s * 1e3:.2f} ms")
+    print(f"[bench] wrote {e2e_path}")
+
+    # -- acceptance gate ------------------------------------------------------
+    acceptance = kernel_summary.get("acceptance")
+    if acceptance is not None:
+        verdict = "PASS" if acceptance["passed"] else "FAIL"
+        print(f"[bench] acceptance {acceptance['workload']}: "
+              f"{acceptance['speedup']:.1f}x "
+              f"(required >= {acceptance['min_required_speedup']}x) -> {verdict}")
+        if not acceptance["passed"]:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,15 @@ from repro.api.backend import (
     register_backend,
     unregister_backend,
 )
+from repro.api.bench import (
+    BenchRecord,
+    benchmark_callable,
+    collect_environment,
+    e2e_benchmarks,
+    kernel_microbench,
+    run_paper_benchmarks,
+    write_bench_report,
+)
 from repro.api.builder import DeepCAMConfigBuilder
 from repro.api.experiments import (
     CallbackObserver,
@@ -117,6 +126,7 @@ __all__ = [
     "Backend",
     "BackendNotFoundError",
     "BaseBackend",
+    "BenchRecord",
     "CallbackObserver",
     "CostReport",
     "Dataflow",
@@ -137,16 +147,22 @@ __all__ = [
     "SchemaError",
     "SkylakeCPUBackend",
     "all_paper_networks",
+    "benchmark_callable",
+    "collect_environment",
     "deepcam",
+    "e2e_benchmarks",
     "exact_forward",
     "get_backend",
     "get_experiment",
     "json_sanitize",
+    "kernel_microbench",
     "list_backends",
     "list_experiments",
     "network_by_name",
     "register_backend",
     "register_experiment",
+    "run_paper_benchmarks",
     "unregister_backend",
     "unregister_experiment",
+    "write_bench_report",
 ]

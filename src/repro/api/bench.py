@@ -1,0 +1,388 @@
+"""Benchmark harness: the machinery behind ``make bench`` and BENCH_*.json.
+
+Every PR leaves a perf trail: ``scripts/bench.py`` (wired to ``make bench``)
+runs two suites and writes one machine-readable JSON file per suite at the
+repository root:
+
+* ``BENCH_kernels.json`` -- microbenchmarks of the Hamming kernels: the
+  packed XOR+popcount kernel (:func:`repro.core.bitops.packed_hamming_matrix`)
+  versus the legacy +-1 GEMM path
+  (:func:`repro.core.hashing.hamming_distance_matrix_unpacked`) across a
+  rows x hash-length grid, plus the packing cost itself.
+* ``BENCH_e2e.json`` -- end-to-end workloads: approximate inference through
+  the DeepCAM backend, bit-level CAM batch search, batch hashing, and
+  (unless skipped) the pytest-benchmark timings of the paper-figure
+  workloads under ``benchmarks/``.
+
+Each file carries the environment (commit, timestamp, versions) so future
+PRs can diff their numbers against this baseline.  Records report the
+*median* wall-clock of several rounds -- medians are robust to the odd
+scheduler hiccup that ruins means on shared CI machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.bitops import (
+    HAVE_BITWISE_COUNT,
+    pack_bits,
+    packed_hamming_matrix,
+)
+from repro.core.hashing import hamming_distance_matrix_unpacked
+
+#: Schema version of the BENCH_*.json files; bump when the layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: The acceptance workload the packed kernel is gated on: a 2048x2048
+#: distance matrix at 128-bit signatures must be >= 5x faster than the
+#: legacy GEMM path.
+ACCEPTANCE_WORKLOAD: tuple[int, int] = (2048, 128)
+ACCEPTANCE_MIN_SPEEDUP: float = 5.0
+
+#: (rows, hash_length) grid of the kernel microbench.
+DEFAULT_KERNEL_GRID: tuple[tuple[int, int], ...] = (
+    (256, 128),
+    (256, 1024),
+    (1024, 256),
+    (2048, 128),
+    (2048, 1024),
+)
+QUICK_KERNEL_GRID: tuple[tuple[int, int], ...] = (
+    (256, 128),
+    (512, 256),
+    (2048, 128),
+)
+
+#: Benchmark files under ``benchmarks/`` that are kernel microbenchmarks,
+#: not paper-figure reproductions; the paper sweep skips them.
+NON_PAPER_BENCH_FILES: tuple[str, ...] = (
+    "benchmarks/test_bench_kernel_popcount.py",
+    "benchmarks/test_bench_cam_microbench.py",
+)
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Median wall-clock of one benchmark workload.
+
+    Attributes
+    ----------
+    name:
+        Unique benchmark id, e.g. ``"kernel/packed/rows=2048,k=128"``.
+    group:
+        Suite the record belongs to (``"kernel"``, ``"e2e"``, ``"paper"``).
+    params:
+        Workload parameters (rows, hash length, batch size, ...).
+    median_s / mean_s / std_s / min_s:
+        Wall-clock statistics over ``rounds`` repetitions, in seconds.
+    rounds:
+        Number of timed repetitions.
+    """
+
+    name: str
+    group: str
+    params: Mapping[str, Any]
+    median_s: float
+    mean_s: float
+    std_s: float
+    min_s: float
+    rounds: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation."""
+        return {
+            "name": self.name,
+            "group": self.group,
+            "params": dict(self.params),
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "std_s": self.std_s,
+            "min_s": self.min_s,
+            "rounds": self.rounds,
+        }
+
+
+def time_callable(fn: Callable[[], Any], rounds: int = 5,
+                  warmup: int = 1) -> list[float]:
+    """Wall-clock ``fn`` ``rounds`` times (after ``warmup`` unrecorded runs)."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def record_from_times(name: str, group: str, params: Mapping[str, Any],
+                      times: Sequence[float]) -> BenchRecord:
+    """Fold raw wall-clock samples into a :class:`BenchRecord`."""
+    samples = np.asarray(list(times), dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("at least one timing sample is required")
+    return BenchRecord(
+        name=name,
+        group=group,
+        params=dict(params),
+        median_s=float(np.median(samples)),
+        mean_s=float(samples.mean()),
+        std_s=float(samples.std()),
+        min_s=float(samples.min()),
+        rounds=int(samples.size),
+    )
+
+
+def benchmark_callable(name: str, group: str, params: Mapping[str, Any],
+                       fn: Callable[[], Any], rounds: int = 5,
+                       warmup: int = 1) -> BenchRecord:
+    """Time ``fn`` and fold the samples into a record in one call."""
+    return record_from_times(name, group, params,
+                             time_callable(fn, rounds=rounds, warmup=warmup))
+
+
+def collect_environment(repo_root: str | Path | None = None) -> dict[str, Any]:
+    """Commit, timestamp and library versions stamped into every BENCH file."""
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        commit = "unknown"
+    return {
+        "commit": commit,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "have_bitwise_count": HAVE_BITWISE_COUNT,
+    }
+
+
+def write_bench_report(path: str | Path, records: Sequence[BenchRecord],
+                       environment: Mapping[str, Any] | None = None,
+                       extra: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Write a BENCH_*.json report; returns the written document."""
+    document: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "environment": dict(environment) if environment is not None
+        else collect_environment(),
+        "benchmarks": [record.to_dict() for record in records],
+    }
+    if extra:
+        document.update({key: value for key, value in extra.items()
+                         if key not in document})
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+# -- kernel microbench ---------------------------------------------------------
+
+
+def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
+                      rounds: int = 5,
+                      seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Packed vs unpacked Hamming kernel across a rows x hash-length grid.
+
+    For every ``(rows, k)`` cell the same random signature sets are pushed
+    through the legacy +-1 GEMM path and the packed XOR+popcount kernel
+    (operands pre-packed -- packed words are the pipeline's native currency,
+    and the packing cost is reported as its own record).  The two kernels
+    are asserted bit-identical on every cell before timing.
+
+    Returns
+    -------
+    (records, summary):
+        ``records`` holds one record per (kernel, cell); ``summary`` maps
+        ``"rows=R,k=K"`` to the measured speedup, plus the acceptance
+        verdict for the 2048 x 2048, k=128 workload.
+    """
+    rng = np.random.default_rng(seed)
+    records: list[BenchRecord] = []
+    speedups: dict[str, float] = {}
+    acceptance: dict[str, Any] | None = None
+
+    for rows, k in grid:
+        bits_a = rng.integers(0, 2, size=(rows, k), dtype=np.uint8)
+        bits_b = rng.integers(0, 2, size=(rows, k), dtype=np.uint8)
+        packed_a = pack_bits(bits_a)
+        packed_b = pack_bits(bits_b)
+
+        reference = hamming_distance_matrix_unpacked(bits_a, bits_b)
+        packed_result = packed_hamming_matrix(packed_a, packed_b)
+        if not np.array_equal(reference, packed_result):
+            raise AssertionError(
+                f"packed kernel diverged from GEMM reference at rows={rows}, k={k}"
+            )
+
+        params = {"rows_a": rows, "rows_b": rows, "hash_length": k}
+        cell = f"rows={rows},k={k}"
+        unpacked_record = benchmark_callable(
+            f"kernel/unpacked_gemm/{cell}", "kernel", params,
+            lambda a=bits_a, b=bits_b: hamming_distance_matrix_unpacked(a, b),
+            rounds=rounds)
+        packed_record = benchmark_callable(
+            f"kernel/packed_popcount/{cell}", "kernel", params,
+            lambda a=packed_a, b=packed_b: packed_hamming_matrix(a, b),
+            rounds=rounds)
+        pack_record = benchmark_callable(
+            f"kernel/pack_bits/{cell}", "kernel", params,
+            lambda a=bits_a: pack_bits(a), rounds=rounds)
+        records.extend((unpacked_record, packed_record, pack_record))
+
+        speedup = unpacked_record.median_s / max(packed_record.median_s, 1e-12)
+        speedups[cell] = speedup
+        if (rows, k) == ACCEPTANCE_WORKLOAD:
+            acceptance = {
+                "workload": cell,
+                "unpacked_median_s": unpacked_record.median_s,
+                "packed_median_s": packed_record.median_s,
+                "speedup": speedup,
+                "min_required_speedup": ACCEPTANCE_MIN_SPEEDUP,
+                "passed": speedup >= ACCEPTANCE_MIN_SPEEDUP,
+            }
+
+    summary: dict[str, Any] = {"speedups": speedups}
+    if acceptance is not None:
+        summary["acceptance"] = acceptance
+    return records, summary
+
+
+# -- end-to-end workloads ------------------------------------------------------
+
+
+def _deepcam_inference_workload(quick: bool) -> tuple[Callable[[], Any], dict[str, Any]]:
+    from repro.api import deepcam
+    from repro.nn.models.lenet import build_lenet5
+
+    batch = 2 if quick else 8
+    rng = np.random.default_rng(0)
+    model = build_lenet5(seed=0)
+    images = rng.standard_normal((batch, 1, 32, 32))
+    backend = deepcam(rows=64, hash_length=256)
+    params = {"model": "lenet5", "batch": batch, "hash_length": 256, "rows": 64}
+    return (lambda: backend.infer(model, images)), params
+
+
+def _cam_search_workload(quick: bool) -> tuple[Callable[[], Any], dict[str, Any]]:
+    from repro.cam.dynamic import DynamicCam, DynamicCamConfig
+
+    queries_n = 64 if quick else 256
+    rng = np.random.default_rng(0)
+    cam = DynamicCam(DynamicCamConfig(rows=64))
+    cam.configure_word_bits(1024)
+    cam.write_rows(rng.integers(0, 2, size=(64, 1024), dtype=np.uint8))
+    queries = rng.integers(0, 2, size=(queries_n, 1024), dtype=np.uint8)
+    params = {"rows": 64, "word_bits": 1024, "queries": queries_n}
+    return (lambda: cam.search_batch(queries)), params
+
+
+def _hashing_workload(quick: bool) -> tuple[Callable[[], Any], dict[str, Any]]:
+    from repro.core.hashing import RandomProjectionHasher
+
+    batch = 256 if quick else 1024
+    rng = np.random.default_rng(0)
+    hasher = RandomProjectionHasher(input_dim=576, hash_length=512, seed=0)
+    matrix = rng.standard_normal((batch, 576))
+    params = {"batch": batch, "input_dim": 576, "hash_length": 512}
+    return (lambda: hasher.hash_batch_packed(matrix)), params
+
+
+def e2e_benchmarks(quick: bool = False, rounds: int | None = None) -> list[BenchRecord]:
+    """End-to-end workloads of the packed pipeline (inference, CAM, hashing)."""
+    effective_rounds = rounds if rounds is not None else (3 if quick else 5)
+    workloads = {
+        "e2e/deepcam_infer_lenet5": _deepcam_inference_workload,
+        "e2e/dynamic_cam_search_batch": _cam_search_workload,
+        "e2e/hash_batch_packed": _hashing_workload,
+    }
+    records = []
+    for name, factory in workloads.items():
+        fn, params = factory(quick)
+        records.append(benchmark_callable(name, "e2e", params, fn,
+                                          rounds=effective_rounds))
+    return records
+
+
+# -- paper-figure workloads (pytest-benchmark) ---------------------------------
+
+
+def run_paper_benchmarks(repo_root: str | Path,
+                         files: Sequence[str] | None = None,
+                         max_time_s: float = 0.5,
+                         timeout_s: float = 1800.0) -> list[BenchRecord]:
+    """Run the ``benchmarks/`` pytest-benchmark suite and fold in its stats.
+
+    Parameters
+    ----------
+    repo_root:
+        Repository root (the directory holding ``benchmarks/``).
+    files:
+        Benchmark files to run, relative to the root; defaults to the whole
+        directory.
+    max_time_s:
+        Per-benchmark time cap handed to pytest-benchmark.
+    """
+    root = Path(repo_root)
+    report_path = root / ".bench_paper_report.json"
+    if files:
+        targets = [str(root / f) for f in files]
+        ignores: list[str] = []
+    else:
+        targets = [str(root / "benchmarks")]
+        # Non-paper microbenchmarks are excluded from the whole-directory
+        # sweep: their trajectory already lives in BENCH_kernels.json and
+        # they would pollute the "paper" group.
+        ignores = [f"--ignore={root / f}" for f in NON_PAPER_BENCH_FILES]
+    command = [
+        sys.executable, "-m", "pytest", *targets, *ignores,
+        "--benchmark-only", "-q", "-p", "no:cacheprovider",
+        "--benchmark-min-rounds=1", f"--benchmark-max-time={max_time_s}",
+        f"--benchmark-json={report_path}",
+    ]
+    env_path = str(root / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    try:
+        completed = subprocess.run(command, cwd=root, capture_output=True,
+                                   text=True, timeout=timeout_s, env=env)
+        if completed.returncode != 0 or not report_path.exists():
+            raise RuntimeError(
+                "paper benchmark run failed:\n" + completed.stdout[-2000:]
+                + completed.stderr[-2000:]
+            )
+        raw = json.loads(report_path.read_text())
+    finally:
+        report_path.unlink(missing_ok=True)
+
+    records = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        records.append(BenchRecord(
+            name=f"paper/{bench['name']}",
+            group="paper",
+            params={"fullname": bench.get("fullname", bench["name"])},
+            median_s=float(stats["median"]),
+            mean_s=float(stats["mean"]),
+            std_s=float(stats["stddev"]),
+            min_s=float(stats["min"]),
+            rounds=int(stats["rounds"]),
+        ))
+    return records

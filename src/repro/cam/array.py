@@ -12,6 +12,15 @@ mismatch counts, and *analytical* for energy and latency: search energy is
 ``cells_active * cell.search_energy_fj`` plus peripheral overhead, and search
 latency is a fixed number of accelerator clock cycles per search operation
 (precharge + discharge sensing + read-out).
+
+Storage is held bit-packed (``uint64`` words, 64 cells per word) and every
+search is one vectorised XOR+popcount over the packed matrix -- mirroring
+the hardware, where the comparison happens in all cells at once rather than
+cell by cell.  Bits are validated to be 0/1 once, when they are written;
+searches only validate the (small) query.  Set ``debug_validate=True`` to
+additionally re-check the stored contents on every search, which is useful
+when hunting memory-corruption bugs in new kernels but is off the hot path
+by default.
 """
 
 from __future__ import annotations
@@ -22,6 +31,21 @@ import numpy as np
 
 from repro.cam.cell import CamCell, FEFET_CAM_CELL
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.bitops import (
+    pack_bits,
+    packed_hamming_matrix,
+    packed_hamming_vector,
+    unpack_bits,
+    words_for_bits,
+)
+
+
+def _validate_binary(bits: np.ndarray, what: str) -> np.ndarray:
+    """Check 0/1-ness in one vectorised pass and return a uint8 view/copy."""
+    data = np.asarray(bits)
+    if data.size and not np.all((data == 0) | (data == 1)):
+        raise ValueError(f"{what} must be 0/1 values")
+    return data.astype(np.uint8, copy=False)
 
 
 @dataclass(frozen=True)
@@ -72,12 +96,17 @@ class CamArray:
         Multiplier applied on top of raw cell search energy to account for
         search-line drivers, precharge and sense amplifiers (1.25 = 25 %
         overhead, consistent with EvaCAM-style breakdowns).
+    debug_validate:
+        Re-validate the stored contents on every search.  Contents are
+        always validated at write time; this flag adds a belt-and-braces
+        recheck for debugging and is deliberately off the hot path.
     """
 
     def __init__(self, rows: int, word_bits: int, cell: CamCell = FEFET_CAM_CELL,
                  search_latency_cycles: int = 3,
                  sense_amp: ClockedSelfReferencedSenseAmp | None = None,
-                 peripheral_energy_factor: float = 1.25) -> None:
+                 peripheral_energy_factor: float = 1.25,
+                 debug_validate: bool = False) -> None:
         if rows <= 0:
             raise ValueError("rows must be positive")
         if word_bits <= 0:
@@ -91,9 +120,11 @@ class CamArray:
         self.cell = cell
         self.search_latency_cycles = int(search_latency_cycles)
         self.peripheral_energy_factor = float(peripheral_energy_factor)
+        self.debug_validate = bool(debug_validate)
         self.sense_amp = sense_amp if sense_amp is not None else ClockedSelfReferencedSenseAmp(
             word_bits=word_bits, cell=cell)
-        self._storage = np.zeros((self.rows, self.word_bits), dtype=np.uint8)
+        self._storage_words = int(words_for_bits(self.word_bits))
+        self._storage = np.zeros((self.rows, self._storage_words), dtype=np.uint64)
         self._populated = np.zeros(self.rows, dtype=bool)
         self._write_energy_pj = 0.0
         self._search_energy_pj = 0.0
@@ -116,6 +147,13 @@ class CamArray:
         """Number of cells in the array."""
         return self.rows * self.word_bits
 
+    @property
+    def packed_storage(self) -> np.ndarray:
+        """Read-only view of the packed ``(rows, words)`` storage matrix."""
+        view = self._storage.view()
+        view.flags.writeable = False
+        return view
+
     def area_um2(self) -> float:
         """Cell-array area (peripheral area is covered by the energy model)."""
         return self.total_cells * self.cell.area_um2
@@ -132,28 +170,39 @@ class CamArray:
         data = np.asarray(bits).ravel()
         if data.size != self.word_bits:
             raise ValueError(f"expected {self.word_bits} bits, got {data.size}")
-        if not np.all(np.isin(data, (0, 1))):
-            raise ValueError("bits must be 0/1 values")
-        self._storage[row] = data.astype(np.uint8)
+        self._storage[row] = pack_bits(_validate_binary(data, "bits"))
         self._populated[row] = True
-        energy_pj = self.word_bits * self.cell.write_energy_fj * 1e-3
+        energy_pj = self._row_write_energy_pj()
         self._write_energy_pj += energy_pj
         return energy_pj
 
     def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
-        """Store several rows starting at ``start_row``; returns write energy in pJ."""
+        """Store several rows starting at ``start_row``; returns write energy in pJ.
+
+        The whole block is validated and packed in one vectorised pass and
+        stored with a single slice assignment; energy is one closed-form
+        computation (rows are homogeneous) rather than a per-row loop.
+        """
         matrix = np.asarray(bits_matrix)
         if matrix.ndim != 2:
             raise ValueError("bits_matrix must be 2-D")
-        if start_row + matrix.shape[0] > self.rows:
+        if start_row < 0 or start_row + matrix.shape[0] > self.rows:
             raise ValueError(
                 f"cannot store {matrix.shape[0]} rows starting at {start_row}: "
                 f"array has only {self.rows} rows"
             )
-        energy = 0.0
-        for offset, row_bits in enumerate(matrix):
-            energy += self.write_row(start_row + offset, row_bits)
-        return energy
+        if matrix.shape[0] == 0:
+            return 0.0
+        if matrix.shape[1] != self.word_bits:
+            raise ValueError(
+                f"expected {self.word_bits} bits per row, got {matrix.shape[1]}"
+            )
+        stop = start_row + matrix.shape[0]
+        self._storage[start_row:stop] = pack_bits(_validate_binary(matrix, "bits"))
+        self._populated[start_row:stop] = True
+        energy_pj = matrix.shape[0] * self._row_write_energy_pj()
+        self._write_energy_pj += energy_pj
+        return energy_pj
 
     def read_row(self, row: int) -> np.ndarray:
         """Read back a stored row (for verification; not a hardware fast path)."""
@@ -161,7 +210,24 @@ class CamArray:
             raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
         if not self._populated[row]:
             raise ValueError(f"row {row} is not populated")
-        return self._storage[row].copy()
+        return unpack_bits(self._storage[row], self.word_bits).astype(np.uint8)
+
+    def _row_write_energy_pj(self) -> float:
+        return self.word_bits * self.cell.write_energy_fj * 1e-3
+
+    def _debug_recheck_storage(self) -> None:
+        """Optional paranoia pass over the packed storage.
+
+        The one corruption mode that skews search results is a nonzero bit
+        in the zero-padded tail of the last storage word (the XOR+popcount
+        kernel sees all 64 bits of every word).  Re-packing the decoded
+        bits must reproduce the storage exactly; any stray padding bit
+        breaks that round-trip.
+        """
+        repacked = pack_bits(unpack_bits(self._storage, self.word_bits))
+        if not np.array_equal(repacked, self._storage):
+            raise AssertionError(
+                "CAM storage corrupted: nonzero padding bits in packed words")
 
     # -- search --------------------------------------------------------------------
 
@@ -171,19 +237,22 @@ class CamArray:
         raw_fj = active_cells * self.cell.search_energy_fj
         return raw_fj * self.peripheral_energy_factor * 1e-3
 
+    def _pack_queries(self, queries: np.ndarray, what: str) -> np.ndarray:
+        """Validate a (batch, word_bits) query block and pack it once."""
+        if queries.shape[-1] != self.word_bits:
+            raise ValueError(
+                f"{what} must have {self.word_bits} bits, got {queries.shape[-1]}"
+            )
+        return pack_bits(_validate_binary(queries, f"{what} bits"))
+
     def search(self, query_bits: np.ndarray) -> CamSearchResult:
         """Broadcast ``query_bits`` and return per-row Hamming distances."""
         query = np.asarray(query_bits).ravel()
-        if query.size != self.word_bits:
-            raise ValueError(f"query must have {self.word_bits} bits, got {query.size}")
-        if not np.all(np.isin(query, (0, 1))):
-            raise ValueError("query bits must be 0/1 values")
+        packed_query = self._pack_queries(query, "query")
+        if self.debug_validate:
+            self._debug_recheck_storage()
 
-        mismatches = np.where(
-            self._populated[:, None],
-            self._storage != query.astype(np.uint8)[None, :],
-            False,
-        ).sum(axis=1)
+        mismatches = packed_hamming_vector(packed_query, self._storage)
 
         true_distances = np.where(self._populated, mismatches, -1).astype(np.int64)
         populated_counts = mismatches[self._populated]
@@ -214,18 +283,36 @@ class CamArray:
             ``distances`` has shape ``(num_queries, rows)``; unpopulated rows
             hold ``-1``.  Energy and latency are totals over all queries
             (queries are serialised on the single search port).
+
+        The whole batch is one packed XOR+popcount (no per-query Python
+        loop); the sense amplifiers then digitise every populated (query,
+        row) count in a single vectorised read-out.  Results, including the
+        noise stream of a noisy sense amplifier, are bit-identical to
+        issuing the queries one at a time through :meth:`search`.
         """
         query_matrix = np.asarray(queries)
         if query_matrix.ndim != 2:
             raise ValueError("queries must be a 2-D bit matrix")
-        distances = np.empty((query_matrix.shape[0], self.rows), dtype=np.int64)
-        energy = 0.0
-        latency = 0
-        for index, query in enumerate(query_matrix):
-            result = self.search(query)
-            distances[index] = result.distances
-            energy += result.energy_pj
-            latency += result.latency_cycles
+        num_queries = query_matrix.shape[0]
+        distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
+        if num_queries == 0:
+            return distances, 0.0, 0
+        packed_queries = self._pack_queries(query_matrix, "query")
+        if self.debug_validate:
+            self._debug_recheck_storage()
+
+        mismatches = packed_hamming_matrix(packed_queries, self._storage)
+        populated = self._populated
+        if populated.any():
+            flat_counts = mismatches[:, populated].reshape(-1)
+            sensed = self.sense_amp.estimate_distances(flat_counts)
+            distances[:, populated] = sensed.reshape(num_queries, -1)
+
+        energy_per_search = self.search_energy_pj()
+        energy = num_queries * energy_per_search
+        self._search_energy_pj += energy
+        self._search_count += num_queries
+        latency = num_queries * self.search_latency_cycles
         return distances, energy, latency
 
     # -- accounting ----------------------------------------------------------------

@@ -193,15 +193,30 @@ class DynamicCam:
         """Write a signature into a row at the active word width."""
         return self._array.write_row(row, self._pad_to_active_width(bits))
 
+    def _pad_matrix_to_active_width(self, matrix: np.ndarray, what: str) -> np.ndarray:
+        """Zero-pad a (batch, <=active_width) block to the full word width."""
+        if matrix.shape[1] > self.active_word_bits:
+            raise ValueError(
+                f"{what} of {matrix.shape[1]} bits exceeds the active word width "
+                f"{self.active_word_bits}"
+            )
+        padded = np.zeros((matrix.shape[0], self.config.max_word_bits), dtype=np.uint8)
+        padded[:, : matrix.shape[1]] = matrix
+        return padded
+
     def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
-        """Write several signatures starting at ``start_row``."""
+        """Write several signatures starting at ``start_row``.
+
+        The block is padded to the full word width in one vectorised pass
+        and handed to the underlying array as a single bulk write.
+        """
         matrix = np.asarray(bits_matrix)
         if matrix.ndim != 2:
             raise ValueError("bits_matrix must be 2-D")
-        energy = 0.0
-        for offset, row_bits in enumerate(matrix):
-            energy += self.write_row(start_row + offset, row_bits)
-        return energy
+        if matrix.shape[0] == 0:
+            return 0.0
+        return self._array.write_rows(
+            self._pad_matrix_to_active_width(matrix, "data"), start_row)
 
     def search(self, query_bits: np.ndarray) -> CamSearchResult:
         """Search at the active word width.
@@ -230,19 +245,21 @@ class DynamicCam:
         )
 
     def search_batch(self, queries: np.ndarray) -> tuple[np.ndarray, float, int]:
-        """Search several queries back to back at the active width."""
+        """Search several queries back to back at the active width.
+
+        One vectorised XOR+popcount over the whole batch (via
+        :meth:`CamArray.search_batch`), with the energy scaled down to the
+        enabled fraction of the row exactly as :meth:`search` does.
+        """
         query_matrix = np.asarray(queries)
         if query_matrix.ndim != 2:
             raise ValueError("queries must be a 2-D bit matrix")
-        distances = np.empty((query_matrix.shape[0], self.rows), dtype=np.int64)
-        energy = 0.0
-        latency = 0
-        for index, query in enumerate(query_matrix):
-            result = self.search(query)
-            distances[index] = result.distances
-            energy += result.energy_pj
-            latency += result.latency_cycles
-        return distances, energy, latency
+        if query_matrix.shape[0] == 0:
+            return np.empty((0, self.rows), dtype=np.int64), 0.0, 0
+        padded = self._pad_matrix_to_active_width(query_matrix, "query")
+        distances, energy, latency = self._array.search_batch(padded)
+        fraction = self.active_word_bits / self.config.max_word_bits
+        return distances, energy * fraction, latency
 
     # -- reporting -----------------------------------------------------------------
 

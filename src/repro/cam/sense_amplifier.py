@@ -140,8 +140,14 @@ class ClockedSelfReferencedSenseAmp:
         readings = self.read_many(np.asarray([true_distance]))
         return readings[0]
 
-    def read_many(self, true_distances: np.ndarray) -> list[SenseAmpReading]:
-        """Measure many rows at once (one search operation on a CAM array)."""
+    def _measure(self, true_distances: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared measurement core: (counts, noisy discharge times, estimates).
+
+        One call draws one contiguous block of timing noise, so measuring a
+        concatenation of rows is bit-identical to measuring the pieces one
+        after the other -- the property the vectorised batch search relies
+        on to stay bit-exact with the serialised path.
+        """
         counts = np.asarray(true_distances, dtype=np.int64).ravel()
         if np.any(counts < 0) or np.any(counts > self.word_bits):
             raise ValueError("hamming distance must be in [0, word_bits]")
@@ -154,6 +160,11 @@ class ClockedSelfReferencedSenseAmp:
             noisy = times
 
         estimated = self._invert_time(noisy).astype(np.int64)
+        return counts, noisy, estimated
+
+    def read_many(self, true_distances: np.ndarray) -> list[SenseAmpReading]:
+        """Measure many rows at once (one search operation on a CAM array)."""
+        counts, noisy, estimated = self._measure(true_distances)
 
         clock_period_ns = 1.0 / self.sampling_frequency_ghz
         cycles = np.where(np.isinf(noisy), 0, np.ceil(noisy / clock_period_ns)).astype(np.int64)
@@ -169,9 +180,13 @@ class ClockedSelfReferencedSenseAmp:
         return readings
 
     def estimate_distances(self, true_distances: np.ndarray) -> np.ndarray:
-        """Vectorised read-out returning only the estimated distances."""
-        return np.array([r.hamming_distance for r in self.read_many(true_distances)],
-                        dtype=np.int64)
+        """Vectorised read-out returning only the estimated distances.
+
+        Unlike :meth:`read_many` this never materialises per-row
+        :class:`SenseAmpReading` objects, so it is the hot path the CAM
+        array uses for every search.
+        """
+        return self._measure(true_distances)[2]
 
     # -- characterisation ------------------------------------------------------------
 

@@ -6,6 +6,15 @@ the energy model and the functional inference simulator.
 """
 
 from repro.core.accelerator import DeepCAMSimulator, SimulationStats
+from repro.core.bitops import (
+    INT16_SAFE_MAX_BITS,
+    pack_bits,
+    packed_hamming_matrix,
+    packed_hamming_vector,
+    popcount,
+    unpack_bits,
+    words_for_bits,
+)
 from repro.core.config import (
     Dataflow,
     DeepCAMConfig,
@@ -39,6 +48,7 @@ from repro.core.hashing import (
     angle_from_hamming,
     hamming_distance,
     hamming_distance_matrix,
+    hamming_distance_matrix_unpacked,
 )
 from repro.core.mapping import (
     DeepCAMMapper,
@@ -65,6 +75,7 @@ __all__ = [
     "HashLengthPolicy",
     "HashLengthSearchResult",
     "HashedVector",
+    "INT16_SAFE_MAX_BITS",
     "LayerContext",
     "LayerEnergy",
     "LayerMapping",
@@ -89,5 +100,12 @@ __all__ = [
     "geometric_dot",
     "hamming_distance",
     "hamming_distance_matrix",
+    "hamming_distance_matrix_unpacked",
+    "pack_bits",
+    "packed_hamming_matrix",
+    "packed_hamming_vector",
+    "popcount",
     "sweep_rows",
+    "unpack_bits",
+    "words_for_bits",
 ]

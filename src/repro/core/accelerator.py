@@ -31,7 +31,7 @@ import numpy as np
 from repro.cam.dynamic import DynamicCam, DynamicCamConfig
 from repro.core.config import DeepCAMConfig
 from repro.core.context import ContextGenerator, LayerContext
-from repro.core.hashing import hamming_distance_matrix
+from repro.core.bitops import packed_hamming_matrix
 from repro.core.minifloat import MINIFLOAT8
 from repro.hw.cosine_unit import CosineUnit
 from repro.nn import functional as F
@@ -193,7 +193,10 @@ class DeepCAMSimulator:
         if self.use_cam_hardware:
             distances = self._hamming_via_cam(weight_contexts, activation_contexts)
         else:
-            distances = hamming_distance_matrix(weight_contexts.bits, activation_contexts.bits)
+            # Packed XOR+popcount kernel over the contexts' cached packings;
+            # weight packings in particular are reused across every batch.
+            distances = packed_hamming_matrix(weight_contexts.packed_bits,
+                                              activation_contexts.packed_bits)
             rows = self.config.cam_rows
             stationary = activation_contexts.count
             fills = int(np.ceil(stationary / rows))
@@ -222,12 +225,11 @@ class DeepCAMSimulator:
             block = activation_contexts.bits[start:start + rows]
             cam.write_rows(block)
             self.stats.cam_fills += 1
-            for kernel_index in range(weight_contexts.count):
-                result = cam.search(weight_contexts.bits[kernel_index])
-                self.stats.cam_searches += 1
-                distances[kernel_index, start:start + block.shape[0]] = (
-                    result.distances[: block.shape[0]]
-                )
+            block_distances, _, _ = cam.search_batch(weight_contexts.bits)
+            self.stats.cam_searches += weight_contexts.count
+            distances[:, start:start + block.shape[0]] = (
+                block_distances[:, : block.shape[0]]
+            )
         return distances
 
     def _approximate_conv(self, module: Conv2d, x: np.ndarray) -> np.ndarray:

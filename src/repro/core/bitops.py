@@ -1,0 +1,40 @@
+"""Canonical public path of the bit-packed signature kernels.
+
+The implementation lives in the dependency-free leaf module
+:mod:`repro.bitops` so that both :mod:`repro.core` and :mod:`repro.cam` can
+use the kernels without creating an import cycle (the CAM array stores
+packed words, and the core simulator imports the CAM).  Import from here in
+application code::
+
+    from repro.core.bitops import pack_bits, packed_hamming_matrix
+"""
+
+from repro.bitops import (
+    HAVE_BITWISE_COUNT,
+    INT16_SAFE_MAX_BITS,
+    POPCOUNT_LUT,
+    WORD_BITS,
+    WORD_BYTES,
+    pack_bits,
+    packed_hamming_matrix,
+    packed_hamming_vector,
+    popcount,
+    popcount_lut,
+    unpack_bits,
+    words_for_bits,
+)
+
+__all__ = [
+    "HAVE_BITWISE_COUNT",
+    "INT16_SAFE_MAX_BITS",
+    "POPCOUNT_LUT",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "pack_bits",
+    "packed_hamming_matrix",
+    "packed_hamming_vector",
+    "popcount",
+    "popcount_lut",
+    "unpack_bits",
+    "words_for_bits",
+]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bitops import pack_bits
 from repro.core.hashing import RandomProjectionHasher
 from repro.core.minifloat import MINIFLOAT8, Minifloat
 from repro.nn import functional as F
@@ -64,6 +65,21 @@ class LayerContext:
     def count(self) -> int:
         """Number of context vectors."""
         return int(self.bits.shape[0])
+
+    @property
+    def packed_bits(self) -> np.ndarray:
+        """``(count, ceil(hash_length/64))`` packed ``uint64`` signatures.
+
+        Packed lazily and cached: this is the native currency of the
+        Hamming kernels, so every consumer of the same context (simulator
+        layers, CAM fills, sweeps) shares one packing.
+        """
+        cached = self.__dict__.get("_packed_bits")
+        if cached is None:
+            cached = pack_bits(np.asarray(self.bits, dtype=np.uint8))
+            cached.flags.writeable = False
+            object.__setattr__(self, "_packed_bits", cached)
+        return cached
 
     def storage_bits(self) -> int:
         """Total storage footprint in bits (signatures + 8-bit norms)."""

@@ -26,6 +26,12 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.bitops import (
+    INT16_SAFE_MAX_BITS,
+    pack_bits,
+    packed_hamming_matrix,
+)
+
 #: Hash lengths that map onto whole CAM chunks (paper Sec. III-B).
 SUPPORTED_HASH_LENGTHS: tuple[int, ...] = (256, 512, 768, 1024)
 
@@ -91,6 +97,16 @@ class HashedVector:
     def packed(self) -> np.ndarray:
         """Signature packed into bytes (as it would sit in a CAM row)."""
         return np.packbits(self.bits.astype(np.uint8))
+
+    @property
+    def packed_words(self) -> np.ndarray:
+        """Signature packed into ``uint64`` words (cached; the kernel currency)."""
+        cached = self.__dict__.get("_packed_words")
+        if cached is None:
+            cached = pack_bits(np.asarray(self.bits, dtype=np.uint8))
+            cached.flags.writeable = False
+            object.__setattr__(self, "_packed_words", cached)
+        return cached
 
 
 class RandomProjectionHasher:
@@ -159,6 +175,14 @@ class RandomProjectionHasher:
         projections = data @ self._projection
         return (projections >= 0.0).astype(np.uint8)
 
+    def hash_packed(self, vector: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Hash a single vector straight into packed ``uint64`` words."""
+        return pack_bits(self.hash(vector))
+
+    def hash_batch_packed(self, matrix: np.ndarray) -> np.ndarray:
+        """Hash a batch straight into ``(batch, words)`` packed ``uint64`` words."""
+        return pack_bits(self.hash_batch(matrix))
+
     def hash_with_norm(self, vector: Sequence[float] | np.ndarray) -> HashedVector:
         """Hash a vector and attach its exact L2 norm."""
         data = np.asarray(vector, dtype=np.float64).ravel()
@@ -210,20 +234,44 @@ def hamming_distance_matrix(bits_a: np.ndarray, bits_b: np.ndarray) -> np.ndarra
         ``(rows_a, rows_b)`` integer matrix of Hamming distances.  This is
         the software-exact counterpart of what the CAM array measures in one
         O(1) search per row of ``bits_b``.
+
+    Dispatches to the packed XOR+popcount kernel
+    (:func:`repro.core.bitops.packed_hamming_matrix`); callers that already
+    hold packed words should call the kernel directly and skip the packing.
     """
-    a = np.asarray(bits_a, dtype=np.int16)
-    b = np.asarray(bits_b, dtype=np.int16)
+    a = np.asarray(bits_a)
+    b = np.asarray(bits_b)
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError("both inputs must be 2-D bit matrices")
     if a.shape[1] != b.shape[1]:
         raise ValueError("signatures must have the same hash length")
-    # HD = k - matches = sum(a xor b); computed via dot products on +-1 data
-    # to stay vectorised:  xor = (1 - a_pm . b_pm) / 2 summed over bits.
-    a_pm = 2 * a - 1
-    b_pm = 2 * b - 1
-    agreement = a_pm @ b_pm.T  # in [-k, k]
+    return packed_hamming_matrix(pack_bits(a), pack_bits(b))
+
+
+def hamming_distance_matrix_unpacked(bits_a: np.ndarray,
+                                     bits_b: np.ndarray) -> np.ndarray:
+    """Legacy +-1 GEMM Hamming kernel over unpacked bits.
+
+    Kept as the reference implementation the packed kernel is benchmarked
+    and equivalence-tested against.  ``HD = (k - agreement) / 2`` where
+    ``agreement = a_pm @ b_pm.T`` on +-1 data; the agreement matrix lies in
+    ``[-k, k]`` so the int16 accumulator is only safe up to
+    ``k = INT16_SAFE_MAX_BITS`` -- beyond that the dtype is promoted.
+    """
+    a = np.asarray(bits_a)
+    b = np.asarray(bits_b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("both inputs must be 2-D bit matrices")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("signatures must have the same hash length")
     k = a.shape[1]
-    return ((k - agreement) // 2).astype(np.int64)
+    dtype = np.int16 if k <= INT16_SAFE_MAX_BITS else np.int64
+    a_pm = 2 * a.astype(dtype) - 1
+    b_pm = 2 * b.astype(dtype) - 1
+    agreement = a_pm @ b_pm.T  # in [-k, k]; partial sums are bounded by k
+    # k - agreement reaches 2k, so the final combine is always done in int64
+    # even when the GEMM accumulator itself fits in int16.
+    return (k - agreement.astype(np.int64)) // 2
 
 
 def angle_from_hamming(distance: float | np.ndarray, hash_length: int) -> np.ndarray | float:

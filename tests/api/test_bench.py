@@ -1,0 +1,88 @@
+"""Tests for the benchmark harness behind ``make bench``."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    benchmark_callable,
+    collect_environment,
+    e2e_benchmarks,
+    kernel_microbench,
+    record_from_times,
+    time_callable,
+    write_bench_report,
+)
+
+
+class TestTiming:
+    def test_time_callable_counts_rounds(self):
+        calls = []
+        times = time_callable(lambda: calls.append(1), rounds=4, warmup=2)
+        assert len(times) == 4
+        assert len(calls) == 6  # warmup runs execute but are not timed
+        assert all(t >= 0.0 for t in times)
+
+    def test_time_callable_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, rounds=0)
+
+    def test_record_statistics(self):
+        record = record_from_times("x", "kernel", {"k": 1}, [0.2, 0.1, 0.4])
+        assert record.median_s == pytest.approx(0.2)
+        assert record.min_s == pytest.approx(0.1)
+        assert record.rounds == 3
+
+    def test_record_requires_samples(self):
+        with pytest.raises(ValueError):
+            record_from_times("x", "kernel", {}, [])
+
+    def test_benchmark_callable_roundtrip(self):
+        record = benchmark_callable("y", "e2e", {"n": 2}, lambda: sum(range(10)),
+                                    rounds=2, warmup=0)
+        assert record.name == "y"
+        assert record.rounds == 2
+
+
+class TestReports:
+    def test_environment_fields(self):
+        env = collect_environment("/root/repo")
+        assert set(env) >= {"commit", "timestamp", "python", "numpy",
+                            "platform", "have_bitwise_count"}
+        assert env["numpy"] == np.__version__
+
+    def test_write_bench_report_json_roundtrip(self, tmp_path):
+        record = BenchRecord(name="a", group="kernel", params={"k": 128},
+                             median_s=0.1, mean_s=0.1, std_s=0.0, min_s=0.1,
+                             rounds=3)
+        path = tmp_path / "BENCH_test.json"
+        document = write_bench_report(path, [record], {"commit": "abc"},
+                                      extra={"mode": "quick"})
+        loaded = json.loads(path.read_text())
+        assert loaded == document
+        assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+        assert loaded["mode"] == "quick"
+        assert loaded["benchmarks"][0]["name"] == "a"
+        assert loaded["environment"]["commit"] == "abc"
+
+
+class TestSuites:
+    def test_kernel_microbench_tiny_grid(self):
+        records, summary = kernel_microbench(grid=((32, 16), (2048, 128)),
+                                             rounds=1)
+        names = {record.name for record in records}
+        assert "kernel/packed_popcount/rows=32,k=16" in names
+        assert "kernel/unpacked_gemm/rows=2048,k=128" in names
+        assert summary["speedups"].keys() == {"rows=32,k=16", "rows=2048,k=128"}
+        acceptance = summary["acceptance"]
+        assert acceptance["workload"] == "rows=2048,k=128"
+        assert acceptance["speedup"] > 0.0
+
+    def test_e2e_suite_runs_quickly(self):
+        records = e2e_benchmarks(quick=True, rounds=1)
+        assert {record.group for record in records} == {"e2e"}
+        assert len(records) == 3
+        assert all(record.median_s >= 0.0 for record in records)

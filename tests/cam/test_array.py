@@ -107,6 +107,43 @@ class TestSearch:
         assert latency == 5 * cam.search_latency_cycles
         assert cam.search_count == 5
 
+    def test_debug_validate_recheck_is_transparent(self, rng):
+        plain = CamArray(rows=8, word_bits=64)
+        checked = CamArray(rows=8, word_bits=64, debug_validate=True)
+        stored = random_bits(rng, 8, 64)
+        plain.write_rows(stored)
+        checked.write_rows(stored)
+        query = random_bits(rng, 64)
+        assert np.array_equal(plain.search(query).distances,
+                              checked.search(query).distances)
+
+    def test_debug_validate_detects_padding_corruption(self, rng):
+        # A stray bit in the zero-padded tail of a storage word is the one
+        # corruption that skews every search; the debug recheck must fire.
+        cam = CamArray(rows=4, word_bits=48, debug_validate=True)
+        cam.write_rows(random_bits(rng, 4, 48))
+        cam._storage[1, 0] |= np.uint64(1) << np.uint64(50)
+        with pytest.raises(AssertionError, match="padding"):
+            cam.search(random_bits(rng, 48))
+
+    def test_packed_storage_is_readonly(self, rng):
+        cam = CamArray(rows=4, word_bits=64)
+        cam.write_rows(random_bits(rng, 4, 64))
+        view = cam.packed_storage
+        assert view.shape == (4, 1)
+        with pytest.raises(ValueError):
+            view[0] = 0
+
+    def test_write_rows_rejects_non_binary_block(self, rng):
+        cam = CamArray(rows=4, word_bits=16)
+        with pytest.raises(ValueError):
+            cam.write_rows(np.full((2, 16), 2, dtype=np.uint8))
+
+    def test_write_rows_empty_block_is_noop(self):
+        cam = CamArray(rows=4, word_bits=16)
+        assert cam.write_rows(np.empty((0, 16), dtype=np.uint8)) == 0.0
+        assert cam.occupancy == 0
+
     def test_area_scales_with_cells(self):
         small = CamArray(rows=16, word_bits=256).area_um2()
         big = CamArray(rows=64, word_bits=256).area_um2()

@@ -1,0 +1,202 @@
+"""Tests for the bit-packed signature kernels."""
+
+import numpy as np
+import pytest
+
+import repro.bitops as bitops_impl
+from repro.core.bitops import (
+    INT16_SAFE_MAX_BITS,
+    POPCOUNT_LUT,
+    pack_bits,
+    packed_hamming_matrix,
+    packed_hamming_vector,
+    popcount,
+    popcount_lut,
+    unpack_bits,
+    words_for_bits,
+)
+from repro.core.hashing import (
+    RandomProjectionHasher,
+    hamming_distance_matrix,
+    hamming_distance_matrix_unpacked,
+)
+
+
+def naive_hamming(bits_a, bits_b):
+    return (bits_a[:, None, :] != bits_b[None, :, :]).sum(axis=-1).astype(np.int64)
+
+
+class TestWordsForBits:
+    def test_exact_multiples(self):
+        assert words_for_bits(64) == 1
+        assert words_for_bits(128) == 2
+        assert words_for_bits(1024) == 16
+
+    def test_rounding_up(self):
+        assert words_for_bits(1) == 1
+        assert words_for_bits(65) == 2
+        assert words_for_bits(127) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            words_for_bits(0)
+        with pytest.raises(ValueError):
+            words_for_bits(-3)
+
+
+class TestPopcount:
+    def test_lut_is_the_byte_popcount(self):
+        assert POPCOUNT_LUT.shape == (256,)
+        for value in (0, 1, 2, 3, 0x0F, 0x55, 0xAA, 0xFF):
+            assert POPCOUNT_LUT[value] == bin(value).count("1")
+
+    def test_known_words(self):
+        words = np.array([0, 1, 0xFFFFFFFFFFFFFFFF, 1 << 63, 0x5555555555555555],
+                         dtype=np.uint64)
+        expected = np.array([0, 1, 64, 1, 32])
+        assert np.array_equal(popcount(words), expected)
+        assert np.array_equal(popcount_lut(words), expected)
+
+    def test_backends_agree_on_random_words(self, rng):
+        words = rng.integers(0, 2 ** 64, size=(64, 7), dtype=np.uint64)
+        assert np.array_equal(popcount(words), popcount_lut(words))
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("bit_length", [1, 7, 8, 15, 63, 64, 65, 130, 256, 1000])
+    def test_roundtrip_odd_lengths(self, rng, bit_length):
+        bits = rng.integers(0, 2, size=(5, bit_length), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (5, words_for_bits(bit_length))
+        assert np.array_equal(unpack_bits(packed, bit_length), bits)
+
+    def test_roundtrip_1d(self, rng):
+        bits = rng.integers(0, 2, size=77, dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 77), bits)
+
+    def test_padding_bits_are_zero(self):
+        bits = np.ones((2, 3), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert np.array_equal(popcount(packed).sum(axis=-1), [3, 3])
+
+    def test_unpack_rejects_wrong_word_count(self, rng):
+        packed = pack_bits(rng.integers(0, 2, size=(2, 128), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            unpack_bits(packed, 64)  # 1 word, but the packing has 2
+        with pytest.raises(ValueError):
+            unpack_bits(packed, 300)  # 5 words, but the packing has 2
+
+    def test_rejects_empty_bit_axis(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.empty((3, 0), dtype=np.uint8))
+
+    def test_wide_dtypes_threshold_nonzero(self):
+        # 256 must set its bit (nonzero -> 1), not wrap to 0 via uint8 cast.
+        values = np.array([[0, 256, -1, 2]], dtype=np.int64)
+        assert np.array_equal(unpack_bits(pack_bits(values), 4), [[0, 1, 1, 1]])
+
+
+class TestPackedHammingMatrix:
+    @pytest.mark.parametrize("rows_a,rows_b,bit_length", [
+        (1, 1, 1),
+        (3, 5, 7),
+        (8, 8, 64),
+        (17, 9, 65),
+        (16, 32, 130),
+        (33, 12, 256),
+        (10, 10, 1024),
+    ])
+    def test_matches_naive_xor_sum(self, rng, rows_a, rows_b, bit_length):
+        bits_a = rng.integers(0, 2, size=(rows_a, bit_length), dtype=np.uint8)
+        bits_b = rng.integers(0, 2, size=(rows_b, bit_length), dtype=np.uint8)
+        result = packed_hamming_matrix(pack_bits(bits_a), pack_bits(bits_b))
+        assert result.dtype == np.int64
+        assert np.array_equal(result, naive_hamming(bits_a, bits_b))
+
+    def test_crosses_the_row_block_boundary(self, rng, monkeypatch):
+        monkeypatch.setattr(bitops_impl, "_KERNEL_BLOCK_ROWS", 8)
+        bits_a = rng.integers(0, 2, size=(37, 130), dtype=np.uint8)
+        bits_b = rng.integers(0, 2, size=(19, 130), dtype=np.uint8)
+        result = packed_hamming_matrix(pack_bits(bits_a), pack_bits(bits_b))
+        assert np.array_equal(result, naive_hamming(bits_a, bits_b))
+
+    def test_empty_operands(self):
+        empty = np.empty((0, 2), dtype=np.uint64)
+        other = pack_bits(np.ones((3, 128), dtype=np.uint8))
+        assert packed_hamming_matrix(empty, other).shape == (0, 3)
+        assert packed_hamming_matrix(other, empty).shape == (3, 0)
+
+    def test_word_count_mismatch_rejected(self, rng):
+        a = pack_bits(rng.integers(0, 2, size=(2, 64), dtype=np.uint8))
+        b = pack_bits(rng.integers(0, 2, size=(2, 128), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            packed_hamming_matrix(a, b)
+
+
+class TestPackedHammingVector:
+    def test_matches_matrix_row(self, rng):
+        bits = rng.integers(0, 2, size=(13, 200), dtype=np.uint8)
+        query = rng.integers(0, 2, size=200, dtype=np.uint8)
+        packed = pack_bits(bits)
+        packed_query = pack_bits(query)
+        expected = naive_hamming(query[None, :], bits)[0]
+        assert np.array_equal(packed_hamming_vector(packed_query, packed), expected)
+
+    def test_rejects_mismatched_words(self, rng):
+        bits = pack_bits(rng.integers(0, 2, size=(4, 128), dtype=np.uint8))
+        query = pack_bits(rng.integers(0, 2, size=64, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            packed_hamming_vector(query, bits)
+
+
+class TestPackedHashingSurface:
+    def test_hash_packed_matches_pack_of_hash(self, rng):
+        hasher = RandomProjectionHasher(input_dim=32, hash_length=100, seed=3)
+        vector = rng.standard_normal(32)
+        assert np.array_equal(hasher.hash_packed(vector),
+                              pack_bits(hasher.hash(vector)))
+
+    def test_hash_batch_packed_matches_pack_of_hash_batch(self, rng):
+        hasher = RandomProjectionHasher(input_dim=32, hash_length=256, seed=3)
+        matrix = rng.standard_normal((6, 32))
+        assert np.array_equal(hasher.hash_batch_packed(matrix),
+                              pack_bits(hasher.hash_batch(matrix)))
+
+    def test_hashed_vector_packed_words_cached_and_exact(self, rng):
+        hasher = RandomProjectionHasher(input_dim=16, hash_length=70, seed=1)
+        hashed = hasher.hash_with_norm(rng.standard_normal(16))
+        words = hashed.packed_words
+        assert np.array_equal(words, pack_bits(hashed.bits))
+        assert np.array_equal(unpack_bits(words, 70), hashed.bits)
+        assert hashed.packed_words is words  # cached, not recomputed
+        with pytest.raises(ValueError):
+            words[0] = 0  # the cache is read-only
+
+
+class TestHammingDistanceMatrixDispatch:
+    def test_packed_and_unpacked_paths_agree(self, rng):
+        bits_a = rng.integers(0, 2, size=(12, 300), dtype=np.uint8)
+        bits_b = rng.integers(0, 2, size=(7, 300), dtype=np.uint8)
+        assert np.array_equal(hamming_distance_matrix(bits_a, bits_b),
+                              hamming_distance_matrix_unpacked(bits_a, bits_b))
+
+    def test_unpacked_promotes_dtype_beyond_int16_bound(self, rng):
+        # At k > 32767 the +-1 agreement matrix no longer fits in int16; the
+        # guard must promote the accumulator instead of silently wrapping.
+        k = INT16_SAFE_MAX_BITS + 100
+        bits_a = np.ones((2, k), dtype=np.uint8)
+        bits_b = np.zeros((2, k), dtype=np.uint8)
+        bits_b[1] = 1
+        distances = hamming_distance_matrix_unpacked(bits_a, bits_b)
+        assert np.array_equal(distances, [[k, 0], [k, 0]])
+        assert np.array_equal(hamming_distance_matrix(bits_a, bits_b), distances)
+
+    def test_unpacked_regression_at_the_boundary(self, rng):
+        # k exactly at the int16-safe bound still uses the narrow path and
+        # must be exact for the worst case (all bits disagree).
+        k = INT16_SAFE_MAX_BITS
+        bits_a = np.ones((1, k), dtype=np.uint8)
+        bits_b = np.zeros((1, k), dtype=np.uint8)
+        assert hamming_distance_matrix_unpacked(bits_a, bits_b)[0, 0] == k
+        assert hamming_distance_matrix(bits_a, bits_b)[0, 0] == k
