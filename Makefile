@@ -1,15 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke bench bench-quick bench-paper
 
-check: smoke test
+check: smoke test serve-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# End-to-end serving smoke: all loadgen scenarios, responses verified
+# against direct engine execution.
+serve-smoke:
+	$(PYTHON) scripts/loadgen.py --quick
 
 # Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json.
 bench:

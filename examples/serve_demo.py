@@ -1,0 +1,87 @@
+"""Serving demo: the ``repro.serve`` micro-batching server in three acts.
+
+Runs in a couple of seconds:
+
+1. a :class:`~repro.serve.engine.CamPipelineEngine` prototype classifier
+   served through the sync :class:`~repro.serve.client.ServeClient` --
+   single-sample requests, micro-batched under the hood, responses
+   bit-identical to direct engine execution;
+2. Zipf-skewed repeats against the packed-signature cache -- the hit rate
+   climbs and cached responses stay bit-identical;
+3. the metrics snapshot: batch-size histogram, p50/p99 latency, throughput
+   and cache hit rate, plus a custom observer counting batches live.
+
+Usage::
+
+    python examples/serve_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    build_demo_engine,
+    demo_queries,
+)
+
+
+class BatchCounter:
+    """Tiny custom observer: counts batches and the largest one seen."""
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.largest = 0
+
+    def batch_completed(self, size: int, cache_hits: int, cache_misses: int,
+                        service_ms: float) -> None:
+        self.batches += 1
+        self.largest = max(self.largest, size)
+
+
+def main() -> None:
+    engine = build_demo_engine(classes=16, input_dim=128, hash_length=256, seed=0)
+    queries = demo_queries(engine, 512, seed=42)
+
+    # Reference: the same engine geometry executed directly, one batch.
+    reference_engine = build_demo_engine(classes=16, input_dim=128,
+                                         hash_length=256, seed=0)
+    reference = reference_engine.execute(reference_engine.prepare(queries))
+
+    print("== 1. Micro-batched serving, verified against direct execution ==")
+    counter = BatchCounter()
+    config = ServeConfig(max_batch=64, max_wait_ms=2.0, queue_depth=1024)
+    with ServeClient(engine, config=config, observers=(counter,)) as client:
+        served = client.infer_many(queries)
+        assert np.array_equal(served, reference), "served != direct execution"
+        print(f"served {served.shape[0]} requests in {counter.batches} batches "
+              f"(largest {counter.largest}); responses bit-identical: True")
+
+        print()
+        print("== 2. Zipf repeats hit the packed-signature cache ==")
+        rng = np.random.default_rng(7)
+        indices = rng.zipf(1.3, size=1024) % 64
+        repeats = client.infer_many(queries[indices])
+        assert all(np.array_equal(row, reference[i])
+                   for row, i in zip(repeats, indices)), "cached != fresh"
+        stats = client.stats()
+        print(f"cache: {stats['cache']['hits']} hits / "
+              f"{stats['cache']['misses']} misses "
+              f"(hit rate {stats['cache']['hit_rate']:.2f})")
+
+        print()
+        print("== 3. Metrics snapshot ==")
+        print(f"throughput:      {stats['throughput_rps']:,.0f} req/s")
+        print(f"latency:         p50 {stats['latency_ms']['p50']:.2f} ms, "
+              f"p99 {stats['latency_ms']['p99']:.2f} ms")
+        print(f"batch sizes:     {stats['batches']['size_histogram']}")
+        print(f"queue depth max: {stats['queue_depth']['max']}")
+        print(f"engine:          {stats['engine_name']}, "
+              f"{stats['engine']['cam_search_count']} CAM searches, "
+              f"{stats['engine']['cam_search_energy_pj']:.1f} pJ search energy")
+
+
+if __name__ == "__main__":
+    main()

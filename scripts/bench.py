@@ -37,6 +37,7 @@ from repro.api.bench import (  # noqa: E402  (path bootstrap above)
     e2e_benchmarks,
     kernel_microbench,
     run_paper_benchmarks,
+    serve_benchmarks,
     write_bench_report,
 )
 
@@ -73,11 +74,18 @@ def main(argv: list[str] | None = None) -> int:
                        extra={"mode": mode, "summary": kernel_summary})
     for cell, speedup in kernel_summary["speedups"].items():
         print(f"[bench]   packed vs unpacked {cell}: {speedup:.1f}x")
+    for cell, by_threads in kernel_summary["threaded_speedups"].items():
+        for label, speedup in by_threads.items():
+            print(f"[bench]   threaded packed ({label}) vs serial {cell}: "
+                  f"{speedup:.2f}x")
     print(f"[bench] wrote {kernels_path}")
 
     # -- end to end -----------------------------------------------------------
     print(f"[bench] end-to-end workloads ({mode})")
     e2e_records = e2e_benchmarks(quick=args.quick, rounds=rounds)
+    print(f"[bench] serving workloads ({mode})")
+    serve_records, serve_summary = serve_benchmarks(quick=args.quick)
+    e2e_records.extend(serve_records)
     if not args.skip_paper:
         files = list(QUICK_PAPER_FILES) if args.quick else None
         max_time = 0.2 if args.quick else 0.5
@@ -86,22 +94,33 @@ def main(argv: list[str] | None = None) -> int:
         e2e_records.extend(run_paper_benchmarks(REPO_ROOT, files=files,
                                                 max_time_s=max_time))
     e2e_path = args.out_dir / "BENCH_e2e.json"
-    write_bench_report(e2e_path, e2e_records, environment, extra={"mode": mode})
+    write_bench_report(e2e_path, e2e_records, environment,
+                       extra={"mode": mode, "serve": serve_summary})
     for record in e2e_records:
-        if record.group == "e2e":
+        if record.group in ("e2e", "serve"):
             print(f"[bench]   {record.name}: median {record.median_s * 1e3:.2f} ms")
+    for name, rps in serve_summary["throughput_rps"].items():
+        print(f"[bench]   serve throughput {name}: {rps:,.0f} req/s")
+    print(f"[bench]   serve zipf cache hit rate: "
+          f"{serve_summary['zipf_cache_hit_rate']:.2f}")
     print(f"[bench] wrote {e2e_path}")
 
-    # -- acceptance gate ------------------------------------------------------
+    # -- acceptance gates -----------------------------------------------------
+    failed = False
     acceptance = kernel_summary.get("acceptance")
     if acceptance is not None:
         verdict = "PASS" if acceptance["passed"] else "FAIL"
-        print(f"[bench] acceptance {acceptance['workload']}: "
+        print(f"[bench] kernel acceptance {acceptance['workload']}: "
               f"{acceptance['speedup']:.1f}x "
               f"(required >= {acceptance['min_required_speedup']}x) -> {verdict}")
-        if not acceptance["passed"]:
-            return 1
-    return 0
+        failed = failed or not acceptance["passed"]
+    serve_acceptance = serve_summary["acceptance"]
+    verdict = "PASS" if serve_acceptance["passed"] else "FAIL"
+    print(f"[bench] serve acceptance {serve_acceptance['workload']}: "
+          f"{serve_acceptance['speedup']:.1f}x "
+          f"(required >= {serve_acceptance['min_required_speedup']}x) -> {verdict}")
+    failed = failed or not serve_acceptance["passed"]
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

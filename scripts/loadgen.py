@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Load generator for the ``repro.serve`` micro-batching server.
+
+Drives the demo CAM-pipeline engine with one of several traffic scenarios
+and prints the server's metrics snapshot (throughput, batch-size histogram,
+p50/p99 latency, cache hit rate):
+
+* ``uniform`` -- unique queries submitted as fast as possible (optionally
+  paced with ``--rate``): the pure batching workload;
+* ``bursty``  -- bursts of ``--burst`` requests separated by ``--gap-ms``
+  idle gaps: exercises the time-flush trigger on the trailing partial
+  batches;
+* ``zipf``    -- queries drawn from a ``--pool`` of distinct vectors with
+  Zipf(``--zipf-alpha``) popularity: exercises the packed-signature cache.
+
+``--verify`` (on by default in ``--quick``) recomputes every distinct query
+directly on an identical engine and checks the served responses against it
+-- the smoke proof that batching and caching change *when* work happens,
+never *what* comes back.
+
+Usage::
+
+    PYTHONPATH=src python scripts/loadgen.py                      # 1000 uniform
+    PYTHONPATH=src python scripts/loadgen.py --scenario zipf
+    PYTHONPATH=src python scripts/loadgen.py --quick              # make serve-smoke
+    PYTHONPATH=src python scripts/loadgen.py --json /tmp/serve.json
+
+Exit status is nonzero when verification fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import (  # noqa: E402  (path bootstrap above)
+    MicroBatchServer,
+    PrintObserver,
+    ServeConfig,
+    build_demo_engine,
+)
+
+SCENARIOS = ("uniform", "bursty", "zipf")
+
+
+def build_queries(scenario: str, args: argparse.Namespace,
+                  rng: np.random.Generator) -> np.ndarray:
+    """The ``(requests, input_dim)`` query stream of one scenario."""
+    if scenario == "zipf":
+        pool = rng.standard_normal((args.pool, args.input_dim))
+        draws = rng.zipf(args.zipf_alpha, size=args.requests) % args.pool
+        return pool[draws]
+    return rng.standard_normal((args.requests, args.input_dim))
+
+
+def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
+    """Serve one scenario; returns the scenario report (stats + timings)."""
+    rng = np.random.default_rng(args.seed)
+    engine = build_demo_engine(classes=args.classes, input_dim=args.input_dim,
+                               hash_length=args.hash_length, seed=args.seed)
+    queries = build_queries(scenario, args, rng)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        num_workers=args.workers,
+        cache_capacity=0 if args.no_cache else args.cache_capacity,
+    )
+    observers = (PrintObserver(every=args.verbose),) if args.verbose else ()
+    server = MicroBatchServer(engine, config=config, observers=observers)
+    server.start()
+    try:
+        start = time.perf_counter()
+        futures = []
+        for index, query in enumerate(queries):
+            futures.append(server.submit(query))
+            if scenario == "bursty" and (index + 1) % args.burst == 0:
+                time.sleep(args.gap_ms / 1e3)
+            elif args.rate > 0:
+                time.sleep(1.0 / args.rate)
+        responses = [future.result(timeout=args.timeout_s) for future in futures]
+        serving_s = time.perf_counter() - start
+    finally:
+        server.stop(drain=True)
+
+    report = {
+        "scenario": scenario,
+        "requests": int(args.requests),
+        "serving_s": serving_s,
+        "throughput_rps": args.requests / serving_s,
+        "stats": server.stats(),
+    }
+    if args.verify:
+        report["verified"] = verify_responses(args, queries, responses)
+    return report
+
+
+def verify_responses(args: argparse.Namespace, queries: np.ndarray,
+                     responses: list) -> bool:
+    """Served responses must match a direct pass on an identical engine.
+
+    Duplicate queries (the cache path) must be *bit-identical* to each
+    other; against the independently built reference engine the check is
+    ``allclose`` plus exact equality of the argmax classes.
+    """
+    reference_engine = build_demo_engine(classes=args.classes,
+                                         input_dim=args.input_dim,
+                                         hash_length=args.hash_length,
+                                         seed=args.seed)
+    reference = reference_engine.execute(reference_engine.prepare(queries))
+    served = np.stack(responses)
+    if served.shape != reference.shape:
+        print(f"[loadgen] VERIFY FAIL: shape {served.shape} != {reference.shape}")
+        return False
+    if not np.allclose(served, reference):
+        worst = float(np.max(np.abs(served - reference)))
+        print(f"[loadgen] VERIFY FAIL: responses deviate (max abs err {worst:g})")
+        return False
+    seen: dict[bytes, np.ndarray] = {}
+    for query, row in zip(queries, served):
+        key = query.tobytes()
+        if key in seen and not np.array_equal(seen[key], row):
+            print("[loadgen] VERIFY FAIL: duplicate query served "
+                  "non-identical responses")
+            return False
+        seen[key] = row
+    return True
+
+
+def print_report(report: dict) -> None:
+    stats = report["stats"]
+    print(f"[loadgen] scenario={report['scenario']} "
+          f"requests={report['requests']} "
+          f"throughput={report['throughput_rps']:,.0f} req/s")
+    batches = stats["batches"]
+    print(f"[loadgen]   batches={batches['count']} "
+          f"mean_size={batches['mean_size']:.1f} "
+          f"histogram={batches['size_histogram']}")
+    latency = stats["latency_ms"]
+    print(f"[loadgen]   latency p50={latency['p50']:.2f}ms "
+          f"p99={latency['p99']:.2f}ms max={latency['max']:.2f}ms")
+    cache = stats["cache"]
+    print(f"[loadgen]   cache hits={cache['hits']} misses={cache['misses']} "
+          f"hit_rate={cache['hit_rate']:.2f}")
+    print(f"[loadgen]   queue depth max={stats['queue_depth']['max']}")
+    if "verified" in report:
+        print(f"[loadgen]   verified={'OK' if report['verified'] else 'FAIL'}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=(*SCENARIOS, "all"),
+                        default="uniform")
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--queue-depth", type=int, default=1024)
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--classes", type=int, default=16)
+    parser.add_argument("--input-dim", type=int, default=128)
+    parser.add_argument("--hash-length", type=int, default=256)
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="paced arrivals in req/s (0 = as fast as possible)")
+    parser.add_argument("--burst", type=int, default=64,
+                        help="bursty scenario: requests per burst")
+    parser.add_argument("--gap-ms", type=float, default=5.0,
+                        help="bursty scenario: idle gap between bursts")
+    parser.add_argument("--pool", type=int, default=128,
+                        help="zipf scenario: distinct queries in the pool")
+    parser.add_argument("--zipf-alpha", type=float, default=1.3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout-s", type=float, default=60.0)
+    parser.add_argument("--verify", action="store_true",
+                        help="check served responses against a direct pass")
+    parser.add_argument("--verbose", type=int, default=0, metavar="N",
+                        help="print every N-th batch (0 = silent)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the report(s) to this JSON file")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: all scenarios, 200 requests each, "
+                             "verification on (make serve-smoke)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.requests = min(args.requests, 200)
+        args.scenario = "all"
+        args.verify = True
+
+    scenarios = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    reports = []
+    all_verified = True
+    for scenario in scenarios:
+        report = run_scenario(scenario, args)
+        print_report(report)
+        reports.append(report)
+        all_verified = all_verified and report.get("verified", True)
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(reports, indent=2, sort_keys=True) + "\n")
+        print(f"[loadgen] wrote {args.json}")
+
+    if not all_verified:
+        print("[loadgen] FAILED: served responses do not match direct execution")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

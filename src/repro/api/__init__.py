@@ -46,6 +46,7 @@ from repro.api.bench import (
     e2e_benchmarks,
     kernel_microbench,
     run_paper_benchmarks,
+    serve_benchmarks,
     write_bench_report,
 )
 from repro.api.builder import DeepCAMConfigBuilder
@@ -162,6 +163,7 @@ __all__ = [
     "register_backend",
     "register_experiment",
     "run_paper_benchmarks",
+    "serve_benchmarks",
     "unregister_backend",
     "unregister_experiment",
     "write_bench_report",

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.bitops import (
     HAVE_BITWISE_COUNT,
+    KERNEL_BLOCK_ROWS,
     pack_bits,
     packed_hamming_matrix,
 )
@@ -50,6 +51,19 @@ BENCH_SCHEMA_VERSION = 1
 #: legacy GEMM path.
 ACCEPTANCE_WORKLOAD: tuple[int, int] = (2048, 128)
 ACCEPTANCE_MIN_SPEEDUP: float = 5.0
+
+#: The serving acceptance gate: on a 1000-request uniform load, the
+#: micro-batcher at ``max_batch=64`` must reach >= 5x the throughput of
+#: batch-size-1 serving on the same engine.
+SERVE_ACCEPTANCE_REQUESTS: int = 1000
+SERVE_ACCEPTANCE_MAX_BATCH: int = 64
+SERVE_ACCEPTANCE_MIN_SPEEDUP: float = 5.0
+
+#: Engine geometry of the serving benchmark (shared with the acceptance
+#: test so BENCH_e2e.json and the test measure the same workload).
+SERVE_BENCH_ENGINE: dict[str, int] = {
+    "classes": 32, "input_dim": 256, "hash_length": 512,
+}
 
 #: (rows, hash_length) grid of the kernel microbench.
 DEFAULT_KERNEL_GRID: tuple[tuple[int, int], ...] = (
@@ -197,7 +211,9 @@ def write_bench_report(path: str | Path, records: Sequence[BenchRecord],
 
 def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
                       rounds: int = 5,
-                      seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+                      seed: int = 0,
+                      thread_counts: Sequence[int] | None = None,
+                      ) -> tuple[list[BenchRecord], dict[str, Any]]:
     """Packed vs unpacked Hamming kernel across a rows x hash-length grid.
 
     For every ``(rows, k)`` cell the same random signature sets are pushed
@@ -206,16 +222,29 @@ def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
     and the packing cost is reported as its own record).  The two kernels
     are asserted bit-identical on every cell before timing.
 
+    ``thread_counts`` additionally times the row-block-threaded kernel
+    (``packed_hamming_matrix(..., num_threads=n)``, the ``REPRO_NUM_THREADS``
+    lever) at each requested worker count, on the cells that span more than
+    one row block (threading never engages on a single block); ``None``
+    picks one count from the machine (up to 4 workers).  Threaded results
+    are asserted identical to the serial kernel and their speedup *over the
+    serial packed kernel* is reported per cell -- expect ~1x on single-core
+    boxes.
+
     Returns
     -------
     (records, summary):
         ``records`` holds one record per (kernel, cell); ``summary`` maps
         ``"rows=R,k=K"`` to the measured speedup, plus the acceptance
-        verdict for the 2048 x 2048, k=128 workload.
+        verdict for the 2048 x 2048, k=128 workload and the per-cell
+        ``threaded_speedups``.
     """
+    if thread_counts is None:
+        thread_counts = (max(2, min(4, os.cpu_count() or 1)),)
     rng = np.random.default_rng(seed)
     records: list[BenchRecord] = []
     speedups: dict[str, float] = {}
+    threaded_speedups: dict[str, dict[str, float]] = {}
     acceptance: dict[str, Any] | None = None
 
     for rows, k in grid:
@@ -246,6 +275,28 @@ def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
             lambda a=bits_a: pack_bits(a), rounds=rounds)
         records.extend((unpacked_record, packed_record, pack_record))
 
+        # Threaded records only where threading actually engages (the
+        # kernel runs serially on a single row block); timing the serial
+        # fallback as "threaded" would misreport ~1.0x as a null result.
+        cell_thread_counts = thread_counts if rows > KERNEL_BLOCK_ROWS else ()
+        for workers in cell_thread_counts:
+            threaded_result = packed_hamming_matrix(packed_a, packed_b,
+                                                    num_threads=workers)
+            if not np.array_equal(packed_result, threaded_result):
+                raise AssertionError(
+                    f"threaded kernel ({workers} threads) diverged from "
+                    f"serial at rows={rows}, k={k}"
+                )
+            threaded_record = benchmark_callable(
+                f"kernel/packed_popcount_threads={workers}/{cell}", "kernel",
+                {**params, "num_threads": workers},
+                lambda a=packed_a, b=packed_b, w=workers:
+                    packed_hamming_matrix(a, b, num_threads=w),
+                rounds=rounds)
+            records.append(threaded_record)
+            threaded_speedups.setdefault(cell, {})[f"threads={workers}"] = (
+                packed_record.median_s / max(threaded_record.median_s, 1e-12))
+
         speedup = unpacked_record.median_s / max(packed_record.median_s, 1e-12)
         speedups[cell] = speedup
         if (rows, k) == ACCEPTANCE_WORKLOAD:
@@ -258,7 +309,9 @@ def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
                 "passed": speedup >= ACCEPTANCE_MIN_SPEEDUP,
             }
 
-    summary: dict[str, Any] = {"speedups": speedups}
+    summary: dict[str, Any] = {"speedups": speedups,
+                               "threaded_speedups": threaded_speedups,
+                               "thread_counts": list(thread_counts)}
     if acceptance is not None:
         summary["acceptance"] = acceptance
     return records, summary
@@ -318,6 +371,126 @@ def e2e_benchmarks(quick: bool = False, rounds: int | None = None) -> list[Bench
         records.append(benchmark_callable(name, "e2e", params, fn,
                                           rounds=effective_rounds))
     return records
+
+
+# -- serving workloads ---------------------------------------------------------
+
+
+def _serve_run_seconds(max_batch: int, queries: np.ndarray,
+                       cache_capacity: int = 0,
+                       max_wait_ms: float = 5.0) -> tuple[float, dict[str, Any]]:
+    """Serve ``queries`` through a fresh demo server; returns (wall_s, stats)."""
+    from repro.serve import MicroBatchServer, ServeConfig, build_demo_engine
+
+    engine = build_demo_engine(**SERVE_BENCH_ENGINE)
+    config = ServeConfig(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                         queue_depth=max(len(queries), 1),
+                         cache_capacity=cache_capacity)
+    server = MicroBatchServer(engine, config=config)
+    server.start()
+    try:
+        start = time.perf_counter()
+        futures = [server.submit(query) for query in queries]
+        for future in futures:
+            future.result(timeout=300.0)
+        elapsed = time.perf_counter() - start
+    finally:
+        server.stop(drain=True)
+    return elapsed, server.stats()
+
+
+def _serve_workload_record(name: str, params: Mapping[str, Any],
+                           run: Callable[[], tuple[float, dict[str, Any]]],
+                           rounds: int,
+                           warmup: int) -> tuple[BenchRecord, dict[str, Any]]:
+    """Time a serving run over the *serving window* only.
+
+    ``run`` returns ``(serving_seconds, stats)``; the record's statistics
+    are over the submit-to-last-result window, excluding engine/server
+    construction and shutdown, which is what "serving throughput" means.
+    """
+    for _ in range(warmup):
+        run()
+    times: list[float] = []
+    stats: dict[str, Any] = {}
+    for _ in range(rounds):
+        elapsed, stats = run()
+        times.append(elapsed)
+    return record_from_times(name, "serve", params, times), stats
+
+
+def serve_benchmarks(total_requests: int = SERVE_ACCEPTANCE_REQUESTS,
+                     max_batch: int = SERVE_ACCEPTANCE_MAX_BATCH,
+                     quick: bool = False, rounds: int | None = None,
+                     seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Serving throughput suite: micro-batched vs batch-1, plus Zipf caching.
+
+    Three workloads on the shared demo CAM-pipeline engine
+    (:data:`SERVE_BENCH_ENGINE`), all over the same 1000-request uniform
+    load (``quick`` trims rounds, not the load -- short loads under-fill
+    the batcher and would misstate the speedup):
+
+    * ``serve/microbatch`` -- the uniform load served at ``max_batch``;
+    * ``serve/serial`` -- the same load at ``max_batch=1`` (the baseline
+      the acceptance gate divides by);
+    * ``serve/zipf_cached`` -- Zipf-skewed repeats with the
+      packed-signature cache on, exercising the hit path.
+
+    Records time the serving window only (submit of the first request to
+    the last resolved future).  Returns ``(records, summary)``; the summary
+    carries the throughputs, the measured speedup and the pass/fail
+    acceptance verdict (>= :data:`SERVE_ACCEPTANCE_MIN_SPEEDUP`), which
+    ``scripts/bench.py`` folds into ``BENCH_e2e.json``.
+    """
+    requests = total_requests
+    effective_rounds = rounds if rounds is not None else (2 if quick else 3)
+    rng = np.random.default_rng(seed)
+    input_dim = SERVE_BENCH_ENGINE["input_dim"]
+    uniform = rng.standard_normal((requests, input_dim))
+
+    params = {"requests": requests, **SERVE_BENCH_ENGINE}
+    batched_record, _ = _serve_workload_record(
+        f"serve/microbatch/max_batch={max_batch}",
+        {**params, "max_batch": max_batch},
+        lambda: _serve_run_seconds(max_batch, uniform),
+        rounds=effective_rounds, warmup=1)
+    serial_record, _ = _serve_workload_record(
+        "serve/serial/max_batch=1", {**params, "max_batch": 1},
+        lambda: _serve_run_seconds(1, uniform),
+        rounds=effective_rounds, warmup=0)
+
+    pool = rng.standard_normal((max(32, requests // 8), input_dim))
+    zipf_draws = rng.zipf(1.3, size=requests) % pool.shape[0]
+    zipf_queries = pool[zipf_draws]
+    zipf_record, zipf_stats = _serve_workload_record(
+        f"serve/zipf_cached/max_batch={max_batch}",
+        {**params, "max_batch": max_batch, "pool": int(pool.shape[0]),
+         "cache": True},
+        lambda: _serve_run_seconds(max_batch, zipf_queries,
+                                   cache_capacity=pool.shape[0] * 2),
+        rounds=effective_rounds, warmup=1)
+
+    throughput_batched = requests / batched_record.median_s
+    throughput_serial = requests / serial_record.median_s
+    speedup = throughput_batched / max(throughput_serial, 1e-12)
+    summary: dict[str, Any] = {
+        "requests": requests,
+        "engine": dict(SERVE_BENCH_ENGINE),
+        "throughput_rps": {
+            f"microbatch_{max_batch}": throughput_batched,
+            "serial_1": throughput_serial,
+            f"zipf_cached_{max_batch}": requests / zipf_record.median_s,
+        },
+        "zipf_cache_hit_rate": zipf_stats["cache"]["hit_rate"],
+        "acceptance": {
+            "workload": f"uniform_{requests}_requests",
+            "max_batch": max_batch,
+            "speedup": speedup,
+            "min_required_speedup": SERVE_ACCEPTANCE_MIN_SPEEDUP,
+            "passed": speedup >= SERVE_ACCEPTANCE_MIN_SPEEDUP,
+        },
+    }
+    return [batched_record, serial_record, zipf_record], summary
 
 
 # -- paper-figure workloads (pytest-benchmark) ---------------------------------

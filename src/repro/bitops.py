@@ -30,6 +30,10 @@ which re-exports everything defined here.
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 #: Bits per packed storage word.
@@ -53,7 +57,55 @@ INT16_SAFE_MAX_BITS: int = int(np.iinfo(np.int16).max)
 
 #: Row-block size of the blocked kernel; keeps the per-block XOR temporary
 #: (block x rows_b x 8 bytes per word) inside the last-level cache.
-_KERNEL_BLOCK_ROWS: int = 512
+KERNEL_BLOCK_ROWS: int = 512
+
+#: Environment variable enabling multi-threaded row-block execution of
+#: :func:`packed_hamming_matrix`.  Unset or "1" keeps the kernel serial;
+#: "0" means one thread per CPU.
+NUM_THREADS_ENV: str = "REPRO_NUM_THREADS"
+
+_EXECUTOR_LOCK = threading.Lock()
+_EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+
+
+def resolve_num_threads(num_threads: int | None = None) -> int:
+    """Worker count for the threaded kernel path.
+
+    ``None`` reads :data:`NUM_THREADS_ENV` (defaulting to 1, i.e. serial);
+    ``0`` -- explicit or via the environment -- means one thread per CPU.
+    """
+    if num_threads is None:
+        raw = os.environ.get(NUM_THREADS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            num_threads = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{NUM_THREADS_ENV} must be an integer, got {raw!r}") from None
+    num_threads = int(num_threads)
+    if num_threads < 0:
+        raise ValueError("num_threads must be non-negative")
+    if num_threads == 0:
+        return max(1, os.cpu_count() or 1)
+    return num_threads
+
+
+def _get_executor(workers: int) -> ThreadPoolExecutor:
+    """Shared kernel thread pool for ``workers``, one pool per size.
+
+    Pools are kept per worker count and never shut down: a shutdown on
+    resize could race a concurrent caller that already holds the old pool
+    (its ``submit`` would raise), and the handful of distinct sizes a
+    process uses keeps the cache tiny.
+    """
+    with _EXECUTOR_LOCK:
+        executor = _EXECUTORS.get(workers)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-hamming")
+            _EXECUTORS[workers] = executor
+        return executor
 
 
 def words_for_bits(bit_length: int) -> int:
@@ -162,7 +214,27 @@ def packed_hamming_vector(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     return popcount(m ^ q[None, :]).sum(axis=1, dtype=np.int64)
 
 
-def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray) -> np.ndarray:
+def _hamming_block(a: np.ndarray, b: np.ndarray, out: np.ndarray,
+                   start: int, stop: int, acc_dtype: np.dtype,
+                   xor_buffer: np.ndarray | None = None) -> None:
+    """Fill ``out[start:stop]`` with distances of ``a[start:stop]`` vs ``b``."""
+    height = stop - start
+    rows_b = b.shape[0]
+    if xor_buffer is None:
+        xor_buffer = np.empty((height, rows_b), dtype=np.uint64)
+    block = xor_buffer[:height]
+    acc = np.zeros((height, rows_b), dtype=acc_dtype)
+    for word in range(a.shape[1]):
+        np.bitwise_xor(a[start:stop, word, None], b[None, :, word], out=block)
+        if HAVE_BITWISE_COUNT:
+            acc += np.bitwise_count(block)
+        else:
+            acc += popcount_lut(block).astype(acc_dtype, copy=False)
+    out[start:stop] = acc
+
+
+def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray,
+                          num_threads: int | None = None) -> np.ndarray:
     """Pairwise Hamming distances between two packed signature sets.
 
     Parameters
@@ -171,12 +243,21 @@ def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray) -> np.ndar
         ``(rows_a, words)`` packed signatures.
     b_packed:
         ``(rows_b, words)`` packed signatures.
+    num_threads:
+        Row-block parallelism.  ``None`` (default) defers to the
+        ``REPRO_NUM_THREADS`` environment variable, keeping the kernel
+        serial when that is unset; ``0`` means one thread per CPU.  The
+        threaded path splits ``rows_a`` into the same cache-sized blocks
+        the serial path uses and runs them on a shared thread pool -- the
+        XOR and popcount ufuncs release the GIL on blocks this large, so
+        the blocks genuinely overlap on multi-core machines.
 
     Returns
     -------
     np.ndarray
         ``(rows_a, rows_b)`` ``int64`` distance matrix, bit-exact against
-        the naive XOR-sum over the unpacked bits.
+        the naive XOR-sum over the unpacked bits (threaded and serial paths
+        produce identical results; blocks write disjoint output rows).
 
     The kernel iterates over the (few) words and blocks over ``rows_a`` so
     the XOR temporary stays cache-resident; distances accumulate in the
@@ -196,18 +277,20 @@ def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray) -> np.ndar
     if rows_a == 0 or rows_b == 0:
         return out
     acc_dtype = _accumulator_dtype(word_count)
-    use_fast = HAVE_BITWISE_COUNT
-    xor_buffer = np.empty((min(_KERNEL_BLOCK_ROWS, rows_a), rows_b), dtype=np.uint64)
-    for start in range(0, rows_a, _KERNEL_BLOCK_ROWS):
-        stop = min(start + _KERNEL_BLOCK_ROWS, rows_a)
-        height = stop - start
-        block = xor_buffer[:height]
-        acc = np.zeros((height, rows_b), dtype=acc_dtype)
-        for word in range(word_count):
-            np.bitwise_xor(a[start:stop, word, None], b[None, :, word], out=block)
-            if use_fast:
-                acc += np.bitwise_count(block)
-            else:
-                acc += popcount_lut(block).astype(acc_dtype, copy=False)
-        out[start:stop] = acc
+    workers = resolve_num_threads(num_threads)
+
+    spans = [(start, min(start + KERNEL_BLOCK_ROWS, rows_a))
+             for start in range(0, rows_a, KERNEL_BLOCK_ROWS)]
+    if workers > 1 and len(spans) > 1:
+        executor = _get_executor(workers)
+        futures = [executor.submit(_hamming_block, a, b, out, start, stop,
+                                   acc_dtype)
+                   for start, stop in spans]
+        for future in futures:
+            future.result()
+        return out
+
+    xor_buffer = np.empty((min(KERNEL_BLOCK_ROWS, rows_a), rows_b), dtype=np.uint64)
+    for start, stop in spans:
+        _hamming_block(a, b, out, start, stop, acc_dtype, xor_buffer)
     return out

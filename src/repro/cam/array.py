@@ -282,7 +282,9 @@ class CamArray:
         (distances, energy_pj, latency_cycles):
             ``distances`` has shape ``(num_queries, rows)``; unpopulated rows
             hold ``-1``.  Energy and latency are totals over all queries
-            (queries are serialised on the single search port).
+            (queries are serialised on the single search port).  An empty
+            ``(0, k)`` batch is a no-op: ``(0, rows)`` distances, zero energy
+            and latency.
 
         The whole batch is one packed XOR+popcount (no per-query Python
         loop); the sense amplifiers then digitise every populated (query,
@@ -293,13 +295,40 @@ class CamArray:
         query_matrix = np.asarray(queries)
         if query_matrix.ndim != 2:
             raise ValueError("queries must be a 2-D bit matrix")
-        num_queries = query_matrix.shape[0]
-        distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
-        if num_queries == 0:
-            return distances, 0.0, 0
+        if query_matrix.shape[0] == 0:
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
         packed_queries = self._pack_queries(query_matrix, "query")
+        return self._search_packed_batch(packed_queries)
+
+    def search_batch_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Batch search over already-packed ``(num_queries, words)`` queries.
+
+        Same contract as :meth:`search_batch`, but the queries arrive as the
+        ``uint64`` words the kernels natively consume (e.g. straight from
+        :meth:`repro.core.hashing.RandomProjectionHasher.hash_batch_packed`),
+        skipping the bit validation and re-packing entirely -- the serving
+        fast path.  Packings must come from :func:`repro.bitops.pack_bits`
+        (or equivalent), i.e. with the padding bits of the last word zero;
+        stray padding bits would be counted as mismatches.
+        """
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        if packed.shape[0] == 0:
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
+        if packed.shape[1] != self._storage_words:
+            raise ValueError(
+                f"packed queries must have {self._storage_words} words, "
+                f"got {packed.shape[1]}"
+            )
+        return self._search_packed_batch(packed)
+
+    def _search_packed_batch(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Shared body of the batch search paths (non-empty packed input)."""
         if self.debug_validate:
             self._debug_recheck_storage()
+        num_queries = packed_queries.shape[0]
+        distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
 
         mismatches = packed_hamming_matrix(packed_queries, self._storage)
         populated = self._populated

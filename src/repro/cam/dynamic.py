@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bitops import words_for_bits
 from repro.cam.array import CamArray, CamSearchResult
 from repro.cam.cell import CamCell, FEFET_CAM_CELL
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
@@ -255,9 +256,39 @@ class DynamicCam:
         if query_matrix.ndim != 2:
             raise ValueError("queries must be a 2-D bit matrix")
         if query_matrix.shape[0] == 0:
-            return np.empty((0, self.rows), dtype=np.int64), 0.0, 0
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
         padded = self._pad_matrix_to_active_width(query_matrix, "query")
         distances, energy, latency = self._array.search_batch(padded)
+        fraction = self.active_word_bits / self.config.max_word_bits
+        return distances, energy * fraction, latency
+
+    def search_batch_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Batch search over queries packed at the *active* word width.
+
+        The packed counterpart of :meth:`search_batch`: queries arrive as
+        ``(num_queries, words_for_bits(active_word_bits))`` ``uint64`` words
+        (e.g. from ``hash_batch_packed``) and are zero-extended to the full
+        word width in the packed domain -- disabled chunks compare all-zero
+        against the zero-filled storage tail, so they contribute no
+        mismatches, exactly as the bit-level path pads.
+        """
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        if packed.shape[0] == 0:
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
+        expected = words_for_bits(self.active_word_bits)
+        if packed.shape[1] != expected:
+            raise ValueError(
+                f"packed queries must have {expected} words for the active "
+                f"width {self.active_word_bits}, got {packed.shape[1]}"
+            )
+        full_words = words_for_bits(self.config.max_word_bits)
+        if packed.shape[1] < full_words:
+            extended = np.zeros((packed.shape[0], full_words), dtype=np.uint64)
+            extended[:, : packed.shape[1]] = packed
+            packed = extended
+        distances, energy, latency = self._array.search_batch_packed(packed)
         fraction = self.active_word_bits / self.config.max_word_bits
         return distances, energy * fraction, latency
 

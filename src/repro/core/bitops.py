@@ -12,6 +12,8 @@ application code::
 from repro.bitops import (
     HAVE_BITWISE_COUNT,
     INT16_SAFE_MAX_BITS,
+    KERNEL_BLOCK_ROWS,
+    NUM_THREADS_ENV,
     POPCOUNT_LUT,
     WORD_BITS,
     WORD_BYTES,
@@ -20,6 +22,7 @@ from repro.bitops import (
     packed_hamming_vector,
     popcount,
     popcount_lut,
+    resolve_num_threads,
     unpack_bits,
     words_for_bits,
 )
@@ -27,6 +30,8 @@ from repro.bitops import (
 __all__ = [
     "HAVE_BITWISE_COUNT",
     "INT16_SAFE_MAX_BITS",
+    "KERNEL_BLOCK_ROWS",
+    "NUM_THREADS_ENV",
     "POPCOUNT_LUT",
     "WORD_BITS",
     "WORD_BYTES",
@@ -35,6 +40,7 @@ __all__ = [
     "packed_hamming_vector",
     "popcount",
     "popcount_lut",
+    "resolve_num_threads",
     "unpack_bits",
     "words_for_bits",
 ]

@@ -183,6 +183,19 @@ class RandomProjectionHasher:
         """Hash a batch straight into ``(batch, words)`` packed ``uint64`` words."""
         return pack_bits(self.hash_batch(matrix))
 
+    def hash_batch_with_norms(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Hash a batch into packed words and return the operands' L2 norms.
+
+        One call producing both halves of the context pair the CAM pipeline
+        consumes -- ``(batch, words)`` packed ``uint64`` signatures and
+        ``(batch,)`` Euclidean norms.  This is the serving fast path: the
+        packed words feed ``search_batch_packed`` directly and double as
+        the result-cache key, while the norms scale the recovered cosines
+        back into dot-products.
+        """
+        data = np.asarray(matrix, dtype=np.float64)
+        return self.hash_batch_packed(data), np.linalg.norm(data, axis=1)
+
     def hash_with_norm(self, vector: Sequence[float] | np.ndarray) -> HashedVector:
         """Hash a vector and attach its exact L2 norm."""
         data = np.asarray(vector, dtype=np.float64).ravel()

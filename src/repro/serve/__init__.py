@@ -1,0 +1,82 @@
+"""``repro.serve`` -- dynamic micro-batching inference over the packed CAM pipeline.
+
+The DeepCAM accelerator only reaches its amortised energy/latency numbers
+when CAM searches run over full batches, but real traffic arrives one
+request at a time.  This subsystem closes that gap:
+
+* :class:`~repro.serve.batching.ServeConfig` + the bounded request queue --
+  backpressure and the size/time flush triggers (``max_batch`` /
+  ``max_wait_ms``);
+* :class:`~repro.serve.server.MicroBatchServer` -- worker threads that
+  coalesce requests and execute them as one batched packed-kernel pass
+  (``hash_batch_packed`` -> ``CamArray.search_batch_packed``);
+* :class:`~repro.serve.cache.PackedSignatureCache` -- LRU memoisation of
+  logits keyed on the query's packed ``uint64`` words (hits are
+  bit-identical to fresh computation by construction);
+* :class:`~repro.serve.metrics.ServeMetrics` and the
+  :class:`~repro.serve.metrics.ServeObserver` hook protocol -- queue depth,
+  batch-size histogram, p50/p99 latency, throughput, cache hit rate;
+* :class:`~repro.serve.client.ServeClient` -- the synchronous facade.
+
+Quickstart::
+
+    from repro.serve import ServeClient, ServeConfig, build_demo_engine
+
+    engine = build_demo_engine(classes=16, input_dim=128, hash_length=256)
+    with ServeClient(engine, config=ServeConfig(max_batch=64)) as client:
+        logits = client.infer_many(queries)      # micro-batched under the hood
+        print(client.stats()["throughput_rps"])
+
+``scripts/loadgen.py`` drives the server with uniform, bursty and Zipf
+traffic; ``make serve-smoke`` runs its quick self-verifying pass.
+"""
+
+from repro.serve.batching import (
+    FULL_POLICIES,
+    QueueFullError,
+    ServeConfig,
+    ServeRequest,
+    drain_batch,
+)
+from repro.serve.cache import CacheStats, PackedSignatureCache, signature_key
+from repro.serve.client import ServeClient
+from repro.serve.engine import (
+    BackendEngine,
+    CamPipelineEngine,
+    InferenceEngine,
+    PreparedBatch,
+    build_demo_engine,
+    demo_queries,
+)
+from repro.serve.metrics import (
+    PrintObserver,
+    RecordingObserver,
+    ServeMetrics,
+    ServeObserver,
+    notify_all,
+)
+from repro.serve.server import MicroBatchServer
+
+__all__ = [
+    "BackendEngine",
+    "CacheStats",
+    "CamPipelineEngine",
+    "FULL_POLICIES",
+    "InferenceEngine",
+    "MicroBatchServer",
+    "PackedSignatureCache",
+    "PreparedBatch",
+    "PrintObserver",
+    "QueueFullError",
+    "RecordingObserver",
+    "ServeClient",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeObserver",
+    "ServeRequest",
+    "build_demo_engine",
+    "demo_queries",
+    "drain_batch",
+    "notify_all",
+    "signature_key",
+]

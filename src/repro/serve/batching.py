@@ -1,0 +1,138 @@
+"""Bounded request queue and the dynamic micro-batcher.
+
+Single-sample requests enter a bounded FIFO; worker threads drain it into
+*micro-batches* that flush on whichever trigger fires first:
+
+* **size** -- ``max_batch`` requests have been collected; or
+* **time** -- ``max_wait_ms`` has elapsed since the first request of the
+  batch was dequeued.
+
+This is the classic size/time-triggered drain of background batch-ingest
+queues: block (briefly) for the first item, then keep collecting with the
+*remaining* wait budget as the timeout so a full batch forms instantly
+under load while a lone request never waits more than ``max_wait_ms``.
+Backpressure is the queue bound itself: when the queue is full the server
+either blocks the producer or rejects the request, per
+:attr:`ServeConfig.full_policy`.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+#: Queue-full policies: block the producer, or fail fast with
+#: :class:`QueueFullError`.
+FULL_POLICIES = ("block", "reject")
+
+
+class QueueFullError(RuntimeError):
+    """The bounded request queue is full (reject policy, or block timed out)."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one :class:`~repro.serve.server.MicroBatchServer`.
+
+    Attributes
+    ----------
+    max_batch:
+        Micro-batch size cap (the size flush trigger).  ``1`` degenerates
+        to request-at-a-time serving -- the baseline the batcher is
+        benchmarked against.
+    max_wait_ms:
+        Time flush trigger: longest a dequeued request waits for the batch
+        to fill.  ``0`` flushes greedily with whatever is already queued.
+    queue_depth:
+        Bound of the request queue (the backpressure point).
+    num_workers:
+        Worker threads draining the queue.  One worker keeps batches large
+        and ordering simple; more overlap post-processing with draining.
+    cache_capacity:
+        Entries of the packed-signature result cache; ``0`` disables
+        caching.
+    full_policy:
+        ``"block"`` stalls producers while the queue is full;
+        ``"reject"`` raises :class:`QueueFullError` immediately.
+    poll_timeout_ms:
+        Idle wake-up interval of the workers (shutdown latency bound).
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_depth: int = 1024
+    num_workers: int = 1
+    cache_capacity: int = 4096
+    full_policy: str = "block"
+    poll_timeout_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if self.full_policy not in FULL_POLICIES:
+            raise ValueError(
+                f"full_policy must be one of {FULL_POLICIES}, got {self.full_policy!r}"
+            )
+        if self.poll_timeout_ms <= 0:
+            raise ValueError("poll_timeout_ms must be positive")
+
+
+@dataclass
+class ServeRequest:
+    """One enqueued sample awaiting its logits.
+
+    The ``future`` resolves to a read-only ``(output_dim,)`` logits row (or
+    to the batch's exception); ``enqueued_at`` feeds the end-to-end latency
+    metric.
+    """
+
+    sample: np.ndarray
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+def drain_batch(request_queue: "queue.Queue[ServeRequest]", max_batch: int,
+                max_wait_s: float, first_timeout_s: float) -> List[ServeRequest]:
+    """Collect one micro-batch, flushing on size or time -- whichever first.
+
+    Blocks up to ``first_timeout_s`` for the first request (the idle poll);
+    once one arrives, keeps draining with the remaining ``max_wait_s``
+    budget as the timeout until ``max_batch`` is reached or the budget is
+    spent.  ``max_wait_s <= 0`` takes only what is already queued.  Returns
+    ``[]`` when the queue stayed empty for the whole poll.
+    """
+    try:
+        first = request_queue.get(timeout=first_timeout_s)
+    except queue.Empty:
+        return []
+    batch = [first]
+    if max_wait_s <= 0:
+        while len(batch) < max_batch:
+            try:
+                batch.append(request_queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+    deadline = time.perf_counter() + max_wait_s
+    while len(batch) < max_batch:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            break
+        try:
+            batch.append(request_queue.get(timeout=remaining))
+        except queue.Empty:
+            break
+    return batch

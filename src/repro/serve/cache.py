@@ -1,0 +1,145 @@
+"""Packed-signature result cache: LRU memoisation of served logits.
+
+The CAM serving pipeline is memoisable at a natural boundary: the logits it
+produces are a pure function of the query's packed ``uint64`` signature
+words (plus its norm), because the CAM only ever sees the signature -- two
+queries with identical contexts are indistinguishable to the hardware and
+*must* produce identical outputs.  The cache exploits that: keys are the raw
+bytes of the packed words (with any per-engine extra such as the norm
+appended), values are the read-only logits rows previously computed, and a
+hit returns the stored row itself -- bit-identical to the fresh computation
+by construction.
+
+Skewed traffic (Zipf-popular queries, duplicated frames) therefore skips
+both the hashing GEMM and the CAM search entirely.  Eviction is
+least-recently-used over a bounded entry count; hit/miss/eviction counters
+feed the serving metrics' cache hit rate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+def signature_key(packed_words: np.ndarray, extra: bytes = b"") -> bytes:
+    """Cache key for one packed signature: its word bytes plus ``extra``.
+
+    ``extra`` carries whatever else the engine's output depends on (for the
+    CAM pipeline, the query norm); keys of signatures with different word
+    counts never collide because the byte lengths differ.
+    """
+    data = np.ascontiguousarray(packed_words, dtype=np.uint64)
+    return data.tobytes() + extra
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`PackedSignatureCache`."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing has been looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (for metrics snapshots)."""
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PackedSignatureCache:
+    """Thread-safe LRU cache from packed-signature keys to logits rows.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently *used* entry is
+        evicted when a new key would exceed it.
+
+    Values are stored as read-only ``np.ndarray`` rows.  ``put`` copies its
+    input unless the array is already read-only (the server marks rows
+    read-only before resolving futures, so the hot path stores without a
+    second copy); ``get`` returns the stored row itself, so a hit costs one
+    dictionary move and no allocation.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        """Look up one key; counts a hit (refreshing recency) or a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def get_many(self, keys: Iterable[bytes]) -> List[Optional[np.ndarray]]:
+        """Look up several keys in order (``None`` marks each miss)."""
+        return [self.get(key) for key in keys]
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        """Store one logits row, evicting least-recently-used entries."""
+        row = np.asarray(value)
+        if row.flags.writeable:
+            row = row.copy()
+            row.flags.writeable = False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = row
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot the counters."""
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

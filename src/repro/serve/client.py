@@ -1,0 +1,114 @@
+"""Synchronous client facade over the micro-batching server.
+
+:class:`ServeClient` is the one-import entry point for callers that think
+in single requests: construct it from an engine (it owns a server's
+lifecycle) or attach it to an already-running :class:`MicroBatchServer`
+(shared by several clients), then call :meth:`infer` / :meth:`infer_many`
+and read :meth:`stats`.
+
+::
+
+    from repro.serve import ServeClient, build_demo_engine
+
+    with ServeClient(build_demo_engine()) as client:
+        logits = client.infer(my_vector)
+        print(client.stats()["latency_ms"]["p99"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batching import ServeConfig
+from repro.serve.engine import InferenceEngine
+from repro.serve.server import MicroBatchServer
+
+
+class ServeClient:
+    """Blocking request/response facade over a :class:`MicroBatchServer`.
+
+    Parameters
+    ----------
+    engine:
+        Engine to serve.  When given, the client builds, starts and (on
+        ``close()``/context exit) stops its own server.
+    server:
+        An existing server to attach to instead; its lifecycle stays with
+        whoever created it.  Exactly one of ``engine``/``server`` must be
+        passed.
+    config / cache / observers:
+        Forwarded to the owned :class:`MicroBatchServer` (engine mode only).
+    timeout_s:
+        Default per-request wait for a result.
+    """
+
+    def __init__(self, engine: Optional[InferenceEngine] = None,
+                 server: Optional[MicroBatchServer] = None,
+                 config: Optional[ServeConfig] = None,
+                 cache: Any = None,
+                 observers: Iterable[Any] = (),
+                 timeout_s: float = 30.0) -> None:
+        if (engine is None) == (server is None):
+            raise ValueError("pass exactly one of engine or server")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+        self._owns_server = server is None
+        if server is None:
+            server = MicroBatchServer(engine, config=config, cache=cache,
+                                      observers=observers).start()
+        elif not server.running:
+            raise RuntimeError("attached server is not running")
+        self.server = server
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the owned server (draining); attached servers are untouched."""
+        if self._owns_server and self.server.running:
+            self.server.stop(drain=True)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- requests ----------------------------------------------------------------
+
+    def infer(self, sample: np.ndarray,
+              timeout: Optional[float] = None) -> np.ndarray:
+        """Serve one sample; blocks until its logits row is ready.
+
+        ``timeout`` (default ``timeout_s``) bounds each blocking step
+        separately: the enqueue under backpressure (a full queue with the
+        ``"block"`` policy raises :class:`~repro.serve.batching.QueueFullError`
+        once it elapses) and the wait for the result.
+        """
+        wait = timeout if timeout is not None else self.timeout_s
+        return self.server.submit(sample, timeout=wait).result(wait)
+
+    def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray,
+                   timeout: Optional[float] = None) -> np.ndarray:
+        """Serve several samples; returns the stacked ``(n, output_dim)`` logits.
+
+        All samples are enqueued before the first result is awaited, so the
+        micro-batcher sees them together.  An empty input is served for
+        free: ``(0, output_dim)`` without touching the queue.  ``timeout``
+        bounds each enqueue and each result wait as in :meth:`infer`.
+        """
+        samples = list(samples) if not isinstance(samples, np.ndarray) else samples
+        if len(samples) == 0:
+            output_dim = getattr(self.server.engine, "output_dim", 0)
+            return np.empty((0, output_dim), dtype=np.float64)
+        wait = timeout if timeout is not None else self.timeout_s
+        futures = self.server.submit_many(samples, timeout=wait)
+        return np.stack([future.result(wait) for future in futures])
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's merged metrics/cache/engine snapshot."""
+        return self.server.stats()

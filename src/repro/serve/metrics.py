@@ -1,0 +1,262 @@
+"""Serving observers and the metrics aggregator.
+
+The server is instrumented the way the experiment runner is: it emits
+structured events to any number of *observers* (the k-eval idiom -- a
+``Protocol`` naming the hook points; implementations define any subset and
+missing hooks are skipped).  :class:`ServeMetrics` is the built-in observer
+every server carries: a thread-safe aggregator turning the event stream
+into queue-depth gauges, a batch-size histogram, latency percentiles
+(p50/p90/p99), throughput and the cache hit rate.
+:class:`RecordingObserver` captures the raw event stream for tests and
+debugging; :class:`PrintObserver` narrates batches for the load generator's
+verbose mode.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Mapping, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class ServeObserver(Protocol):
+    """Hook points the server notifies while it runs.
+
+    Implementations may define any subset; missing hooks are skipped.
+    Hooks run on the server's threads (submit path or worker), so they must
+    be cheap and thread-safe.
+    """
+
+    def server_started(self, config: Any) -> None: ...
+
+    def server_stopped(self, snapshot: Mapping[str, Any]) -> None: ...
+
+    def request_enqueued(self, queue_depth: int) -> None: ...
+
+    def request_rejected(self, queue_depth: int) -> None: ...
+
+    def batch_collected(self, size: int, waited_ms: float, queue_depth: int) -> None: ...
+
+    def batch_completed(self, size: int, cache_hits: int, cache_misses: int,
+                        service_ms: float) -> None: ...
+
+    def batch_failed(self, size: int, error: Exception) -> None: ...
+
+    def request_completed(self, latency_ms: float) -> None: ...
+
+
+def notify_all(observers: Iterable[Any], event: str, *args: Any) -> None:
+    """Invoke ``event`` on every observer that defines it.
+
+    Observer exceptions are reported to stderr and swallowed: a buggy
+    observer must not kill a worker thread (which would strand queued
+    requests and deadlock a draining ``stop()``).
+    """
+    for observer in observers:
+        hook = getattr(observer, event, None)
+        if hook is None:
+            continue
+        try:
+            hook(*args)
+        except Exception as error:  # noqa: BLE001 -- observers must not break serving
+            print(f"[repro.serve] observer {type(observer).__name__}.{event} "
+                  f"raised: {error!r}", file=sys.stderr)
+
+
+def _percentiles(samples: "deque[float]") -> Dict[str, float]:
+    if not samples:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    data = np.asarray(samples, dtype=np.float64)
+    p50, p90, p99 = np.percentile(data, (50, 90, 99))
+    return {
+        "p50": float(p50),
+        "p90": float(p90),
+        "p99": float(p99),
+        "mean": float(data.mean()),
+        "max": float(data.max()),
+    }
+
+
+class ServeMetrics:
+    """Thread-safe aggregator over the serving event stream.
+
+    Keeps bounded latency/service/wait reservoirs (the most recent
+    ``reservoir`` samples) so long-running servers don't grow without
+    bound, plus exact counters for everything countable.  ``snapshot()``
+    folds the state into one plain dictionary -- the payload of
+    ``server_stopped``, ``stats()`` and the load generator's report.
+    """
+
+    def __init__(self, reservoir: int = 100_000) -> None:
+        if reservoir <= 0:
+            raise ValueError("reservoir must be positive")
+        self._lock = threading.Lock()
+        self._latencies_ms: "deque[float]" = deque(maxlen=reservoir)
+        self._service_ms: "deque[float]" = deque(maxlen=reservoir)
+        self._wait_ms: "deque[float]" = deque(maxlen=reservoir)
+        self._batch_size_histogram: Dict[int, int] = {}
+        self._enqueued = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._batches = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._max_queue_depth = 0
+        self._last_queue_depth = 0
+        self._started_at: float | None = None
+        self._elapsed_s = 0.0  # serving time of completed runs (restarts accumulate)
+
+    # -- observer hooks ----------------------------------------------------------
+
+    def server_started(self, config: Any) -> None:
+        with self._lock:
+            self._started_at = time.perf_counter()
+
+    def server_stopped(self, snapshot: Mapping[str, Any]) -> None:
+        with self._lock:
+            if self._started_at is not None:
+                self._elapsed_s += time.perf_counter() - self._started_at
+                self._started_at = None
+
+    def request_enqueued(self, queue_depth: int) -> None:
+        with self._lock:
+            self._enqueued += 1
+            self._last_queue_depth = queue_depth
+            if queue_depth > self._max_queue_depth:
+                self._max_queue_depth = queue_depth
+
+    def request_rejected(self, queue_depth: int) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def batch_collected(self, size: int, waited_ms: float, queue_depth: int) -> None:
+        with self._lock:
+            self._wait_ms.append(waited_ms)
+            self._last_queue_depth = queue_depth
+            if queue_depth > self._max_queue_depth:
+                self._max_queue_depth = queue_depth
+
+    def batch_completed(self, size: int, cache_hits: int, cache_misses: int,
+                        service_ms: float) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batch_size_histogram[size] = (
+                self._batch_size_histogram.get(size, 0) + 1)
+            self._cache_hits += cache_hits
+            self._cache_misses += cache_misses
+            self._service_ms.append(service_ms)
+
+    def batch_failed(self, size: int, error: Exception) -> None:
+        with self._lock:
+            self._failed += size
+
+    def request_completed(self, latency_ms: float) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies_ms.append(latency_ms)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        """Requests successfully answered so far."""
+        with self._lock:
+            return self._completed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Fold the aggregated state into one plain dictionary."""
+        with self._lock:
+            elapsed = self._elapsed_s
+            if self._started_at is not None:
+                elapsed += time.perf_counter() - self._started_at
+            lookups = self._cache_hits + self._cache_misses
+            sizes = self._batch_size_histogram
+            batched = sum(size * count for size, count in sizes.items())
+            return {
+                "requests": {
+                    "enqueued": self._enqueued,
+                    "completed": self._completed,
+                    "rejected": self._rejected,
+                    "failed": self._failed,
+                },
+                "queue_depth": {
+                    "max": self._max_queue_depth,
+                    "last": self._last_queue_depth,
+                },
+                "batches": {
+                    "count": self._batches,
+                    "mean_size": (batched / self._batches) if self._batches else 0.0,
+                    "size_histogram": dict(sorted(sizes.items())),
+                },
+                "latency_ms": _percentiles(self._latencies_ms),
+                "service_ms": _percentiles(self._service_ms),
+                "batch_wait_ms": _percentiles(self._wait_ms),
+                "throughput_rps": (self._completed / elapsed) if elapsed > 0 else 0.0,
+                "elapsed_s": elapsed,
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                },
+            }
+
+
+class RecordingObserver:
+    """Records every event as ``(name, args)`` -- the test/debug observer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[Tuple[str, Tuple[Any, ...]]] = []
+
+    def _record(self, name: str, *args: Any) -> None:
+        with self._lock:
+            self.events.append((name, args))
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return lambda *args: self._record(name, *args)
+
+    def names(self) -> List[str]:
+        """Event names in arrival order."""
+        with self._lock:
+            return [name for name, _ in self.events]
+
+    def of(self, name: str) -> List[Tuple[Any, ...]]:
+        """Argument tuples of every occurrence of ``name``."""
+        with self._lock:
+            return [args for event, args in self.events if event == name]
+
+
+class PrintObserver:
+    """Narrates batches to a stream (the load generator's ``--verbose``)."""
+
+    def __init__(self, stream: Any = None, every: int = 1) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self._stream = stream
+        self._every = every
+        self._seen = 0
+        self._lock = threading.Lock()
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self._stream if self._stream is not None else sys.stdout)
+
+    def batch_completed(self, size: int, cache_hits: int, cache_misses: int,
+                        service_ms: float) -> None:
+        with self._lock:
+            self._seen += 1
+            if self._seen % self._every:
+                return
+            count = self._seen
+        self._emit(f"[serve] batch {count}: size={size} hits={cache_hits} "
+                   f"misses={cache_misses} service={service_ms:.2f}ms")
+
+    def batch_failed(self, size: int, error: Exception) -> None:
+        self._emit(f"[serve] batch FAILED ({size} requests): {error}")

@@ -1,0 +1,350 @@
+"""The dynamic micro-batching inference server.
+
+:class:`MicroBatchServer` turns a stream of single-sample requests into the
+large batches the packed CAM pipeline needs to pay off:
+
+1. ``submit()`` validates the sample's shape (when the engine declares its
+   ``input_dim``), wraps it in a future and enqueues it on the bounded
+   request queue (blocking or rejecting when full);
+2. worker threads drain the queue into micro-batches
+   (:func:`~repro.serve.batching.drain_batch`: flush on ``max_batch`` or
+   ``max_wait_ms``, whichever first);
+3. one ``engine.prepare`` pass preprocesses the whole batch (for the CAM
+   engine: one batched hashing GEMM whose packed words double as cache
+   keys);
+4. the packed-signature cache answers repeats bit-identically; only the
+   misses reach ``engine.execute`` -- one packed CAM search for the whole
+   miss set;
+5. futures resolve to read-only logits rows and observers hear about every
+   step (queue depth, batch sizes, latencies, cache hits).
+
+A failed batch fails all of its futures with the same exception; the worker
+threads keep serving.  ``stop(drain=True)`` (also the context-manager exit)
+waits for the queue to empty before joining the workers, mirroring the
+drain-on-exit of background batch-ingest queues.
+"""
+
+from __future__ import annotations
+
+import inspect
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batching import (
+    QueueFullError,
+    ServeConfig,
+    ServeRequest,
+    drain_batch,
+)
+from repro.serve.cache import PackedSignatureCache
+from repro.serve.engine import InferenceEngine
+from repro.serve.metrics import ServeMetrics, notify_all
+
+
+class MicroBatchServer:
+    """Micro-batching server over one :class:`~repro.serve.engine.InferenceEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The batched compute to serve.
+    config:
+        Queue/batcher/worker knobs; defaults to :class:`ServeConfig`.
+    cache:
+        Result cache override.  ``None`` builds a
+        :class:`PackedSignatureCache` of ``config.cache_capacity`` entries
+        (``0`` capacity disables caching); pass an instance to share one
+        across servers, or ``False`` to force caching off.
+    observers:
+        Extra :class:`~repro.serve.metrics.ServeObserver` instances; the
+        built-in :class:`ServeMetrics` is always first.
+    """
+
+    def __init__(self, engine: InferenceEngine,
+                 config: Optional[ServeConfig] = None,
+                 cache: "PackedSignatureCache | bool | None" = None,
+                 observers: Iterable[Any] = ()) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        if cache is None:
+            self.cache: Optional[PackedSignatureCache] = (
+                PackedSignatureCache(self.config.cache_capacity)
+                if self.config.cache_capacity > 0 else None)
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.metrics = ServeMetrics()
+        self._observers = (self.metrics, *observers)
+        self._queue: "queue.Queue[ServeRequest]" = queue.Queue(
+            maxsize=self.config.queue_depth)
+        self._workers: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._state_lock = threading.Lock()
+        self._running = False
+        self._abort = False
+        # Engines declaring input_dim get per-request shape validation at
+        # submit time, confining a malformed sample to its own future
+        # instead of failing every request co-batched with it.
+        self._input_dim = getattr(engine, "input_dim", None)
+        try:
+            self._prepare_takes_want_keys = (
+                "want_keys" in inspect.signature(engine.prepare).parameters)
+        except (TypeError, ValueError):
+            self._prepare_takes_want_keys = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether workers are accepting and serving requests."""
+        return self._running
+
+    def start(self) -> "MicroBatchServer":
+        """Spawn the worker threads; returns ``self`` for chaining."""
+        with self._state_lock:
+            if self._running:
+                raise RuntimeError("server is already running")
+            self._stop_event.clear()
+            self._workers = [
+                threading.Thread(target=self._worker_loop, daemon=True,
+                                 name=f"repro-serve-{index}")
+                for index in range(self.config.num_workers)
+            ]
+            self._running = True
+        for worker in self._workers:
+            worker.start()
+        notify_all(self._observers, "server_started", self.config)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers.
+
+        ``drain=True`` first waits for every enqueued request to be served;
+        ``drain=False`` stops after the in-flight batches and fails the
+        still-queued requests with :class:`RuntimeError`.
+        """
+        with self._state_lock:
+            if not self._running:
+                return
+            self._running = False
+        if drain:
+            self._queue.join()
+        else:
+            self._abort = True
+        self._stop_event.set()
+        # One sentinel per worker wakes idle drain polls immediately; a full
+        # queue (abort mode) needs none -- workers are already awake.
+        for _ in self._workers:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                break
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
+        self._flush_queue(RuntimeError("server stopped before serving"))
+        self._abort = False
+        notify_all(self._observers, "server_stopped", self.metrics.snapshot())
+
+    def __enter__(self) -> "MicroBatchServer":
+        if not self._running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    def _flush_queue(self, error: Exception) -> None:
+        """Consume leftover sentinels and fail any still-queued requests."""
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if request is not None and request.future.set_running_or_notify_cancel():
+                request.future.set_exception(error)
+            self._queue.task_done()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, sample: np.ndarray,
+               timeout: Optional[float] = None) -> "Future[np.ndarray]":
+        """Enqueue one sample; returns the future of its logits row.
+
+        Backpressure follows ``config.full_policy``: ``"block"`` waits (up
+        to ``timeout`` seconds, then raises :class:`QueueFullError`);
+        ``"reject"`` raises immediately when the queue is full.
+        """
+        if not self._running:
+            raise RuntimeError("server is not running (call start() first)")
+        data = np.asarray(sample, dtype=np.float64)
+        if self._input_dim is not None and data.shape != (self._input_dim,):
+            raise ValueError(
+                f"sample must have shape ({self._input_dim},) for engine "
+                f"{getattr(self.engine, 'name', '?')!r}, got {data.shape}"
+            )
+        request = ServeRequest(sample=data)
+        block = self.config.full_policy == "block"
+        try:
+            self._queue.put(request, block=block, timeout=timeout)
+        except queue.Full:
+            notify_all(self._observers, "request_rejected", self._queue.qsize())
+            raise QueueFullError(
+                f"request queue is full (depth {self.config.queue_depth}, "
+                f"policy {self.config.full_policy!r})"
+            ) from None
+        if not self._running and not self._workers:
+            # stop() completed between the running guard and the put; no
+            # worker will ever drain this request, so fail it rather than
+            # leave the future unresolved.
+            self._flush_queue(RuntimeError("server stopped before serving"))
+        notify_all(self._observers, "request_enqueued", self._queue.qsize())
+        return request.future
+
+    def submit_many(self, samples: Sequence[np.ndarray] | np.ndarray,
+                    timeout: Optional[float] = None) -> List["Future[np.ndarray]"]:
+        """Enqueue several samples; returns their futures in order."""
+        return [self.submit(sample, timeout=timeout) for sample in samples]
+
+    # -- worker ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        poll_s = self.config.poll_timeout_ms / 1e3
+        max_wait_s = self.config.max_wait_ms / 1e3
+        while True:
+            batch = drain_batch(self._queue, self.config.max_batch,
+                                max_wait_s, poll_s)
+            real = [request for request in batch if request is not None]
+            for _ in range(len(batch) - len(real)):  # shutdown sentinels
+                self._queue.task_done()
+            if real:
+                if self._abort:
+                    error = RuntimeError("server stopped before serving")
+                    for request in real:
+                        if request.future.set_running_or_notify_cancel():
+                            request.future.set_exception(error)
+                        self._queue.task_done()
+                else:
+                    self._process(real)
+            if self._stop_event.is_set() and len(real) < len(batch):
+                return  # woken by a sentinel
+            if not batch and self._stop_event.is_set():
+                return
+
+    def _process(self, batch: List[ServeRequest]) -> None:
+        collected_at = time.perf_counter()
+        live: List[ServeRequest] = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                self._queue.task_done()  # cancelled before a worker got to it
+        if not live:
+            return
+        waited_ms = (collected_at - live[0].enqueued_at) * 1e3
+        notify_all(self._observers, "batch_collected", len(live), waited_ms,
+                   self._queue.qsize())
+        try:
+            results, hits = self._answer(live)
+        except Exception as error:  # noqa: BLE001 -- fail the batch, keep serving
+            for request in live:
+                request.future.set_exception(error)
+                self._queue.task_done()
+            notify_all(self._observers, "batch_failed", len(live), error)
+            return
+        done_at = time.perf_counter()
+        for request, row in zip(live, results):
+            request.future.set_result(row)
+            notify_all(self._observers, "request_completed",
+                       (done_at - request.enqueued_at) * 1e3)
+            self._queue.task_done()
+        notify_all(self._observers, "batch_completed", len(live), hits,
+                   len(live) - hits, (done_at - collected_at) * 1e3)
+
+    def _answer(self, live: List[ServeRequest]) -> tuple[List[np.ndarray], int]:
+        """Prepare, consult the cache, execute the misses; returns (rows, hits).
+
+        Misses sharing a cache key within one micro-batch (Zipf-popular
+        repeats arriving together) are coalesced: the engine computes each
+        distinct query once and every duplicate gets the same row.
+        """
+        samples = np.stack([request.sample for request in live])
+        if self._prepare_takes_want_keys:
+            prepared = self.engine.prepare(samples,
+                                           want_keys=self.cache is not None)
+        else:
+            prepared = self.engine.prepare(samples)
+        count = len(live)
+        results: List[Optional[np.ndarray]] = [None] * count
+        hits = 0
+        keys = prepared.keys if self.cache is not None else None
+        if keys is not None:
+            for index, key in enumerate(keys):
+                row = self.cache.get(key)
+                if row is not None:
+                    results[index] = row
+                    hits += 1
+        miss_indices = [index for index in range(count) if results[index] is None]
+        if miss_indices:
+            if keys is not None:
+                slot_by_key: Dict[bytes, int] = {}
+                execute_indices: List[int] = []
+                miss_slots = []
+                for index in miss_indices:
+                    slot = slot_by_key.get(keys[index])
+                    if slot is None:
+                        slot = len(execute_indices)
+                        slot_by_key[keys[index]] = slot
+                        execute_indices.append(index)
+                    miss_slots.append(slot)
+            else:
+                execute_indices = miss_indices
+                miss_slots = list(range(len(miss_indices)))
+            subset = (prepared if len(execute_indices) == count
+                      else prepared.select(execute_indices))
+            logits = np.asarray(self.engine.execute(subset))
+            if logits.ndim != 2 or logits.shape[0] != len(execute_indices):
+                raise RuntimeError(
+                    f"engine returned shape {logits.shape} for "
+                    f"{len(execute_indices)} queries")
+            rows: List[np.ndarray] = []
+            for position, index in enumerate(execute_indices):
+                row = np.ascontiguousarray(logits[position])
+                row.flags.writeable = False
+                rows.append(row)
+                if keys is not None:
+                    self.cache.put(keys[index], row)
+            for slot, index in zip(miss_slots, miss_indices):
+                results[index] = rows[slot]
+        return results, hits  # type: ignore[return-value]
+
+    # -- reporting ---------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Requests currently enqueued (excludes in-flight batches)."""
+        return self._queue.qsize()
+
+    def stats(self) -> Dict[str, Any]:
+        """Metrics snapshot merged with cache and engine counters."""
+        snapshot = self.metrics.snapshot()
+        snapshot["config"] = {
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "queue_depth": self.config.queue_depth,
+            "num_workers": self.config.num_workers,
+            "full_policy": self.config.full_policy,
+            "cache_capacity": (self.cache.capacity if self.cache is not None else 0),
+        }
+        if self.cache is not None:
+            snapshot["cache"].update(self.cache.stats().to_dict())
+        engine_stats = getattr(self.engine, "stats", None)
+        if callable(engine_stats):
+            snapshot["engine"] = engine_stats()
+        snapshot["engine_name"] = getattr(self.engine, "name", "unknown")
+        return snapshot

@@ -13,6 +13,7 @@ from repro.api.bench import (
     e2e_benchmarks,
     kernel_microbench,
     record_from_times,
+    serve_benchmarks,
     time_callable,
     write_bench_report,
 )
@@ -86,3 +87,49 @@ class TestSuites:
         assert {record.group for record in records} == {"e2e"}
         assert len(records) == 3
         assert all(record.median_s >= 0.0 for record in records)
+
+    def test_kernel_microbench_threaded_records(self):
+        records, summary = kernel_microbench(grid=((1024, 64),), rounds=1,
+                                             thread_counts=(2,))
+        names = {record.name for record in records}
+        assert "kernel/packed_popcount_threads=2/rows=1024,k=64" in names
+        assert summary["thread_counts"] == [2]
+        cell_speedups = summary["threaded_speedups"]["rows=1024,k=64"]
+        assert cell_speedups["threads=2"] > 0.0
+
+    def test_serve_suite_records_and_acceptance_fields(self):
+        records, summary = serve_benchmarks(total_requests=300, quick=False,
+                                            rounds=1)
+        names = {record.name for record in records}
+        assert names == {
+            "serve/microbatch/max_batch=64",
+            "serve/serial/max_batch=1",
+            "serve/zipf_cached/max_batch=64",
+        }
+        assert all(record.group == "serve" for record in records)
+        acceptance = summary["acceptance"]
+        assert set(acceptance) == {"workload", "max_batch", "speedup",
+                                   "min_required_speedup", "passed"}
+        assert summary["throughput_rps"]["microbatch_64"] > 0
+        assert 0.0 <= summary["zipf_cache_hit_rate"] <= 1.0
+
+    def test_serve_suite_is_json_serializable(self, tmp_path):
+        records, summary = serve_benchmarks(total_requests=120, rounds=1)
+        document = write_bench_report(tmp_path / "BENCH_serve.json", records,
+                                      {"commit": "abc"},
+                                      extra={"serve": summary})
+        assert json.loads((tmp_path / "BENCH_serve.json").read_text()) == document
+
+    def test_threaded_records_skip_single_block_cells(self):
+        from repro.core.bitops import KERNEL_BLOCK_ROWS
+        records, summary = kernel_microbench(
+            grid=((64, 32), (KERNEL_BLOCK_ROWS * 2, 32)), rounds=1,
+            thread_counts=(2,))
+        threaded = [record.name for record in records
+                    if "packed_popcount_threads" in record.name]
+        # Only the multi-block cell engages threading; the single-block
+        # cell must not report a bogus ~1.0x "threaded" null result.
+        assert threaded == [
+            f"kernel/packed_popcount_threads=2/rows={KERNEL_BLOCK_ROWS * 2},k=32"]
+        assert list(summary["threaded_speedups"]) == [
+            f"rows={KERNEL_BLOCK_ROWS * 2},k=32"]

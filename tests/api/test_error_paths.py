@@ -1,0 +1,133 @@
+"""Registry error paths and the legacy ``run_*`` deprecation wrappers.
+
+Complements ``test_registry.py`` / ``test_runner.py``: every failure mode
+of the two registries (unknown key, duplicate key, overwrite, unregister of
+a missing key) and a sweep asserting that *every* legacy experiment entry
+point still warns ``DeprecationWarning`` and returns its historical shape.
+"""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.api.backend import BackendNotFoundError, DuplicateBackendError
+from repro.api.experiments import (
+    DuplicateExperimentError,
+    ExperimentNotFoundError,
+)
+from repro.evaluation import experiments as legacy
+
+
+class TestBackendRegistryErrorPaths:
+    def test_unknown_key_lists_known_backends(self):
+        with pytest.raises(BackendNotFoundError) as excinfo:
+            api.get_backend("npu")
+        message = str(excinfo.value)
+        assert "npu" in message
+        for known in ("deepcam", "eyeriss", "cpu"):
+            assert known in message
+
+    def test_duplicate_registration_raises_and_keeps_original(self):
+        with pytest.raises(DuplicateBackendError):
+            api.register_backend("cpu", api.DeepCAMBackend)
+        # The original registration must be untouched by the failed attempt.
+        assert isinstance(api.get_backend("cpu"), api.SkylakeCPUBackend)
+
+    def test_overwrite_replaces_and_can_be_restored(self):
+        original_factory = api.SkylakeCPUBackend
+
+        class FakeCPU(api.SkylakeCPUBackend):
+            pass
+
+        try:
+            api.register_backend("cpu", FakeCPU, overwrite=True)
+            assert isinstance(api.get_backend("cpu"), FakeCPU)
+        finally:
+            api.register_backend("cpu", original_factory, overwrite=True)
+        assert type(api.get_backend("cpu")) is api.SkylakeCPUBackend
+
+    def test_unregister_missing_key_is_a_noop(self):
+        api.unregister_backend("definitely-not-registered")
+        assert "definitely-not-registered" not in api.list_backends()
+
+    def test_factory_kwargs_errors_propagate(self):
+        with pytest.raises(TypeError):
+            api.get_backend("eyeriss", bogus_option=1)
+
+
+class TestExperimentRegistryErrorPaths:
+    def test_unknown_experiment_lists_known_keys(self):
+        with pytest.raises(ExperimentNotFoundError) as excinfo:
+            api.ExperimentRunner().run("fig99_nonexistent")
+        message = str(excinfo.value)
+        assert "fig99_nonexistent" in message
+        assert "fig9_cycles" in message
+
+    def test_duplicate_experiment_registration_raises(self):
+        spec = api.get_experiment("fig9_cycles")
+        with pytest.raises(DuplicateExperimentError):
+            api.register_experiment(spec)
+
+    def test_overwrite_reregisters_cleanly(self):
+        spec = api.get_experiment("fig9_cycles")
+        api.register_experiment(spec, overwrite=True)  # idempotent re-import path
+        assert api.get_experiment("fig9_cycles") is spec
+
+    def test_unregister_missing_experiment_is_a_noop(self):
+        api.unregister_experiment("never-registered")
+        assert "never-registered" not in api.list_experiments()
+
+
+#: Every legacy wrapper with parameters cheap enough for the tier-1 suite
+#: (fig5 trains models and is exercised by the evaluation tests instead).
+LEGACY_WRAPPERS = {
+    "run_fig2_dot_product_sweep": {"hash_lengths": (64,), "seeds": (0,)},
+    "run_fig8_cam_overhead": {"row_sizes": (64,), "word_sizes": (256,)},
+    "run_fig9_cycles": {"cam_rows": 64, "networks": ("lenet5",)},
+    "run_fig10_energy": {"cam_rows_list": (64,), "networks": ("lenet5",)},
+    "run_table1_setup": {},
+    "run_table2_pim_comparison": {"cam_rows": 64},
+    "run_headline_claims": {"cam_rows": 64},
+}
+
+
+class TestLegacyWrapperDeprecations:
+    @pytest.mark.parametrize("func_name", sorted(LEGACY_WRAPPERS))
+    def test_wrapper_warns_and_names_the_replacement(self, func_name):
+        wrapper = getattr(legacy, func_name)
+        experiment = func_name.removeprefix("run_")
+        with pytest.warns(DeprecationWarning, match="ExperimentRunner"):
+            wrapper(**LEGACY_WRAPPERS[func_name])
+        # The warning text must point at the registered replacement spec.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            wrapper(**LEGACY_WRAPPERS[func_name])
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert any(experiment in message for message in messages), messages
+
+    def test_wrapper_results_keep_their_historical_shapes(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sweep = legacy.run_fig2_dot_product_sweep(hash_lengths=(64,),
+                                                      seeds=(0,))
+            assert set(sweep) == {64}
+            fig8 = legacy.run_fig8_cam_overhead(row_sizes=(64,),
+                                                word_sizes=(256,))
+            assert isinstance(fig8, dict)
+            rows9 = legacy.run_fig9_cycles(cam_rows=64, networks=("lenet5",))
+            assert len(rows9) == 1 and rows9[0].network == "lenet5"
+            rows10 = legacy.run_fig10_energy(cam_rows_list=(64,),
+                                             networks=("lenet5",))
+            assert all(hasattr(row, "network") for row in rows10)
+            table2 = legacy.run_table2_pim_comparison(cam_rows=64)
+            assert isinstance(table2, list) and table2
+            headline = legacy.run_headline_claims(cam_rows=64)
+            assert isinstance(headline, dict)
+            assert headline  # non-empty claims mapping
+
+    def test_every_wrapper_resolves_to_a_registered_spec(self):
+        registered = set(api.list_experiments())
+        for func_name in LEGACY_WRAPPERS:
+            assert func_name.removeprefix("run_") in registered

@@ -1,0 +1,133 @@
+"""Degenerate-batch handling and the packed batch-search fast path."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import pack_bits
+from repro.cam.array import CamArray
+from repro.cam.dynamic import DynamicCam, DynamicCamConfig
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+
+
+@pytest.fixture
+def filled_array(rng):
+    array = CamArray(rows=24, word_bits=300)
+    array.write_rows(rng.integers(0, 2, size=(17, 300), dtype=np.uint8))
+    return array
+
+
+@pytest.fixture
+def filled_dynamic(rng):
+    cam = DynamicCam(DynamicCamConfig(rows=16))
+    cam.configure_word_bits(512)
+    cam.write_rows(rng.integers(0, 2, size=(11, 512), dtype=np.uint8))
+    return cam
+
+
+class TestEmptyBatches:
+    """An empty ``(0, k)`` query batch is a no-op, never an error."""
+
+    def test_cam_array_empty_batch_returns_zero_rows(self, filled_array):
+        distances, energy, latency = filled_array.search_batch(
+            np.zeros((0, 300), dtype=np.uint8))
+        assert distances.shape == (0, 24)
+        assert distances.dtype == np.int64
+        assert energy == 0.0
+        assert latency == 0
+        assert filled_array.search_count == 0
+
+    def test_cam_array_empty_batch_any_width(self, filled_array):
+        # Width validation is per-query work; an empty batch has no queries.
+        for width in (0, 1, 300, 999):
+            distances, energy, latency = filled_array.search_batch(
+                np.zeros((0, width), dtype=np.uint8))
+            assert distances.shape == (0, 24)
+
+    def test_cam_array_empty_packed_batch(self, filled_array):
+        distances, energy, latency = filled_array.search_batch_packed(
+            np.zeros((0, 5), dtype=np.uint64))
+        assert distances.shape == (0, 24)
+        assert energy == 0.0 and latency == 0
+
+    def test_dynamic_cam_empty_batch(self, filled_dynamic):
+        distances, energy, latency = filled_dynamic.search_batch(
+            np.zeros((0, 512), dtype=np.uint8))
+        assert distances.shape == (0, 16)
+        assert energy == 0.0 and latency == 0
+
+    def test_dynamic_cam_empty_packed_batch(self, filled_dynamic):
+        distances, energy, latency = filled_dynamic.search_batch_packed(
+            np.zeros((0, 8), dtype=np.uint64))
+        assert distances.shape == (0, 16)
+        assert energy == 0.0 and latency == 0
+
+    def test_one_dimensional_input_still_rejected(self, filled_array):
+        with pytest.raises(ValueError, match="2-D"):
+            filled_array.search_batch(np.zeros(300, dtype=np.uint8))
+        with pytest.raises(ValueError, match="2-D"):
+            filled_array.search_batch_packed(np.zeros(5, dtype=np.uint64))
+
+
+class TestPackedBatchSearch:
+    """``search_batch_packed`` == ``search_batch`` on pre-packed queries."""
+
+    def test_cam_array_packed_matches_bit_path(self, filled_array, rng):
+        queries = rng.integers(0, 2, size=(9, 300), dtype=np.uint8)
+        bit_result = filled_array.search_batch(queries)
+        packed_result = filled_array.search_batch_packed(pack_bits(queries))
+        assert np.array_equal(bit_result[0], packed_result[0])
+        assert bit_result[1] == pytest.approx(packed_result[1])
+        assert bit_result[2] == packed_result[2]
+
+    def test_packed_path_counts_searches_and_energy(self, filled_array, rng):
+        queries = pack_bits(rng.integers(0, 2, size=(4, 300), dtype=np.uint8))
+        before = filled_array.search_count
+        _, energy, latency = filled_array.search_batch_packed(queries)
+        assert filled_array.search_count == before + 4
+        assert energy == pytest.approx(4 * filled_array.search_energy_pj())
+        assert latency == 4 * filled_array.search_latency_cycles
+
+    def test_packed_word_count_is_validated(self, filled_array):
+        with pytest.raises(ValueError, match="words"):
+            filled_array.search_batch_packed(np.zeros((3, 4), dtype=np.uint64))
+
+    def test_packed_matches_noisy_sense_amp_stream(self, rng):
+        # The packed path must reuse the exact same sense-amp read-out, so
+        # even a noisy amplifier yields identical results for identical
+        # construction seeds.
+        def build():
+            array = CamArray(
+                rows=12, word_bits=128,
+                sense_amp=ClockedSelfReferencedSenseAmp(
+                    word_bits=128, timing_noise_sigma_ps=40.0, seed=11))
+            array.write_rows(stored)
+            return array
+
+        stored = rng.integers(0, 2, size=(12, 128), dtype=np.uint8)
+        queries = rng.integers(0, 2, size=(6, 128), dtype=np.uint8)
+        bit_result = build().search_batch(queries)
+        packed_result = build().search_batch_packed(pack_bits(queries))
+        assert np.array_equal(bit_result[0], packed_result[0])
+
+    def test_dynamic_cam_packed_matches_bit_path(self, filled_dynamic, rng):
+        queries = rng.integers(0, 2, size=(7, 512), dtype=np.uint8)
+        bit_result = filled_dynamic.search_batch(queries)
+        packed = pack_bits(queries)
+        assert packed.shape[1] == 8  # active width 512 -> 8 words
+        packed_result = filled_dynamic.search_batch_packed(packed)
+        assert np.array_equal(bit_result[0], packed_result[0])
+        assert bit_result[1] == pytest.approx(packed_result[1])
+        assert bit_result[2] == packed_result[2]
+
+    def test_dynamic_cam_packed_rejects_wrong_word_count(self, filled_dynamic):
+        with pytest.raises(ValueError, match="active"):
+            filled_dynamic.search_batch_packed(np.zeros((2, 16), dtype=np.uint64))
+
+    def test_dynamic_cam_packed_energy_scales_with_active_fraction(self, rng):
+        cam = DynamicCam(DynamicCamConfig(rows=8))
+        cam.configure_word_bits(256)
+        cam.write_rows(rng.integers(0, 2, size=(8, 256), dtype=np.uint8))
+        queries = pack_bits(rng.integers(0, 2, size=(3, 256), dtype=np.uint8))
+        _, energy, _ = cam.search_batch_packed(queries)
+        full_energy = cam._array.search_energy_pj() * 3
+        assert energy == pytest.approx(full_energy * 256 / 1024)

@@ -1,0 +1,96 @@
+"""Tests for the serve config and the size/time micro-batch drain."""
+
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, ServeRequest, drain_batch
+
+
+def make_request(value=0.0):
+    return ServeRequest(sample=np.array([value]))
+
+
+class TestServeConfig:
+    def test_defaults_are_valid(self):
+        config = ServeConfig()
+        assert config.max_batch == 64
+        assert config.full_policy == "block"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_wait_ms": -1.0},
+        {"queue_depth": 0},
+        {"num_workers": 0},
+        {"cache_capacity": -1},
+        {"full_policy": "drop"},
+        {"poll_timeout_ms": 0.0},
+    ])
+    def test_invalid_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+    def test_batch_one_is_allowed(self):
+        assert ServeConfig(max_batch=1).max_batch == 1
+
+
+class TestDrainBatch:
+    def test_empty_queue_times_out_to_empty_batch(self):
+        q = queue.Queue()
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=8, max_wait_s=0.5, first_timeout_s=0.01)
+        assert batch == []
+        assert time.perf_counter() - start < 0.4  # waited only the poll
+
+    def test_flushes_on_size_before_time(self):
+        q = queue.Queue()
+        for _ in range(10):
+            q.put(make_request())
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=4, max_wait_s=5.0, first_timeout_s=1.0)
+        assert len(batch) == 4
+        assert time.perf_counter() - start < 1.0  # never waited for the clock
+        assert q.qsize() == 6
+
+    def test_flushes_on_time_with_partial_batch(self):
+        q = queue.Queue()
+        q.put(make_request())
+        q.put(make_request())
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=64, max_wait_s=0.05, first_timeout_s=1.0)
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 2
+        assert 0.03 <= elapsed < 0.5
+
+    def test_zero_wait_takes_only_what_is_queued(self):
+        q = queue.Queue()
+        for _ in range(3):
+            q.put(make_request())
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=8, max_wait_s=0.0, first_timeout_s=1.0)
+        assert len(batch) == 3
+        assert time.perf_counter() - start < 0.2
+
+    def test_late_arrivals_within_window_join_the_batch(self):
+        q = queue.Queue()
+        q.put(make_request(1.0))
+
+        def late_producer():
+            time.sleep(0.02)
+            q.put(make_request(2.0))
+
+        thread = threading.Thread(target=late_producer)
+        thread.start()
+        batch = drain_batch(q, max_batch=8, max_wait_s=0.3, first_timeout_s=1.0)
+        thread.join()
+        assert len(batch) == 2
+
+    def test_preserves_fifo_order(self):
+        q = queue.Queue()
+        for value in range(5):
+            q.put(make_request(float(value)))
+        batch = drain_batch(q, max_batch=5, max_wait_s=1.0, first_timeout_s=1.0)
+        assert [request.sample[0] for request in batch] == [0.0, 1.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,135 @@
+"""Tests for the packed-signature LRU result cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import CacheStats, PackedSignatureCache, signature_key
+
+
+class TestSignatureKey:
+    def test_key_is_word_bytes_plus_extra(self):
+        words = np.array([1, 2], dtype=np.uint64)
+        key = signature_key(words, b"norm")
+        assert key == words.tobytes() + b"norm"
+
+    def test_distinct_signatures_distinct_keys(self, rng):
+        a = rng.integers(0, 2**63, size=4, dtype=np.uint64)
+        b = a.copy()
+        b[-1] ^= np.uint64(1)
+        assert signature_key(a) != signature_key(b)
+
+    def test_extra_disambiguates_equal_signatures(self):
+        words = np.arange(3, dtype=np.uint64)
+        assert signature_key(words, b"a") != signature_key(words, b"b")
+
+
+class TestLruBehavior:
+    def test_miss_then_hit_roundtrip(self):
+        cache = PackedSignatureCache(capacity=4)
+        row = np.array([1.0, 2.0])
+        assert cache.get(b"k") is None
+        cache.put(b"k", row)
+        hit = cache.get(b"k")
+        assert np.array_equal(hit, row)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_stored_rows_are_read_only_copies(self):
+        cache = PackedSignatureCache(capacity=2)
+        row = np.array([1.0, 2.0])
+        cache.put(b"k", row)
+        row[0] = 99.0  # mutating the original must not corrupt the cache
+        hit = cache.get(b"k")
+        assert hit[0] == 1.0
+        assert not hit.flags.writeable
+        with pytest.raises(ValueError):
+            hit[0] = 5.0
+
+    def test_readonly_input_is_stored_without_copy(self):
+        cache = PackedSignatureCache(capacity=2)
+        row = np.array([3.0, 4.0])
+        row.flags.writeable = False
+        cache.put(b"k", row)
+        assert cache.get(b"k") is row
+
+    def test_eviction_is_least_recently_used(self):
+        cache = PackedSignatureCache(capacity=2)
+        cache.put(b"a", np.array([1.0]))
+        cache.put(b"b", np.array([2.0]))
+        assert cache.get(b"a") is not None  # refresh a; b is now LRU
+        cache.put(b"c", np.array([3.0]))
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") is not None
+        assert cache.get(b"c") is not None
+        assert cache.stats().evictions == 1
+
+    def test_put_existing_key_updates_and_refreshes(self):
+        cache = PackedSignatureCache(capacity=2)
+        cache.put(b"a", np.array([1.0]))
+        cache.put(b"b", np.array([2.0]))
+        cache.put(b"a", np.array([9.0]))  # refresh + replace
+        cache.put(b"c", np.array([3.0]))  # evicts b
+        assert cache.get(b"b") is None
+        assert cache.get(b"a")[0] == 9.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PackedSignatureCache(capacity=0)
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"a", np.array([1.0]))
+        cache.get(b"a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_get_many_preserves_order(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"a", np.array([1.0]))
+        results = cache.get_many([b"a", b"missing", b"a"])
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+
+    def test_contains_and_len(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"a", np.array([1.0]))
+        assert b"a" in cache and b"b" not in cache
+        assert len(cache) == 1
+
+
+class TestConcurrency:
+    def test_parallel_put_get_is_consistent(self):
+        cache = PackedSignatureCache(capacity=64)
+        errors = []
+
+        def worker(tag):
+            try:
+                for index in range(200):
+                    key = f"{tag}-{index % 32}".encode()
+                    cache.put(key, np.array([float(index)]))
+                    hit = cache.get(key)
+                    assert hit is None or hit.shape == (1,)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+
+
+class TestCacheStats:
+    def test_hit_rate_and_to_dict(self):
+        stats = CacheStats(capacity=8, size=2, hits=3, misses=1, evictions=0)
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.to_dict()["hit_rate"] == pytest.approx(0.75)
+
+    def test_zero_lookup_hit_rate_is_zero(self):
+        stats = CacheStats(capacity=8, size=0, hits=0, misses=0, evictions=0)
+        assert stats.hit_rate == 0.0

@@ -1,0 +1,167 @@
+"""Tests for the serving engines (CAM pipeline + generic backend adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import RandomProjectionHasher, hamming_distance_matrix
+from repro.core.minifloat import MINIFLOAT8
+from repro.hw.cosine_unit import CosineUnit
+from repro.serve import (
+    BackendEngine,
+    CamPipelineEngine,
+    InferenceEngine,
+    PreparedBatch,
+    build_demo_engine,
+    demo_queries,
+)
+
+
+@pytest.fixture
+def engine(rng):
+    prototypes = rng.standard_normal((8, 32))
+    return CamPipelineEngine(prototypes, hash_length=128, seed=5)
+
+
+class TestCamPipelineEngine:
+    def test_satisfies_engine_protocol(self, engine):
+        assert isinstance(engine, InferenceEngine)
+
+    def test_logits_match_manual_pipeline(self, rng):
+        prototypes = rng.standard_normal((6, 24))
+        engine = CamPipelineEngine(prototypes, hash_length=256, seed=9)
+        queries = rng.standard_normal((5, 24))
+        logits = engine.execute(engine.prepare(queries))
+
+        hasher = RandomProjectionHasher(24, 256, seed=9)
+        distances = hamming_distance_matrix(hasher.hash_batch(queries),
+                                            hasher.hash_batch(prototypes))
+        thetas = np.pi * distances / 256
+        cosines = np.asarray(CosineUnit()(thetas.ravel())).reshape(thetas.shape)
+        expected = (np.linalg.norm(queries, axis=1)[:, None]
+                    * np.linalg.norm(prototypes, axis=1)[None, :]
+                    * cosines)
+        assert np.allclose(logits, expected)
+
+    def test_execute_is_deterministic_and_batch_invariant(self, engine, rng):
+        queries = rng.standard_normal((12, 32))
+        full = engine.execute(engine.prepare(queries))
+        again = engine.execute(engine.prepare(queries))
+        assert np.array_equal(full, again)
+        # A row computed inside a different batch composition is identical.
+        subset = engine.execute(engine.prepare(queries[3:7]))
+        assert np.array_equal(subset, full[3:7])
+
+    def test_prepare_produces_stable_unique_keys(self, engine, rng):
+        queries = rng.standard_normal((6, 32))
+        prepared = engine.prepare(queries)
+        assert len(prepared.keys) == 6
+        assert len(set(prepared.keys)) == 6  # random queries: all distinct
+        assert prepared.keys == engine.prepare(queries).keys
+        # Same signature bits + same norm => same key regardless of identity.
+        assert engine.prepare(queries[:1]).keys[0] == prepared.keys[0]
+
+    def test_want_keys_false_skips_key_construction(self, engine, rng):
+        queries = rng.standard_normal((4, 32))
+        prepared = engine.prepare(queries, want_keys=False)
+        assert prepared.keys is None
+        # Execution is unaffected by the missing keys.
+        assert np.array_equal(engine.execute(prepared),
+                              engine.execute(engine.prepare(queries)))
+
+    def test_different_prototypes_never_share_keys(self, rng):
+        queries = rng.standard_normal((3, 16))
+        one = CamPipelineEngine(rng.standard_normal((4, 16)), hash_length=64,
+                                seed=2)
+        two = CamPipelineEngine(rng.standard_normal((4, 16)), hash_length=64,
+                                seed=2)
+        assert not set(one.prepare(queries).keys) & set(two.prepare(queries).keys)
+
+    def test_prepared_select_aligns_all_fields(self, engine, rng):
+        prepared = engine.prepare(rng.standard_normal((8, 32)))
+        subset = prepared.select([1, 4, 6])
+        assert subset.size == 3
+        assert subset.keys == (prepared.keys[1], prepared.keys[4], prepared.keys[6])
+        assert np.array_equal(subset.packed_words, prepared.packed_words[[1, 4, 6]])
+        assert np.array_equal(subset.norms, prepared.norms[[1, 4, 6]])
+        assert np.array_equal(subset.queries, prepared.queries[[1, 4, 6]])
+
+    def test_empty_batch_executes_to_zero_rows(self, engine):
+        prepared = engine.prepare(np.empty((0, 32)))
+        assert prepared.size == 0
+        logits = engine.execute(prepared)
+        assert logits.shape == (0, 8)
+
+    def test_input_dim_is_validated(self, engine):
+        with pytest.raises(ValueError, match="shape"):
+            engine.prepare(np.zeros((2, 33)))
+
+    def test_rows_must_fit_prototypes(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            CamPipelineEngine(rng.standard_normal((8, 16)), rows=4)
+
+    def test_extra_rows_stay_unpopulated(self, rng):
+        engine = CamPipelineEngine(rng.standard_normal((4, 16)),
+                                   hash_length=64, rows=10)
+        logits = engine.execute(engine.prepare(rng.standard_normal((3, 16))))
+        assert logits.shape == (3, 4)  # only prototype rows are reported
+
+    def test_norm_quantization_changes_keys(self, rng):
+        prototypes = rng.standard_normal((4, 16))
+        exact = CamPipelineEngine(prototypes, hash_length=64, seed=1)
+        quantized = CamPipelineEngine(prototypes, hash_length=64, seed=1,
+                                      quantize_norms=MINIFLOAT8)
+        queries = rng.standard_normal((2, 16))
+        assert exact.prepare(queries).keys != quantized.prepare(queries).keys
+
+    def test_stats_counts_served_queries(self, engine, rng):
+        engine.execute(engine.prepare(rng.standard_normal((5, 32))))
+        stats = engine.stats()
+        assert stats["queries_served"] == 5
+        assert stats["cam_search_count"] == 5
+        assert stats["cam_search_energy_pj"] > 0
+
+
+class _DotBackend:
+    """Minimal Backend-protocol stand-in: logits = batch @ weights."""
+
+    name = "dot"
+
+    def __init__(self, weights):
+        self.weights = weights
+
+    def infer(self, model, batch):
+        return np.asarray(batch) @ self.weights
+
+
+class TestBackendEngine:
+    def test_execute_routes_through_backend_infer(self, rng):
+        weights = rng.standard_normal((10, 3))
+        engine = BackendEngine(_DotBackend(weights), model=None)
+        queries = rng.standard_normal((4, 10))
+        logits = engine.execute(engine.prepare(queries))
+        assert np.allclose(logits, queries @ weights)
+        assert engine.name == "backend/dot"
+
+    def test_keys_are_exact_content_digests(self, rng):
+        engine = BackendEngine(_DotBackend(rng.standard_normal((4, 2))), None)
+        queries = rng.standard_normal((3, 4))
+        prepared = engine.prepare(queries)
+        assert len(set(prepared.keys)) == 3
+        # Identical content -> identical key; one flipped bit -> different.
+        assert engine.prepare(queries[:1]).keys[0] == prepared.keys[0]
+        nudged = queries[:1].copy()
+        nudged[0, 0] = np.nextafter(nudged[0, 0], np.inf)
+        assert engine.prepare(nudged).keys[0] != prepared.keys[0]
+
+
+class TestDemoHelpers:
+    def test_build_demo_engine_is_reproducible(self):
+        first = build_demo_engine(classes=4, input_dim=16, hash_length=64, seed=3)
+        second = build_demo_engine(classes=4, input_dim=16, hash_length=64, seed=3)
+        queries = demo_queries(first, 5, seed=8)
+        assert np.array_equal(first.execute(first.prepare(queries)),
+                              second.execute(second.prepare(queries)))
+
+    def test_demo_queries_match_engine_dim(self):
+        engine = build_demo_engine(classes=4, input_dim=16, hash_length=64)
+        assert demo_queries(engine, 7).shape == (7, 16)

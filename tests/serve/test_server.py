@@ -1,0 +1,440 @@
+"""Tests for the micro-batching server, client facade, metrics and observers."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    MicroBatchServer,
+    PackedSignatureCache,
+    QueueFullError,
+    RecordingObserver,
+    ServeClient,
+    ServeConfig,
+    ServeMetrics,
+    build_demo_engine,
+    demo_queries,
+    notify_all,
+)
+
+
+def small_engine(seed=0):
+    return build_demo_engine(classes=8, input_dim=32, hash_length=128, seed=seed)
+
+
+def small_config(**overrides):
+    defaults = dict(max_batch=16, max_wait_ms=5.0, queue_depth=256,
+                    cache_capacity=512)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestServingCorrectness:
+    def test_served_rows_match_direct_execution(self, rng):
+        engine = small_engine()
+        reference_engine = small_engine()
+        queries = demo_queries(engine, 100, seed=4)
+        reference = reference_engine.execute(reference_engine.prepare(queries))
+        with MicroBatchServer(engine, config=small_config()) as server:
+            futures = [server.submit(query) for query in queries]
+            served = np.stack([future.result(30) for future in futures])
+        assert np.array_equal(served, reference)
+
+    def test_responses_are_read_only(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config()) as server:
+            row = server.submit(demo_queries(engine, 1)[0]).result(30)
+        assert not row.flags.writeable
+
+    def test_cached_responses_are_bit_identical_to_fresh(self):
+        engine = small_engine()
+        query = demo_queries(engine, 1, seed=9)[0]
+        with MicroBatchServer(engine, config=small_config()) as server:
+            fresh = server.submit(query).result(30)
+            cached = server.submit(query).result(30)
+            stats = server.stats()
+        assert stats["cache"]["hits"] == 1
+        assert np.array_equal(fresh, cached)
+
+    def test_mixed_hit_miss_batches_merge_correctly(self, rng):
+        engine = small_engine()
+        queries = demo_queries(engine, 24, seed=1)
+        with MicroBatchServer(engine, config=small_config()) as server:
+            first = np.stack([f.result(30) for f in server.submit_many(queries[:12])])
+            # Second wave interleaves cached (first 12) and new queries.
+            wave = np.concatenate([queries[:12], queries[12:]])
+            second = np.stack([f.result(30) for f in server.submit_many(wave)])
+            stats = server.stats()
+        assert np.array_equal(second[:12], first)
+        assert stats["cache"]["hits"] >= 12
+
+    def test_duplicate_queries_in_one_batch_execute_once(self):
+        engine = small_engine()
+        query = demo_queries(engine, 1, seed=7)[0]
+        # 16 copies of one query submitted together coalesce into one batch;
+        # the engine must see the distinct query exactly once.
+        with MicroBatchServer(engine, config=small_config(max_batch=16,
+                                                          max_wait_ms=50.0)) as server:
+            futures = server.submit_many([query] * 16)
+            rows = [future.result(30) for future in futures]
+            stats = server.stats()
+        assert stats["engine"]["queries_served"] == 1
+        assert all(np.array_equal(row, rows[0]) for row in rows)
+
+    def test_multiworker_engine_counters_stay_exact(self):
+        engine = small_engine()
+        queries = demo_queries(engine, 120, seed=8)
+        config = small_config(num_workers=4, max_batch=4, cache_capacity=0)
+        with MicroBatchServer(engine, config=config) as server:
+            for future in server.submit_many(queries):
+                future.result(30)
+        assert engine.stats()["queries_served"] == 120
+        assert engine.stats()["cam_search_count"] == 120
+
+    def test_cache_disabled_still_serves(self):
+        engine = small_engine()
+        queries = demo_queries(engine, 10)
+        with MicroBatchServer(engine,
+                              config=small_config(cache_capacity=0)) as server:
+            rows = [f.result(30) for f in server.submit_many(queries)]
+            assert server.cache is None
+            assert server.stats()["cache"]["hits"] == 0
+        assert len(rows) == 10
+
+    def test_shared_cache_instance_across_servers(self):
+        cache = PackedSignatureCache(capacity=64)
+        engine = small_engine()
+        query = demo_queries(engine, 1, seed=2)[0]
+        with MicroBatchServer(engine, config=small_config(),
+                              cache=cache) as server:
+            server.submit(query).result(30)
+        with MicroBatchServer(small_engine(), config=small_config(),
+                              cache=cache) as server:
+            server.submit(query).result(30)
+            assert server.stats()["cache"]["hits"] == 1
+
+    def test_shared_cache_never_aliases_different_engines(self):
+        # Same query, same hasher geometry/seed, but different prototypes:
+        # a shared cache must not return engine A's logits for engine B.
+        cache = PackedSignatureCache(capacity=64)
+        engine_a = small_engine(seed=0)
+        engine_b = small_engine(seed=1)  # different prototypes
+        query = demo_queries(engine_a, 1, seed=2)[0]
+        with MicroBatchServer(engine_a, config=small_config(),
+                              cache=cache) as server:
+            row_a = server.submit(query).result(30)
+        with MicroBatchServer(engine_b, config=small_config(),
+                              cache=cache) as server:
+            row_b = server.submit(query).result(30)
+            assert server.stats()["cache"]["hits"] == 0
+        assert not np.array_equal(row_a, row_b)
+
+    def test_malformed_sample_is_rejected_at_submit(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config()) as server:
+            with pytest.raises(ValueError, match="shape"):
+                server.submit(np.zeros(33))  # engine input_dim is 32
+            with pytest.raises(ValueError, match="shape"):
+                server.submit(np.zeros((2, 32)))
+            # Innocent co-batched requests are unaffected.
+            row = server.submit(demo_queries(engine, 1)[0]).result(30)
+        assert row.shape == (8,)
+
+    def test_cache_off_skips_key_construction(self):
+        engine = small_engine()
+        seen = []
+        original = engine.prepare
+        engine.prepare = lambda q, want_keys=True: (
+            seen.append(want_keys) or original(q, want_keys=want_keys))
+        with MicroBatchServer(engine,
+                              config=small_config(cache_capacity=0)) as server:
+            server.submit(demo_queries(engine, 1)[0]).result(30)
+        assert seen == [False]
+
+
+class TestLifecycleAndBackpressure:
+    def test_submit_before_start_raises(self):
+        server = MicroBatchServer(small_engine(), config=small_config())
+        with pytest.raises(RuntimeError, match="not running"):
+            server.submit(np.zeros(32))
+
+    def test_double_start_raises(self):
+        server = MicroBatchServer(small_engine(), config=small_config())
+        server.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_restartable(self):
+        engine = small_engine()
+        server = MicroBatchServer(engine, config=small_config())
+        server.start()
+        server.stop()
+        server.stop()  # no-op
+        server.start()  # restart on the same queue
+        try:
+            row = server.submit(demo_queries(engine, 1)[0]).result(30)
+            assert row.shape == (8,)
+        finally:
+            server.stop()
+
+    def test_reject_policy_raises_queue_full(self):
+        engine = small_engine()
+        # A tiny queue with a huge poll keeps workers asleep long enough
+        # for the producer to overrun it deterministically.
+        config = ServeConfig(max_batch=4, max_wait_ms=1.0, queue_depth=2,
+                             num_workers=1, full_policy="reject",
+                             poll_timeout_ms=10_000.0, cache_capacity=0)
+        server = MicroBatchServer(engine, config=config)
+        # Do not start the workers: the queue can only fill.
+        server._running = True  # submit guard only; workers stay down
+        try:
+            queries = demo_queries(engine, 3)
+            server.submit(queries[0])
+            server.submit(queries[1])
+            with pytest.raises(QueueFullError):
+                server.submit(queries[2])
+            assert server.metrics.snapshot()["requests"]["rejected"] == 1
+        finally:
+            server._running = False
+            server._flush_queue(RuntimeError("test teardown"))
+
+    def test_block_policy_waits_for_capacity(self):
+        engine = small_engine()
+        config = small_config(queue_depth=8, full_policy="block")
+        with MicroBatchServer(engine, config=config) as server:
+            futures = server.submit_many(demo_queries(engine, 64))
+            for future in futures:
+                future.result(30)
+        assert len(futures) == 64
+
+    def test_stop_without_drain_fails_pending(self):
+        engine = small_engine()
+        config = ServeConfig(max_batch=4, max_wait_ms=1.0, queue_depth=64,
+                             poll_timeout_ms=10_000.0, cache_capacity=0)
+        server = MicroBatchServer(engine, config=config)
+        server._running = True  # enqueue without workers
+        futures = server.submit_many(demo_queries(engine, 5))
+        server._running = False
+        server._stop_event.set()
+        server._flush_queue(RuntimeError("server stopped before serving"))
+        server._stop_event.clear()
+        for future in futures:
+            with pytest.raises(RuntimeError, match="stopped"):
+                future.result(1)
+
+    def test_context_manager_drains_on_clean_exit(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config()) as server:
+            futures = server.submit_many(demo_queries(engine, 40))
+        # After exit every future is resolved even if never awaited inside.
+        assert all(future.done() for future in futures)
+
+    def test_multiple_workers_serve_everything(self):
+        engine = small_engine()
+        reference_engine = small_engine()
+        queries = demo_queries(engine, 80, seed=3)
+        reference = reference_engine.execute(reference_engine.prepare(queries))
+        config = small_config(num_workers=3, max_batch=8)
+        with MicroBatchServer(engine, config=config) as server:
+            served = np.stack([f.result(30)
+                               for f in server.submit_many(queries)])
+        assert np.array_equal(served, reference)
+
+
+class TestFailureIsolation:
+    class _FlakyEngine:
+        """Fails whole batches whenever a poison sample is present."""
+
+        name = "flaky"
+        output_dim = 1
+
+        def prepare(self, queries):
+            from repro.serve import PreparedBatch
+            return PreparedBatch(queries=np.asarray(queries, dtype=np.float64))
+
+        def execute(self, prepared):
+            if np.any(prepared.queries > 1e6):
+                raise ValueError("poison sample")
+            return prepared.queries.sum(axis=1, keepdims=True)
+
+    def test_failed_batch_fails_its_futures_and_server_survives(self):
+        config = ServeConfig(max_batch=4, max_wait_ms=1.0, queue_depth=64,
+                             cache_capacity=0)
+        with MicroBatchServer(self._FlakyEngine(), config=config) as server:
+            poisoned = server.submit(np.full(4, 1e9))
+            with pytest.raises(ValueError, match="poison"):
+                poisoned.result(30)
+            healthy = server.submit(np.ones(4))
+            assert healthy.result(30)[0] == pytest.approx(4.0)
+            stats = server.stats()
+        assert stats["requests"]["failed"] >= 1
+        assert stats["requests"]["completed"] >= 1
+
+
+class TestObserversAndMetrics:
+    def test_recording_observer_sees_the_event_flow(self):
+        engine = small_engine()
+        recorder = RecordingObserver()
+        with MicroBatchServer(engine, config=small_config(),
+                              observers=(recorder,)) as server:
+            for future in server.submit_many(demo_queries(engine, 6)):
+                future.result(30)
+        names = recorder.names()
+        assert names[0] == "server_started"
+        assert names[-1] == "server_stopped"
+        for expected in ("request_enqueued", "batch_collected",
+                         "batch_completed", "request_completed"):
+            assert expected in names
+        total_batched = sum(args[0] for args in recorder.of("batch_completed"))
+        assert total_batched == 6
+
+    def test_broken_observer_does_not_break_serving(self, capsys):
+        class Broken:
+            def batch_completed(self, *args):
+                raise RuntimeError("observer bug")
+
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config(),
+                              observers=(Broken(),)) as server:
+            row = server.submit(demo_queries(engine, 1)[0]).result(30)
+        assert row.shape == (8,)
+
+    def test_metrics_snapshot_shape(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config()) as server:
+            for future in server.submit_many(demo_queries(engine, 20)):
+                future.result(30)
+            snapshot = server.stats()
+        assert snapshot["requests"]["completed"] == 20
+        assert snapshot["batches"]["count"] >= 1
+        assert sum(size * count for size, count
+                   in snapshot["batches"]["size_histogram"].items()) == 20
+        assert snapshot["latency_ms"]["p99"] >= snapshot["latency_ms"]["p50"] >= 0
+        assert snapshot["throughput_rps"] > 0
+        assert snapshot["engine_name"] == "cam_pipeline"
+        assert snapshot["config"]["max_batch"] == 16
+
+    def test_batch_size_histogram_respects_max_batch(self):
+        engine = small_engine()
+        config = small_config(max_batch=8)
+        with MicroBatchServer(engine, config=config) as server:
+            for future in server.submit_many(demo_queries(engine, 50)):
+                future.result(30)
+            histogram = server.stats()["batches"]["size_histogram"]
+        assert max(histogram) <= 8
+
+    def test_notify_all_skips_missing_hooks(self):
+        class Partial:
+            def batch_completed(self, *args):
+                self.seen = args
+
+        partial = Partial()
+        notify_all((partial,), "request_enqueued", 3)  # no such hook: skipped
+        notify_all((partial,), "batch_completed", 4, 1, 3, 0.5)
+        assert partial.seen == (4, 1, 3, 0.5)
+
+    def test_throughput_accumulates_across_restarts(self):
+        # A restart must not divide lifetime completions by only the most
+        # recent run's elapsed time.
+        metrics = ServeMetrics()
+        metrics.server_started(None)
+        time.sleep(0.05)
+        for _ in range(100):
+            metrics.request_completed(1.0)
+        metrics.server_stopped({})
+        metrics.server_started(None)
+        metrics.server_stopped({})
+        snapshot = metrics.snapshot()
+        assert snapshot["elapsed_s"] >= 0.05
+        assert snapshot["throughput_rps"] <= 100 / 0.05
+
+    def test_serve_metrics_reservoir_bounds_memory(self):
+        metrics = ServeMetrics(reservoir=10)
+        for index in range(100):
+            metrics.request_completed(float(index))
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["completed"] == 100
+        assert snapshot["latency_ms"]["max"] == 99.0  # newest samples kept
+
+
+class TestServeClient:
+    def test_client_owns_engine_lifecycle(self):
+        engine = small_engine()
+        client = ServeClient(engine, config=small_config())
+        try:
+            logits = client.infer(demo_queries(engine, 1)[0])
+            assert logits.shape == (8,)
+        finally:
+            client.close()
+        assert not client.server.running
+
+    def test_infer_many_stacks_results(self):
+        engine = small_engine()
+        with ServeClient(engine, config=small_config()) as client:
+            logits = client.infer_many(demo_queries(engine, 9))
+        assert logits.shape == (9, 8)
+
+    def test_infer_many_empty_is_free(self):
+        engine = small_engine()
+        with ServeClient(engine, config=small_config()) as client:
+            logits = client.infer_many([])
+            assert logits.shape == (0, 8)
+            assert client.stats()["requests"]["enqueued"] == 0
+
+    def test_attached_server_lifecycle_stays_external(self):
+        engine = small_engine()
+        server = MicroBatchServer(engine, config=small_config()).start()
+        try:
+            with ServeClient(server=server) as client:
+                client.infer(demo_queries(engine, 1)[0])
+            assert server.running  # client.close() must not stop it
+        finally:
+            server.stop()
+
+    def test_engine_and_server_are_mutually_exclusive(self):
+        engine = small_engine()
+        server = MicroBatchServer(engine, config=small_config()).start()
+        try:
+            with pytest.raises(ValueError):
+                ServeClient(engine=engine, server=server)
+            with pytest.raises(ValueError):
+                ServeClient()
+        finally:
+            server.stop()
+
+    def test_concurrent_clients_share_one_server(self):
+        engine = small_engine()
+        reference_engine = small_engine()
+        queries = demo_queries(engine, 40, seed=6)
+        reference = reference_engine.execute(reference_engine.prepare(queries))
+        results = {}
+        errors = []
+        server = MicroBatchServer(engine, config=small_config()).start()
+
+        def call(tag, chunk, offset):
+            try:
+                client = ServeClient(server=server)
+                results[tag] = (offset, client.infer_many(chunk))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        try:
+            threads = [
+                threading.Thread(target=call, args=(t, queries[t * 10:(t + 1) * 10],
+                                                    t * 10))
+                for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            server.stop()
+        assert not errors
+        for offset, served in results.values():
+            assert np.array_equal(served, reference[offset:offset + 10])
