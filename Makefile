@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke bench bench-quick bench-paper
 
-check: smoke test serve-smoke
+check: smoke test serve-smoke shard-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -16,7 +16,14 @@ test:
 serve-smoke:
 	$(PYTHON) scripts/loadgen.py --quick
 
-# Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json.
+# Sharded serving smoke: the same scenarios through a replica-routed
+# ShardedEngine cluster, verified against the unsharded reference --
+# the end-to-end proof that scatter-gather never changes a response.
+shard-smoke:
+	$(PYTHON) scripts/loadgen.py --quick --engine sharded --shards 4 --replicas 2
+
+# Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json
+# (kernels, e2e, serving and shard-scaling suites).
 bench:
 	$(PYTHON) scripts/bench.py
 

@@ -38,6 +38,7 @@ from repro.api.bench import (  # noqa: E402  (path bootstrap above)
     kernel_microbench,
     run_paper_benchmarks,
     serve_benchmarks,
+    shard_benchmarks,
     write_bench_report,
 )
 
@@ -86,6 +87,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] serving workloads ({mode})")
     serve_records, serve_summary = serve_benchmarks(quick=args.quick)
     e2e_records.extend(serve_records)
+    print(f"[bench] sharded serving workloads ({mode})")
+    shard_records, shard_summary = shard_benchmarks(quick=args.quick)
+    e2e_records.extend(shard_records)
     if not args.skip_paper:
         files = list(QUICK_PAPER_FILES) if args.quick else None
         max_time = 0.2 if args.quick else 0.5
@@ -95,7 +99,8 @@ def main(argv: list[str] | None = None) -> int:
                                                 max_time_s=max_time))
     e2e_path = args.out_dir / "BENCH_e2e.json"
     write_bench_report(e2e_path, e2e_records, environment,
-                       extra={"mode": mode, "serve": serve_summary})
+                       extra={"mode": mode, "serve": serve_summary,
+                              "shard": shard_summary})
     for record in e2e_records:
         if record.group in ("e2e", "serve"):
             print(f"[bench]   {record.name}: median {record.median_s * 1e3:.2f} ms")
@@ -103,6 +108,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[bench]   serve throughput {name}: {rps:,.0f} req/s")
     print(f"[bench]   serve zipf cache hit rate: "
           f"{serve_summary['zipf_cache_hit_rate']:.2f}")
+    for name, rps in shard_summary["scaling_throughput_rps"].items():
+        print(f"[bench]   shard scaling {name}: {rps:,.0f} req/s")
+    for name, rps in shard_summary["throughput_rps"].items():
+        print(f"[bench]   shard throughput {name}: {rps:,.0f} req/s")
     print(f"[bench] wrote {e2e_path}")
 
     # -- acceptance gates -----------------------------------------------------
@@ -120,6 +129,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{serve_acceptance['speedup']:.1f}x "
           f"(required >= {serve_acceptance['min_required_speedup']}x) -> {verdict}")
     failed = failed or not serve_acceptance["passed"]
+    shard_acceptance = shard_summary["acceptance"]
+    verdict = "PASS" if shard_acceptance["passed"] else "FAIL"
+    print(f"[bench] shard acceptance {shard_acceptance['workload']}: "
+          f"{shard_acceptance['speedup']:.1f}x "
+          f"(required >= {shard_acceptance['min_required_speedup']}x) -> {verdict}")
+    failed = failed or not shard_acceptance["passed"]
     return 1 if failed else 0
 
 

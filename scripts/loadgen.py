@@ -11,18 +11,31 @@ p50/p99 latency, cache hit rate):
   idle gaps: exercises the time-flush trigger on the trailing partial
   batches;
 * ``zipf``    -- queries drawn from a ``--pool`` of distinct vectors with
-  Zipf(``--zipf-alpha``) popularity: exercises the packed-signature cache.
+  Zipf(``--zipf-alpha``) popularity: exercises the packed-signature cache;
+* ``cache_busting`` -- a hot working set interleaved with floods of
+  one-shot unique queries, served twice: once with plain LRU (the hit rate
+  collapses -- every flood evicts the hot set) and once with the
+  doorkeeper admission policy (``--cache-admission``), which keeps the hot
+  set resident.
+
+``--engine sharded`` serves every scenario through a
+:class:`~repro.shard.ShardedEngine` cluster (``--shards`` / ``--replicas``
+/ ``--routing`` / ``--fanout``) instead of the single-array engine; the
+verification reference stays the *unsharded* engine, so a verified run is
+an end-to-end proof that sharding never changes a response
+(``make shard-smoke``).
 
 ``--verify`` (on by default in ``--quick``) recomputes every distinct query
 directly on an identical engine and checks the served responses against it
--- the smoke proof that batching and caching change *when* work happens,
-never *what* comes back.
+-- the smoke proof that batching, caching and sharding change *when* work
+happens, never *what* comes back.
 
 Usage::
 
     PYTHONPATH=src python scripts/loadgen.py                      # 1000 uniform
     PYTHONPATH=src python scripts/loadgen.py --scenario zipf
     PYTHONPATH=src python scripts/loadgen.py --quick              # make serve-smoke
+    PYTHONPATH=src python scripts/loadgen.py --quick --engine sharded --shards 4
     PYTHONPATH=src python scripts/loadgen.py --json /tmp/serve.json
 
 Exit status is nonzero when verification fails.
@@ -31,6 +44,7 @@ Exit status is nonzero when verification fails.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -47,8 +61,9 @@ from repro.serve import (  # noqa: E402  (path bootstrap above)
     ServeConfig,
     build_demo_engine,
 )
+from repro.shard import build_demo_sharded_engine  # noqa: E402
 
-SCENARIOS = ("uniform", "bursty", "zipf")
+SCENARIOS = ("uniform", "bursty", "zipf", "cache_busting")
 
 
 def build_queries(scenario: str, args: argparse.Namespace,
@@ -58,24 +73,53 @@ def build_queries(scenario: str, args: argparse.Namespace,
         pool = rng.standard_normal((args.pool, args.input_dim))
         draws = rng.zipf(args.zipf_alpha, size=args.requests) % args.pool
         return pool[draws]
+    if scenario == "cache_busting":
+        # Rounds of the hot working set followed by a flood of one-shot
+        # uniques longer than the cache: plain LRU evicts the entire hot
+        # set between its reuses.
+        hot_size, flood_len, _ = busting_geometry(args.requests)
+        hot = rng.standard_normal((hot_size, args.input_dim))
+        stream = []
+        while len(stream) < args.requests:
+            stream.extend(hot)
+            stream.extend(rng.standard_normal((flood_len, args.input_dim)))
+        return np.asarray(stream[: args.requests])
     return rng.standard_normal((args.requests, args.input_dim))
 
 
-def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
-    """Serve one scenario; returns the scenario report (stats + timings)."""
-    rng = np.random.default_rng(args.seed)
-    engine = build_demo_engine(classes=args.classes, input_dim=args.input_dim,
-                               hash_length=args.hash_length, seed=args.seed)
-    queries = build_queries(scenario, args, rng)
-    config = ServeConfig(
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        queue_depth=args.queue_depth,
-        num_workers=args.workers,
-        cache_capacity=0 if args.no_cache else args.cache_capacity,
-    )
+def busting_geometry(requests: int) -> tuple[int, int, int]:
+    """(hot set, flood length, cache capacity) of the cache_busting stream.
+
+    Sized so the stream holds ~5 hot-set reuses regardless of the request
+    budget, with the flood longer than the cache (every round evicts the
+    whole hot set under plain LRU) and the cache big enough for the hot
+    set (a doorkeeper keeps it resident).
+    """
+    round_len = max(requests // 5, 10)
+    hot = max(round_len // 5, 2)
+    flood = round_len - hot
+    capacity = max(flood // 2, hot)
+    return hot, flood, capacity
+
+
+def build_engine(args: argparse.Namespace):
+    """The served engine: the demo single-array engine, or a sharded cluster."""
+    if args.engine == "sharded":
+        return build_demo_sharded_engine(
+            classes=args.classes, input_dim=args.input_dim,
+            hash_length=args.hash_length, seed=args.seed,
+            num_shards=args.shards, num_replicas=args.replicas,
+            routing=args.routing, fanout=args.fanout)
+    return build_demo_engine(classes=args.classes, input_dim=args.input_dim,
+                             hash_length=args.hash_length, seed=args.seed)
+
+
+def serve_queries(scenario: str, args: argparse.Namespace,
+                  queries: np.ndarray, config: ServeConfig) -> tuple[list, float, dict]:
+    """Serve one query stream; returns (responses, serving_s, stats)."""
     observers = (PrintObserver(every=args.verbose),) if args.verbose else ()
-    server = MicroBatchServer(engine, config=config, observers=observers)
+    server = MicroBatchServer(build_engine(args), config=config,
+                              observers=observers)
     server.start()
     try:
         start = time.perf_counter()
@@ -90,14 +134,58 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
         serving_s = time.perf_counter() - start
     finally:
         server.stop(drain=True)
+    return responses, serving_s, server.stats()
+
+
+def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
+    """Serve one scenario; returns the scenario report (stats + timings)."""
+    rng = np.random.default_rng(args.seed)
+    queries = build_queries(scenario, args, rng)
+    if args.no_cache:
+        cache_capacity = 0
+    elif args.cache_capacity is not None:
+        cache_capacity = args.cache_capacity
+    elif scenario == "cache_busting":
+        cache_capacity = busting_geometry(args.requests)[2]
+    else:
+        cache_capacity = 4096
+    if args.cache_admission is not None:
+        cache_admission = args.cache_admission
+    else:
+        cache_admission = 2 if scenario == "cache_busting" else 1
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        num_workers=args.workers,
+        cache_capacity=cache_capacity,
+        adaptive_wait=args.adaptive_wait,
+        cache_admission=cache_admission,
+    )
+    lru_hit_rate = None
+    if scenario == "cache_busting" and cache_capacity > 0:
+        # The contrast run: same adversarial stream, plain LRU admission.
+        # (Pointless without a cache, so --no-cache skips it.)
+        _, _, lru_stats = serve_queries(
+            scenario, args, queries,
+            dataclasses.replace(config, cache_admission=1))
+        lru_hit_rate = lru_stats["cache"]["hit_rate"]
+    responses, serving_s, stats = serve_queries(scenario, args, queries, config)
 
     report = {
         "scenario": scenario,
+        "engine": args.engine,
         "requests": int(args.requests),
         "serving_s": serving_s,
         "throughput_rps": args.requests / serving_s,
-        "stats": server.stats(),
+        "stats": stats,
     }
+    if lru_hit_rate is not None:
+        report["cache_busting"] = {
+            "lru_hit_rate": lru_hit_rate,
+            "admission_hit_rate": stats["cache"]["hit_rate"],
+            "admission_threshold": cache_admission,
+        }
     if args.verify:
         report["verified"] = verify_responses(args, queries, responses)
     return report
@@ -107,8 +195,10 @@ def verify_responses(args: argparse.Namespace, queries: np.ndarray,
                      responses: list) -> bool:
     """Served responses must match a direct pass on an identical engine.
 
-    Duplicate queries (the cache path) must be *bit-identical* to each
-    other; against the independently built reference engine the check is
+    The reference is always the *unsharded* demo engine, so a sharded run
+    additionally proves scatter-gather correctness end to end.  Duplicate
+    queries (the cache path) must be *bit-identical* to each other;
+    against the independently built reference engine the check is
     ``allclose`` plus exact equality of the argmax classes.
     """
     reference_engine = build_demo_engine(classes=args.classes,
@@ -138,8 +228,19 @@ def verify_responses(args: argparse.Namespace, queries: np.ndarray,
 def print_report(report: dict) -> None:
     stats = report["stats"]
     print(f"[loadgen] scenario={report['scenario']} "
+          f"engine={report['engine']} "
           f"requests={report['requests']} "
           f"throughput={report['throughput_rps']:,.0f} req/s")
+    if "cache_busting" in report:
+        busting = report["cache_busting"]
+        print(f"[loadgen]   cache-busting: LRU hit_rate="
+              f"{busting['lru_hit_rate']:.2f} -> doorkeeper(admission="
+              f"{busting['admission_threshold']}) hit_rate="
+              f"{busting['admission_hit_rate']:.2f}")
+    if "shards" in stats and stats["shards"]:
+        searches = {shard: entry["searches"]
+                    for shard, entry in stats["shards"].items()}
+        print(f"[loadgen]   shard searches={searches}")
     batches = stats["batches"]
     print(f"[loadgen]   batches={batches['count']} "
           f"mean_size={batches['mean_size']:.1f} "
@@ -164,7 +265,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--queue-depth", type=int, default=1024)
-    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument("--cache-capacity", type=int, default=None,
+                        help="result-cache entries (default 4096; the "
+                             "cache_busting scenario sizes it from the "
+                             "stream unless set explicitly)")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--classes", type=int, default=16)
     parser.add_argument("--input-dim", type=int, default=128)
@@ -178,6 +282,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pool", type=int, default=128,
                         help="zipf scenario: distinct queries in the pool")
     parser.add_argument("--zipf-alpha", type=float, default=1.3)
+    parser.add_argument("--engine", choices=("cam", "sharded"), default="cam",
+                        help="serve through the single-array demo engine or "
+                             "a sharded cluster")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="sharded engine: number of shards")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="sharded engine: replicas per shard")
+    parser.add_argument("--routing", choices=("round_robin", "least_loaded"),
+                        default="round_robin")
+    parser.add_argument("--fanout", choices=("fused", "ports"),
+                        default="fused")
+    parser.add_argument("--adaptive-wait", action="store_true",
+                        help="scale max_wait_ms with queue depth")
+    parser.add_argument("--cache-admission", type=int, default=None,
+                        help="doorkeeper admission threshold for any "
+                             "scenario (default: 2 for cache_busting, "
+                             "1 = plain LRU otherwise)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--timeout-s", type=float, default=60.0)
     parser.add_argument("--verify", action="store_true",

@@ -47,6 +47,7 @@ from repro.api.bench import (
     kernel_microbench,
     run_paper_benchmarks,
     serve_benchmarks,
+    shard_benchmarks,
     write_bench_report,
 )
 from repro.api.builder import DeepCAMConfigBuilder
@@ -164,6 +165,7 @@ __all__ = [
     "register_experiment",
     "run_paper_benchmarks",
     "serve_benchmarks",
+    "shard_benchmarks",
     "unregister_backend",
     "unregister_experiment",
     "write_bench_report",

@@ -65,6 +65,28 @@ SERVE_BENCH_ENGINE: dict[str, int] = {
     "classes": 32, "input_dim": 256, "hash_length": 512,
 }
 
+#: Shard counts of the scaling curve recorded by :func:`shard_benchmarks`.
+SHARD_SCALING_COUNTS: tuple[int, ...] = (1, 2, 4, 8)
+
+#: Engine geometry of the shard scaling curve (256 prototype rows spread
+#: across 1/2/4/8 shards, served over the same 1000-request uniform load).
+SHARD_BENCH_ENGINE: dict[str, int] = {
+    "classes": 256, "input_dim": 64, "hash_length": 512,
+}
+
+#: The sharding acceptance workload: 2048 prototype rows at 1024-bit
+#: signatures -- far beyond one array's capacity (the paper evaluates
+#: 64-512 rows per array).  The replica-routed cluster (16 resident shards
+#: of 128 rows, 2 replicas, least-loaded routing) is compared against the
+#: honest single-engine alternative: one 128-row array time-multiplexed
+#: over the row set, paying a full segment rewrite per segment per batch.
+SHARD_ACCEPTANCE_WORKLOAD: dict[str, int] = {
+    "rows": 2048, "capacity": 128, "input_dim": 64, "hash_length": 1024,
+    "max_batch": 8, "num_replicas": 2, "num_workers": 2,
+}
+SHARD_ACCEPTANCE_REQUESTS: int = 1000
+SHARD_ACCEPTANCE_MIN_SPEEDUP: float = 1.5
+
 #: (rows, hash_length) grid of the kernel microbench.
 DEFAULT_KERNEL_GRID: tuple[tuple[int, int], ...] = (
     (256, 128),
@@ -491,6 +513,140 @@ def serve_benchmarks(total_requests: int = SERVE_ACCEPTANCE_REQUESTS,
         },
     }
     return [batched_record, serial_record, zipf_record], summary
+
+
+# -- sharded serving workloads -------------------------------------------------
+
+
+def _engine_serve_seconds(engine: Any, queries: np.ndarray, max_batch: int,
+                          num_workers: int = 1,
+                          max_wait_ms: float = 5.0) -> tuple[float, dict[str, Any]]:
+    """Serve ``queries`` through a fresh server over ``engine``."""
+    from repro.serve import MicroBatchServer, ServeConfig
+
+    config = ServeConfig(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                         queue_depth=max(len(queries), 1),
+                         num_workers=num_workers, cache_capacity=0)
+    server = MicroBatchServer(engine, config=config)
+    server.start()
+    try:
+        start = time.perf_counter()
+        futures = [server.submit(query) for query in queries]
+        for future in futures:
+            future.result(timeout=300.0)
+        elapsed = time.perf_counter() - start
+    finally:
+        server.stop(drain=True)
+    return elapsed, server.stats()
+
+
+def shard_benchmarks(total_requests: int = SHARD_ACCEPTANCE_REQUESTS,
+                     quick: bool = False, rounds: int | None = None,
+                     seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Shard-count scaling curve plus the replica-routed acceptance pair.
+
+    Two suites over 1000-request uniform loads (``quick`` trims rounds,
+    never the load):
+
+    * ``shard/scaling/shards=N`` -- the :data:`SHARD_BENCH_ENGINE` demo
+      cluster served at 1/2/4/8 shards: the curve that tracks what the
+      cluster bookkeeping costs while the rows would still fit one array
+      (a few percent per shard on this workload);
+    * ``shard/replica_routed`` vs ``shard/single_engine_multiplexed`` --
+      the :data:`SHARD_ACCEPTANCE_WORKLOAD` row set, which does *not* fit
+      one array: the resident, replica-routed cluster against a single
+      capacity-limited array that must page row segments in and out every
+      batch.  The acceptance gate requires the cluster to be
+      >= :data:`SHARD_ACCEPTANCE_MIN_SPEEDUP` x faster; both engines'
+      responses are asserted bit-identical first, so the comparison
+      isolates throughput.
+
+    Returns ``(records, summary)``; ``scripts/bench.py`` folds the summary
+    into ``BENCH_e2e.json`` under ``"shard"``.
+    """
+    from repro.shard import (
+        ShardedEngine,
+        TimeMultiplexedCamEngine,
+        build_demo_sharded_engine,
+    )
+
+    effective_rounds = rounds if rounds is not None else (2 if quick else 3)
+    rng = np.random.default_rng(seed)
+    records: list[BenchRecord] = []
+
+    # -- scaling curve --------------------------------------------------------
+    scaling_queries = rng.standard_normal(
+        (total_requests, SHARD_BENCH_ENGINE["input_dim"]))
+    scaling_rps: dict[str, float] = {}
+    for num_shards in SHARD_SCALING_COUNTS:
+        engine = build_demo_sharded_engine(**SHARD_BENCH_ENGINE,
+                                           num_shards=num_shards)
+        record, _ = _serve_workload_record(
+            f"shard/scaling/shards={num_shards}",
+            {**SHARD_BENCH_ENGINE, "requests": total_requests,
+             "num_shards": num_shards, "max_batch": 32},
+            lambda e=engine: _engine_serve_seconds(e, scaling_queries, 32),
+            rounds=effective_rounds, warmup=1)
+        records.append(record)
+        scaling_rps[f"shards={num_shards}"] = total_requests / record.median_s
+
+    # -- replica-routed vs time-multiplexed single engine ---------------------
+    workload = SHARD_ACCEPTANCE_WORKLOAD
+    prototypes = rng.standard_normal((workload["rows"], workload["input_dim"]))
+    queries = rng.standard_normal((total_requests, workload["input_dim"]))
+    num_shards = workload["rows"] // workload["capacity"]
+    sharded = ShardedEngine(
+        prototypes, num_shards=num_shards,
+        num_replicas=workload["num_replicas"], routing="least_loaded",
+        hash_length=workload["hash_length"], seed=seed + 1)
+    multiplexed = TimeMultiplexedCamEngine(
+        prototypes, capacity=workload["capacity"],
+        hash_length=workload["hash_length"], seed=seed + 1)
+
+    # Same answers first, then throughput: the gate compares work, not math.
+    probe = queries[:64]
+    reference = multiplexed.execute(multiplexed.prepare(probe))
+    if not np.array_equal(sharded.execute(sharded.prepare(probe)), reference):
+        raise AssertionError(
+            "sharded responses diverged from the single-engine baseline")
+
+    params = {**workload, "requests": total_requests, "num_shards": num_shards}
+    routed_record, routed_stats = _serve_workload_record(
+        "shard/replica_routed", {**params, "routing": "least_loaded"},
+        lambda: _engine_serve_seconds(sharded, queries, workload["max_batch"],
+                                      num_workers=workload["num_workers"]),
+        rounds=effective_rounds, warmup=1)
+    multiplexed_record, multiplexed_stats = _serve_workload_record(
+        "shard/single_engine_multiplexed", params,
+        lambda: _engine_serve_seconds(multiplexed, queries,
+                                      workload["max_batch"]),
+        rounds=effective_rounds, warmup=0)
+    records.extend((routed_record, multiplexed_record))
+
+    throughput_routed = total_requests / routed_record.median_s
+    throughput_single = total_requests / multiplexed_record.median_s
+    speedup = throughput_routed / max(throughput_single, 1e-12)
+    summary: dict[str, Any] = {
+        "requests": total_requests,
+        "scaling_engine": dict(SHARD_BENCH_ENGINE),
+        "scaling_throughput_rps": scaling_rps,
+        "acceptance_workload": dict(workload),
+        "throughput_rps": {
+            "replica_routed": throughput_routed,
+            "single_engine_multiplexed": throughput_single,
+        },
+        "segment_rewrites_per_batch": (
+            multiplexed_stats["engine"]["multiplexing"]["segments"]),
+        "router": routed_stats["engine"]["shards"]["router"],
+        "acceptance": {
+            "workload": f"uniform_{total_requests}_requests_"
+                        f"{workload['rows']}_rows",
+            "speedup": speedup,
+            "min_required_speedup": SHARD_ACCEPTANCE_MIN_SPEEDUP,
+            "passed": speedup >= SHARD_ACCEPTANCE_MIN_SPEEDUP,
+        },
+    }
+    return records, summary
 
 
 # -- paper-figure workloads (pytest-benchmark) ---------------------------------

@@ -154,6 +154,13 @@ class CamArray:
         view.flags.writeable = False
         return view
 
+    @property
+    def populated_mask(self) -> np.ndarray:
+        """Read-only ``(rows,)`` boolean mask of populated rows."""
+        view = self._populated.view()
+        view.flags.writeable = False
+        return view
+
     def area_um2(self) -> float:
         """Cell-array area (peripheral area is covered by the energy model)."""
         return self.total_cells * self.cell.area_um2
@@ -323,25 +330,55 @@ class CamArray:
             )
         return self._search_packed_batch(packed)
 
-    def _search_packed_batch(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
-        """Shared body of the batch search paths (non-empty packed input)."""
+    def mismatch_counts_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Raw per-row mismatch counts for a packed batch (no sense-amp read-out).
+
+        The scatter-gather substrate of :mod:`repro.shard`: each shard array
+        reports the exact XOR+popcount mismatch counts for *all* of its rows
+        (unpopulated rows count against the all-zero stored word; mask them
+        with :attr:`populated_mask`), so a cluster can reassemble the global
+        count matrix and digitise it once, in global row order -- which is
+        what keeps sharded results bit-identical to a single array, noise or
+        no noise.  Energy, latency and the search counter accrue exactly as
+        in :meth:`search_batch_packed`; only the sense-amplifier read-out is
+        left to the caller.
+        """
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        if packed.shape[0] == 0:
+            return np.zeros((0, self.rows), dtype=np.int64), 0.0, 0
+        if packed.shape[1] != self._storage_words:
+            raise ValueError(
+                f"packed queries must have {self._storage_words} words, "
+                f"got {packed.shape[1]}"
+            )
+        return self._mismatch_core(packed)
+
+    def _mismatch_core(self, packed: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Kernel + accounting for a validated, non-empty packed batch."""
         if self.debug_validate:
             self._debug_recheck_storage()
+        num_queries = packed.shape[0]
+        mismatches = packed_hamming_matrix(packed, self._storage)
+
+        energy = num_queries * self.search_energy_pj()
+        self._search_energy_pj += energy
+        self._search_count += num_queries
+        latency = num_queries * self.search_latency_cycles
+        return mismatches, energy, latency
+
+    def _search_packed_batch(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Shared body of the batch search paths (validated packed input)."""
+        mismatches, energy, latency = self._mismatch_core(packed_queries)
         num_queries = packed_queries.shape[0]
         distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
 
-        mismatches = packed_hamming_matrix(packed_queries, self._storage)
         populated = self._populated
         if populated.any():
             flat_counts = mismatches[:, populated].reshape(-1)
             sensed = self.sense_amp.estimate_distances(flat_counts)
             distances[:, populated] = sensed.reshape(num_queries, -1)
-
-        energy_per_search = self.search_energy_pj()
-        energy = num_queries * energy_per_search
-        self._search_energy_pj += energy
-        self._search_count += num_queries
-        latency = num_queries * self.search_latency_cycles
         return distances, energy, latency
 
     # -- accounting ----------------------------------------------------------------

@@ -262,21 +262,19 @@ class DynamicCam:
         fraction = self.active_word_bits / self.config.max_word_bits
         return distances, energy * fraction, latency
 
-    def search_batch_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
-        """Batch search over queries packed at the *active* word width.
+    def _extend_packed_queries(self, packed_queries: np.ndarray) -> np.ndarray | None:
+        """Validate an active-width packed batch and zero-extend it to full width.
 
-        The packed counterpart of :meth:`search_batch`: queries arrive as
-        ``(num_queries, words_for_bits(active_word_bits))`` ``uint64`` words
-        (e.g. from ``hash_batch_packed``) and are zero-extended to the full
-        word width in the packed domain -- disabled chunks compare all-zero
-        against the zero-filled storage tail, so they contribute no
-        mismatches, exactly as the bit-level path pads.
+        Shared front half of both packed search paths.  Returns ``None``
+        for an empty batch (the callers' no-op case).  Disabled chunks
+        compare all-zero against the zero-filled storage tail, so they
+        contribute no mismatches -- exactly as the bit-level path pads.
         """
         packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
         if packed.ndim != 2:
             raise ValueError("packed queries must be a 2-D word matrix")
         if packed.shape[0] == 0:
-            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
+            return None
         expected = words_for_bits(self.active_word_bits)
         if packed.shape[1] != expected:
             raise ValueError(
@@ -288,9 +286,47 @@ class DynamicCam:
             extended = np.zeros((packed.shape[0], full_words), dtype=np.uint64)
             extended[:, : packed.shape[1]] = packed
             packed = extended
+        return packed
+
+    @property
+    def _active_energy_fraction(self) -> float:
+        """Enabled fraction of each row (disabled chunks draw no energy)."""
+        return self.active_word_bits / self.config.max_word_bits
+
+    def search_batch_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Batch search over queries packed at the *active* word width.
+
+        The packed counterpart of :meth:`search_batch`: queries arrive as
+        ``(num_queries, words_for_bits(active_word_bits))`` ``uint64`` words
+        (e.g. from ``hash_batch_packed``) and are zero-extended to the full
+        word width in the packed domain.
+        """
+        packed = self._extend_packed_queries(packed_queries)
+        if packed is None:
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
         distances, energy, latency = self._array.search_batch_packed(packed)
-        fraction = self.active_word_bits / self.config.max_word_bits
-        return distances, energy * fraction, latency
+        return distances, energy * self._active_energy_fraction, latency
+
+    def mismatch_counts_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Raw mismatch counts at the active width (no sense-amp read-out).
+
+        The dynamic-CAM counterpart of
+        :meth:`repro.cam.array.CamArray.mismatch_counts_packed`, so chunked
+        arrays can serve as shard ports too -- provided the port factory
+        configures each array's *active* word width to the cluster's word
+        width (the pipeline packs queries at its own width and does not
+        repack per port; a narrower active width rejects the batch).
+        """
+        packed = self._extend_packed_queries(packed_queries)
+        if packed is None:
+            return np.zeros((0, self.rows), dtype=np.int64), 0.0, 0
+        counts, energy, latency = self._array.mismatch_counts_packed(packed)
+        return counts, energy * self._active_energy_fraction, latency
+
+    @property
+    def populated_mask(self) -> np.ndarray:
+        """Read-only boolean mask of populated rows."""
+        return self._array.populated_mask
 
     # -- reporting -----------------------------------------------------------------
 

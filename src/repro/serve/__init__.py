@@ -16,7 +16,13 @@ request at a time.  This subsystem closes that gap:
 * :class:`~repro.serve.metrics.ServeMetrics` and the
   :class:`~repro.serve.metrics.ServeObserver` hook protocol -- queue depth,
   batch-size histogram, p50/p99 latency, throughput, cache hit rate;
-* :class:`~repro.serve.client.ServeClient` -- the synchronous facade.
+* :class:`~repro.serve.client.ServeClient` /
+  :class:`~repro.serve.async_client.AsyncServeClient` -- the synchronous
+  and awaitable facades.
+
+Engines that outgrow one CAM array scale out through :mod:`repro.shard`:
+a :class:`~repro.shard.engine.ShardedEngine` serves through this subsystem
+unchanged, bit-identical to its unsharded twin.
 
 Quickstart::
 
@@ -31,11 +37,13 @@ Quickstart::
 traffic; ``make serve-smoke`` runs its quick self-verifying pass.
 """
 
+from repro.serve.async_client import AsyncServeClient
 from repro.serve.batching import (
     FULL_POLICIES,
     QueueFullError,
     ServeConfig,
     ServeRequest,
+    adaptive_wait_s,
     drain_batch,
 )
 from repro.serve.cache import CacheStats, PackedSignatureCache, signature_key
@@ -58,6 +66,7 @@ from repro.serve.metrics import (
 from repro.serve.server import MicroBatchServer
 
 __all__ = [
+    "AsyncServeClient",
     "BackendEngine",
     "CacheStats",
     "CamPipelineEngine",
@@ -74,6 +83,7 @@ __all__ = [
     "ServeMetrics",
     "ServeObserver",
     "ServeRequest",
+    "adaptive_wait_s",
     "build_demo_engine",
     "demo_queries",
     "drain_batch",

@@ -1,0 +1,128 @@
+"""Asyncio facade over the micro-batching server.
+
+:class:`AsyncServeClient` is the awaitable twin of
+:class:`~repro.serve.client.ServeClient`: the same construction surface
+(own an engine's server, or attach to a running one) with coroutine
+``infer`` / ``infer_many``.  It adds no second execution path -- requests
+go through the exact future-based ``submit`` the sync client uses:
+
+* the *enqueue* runs on the event loop's default executor, because a full
+  queue with the ``"block"`` policy legitimately blocks (backpressure must
+  stall the producer, never the event loop), with the timeout forwarded so
+  a stalled enqueue raises :class:`~repro.serve.batching.QueueFullError`;
+* the returned :class:`concurrent.futures.Future` is bridged with
+  :func:`asyncio.wrap_future`, so awaiting the result costs no thread.
+
+::
+
+    from repro.serve import AsyncServeClient, build_demo_engine
+
+    async def main():
+        async with AsyncServeClient(build_demo_engine()) as client:
+            logits = await client.infer(my_vector)
+            many = await client.infer_many(batch)   # concurrent submits
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batching import ServeConfig
+from repro.serve.client import ServeClient
+from repro.serve.engine import InferenceEngine
+from repro.serve.server import MicroBatchServer
+
+
+class AsyncServeClient:
+    """Awaitable request/response facade over a :class:`MicroBatchServer`.
+
+    Parameters are those of :class:`~repro.serve.client.ServeClient`
+    (exactly one of ``engine``/``server``; ``config``/``cache``/
+    ``observers`` forwarded when the client owns the server; ``timeout_s``
+    as the default per-request bound).
+    """
+
+    def __init__(self, engine: Optional[InferenceEngine] = None,
+                 server: Optional[MicroBatchServer] = None,
+                 config: Optional[ServeConfig] = None,
+                 cache: Any = None,
+                 observers: Iterable[Any] = (),
+                 timeout_s: float = 30.0) -> None:
+        self._sync = ServeClient(engine=engine, server=server, config=config,
+                                 cache=cache, observers=observers,
+                                 timeout_s=timeout_s)
+
+    @property
+    def server(self) -> MicroBatchServer:
+        """The underlying server (owned or attached)."""
+        return self._sync.server
+
+    @property
+    def timeout_s(self) -> float:
+        """Default per-request timeout in seconds."""
+        return self._sync.timeout_s
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop an owned server (draining) off the event loop."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._sync.close)
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- requests ----------------------------------------------------------------
+
+    async def _submit(self, sample: np.ndarray,
+                      timeout: float) -> "asyncio.Future[np.ndarray]":
+        """Enqueue off-loop (backpressure may block) and bridge the future."""
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(
+            None, functools.partial(self.server.submit, sample,
+                                    timeout=timeout))
+        return asyncio.wrap_future(future, loop=loop)
+
+    async def infer(self, sample: np.ndarray,
+                    timeout: Optional[float] = None) -> np.ndarray:
+        """Serve one sample; awaits its logits row.
+
+        ``timeout`` (default ``timeout_s``) bounds the enqueue under
+        backpressure and the wait for the result separately, exactly like
+        the sync client.
+        """
+        wait = timeout if timeout is not None else self.timeout_s
+        bridged = await self._submit(sample, wait)
+        return await asyncio.wait_for(bridged, wait)
+
+    async def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray,
+                         timeout: Optional[float] = None) -> np.ndarray:
+        """Serve several samples; awaits the stacked ``(n, output_dim)`` logits.
+
+        All samples are enqueued before the first result is awaited, so
+        the micro-batcher sees them together; an empty input resolves to
+        ``(0, output_dim)`` without touching the queue.
+        """
+        samples = (list(samples)
+                   if not isinstance(samples, np.ndarray) else samples)
+        if len(samples) == 0:
+            output_dim = getattr(self.server.engine, "output_dim", 0)
+            return np.empty((0, output_dim), dtype=np.float64)
+        wait = timeout if timeout is not None else self.timeout_s
+        bridged = [await self._submit(sample, wait) for sample in samples]
+        rows = await asyncio.gather(
+            *(asyncio.wait_for(future, wait) for future in bridged))
+        return np.stack(rows)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's merged metrics/cache/engine snapshot."""
+        return self._sync.stats()

@@ -61,6 +61,16 @@ class ServeConfig:
         ``"reject"`` raises :class:`QueueFullError` immediately.
     poll_timeout_ms:
         Idle wake-up interval of the workers (shutdown latency bound).
+    adaptive_wait:
+        Scale the flush window with load (off by default): a deep queue
+        shrinks the wait toward ``0`` (a full batch is already there, so
+        waiting only adds latency) and an idle queue grows it back toward
+        the ``max_wait_ms`` cap (see :func:`adaptive_wait_s`).
+    cache_admission:
+        Sightings a key needs before the result cache admits it (the
+        doorkeeper threshold of :class:`~repro.serve.cache.PackedSignatureCache`).
+        ``1`` admits immediately (plain LRU, the default); ``2`` keeps
+        one-shot flood traffic from evicting the working set.
     """
 
     max_batch: int = 64
@@ -70,6 +80,8 @@ class ServeConfig:
     cache_capacity: int = 4096
     full_policy: str = "block"
     poll_timeout_ms: float = 50.0
+    adaptive_wait: bool = False
+    cache_admission: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -88,6 +100,8 @@ class ServeConfig:
             )
         if self.poll_timeout_ms <= 0:
             raise ValueError("poll_timeout_ms must be positive")
+        if self.cache_admission <= 0:
+            raise ValueError("cache_admission must be positive")
 
 
 @dataclass
@@ -102,6 +116,23 @@ class ServeRequest:
     sample: np.ndarray
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+def adaptive_wait_s(max_wait_s: float, queue_depth: int, max_batch: int) -> float:
+    """Load-proportional flush window (the ``adaptive_wait`` policy).
+
+    Scales the wait budget by how far the queue is from holding one full
+    batch: an empty queue gets the whole ``max_wait_s`` cap (a lone request
+    may as well wait for company), a queue already holding ``max_batch``
+    requests gets ``0`` (the batch is there -- waiting only adds latency),
+    and in between the window shrinks linearly.
+    """
+    if max_wait_s <= 0:
+        return 0.0
+    if max_batch <= 1:
+        return max_wait_s
+    fill = min(max(queue_depth, 0) / max_batch, 1.0)
+    return max_wait_s * (1.0 - fill)
 
 
 def drain_batch(request_queue: "queue.Queue[ServeRequest]", max_batch: int,

@@ -14,6 +14,16 @@ Skewed traffic (Zipf-popular queries, duplicated frames) therefore skips
 both the hashing GEMM and the CAM search entirely.  Eviction is
 least-recently-used over a bounded entry count; hit/miss/eviction counters
 feed the serving metrics' cache hit rate.
+
+Plain LRU has a known adversary: a flood of one-shot unique queries
+(cache-busting traffic) inserts an entry per request and evicts the whole
+working set between its reuses, collapsing the hit rate to zero.  The
+optional *doorkeeper* admission policy (``admission_threshold > 1``)
+defends against it the TinyLFU way: a key must be sighted
+``admission_threshold`` times -- counted in a bounded frequency sketch that
+resets when full, ageing stale entries out -- before its result is allowed
+into the LRU.  One-shot floods never get past the doorkeeper, so the hot
+set stays resident at the cost of one extra miss per genuinely-hot key.
 """
 
 from __future__ import annotations
@@ -46,6 +56,8 @@ class CacheStats:
     hits: int
     misses: int
     evictions: int
+    admission_threshold: int = 1
+    rejected_admissions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -62,6 +74,8 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            "admission_threshold": self.admission_threshold,
+            "rejected_admissions": self.rejected_admissions,
         }
 
 
@@ -73,6 +87,15 @@ class PackedSignatureCache:
     capacity:
         Maximum number of entries; the least recently *used* entry is
         evicted when a new key would exceed it.
+    admission_threshold:
+        Sightings (``put`` attempts) a key needs before it is admitted.
+        ``1`` admits immediately -- plain LRU, the default.  ``t > 1``
+        turns on the doorkeeper: the first ``t - 1`` attempts only bump the
+        key's frequency counter, so one-shot traffic never displaces
+        resident entries.
+    doorkeeper_capacity:
+        Bound on the frequency sketch; when it fills, the sketch resets
+        (ageing every count out at once).  Defaults to ``8 x capacity``.
 
     Values are stored as read-only ``np.ndarray`` rows.  ``put`` copies its
     input unless the array is already read-only (the server marks rows
@@ -81,15 +104,26 @@ class PackedSignatureCache:
     dictionary move and no allocation.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096, admission_threshold: int = 1,
+                 doorkeeper_capacity: Optional[int] = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if admission_threshold <= 0:
+            raise ValueError("admission_threshold must be positive")
         self.capacity = int(capacity)
+        self.admission_threshold = int(admission_threshold)
+        self.doorkeeper_capacity = (
+            int(doorkeeper_capacity) if doorkeeper_capacity is not None
+            else 8 * self.capacity)
+        if self.doorkeeper_capacity <= 0:
+            raise ValueError("doorkeeper_capacity must be positive")
         self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._doorkeeper: Dict[bytes, int] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._rejected_admissions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -115,12 +149,29 @@ class PackedSignatureCache:
         return [self.get(key) for key in keys]
 
     def put(self, key: bytes, value: np.ndarray) -> None:
-        """Store one logits row, evicting least-recently-used entries."""
+        """Store one logits row, evicting least-recently-used entries.
+
+        With the doorkeeper on (``admission_threshold > 1``), the first
+        sightings of a key only raise its frequency count; the row is
+        admitted once the key has been seen ``admission_threshold`` times.
+        Keys already resident always refresh in place.
+        """
+        # Prepared outside the (single) critical section; the server hands
+        # in read-only rows, so this is normally copy-free.
         row = np.asarray(value)
         if row.flags.writeable:
             row = row.copy()
             row.flags.writeable = False
         with self._lock:
+            if key not in self._entries and self.admission_threshold > 1:
+                if len(self._doorkeeper) >= self.doorkeeper_capacity:
+                    self._doorkeeper.clear()  # reset = wholesale ageing
+                seen = self._doorkeeper.get(key, 0) + 1
+                if seen < self.admission_threshold:
+                    self._doorkeeper[key] = seen
+                    self._rejected_admissions += 1
+                    return
+                self._doorkeeper.pop(key, None)
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = row
@@ -132,6 +183,7 @@ class PackedSignatureCache:
         """Drop all entries (counters are kept; they describe the lifetime)."""
         with self._lock:
             self._entries.clear()
+            self._doorkeeper.clear()
 
     def stats(self) -> CacheStats:
         """Snapshot the counters."""
@@ -142,4 +194,6 @@ class PackedSignatureCache:
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
+                admission_threshold=self.admission_threshold,
+                rejected_admissions=self._rejected_admissions,
             )

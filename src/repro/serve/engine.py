@@ -30,6 +30,7 @@ from typing import Any, Optional, Protocol, Sequence, Tuple, runtime_checkable
 import numpy as np
 
 from repro.cam.array import CamArray
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
 from repro.core.hashing import RandomProjectionHasher
 from repro.core.minifloat import Minifloat
 from repro.hw.cosine_unit import CosineUnit
@@ -129,6 +130,12 @@ class CamPipelineEngine:
         Minifloat format applied to prototype *and* query norms (as the
         context generator quantises stored norms); ``None`` keeps exact
         norms.
+    sense_amp:
+        Sense amplifier used to digitise the CAM's match-line discharge
+        (ablation knob for noisy read-out studies); ``None`` keeps the
+        noise-free default.  A *noisy* amplifier makes logits depend on the
+        amplifier's RNG state, so the engine then stops issuing cache keys
+        -- noisy results are not memoisable.
     """
 
     name = "cam_pipeline"
@@ -136,7 +143,8 @@ class CamPipelineEngine:
     def __init__(self, prototypes: np.ndarray, hash_length: int = 256,
                  seed: int = 0, rows: Optional[int] = None,
                  use_exact_cosine: bool = False,
-                 quantize_norms: Optional[Minifloat] = None) -> None:
+                 quantize_norms: Optional[Minifloat] = None,
+                 sense_amp: Optional[ClockedSelfReferencedSenseAmp] = None) -> None:
         protos = np.asarray(prototypes, dtype=np.float64)
         if protos.ndim != 2 or protos.shape[0] == 0:
             raise ValueError("prototypes must be a non-empty 2-D matrix")
@@ -147,9 +155,12 @@ class CamPipelineEngine:
         if cam_rows < self.classes:
             raise ValueError(
                 f"rows {cam_rows} cannot hold {self.classes} prototypes")
+        self.sense_amp = sense_amp
+        self._memoisable = (sense_amp is None
+                            or sense_amp.timing_noise_sigma_ps == 0.0)
         self.hasher = RandomProjectionHasher(self.input_dim, self.hash_length,
                                              seed=seed)
-        self.cam = CamArray(rows=cam_rows, word_bits=self.hash_length)
+        self.cam = self._build_cam_port(cam_rows)
         self.cam.write_rows(self.hasher.hash_batch(protos))
         self.cosine_unit = CosineUnit(use_exact=use_exact_cosine)
         self.norm_format = quantize_norms
@@ -166,12 +177,26 @@ class CamPipelineEngine:
         # own signature + norm) the logits depend on.  Two engines built
         # identically share cache entries; engines with different
         # prototypes, seeds or post-processing can never alias, even
-        # through one shared PackedSignatureCache.
+        # through one shared PackedSignatureCache.  A sharded engine built
+        # over the same prototypes computes bit-identical logits, so it
+        # deliberately shares this namespace with its unsharded twin.
         self._cache_namespace = hashlib.blake2b(
             protos.tobytes()
             + f"|{self.hash_length}|{seed}|{use_exact_cosine}"
               f"|{quantize_norms!r}".encode(),
             digest_size=8).digest()
+
+    def _build_cam_port(self, cam_rows: int) -> Any:
+        """Build the search port the engine executes against.
+
+        Subclasses (the sharded engine) override this to return any object
+        with the :class:`CamArray` batch-search surface:
+        ``write_rows(bits, start_row)``, ``search_batch_packed(packed)`` and
+        the ``accumulated_search_energy_pj`` / ``search_count`` accounting
+        properties.
+        """
+        return CamArray(rows=cam_rows, word_bits=self.hash_length,
+                        sense_amp=self.sense_amp)
 
     # -- engine contract ---------------------------------------------------------
 
@@ -187,7 +212,7 @@ class CamPipelineEngine:
         if self.norm_format is not None:
             norms = self.norm_format.quantize_array(norms)
         keys = None
-        if want_keys:
+        if want_keys and self._memoisable:
             row_bytes = packed.shape[1] * packed.dtype.itemsize
             packed_blob = packed.tobytes()
             norm_blob = np.ascontiguousarray(norms, dtype=np.float64).tobytes()
@@ -206,16 +231,26 @@ class CamPipelineEngine:
             prepared = self.prepare(prepared.queries)
         if prepared.size == 0:
             return np.empty((0, self.classes), dtype=np.float64)
-        with self._cam_lock:
-            distances, _energy, _latency = self.cam.search_batch_packed(
-                prepared.packed_words)
-            self._queries_served += prepared.size
-        counts = distances[:, : self.classes]
+        counts = self._search_counts(prepared)
         thetas = np.pi * counts / self.hash_length
         cosines = np.asarray(self.cosine_unit(thetas.ravel())).reshape(thetas.shape)
         return (prepared.norms[:, None]
                 * self._prototype_norms[None, :]
                 * cosines)
+
+    def _search_counts(self, prepared: PreparedBatch) -> np.ndarray:
+        """Sensed Hamming distances of the prototype rows for one batch.
+
+        Holds the single-port CAM lock for the whole search.  The sharded
+        engine overrides this: its cluster is internally synchronised
+        (per-replica port locks), so concurrent server workers can search
+        different replicas in parallel.
+        """
+        with self._cam_lock:
+            distances, _energy, _latency = self.cam.search_batch_packed(
+                prepared.packed_words)
+            self._queries_served += prepared.size
+        return distances[:, : self.classes]
 
     # -- reporting ---------------------------------------------------------------
 

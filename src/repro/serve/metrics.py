@@ -49,6 +49,9 @@ class ServeObserver(Protocol):
 
     def request_completed(self, latency_ms: float) -> None: ...
 
+    def shard_search_completed(self, shard: int, replica: int, queries: int,
+                               service_ms: float) -> None: ...
+
 
 def notify_all(observers: Iterable[Any], event: str, *args: Any) -> None:
     """Invoke ``event`` on every observer that defines it.
@@ -111,6 +114,9 @@ class ServeMetrics:
         self._last_queue_depth = 0
         self._started_at: float | None = None
         self._elapsed_s = 0.0  # serving time of completed runs (restarts accumulate)
+        # Per-shard counters of a sharded engine's fan-out (empty unless a
+        # cluster feeds shard_search_completed events).
+        self._shards: Dict[int, Dict[str, Any]] = {}
 
     # -- observer hooks ----------------------------------------------------------
 
@@ -161,6 +167,17 @@ class ServeMetrics:
             self._completed += 1
             self._latencies_ms.append(latency_ms)
 
+    def shard_search_completed(self, shard: int, replica: int, queries: int,
+                               service_ms: float) -> None:
+        with self._lock:
+            entry = self._shards.setdefault(
+                shard, {"searches": 0, "queries": 0, "service_ms_total": 0.0,
+                        "replicas": {}})
+            entry["searches"] += 1
+            entry["queries"] += queries
+            entry["service_ms_total"] += service_ms
+            entry["replicas"][replica] = entry["replicas"].get(replica, 0) + 1
+
     # -- reporting ---------------------------------------------------------------
 
     @property
@@ -178,6 +195,16 @@ class ServeMetrics:
             lookups = self._cache_hits + self._cache_misses
             sizes = self._batch_size_histogram
             batched = sum(size * count for size, count in sizes.items())
+            shards = {
+                shard: {
+                    "searches": entry["searches"],
+                    "queries": entry["queries"],
+                    "mean_service_ms": (entry["service_ms_total"]
+                                        / entry["searches"]),
+                    "replicas": dict(sorted(entry["replicas"].items())),
+                }
+                for shard, entry in sorted(self._shards.items())
+            }
             return {
                 "requests": {
                     "enqueued": self._enqueued,
@@ -204,6 +231,7 @@ class ServeMetrics:
                     "misses": self._cache_misses,
                     "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
                 },
+                "shards": shards,
             }
 
 

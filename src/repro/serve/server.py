@@ -39,6 +39,7 @@ from repro.serve.batching import (
     QueueFullError,
     ServeConfig,
     ServeRequest,
+    adaptive_wait_s,
     drain_batch,
 )
 from repro.serve.cache import PackedSignatureCache
@@ -73,7 +74,8 @@ class MicroBatchServer:
         self.config = config if config is not None else ServeConfig()
         if cache is None:
             self.cache: Optional[PackedSignatureCache] = (
-                PackedSignatureCache(self.config.cache_capacity)
+                PackedSignatureCache(self.config.cache_capacity,
+                                     admission_threshold=self.config.cache_admission)
                 if self.config.cache_capacity > 0 else None)
         elif cache is False:
             self.cache = None
@@ -117,6 +119,13 @@ class MicroBatchServer:
                 for index in range(self.config.num_workers)
             ]
             self._running = True
+        # Engines with internal event sources (the sharded cluster's
+        # per-shard searches) feed this server's observers while it runs;
+        # stop() unbinds them, so short-lived servers over a long-lived
+        # engine never accumulate retired metrics objects.
+        bind = getattr(self.engine, "bind_observers", None)
+        if callable(bind):
+            bind(self._observers)
         for worker in self._workers:
             worker.start()
         notify_all(self._observers, "server_started", self.config)
@@ -150,6 +159,9 @@ class MicroBatchServer:
         self._workers = []
         self._flush_queue(RuntimeError("server stopped before serving"))
         self._abort = False
+        unbind = getattr(self.engine, "unbind_observers", None)
+        if callable(unbind):
+            unbind(self._observers)
         notify_all(self._observers, "server_stopped", self.metrics.snapshot())
 
     def __enter__(self) -> "MicroBatchServer":
@@ -218,8 +230,11 @@ class MicroBatchServer:
         poll_s = self.config.poll_timeout_ms / 1e3
         max_wait_s = self.config.max_wait_ms / 1e3
         while True:
+            wait_s = (adaptive_wait_s(max_wait_s, self._queue.qsize(),
+                                      self.config.max_batch)
+                      if self.config.adaptive_wait else max_wait_s)
             batch = drain_batch(self._queue, self.config.max_batch,
-                                max_wait_s, poll_s)
+                                wait_s, poll_s)
             real = [request for request in batch if request is not None]
             for _ in range(len(batch) - len(real)):  # shutdown sentinels
                 self._queue.task_done()
@@ -336,6 +351,7 @@ class MicroBatchServer:
         snapshot["config"] = {
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
+            "adaptive_wait": self.config.adaptive_wait,
             "queue_depth": self.config.queue_depth,
             "num_workers": self.config.num_workers,
             "full_policy": self.config.full_policy,

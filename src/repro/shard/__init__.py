@@ -1,0 +1,62 @@
+"""``repro.shard`` -- row-sharded CAM cluster with scatter-gather search.
+
+One CAM array bounds how many stored rows a single O(1) search can cover.
+This subsystem scales past that bound without changing a single answer:
+
+* :class:`~repro.shard.plan.ShardPlan` -- row partitioning across shards
+  (``contiguous`` / ``strided`` placement), plus the scatter/gather index
+  arithmetic;
+* :class:`~repro.shard.pipeline.ShardedCamPipeline` -- the cluster behind
+  the single-array search surface: fan a packed batch out to every shard,
+  gather raw mismatch counts, digitise once in global row order
+  (bit-identical to one big array, summed energy accounting), with online
+  ``rebalance()`` / ``add_shard()``;
+* :class:`~repro.shard.router.ShardRouter` -- per-shard replica selection
+  (``round_robin`` / ``least_loaded``) so concurrent micro-batches land on
+  different copies;
+* :class:`~repro.shard.engine.ShardedEngine` -- the cluster as a drop-in
+  :class:`~repro.serve.engine.InferenceEngine`, served by
+  :class:`~repro.serve.server.MicroBatchServer` unchanged, with per-shard
+  metrics flowing into :class:`~repro.serve.metrics.ServeMetrics`;
+* :class:`~repro.shard.baseline.TimeMultiplexedCamEngine` -- the honest
+  single-array alternative (page row segments in and out per batch), the
+  baseline the shard benchmarks compare against;
+* ``get_backend("deepcam_sharded")`` -- the cluster in the
+  :mod:`repro.api` backend registry.
+
+Quickstart::
+
+    from repro.serve import ServeClient
+    from repro.shard import build_demo_sharded_engine
+
+    engine = build_demo_sharded_engine(classes=64, input_dim=128,
+                                       num_shards=4, num_replicas=2)
+    with ServeClient(engine) as client:
+        logits = client.infer_many(queries)   # bit-identical to unsharded
+        print(client.stats()["engine"]["shards"]["router"])
+
+``scripts/loadgen.py --engine sharded`` drives a cluster with verification
+against the unsharded reference; ``make shard-smoke`` runs it in CI.
+"""
+
+from repro.shard.baseline import TimeMultiplexedCamEngine, TimeMultiplexedCamPort
+from repro.shard.engine import ShardedEngine, build_demo_sharded_engine
+from repro.shard.pipeline import ShardedCamPipeline
+from repro.shard.plan import SHARD_POLICIES, ShardPlan, ShardSpec
+from repro.shard.router import ROUTING_POLICIES, ShardRouter
+
+# Importing the backend module registers the "deepcam_sharded" key.
+import repro.shard.backend  # noqa: F401  (import for registration side effect)
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "SHARD_POLICIES",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedCamPipeline",
+    "ShardedEngine",
+    "TimeMultiplexedCamEngine",
+    "TimeMultiplexedCamPort",
+    "build_demo_sharded_engine",
+]

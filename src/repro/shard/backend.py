@@ -1,0 +1,104 @@
+"""The sharded serving path as a registered :mod:`repro.api` backend.
+
+``get_backend("deepcam_sharded")`` exposes the sharded prototype-classifier
+pipeline through the uniform :class:`~repro.api.backend.Backend` contract,
+so sweeps and tooling that iterate the registry pick up the cluster like
+any accelerator model:
+
+* ``infer(model, batch)`` treats ``model`` as the ``(classes, input_dim)``
+  prototype matrix and classifies ``batch`` through a
+  :class:`~repro.shard.engine.ShardedEngine` (bit-identical to the
+  unsharded CAM pipeline);
+* ``estimate(trace)`` delegates to the DeepCAM cost model -- per-inference
+  cycles and energy do not change when rows are spread across arrays; the
+  report's ``meta`` records the cluster geometry the estimate assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.api.adapters import BaseBackend, DeepCAMBackend
+from repro.api.backend import register_backend
+from repro.api.results import CostReport
+from repro.shard.engine import ShardedEngine
+from repro.workloads.specs import NetworkTrace
+
+
+class ShardedCamBackend(BaseBackend):
+    """Sharded CAM serving behind the backend registry contract."""
+
+    name = "deepcam_sharded"
+
+    def __init__(self, num_shards: int = 2, policy: str = "contiguous",
+                 num_replicas: int = 1, routing: str = "round_robin",
+                 hash_length: int = 256, seed: int = 0,
+                 **engine_kwargs: Any) -> None:
+        self.num_shards = int(num_shards)
+        self.policy = policy
+        self.num_replicas = int(num_replicas)
+        self.routing = routing
+        self.hash_length = int(hash_length)
+        self.seed = int(seed)
+        self._engine_kwargs = dict(engine_kwargs)
+        self._engine: Optional[ShardedEngine] = None
+        self._engine_key: Optional[bytes] = None
+        self._cost_model = DeepCAMBackend()
+
+    def _engine_for(self, prototypes: np.ndarray) -> ShardedEngine:
+        """Build (or reuse) the cluster for one prototype matrix."""
+        key = prototypes.tobytes()
+        if self._engine is None or self._engine_key != key:
+            self._engine = ShardedEngine(
+                prototypes,
+                num_shards=self.num_shards,
+                policy=self.policy,
+                num_replicas=self.num_replicas,
+                routing=self.routing,
+                hash_length=self.hash_length,
+                seed=self.seed,
+                **self._engine_kwargs,
+            )
+            self._engine_key = key
+        return self._engine
+
+    def infer(self, model: Any, batch: np.ndarray) -> np.ndarray:
+        """Classify ``batch`` against the prototype matrix ``model``."""
+        prototypes = np.asarray(model, dtype=np.float64)
+        if prototypes.ndim != 2:
+            raise ValueError(
+                "deepcam_sharded expects the model to be a (classes, "
+                f"input_dim) prototype matrix, got shape {prototypes.shape}")
+        engine = self._engine_for(prototypes)
+        batch = np.asarray(batch, dtype=np.float64)
+        # No result cache on the registry path: skip cache-key construction.
+        return engine.execute(engine.prepare(batch, want_keys=False))
+
+    def run_stats(self) -> Dict[str, Any]:
+        """Cluster counters from the engine behind the last ``infer``."""
+        return {} if self._engine is None else self._engine.stats()
+
+    def estimate(self, trace: NetworkTrace) -> CostReport:
+        """DeepCAM per-inference cost, annotated with the cluster geometry."""
+        report = self._cost_model.estimate(trace)
+        meta = dict(report.meta)
+        meta["sharding"] = {
+            "num_shards": self.num_shards,
+            "policy": self.policy,
+            "num_replicas": self.num_replicas,
+            "routing": self.routing,
+        }
+        return CostReport(
+            backend=self.name,
+            network=report.network,
+            total_cycles=report.total_cycles,
+            total_energy_uj=report.total_energy_uj,
+            mean_utilization=report.mean_utilization,
+            breakdown=dict(report.breakdown),
+            meta=meta,
+        )
+
+
+register_backend("deepcam_sharded", ShardedCamBackend)

@@ -1,0 +1,173 @@
+"""What serving looks like *without* sharding: one array, time-multiplexed.
+
+The paper's CAM arrays are capacity-bounded (64-512 rows in the Sec. IV
+sweeps).  When the stored-row set outgrows one array there are exactly two
+options: shard the rows across arrays (:mod:`repro.shard`), or keep a
+single array and *time-multiplex* it -- for every batch, page each row
+segment into the array (a full segment rewrite), search, and move to the
+next segment.  :class:`TimeMultiplexedCamEngine` models that second option
+faithfully: it is the single-engine baseline the shard benchmarks and the
+acceptance gate compare against, and it pays the real recurring cost
+sharding eliminates -- ``total_rows x word_bits`` cell writes per served
+batch, on top of the same searches.
+
+Results are still bit-identical to the resident engines (the multiplexed
+port gathers raw counts per segment and digitises them globally, like the
+cluster does), so the comparison isolates *throughput*: same answers,
+different work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.cam.array import CamArray
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.serve.engine import CamPipelineEngine
+from repro.shard.pipeline import validate_row_block
+
+
+class TimeMultiplexedCamPort:
+    """A capacity-limited :class:`CamArray` paged over a larger row set.
+
+    Presents the single-array batch-search surface.  ``write_rows`` stores
+    rows in host memory; every ``search_batch_packed`` then pages each
+    ``capacity``-row segment into the physical array (clear + rewrite, the
+    recurring multiplexing cost), collects raw mismatch counts, and
+    digitises the gathered global count matrix once -- identical ordering,
+    identical results, genuinely repeated write work.
+    """
+
+    def __init__(self, total_rows: int, capacity: int, word_bits: int,
+                 sense_amp: Optional[ClockedSelfReferencedSenseAmp] = None) -> None:
+        if total_rows <= 0:
+            raise ValueError("total_rows must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.total_rows = int(total_rows)
+        self.capacity = int(min(capacity, total_rows))
+        self.word_bits = int(word_bits)
+        self.array = CamArray(rows=self.capacity, word_bits=self.word_bits)
+        self.sense_amp = (sense_amp if sense_amp is not None
+                          else ClockedSelfReferencedSenseAmp(word_bits=word_bits))
+        self._bits = np.zeros((self.total_rows, self.word_bits), dtype=np.uint8)
+        self._populated = np.zeros(self.total_rows, dtype=bool)
+        self._search_energy_pj = 0.0
+        self._rewrite_energy_pj = 0.0
+        self._rewrites = 0
+        self._search_count = 0
+
+    @property
+    def rows(self) -> int:
+        """Row capacity of the multiplexed set (not of the physical array)."""
+        return self.total_rows
+
+    @property
+    def occupancy(self) -> int:
+        """Populated rows of the multiplexed set."""
+        return int(np.count_nonzero(self._populated))
+
+    def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
+        """Stage rows in host memory (paged into the array at search time)."""
+        matrix = validate_row_block(bits_matrix, self.word_bits,
+                                    self.total_rows, start_row, "set")
+        if matrix.shape[0] == 0:
+            return 0.0
+        stop = start_row + matrix.shape[0]
+        self._bits[start_row:stop] = matrix
+        self._populated[start_row:stop] = True
+        return 0.0  # staging is host memory; the array pays at search time
+
+    def search_batch_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Page every segment through the array, gather, digitise globally."""
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        num_queries = packed.shape[0]
+        if num_queries == 0:
+            return np.full((0, self.total_rows), -1, dtype=np.int64), 0.0, 0
+        counts = np.empty((num_queries, self.total_rows), dtype=np.int64)
+        energy = 0.0
+        latency = 0
+        for start in range(0, self.total_rows, self.capacity):
+            stop = min(start + self.capacity, self.total_rows)
+            segment_rows = np.nonzero(self._populated[start:stop])[0]
+            if segment_rows.size == 0:
+                continue  # nothing stored here; no point paging it in
+            self.array.clear()
+            self._rewrite_energy_pj += self.array.write_rows(
+                self._bits[start:stop][segment_rows])
+            self._rewrites += 1
+            segment_counts, segment_energy, segment_latency = (
+                self.array.mismatch_counts_packed(packed))
+            counts[:, start + segment_rows] = (
+                segment_counts[:, : segment_rows.size])
+            energy += segment_energy
+            latency += segment_latency  # segments share the one search port
+
+        distances = np.full((num_queries, self.total_rows), -1, dtype=np.int64)
+        populated = self._populated
+        if populated.any():
+            flat = counts[:, populated].reshape(-1)
+            sensed = self.sense_amp.estimate_distances(flat)
+            distances[:, populated] = sensed.reshape(num_queries, -1)
+        self._search_energy_pj += energy
+        self._search_count += num_queries
+        return distances, energy, latency
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def accumulated_search_energy_pj(self) -> float:
+        """Total search energy (excludes the paging rewrites)."""
+        return self._search_energy_pj
+
+    @property
+    def accumulated_rewrite_energy_pj(self) -> float:
+        """Energy spent re-paging segments into the array."""
+        return self._rewrite_energy_pj
+
+    @property
+    def rewrites(self) -> int:
+        """Segment rewrites performed (the multiplexing overhead counter)."""
+        return self._rewrites
+
+    @property
+    def search_count(self) -> int:
+        """Query searches served (counted once per query, like one array)."""
+        return self._search_count
+
+
+class TimeMultiplexedCamEngine(CamPipelineEngine):
+    """Prototype classifier on one capacity-limited, time-multiplexed array.
+
+    Same contract, hashing and post-processing as
+    :class:`CamPipelineEngine`; the only difference is the port.  This is
+    the honest "single engine" a deployment falls back to when the
+    prototype set exceeds one array -- the baseline the sharded cluster's
+    throughput acceptance is measured against.
+    """
+
+    name = "cam_multiplexed"
+
+    def __init__(self, prototypes: np.ndarray, capacity: int = 128,
+                 **engine_kwargs: Any) -> None:
+        self.capacity = int(capacity)
+        super().__init__(prototypes, **engine_kwargs)
+
+    def _build_cam_port(self, cam_rows: int) -> TimeMultiplexedCamPort:
+        return TimeMultiplexedCamPort(
+            total_rows=cam_rows, capacity=self.capacity,
+            word_bits=self.hash_length, sense_amp=self.sense_amp)
+
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base["multiplexing"] = {
+            "capacity": self.capacity,
+            "segments": -(-self.cam.total_rows // self.capacity),
+            "rewrites": self.cam.rewrites,
+            "rewrite_energy_pj": self.cam.accumulated_rewrite_energy_pj,
+        }
+        return base

@@ -1,0 +1,560 @@
+"""Scatter-gather search over a row-sharded CAM cluster.
+
+:class:`ShardedCamPipeline` presents the batch-search surface of a single
+:class:`~repro.cam.array.CamArray` (``write_rows`` / ``search_batch`` /
+``search_batch_packed`` plus the accounting properties) while storing the
+rows across ``num_shards`` smaller arrays, each optionally provisioned with
+``num_replicas`` identical copies:
+
+1. **scatter** -- writes are split by the :class:`~repro.shard.plan.ShardPlan`
+   into per-shard row blocks and mirrored to every replica of each shard;
+2. **fan-out** -- a search picks one replica per shard through the
+   :class:`~repro.shard.router.ShardRouter` and runs the packed XOR+popcount
+   on all shards (inline, or on the worker pool when ``num_workers > 1``);
+3. **gather** -- per-shard *raw mismatch counts*
+   (:meth:`~repro.cam.array.CamArray.mismatch_counts_packed`) are merged
+   back into the global ``(batch, total_rows)`` count matrix, and one
+   pipeline-level sense amplifier digitises the populated columns in global
+   row order.
+
+Digitising *after* the gather is what makes sharded results bit-identical
+to a single array holding all rows: the sense amplifier sees exactly the
+flat count stream the unsharded search would produce, so even a noisy
+amplifier (seeded identically) reports identical distances.  Energy is the
+sum over the selected per-shard searches -- shard occupancies sum to the
+total occupancy, so the total matches the single-array search energy --
+and latency is the maximum over the (parallel) shards.
+
+Two fan-out modes execute that contract:
+
+* ``"fused"`` (default) -- the simulation observes that the shards search
+  *in parallel in O(1)* on real hardware, so simulating them as N separate
+  little kernels is pure overhead: the pipeline keeps a fused packed
+  storage matrix (all shards' rows, already in global row order) and runs
+  one vectorised XOR+popcount over it, while energy/latency are accounted
+  per selected shard replica analytically.  This is the same move the
+  single :class:`CamArray` already makes (one kernel for all rows instead
+  of per-cell circuits), applied one level up -- counts are bit-identical
+  to the per-port path because XOR+popcount is row-wise.
+* ``"ports"`` -- hardware-faithful per-port execution: each selected
+  replica's array runs its own kernel (inline, or on the worker pool when
+  ``num_workers > 1``) and the results are gathered by the plan.  Custom
+  ports (e.g. :class:`~repro.cam.dynamic.DynamicCam`) always use this
+  path.
+
+``add_shard()`` / ``rebalance()`` rebuild the plan and the port matrix
+online from the pipeline's own copy of the stored rows; results before and
+after are identical because the global row order never changes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bitops import pack_bits, packed_hamming_matrix, words_for_bits
+from repro.cam.array import CamArray
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.serve.metrics import notify_all
+from repro.shard.plan import ShardPlan
+from repro.shard.router import ShardRouter
+
+#: A shard port: anything with ``write_rows(bits, start_row)`` and
+#: ``mismatch_counts_packed(packed) -> (counts, energy_pj, latency_cycles)``
+#: (:class:`~repro.cam.array.CamArray` and
+#: :class:`~repro.cam.dynamic.DynamicCam` both qualify).
+PortFactory = Callable[[int], Any]
+
+#: Fan-out execution modes (see the module docstring).
+FANOUT_MODES = ("fused", "ports")
+
+
+def validate_row_block(matrix: np.ndarray, word_bits: int, total_rows: int,
+                       start_row: int, holder: str) -> np.ndarray:
+    """Shared write-path validation of one ``(rows, word_bits)`` bit block.
+
+    One rule set for every multi-array row holder (the sharded pipeline
+    and the time-multiplexed baseline), mirroring what
+    :meth:`CamArray.write_rows` enforces, so the cluster can never accept
+    rows a single array would reject.  Returns the block as an ndarray.
+    """
+    data = np.asarray(matrix)
+    if data.ndim != 2:
+        raise ValueError("bits_matrix must be 2-D")
+    if data.shape[0] == 0:
+        return data
+    if data.shape[1] != word_bits:
+        raise ValueError(
+            f"expected {word_bits} bits per row, got {data.shape[1]}")
+    stop = start_row + data.shape[0]
+    if start_row < 0 or stop > total_rows:
+        raise ValueError(
+            f"cannot store {data.shape[0]} rows starting at {start_row}: "
+            f"{holder} has only {total_rows} rows")
+    if data.size and not np.all((data == 0) | (data == 1)):
+        raise ValueError("bits must be 0/1 values")
+    return data
+
+
+class ShardedCamPipeline:
+    """A cluster of CAM shards behind the single-array search surface.
+
+    Parameters
+    ----------
+    total_rows:
+        Global row capacity of the cluster.
+    word_bits:
+        Word width of every shard (the packed-query width).
+    num_shards / policy:
+        Initial :class:`ShardPlan` geometry (``"contiguous"`` or
+        ``"strided"`` row placement).
+    num_replicas / routing:
+        Copies per shard and the :class:`ShardRouter` selection policy
+        (``"round_robin"`` or ``"least_loaded"``).
+    port_factory:
+        ``rows -> port`` builder for the shard arrays; defaults to plain
+        :class:`CamArray` at ``word_bits``.  The ports' own sense
+        amplifiers are bypassed -- digitisation happens once, globally.
+    sense_amp:
+        The cluster's sense amplifier; ``None`` builds the noise-free
+        default at ``word_bits``.  To stay bit-identical to a specific
+        single array, construct this one with the same parameters and seed.
+    fanout:
+        ``"fused"`` (default) runs one vectorised kernel over the fused
+        storage; ``"ports"`` executes each selected replica's array
+        separately.  Ports without the :class:`CamArray` analytic surface
+        (``search_energy_pj`` / ``search_latency_cycles``) fall back to
+        ``"ports"`` automatically.
+    num_workers:
+        Fan-out worker threads for ``"ports"`` mode (the serve-style
+        pool).  ``None`` sizes the pool to ``min(num_shards, cpu_count)``;
+        ``<= 1`` searches shards inline, which is optimal on single-core
+        hosts.
+    observers:
+        :class:`~repro.serve.metrics.ServeObserver`-style listeners; every
+        per-shard search emits ``shard_search_completed(shard, replica,
+        queries, service_ms)``.
+    """
+
+    def __init__(self, total_rows: int, word_bits: int,
+                 num_shards: int = 2, policy: str = "contiguous",
+                 num_replicas: int = 1, routing: str = "round_robin",
+                 port_factory: Optional[PortFactory] = None,
+                 sense_amp: Optional[ClockedSelfReferencedSenseAmp] = None,
+                 fanout: str = "fused",
+                 num_workers: Optional[int] = None,
+                 observers: Iterable[Any] = ()) -> None:
+        if word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if fanout not in FANOUT_MODES:
+            raise ValueError(
+                f"fanout must be one of {FANOUT_MODES}, got {fanout!r}")
+        self.word_bits = int(word_bits)
+        self._requested_fanout = fanout
+        self.sense_amp = (sense_amp if sense_amp is not None
+                          else ClockedSelfReferencedSenseAmp(word_bits=word_bits))
+        self._port_factory: PortFactory = (
+            port_factory if port_factory is not None
+            else (lambda rows: CamArray(rows=rows, word_bits=self.word_bits)))
+        self._num_replicas = int(num_replicas)
+        self._routing = routing
+        self._observers: Tuple[Any, ...] = tuple(observers)
+        # The pipeline's own copy of the stored rows is the source of truth
+        # rebalance()/add_shard() rebuild the shard arrays from; its packed
+        # mirror (global row order) is the fused-mode search operand.
+        self._bits = np.zeros((int(total_rows), self.word_bits), dtype=np.uint8)
+        self._packed = np.zeros(
+            (int(total_rows), int(words_for_bits(self.word_bits))),
+            dtype=np.uint64)
+        self._populated = np.zeros(int(total_rows), dtype=bool)
+        # Accounting accrues from returned values, never from port objects,
+        # so retiring ports on a rebalance can never lose history.
+        self._accounting_lock = threading.Lock()
+        self._search_energy_pj = 0.0
+        self._write_energy_pj = 0.0
+        self._search_count = 0
+        self._batches = 0
+        # Structure (plan/ports/router) swaps atomically under this lock;
+        # searches snapshot it and run lock-free on the snapshot.
+        self._state_lock = threading.Lock()
+        self._requested_workers = num_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._install(ShardPlan.build(int(total_rows), num_shards, policy))
+
+    # -- structure ---------------------------------------------------------------
+
+    def _build_ports(self, plan: ShardPlan) -> List[List[Any]]:
+        """One port per (shard, replica), loaded with the shard's rows."""
+        ports: List[List[Any]] = []
+        for spec in plan.shards:
+            block = self._bits[spec.global_rows]
+            block_populated = self._populated[spec.global_rows]
+            replicas = []
+            for _ in range(self._num_replicas):
+                port = self._port_factory(spec.rows)
+                self._load_port(port, block, block_populated)
+                replicas.append(port)
+            ports.append(replicas)
+        return ports
+
+    @staticmethod
+    def _load_port(port: Any, block: np.ndarray,
+                   block_populated: np.ndarray) -> None:
+        """Write the populated runs of one shard block into a fresh port."""
+        populated_locals = np.nonzero(block_populated)[0]
+        if populated_locals.size == 0:
+            return
+        # Write maximal contiguous runs so strided plans still use the
+        # vectorised bulk write.
+        breaks = np.nonzero(np.diff(populated_locals) != 1)[0] + 1
+        for run in np.split(populated_locals, breaks):
+            port.write_rows(block[run], start_row=int(run[0]))
+
+    def _install(self, plan: ShardPlan) -> None:
+        """Build and atomically swap in the structure for ``plan``.
+
+        Build and swap happen under the state lock so a concurrent
+        ``write_rows`` (which also holds it) can never interleave with the
+        rebuild -- the new ports always reflect every completed write.
+        """
+        with self._state_lock:
+            ports = self._build_ports(plan)
+            locks = [[threading.Lock() for _ in range(self._num_replicas)]
+                     for _ in plan.shards]
+            router = ShardRouter(plan.num_shards, self._num_replicas,
+                                 self._routing)
+            # Fused mode needs the ports' analytic accounting surface;
+            # custom ports without it (DynamicCam) degrade to per-port
+            # execution.
+            fanout = self._requested_fanout
+            if fanout == "fused" and not all(
+                    callable(getattr(port, "search_energy_pj", None))
+                    and hasattr(port, "search_latency_cycles")
+                    for replicas in ports for port in replicas):
+                fanout = "ports"
+            self.plan = plan
+            self._ports = ports
+            self._port_locks = locks
+            self.router = router
+            self.fanout = fanout
+
+    def _fanout_executor(self, plan: ShardPlan) -> Optional[ThreadPoolExecutor]:
+        """The ports-mode worker pool, created lazily and kept for life.
+
+        One pool serves every structure the pipeline ever installs --
+        in-flight searches that snapshotted it can always still submit to
+        it (a rebalance never shuts it down; only :meth:`close` does).  It
+        is sized on first use, so a fused-mode pipeline never creates one.
+        Callers hold the state lock.
+        """
+        workers = self._requested_workers
+        if workers is None:
+            workers = min(plan.num_shards, os.cpu_count() or 1)
+        if workers <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard")
+        return self._executor
+
+    def add_shard(self) -> ShardPlan:
+        """Grow the cluster by one shard; results are unchanged."""
+        self._install(self.plan.grown())
+        return self.plan
+
+    def rebalance(self, num_shards: Optional[int] = None,
+                  policy: Optional[str] = None) -> ShardPlan:
+        """Re-partition the rows online; results are unchanged.
+
+        Rebuilds every shard array from the pipeline's stored rows under
+        the new geometry.  In-flight searches finish on the retired ports
+        (their contents are identical), and accounting is unaffected
+        because the pipeline accrues it from returned values.
+        """
+        self._install(self.plan.rebalanced(num_shards=num_shards, policy=policy))
+        return self.plan
+
+    def add_observers(self, observers: Iterable[Any]) -> None:
+        """Attach more per-shard search listeners (e.g. a server's metrics)."""
+        with self._state_lock:
+            current = self._observers
+            self._observers = (*current,
+                               *(observer for observer in observers
+                                 if not any(observer is seen
+                                            for seen in current)))
+
+    def remove_observers(self, observers: Iterable[Any]) -> None:
+        """Detach listeners by identity (a stopping server unbinds its own)."""
+        dropped = list(observers)
+        with self._state_lock:
+            self._observers = tuple(
+                observer for observer in self._observers
+                if not any(observer is drop for drop in dropped))
+
+    def close(self) -> None:
+        """Shut down the fan-out worker pool (idempotent)."""
+        with self._state_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- contents ----------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Global row capacity of the cluster."""
+        return int(self._bits.shape[0])
+
+    @property
+    def num_shards(self) -> int:
+        """Current number of shards."""
+        return self.plan.num_shards
+
+    @property
+    def num_replicas(self) -> int:
+        """Replicas per shard."""
+        return self._num_replicas
+
+    @property
+    def occupancy(self) -> int:
+        """Number of populated global rows."""
+        return int(np.count_nonzero(self._populated))
+
+    @property
+    def populated_mask(self) -> np.ndarray:
+        """Read-only boolean mask of populated global rows."""
+        view = self._populated.view()
+        view.flags.writeable = False
+        return view
+
+    def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
+        """Scatter a row block across the shards (and all their replicas).
+
+        Returns the write energy in pJ summed over every replica written --
+        each physical copy costs its own write.
+        """
+        matrix = validate_row_block(bits_matrix, self.word_bits, self.rows,
+                                    start_row, "cluster")
+        if matrix.shape[0] == 0:
+            return 0.0
+        stop = start_row + matrix.shape[0]
+        # The whole mutation runs under the state lock so it serialises
+        # with _install: a rebalance either sees the write completed (and
+        # rebuilds the new ports from it) or happens first (and the write
+        # lands in the new ports) -- never a torn mix.  The storage arrays
+        # are replaced copy-on-write, never mutated in place, so a fused
+        # search running on its snapshot always sees one consistent state.
+        with self._state_lock:
+            ports, locks = self._ports, self._port_locks
+            plan = self.plan
+            bits = self._bits.copy()
+            bits[start_row:stop] = matrix
+            packed_storage = self._packed.copy()
+            packed_storage[start_row:stop] = pack_bits(
+                matrix.astype(np.uint8, copy=False))
+            populated = self._populated.copy()
+            populated[start_row:stop] = True
+            self._bits, self._packed, self._populated = (
+                bits, packed_storage, populated)
+            energy = 0.0
+            for spec in plan.shards:
+                mask = (spec.global_rows >= start_row) & (spec.global_rows < stop)
+                locals_hit = np.nonzero(mask)[0]
+                if locals_hit.size == 0:
+                    continue
+                block = matrix[spec.global_rows[mask] - start_row]
+                breaks = np.nonzero(np.diff(locals_hit) != 1)[0] + 1
+                for replica in range(self._num_replicas):
+                    with locks[spec.index][replica]:
+                        for run in np.split(locals_hit, breaks):
+                            offset = int(np.searchsorted(locals_hit, run[0]))
+                            energy += ports[spec.index][replica].write_rows(
+                                block[offset:offset + run.size],
+                                start_row=int(run[0]))
+        with self._accounting_lock:
+            self._write_energy_pj += energy
+        return energy
+
+    # -- search ------------------------------------------------------------------
+
+    def search_batch(self, queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Bit-matrix batch search (validates and packs, then fans out)."""
+        query_matrix = np.asarray(queries)
+        if query_matrix.ndim != 2:
+            raise ValueError("queries must be a 2-D bit matrix")
+        if query_matrix.shape[0] == 0:
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
+        if query_matrix.shape[1] != self.word_bits:
+            raise ValueError(
+                f"queries must have {self.word_bits} bits, "
+                f"got {query_matrix.shape[1]}")
+        if not np.all((query_matrix == 0) | (query_matrix == 1)):
+            raise ValueError("query bits must be 0/1 values")
+        return self.search_batch_packed(
+            pack_bits(query_matrix.astype(np.uint8, copy=False)))
+
+    def search_batch_packed(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
+        """Scatter-gather batch search over already-packed queries.
+
+        Same contract as :meth:`CamArray.search_batch_packed`: returns
+        ``(distances, energy_pj, latency_cycles)`` with ``-1`` for
+        unpopulated global rows, energy summed over the per-shard searches
+        and latency the maximum over the (parallel) shards.
+        """
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        num_queries = packed.shape[0]
+        if num_queries == 0:
+            return np.full((0, self.rows), -1, dtype=np.int64), 0.0, 0
+        expected_words = self._packed.shape[1]
+        if packed.shape[1] != expected_words:
+            raise ValueError(
+                f"packed queries must have {expected_words} words, "
+                f"got {packed.shape[1]}")
+        with self._state_lock:
+            plan, ports, locks = self.plan, self._ports, self._port_locks
+            router, fanout = self.router, self.fanout
+            executor = (self._fanout_executor(plan) if fanout == "ports"
+                        else None)
+            # Copy-on-write snapshots: write_rows swaps whole arrays, so
+            # these stay internally consistent for the rest of the search.
+            packed_storage, populated = self._packed, self._populated
+        selection = router.begin_search()
+        try:
+            if fanout == "fused":
+                global_counts, energy, latency = self._search_fused(
+                    packed, packed_storage, plan, ports, selection)
+            else:
+                global_counts, energy, latency = self._search_ports(
+                    packed, plan, ports, locks, executor, selection)
+        finally:
+            router.end_search(selection)
+
+        distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
+        if populated.any():
+            flat_counts = global_counts[:, populated].reshape(-1)
+            # One global digitisation pass in global row order -- the same
+            # flat stream a single array would sense, so a (seeded) noisy
+            # amplifier consumes its noise identically.  Only a *noisy*
+            # amplifier has RNG state to keep race-free; the noise-free
+            # default digitises lock-free so concurrent replica searches
+            # never serialise on the O(batch x rows) pass.
+            noisy = getattr(self.sense_amp, "timing_noise_sigma_ps", 0.0) > 0
+            if noisy:
+                with self._accounting_lock:
+                    sensed = self.sense_amp.estimate_distances(flat_counts)
+            else:
+                sensed = self.sense_amp.estimate_distances(flat_counts)
+            distances[:, populated] = sensed.reshape(num_queries, -1)
+        with self._accounting_lock:
+            self._search_energy_pj += energy
+            self._search_count += num_queries * plan.num_shards
+            self._batches += 1
+        return distances, energy, latency
+
+    def _search_fused(self, packed: np.ndarray, packed_storage: np.ndarray,
+                      plan: ShardPlan, ports: List[List[Any]],
+                      selection: Tuple[int, ...]) -> tuple[np.ndarray, float, int]:
+        """One vectorised kernel over the fused storage; analytic accounting.
+
+        The fused storage rows are already in global order, so the kernel's
+        output *is* the gathered count matrix.  Every shard reports the
+        shared pass duration in its ``shard_search_completed`` event -- on
+        hardware the shards genuinely run concurrently.
+        """
+        num_queries = packed.shape[0]
+        started = time.perf_counter()
+        counts = packed_hamming_matrix(packed, packed_storage)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        energy = 0.0
+        latency = 0
+        for shard in range(plan.num_shards):
+            port = ports[shard][selection[shard]]
+            energy += num_queries * port.search_energy_pj()
+            latency = max(latency, num_queries * port.search_latency_cycles)
+        if self._observers:
+            for shard in range(plan.num_shards):
+                notify_all(self._observers, "shard_search_completed",
+                           shard, selection[shard], num_queries, elapsed_ms)
+        return counts, energy, latency
+
+    def _search_ports(self, packed: np.ndarray, plan: ShardPlan,
+                      ports: List[List[Any]], locks: List[List[threading.Lock]],
+                      executor: Optional[ThreadPoolExecutor],
+                      selection: Tuple[int, ...]) -> tuple[np.ndarray, float, int]:
+        """Hardware-faithful per-port execution, gathered by the plan."""
+        num_queries = packed.shape[0]
+
+        def _search_one(shard: int) -> tuple[np.ndarray, float, int]:
+            replica = selection[shard]
+            started = time.perf_counter()
+            with locks[shard][replica]:
+                counts, energy, latency = (
+                    ports[shard][replica].mismatch_counts_packed(packed))
+            if self._observers:
+                notify_all(self._observers, "shard_search_completed",
+                           shard, replica, num_queries,
+                           (time.perf_counter() - started) * 1e3)
+            return counts, energy, latency
+
+        if executor is not None and plan.num_shards > 1:
+            results = list(executor.map(_search_one, range(plan.num_shards)))
+        else:
+            results = [_search_one(shard) for shard in range(plan.num_shards)]
+
+        global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
+        plan.gather_columns([counts for counts, _, _ in results], global_counts)
+        energy = float(sum(energy for _, energy, _ in results))
+        latency = max(latency for _, _, latency in results)
+        return global_counts, energy, latency
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def accumulated_search_energy_pj(self) -> float:
+        """Total search energy across all shards since construction."""
+        with self._accounting_lock:
+            return self._search_energy_pj
+
+    @property
+    def accumulated_write_energy_pj(self) -> float:
+        """Total write energy across all shards and replicas."""
+        with self._accounting_lock:
+            return self._write_energy_pj
+
+    @property
+    def search_count(self) -> int:
+        """Per-shard query searches issued (``queries x shards`` per batch)."""
+        with self._accounting_lock:
+            return self._search_count
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster snapshot: plan, router and accounting counters."""
+        with self._state_lock:
+            plan, router, fanout = self.plan, self.router, self.fanout
+            workers = 0 if self._executor is None else self._executor._max_workers
+        with self._accounting_lock:
+            counters = {
+                "search_energy_pj": self._search_energy_pj,
+                "write_energy_pj": self._write_energy_pj,
+                "search_count": self._search_count,
+                "batches": self._batches,
+            }
+        return {
+            "total_rows": self.rows,
+            "occupancy": self.occupancy,
+            "num_shards": plan.num_shards,
+            "policy": plan.policy,
+            "shard_rows": list(plan.shard_rows),
+            "num_replicas": self._num_replicas,
+            "fanout": fanout,
+            "fanout_workers": workers,
+            "router": router.stats(),
+            **counters,
+        }

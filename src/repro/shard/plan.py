@@ -1,0 +1,196 @@
+"""Row partitioning of a stored-row set across CAM shards.
+
+A single CAM array bounds how many prototype rows one search can cover
+(the paper evaluates 64-512 rows per array); beyond that, the row set must
+be *sharded* across several arrays and every search fanned out and merged.
+:class:`ShardPlan` is the pure bookkeeping half of that: which global row
+lives in which shard, at which local row -- with two placement policies:
+
+* ``contiguous`` -- shard ``i`` holds one contiguous block of rows (simple
+  address decode; block sizes differ by at most one row);
+* ``strided``    -- global row ``r`` lives in shard ``r % num_shards``
+  (round-robin placement, the classic row-interleaving that keeps shards
+  balanced under append-style population).
+
+A plan never touches data: :meth:`scatter_rows` / :meth:`gather_columns`
+turn the mapping into the index arithmetic the sharded pipeline uses for
+writes (global rows -> per-shard blocks) and for search results (per-shard
+result columns -> the global matrix, in the exact order a single array
+would report).  Plans are immutable; :meth:`rebalanced` / :meth:`grown`
+derive new plans for online ``rebalance()`` / ``add_shard()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Row-placement policies a plan can be built with.
+SHARD_POLICIES = ("contiguous", "strided")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a plan: its index and the global rows it stores.
+
+    ``global_rows[local]`` is the global row index stored at local row
+    ``local`` of this shard, so a shard's search-result column ``local``
+    belongs at global column ``global_rows[local]``.
+    """
+
+    index: int
+    global_rows: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Always copy before freezing: np.asarray would return the caller's
+        # own array when it is already int64, and flipping its writeable
+        # flag would silently freeze data the caller still owns.
+        rows = np.array(self.global_rows, dtype=np.int64)
+        rows.flags.writeable = False
+        object.__setattr__(self, "global_rows", rows)
+
+    @property
+    def rows(self) -> int:
+        """Number of rows this shard stores."""
+        return int(self.global_rows.size)
+
+
+class ShardPlan:
+    """Immutable mapping of ``total_rows`` global rows onto ``num_shards`` shards.
+
+    Build with :meth:`contiguous`, :meth:`strided` or :meth:`build`; every
+    global row belongs to exactly one shard and shard sizes differ by at
+    most one row under both policies.
+    """
+
+    def __init__(self, total_rows: int, policy: str,
+                 shards: Sequence[ShardSpec]) -> None:
+        self.total_rows = int(total_rows)
+        self.policy = policy
+        self.shards: Tuple[ShardSpec, ...] = tuple(shards)
+        # shard_of_row / local_row_of: O(1) global->(shard, local) lookup.
+        self._shard_of = np.full(self.total_rows, -1, dtype=np.int64)
+        self._local_of = np.full(self.total_rows, -1, dtype=np.int64)
+        for spec in self.shards:
+            self._shard_of[spec.global_rows] = spec.index
+            self._local_of[spec.global_rows] = np.arange(spec.rows)
+        if np.any(self._shard_of < 0):
+            missing = int(np.count_nonzero(self._shard_of < 0))
+            raise ValueError(f"plan does not cover {missing} global rows")
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def _validate(total_rows: int, num_shards: int) -> None:
+        if total_rows <= 0:
+            raise ValueError("total_rows must be positive")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if num_shards > total_rows:
+            raise ValueError(
+                f"cannot split {total_rows} rows across {num_shards} shards: "
+                f"every shard must hold at least one row"
+            )
+
+    @classmethod
+    def contiguous(cls, total_rows: int, num_shards: int) -> "ShardPlan":
+        """Contiguous row blocks, sizes differing by at most one row."""
+        cls._validate(total_rows, num_shards)
+        blocks = np.array_split(np.arange(total_rows, dtype=np.int64), num_shards)
+        return cls(total_rows, "contiguous",
+                   [ShardSpec(i, block) for i, block in enumerate(blocks)])
+
+    @classmethod
+    def strided(cls, total_rows: int, num_shards: int) -> "ShardPlan":
+        """Round-robin placement: global row ``r`` lives in shard ``r % N``."""
+        cls._validate(total_rows, num_shards)
+        rows = np.arange(total_rows, dtype=np.int64)
+        return cls(total_rows, "strided",
+                   [ShardSpec(i, rows[rows % num_shards == i])
+                    for i in range(num_shards)])
+
+    @classmethod
+    def build(cls, total_rows: int, num_shards: int,
+              policy: str = "contiguous") -> "ShardPlan":
+        """Build a plan with the named policy."""
+        if policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHARD_POLICIES}, got {policy!r}")
+        factory = cls.contiguous if policy == "contiguous" else cls.strided
+        return factory(total_rows, num_shards)
+
+    # -- derived plans -----------------------------------------------------------
+
+    def rebalanced(self, num_shards: int | None = None,
+                   policy: str | None = None) -> "ShardPlan":
+        """A fresh plan over the same rows with new shard count / policy."""
+        return ShardPlan.build(
+            self.total_rows,
+            self.num_shards if num_shards is None else num_shards,
+            self.policy if policy is None else policy,
+        )
+
+    def grown(self) -> "ShardPlan":
+        """The same plan family with one more shard (``add_shard()``)."""
+        return self.rebalanced(num_shards=self.num_shards + 1)
+
+    # -- lookups -----------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    @property
+    def shard_rows(self) -> Tuple[int, ...]:
+        """Per-shard row counts."""
+        return tuple(spec.rows for spec in self.shards)
+
+    def shard_of(self, global_row: int) -> Tuple[int, int]:
+        """``(shard_index, local_row)`` storing ``global_row``."""
+        if not 0 <= global_row < self.total_rows:
+            raise IndexError(
+                f"row {global_row} out of range 0..{self.total_rows - 1}")
+        return (int(self._shard_of[global_row]), int(self._local_of[global_row]))
+
+    # -- data movement -----------------------------------------------------------
+
+    def scatter_rows(self, matrix: np.ndarray) -> List[np.ndarray]:
+        """Split a ``(total_rows, ...)`` matrix into per-shard row blocks.
+
+        Block ``i`` holds shard ``i``'s rows in local-row order -- what the
+        pipeline writes into shard ``i``'s array.
+        """
+        data = np.asarray(matrix)
+        if data.shape[0] != self.total_rows:
+            raise ValueError(
+                f"expected {self.total_rows} rows to scatter, got {data.shape[0]}")
+        return [data[spec.global_rows] for spec in self.shards]
+
+    def gather_columns(self, per_shard: Sequence[np.ndarray],
+                       out: np.ndarray) -> np.ndarray:
+        """Merge per-shard result columns back into the global matrix.
+
+        ``per_shard[i]`` is shard ``i``'s ``(batch, shard_rows)`` result;
+        column ``local`` lands at global column ``global_rows[local]`` of
+        ``out`` -- the inverse of :meth:`scatter_rows`, applied along the
+        column axis of search results.
+        """
+        if len(per_shard) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} per-shard blocks, got {len(per_shard)}")
+        for spec, block in zip(self.shards, per_shard):
+            data = np.asarray(block)
+            if data.shape[-1] != spec.rows:
+                raise ValueError(
+                    f"shard {spec.index} block has {data.shape[-1]} columns, "
+                    f"expected {spec.rows}")
+            out[..., spec.global_rows] = data
+        return out
+
+    def __repr__(self) -> str:
+        return (f"ShardPlan(total_rows={self.total_rows}, "
+                f"num_shards={self.num_shards}, policy={self.policy!r}, "
+                f"shard_rows={list(self.shard_rows)})")

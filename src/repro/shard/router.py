@@ -1,0 +1,110 @@
+"""Replica routing for the sharded CAM cluster.
+
+Correctness fixes half of the routing question: a globally correct search
+must touch *every shard* (each holds rows no other shard has), so the
+fan-out across shards is always full.  Throughput fixes the other half:
+each shard may be provisioned with ``R`` identical *replicas*, and every
+search picks one replica per shard, so concurrent micro-batches land on
+different copies instead of serialising on one search port.
+
+:class:`ShardRouter` makes that per-shard replica choice:
+
+* ``round_robin``  -- cycle through the replicas of each shard; stateless
+  load spreading, perfect under homogeneous batches;
+* ``least_loaded`` -- pick the replica with the fewest in-flight searches
+  (ties to the lowest index); adapts when batches have uneven cost or a
+  replica is slow.
+
+Callers bracket each fanned-out search with :meth:`begin_search` /
+:meth:`end_search` so the in-flight accounting stays exact; the router is
+thread-safe and keeps per-replica selection counters for the metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Tuple
+
+#: Replica-selection policies.
+ROUTING_POLICIES = ("round_robin", "least_loaded")
+
+
+class ShardRouter:
+    """Thread-safe per-shard replica selection with in-flight accounting."""
+
+    def __init__(self, num_shards: int, num_replicas: int = 1,
+                 policy: str = "round_robin") -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ROUTING_POLICIES}, got {policy!r}")
+        self.num_shards = int(num_shards)
+        self.num_replicas = int(num_replicas)
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._next = [0] * self.num_shards  # round-robin cursors
+        self._in_flight = [[0] * self.num_replicas for _ in range(self.num_shards)]
+        self._selections = [[0] * self.num_replicas for _ in range(self.num_shards)]
+        self._max_in_flight = 0
+
+    # -- routing -----------------------------------------------------------------
+
+    def begin_search(self) -> Tuple[int, ...]:
+        """Pick one replica per shard for a full fan-out and mark it busy.
+
+        Returns the per-shard replica indices; pass the same tuple to
+        :meth:`end_search` when the fan-out completes (also on failure).
+        """
+        with self._lock:
+            selection = []
+            for shard in range(self.num_shards):
+                if self.policy == "round_robin":
+                    replica = self._next[shard]
+                    self._next[shard] = (replica + 1) % self.num_replicas
+                else:  # least_loaded
+                    loads = self._in_flight[shard]
+                    replica = min(range(self.num_replicas), key=loads.__getitem__)
+                self._in_flight[shard][replica] += 1
+                self._selections[shard][replica] += 1
+                self._max_in_flight = max(self._max_in_flight,
+                                          self._in_flight[shard][replica])
+                selection.append(replica)
+            return tuple(selection)
+
+    def end_search(self, selection: Tuple[int, ...]) -> None:
+        """Release the replicas a :meth:`begin_search` selection marked busy."""
+        if len(selection) != self.num_shards:
+            raise ValueError(
+                f"selection must name {self.num_shards} replicas, "
+                f"got {len(selection)}")
+        with self._lock:
+            for shard, replica in enumerate(selection):
+                if not 0 <= replica < self.num_replicas:
+                    raise ValueError(
+                        f"replica {replica} out of range for shard {shard}")
+                if self._in_flight[shard][replica] <= 0:
+                    raise RuntimeError(
+                        f"end_search without begin_search for shard {shard} "
+                        f"replica {replica}")
+                self._in_flight[shard][replica] -= 1
+
+    # -- reporting ---------------------------------------------------------------
+
+    def in_flight(self, shard: int, replica: int) -> int:
+        """Current in-flight searches on one replica."""
+        with self._lock:
+            return self._in_flight[shard][replica]
+
+    def stats(self) -> Dict[str, Any]:
+        """Selection counters and in-flight high-water mark."""
+        with self._lock:
+            return {
+                "policy": self.policy,
+                "num_shards": self.num_shards,
+                "num_replicas": self.num_replicas,
+                "selections": [list(per_shard) for per_shard in self._selections],
+                "max_in_flight": self._max_in_flight,
+            }

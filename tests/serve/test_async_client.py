@@ -1,0 +1,157 @@
+"""AsyncServeClient: the awaitable facade over the future-based submit path."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncServeClient,
+    MicroBatchServer,
+    QueueFullError,
+    ServeClient,
+    ServeConfig,
+    build_demo_engine,
+    demo_queries,
+)
+
+GEOMETRY = dict(classes=8, input_dim=32, hash_length=128)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_owns_and_stops_its_server(self):
+        async def scenario():
+            client = AsyncServeClient(build_demo_engine(**GEOMETRY))
+            server = client.server
+            assert server.running
+            await client.close()
+            return server
+
+        server = run(scenario())
+        assert not server.running
+
+    def test_attaches_to_running_server_without_owning_it(self):
+        engine = build_demo_engine(**GEOMETRY)
+        server = MicroBatchServer(engine).start()
+        try:
+            async def scenario():
+                async with AsyncServeClient(server=server) as client:
+                    await client.infer(demo_queries(engine, 1)[0])
+            run(scenario())
+            assert server.running  # attached, so still up after client exit
+        finally:
+            server.stop()
+
+    def test_requires_exactly_one_of_engine_or_server(self):
+        with pytest.raises(ValueError):
+            AsyncServeClient()
+        with pytest.raises(ValueError):
+            AsyncServeClient(engine=build_demo_engine(**GEOMETRY),
+                             server=MicroBatchServer(
+                                 build_demo_engine(**GEOMETRY)))
+
+
+class TestInference:
+    def test_infer_matches_sync_client_bit_for_bit(self):
+        engine = build_demo_engine(**GEOMETRY)
+        queries = demo_queries(engine, 24, seed=3)
+        with ServeClient(build_demo_engine(**GEOMETRY)) as sync_client:
+            expected = sync_client.infer_many(queries)
+
+        async def scenario():
+            async with AsyncServeClient(engine) as client:
+                return await client.infer_many(queries)
+
+        assert np.array_equal(run(scenario()), expected)
+
+    def test_concurrent_awaits_coalesce_into_batches(self):
+        engine = build_demo_engine(**GEOMETRY)
+        queries = demo_queries(engine, 32, seed=4)
+        config = ServeConfig(max_batch=16, max_wait_ms=20.0)
+
+        async def scenario():
+            async with AsyncServeClient(engine, config=config) as client:
+                rows = await asyncio.gather(
+                    *(client.infer(query) for query in queries))
+                return np.stack(rows), client.stats()
+
+        stacked, stats = run(scenario())
+        assert stacked.shape == (32, 8)
+        assert max(stats["batches"]["size_histogram"]) > 1
+
+    def test_empty_infer_many_is_free(self):
+        async def scenario():
+            async with AsyncServeClient(build_demo_engine(**GEOMETRY)) as client:
+                before = client.stats()["requests"]["enqueued"]
+                empty = await client.infer_many([])
+                return empty, before, client.stats()["requests"]["enqueued"]
+
+        empty, before, after = run(scenario())
+        assert empty.shape == (0, 8)
+        assert before == after
+
+    def test_result_timeout_raises(self):
+        engine = build_demo_engine(**GEOMETRY)
+
+        async def scenario():
+            # max_wait_ms far beyond the timeout: the lone request sits in
+            # the batcher long enough for the await to expire first.
+            config = ServeConfig(max_batch=64, max_wait_ms=5000.0)
+            async with AsyncServeClient(engine, config=config,
+                                        timeout_s=0.05) as client:
+                await client.infer(demo_queries(engine, 1)[0])
+
+        with pytest.raises(asyncio.TimeoutError):
+            run(scenario())
+
+    def test_enqueue_timeout_forwards_to_backpressure(self):
+        class SlowEngine:
+            name = "slow"
+            input_dim = 4
+            output_dim = 1
+
+            def prepare(self, queries):
+                from repro.serve import PreparedBatch
+                return PreparedBatch(queries=np.asarray(queries))
+
+            def execute(self, prepared):
+                import time
+                time.sleep(0.5)
+                return np.zeros((prepared.size, 1))
+
+        config = ServeConfig(max_batch=1, max_wait_ms=0.0, queue_depth=1,
+                             num_workers=1, full_policy="block",
+                             poll_timeout_ms=5.0, cache_capacity=0)
+        server = MicroBatchServer(SlowEngine(), config=config).start()
+        try:
+            # First request occupies the worker (slow execute); the second
+            # fills the 1-deep queue; the third's enqueue must then hit
+            # its (tiny) backpressure timeout.
+            server.submit(np.zeros(4))
+            server.submit(np.zeros(4), timeout=2.0)
+
+            async def scenario():
+                client = AsyncServeClient(server=server)
+                await client.infer(np.zeros(4), timeout=0.05)
+
+            with pytest.raises(QueueFullError):
+                run(scenario())
+        finally:
+            server.stop(drain=True)
+
+    def test_stats_passthrough(self):
+        async def scenario():
+            client = AsyncServeClient(build_demo_engine(**GEOMETRY))
+            await client.infer(np.zeros(32))
+            # Drain first: the awaited future resolves just before the
+            # worker emits request_completed, so only a stopped server's
+            # snapshot is guaranteed to have counted it.
+            await client.close()
+            return client.stats()
+
+        stats = run(scenario())
+        assert stats["requests"]["completed"] == 1

@@ -7,7 +7,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import ServeConfig, ServeRequest, drain_batch
+from repro.serve import ServeConfig, ServeRequest, adaptive_wait_s, drain_batch
 
 
 def make_request(value=0.0):
@@ -28,6 +28,7 @@ class TestServeConfig:
         {"cache_capacity": -1},
         {"full_policy": "drop"},
         {"poll_timeout_ms": 0.0},
+        {"cache_admission": 0},
     ])
     def test_invalid_knobs_raise(self, kwargs):
         with pytest.raises(ValueError):
@@ -35,6 +36,51 @@ class TestServeConfig:
 
     def test_batch_one_is_allowed(self):
         assert ServeConfig(max_batch=1).max_batch == 1
+
+    def test_adaptive_wait_defaults_off(self):
+        config = ServeConfig()
+        assert config.adaptive_wait is False
+        assert config.cache_admission == 1
+
+
+class TestAdaptiveWait:
+    def test_empty_queue_gets_the_full_cap(self):
+        assert adaptive_wait_s(0.002, 0, 64) == 0.002
+
+    def test_full_batch_queued_waits_zero(self):
+        assert adaptive_wait_s(0.002, 64, 64) == 0.0
+        assert adaptive_wait_s(0.002, 200, 64) == 0.0  # deeper than a batch
+
+    def test_window_shrinks_linearly_with_fill(self):
+        assert adaptive_wait_s(0.002, 16, 64) == pytest.approx(0.0015)
+        assert adaptive_wait_s(0.002, 32, 64) == pytest.approx(0.001)
+        assert adaptive_wait_s(0.002, 48, 64) == pytest.approx(0.0005)
+
+    def test_monotone_in_queue_depth(self):
+        waits = [adaptive_wait_s(0.005, depth, 32) for depth in range(0, 40)]
+        assert all(a >= b for a, b in zip(waits, waits[1:]))
+
+    def test_degenerate_knobs(self):
+        assert adaptive_wait_s(0.0, 10, 64) == 0.0  # greedy stays greedy
+        assert adaptive_wait_s(0.002, 10, 1) == 0.002  # batch-1: no batching
+
+    def test_adaptive_server_serves_correctly_under_load(self):
+        from repro.serve import MicroBatchServer, build_demo_engine
+
+        engine = build_demo_engine(classes=8, input_dim=32, hash_length=128)
+        reference = build_demo_engine(classes=8, input_dim=32, hash_length=128)
+        queries = np.random.default_rng(3).standard_normal((64, 32))
+        expected = reference.execute(reference.prepare(queries))
+        config = ServeConfig(max_batch=16, max_wait_ms=10.0,
+                             adaptive_wait=True)
+        with MicroBatchServer(engine, config=config) as server:
+            served = np.stack([future.result(30)
+                               for future in server.submit_many(queries)])
+            stats = server.stats()
+        assert np.array_equal(served, expected)
+        assert stats["config"]["adaptive_wait"] is True
+        # A deep backlog flushes batches without burning the wait window.
+        assert max(stats["batches"]["size_histogram"]) == 16
 
 
 class TestDrainBatch:

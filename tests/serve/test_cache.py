@@ -100,6 +100,79 @@ class TestLruBehavior:
         assert len(cache) == 1
 
 
+class TestDoorkeeperAdmission:
+    def test_first_sighting_is_rejected_second_admitted(self):
+        cache = PackedSignatureCache(capacity=4, admission_threshold=2)
+        cache.put(b"k", np.array([1.0]))
+        assert b"k" not in cache
+        cache.put(b"k", np.array([1.0]))
+        assert b"k" in cache
+        stats = cache.stats()
+        assert stats.rejected_admissions == 1
+        assert stats.admission_threshold == 2
+
+    def test_default_threshold_admits_immediately(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"k", np.array([1.0]))
+        assert b"k" in cache
+        assert cache.stats().rejected_admissions == 0
+
+    def test_resident_keys_update_without_doorkeeper(self):
+        cache = PackedSignatureCache(capacity=4, admission_threshold=3)
+        for _ in range(3):
+            cache.put(b"k", np.array([1.0]))
+        assert b"k" in cache
+        cache.put(b"k", np.array([2.0]))  # already resident: updates in place
+        assert cache.get(b"k")[0] == 2.0
+
+    def test_one_shot_flood_never_displaces_hot_set(self):
+        cache = PackedSignatureCache(capacity=8, admission_threshold=2)
+        hot = [f"hot-{i}".encode() for i in range(4)]
+        for _ in range(2):  # second round admits the hot set
+            for key in hot:
+                cache.put(key, np.array([1.0]))
+        assert all(key in cache for key in hot)
+        for index in range(100):  # the flood: every key seen exactly once
+            cache.put(f"flood-{index}".encode(), np.array([0.0]))
+        assert all(key in cache for key in hot)
+        assert cache.stats().evictions == 0
+
+    def test_plain_lru_collapses_under_the_same_flood(self):
+        cache = PackedSignatureCache(capacity=8)  # no doorkeeper
+        hot = [f"hot-{i}".encode() for i in range(4)]
+        for key in hot:
+            cache.put(key, np.array([1.0]))
+        for index in range(100):
+            cache.put(f"flood-{index}".encode(), np.array([0.0]))
+        assert not any(key in cache for key in hot)
+
+    def test_doorkeeper_reset_ages_out_stale_counts(self):
+        cache = PackedSignatureCache(capacity=4, admission_threshold=2,
+                                     doorkeeper_capacity=3)
+        cache.put(b"a", np.array([1.0]))
+        cache.put(b"b", np.array([1.0]))
+        cache.put(b"c", np.array([1.0]))  # doorkeeper now full
+        cache.put(b"d", np.array([1.0]))  # triggers the reset first
+        # a's single sighting was aged out by the reset: still not admitted.
+        cache.put(b"a", np.array([1.0]))
+        assert b"a" not in cache
+        cache.put(b"a", np.array([1.0]))
+        assert b"a" in cache
+
+    def test_clear_drops_doorkeeper_state(self):
+        cache = PackedSignatureCache(capacity=4, admission_threshold=2)
+        cache.put(b"k", np.array([1.0]))
+        cache.clear()
+        cache.put(b"k", np.array([1.0]))  # sighting count restarted
+        assert b"k" not in cache
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PackedSignatureCache(capacity=4, admission_threshold=0)
+        with pytest.raises(ValueError):
+            PackedSignatureCache(capacity=4, doorkeeper_capacity=0)
+
+
 class TestConcurrency:
     def test_parallel_put_get_is_consistent(self):
         cache = PackedSignatureCache(capacity=64)

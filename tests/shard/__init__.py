@@ -1,0 +1,2 @@
+# Package marker: keeps these module names (test_engine, test_acceptance)
+# from colliding with the same basenames under tests/serve/.

@@ -1,0 +1,95 @@
+"""Acceptance criteria of the sharding subsystem (ISSUE 4).
+
+On the 1000-request uniform load over a row set that exceeds one CAM
+array's capacity (:data:`~repro.api.bench.SHARD_ACCEPTANCE_WORKLOAD`), the
+replica-routed sharded cluster must reach >= 1.5x the throughput of the
+single-engine alternative -- one capacity-limited array time-multiplexed
+over the row set -- while serving bit-identical responses.  The same
+workload is recorded as ``shard/*`` records in ``BENCH_e2e.json`` by
+``make bench``, whose committed summary must carry a passing verdict.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.bench import (
+    SHARD_ACCEPTANCE_MIN_SPEEDUP,
+    SHARD_ACCEPTANCE_REQUESTS,
+    SHARD_ACCEPTANCE_WORKLOAD,
+    SHARD_SCALING_COUNTS,
+    _engine_serve_seconds,
+)
+from repro.shard import ShardedEngine, TimeMultiplexedCamEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def build_acceptance_engines(seed: int = 1):
+    workload = SHARD_ACCEPTANCE_WORKLOAD
+    rng = np.random.default_rng(0)
+    prototypes = rng.standard_normal((workload["rows"], workload["input_dim"]))
+    sharded = ShardedEngine(
+        prototypes, num_shards=workload["rows"] // workload["capacity"],
+        num_replicas=workload["num_replicas"], routing="least_loaded",
+        hash_length=workload["hash_length"], seed=seed)
+    multiplexed = TimeMultiplexedCamEngine(
+        prototypes, capacity=workload["capacity"],
+        hash_length=workload["hash_length"], seed=seed)
+    return sharded, multiplexed, rng
+
+
+class TestThroughputAcceptance:
+    def test_replica_routed_cluster_is_1_5x_over_single_engine(self):
+        sharded, multiplexed, rng = build_acceptance_engines()
+        workload = SHARD_ACCEPTANCE_WORKLOAD
+        queries = rng.standard_normal((SHARD_ACCEPTANCE_REQUESTS,
+                                       workload["input_dim"]))
+        # Same answers first: the gate must compare work, not math.
+        probe = sharded.prepare(queries[:32])
+        assert np.array_equal(
+            sharded.execute(probe),
+            multiplexed.execute(multiplexed.prepare(queries[:32])))
+        # Best-of-3 per engine smooths scheduler hiccups on shared CI
+        # boxes without hiding a real regression.
+        routed_s = min(
+            _engine_serve_seconds(sharded, queries, workload["max_batch"],
+                                  num_workers=workload["num_workers"])[0]
+            for _ in range(3))
+        single_s = min(
+            _engine_serve_seconds(multiplexed, queries,
+                                  workload["max_batch"])[0]
+            for _ in range(3))
+        speedup = single_s / routed_s
+        assert speedup >= SHARD_ACCEPTANCE_MIN_SPEEDUP, (
+            f"replica-routed speedup {speedup:.2f}x below the "
+            f"{SHARD_ACCEPTANCE_MIN_SPEEDUP}x acceptance bar "
+            f"(routed {routed_s * 1e3:.0f} ms, single-engine "
+            f"{single_s * 1e3:.0f} ms)"
+        )
+
+
+class TestBenchRecords:
+    @pytest.fixture(scope="class")
+    def bench_document(self):
+        path = REPO_ROOT / "BENCH_e2e.json"
+        if not path.exists():
+            pytest.skip("BENCH_e2e.json not present (run `make bench`)")
+        return json.loads(path.read_text())
+
+    def test_bench_e2e_carries_shard_scaling_records(self, bench_document):
+        names = {record["name"] for record in bench_document["benchmarks"]}
+        for count in SHARD_SCALING_COUNTS:
+            assert f"shard/scaling/shards={count}" in names
+        assert "shard/replica_routed" in names
+        assert "shard/single_engine_multiplexed" in names
+
+    def test_recorded_shard_acceptance_passed(self, bench_document):
+        acceptance = bench_document["shard"]["acceptance"]
+        assert acceptance["min_required_speedup"] == (
+            SHARD_ACCEPTANCE_MIN_SPEEDUP)
+        assert acceptance["passed"], (
+            f"committed BENCH_e2e.json records a failing shard acceptance: "
+            f"{acceptance['speedup']:.2f}x")

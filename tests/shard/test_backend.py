@@ -1,0 +1,70 @@
+"""The ``deepcam_sharded`` registry backend."""
+
+import numpy as np
+import pytest
+
+from repro.api import Backend, CostReport, get_backend, list_backends, network_by_name
+from repro.serve.engine import CamPipelineEngine
+
+
+class TestRegistration:
+    def test_listed_in_registry(self):
+        assert "deepcam_sharded" in list_backends()
+
+    def test_instantiates_through_get_backend(self):
+        backend = get_backend("deepcam_sharded", num_shards=4)
+        assert isinstance(backend, Backend)
+        assert backend.name == "deepcam_sharded"
+        assert backend.num_shards == 4
+
+
+class TestInfer:
+    def test_infer_matches_unsharded_engine(self, rng):
+        prototypes = rng.standard_normal((12, 32))
+        batch = rng.standard_normal((9, 32))
+        backend = get_backend("deepcam_sharded", num_shards=3,
+                              hash_length=128, seed=7)
+        reference = CamPipelineEngine(prototypes, hash_length=128, seed=7)
+        expected = reference.execute(reference.prepare(batch))
+        assert np.array_equal(backend.infer(prototypes, batch), expected)
+
+    def test_engine_reused_for_same_prototypes(self, rng):
+        prototypes = rng.standard_normal((8, 16))
+        batch = rng.standard_normal((4, 16))
+        backend = get_backend("deepcam_sharded", num_shards=2,
+                              hash_length=128)
+        backend.infer(prototypes, batch)
+        engine = backend._engine
+        backend.infer(prototypes, batch)
+        assert backend._engine is engine  # cached
+        backend.infer(rng.standard_normal((8, 16)), batch)
+        assert backend._engine is not engine  # rebuilt for new prototypes
+
+    def test_run_returns_typed_result_with_cluster_stats(self, rng):
+        prototypes = rng.standard_normal((8, 16))
+        batch = rng.standard_normal((4, 16))
+        backend = get_backend("deepcam_sharded", num_shards=2,
+                              hash_length=128)
+        result = backend.run(prototypes, batch)
+        assert result.backend == "deepcam_sharded"
+        assert len(result.predictions) == 4
+        assert result.stats["shards"]["num_shards"] == 2
+
+    def test_rejects_non_matrix_model(self):
+        backend = get_backend("deepcam_sharded")
+        with pytest.raises(ValueError):
+            backend.infer(np.zeros(5), np.zeros((2, 5)))
+
+
+class TestEstimate:
+    def test_estimate_annotates_deepcam_cost_with_geometry(self):
+        backend = get_backend("deepcam_sharded", num_shards=4,
+                              num_replicas=2, routing="least_loaded")
+        report = backend.estimate(network_by_name("lenet5"))
+        assert isinstance(report, CostReport)
+        assert report.backend == "deepcam_sharded"
+        assert report.total_cycles > 0
+        assert report.meta["sharding"] == {
+            "num_shards": 4, "policy": "contiguous",
+            "num_replicas": 2, "routing": "least_loaded",
+        }

@@ -1,0 +1,149 @@
+"""ShardedEngine: the cluster behind the serving contract, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    MicroBatchServer,
+    PackedSignatureCache,
+    ServeClient,
+    ServeConfig,
+    build_demo_engine,
+)
+from repro.serve.engine import CamPipelineEngine, InferenceEngine
+from repro.shard import ShardedEngine, build_demo_sharded_engine
+
+GEOMETRY = dict(classes=16, input_dim=64, hash_length=256)
+
+
+@pytest.fixture
+def prototypes(rng):
+    return rng.standard_normal((16, 64))
+
+
+@pytest.fixture
+def queries(rng):
+    return rng.standard_normal((40, 64))
+
+
+class TestEngineContract:
+    def test_satisfies_inference_engine_protocol(self, prototypes):
+        engine = ShardedEngine(prototypes, num_shards=4, hash_length=256)
+        assert isinstance(engine, InferenceEngine)
+        assert engine.input_dim == 64
+        assert engine.output_dim == 16
+
+    def test_logits_bit_identical_to_unsharded(self, prototypes, queries):
+        reference = CamPipelineEngine(prototypes, hash_length=256, seed=2)
+        expected = reference.execute(reference.prepare(queries))
+        engine = ShardedEngine(prototypes, num_shards=4, num_replicas=2,
+                               hash_length=256, seed=2)
+        got = engine.execute(engine.prepare(queries))
+        assert np.array_equal(got, expected)
+
+    def test_cache_keys_shared_with_unsharded_twin(self, prototypes, queries):
+        reference = CamPipelineEngine(prototypes, hash_length=256, seed=2)
+        engine = ShardedEngine(prototypes, num_shards=4, hash_length=256,
+                               seed=2)
+        assert (reference.prepare(queries).keys
+                == engine.prepare(queries).keys)
+
+    def test_shared_cache_across_sharded_and_unsharded(self, prototypes,
+                                                       queries):
+        # Bit-identical outputs make a shared cache safe: the unsharded
+        # server's entries answer the sharded server's requests.
+        cache = PackedSignatureCache(1024)
+        config = ServeConfig(max_batch=16, cache_capacity=1024)
+        unsharded = CamPipelineEngine(prototypes, hash_length=256, seed=2)
+        sharded = ShardedEngine(prototypes, num_shards=4, hash_length=256,
+                                seed=2)
+        with MicroBatchServer(unsharded, config=config, cache=cache) as server:
+            fresh = np.stack([f.result(30)
+                              for f in server.submit_many(queries)])
+        with MicroBatchServer(sharded, config=config, cache=cache) as server:
+            replay = np.stack([f.result(30)
+                               for f in server.submit_many(queries)])
+            stats = server.stats()
+        assert stats["cache"]["hits"] == len(queries)
+        assert np.array_equal(replay, fresh)
+
+
+class TestServeIntegration:
+    def test_served_responses_match_direct_unsharded_execution(self, queries):
+        engine = build_demo_sharded_engine(**GEOMETRY, num_shards=4,
+                                           num_replicas=2)
+        reference = build_demo_engine(**GEOMETRY)
+        expected = reference.execute(reference.prepare(queries))
+        config = ServeConfig(max_batch=8, max_wait_ms=2.0, num_workers=2)
+        with ServeClient(engine, config=config) as client:
+            served = client.infer_many(queries)
+        assert np.array_equal(served, expected)
+
+    def test_per_shard_metrics_flow_into_server_stats(self, queries):
+        engine = build_demo_sharded_engine(**GEOMETRY, num_shards=4,
+                                           num_replicas=2)
+        with MicroBatchServer(engine, config=ServeConfig(max_batch=16)) as server:
+            for future in server.submit_many(queries):
+                future.result(30)
+            stats = server.stats()
+        shards = stats["shards"]
+        assert set(shards) == {0, 1, 2, 3}
+        for entry in shards.values():
+            assert entry["queries"] == len(queries)
+            assert entry["searches"] >= 1
+            assert entry["mean_service_ms"] >= 0.0
+        router = stats["engine"]["shards"]["router"]
+        assert router["num_replicas"] == 2
+        assert sum(sum(s) for s in router["selections"]) > 0
+
+    def test_sequential_servers_do_not_accumulate_observers(self, queries):
+        # A long-lived engine behind short-lived servers (the bench reuse
+        # pattern): each server binds its metrics at start and unbinds at
+        # stop, so a later server's per-shard counters see only its own
+        # traffic and retired ServeMetrics objects never linger.
+        engine = build_demo_sharded_engine(**GEOMETRY, num_shards=2)
+        for _ in range(3):
+            with MicroBatchServer(engine,
+                                  config=ServeConfig(max_batch=16)) as server:
+                for future in server.submit_many(queries):
+                    future.result(30)
+                stats = server.stats()
+            assert stats["shards"][0]["queries"] == len(queries)
+        assert engine.cam._observers == ()
+
+    def test_rebalance_under_a_running_server(self, queries):
+        engine = build_demo_sharded_engine(**GEOMETRY, num_shards=2)
+        reference = build_demo_engine(**GEOMETRY)
+        expected = reference.execute(reference.prepare(queries))
+        with ServeClient(engine, config=ServeConfig(max_batch=8)) as client:
+            before = client.infer_many(queries)
+            engine.rebalance(num_shards=5, policy="strided")
+            after = client.infer_many(queries)
+        assert np.array_equal(before, expected)
+        assert np.array_equal(after, expected)
+
+    def test_engine_stats_report_cluster_shape(self, prototypes, queries):
+        engine = ShardedEngine(prototypes, num_shards=4, policy="strided",
+                               num_replicas=2, routing="least_loaded",
+                               hash_length=256)
+        engine.execute(engine.prepare(queries))
+        stats = engine.stats()
+        assert stats["classes"] == 16
+        shards = stats["shards"]
+        assert shards["num_shards"] == 4
+        assert shards["policy"] == "strided"
+        assert shards["num_replicas"] == 2
+        assert shards["router"]["policy"] == "least_loaded"
+        assert shards["search_count"] == len(queries) * 4
+
+
+class TestValidation:
+    def test_rejects_more_shards_than_rows(self, prototypes):
+        with pytest.raises(ValueError):
+            ShardedEngine(prototypes, num_shards=17, hash_length=256)
+
+    def test_rejects_bad_policy_and_routing(self, prototypes):
+        with pytest.raises(ValueError):
+            ShardedEngine(prototypes, policy="diagonal", hash_length=256)
+        with pytest.raises(ValueError):
+            ShardedEngine(prototypes, routing="random", hash_length=256)

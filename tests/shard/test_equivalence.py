@@ -1,0 +1,103 @@
+"""Property tests: sharded serving is indistinguishable from unsharded.
+
+The subsystem's contract is that sharding changes *where* rows live and
+*how fast* searches run -- never a single bit of any answer.  These
+properties pin that across randomly drawn geometries: any shard count, both
+placement policies, both fan-out modes, replicas, noisy sense amplifiers,
+and the full logits / top-match / energy accounting surface.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.serve.engine import CamPipelineEngine
+from repro.shard import ShardedEngine, TimeMultiplexedCamEngine
+
+HASH_LENGTH = 128
+
+
+def engines_for(classes, input_dim, num_shards, policy, fanout, replicas,
+                noise_sigma_ps, seed):
+    """(unsharded reference, sharded twin) over one drawn geometry."""
+    rng = np.random.default_rng(seed)
+    prototypes = rng.standard_normal((classes, input_dim))
+    amp = dict(word_bits=HASH_LENGTH, timing_noise_sigma_ps=noise_sigma_ps,
+               seed=seed + 1)
+    reference = CamPipelineEngine(
+        prototypes, hash_length=HASH_LENGTH, seed=seed,
+        sense_amp=ClockedSelfReferencedSenseAmp(**amp))
+    sharded = ShardedEngine(
+        prototypes, num_shards=num_shards, policy=policy, fanout=fanout,
+        num_replicas=replicas, hash_length=HASH_LENGTH, seed=seed,
+        sense_amp=ClockedSelfReferencedSenseAmp(**amp))
+    return reference, sharded, rng
+
+
+class TestShardedEquivalence:
+    @given(data=st.data(),
+           classes=st.integers(2, 24),
+           policy=st.sampled_from(["contiguous", "strided"]),
+           fanout=st.sampled_from(["fused", "ports"]),
+           replicas=st.integers(1, 3),
+           noisy=st.booleans(),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_logits_topmatch_energy_match_unsharded(self, data, classes,
+                                                    policy, fanout, replicas,
+                                                    noisy, seed):
+        num_shards = data.draw(st.integers(1, classes))
+        sigma = 60.0 if noisy else 0.0
+        reference, sharded, rng = engines_for(
+            classes, 16, num_shards, policy, fanout, replicas, sigma, seed)
+        queries = rng.standard_normal((data.draw(st.integers(1, 12)), 16))
+
+        for _ in range(2):  # repeat: noise streams must stay in lock-step
+            expected = reference.execute(reference.prepare(queries))
+            got = sharded.execute(sharded.prepare(queries))
+            assert np.array_equal(got, expected)
+            assert np.array_equal(np.argmax(got, axis=1),
+                                  np.argmax(expected, axis=1))
+        assert sharded.cam.accumulated_search_energy_pj == pytest.approx(
+            reference.cam.accumulated_search_energy_pj, rel=1e-9)
+
+    @given(seed=st.integers(0, 1000),
+           num_shards=st.integers(1, 10),
+           next_shards=st.integers(1, 9),  # add_shard() follows: <= 10 rows
+           policy=st.sampled_from(["contiguous", "strided"]),
+           next_policy=st.sampled_from(["contiguous", "strided"]))
+    @settings(max_examples=20, deadline=None)
+    def test_rebalance_never_changes_logits(self, seed, num_shards,
+                                            next_shards, policy, next_policy):
+        reference, sharded, rng = engines_for(
+            10, 16, num_shards, policy, "fused", 1, 0.0, seed)
+        queries = rng.standard_normal((6, 16))
+        expected = reference.execute(reference.prepare(queries))
+        assert np.array_equal(
+            sharded.execute(sharded.prepare(queries)), expected)
+        sharded.rebalance(num_shards=next_shards, policy=next_policy)
+        assert np.array_equal(
+            sharded.execute(sharded.prepare(queries)), expected)
+        sharded.add_shard()
+        assert np.array_equal(
+            sharded.execute(sharded.prepare(queries)), expected)
+
+    @given(seed=st.integers(0, 1000), capacity=st.integers(1, 24))
+    @settings(max_examples=15, deadline=None)
+    def test_time_multiplexed_baseline_matches_too(self, seed, capacity):
+        # The throughput baseline must also be answer-identical, so the
+        # acceptance benchmark compares work, not math.
+        rng = np.random.default_rng(seed)
+        prototypes = rng.standard_normal((17, 16))
+        queries = rng.standard_normal((5, 16))
+        reference = CamPipelineEngine(prototypes, hash_length=HASH_LENGTH,
+                                      seed=seed)
+        multiplexed = TimeMultiplexedCamEngine(
+            prototypes, capacity=capacity, hash_length=HASH_LENGTH, seed=seed)
+        expected = reference.execute(reference.prepare(queries))
+        got = multiplexed.execute(multiplexed.prepare(queries))
+        assert np.array_equal(got, expected)
+        assert multiplexed.cam.accumulated_search_energy_pj == pytest.approx(
+            reference.cam.accumulated_search_energy_pj, rel=1e-9)
+        assert multiplexed.cam.rewrites == -(-17 // capacity)

@@ -1,0 +1,98 @@
+"""ShardPlan: partitioning invariants, lookups, scatter/gather, derivation."""
+
+import numpy as np
+import pytest
+
+from repro.shard import SHARD_POLICIES, ShardPlan
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    @pytest.mark.parametrize("total_rows,num_shards",
+                             [(1, 1), (7, 3), (64, 4), (100, 7), (8, 8)])
+    def test_partition_is_exact_and_balanced(self, policy, total_rows, num_shards):
+        plan = ShardPlan.build(total_rows, num_shards, policy)
+        all_rows = np.concatenate([s.global_rows for s in plan.shards])
+        assert sorted(all_rows.tolist()) == list(range(total_rows))
+        sizes = plan.shard_rows
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == total_rows
+
+    def test_contiguous_blocks_are_contiguous(self):
+        plan = ShardPlan.contiguous(10, 3)
+        for spec in plan.shards:
+            rows = spec.global_rows
+            assert np.array_equal(rows, np.arange(rows[0], rows[-1] + 1))
+
+    def test_strided_is_round_robin(self):
+        plan = ShardPlan.strided(10, 3)
+        for spec in plan.shards:
+            assert np.all(spec.global_rows % 3 == spec.index)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ShardPlan.contiguous(0, 1)
+        with pytest.raises(ValueError):
+            ShardPlan.strided(4, 0)
+        with pytest.raises(ValueError):
+            ShardPlan.contiguous(3, 4)  # a shard would be empty
+        with pytest.raises(ValueError):
+            ShardPlan.build(8, 2, policy="diagonal")
+
+
+class TestLookup:
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_shard_of_roundtrips_through_specs(self, policy):
+        plan = ShardPlan.build(23, 5, policy)
+        for row in range(23):
+            shard, local = plan.shard_of(row)
+            assert plan.shards[shard].global_rows[local] == row
+
+    def test_shard_of_bounds(self):
+        plan = ShardPlan.contiguous(8, 2)
+        with pytest.raises(IndexError):
+            plan.shard_of(8)
+        with pytest.raises(IndexError):
+            plan.shard_of(-1)
+
+
+class TestDataMovement:
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_scatter_then_gather_is_identity(self, policy, rng):
+        plan = ShardPlan.build(17, 4, policy)
+        matrix = rng.integers(0, 100, size=(17, 6))
+        blocks = plan.scatter_rows(matrix)
+        # Transpose the per-shard row blocks into search-result columns.
+        out = np.empty((6, 17), dtype=matrix.dtype)
+        plan.gather_columns([b.T for b in blocks], out)
+        assert np.array_equal(out, matrix.T)
+
+    def test_scatter_validates_row_count(self):
+        plan = ShardPlan.contiguous(8, 2)
+        with pytest.raises(ValueError):
+            plan.scatter_rows(np.zeros((7, 3)))
+
+    def test_gather_validates_blocks(self):
+        plan = ShardPlan.contiguous(8, 2)
+        out = np.zeros((2, 8))
+        with pytest.raises(ValueError):
+            plan.gather_columns([np.zeros((2, 4))], out)  # missing a block
+        with pytest.raises(ValueError):
+            plan.gather_columns([np.zeros((2, 3)), np.zeros((2, 4))], out)
+
+
+class TestDerivedPlans:
+    def test_rebalanced_changes_geometry_not_rows(self):
+        plan = ShardPlan.contiguous(24, 2)
+        rebalanced = plan.rebalanced(num_shards=6, policy="strided")
+        assert rebalanced.total_rows == 24
+        assert rebalanced.num_shards == 6
+        assert rebalanced.policy == "strided"
+        # The original is untouched (plans are immutable).
+        assert plan.num_shards == 2 and plan.policy == "contiguous"
+
+    def test_grown_adds_one_shard(self):
+        plan = ShardPlan.strided(24, 3)
+        grown = plan.grown()
+        assert grown.num_shards == 4
+        assert grown.policy == "strided"

@@ -1,0 +1,95 @@
+"""ShardRouter: replica selection policies and in-flight accounting."""
+
+import threading
+
+import pytest
+
+from repro.shard import ROUTING_POLICIES, ShardRouter
+
+
+class TestRoundRobin:
+    def test_cycles_replicas_per_shard(self):
+        router = ShardRouter(num_shards=2, num_replicas=3, policy="round_robin")
+        picks = []
+        for _ in range(6):
+            selection = router.begin_search()
+            picks.append(selection)
+            router.end_search(selection)
+        assert picks == [(0, 0), (1, 1), (2, 2), (0, 0), (1, 1), (2, 2)]
+
+    def test_single_replica_always_zero(self):
+        router = ShardRouter(num_shards=4, num_replicas=1)
+        for _ in range(3):
+            selection = router.begin_search()
+            assert selection == (0, 0, 0, 0)
+            router.end_search(selection)
+
+
+class TestLeastLoaded:
+    def test_spreads_concurrent_searches(self):
+        router = ShardRouter(num_shards=1, num_replicas=3, policy="least_loaded")
+        first = router.begin_search()
+        second = router.begin_search()
+        third = router.begin_search()
+        assert {first[0], second[0], third[0]} == {0, 1, 2}
+        router.end_search(first)
+        # Replica 0 is free again and ties break low: picked next.
+        fourth = router.begin_search()
+        assert fourth[0] == 0
+        for selection in (second, third, fourth):
+            router.end_search(selection)
+
+    def test_in_flight_tracks_begin_end(self):
+        router = ShardRouter(num_shards=2, num_replicas=2, policy="least_loaded")
+        selection = router.begin_search()
+        for shard, replica in enumerate(selection):
+            assert router.in_flight(shard, replica) == 1
+        router.end_search(selection)
+        for shard, replica in enumerate(selection):
+            assert router.in_flight(shard, replica) == 0
+
+
+class TestAccounting:
+    def test_stats_count_selections(self):
+        router = ShardRouter(num_shards=2, num_replicas=2)
+        for _ in range(4):
+            router.end_search(router.begin_search())
+        stats = router.stats()
+        assert stats["selections"] == [[2, 2], [2, 2]]
+        assert stats["policy"] == "round_robin"
+        assert stats["max_in_flight"] == 1
+
+    def test_end_search_validates(self):
+        router = ShardRouter(num_shards=2, num_replicas=2)
+        with pytest.raises(ValueError):
+            router.end_search((0,))  # wrong arity
+        with pytest.raises(RuntimeError):
+            router.end_search((0, 0))  # never began
+
+    def test_thread_safety_of_begin_end(self):
+        router = ShardRouter(num_shards=3, num_replicas=4, policy="least_loaded")
+
+        def worker():
+            for _ in range(200):
+                router.end_search(router.begin_search())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = router.stats()
+        assert sum(sum(s) for s in stats["selections"]) == 4 * 200 * 3
+        assert all(router.in_flight(s, r) == 0
+                   for s in range(3) for r in range(4))
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=1, num_replicas=0)
+        with pytest.raises(ValueError):
+            ShardRouter(num_shards=1, policy="random")
+        assert set(ROUTING_POLICIES) == {"round_robin", "least_loaded"}
