@@ -1,8 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke shard-smoke bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke coverage bench bench-quick bench-paper
 
+# The fast correctness gate. `make coverage` is the slower companion gate
+# (the same tier-1 tests under a line tracer with an 85% floor on
+# src/repro/{cam,shard,serve,retrieval}); run it before shipping changes
+# to those packages.
 check: smoke test serve-smoke shard-smoke
 
 smoke:
@@ -10,6 +14,12 @@ smoke:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 under line coverage (coverage.py when installed, else the stdlib
+# tracer in repro.devtools.linecov), failing below an 85% line-coverage
+# floor on the cam/shard/serve/retrieval packages.
+coverage:
+	$(PYTHON) scripts/coverage_run.py --fail-under 85
 
 # End-to-end serving smoke: all loadgen scenarios, responses verified
 # against direct engine execution.

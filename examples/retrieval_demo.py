@@ -1,0 +1,95 @@
+"""Retrieval demo: k-NN over a synthetic corpus, native top-k at every layer.
+
+Runs in a few seconds:
+
+1. a :class:`~repro.retrieval.RetrievalIndex` hashes a synthetic corpus
+   into a 4-shard CAM cluster and answers k-NN queries through the top-k
+   partial gather -- with the gather-traffic accounting that motivates it;
+2. the partial gather is bit-identical to gathering every row and sorting
+   (the pre-retrieval way), and faster;
+3. the same top-k requests travel through the micro-batching server
+   (:meth:`ServeClient.topk_many` -> ``TopKRequest`` -> grouped batches ->
+   the sharded cluster), bit-identical to direct execution.
+
+Usage::
+
+    python examples/retrieval_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.retrieval import RetrievalIndex, topk_via_full_search
+from repro.serve import ServeClient, ServeConfig
+from repro.shard import ShardedEngine
+
+CORPUS_SIZE = 4096
+DIM = 64
+K = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    corpus = rng.standard_normal((CORPUS_SIZE, DIM))
+
+    print("== 1. Index a corpus, ask for nearest neighbours ==")
+    index = RetrievalIndex(input_dim=DIM, capacity=CORPUS_SIZE,
+                           hash_length=256, num_shards=4)
+    index.add(corpus)
+    # Queries near known corpus vectors, so the neighbours are meaningful.
+    targets = rng.integers(0, CORPUS_SIZE, size=6)
+    queries = corpus[targets] + 0.05 * rng.standard_normal((6, DIM))
+    hits = index.search(queries, k=K)
+    recovered = int(np.sum(hits.indices[:, 0] == targets))
+    print(f"indexed {len(index)} vectors across "
+          f"{index.pipeline.num_shards} shards")
+    print(f"nearest neighbour recovers the perturbed source vector for "
+          f"{recovered}/6 queries")
+    print(f"top-{K} row ids for query 0: {hits.indices[0].tolist()}")
+    print(f"gather traffic: {hits.gathered_values} values "
+          f"(full gather would move {6 * CORPUS_SIZE})")
+
+    print()
+    print("== 2. Partial gather == full-gather-then-sort, only faster ==")
+    packed = index.hasher.hash_batch_packed(queries)
+    full_indices, full_distances = topk_via_full_search(index.pipeline,
+                                                        packed, K)
+    assert np.array_equal(hits.indices, full_indices)
+    assert np.array_equal(hits.distances, full_distances)
+    batch = index.hasher.hash_batch_packed(
+        rng.standard_normal((64, DIM)))
+    start = time.perf_counter()
+    index.pipeline.topk_packed(batch, K)
+    partial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    topk_via_full_search(index.pipeline, batch, K)
+    full_s = time.perf_counter() - start
+    print(f"bit-identical: True; 64-query batch: partial "
+          f"{partial_s * 1e3:.1f} ms vs full-sort {full_s * 1e3:.1f} ms "
+          f"({full_s / partial_s:.1f}x)")
+
+    print()
+    print("== 3. Top-k through the micro-batching server ==")
+    prototypes = rng.standard_normal((256, DIM))
+    engine = ShardedEngine(prototypes, num_shards=4, num_replicas=2,
+                           hash_length=256, seed=7)
+    lookups = rng.standard_normal((200, DIM))
+    expected = engine.cam.topk_packed(
+        engine.prepare(lookups).packed_words, K)
+    with ServeClient(engine, config=ServeConfig(max_batch=32)) as client:
+        indices, distances = client.topk_many(lookups, k=K)
+        stats = client.stats()
+    assert np.array_equal(indices, expected.indices)
+    assert np.array_equal(distances, expected.distances)
+    print(f"served {len(lookups)} TopKRequests in "
+          f"{stats['batches']['count']} micro-batches, "
+          f"bit-identical to direct execution: True")
+    print(f"per-shard searches: "
+          f"{ {s: e['searches'] for s, e in stats['shards'].items()} }")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ from repro.api.bench import (  # noqa: E402  (path bootstrap above)
     collect_environment,
     e2e_benchmarks,
     kernel_microbench,
+    retrieval_benchmarks,
     run_paper_benchmarks,
     serve_benchmarks,
     shard_benchmarks,
@@ -90,6 +91,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] sharded serving workloads ({mode})")
     shard_records, shard_summary = shard_benchmarks(quick=args.quick)
     e2e_records.extend(shard_records)
+    print(f"[bench] retrieval workloads ({mode})")
+    retrieval_records, retrieval_summary = retrieval_benchmarks(quick=args.quick)
+    e2e_records.extend(retrieval_records)
     if not args.skip_paper:
         files = list(QUICK_PAPER_FILES) if args.quick else None
         max_time = 0.2 if args.quick else 0.5
@@ -100,7 +104,8 @@ def main(argv: list[str] | None = None) -> int:
     e2e_path = args.out_dir / "BENCH_e2e.json"
     write_bench_report(e2e_path, e2e_records, environment,
                        extra={"mode": mode, "serve": serve_summary,
-                              "shard": shard_summary})
+                              "shard": shard_summary,
+                              "retrieval": retrieval_summary})
     for record in e2e_records:
         if record.group in ("e2e", "serve"):
             print(f"[bench]   {record.name}: median {record.median_s * 1e3:.2f} ms")
@@ -112,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[bench]   shard scaling {name}: {rps:,.0f} req/s")
     for name, rps in shard_summary["throughput_rps"].items():
         print(f"[bench]   shard throughput {name}: {rps:,.0f} req/s")
+    for name, speedup in retrieval_summary["speedups"].items():
+        print(f"[bench]   retrieval partial vs full gather {name}: "
+              f"{speedup:.1f}x")
     print(f"[bench] wrote {e2e_path}")
 
     # -- acceptance gates -----------------------------------------------------
@@ -135,6 +143,13 @@ def main(argv: list[str] | None = None) -> int:
           f"{shard_acceptance['speedup']:.1f}x "
           f"(required >= {shard_acceptance['min_required_speedup']}x) -> {verdict}")
     failed = failed or not shard_acceptance["passed"]
+    retrieval_acceptance = retrieval_summary["acceptance"]
+    verdict = "PASS" if retrieval_acceptance["passed"] else "FAIL"
+    print(f"[bench] retrieval acceptance {retrieval_acceptance['workload']}: "
+          f"{retrieval_acceptance['speedup']:.1f}x "
+          f"(required >= {retrieval_acceptance['min_required_speedup']}x) "
+          f"-> {verdict}")
+    failed = failed or not retrieval_acceptance["passed"]
     return 1 if failed else 0
 
 

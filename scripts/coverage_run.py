@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Tier-1 line-coverage gate over the CAM/shard/serve/retrieval packages.
+
+Runs the test suite under a line tracer and fails unless the measured
+packages clear the coverage floor (``make coverage``):
+
+* with ``coverage.py`` installed, it is the engine;
+* otherwise the stdlib fallback in :mod:`repro.devtools.linecov` collects
+  executed lines through ``sys.settrace`` / ``threading.settrace`` (server
+  worker threads included) and joins them against the ``co_lines`` census
+  of every source file under the measured roots.
+
+The tracer must be live before the measured packages are imported (their
+module-level lines execute at import), so this script loads the fallback
+module by file path -- never through ``import repro`` -- and only then
+hands control to pytest.
+
+Usage::
+
+    PYTHONPATH=src python scripts/coverage_run.py               # make coverage
+    python scripts/coverage_run.py --fail-under 90 tests/serve
+    python scripts/coverage_run.py --packages cam shard -- -k topk
+
+Exit status: 1 when the tests fail, 2 when coverage is below the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+#: Packages the floor applies to (src/repro/<name>).
+DEFAULT_PACKAGES = ("cam", "shard", "serve", "retrieval")
+DEFAULT_FAIL_UNDER = 85.0
+
+
+def load_linecov_module():
+    """Load repro/devtools/linecov.py *by path*, bypassing ``repro.__init__``.
+
+    Importing the ``repro`` package would pull the measured packages into
+    ``sys.modules`` before tracing starts and silently uncover their
+    module-level lines.
+    """
+    path = SRC_ROOT / "repro" / "devtools" / "linecov.py"
+    spec = importlib.util.spec_from_file_location("_repro_linecov", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    # Registered before exec: dataclass construction looks the module up
+    # in sys.modules while the body is still executing.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_with_coverage_py(roots, tests, pytest_args):
+    """Engine A: coverage.py (preferred when installed)."""
+    import coverage
+
+    cov = coverage.Coverage(source=[str(root) for root in roots])
+    cov.start()
+    import pytest
+
+    status = pytest.main(["-q", "-p", "no:cacheprovider", *tests,
+                          *pytest_args])
+    cov.stop()
+    percent = cov.report(show_missing=False)
+    return int(status), float(percent), None
+
+
+def run_with_fallback(roots, tests, pytest_args):
+    """Engine B: the stdlib settrace collector."""
+    linecov = load_linecov_module()
+    collector = linecov.LineCollector(roots)
+    collector.start()
+    try:
+        import pytest
+
+        status = pytest.main(["-q", "-p", "no:cacheprovider", *tests,
+                              *pytest_args])
+    finally:
+        collector.stop()
+    report = linecov.measure(collector.executed, roots)
+    return int(status), report.percent, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("tests", nargs="*", default=None,
+                        help="pytest targets (default: tests/)")
+    parser.add_argument("--fail-under", type=float,
+                        default=DEFAULT_FAIL_UNDER,
+                        help="minimum total line coverage in percent")
+    parser.add_argument("--packages", nargs="+", default=list(DEFAULT_PACKAGES),
+                        help="src/repro subpackages the floor applies to")
+    parser.add_argument("--pytest-args", nargs=argparse.REMAINDER, default=[],
+                        help="extra arguments forwarded to pytest")
+    args = parser.parse_args(argv)
+
+    roots = [SRC_ROOT / "repro" / package for package in args.packages]
+    for root in roots:
+        if not root.is_dir():
+            parser.error(f"no such package directory: {root}")
+    tests = args.tests or [str(REPO_ROOT / "tests")]
+
+    sys.path.insert(0, str(SRC_ROOT))
+    try:
+        import coverage  # noqa: F401
+        engine = "coverage.py"
+        runner = run_with_coverage_py
+    except ImportError:
+        engine = "repro.devtools.linecov (stdlib fallback)"
+        runner = run_with_fallback
+
+    print(f"[coverage] engine: {engine}")
+    print(f"[coverage] measuring: "
+          f"{', '.join(f'src/repro/{p}' for p in args.packages)}")
+    status, percent, report = runner(roots, tests, args.pytest_args)
+
+    if report is not None:
+        print(report.render(relative_to=REPO_ROOT))
+    print(f"[coverage] total line coverage: {percent:.1f}% "
+          f"(floor {args.fail_under:.1f}%)")
+    if status != 0:
+        print("[coverage] FAILED: test run was not clean")
+        return 1
+    if percent < args.fail_under:
+        print(f"[coverage] FAILED: coverage {percent:.1f}% is below the "
+              f"{args.fail_under:.1f}% floor")
+        return 2
+    print("[coverage] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

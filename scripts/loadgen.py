@@ -16,7 +16,10 @@ p50/p99 latency, cache hit rate):
   one-shot unique queries, served twice: once with plain LRU (the hit rate
   collapses -- every flood evicts the hot set) and once with the
   doorkeeper admission policy (``--cache-admission``), which keeps the hot
-  set resident.
+  set resident;
+* ``retrieval`` -- top-k requests (``--topk`` nearest CAM rows per query,
+  ``submit_topk``) with a repeated tail that exercises the (query, k)
+  cache keys: the retrieval workload the partial gather exists for.
 
 ``--engine sharded`` serves every scenario through a
 :class:`~repro.shard.ShardedEngine` cluster (``--shards`` / ``--replicas``
@@ -63,12 +66,19 @@ from repro.serve import (  # noqa: E402  (path bootstrap above)
 )
 from repro.shard import build_demo_sharded_engine  # noqa: E402
 
-SCENARIOS = ("uniform", "bursty", "zipf", "cache_busting")
+SCENARIOS = ("uniform", "bursty", "zipf", "cache_busting", "retrieval")
 
 
 def build_queries(scenario: str, args: argparse.Namespace,
                   rng: np.random.Generator) -> np.ndarray:
     """The ``(requests, input_dim)`` query stream of one scenario."""
+    if scenario == "retrieval":
+        # Mostly-unique lookups with a repeated tail: the tail replays the
+        # head, so the (query, k)-keyed result cache sees genuine hits.
+        unique = max(1, (args.requests * 3) // 4)
+        head = rng.standard_normal((unique, args.input_dim))
+        tail = head[: args.requests - unique]
+        return np.concatenate([head, tail]) if len(tail) else head
     if scenario == "zipf":
         pool = rng.standard_normal((args.pool, args.input_dim))
         draws = rng.zipf(args.zipf_alpha, size=args.requests) % args.pool
@@ -125,7 +135,10 @@ def serve_queries(scenario: str, args: argparse.Namespace,
         start = time.perf_counter()
         futures = []
         for index, query in enumerate(queries):
-            futures.append(server.submit(query))
+            if scenario == "retrieval":
+                futures.append(server.submit_topk(query, args.topk))
+            else:
+                futures.append(server.submit(query))
             if scenario == "bursty" and (index + 1) % args.burst == 0:
                 time.sleep(args.gap_ms / 1e3)
             elif args.rate > 0:
@@ -187,8 +200,37 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
             "admission_threshold": cache_admission,
         }
     if args.verify:
-        report["verified"] = verify_responses(args, queries, responses)
+        if scenario == "retrieval":
+            report["verified"] = verify_topk_responses(args, queries, responses)
+        else:
+            report["verified"] = verify_responses(args, queries, responses)
     return report
+
+
+def verify_topk_responses(args: argparse.Namespace, queries: np.ndarray,
+                          responses: list) -> bool:
+    """Served top-k rows must be bit-identical to direct engine execution.
+
+    The reference is the *unsharded* demo engine, so a sharded run proves
+    the partial gather end to end; indices and distances are integers, so
+    the check is exact equality, never allclose.
+    """
+    reference_engine = build_demo_engine(classes=args.classes,
+                                         input_dim=args.input_dim,
+                                         hash_length=args.hash_length,
+                                         seed=args.seed)
+    expected = reference_engine.execute_topk(
+        reference_engine.prepare(queries), args.topk)
+    served = np.stack(responses)
+    if served.shape != expected.shape:
+        print(f"[loadgen] VERIFY FAIL: top-k shape {served.shape} != "
+              f"{expected.shape}")
+        return False
+    if not np.array_equal(served, expected):
+        print("[loadgen] VERIFY FAIL: served top-k rows are not "
+              "bit-identical to direct execution")
+        return False
+    return True
 
 
 def verify_responses(args: argparse.Namespace, queries: np.ndarray,
@@ -281,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="bursty scenario: idle gap between bursts")
     parser.add_argument("--pool", type=int, default=128,
                         help="zipf scenario: distinct queries in the pool")
+    parser.add_argument("--topk", type=int, default=8,
+                        help="retrieval scenario: nearest rows per query")
     parser.add_argument("--zipf-alpha", type=float, default=1.3)
     parser.add_argument("--engine", choices=("cam", "sharded"), default="cam",
                         help="serve through the single-array demo engine or "

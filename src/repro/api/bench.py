@@ -10,7 +10,8 @@ repository root:
   (:func:`repro.core.hashing.hamming_distance_matrix_unpacked`) across a
   rows x hash-length grid, plus the packing cost itself.
 * ``BENCH_e2e.json`` -- end-to-end workloads: approximate inference through
-  the DeepCAM backend, bit-level CAM batch search, batch hashing, and
+  the DeepCAM backend, bit-level CAM batch search, batch hashing, the
+  serving/sharding suites, the retrieval partial-vs-full-gather curve, and
   (unless skipped) the pytest-benchmark timings of the paper-figure
   workloads under ``benchmarks/``.
 
@@ -86,6 +87,19 @@ SHARD_ACCEPTANCE_WORKLOAD: dict[str, int] = {
 }
 SHARD_ACCEPTANCE_REQUESTS: int = 1000
 SHARD_ACCEPTANCE_MIN_SPEEDUP: float = 1.5
+
+#: The retrieval acceptance workload: a 16384-row cluster (4 shards) at
+#: 256-bit signatures, batches of 64 queries asking for the 16 nearest
+#: rows.  The top-k partial gather must reach >= 2x the throughput of the
+#: full-gather-then-sort path (digitise every row, gather all of them,
+#: argsort) on the same cluster -- results asserted bit-identical first.
+RETRIEVAL_ACCEPTANCE_WORKLOAD: dict[str, int] = {
+    "rows": 16384, "k": 16, "shards": 4, "word_bits": 256, "batch": 64,
+}
+RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP: float = 2.0
+
+#: k values of the partial-vs-full gather curve (the acceptance k included).
+RETRIEVAL_CURVE_KS: tuple[int, ...] = (4, 16, 64)
 
 #: (rows, hash_length) grid of the kernel microbench.
 DEFAULT_KERNEL_GRID: tuple[tuple[int, int], ...] = (
@@ -646,6 +660,120 @@ def shard_benchmarks(total_requests: int = SHARD_ACCEPTANCE_REQUESTS,
             "passed": speedup >= SHARD_ACCEPTANCE_MIN_SPEEDUP,
         },
     }
+    return records, summary
+
+
+# -- retrieval workloads -------------------------------------------------------
+
+
+def build_retrieval_workload(rows: int, word_bits: int, shards: int,
+                             batch: int, seed: int = 0) -> tuple[Any, np.ndarray]:
+    """A populated sharded cluster plus one packed query batch.
+
+    Shared by :func:`retrieval_benchmarks` and the acceptance test so the
+    recorded numbers and the asserted gate measure the same workload.
+    """
+    from repro.shard import ShardedCamPipeline
+
+    rng = np.random.default_rng(seed)
+    pipeline = ShardedCamPipeline(total_rows=rows, word_bits=word_bits,
+                                  num_shards=shards)
+    pipeline.write_rows(rng.integers(0, 2, size=(rows, word_bits),
+                                     dtype=np.uint8))
+    queries = pack_bits(rng.integers(0, 2, size=(batch, word_bits),
+                                     dtype=np.uint8))
+    return pipeline, queries
+
+
+def retrieval_benchmarks(quick: bool = False, rounds: int | None = None,
+                         seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Partial-gather vs full-gather-then-sort curve on the retrieval cluster.
+
+    For every ``k`` in :data:`RETRIEVAL_CURVE_KS` (``quick`` trims the
+    curve to the acceptance ``k``, never the workload), the
+    :data:`RETRIEVAL_ACCEPTANCE_WORKLOAD` cluster answers the same packed
+    query batch twice:
+
+    * ``retrieval/partial_gather`` -- the native top-k path
+      (``ShardedCamPipeline.topk_packed``): per-shard selection on raw
+      mismatch counts, ``k x shards`` gathered values per query, only the
+      survivors digitised;
+    * ``retrieval/full_gather_sort`` -- the sort-after-the-fact baseline
+      (:func:`repro.retrieval.topk_via_full_search`): digitise and gather
+      every row, then argsort.
+
+    Both paths are asserted bit-identical (indices and distances) before
+    any timing.  Returns ``(records, summary)``; the summary carries the
+    per-k throughputs and speedups, the gather-traffic reduction and the
+    acceptance verdict (>= :data:`RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP` x at
+    the acceptance ``k``), which ``scripts/bench.py`` folds into
+    ``BENCH_e2e.json`` under ``"retrieval"``.
+    """
+    from repro.retrieval import topk_via_full_search
+
+    workload = RETRIEVAL_ACCEPTANCE_WORKLOAD
+    effective_rounds = rounds if rounds is not None else (3 if quick else 5)
+    # The acceptance k is always measured, whatever the curve is edited to
+    # -- the summary's "acceptance" entry must exist unconditionally.
+    curve = ((workload["k"],) if quick
+             else tuple(dict.fromkeys((*RETRIEVAL_CURVE_KS, workload["k"]))))
+    pipeline, queries = build_retrieval_workload(
+        workload["rows"], workload["word_bits"], workload["shards"],
+        workload["batch"], seed=seed)
+    batch = int(queries.shape[0])
+
+    records: list[BenchRecord] = []
+    throughput_qps: dict[str, float] = {}
+    speedups: dict[str, float] = {}
+    gathered_values: dict[str, dict[str, int]] = {}
+    acceptance: dict[str, Any] | None = None
+    for k in curve:
+        partial = pipeline.topk_packed(queries, k)
+        full_indices, full_distances = topk_via_full_search(pipeline, queries,
+                                                            k)
+        if not (np.array_equal(partial.indices, full_indices)
+                and np.array_equal(partial.distances, full_distances)):
+            raise AssertionError(
+                f"partial gather diverged from full-gather-sort at k={k}")
+
+        cell = (f"rows={workload['rows']},k={k},shards={workload['shards']}")
+        params = {**workload, "k": k}
+        partial_record = benchmark_callable(
+            f"retrieval/partial_gather/{cell}", "retrieval", params,
+            lambda k=k: pipeline.topk_packed(queries, k),
+            rounds=effective_rounds)
+        full_record = benchmark_callable(
+            f"retrieval/full_gather_sort/{cell}", "retrieval", params,
+            lambda k=k: topk_via_full_search(pipeline, queries, k),
+            rounds=effective_rounds)
+        records.extend((partial_record, full_record))
+
+        speedup = full_record.median_s / max(partial_record.median_s, 1e-12)
+        speedups[f"k={k}"] = speedup
+        throughput_qps[f"partial_gather_k={k}"] = batch / partial_record.median_s
+        throughput_qps[f"full_gather_sort_k={k}"] = batch / full_record.median_s
+        gathered_values[f"k={k}"] = {
+            "partial": int(partial.gathered_values),
+            "full": batch * workload["rows"],
+        }
+        if k == workload["k"]:
+            acceptance = {
+                "workload": cell,
+                "partial_median_s": partial_record.median_s,
+                "full_median_s": full_record.median_s,
+                "speedup": speedup,
+                "min_required_speedup": RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP,
+                "passed": speedup >= RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP,
+            }
+
+    summary: dict[str, Any] = {
+        "workload": dict(workload),
+        "throughput_qps": throughput_qps,
+        "speedups": speedups,
+        "gathered_values": gathered_values,
+    }
+    if acceptance is not None:
+        summary["acceptance"] = acceptance
     return records, summary
 
 

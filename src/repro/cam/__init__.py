@@ -16,9 +16,14 @@ This subpackage implements the CAM hardware that DeepCAM is built on
 * :mod:`repro.cam.energy_model` -- an EvaCAM-style analytical model of
   search energy, area and delay versus row count, word width and device
   technology, used for the Fig. 8 overhead sweep.
+* :mod:`repro.cam.topk` -- deterministic top-k selection over distance
+  matrices (``(distance, row id)`` total order), the substrate of the
+  retrieval path (``topk_packed`` on arrays and the sharded partial
+  gather).
 """
 
 from repro.cam.array import CamArray, CamSearchResult
+from repro.cam.topk import GATHER_CYCLES_PER_VALUE, TopKResult, select_topk
 from repro.cam.cell import CamCell, CellTechnology, CMOS_CAM_CELL, CMOS_TCAM_CELL, FEFET_CAM_CELL
 from repro.cam.dynamic import DynamicCam, DynamicCamConfig
 from repro.cam.energy_model import CamEnergyModel, CamOverheadReport
@@ -37,5 +42,8 @@ __all__ = [
     "DynamicCam",
     "DynamicCamConfig",
     "FEFET_CAM_CELL",
+    "GATHER_CYCLES_PER_VALUE",
     "SenseAmpReading",
+    "TopKResult",
+    "select_topk",
 ]

@@ -31,6 +31,13 @@ import numpy as np
 
 from repro.cam.cell import CamCell, FEFET_CAM_CELL
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.cam.topk import (
+    GATHER_CYCLES_PER_VALUE,
+    TopKResult,
+    empty_topk,
+    select_topk,
+    validate_k,
+)
 from repro.bitops import (
     pack_bits,
     packed_hamming_matrix,
@@ -367,6 +374,61 @@ class CamArray:
         self._search_count += num_queries
         latency = num_queries * self.search_latency_cycles
         return mismatches, energy, latency
+
+    def topk_packed(self, packed_queries: np.ndarray, k: int) -> TopKResult:
+        """Top-k nearest rows for a packed batch (the retrieval fast path).
+
+        Returns the ``k_eff = min(k, occupancy)`` best populated rows per
+        query as a :class:`~repro.cam.topk.TopKResult`, sorted ascending by
+        ``(sensed distance, row id)`` -- the deterministic tie-break every
+        layer of the retrieval stack shares.  Degenerate batches are shaped
+        no-ops exactly like :meth:`search_batch_packed`: an empty ``(0, w)``
+        batch, ``k = 0`` or an empty array returns zero-row/zero-column
+        results without issuing a search.
+
+        With the noise-free default sense amplifier the selection runs on
+        the raw mismatch counts (``argpartition`` over the count matrix) and
+        only the ``k`` survivors are digitised -- noise-free read-out is an
+        elementwise deterministic map, so this is bit-identical to
+        digitise-everything-then-sort while skipping the full read-out
+        pass.  A *noisy* amplifier digitises every populated row first, in
+        the exact flat order :meth:`search_batch_packed` uses, so the noise
+        stream is consumed identically and the top-k over the sensed
+        distances matches a full search followed by a sort.
+        """
+        k_eff = min(validate_k(k), self.occupancy)
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        num_queries = packed.shape[0]
+        if num_queries == 0 or k_eff == 0:
+            return empty_topk(num_queries, k_eff)
+        if packed.shape[1] != self._storage_words:
+            raise ValueError(
+                f"packed queries must have {self._storage_words} words, "
+                f"got {packed.shape[1]}"
+            )
+        counts, energy, latency = self._mismatch_core(packed)
+        populated = self._populated
+        row_ids = np.nonzero(populated)[0].astype(np.int64)
+        populated_counts = counts[:, populated]
+        if self.sense_amp.timing_noise_sigma_ps > 0.0:
+            sensed = self.sense_amp.estimate_distances(
+                populated_counts.reshape(-1)).reshape(num_queries, -1)
+            indices, distances = select_topk(sensed, row_ids, k_eff, self.rows)
+        else:
+            indices, raw = select_topk(populated_counts, row_ids, k_eff,
+                                       self.rows)
+            distances = np.asarray(self.sense_amp.estimate_distances(
+                raw.reshape(-1)), dtype=np.int64).reshape(raw.shape)
+        gathered = num_queries * k_eff
+        return TopKResult(
+            indices=indices,
+            distances=distances,
+            energy_pj=energy,
+            latency_cycles=latency + gathered * GATHER_CYCLES_PER_VALUE,
+            gathered_values=gathered,
+        )
 
     def _search_packed_batch(self, packed_queries: np.ndarray) -> tuple[np.ndarray, float, int]:
         """Shared body of the batch search paths (validated packed input)."""

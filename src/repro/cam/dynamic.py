@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.bitops import words_for_bits
 from repro.cam.array import CamArray, CamSearchResult
+from repro.cam.topk import TopKResult, empty_topk, validate_k
 from repro.cam.cell import CamCell, FEFET_CAM_CELL
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
 
@@ -322,6 +323,27 @@ class DynamicCam:
             return np.zeros((0, self.rows), dtype=np.int64), 0.0, 0
         counts, energy, latency = self._array.mismatch_counts_packed(packed)
         return counts, energy * self._active_energy_fraction, latency
+
+    def topk_packed(self, packed_queries: np.ndarray, k: int) -> TopKResult:
+        """Top-k nearest rows at the active width (the retrieval fast path).
+
+        The dynamic-CAM counterpart of :meth:`CamArray.topk_packed`:
+        queries arrive packed at the *active* word width, are zero-extended
+        to full width in the packed domain, and the search energy is scaled
+        down to the enabled fraction of the row.  Indices, distances and
+        the gather accounting are exactly the underlying array's.
+        """
+        packed = self._extend_packed_queries(packed_queries)
+        if packed is None:
+            return empty_topk(0, min(validate_k(k), self.occupancy))
+        result = self._array.topk_packed(packed, k)
+        return TopKResult(
+            indices=result.indices,
+            distances=result.distances,
+            energy_pj=result.energy_pj * self._active_energy_fraction,
+            latency_cycles=result.latency_cycles,
+            gathered_values=result.gathered_values,
+        )
 
     @property
     def populated_mask(self) -> np.ndarray:

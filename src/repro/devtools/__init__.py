@@ -1,0 +1,23 @@
+"""``repro.devtools`` -- development-time tooling (not part of the model).
+
+Currently: :mod:`repro.devtools.linecov`, the stdlib-only line-coverage
+collector behind ``make coverage`` (used when ``coverage.py`` is not
+installed).  Nothing here is imported by the accelerator model itself, and
+the coverage floor deliberately excludes this package.
+"""
+
+from repro.devtools.linecov import (
+    CoverageReport,
+    FileCoverage,
+    LineCollector,
+    executable_lines,
+    measure,
+)
+
+__all__ = [
+    "CoverageReport",
+    "FileCoverage",
+    "LineCollector",
+    "executable_lines",
+    "measure",
+]

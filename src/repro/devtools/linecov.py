@@ -1,0 +1,221 @@
+"""Stdlib-only line coverage: a ``sys.settrace`` collector + a line census.
+
+``make coverage`` gates the CAM/shard/serve/retrieval packages on a line
+-coverage floor.  The preferred engine is ``coverage.py`` -- but this
+repository must run on bare-toolchain boxes where it is not installed, so
+this module provides the fallback: a :class:`LineCollector` that records
+executed lines through the standard ``sys.settrace`` / ``threading.settrace``
+hooks (worker threads included -- the serve stack lives in them), and
+:func:`executable_lines`, which derives the executable-line census from the
+compiled code objects (``co_lines``) rather than from heuristics on source
+text.
+
+Scope filtering happens at function-call granularity: the global trace
+callback returns ``None`` for frames outside the measured roots, so
+out-of-scope code pays one prefix check per call and no per-line cost.
+
+Single-line ``# pragma: no cover`` exclusions are honoured; a pragma on a
+``def`` / ``class`` line excludes that whole code object.  Import-time
+module lines count as executable, so collectors must be started *before*
+the measured packages are imported (``scripts/coverage_run.py`` loads this
+module by file path for exactly that reason).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from types import CodeType
+from typing import Dict, Iterable, Mapping, Sequence, Set, Tuple
+
+#: Marker excluding a line (or, on a def/class line, a whole code object).
+PRAGMA = "pragma: no cover"
+
+
+class LineCollector:
+    """Records executed line numbers for files under the given roots.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.  The
+    collector installs itself via ``sys.settrace`` *and*
+    ``threading.settrace`` so threads spawned while it is active (server
+    workers, shard fan-out pools) are measured too.  ``executed`` maps
+    absolute file paths to the set of executed line numbers; ``set.add``
+    is atomic under the GIL, so no further synchronisation is needed.
+    """
+
+    def __init__(self, roots: Iterable[str | os.PathLike]) -> None:
+        self._prefixes: Tuple[str, ...] = tuple(
+            os.path.abspath(str(root)) + os.sep for root in roots)
+        self.executed: Dict[str, Set[int]] = {}
+        self._active = False
+        self._previous_trace = None
+        self._previous_thread_trace = None
+
+    def start(self) -> "LineCollector":
+        """Install the trace hooks (idempotent); returns ``self``.
+
+        The previously installed tracers are saved and restored by
+        :meth:`stop`, so a collector nested inside another measured run
+        (the coverage gate measuring these very tests) never silently
+        disables its host.
+        """
+        if not self._active:
+            self._active = True
+            self._previous_trace = sys.gettrace()
+            self._previous_thread_trace = threading.gettrace()
+            threading.settrace(self._global_trace)
+            sys.settrace(self._global_trace)
+        return self
+
+    def stop(self) -> None:
+        """Remove the trace hooks, restoring any prior ones (idempotent)."""
+        if self._active:
+            sys.settrace(self._previous_trace)
+            threading.settrace(self._previous_thread_trace)
+            self._previous_trace = None
+            self._previous_thread_trace = None
+            self._active = False
+
+    def __enter__(self) -> "LineCollector":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _global_trace(self, frame, event, arg):
+        """Per-call scope gate: line tracing only inside the roots."""
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(self._prefixes):
+            return None
+        lines = self.executed.setdefault(filename, set())
+        lines.add(frame.f_lineno)
+        add = lines.add
+
+        def _local_trace(frame, event, arg):
+            if event == "line":
+                add(frame.f_lineno)
+            return _local_trace
+
+        return _local_trace
+
+
+def executable_lines(source: str, filename: str = "<string>") -> Set[int]:
+    """Line numbers the compiled module could execute.
+
+    Walks the module's code object tree and collects every line
+    ``co_lines`` attributes bytecode to -- the same census a tracer can
+    ever report against.  Lines carrying :data:`PRAGMA` are excluded; a
+    pragma on a code object's first line (its ``def``/``class`` header)
+    excludes the whole object, nested objects included.
+    """
+    code = compile(source, filename, "exec")
+    source_lines = source.splitlines()
+
+    def has_pragma(line_number: int) -> bool:
+        if 1 <= line_number <= len(source_lines):
+            return PRAGMA in source_lines[line_number - 1]
+        return False
+
+    lines: Set[int] = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        if current is not code and has_pragma(current.co_firstlineno):
+            continue
+        for _start, _end, line in current.co_lines():
+            if line is not None and not has_pragma(line):
+                lines.add(line)
+        stack.extend(const for const in current.co_consts
+                     if isinstance(const, CodeType))
+    return lines
+
+
+@dataclass(frozen=True)
+class FileCoverage:
+    """Line coverage of one source file."""
+
+    path: str
+    executable: int
+    covered: int
+    missing: Tuple[int, ...]
+
+    @property
+    def percent(self) -> float:
+        """Covered fraction in percent (empty files count as fully covered)."""
+        if self.executable == 0:
+            return 100.0
+        return 100.0 * self.covered / self.executable
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Aggregate line coverage over the measured roots."""
+
+    files: Tuple[FileCoverage, ...]
+
+    @property
+    def total_executable(self) -> int:
+        return sum(entry.executable for entry in self.files)
+
+    @property
+    def total_covered(self) -> int:
+        return sum(entry.covered for entry in self.files)
+
+    @property
+    def percent(self) -> float:
+        if self.total_executable == 0:
+            return 100.0
+        return 100.0 * self.total_covered / self.total_executable
+
+    def render(self, relative_to: str | os.PathLike | None = None) -> str:
+        """Plain-text table: per-file lines, coverage, worst offenders first."""
+        base = os.path.abspath(str(relative_to)) if relative_to else None
+
+        def label(path: str) -> str:
+            if base and path.startswith(base + os.sep):
+                return path[len(base) + 1:]
+            return path
+
+        width = max([len(label(entry.path)) for entry in self.files] + [4])
+        rows = [f"{'file':<{width}}  {'lines':>6}  {'miss':>6}  {'cover':>6}"]
+        for entry in sorted(self.files, key=lambda e: (e.percent, e.path)):
+            rows.append(
+                f"{label(entry.path):<{width}}  {entry.executable:>6}  "
+                f"{entry.executable - entry.covered:>6}  "
+                f"{entry.percent:>5.1f}%")
+        rows.append(
+            f"{'TOTAL':<{width}}  {self.total_executable:>6}  "
+            f"{self.total_executable - self.total_covered:>6}  "
+            f"{self.percent:>5.1f}%")
+        return "\n".join(rows)
+
+
+def measure(executed: Mapping[str, Set[int]],
+            roots: Sequence[str | os.PathLike]) -> CoverageReport:
+    """Join executed lines against the census of every ``*.py`` under ``roots``.
+
+    Files never imported during the run still appear -- with zero covered
+    lines -- so dead modules cannot hide from the floor.
+    """
+    entries = []
+    for root in roots:
+        root_path = Path(root).resolve()
+        if not root_path.is_dir():
+            continue
+        for path in sorted(root_path.rglob("*.py")):
+            absolute = str(path)
+            census = executable_lines(path.read_text(), absolute)
+            hit = executed.get(absolute, set())
+            covered = census & hit
+            entries.append(FileCoverage(
+                path=absolute,
+                executable=len(census),
+                covered=len(covered),
+                missing=tuple(sorted(census - covered)),
+            ))
+    return CoverageReport(files=tuple(entries))

@@ -1,0 +1,67 @@
+"""``repro.retrieval`` -- top-k partial-gather search over the CAM cluster.
+
+The CAM arrays answer nearest-match queries in O(1), but the serving stack
+historically digitised *all* row distances and returned full logits.
+Retrieval-style workloads (k-NN lookup, semantic dedup, cache probing) only
+need the ``k`` best rows per query -- and on a sharded cluster they only
+need ``k x shards`` values to cross the result bus instead of every row.
+This subsystem makes that path native at every layer:
+
+* :class:`~repro.cam.topk.TopKResult` + :func:`~repro.cam.topk.select_topk`
+  -- deterministic ``(distance, global row id)`` selection, shared by every
+  layer so ties always break identically;
+* ``CamArray.topk_packed`` / ``DynamicCam.topk_packed`` -- single-array
+  top-k straight off the raw mismatch counts (noisy amplifiers digitise
+  first, consuming their noise stream exactly as a full search would);
+* ``ShardedCamPipeline.topk_packed`` -- the *partial gather*: each shard
+  ships only its local top-k candidates and the merge reconstructs the
+  exact global top-k, bit-identical to one big array;
+* :func:`full_sort_topk` -- the gather-everything-then-sort reference the
+  partial path is benchmarked (and property-tested) against;
+* :class:`RetrievalIndex` -- a float-vector k-NN index (random-projection
+  hashing + sharded CAM cluster) for corpus-style use;
+* ``MicroBatchServer.submit_topk`` /
+  :class:`~repro.serve.batching.TopKRequest` -- micro-batched top-k
+  serving with (query, k)-keyed result caching, mixed freely with
+  classification traffic on one server.
+
+Quickstart::
+
+    import numpy as np
+    from repro.retrieval import RetrievalIndex
+
+    corpus = np.random.default_rng(0).standard_normal((4096, 64))
+    index = RetrievalIndex(input_dim=64, capacity=4096, num_shards=4)
+    index.add(corpus)
+    hits = index.search(corpus[:8], k=5)     # TopKResult
+    print(hits.indices[0], hits.distances[0])
+
+``scripts/loadgen.py --scenario retrieval`` serves top-k traffic through
+the micro-batching server with verification against direct execution;
+``make bench`` records the partial-vs-full-gather curve in
+``BENCH_e2e.json`` (gate: >= 2x full-gather-then-sort throughput at
+rows=16384, k=16, shards=4).
+"""
+
+from repro.cam.topk import (
+    GATHER_CYCLES_PER_VALUE,
+    TopKResult,
+    decode_topk_rows,
+    encode_topk_rows,
+    select_topk,
+    validate_k,
+)
+from repro.retrieval.index import RetrievalIndex
+from repro.retrieval.reference import full_sort_topk, topk_via_full_search
+
+__all__ = [
+    "GATHER_CYCLES_PER_VALUE",
+    "RetrievalIndex",
+    "TopKResult",
+    "decode_topk_rows",
+    "encode_topk_rows",
+    "full_sort_topk",
+    "select_topk",
+    "topk_via_full_search",
+    "validate_k",
+]

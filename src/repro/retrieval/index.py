@@ -1,0 +1,115 @@
+"""A float-vector k-NN index over the sharded CAM cluster.
+
+:class:`RetrievalIndex` is the corpus-facing face of the retrieval path:
+vectors go in through the same random-projection hashing the inference
+pipeline uses (paper Eq. 2: Hamming distance between signatures tracks the
+angle between vectors), land in a :class:`~repro.shard.pipeline.ShardedCamPipeline`
+as packed CAM rows, and come back out through the top-k partial gather.
+Row ids are insertion order, so callers can map results straight back to
+their own corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.cam.topk import TopKResult, validate_k
+from repro.core.hashing import RandomProjectionHasher
+from repro.shard.pipeline import ShardedCamPipeline
+
+
+class RetrievalIndex:
+    """Approximate nearest-neighbour index: hash once, search in O(1).
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the indexed vectors.
+    capacity:
+        Maximum number of vectors the index holds (the cluster's rows).
+    hash_length:
+        Signature length in bits (the CAM word width).  Longer signatures
+        track angles more faithfully at linearly higher search energy.
+    num_shards / policy / num_replicas / routing / fanout / num_workers:
+        Cluster geometry, forwarded to
+        :class:`~repro.shard.pipeline.ShardedCamPipeline`.
+    seed:
+        Seed of the shared random projection.
+    sense_amp:
+        Cluster sense amplifier override (``None`` keeps the noise-free
+        default at ``hash_length``).
+    """
+
+    def __init__(self, input_dim: int, capacity: int,
+                 hash_length: int = 256, num_shards: int = 2,
+                 policy: str = "contiguous", num_replicas: int = 1,
+                 routing: str = "round_robin", fanout: str = "fused",
+                 num_workers: Optional[int] = None, seed: int = 0,
+                 sense_amp: Optional[ClockedSelfReferencedSenseAmp] = None) -> None:
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.input_dim = int(input_dim)
+        self.capacity = int(capacity)
+        self.hash_length = int(hash_length)
+        self.hasher = RandomProjectionHasher(self.input_dim, self.hash_length,
+                                             seed=seed)
+        self.pipeline = ShardedCamPipeline(
+            total_rows=self.capacity, word_bits=self.hash_length,
+            num_shards=num_shards, policy=policy,
+            num_replicas=num_replicas, routing=routing, fanout=fanout,
+            num_workers=num_workers, sense_amp=sense_amp)
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of indexed vectors."""
+        return self._size
+
+    def _validate_batch(self, vectors: np.ndarray, what: str) -> np.ndarray:
+        data = np.asarray(vectors, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != self.input_dim:
+            raise ValueError(
+                f"{what} must have shape (n, {self.input_dim}), "
+                f"got {data.shape}")
+        return data
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Index a ``(n, input_dim)`` batch; returns the assigned row ids."""
+        data = self._validate_batch(vectors, "vectors")
+        count = data.shape[0]
+        if self._size + count > self.capacity:
+            raise ValueError(
+                f"cannot add {count} vectors: index holds {self._size} of "
+                f"{self.capacity}")
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        self.pipeline.write_rows(self.hasher.hash_batch(data),
+                                 start_row=self._size)
+        ids = np.arange(self._size, self._size + count, dtype=np.int64)
+        self._size += count
+        return ids
+
+    def search(self, queries: np.ndarray, k: int) -> TopKResult:
+        """The ``min(k, len(self))`` nearest indexed vectors per query.
+
+        Nearness is signature Hamming distance (a monotone proxy for the
+        angle between vectors); ties break toward the lower row id.  Runs
+        the cluster's partial gather -- ``k x shards`` gathered values per
+        query instead of ``capacity``.
+        """
+        data = self._validate_batch(queries, "queries")
+        validate_k(k)
+        return self.pipeline.topk_packed(self.hasher.hash_batch_packed(data),
+                                         k)
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster snapshot plus index occupancy."""
+        snapshot = self.pipeline.stats()
+        snapshot["indexed_vectors"] = self._size
+        snapshot["capacity"] = self.capacity
+        snapshot["hash_length"] = self.hash_length
+        return snapshot

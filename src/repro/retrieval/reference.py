@@ -1,0 +1,61 @@
+"""The full-gather-then-sort reference the partial gather is measured against.
+
+Before ``topk_packed`` existed, a caller wanting the ``k`` nearest rows had
+exactly one option: run the full search (digitise and gather *every* row),
+then sort the resulting distance matrix -- ``full_gather_sort`` in the
+benchmark records.  That path stays here, first as the correctness oracle
+the property tests compare the native top-k against, and second as the
+baseline workload whose throughput the acceptance gate divides by.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.cam.topk import combine_keys, validate_k
+
+
+def full_sort_topk(distances: np.ndarray,
+                   k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k by fully sorting a sensed ``(batch, rows)`` distance matrix.
+
+    ``distances`` is exactly what ``search_batch_packed`` returns:
+    per-row sensed Hamming distances with ``-1`` marking unpopulated rows
+    (excluded from the ranking).  The result is sorted ascending by
+    ``(distance, global row id)`` -- the same total order the native
+    top-k path uses -- so the two agree bit for bit.
+    """
+    matrix = np.asarray(distances)
+    if matrix.ndim != 2:
+        raise ValueError("distances must be a 2-D (batch, rows) matrix")
+    batch, rows = matrix.shape
+    populated = ~np.any(matrix < 0, axis=0) if batch else np.ones(rows, bool)
+    row_ids = np.nonzero(populated)[0].astype(np.int64)
+    k_eff = min(validate_k(k), int(row_ids.size))
+    if batch == 0 or k_eff == 0:
+        return (np.zeros((batch, k_eff), dtype=np.int64),
+                np.zeros((batch, k_eff), dtype=np.int64))
+    candidates = matrix[:, populated]
+    # The deliberate sort-after-the-fact: one full O(n log n) argsort per
+    # query over the combined (distance, row id) keys.
+    order = np.argsort(combine_keys(candidates, row_ids, rows), axis=1,
+                       kind="stable")[:, :k_eff]
+    indices = row_ids[order]
+    topk_distances = np.take_along_axis(candidates, order, axis=1)
+    return indices, topk_distances.astype(np.int64)
+
+
+def topk_via_full_search(port: Any, packed_queries: np.ndarray,
+                         k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Full search + full sort on any batch-search port (the baseline path).
+
+    ``port`` is anything with the ``search_batch_packed`` surface
+    (:class:`~repro.cam.array.CamArray`,
+    :class:`~repro.shard.pipeline.ShardedCamPipeline`, ...).  Every row is
+    digitised and gathered, then sorted down to ``k`` -- the work
+    ``topk_packed`` exists to avoid.
+    """
+    distances, _energy, _latency = port.search_batch_packed(packed_queries)
+    return full_sort_topk(distances, k)

@@ -22,7 +22,11 @@ request at a time.  This subsystem closes that gap:
 
 Engines that outgrow one CAM array scale out through :mod:`repro.shard`:
 a :class:`~repro.shard.engine.ShardedEngine` serves through this subsystem
-unchanged, bit-identical to its unsharded twin.
+unchanged, bit-identical to its unsharded twin.  Retrieval traffic rides
+the same queue: ``MicroBatchServer.submit_topk`` enqueues a
+:class:`~repro.serve.batching.TopKRequest`, drained batches are grouped by
+request kind, and top-k answers are cached under (query, k)-suffixed keys
+(see :mod:`repro.retrieval`).
 
 Quickstart::
 
@@ -43,6 +47,7 @@ from repro.serve.batching import (
     QueueFullError,
     ServeConfig,
     ServeRequest,
+    TopKRequest,
     adaptive_wait_s,
     drain_batch,
 )
@@ -83,6 +88,7 @@ __all__ = [
     "ServeMetrics",
     "ServeObserver",
     "ServeRequest",
+    "TopKRequest",
     "adaptive_wait_s",
     "build_demo_engine",
     "demo_queries",

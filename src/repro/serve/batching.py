@@ -118,6 +118,21 @@ class ServeRequest:
     enqueued_at: float = field(default_factory=time.perf_counter)
 
 
+@dataclass
+class TopKRequest(ServeRequest):
+    """One enqueued top-k retrieval request.
+
+    Rides the same bounded queue and micro-batcher as classification
+    requests; the worker groups a drained batch by ``k`` (``None`` for
+    plain classification) so each group executes as one batched call.  The
+    ``future`` resolves to a read-only encoded ``(2 * k_eff,)`` row of
+    ``[row ids | distances]`` (:func:`repro.cam.topk.decode_topk_rows`
+    splits it back).
+    """
+
+    k: int = 1
+
+
 def adaptive_wait_s(max_wait_s: float, queue_depth: int, max_batch: int) -> float:
     """Load-proportional flush window (the ``adaptive_wait`` policy).
 

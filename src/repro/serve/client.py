@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.cam.topk import decode_topk_rows
 from repro.serve.batching import ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.server import MicroBatchServer
@@ -106,6 +107,37 @@ class ServeClient:
         wait = timeout if timeout is not None else self.timeout_s
         futures = self.server.submit_many(samples, timeout=wait)
         return np.stack([future.result(wait) for future in futures])
+
+    def topk(self, sample: np.ndarray, k: int,
+             timeout: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one top-k retrieval request; returns ``(indices, distances)``.
+
+        ``indices`` are the global CAM row ids of the ``min(k, rows)`` best
+        matches (ascending by distance, ties toward lower row id) and
+        ``distances`` the sensed Hamming distances, both ``(k_eff,)``
+        ``int64`` arrays.  Timeout semantics match :meth:`infer`.
+        """
+        wait = timeout if timeout is not None else self.timeout_s
+        row = self.server.submit_topk(sample, k, timeout=wait).result(wait)
+        indices, distances = decode_topk_rows(row)
+        return indices[0], distances[0]
+
+    def topk_many(self, samples: Sequence[np.ndarray] | np.ndarray, k: int,
+                  timeout: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Serve several top-k requests; returns stacked ``(n, k_eff)`` arrays."""
+        samples = list(samples) if not isinstance(samples, np.ndarray) else samples
+        wait = timeout if timeout is not None else self.timeout_s
+        if len(samples) == 0:
+            width = 0
+            topk_width = getattr(self.server.engine, "topk_width", None)
+            if callable(topk_width):
+                width = topk_width(k) // 2
+            empty = np.zeros((0, width), dtype=np.int64)
+            return empty, empty.copy()
+        futures = [self.server.submit_topk(sample, k, timeout=wait)
+                   for sample in samples]
+        rows = np.stack([future.result(wait) for future in futures])
+        return decode_topk_rows(rows)
 
     # -- reporting ---------------------------------------------------------------
 

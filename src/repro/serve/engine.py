@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.cam.array import CamArray
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.cam.topk import TopKResult, encode_topk_rows, validate_k
 from repro.core.hashing import RandomProjectionHasher
 from repro.core.minifloat import Minifloat
 from repro.hw.cosine_unit import CosineUnit
@@ -251,6 +252,43 @@ class CamPipelineEngine:
                 prepared.packed_words)
             self._queries_served += prepared.size
         return distances[:, : self.classes]
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def topk_width(self, k: int) -> int:
+        """Row width of an encoded top-k answer for this engine.
+
+        ``2 * min(k, classes)``: every populated CAM row is a prototype, so
+        asking for more neighbours than prototypes returns them all.
+        """
+        return 2 * min(validate_k(k), self.classes)
+
+    def execute_topk(self, prepared: PreparedBatch, k: int) -> np.ndarray:
+        """The ``k`` nearest prototype rows per query, as encoded rows.
+
+        The retrieval sibling of :meth:`execute`: one packed top-k CAM
+        search (``topk_packed`` on the array or the sharded cluster's
+        partial gather) returning ``(n, 2 * k_eff)`` rows of
+        ``[row ids | sensed Hamming distances]``
+        (:func:`~repro.cam.topk.encode_topk_rows`).  Like the logits path,
+        the answer is a pure function of (packed signature, k) for
+        noise-free amplifiers, so the server memoises it under the
+        (query, k)-suffixed cache key.
+        """
+        if prepared.packed_words is None:
+            prepared = self.prepare(prepared.queries)
+        width = self.topk_width(k)
+        if prepared.size == 0 or width == 0:
+            return np.empty((prepared.size, width), dtype=np.float64)
+        result = self._topk_result(prepared, k)
+        return encode_topk_rows(result.indices, result.distances)
+
+    def _topk_result(self, prepared: PreparedBatch, k: int) -> TopKResult:
+        """Top-k search under the single-port CAM lock (see _search_counts)."""
+        with self._cam_lock:
+            result = self.cam.topk_packed(prepared.packed_words, k)
+            self._queries_served += prepared.size
+        return result
 
     # -- reporting ---------------------------------------------------------------
 

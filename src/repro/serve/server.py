@@ -35,10 +35,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cam.topk import validate_k
 from repro.serve.batching import (
     QueueFullError,
     ServeConfig,
     ServeRequest,
+    TopKRequest,
     adaptive_wait_s,
     drain_batch,
 )
@@ -193,6 +195,31 @@ class MicroBatchServer:
         to ``timeout`` seconds, then raises :class:`QueueFullError`);
         ``"reject"`` raises immediately when the queue is full.
         """
+        return self._enqueue(ServeRequest(sample=self._validate_sample(sample)),
+                             timeout)
+
+    def submit_topk(self, sample: np.ndarray, k: int,
+                    timeout: Optional[float] = None) -> "Future[np.ndarray]":
+        """Enqueue one top-k retrieval request; returns the future of its row.
+
+        The future resolves to a read-only encoded ``(2 * k_eff,)`` row of
+        ``[row ids | distances]`` (split it with
+        :func:`repro.cam.topk.decode_topk_rows`).  Top-k and classification
+        requests share the queue and micro-batcher; a drained batch is
+        grouped by kind, so mixing them costs one extra engine call per
+        distinct ``k`` in the batch, never a stall.  Backpressure follows
+        ``config.full_policy`` exactly as :meth:`submit`.
+        """
+        if not callable(getattr(self.engine, "execute_topk", None)):
+            raise TypeError(
+                f"engine {getattr(self.engine, 'name', '?')!r} does not "
+                f"support top-k retrieval (no execute_topk)")
+        return self._enqueue(
+            TopKRequest(sample=self._validate_sample(sample), k=validate_k(k)),
+            timeout)
+
+    def _validate_sample(self, sample: np.ndarray) -> np.ndarray:
+        """Shared submit-time validation of one sample."""
         if not self._running:
             raise RuntimeError("server is not running (call start() first)")
         data = np.asarray(sample, dtype=np.float64)
@@ -201,7 +228,11 @@ class MicroBatchServer:
                 f"sample must have shape ({self._input_dim},) for engine "
                 f"{getattr(self.engine, 'name', '?')!r}, got {data.shape}"
             )
-        request = ServeRequest(sample=data)
+        return data
+
+    def _enqueue(self, request: ServeRequest,
+                 timeout: Optional[float]) -> "Future[np.ndarray]":
+        """Shared enqueue + backpressure tail of the submit paths."""
         block = self.config.full_policy == "block"
         try:
             self._queue.put(request, block=block, timeout=timeout)
@@ -265,29 +296,50 @@ class MicroBatchServer:
         waited_ms = (collected_at - live[0].enqueued_at) * 1e3
         notify_all(self._observers, "batch_collected", len(live), waited_ms,
                    self._queue.qsize())
-        try:
-            results, hits = self._answer(live)
-        except Exception as error:  # noqa: BLE001 -- fail the batch, keep serving
-            for request in live:
-                request.future.set_exception(error)
+        # One coalesced engine call per request kind: classification
+        # (k=None) plus one group per distinct top-k size.  A failure fails
+        # only its own group; the other kinds in the batch still resolve.
+        groups: Dict[Optional[int], List[ServeRequest]] = {}
+        for request in live:
+            groups.setdefault(getattr(request, "k", None), []).append(request)
+        served = 0
+        total_hits = 0
+        for k, group in groups.items():
+            try:
+                results, hits = self._answer(group, k)
+            except Exception as error:  # noqa: BLE001 -- fail the group, keep serving
+                for request in group:
+                    request.future.set_exception(error)
+                    self._queue.task_done()
+                notify_all(self._observers, "batch_failed", len(group), error)
+                continue
+            done_at = time.perf_counter()
+            for request, row in zip(group, results):
+                request.future.set_result(row)
+                notify_all(self._observers, "request_completed",
+                           (done_at - request.enqueued_at) * 1e3)
                 self._queue.task_done()
-            notify_all(self._observers, "batch_failed", len(live), error)
-            return
-        done_at = time.perf_counter()
-        for request, row in zip(live, results):
-            request.future.set_result(row)
-            notify_all(self._observers, "request_completed",
-                       (done_at - request.enqueued_at) * 1e3)
-            self._queue.task_done()
-        notify_all(self._observers, "batch_completed", len(live), hits,
-                   len(live) - hits, (done_at - collected_at) * 1e3)
+            served += len(group)
+            total_hits += hits
+        # One batch_completed per *collected* micro-batch -- the batch
+        # count / size histogram / service window keep meaning what they
+        # measured before mixed-kind traffic existed.  Groups that failed
+        # already reported batch_failed and are excluded here.
+        if served:
+            notify_all(self._observers, "batch_completed", served, total_hits,
+                       served - total_hits,
+                       (time.perf_counter() - collected_at) * 1e3)
 
-    def _answer(self, live: List[ServeRequest]) -> tuple[List[np.ndarray], int]:
+    def _answer(self, live: List[ServeRequest],
+                k: Optional[int] = None) -> tuple[List[np.ndarray], int]:
         """Prepare, consult the cache, execute the misses; returns (rows, hits).
 
         Misses sharing a cache key within one micro-batch (Zipf-popular
         repeats arriving together) are coalesced: the engine computes each
-        distinct query once and every duplicate gets the same row.
+        distinct query once and every duplicate gets the same row.  For a
+        top-k group (``k`` is not ``None``) the engine's per-sample keys
+        are suffixed with ``k``, so a query's logits and its top-k answers
+        for different ``k`` coexist in one cache without aliasing.
         """
         samples = np.stack([request.sample for request in live])
         if self._prepare_takes_want_keys:
@@ -299,6 +351,9 @@ class MicroBatchServer:
         results: List[Optional[np.ndarray]] = [None] * count
         hits = 0
         keys = prepared.keys if self.cache is not None else None
+        if keys is not None and k is not None:
+            suffix = b"topk" + int(k).to_bytes(8, "little")
+            keys = tuple(key + suffix for key in keys)
         if keys is not None:
             for index, key in enumerate(keys):
                 row = self.cache.get(key)
@@ -323,7 +378,10 @@ class MicroBatchServer:
                 miss_slots = list(range(len(miss_indices)))
             subset = (prepared if len(execute_indices) == count
                       else prepared.select(execute_indices))
-            logits = np.asarray(self.engine.execute(subset))
+            if k is None:
+                logits = np.asarray(self.engine.execute(subset))
+            else:
+                logits = np.asarray(self.engine.execute_topk(subset, k))
             if logits.ndim != 2 or logits.shape[0] != len(execute_indices):
                 raise RuntimeError(
                     f"engine returned shape {logits.shape} for "

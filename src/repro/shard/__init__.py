@@ -10,7 +10,9 @@ This subsystem scales past that bound without changing a single answer:
   the single-array search surface: fan a packed batch out to every shard,
   gather raw mismatch counts, digitise once in global row order
   (bit-identical to one big array, summed energy accounting), with online
-  ``rebalance()`` / ``add_shard()``;
+  ``rebalance()`` / ``add_shard()`` -- plus the ``topk_packed`` *partial*
+  gather for retrieval workloads (each shard ships only its local top-k
+  candidates; see :mod:`repro.retrieval`);
 * :class:`~repro.shard.router.ShardRouter` -- per-shard replica selection
   (``round_robin`` / ``least_loaded``) so concurrent micro-batches land on
   different copies;

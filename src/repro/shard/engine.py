@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.cam.topk import TopKResult
 from repro.serve.engine import CamPipelineEngine, PreparedBatch
 from repro.shard.pipeline import ShardedCamPipeline
 
@@ -95,6 +96,13 @@ class ShardedEngine(CamPipelineEngine):
         with self._cam_lock:  # only the served-queries counter needs it
             self._queries_served += prepared.size
         return distances[:, : self.classes]
+
+    def _topk_result(self, prepared: PreparedBatch, k: int) -> TopKResult:
+        """Partial-gather top-k without a global lock (cluster synchronises)."""
+        result = self.cam.topk_packed(prepared.packed_words, k)
+        with self._cam_lock:  # only the served-queries counter needs it
+            self._queries_served += prepared.size
+        return result
 
     # -- cluster management ------------------------------------------------------
 

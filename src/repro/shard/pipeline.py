@@ -60,6 +60,13 @@ import numpy as np
 from repro.bitops import pack_bits, packed_hamming_matrix, words_for_bits
 from repro.cam.array import CamArray
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.cam.topk import (
+    GATHER_CYCLES_PER_VALUE,
+    TopKResult,
+    empty_topk,
+    select_topk,
+    validate_k,
+)
 from repro.serve.metrics import notify_all
 from repro.shard.plan import ShardPlan
 from repro.shard.router import ShardRouter
@@ -457,6 +464,192 @@ class ShardedCamPipeline:
             self._search_count += num_queries * plan.num_shards
             self._batches += 1
         return distances, energy, latency
+
+    def topk_packed(self, packed_queries: np.ndarray, k: int) -> TopKResult:
+        """Top-k scatter-gather search with a *partial* gather.
+
+        The retrieval counterpart of :meth:`search_batch_packed`: instead of
+        gathering every shard's full count column set and digitising all
+        rows, each shard contributes only its local ``min(k, occupancy)``
+        best candidates (selected on raw mismatch counts with the global
+        ``(distance, row id)`` tie-break) and the merge keeps the exact
+        global top-k -- ``k x shards`` values cross the result bus per query
+        instead of ``total_rows``, which is what
+        :attr:`~repro.cam.topk.TopKResult.gathered_values` and the gather
+        term of ``latency_cycles`` account.
+
+        Results are bit-identical to
+        :meth:`CamArray.topk_packed` on one big array holding all rows
+        (indices *and* distances): noise-free digitisation is elementwise
+        deterministic, so digitising only the merged survivors matches the
+        single array's read-out.  A *noisy* cluster amplifier cannot rank
+        rows from raw counts, so it falls back to the full gather -- every
+        populated row is digitised once in global row order (consuming the
+        noise stream exactly as :meth:`search_batch_packed` and the single
+        array do) and the top-k is taken over the sensed distances;
+        ``gathered_values`` then honestly reports the full gather.
+
+        Degenerate inputs are shaped no-ops like the search paths: an empty
+        ``(0, w)`` batch, ``k = 0`` or an unpopulated cluster returns
+        zero-sized results without issuing a search.
+        """
+        k = validate_k(k)
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if packed.ndim != 2:
+            raise ValueError("packed queries must be a 2-D word matrix")
+        num_queries = packed.shape[0]
+        k_eff = min(k, self.occupancy)
+        if num_queries == 0 or k_eff == 0:
+            return empty_topk(num_queries, k_eff)
+        expected_words = self._packed.shape[1]
+        if packed.shape[1] != expected_words:
+            raise ValueError(
+                f"packed queries must have {expected_words} words, "
+                f"got {packed.shape[1]}")
+        with self._state_lock:
+            plan, ports, locks = self.plan, self._ports, self._port_locks
+            router, fanout = self.router, self.fanout
+            executor = (self._fanout_executor(plan) if fanout == "ports"
+                        else None)
+            packed_storage, populated = self._packed, self._populated
+        noisy = getattr(self.sense_amp, "timing_noise_sigma_ps", 0.0) > 0
+        selection = router.begin_search()
+        try:
+            if noisy:
+                # Full gather: digitise every populated row in global row
+                # order (the same flat stream search_batch_packed feeds the
+                # amplifier), then select over the sensed distances.
+                if fanout == "fused":
+                    counts, energy, latency = self._search_fused(
+                        packed, packed_storage, plan, ports, selection)
+                else:
+                    counts, energy, latency = self._search_ports(
+                        packed, plan, ports, locks, executor, selection)
+                row_ids = np.nonzero(populated)[0].astype(np.int64)
+                with self._accounting_lock:
+                    sensed = self.sense_amp.estimate_distances(
+                        counts[:, populated].reshape(-1))
+                sensed = np.asarray(sensed, dtype=np.int64).reshape(
+                    num_queries, -1)
+                indices, distances = select_topk(sensed, row_ids, k_eff,
+                                                 self.rows)
+                gathered_per_query = int(row_ids.size)
+            elif fanout == "fused":
+                indices, raw, energy, latency, gathered_per_query = (
+                    self._topk_fused(packed, packed_storage, populated,
+                                     plan, ports, selection, k))
+                distances = self._digitise_selected(raw)
+            else:
+                indices, raw, energy, latency, gathered_per_query = (
+                    self._topk_ports(packed, populated, plan, ports, locks,
+                                     executor, selection, k))
+                distances = self._digitise_selected(raw)
+        finally:
+            router.end_search(selection)
+        with self._accounting_lock:
+            self._search_energy_pj += energy
+            self._search_count += num_queries * plan.num_shards
+            self._batches += 1
+        gathered = num_queries * gathered_per_query
+        return TopKResult(
+            indices=indices,
+            distances=distances,
+            energy_pj=energy,
+            latency_cycles=latency + gathered * GATHER_CYCLES_PER_VALUE,
+            gathered_values=gathered,
+        )
+
+    def _digitise_selected(self, raw: np.ndarray) -> np.ndarray:
+        """Noise-free elementwise read-out of the merged survivors only."""
+        return np.asarray(
+            self.sense_amp.estimate_distances(raw.reshape(-1)),
+            dtype=np.int64).reshape(raw.shape)
+
+    def _topk_fused(self, packed: np.ndarray, packed_storage: np.ndarray,
+                    populated: np.ndarray, plan: ShardPlan,
+                    ports: List[List[Any]], selection: Tuple[int, ...],
+                    k: int) -> tuple[np.ndarray, np.ndarray, float, int, int]:
+        """One vectorised kernel, then one global selection on raw counts.
+
+        The fused storage is already in global row order, so the global
+        top-k equals the merge of per-shard top-ks; the gather accounting
+        still reports the per-shard candidate traffic (``min(k, shard
+        occupancy)`` values per shard per query) the hardware would move.
+        """
+        num_queries = packed.shape[0]
+        started = time.perf_counter()
+        counts = packed_hamming_matrix(packed, packed_storage)
+        if populated.all():
+            row_ids = np.arange(self.rows, dtype=np.int64)
+            candidates = counts
+        else:
+            row_ids = np.nonzero(populated)[0].astype(np.int64)
+            candidates = counts[:, populated]
+        indices, raw = select_topk(candidates, row_ids, k, self.rows)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        energy = 0.0
+        latency = 0
+        gathered_per_query = 0
+        for shard in range(plan.num_shards):
+            port = ports[shard][selection[shard]]
+            energy += num_queries * port.search_energy_pj()
+            latency = max(latency, num_queries * port.search_latency_cycles)
+            shard_occupancy = int(
+                np.count_nonzero(populated[plan.shards[shard].global_rows]))
+            gathered_per_query += min(k, shard_occupancy)
+        if self._observers:
+            for shard in range(plan.num_shards):
+                notify_all(self._observers, "shard_search_completed",
+                           shard, selection[shard], num_queries, elapsed_ms)
+        return indices, raw, energy, latency, gathered_per_query
+
+    def _topk_ports(self, packed: np.ndarray, populated: np.ndarray,
+                    plan: ShardPlan, ports: List[List[Any]],
+                    locks: List[List[threading.Lock]],
+                    executor: Optional[ThreadPoolExecutor],
+                    selection: Tuple[int, ...],
+                    k: int) -> tuple[np.ndarray, np.ndarray, float, int, int]:
+        """Hardware-faithful partial gather: local top-k per port, one merge.
+
+        Each selected replica runs its own kernel and ships only its local
+        ``min(k, occupancy)`` best ``(count, global row id)`` candidates;
+        the merge selects the global top-k over the ``k x shards`` candidate
+        matrix.  Because every key carries its global row id, the merged
+        order is identical to a single array's selection.
+        """
+        num_queries = packed.shape[0]
+
+        def _topk_one(shard: int) -> tuple[np.ndarray, np.ndarray, float, int]:
+            spec = plan.shards[shard]
+            replica = selection[shard]
+            started = time.perf_counter()
+            with locks[shard][replica]:
+                counts, energy, latency = (
+                    ports[shard][replica].mismatch_counts_packed(packed))
+            local_populated = populated[spec.global_rows]
+            local_ids = spec.global_rows[local_populated]
+            local_indices, local_raw = select_topk(
+                counts[:, local_populated], local_ids, k, self.rows)
+            if self._observers:
+                notify_all(self._observers, "shard_search_completed",
+                           shard, replica, num_queries,
+                           (time.perf_counter() - started) * 1e3)
+            return local_indices, local_raw, energy, latency
+
+        if executor is not None and plan.num_shards > 1:
+            results = list(executor.map(_topk_one, range(plan.num_shards)))
+        else:
+            results = [_topk_one(shard) for shard in range(plan.num_shards)]
+
+        candidate_ids = np.concatenate(
+            [indices for indices, _, _, _ in results], axis=1)
+        candidate_raw = np.concatenate(
+            [raw for _, raw, _, _ in results], axis=1)
+        gathered_per_query = int(candidate_ids.shape[1])
+        indices, raw = select_topk(candidate_raw, candidate_ids, k, self.rows)
+        energy = float(sum(energy for _, _, energy, _ in results))
+        latency = max(latency for _, _, _, latency in results)
+        return indices, raw, energy, latency, gathered_per_query
 
     def _search_fused(self, packed: np.ndarray, packed_storage: np.ndarray,
                       plan: ShardPlan, ports: List[List[Any]],

@@ -66,6 +66,55 @@ class TestEmptyBatches:
             filled_array.search_batch(np.zeros(300, dtype=np.uint8))
         with pytest.raises(ValueError, match="2-D"):
             filled_array.search_batch_packed(np.zeros(5, dtype=np.uint64))
+        with pytest.raises(ValueError, match="2-D"):
+            filled_array.mismatch_counts_packed(np.zeros(5, dtype=np.uint64))
+        with pytest.raises(ValueError, match="2-D"):
+            filled_array.topk_packed(np.zeros(5, dtype=np.uint64), 3)
+
+    def test_cam_array_empty_mismatch_counts(self, filled_array):
+        # The scatter-gather substrate follows the same no-op contract:
+        # shaped (0, rows) counts, zero cost, no accounting movement.
+        for words in (1, 5, 9):
+            counts, energy, latency = filled_array.mismatch_counts_packed(
+                np.zeros((0, words), dtype=np.uint64))
+            assert counts.shape == (0, 24)
+            assert counts.dtype == np.int64
+            assert energy == 0.0 and latency == 0
+        assert filled_array.search_count == 0
+
+    def test_dynamic_cam_empty_mismatch_counts(self, filled_dynamic):
+        counts, energy, latency = filled_dynamic.mismatch_counts_packed(
+            np.zeros((0, 8), dtype=np.uint64))
+        assert counts.shape == (0, 16)
+        assert energy == 0.0 and latency == 0
+
+    def test_cam_array_empty_topk_batch(self, filled_array):
+        # k_eff still reflects the array (min(k, occupancy)), the batch
+        # axis is 0, and no search is issued -- for any word count.
+        for words in (1, 5, 9):
+            result = filled_array.topk_packed(
+                np.zeros((0, words), dtype=np.uint64), 3)
+            assert result.indices.shape == (0, 3)
+            assert result.distances.shape == (0, 3)
+            assert result.energy_pj == 0.0
+            assert result.latency_cycles == 0
+            assert result.gathered_values == 0
+        big = filled_array.topk_packed(np.zeros((0, 5), dtype=np.uint64), 999)
+        assert big.indices.shape == (0, filled_array.occupancy)
+        assert filled_array.search_count == 0
+
+    def test_cam_array_zero_k_topk_is_free(self, filled_array, rng):
+        queries = pack_bits(rng.integers(0, 2, size=(4, 300), dtype=np.uint8))
+        result = filled_array.topk_packed(queries, 0)
+        assert result.indices.shape == (4, 0)
+        assert result.energy_pj == 0.0 and result.latency_cycles == 0
+        assert filled_array.search_count == 0
+
+    def test_dynamic_cam_empty_topk_batch(self, filled_dynamic):
+        result = filled_dynamic.topk_packed(
+            np.zeros((0, 8), dtype=np.uint64), 4)
+        assert result.indices.shape == (0, 4)
+        assert result.energy_pj == 0.0 and result.latency_cycles == 0
 
 
 class TestPackedBatchSearch:

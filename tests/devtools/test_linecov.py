@@ -1,0 +1,127 @@
+"""Unit tests of the stdlib line-coverage fallback behind ``make coverage``."""
+
+import textwrap
+
+import numpy  # noqa: F401  -- imported before tracing, stays out of scope
+
+from repro.devtools import (
+    CoverageReport,
+    FileCoverage,
+    LineCollector,
+    executable_lines,
+    measure,
+)
+
+SAMPLE = textwrap.dedent('''\
+    X = 1
+
+
+    def covered(flag):
+        if flag:
+            return "yes"
+        return "no"
+
+
+    def untracked():  # pragma: no cover
+        return "never measured"
+
+
+    def partially(flag):
+        if flag:
+            return 1
+        return 2  # pragma: no cover
+''')
+
+
+class TestExecutableLines:
+    def test_census_includes_module_and_body_lines(self):
+        lines = executable_lines(SAMPLE)
+        assert 1 in lines          # X = 1
+        assert 5 in lines and 6 in lines and 7 in lines  # covered() body
+        assert 15 in lines         # partially() if
+
+    def test_pragma_excludes_line_and_whole_object(self):
+        lines = executable_lines(SAMPLE)
+        assert 11 not in lines     # body of untracked()
+        assert 10 not in lines     # its def line carries the pragma
+        assert 17 not in lines     # single pragma line in partially()
+
+    def test_docstrings_and_blanks_not_counted(self):
+        lines = executable_lines('"""module doc"""\n\n\nY = 2\n')
+        assert 4 in lines
+        assert 2 not in lines and 3 not in lines
+
+
+class TestLineCollector:
+    def test_records_only_in_scope_lines(self, tmp_path):
+        module = tmp_path / "sample_mod.py"
+        module.write_text(SAMPLE)
+        namespace = {"__name__": "sample_mod", "__file__": str(module)}
+        code = compile(SAMPLE, str(module), "exec")
+        collector = LineCollector([tmp_path])
+        with collector:
+            exec(code, namespace)              # module-level lines
+            namespace["covered"](True)         # one branch only
+            namespace["partially"](True)
+        executed = collector.executed[str(module)]
+        assert 1 in executed                   # import-time line
+        assert 5 in executed and 6 in executed  # taken branch
+        assert 7 not in executed               # untaken branch
+        # Out-of-scope files never appear.
+        assert all(path.startswith(str(tmp_path))
+                   for path in collector.executed)
+
+    def test_traces_threads_started_while_active(self, tmp_path):
+        import threading
+
+        module = tmp_path / "threaded_mod.py"
+        module.write_text("def worker_body():\n    return 42\n")
+        namespace = {"__file__": str(module)}
+        exec(compile(module.read_text(), str(module), "exec"), namespace)
+        collector = LineCollector([tmp_path])
+        with collector:
+            thread = threading.Thread(target=namespace["worker_body"])
+            thread.start()
+            thread.join()
+        assert 2 in collector.executed[str(module)]
+
+    def test_start_stop_idempotent(self, tmp_path):
+        collector = LineCollector([tmp_path])
+        collector.start()
+        collector.start()
+        collector.stop()
+        collector.stop()
+
+
+class TestMeasure:
+    def test_report_joins_census_and_execution(self, tmp_path):
+        module = tmp_path / "measured.py"
+        module.write_text(SAMPLE)
+        namespace = {"__file__": str(module)}
+        code = compile(SAMPLE, str(module), "exec")
+        collector = LineCollector([tmp_path])
+        with collector:
+            exec(code, namespace)
+            namespace["covered"](False)
+            namespace["partially"](True)
+        report = measure(collector.executed, [tmp_path])
+        assert isinstance(report, CoverageReport)
+        assert len(report.files) == 1
+        entry = report.files[0]
+        assert isinstance(entry, FileCoverage)
+        assert 0 < entry.covered < entry.executable
+        assert 0.0 < report.percent < 100.0
+        rendered = report.render(relative_to=tmp_path)
+        assert "measured.py" in rendered and "TOTAL" in rendered
+
+    def test_unimported_files_count_as_uncovered(self, tmp_path):
+        (tmp_path / "dead.py").write_text("def never():\n    return 1\n")
+        report = measure({}, [tmp_path])
+        assert report.total_covered == 0
+        assert report.total_executable > 0
+        assert report.percent == 0.0
+
+    def test_empty_root_is_fully_covered(self, tmp_path):
+        report = measure({}, [tmp_path])
+        assert report.files == () or report.total_executable == 0
+        assert measure({}, [tmp_path / "nothing"]).percent == 100.0

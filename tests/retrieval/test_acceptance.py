@@ -1,0 +1,73 @@
+"""Acceptance criteria of the retrieval subsystem (ISSUE 5).
+
+On the 16384-row, 4-shard cluster at 256-bit signatures, the top-k partial
+gather must reach >= 2x the throughput of the full-gather-then-sort path at
+k=16 -- the exact workload recorded as ``retrieval/partial_gather`` vs
+``retrieval/full_gather_sort`` in ``BENCH_e2e.json``
+(:func:`repro.api.bench.retrieval_benchmarks`) -- and the two paths must be
+bit-identical before any timing is believed.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.bench import (
+    RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP,
+    RETRIEVAL_ACCEPTANCE_WORKLOAD,
+    build_retrieval_workload,
+)
+from repro.retrieval import topk_via_full_search
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRetrievalAcceptance:
+    def test_partial_gather_is_2x_over_full_gather_sort(self):
+        workload = RETRIEVAL_ACCEPTANCE_WORKLOAD
+        k = workload["k"]
+        pipeline, queries = build_retrieval_workload(
+            workload["rows"], workload["word_bits"], workload["shards"],
+            workload["batch"])
+
+        # Same answers first, then throughput: the gate compares work.
+        partial = pipeline.topk_packed(queries, k)
+        full_indices, full_distances = topk_via_full_search(pipeline,
+                                                            queries, k)
+        assert np.array_equal(partial.indices, full_indices)
+        assert np.array_equal(partial.distances, full_distances)
+        # The partial gather moves k x shards values per query, not rows.
+        assert partial.gathered_values == (
+            queries.shape[0] * k * workload["shards"])
+
+        def best_of(fn, rounds=3):
+            fn()  # warmup
+            times = []
+            for _ in range(rounds):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        partial_s = best_of(lambda: pipeline.topk_packed(queries, k))
+        full_s = best_of(lambda: topk_via_full_search(pipeline, queries, k))
+        speedup = full_s / partial_s
+        assert speedup >= RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP, (
+            f"partial-gather speedup {speedup:.1f}x below the "
+            f"{RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP}x acceptance bar "
+            f"(partial {partial_s * 1e3:.1f} ms, full {full_s * 1e3:.1f} ms)"
+        )
+
+    def test_bench_file_records_partial_vs_full_gather(self):
+        document = json.loads((REPO_ROOT / "BENCH_e2e.json").read_text())
+        names = {record["name"] for record in document["benchmarks"]}
+        assert any(name.startswith("retrieval/partial_gather/")
+                   for name in names), names
+        assert any(name.startswith("retrieval/full_gather_sort/")
+                   for name in names), names
+        acceptance = document["retrieval"]["acceptance"]
+        assert acceptance["min_required_speedup"] == (
+            RETRIEVAL_ACCEPTANCE_MIN_SPEEDUP)
+        assert acceptance["passed"], acceptance

@@ -1,0 +1,143 @@
+"""Property tests: the native top-k path is a full-sort, bit for bit.
+
+The retrieval contract is that ``topk_packed`` -- on a single array, a
+dynamic CAM, or the sharded cluster's partial gather -- returns exactly
+what a caller would get by running the full search and sorting the sensed
+distance matrix: same row indices, same distances, for any geometry.
+These properties pin that across randomly drawn row counts, partial
+population, k (including ``k = 0`` and ``k >= rows``), shard counts, both
+placement policies, both fan-out modes, replicas and noisy seeded sense
+amplifiers.  The in-test oracle is an independent per-query ``lexsort``
+over the full search output, not the library's own selection code.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bitops import pack_bits
+from repro.cam.array import CamArray
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.shard import ShardedCamPipeline
+
+WORD_BITS = 128
+
+
+def lexsort_reference(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-query full-sort oracle: ascending (distance, row id), -1 excluded.
+
+    Deliberately written as a plain per-row ``np.lexsort`` loop so it
+    shares no code with ``select_topk`` / ``full_sort_topk``.
+    """
+    indices, values = [], []
+    k_eff = None
+    for row in distances:
+        ids = np.nonzero(row >= 0)[0]
+        order = np.lexsort((ids, row[ids]))
+        k_eff = min(k, ids.size)
+        indices.append(ids[order[:k_eff]])
+        values.append(row[ids][order[:k_eff]])
+    width = 0 if k_eff is None else k_eff
+    return (np.asarray(indices, dtype=np.int64).reshape(len(indices), width),
+            np.asarray(values, dtype=np.int64).reshape(len(values), width))
+
+
+def build_amp(noise_sigma_ps: float, seed: int) -> ClockedSelfReferencedSenseAmp:
+    return ClockedSelfReferencedSenseAmp(
+        word_bits=WORD_BITS, timing_noise_sigma_ps=noise_sigma_ps,
+        seed=seed + 1)
+
+
+class TestTopKEquivalence:
+    @given(data=st.data(),
+           rows=st.integers(1, 32),
+           policy=st.sampled_from(["contiguous", "strided"]),
+           fanout=st.sampled_from(["fused", "ports"]),
+           replicas=st.integers(1, 2),
+           noisy=st.booleans(),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_array_and_sharded_topk_match_full_sort(self, data, rows, policy,
+                                                    fanout, replicas, noisy,
+                                                    seed):
+        num_shards = data.draw(st.integers(1, rows))
+        # k deliberately spans the degenerate ends: 0, everything, beyond.
+        k = data.draw(st.sampled_from(
+            sorted({0, 1, rows // 2 + 1, rows, rows + 7})))
+        populated = data.draw(st.integers(1, rows))
+        start_row = data.draw(st.integers(0, rows - populated))
+        batch = data.draw(st.integers(1, 6))
+        sigma = 50.0 if noisy else 0.0
+
+        rng = np.random.default_rng(seed)
+        stored = rng.integers(0, 2, size=(populated, WORD_BITS),
+                              dtype=np.uint8)
+        queries = pack_bits(rng.integers(0, 2, size=(batch, WORD_BITS),
+                                         dtype=np.uint8))
+
+        reference = CamArray(rows, WORD_BITS, sense_amp=build_amp(sigma, seed))
+        array = CamArray(rows, WORD_BITS, sense_amp=build_amp(sigma, seed))
+        pipeline = ShardedCamPipeline(
+            rows, WORD_BITS, num_shards=num_shards, policy=policy,
+            fanout=fanout, num_replicas=replicas,
+            sense_amp=build_amp(sigma, seed))
+        for holder in (reference, array, pipeline):
+            holder.write_rows(stored, start_row=start_row)
+
+        for _ in range(2):  # repeat: noise streams must stay in lock-step
+            full, _, _ = reference.search_batch_packed(queries)
+            expected_indices, expected_distances = lexsort_reference(full, k)
+
+            got = array.topk_packed(queries, k)
+            assert np.array_equal(got.indices, expected_indices)
+            assert np.array_equal(got.distances, expected_distances)
+
+            sharded = pipeline.topk_packed(queries, k)
+            assert np.array_equal(sharded.indices, expected_indices)
+            assert np.array_equal(sharded.distances, expected_distances)
+
+    @given(seed=st.integers(0, 1000),
+           num_shards=st.integers(1, 8),
+           fanout=st.sampled_from(["fused", "ports"]),
+           k=st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_topk_energy_matches_single_array_and_gather_shrinks(
+            self, seed, num_shards, fanout, k):
+        # The search still touches every populated cell -- energy must sum
+        # to the single-array total -- while the partial gather moves at
+        # most k x shards values per query instead of every row.
+        rows, batch = 24, 3
+        rng = np.random.default_rng(seed)
+        stored = rng.integers(0, 2, size=(rows, WORD_BITS), dtype=np.uint8)
+        queries = pack_bits(rng.integers(0, 2, size=(batch, WORD_BITS),
+                                         dtype=np.uint8))
+        array = CamArray(rows, WORD_BITS)
+        pipeline = ShardedCamPipeline(rows, WORD_BITS,
+                                      num_shards=min(num_shards, rows),
+                                      fanout=fanout)
+        array.write_rows(stored)
+        pipeline.write_rows(stored)
+        single = array.topk_packed(queries, k)
+        sharded = pipeline.topk_packed(queries, k)
+        np.testing.assert_allclose(sharded.energy_pj, single.energy_pj,
+                                   rtol=1e-9)
+        assert sharded.gathered_values <= batch * min(k, rows) * pipeline.num_shards
+        assert sharded.gathered_values <= batch * rows
+        if 0 < k:
+            assert single.gathered_values == batch * min(k, rows)
+
+    @given(seed=st.integers(0, 500), k=st.integers(0, 12),
+           next_shards=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_rebalance_never_changes_topk(self, seed, k, next_shards):
+        rows = 12
+        rng = np.random.default_rng(seed)
+        stored = rng.integers(0, 2, size=(rows, WORD_BITS), dtype=np.uint8)
+        queries = pack_bits(rng.integers(0, 2, size=(4, WORD_BITS),
+                                         dtype=np.uint8))
+        pipeline = ShardedCamPipeline(rows, WORD_BITS, num_shards=3)
+        pipeline.write_rows(stored)
+        before = pipeline.topk_packed(queries, k)
+        pipeline.rebalance(num_shards=next_shards, policy="strided")
+        after = pipeline.topk_packed(queries, k)
+        assert np.array_equal(before.indices, after.indices)
+        assert np.array_equal(before.distances, after.distances)

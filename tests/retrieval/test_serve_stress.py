@@ -1,0 +1,87 @@
+"""Concurrency stress: mixed classify + top-k traffic from many threads.
+
+One server (multiple workers, shared cache) is hammered from N submitter
+threads, each interleaving classification requests with top-k requests at
+its own ``k``.  Every response must be bit-identical to direct execution on
+an identically-built reference engine -- batching, grouping-by-k, caching
+and replica routing may change *when* work happens, never *what* comes
+back.  Extends the ``tests/serve/test_acceptance.py`` pattern to the
+mixed-kind queue.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatchServer, ServeConfig, build_demo_engine
+from repro.shard import build_demo_sharded_engine
+
+GEOM = dict(classes=20, input_dim=24, hash_length=128)
+NUM_THREADS = 6
+REQUESTS_PER_THREAD = 30
+
+
+def reference_answers(queries, k):
+    """Direct (unserved, unsharded) execution of both request kinds."""
+    engine = build_demo_engine(**GEOM)
+    prepared = engine.prepare(queries)
+    return engine.execute(prepared), engine.execute_topk(prepared, k)
+
+
+@pytest.mark.parametrize("build_engine", [
+    pytest.param(lambda: build_demo_engine(**GEOM), id="single_array"),
+    pytest.param(lambda: build_demo_sharded_engine(
+        **GEOM, num_shards=4, num_replicas=2, routing="least_loaded"),
+        id="sharded_cluster"),
+])
+def test_mixed_traffic_from_many_threads_matches_direct(build_engine):
+    server = MicroBatchServer(
+        build_engine(),
+        config=ServeConfig(max_batch=16, max_wait_ms=2.0, num_workers=3,
+                           queue_depth=512, cache_capacity=256))
+    per_thread = {}
+    for thread_id in range(NUM_THREADS):
+        rng = np.random.default_rng(100 + thread_id)
+        queries = rng.standard_normal((REQUESTS_PER_THREAD,
+                                       GEOM["input_dim"]))
+        k = 2 + thread_id % 4  # several distinct k groups per batch
+        per_thread[thread_id] = (queries, k, *reference_answers(queries, k))
+
+    results = {}
+    errors = []
+
+    def hammer(thread_id):
+        queries, k, _, _ = per_thread[thread_id]
+        try:
+            futures = []
+            for index, query in enumerate(queries):
+                if index % 2 == 0:
+                    futures.append(("classify", server.submit(query)))
+                else:
+                    futures.append(("topk", server.submit_topk(query, k)))
+            results[thread_id] = [(kind, future.result(60))
+                                  for kind, future in futures]
+        except Exception as error:  # noqa: BLE001 -- surfaced after join
+            errors.append((thread_id, error))
+
+    with server:
+        threads = [threading.Thread(target=hammer, args=(thread_id,))
+                   for thread_id in range(NUM_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, errors
+    for thread_id, answers in results.items():
+        queries, k, expected_logits, expected_topk = per_thread[thread_id]
+        for index, (kind, row) in enumerate(answers):
+            if kind == "classify":
+                assert np.array_equal(row, expected_logits[index]), (
+                    f"thread {thread_id} request {index}: classify response "
+                    f"diverged from direct execution")
+            else:
+                assert np.array_equal(row, expected_topk[index]), (
+                    f"thread {thread_id} request {index}: top-k response "
+                    f"diverged from direct execution")

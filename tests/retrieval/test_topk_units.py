@@ -1,0 +1,227 @@
+"""Unit tests of the retrieval building blocks.
+
+The selection substrate (``select_topk`` / encode / decode), the per-layer
+``topk_packed`` accounting, the full-sort reference's edge cases, the
+engine-level ``execute_topk`` surface and the :class:`RetrievalIndex`
+facade -- the pieces the property suite composes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitops import pack_bits
+from repro.cam import GATHER_CYCLES_PER_VALUE, TopKResult
+from repro.cam.array import CamArray
+from repro.cam.dynamic import DynamicCam, DynamicCamConfig
+from repro.cam.topk import (
+    decode_topk_rows,
+    encode_topk_rows,
+    select_topk,
+    validate_k,
+)
+from repro.retrieval import RetrievalIndex, full_sort_topk
+from repro.serve import MicroBatchServer, ServeConfig, build_demo_engine
+from repro.serve.engine import BackendEngine
+from repro.shard import ShardedCamPipeline
+
+
+class TestSelectTopk:
+    def test_orders_by_value_then_row_id(self):
+        values = np.array([[5, 3, 3, 7, 1]])
+        row_ids = np.array([10, 20, 4, 1, 9])
+        indices, distances = select_topk(values, row_ids, 3, id_bound=100)
+        assert indices.tolist() == [[9, 4, 20]]
+        assert distances.tolist() == [[1, 3, 3]]
+
+    def test_tie_breaks_toward_lower_global_row_id(self):
+        values = np.zeros((2, 4), dtype=np.int64)  # all distances equal
+        row_ids = np.array([7, 2, 9, 0])
+        indices, _ = select_topk(values, row_ids, 2, id_bound=16)
+        assert indices.tolist() == [[0, 2], [0, 2]]
+
+    def test_per_query_row_id_matrices(self):
+        # The merge step of a partial gather: each query selected its own
+        # candidate ids.
+        values = np.array([[2, 1], [1, 2]])
+        row_ids = np.array([[5, 6], [7, 8]])
+        indices, distances = select_topk(values, row_ids, 1, id_bound=16)
+        assert indices.tolist() == [[6], [7]]
+        assert distances.tolist() == [[1], [1]]
+
+    def test_k_clamps_and_zero_k(self):
+        values = np.array([[3, 1]])
+        row_ids = np.array([0, 1])
+        indices, distances = select_topk(values, row_ids, 99, id_bound=4)
+        assert indices.tolist() == [[1, 0]]
+        empty_i, empty_d = select_topk(values, row_ids, 0, id_bound=4)
+        assert empty_i.shape == (1, 0) and empty_d.shape == (1, 0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_k(-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            select_topk(np.zeros((1, 2)), np.arange(2), -3, id_bound=4)
+
+
+class TestEncodeDecode:
+    def test_round_trip_is_lossless(self):
+        indices = np.array([[3, 1], [0, 2]], dtype=np.int64)
+        distances = np.array([[10, 12], [0, 99]], dtype=np.int64)
+        rows = encode_topk_rows(indices, distances)
+        assert rows.shape == (2, 4) and rows.dtype == np.float64
+        back_i, back_d = decode_topk_rows(rows)
+        assert np.array_equal(back_i, indices)
+        assert np.array_equal(back_d, distances)
+
+    def test_single_row_decode(self):
+        rows = encode_topk_rows(np.array([[5, 6]]), np.array([[1, 2]]))
+        indices, distances = decode_topk_rows(rows[0])
+        assert indices.tolist() == [[5, 6]]
+        assert distances.tolist() == [[1, 2]]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            encode_topk_rows(np.zeros((2, 3)), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="even"):
+            decode_topk_rows(np.zeros((1, 3)))
+
+
+class TestCamArrayTopK:
+    def test_accounting_energy_latency_gather(self, rng):
+        array = CamArray(rows=16, word_bits=128)
+        array.write_rows(rng.integers(0, 2, size=(16, 128), dtype=np.uint8))
+        queries = pack_bits(rng.integers(0, 2, size=(3, 128), dtype=np.uint8))
+        result = array.topk_packed(queries, 5)
+        assert isinstance(result, TopKResult)
+        assert result.k_eff == 5
+        assert result.energy_pj == pytest.approx(3 * array.search_energy_pj())
+        assert result.gathered_values == 3 * 5
+        assert result.latency_cycles == (
+            3 * array.search_latency_cycles
+            + 3 * 5 * GATHER_CYCLES_PER_VALUE)
+
+    def test_unpopulated_array_returns_empty(self):
+        array = CamArray(rows=8, word_bits=64)
+        result = array.topk_packed(np.zeros((2, 1), dtype=np.uint64), 4)
+        assert result.indices.shape == (2, 0)
+        assert result.energy_pj == 0.0 and result.latency_cycles == 0
+
+    def test_wrong_word_count_rejected(self, rng):
+        array = CamArray(rows=8, word_bits=64)
+        array.write_rows(rng.integers(0, 2, size=(8, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="words"):
+            array.topk_packed(np.zeros((2, 9), dtype=np.uint64), 2)
+
+    def test_dynamic_cam_energy_scales_with_active_fraction(self, rng):
+        cam = DynamicCam(DynamicCamConfig(rows=8))
+        cam.configure_word_bits(256)
+        cam.write_rows(rng.integers(0, 2, size=(8, 256), dtype=np.uint8))
+        queries = pack_bits(rng.integers(0, 2, size=(3, 256), dtype=np.uint8))
+        result = cam.topk_packed(queries, 2)
+        full_energy = cam._array.search_energy_pj() * 3
+        assert result.energy_pj == pytest.approx(full_energy * 256 / 1024)
+        assert result.k_eff == 2
+
+
+class TestFullSortReference:
+    def test_excludes_unpopulated_rows(self):
+        distances = np.array([[3, -1, 0, 2], [1, -1, 1, 0]])
+        indices, values = full_sort_topk(distances, 2)
+        assert indices.tolist() == [[2, 3], [3, 0]]
+        assert values.tolist() == [[0, 2], [0, 1]]
+
+    def test_empty_batch_and_zero_k(self):
+        indices, values = full_sort_topk(np.zeros((0, 4), dtype=np.int64), 3)
+        assert indices.shape == (0, 3)
+        indices, values = full_sort_topk(np.zeros((2, 4), dtype=np.int64), 0)
+        assert indices.shape == (2, 0) and values.shape == (2, 0)
+
+
+class TestEngineTopK:
+    GEOM = dict(classes=10, input_dim=16, hash_length=128)
+
+    def test_execute_topk_matches_cam_port(self, rng):
+        engine = build_demo_engine(**self.GEOM)
+        queries = rng.standard_normal((6, self.GEOM["input_dim"]))
+        prepared = engine.prepare(queries)
+        rows = engine.execute_topk(prepared, 4)
+        assert rows.shape == (6, engine.topk_width(4))
+        indices, distances = decode_topk_rows(rows)
+        direct = engine.cam.topk_packed(prepared.packed_words, 4)
+        assert np.array_equal(indices, direct.indices)
+        assert np.array_equal(distances, direct.distances)
+
+    def test_topk_width_clamps_to_classes(self):
+        engine = build_demo_engine(**self.GEOM)
+        assert engine.topk_width(4) == 8
+        assert engine.topk_width(99) == 2 * self.GEOM["classes"]
+        assert engine.topk_width(0) == 0
+
+    def test_server_rejects_engines_without_topk(self):
+        class FakeBackend:
+            name = "fake"
+
+            def infer(self, model, batch):
+                return np.zeros((len(batch), 2))
+
+        engine = BackendEngine(FakeBackend(), model=None)
+        server = MicroBatchServer(engine, config=ServeConfig(max_batch=2))
+        server.start()
+        try:
+            with pytest.raises(TypeError, match="top-k"):
+                server.submit_topk(np.zeros(4), 2)
+        finally:
+            server.stop()
+
+
+class TestRetrievalIndex:
+    def test_self_match_and_insertion_order_ids(self, rng):
+        corpus = rng.standard_normal((60, 24))
+        index = RetrievalIndex(input_dim=24, capacity=64, hash_length=128,
+                               num_shards=3)
+        ids = index.add(corpus)
+        assert np.array_equal(ids, np.arange(60))
+        assert len(index) == 60
+        hits = index.search(corpus[:5], k=3)
+        # A vector's own signature is Hamming-distance 0 from itself.
+        assert np.array_equal(hits.indices[:, 0], np.arange(5))
+        assert np.all(hits.distances[:, 0] == 0)
+
+    def test_capacity_and_shape_validation(self, rng):
+        index = RetrievalIndex(input_dim=8, capacity=4, num_shards=2)
+        index.add(rng.standard_normal((3, 8)))
+        with pytest.raises(ValueError, match="cannot add"):
+            index.add(rng.standard_normal((2, 8)))
+        with pytest.raises(ValueError, match="shape"):
+            index.add(rng.standard_normal((2, 9)))
+        with pytest.raises(ValueError, match="shape"):
+            index.search(rng.standard_normal((1, 9)), 2)
+
+    def test_k_beyond_size_returns_everything(self, rng):
+        index = RetrievalIndex(input_dim=8, capacity=16, num_shards=2)
+        index.add(rng.standard_normal((5, 8)))
+        hits = index.search(rng.standard_normal((2, 8)), k=50)
+        assert hits.indices.shape == (2, 5)
+        empty = index.search(rng.standard_normal((2, 8)), k=0)
+        assert empty.indices.shape == (2, 0)
+
+    def test_stats_and_empty_add(self, rng):
+        index = RetrievalIndex(input_dim=8, capacity=16, num_shards=2)
+        assert index.add(np.zeros((0, 8))).size == 0
+        index.add(rng.standard_normal((4, 8)))
+        stats = index.stats()
+        assert stats["indexed_vectors"] == 4
+        assert stats["capacity"] == 16
+        assert stats["num_shards"] == 2
+
+
+class TestPipelineTopKValidation:
+    def test_wrong_word_count_and_dims_rejected(self, rng):
+        pipeline = ShardedCamPipeline(8, 64, num_shards=2)
+        pipeline.write_rows(rng.integers(0, 2, size=(8, 64), dtype=np.uint8))
+        with pytest.raises(ValueError, match="words"):
+            pipeline.topk_packed(np.zeros((2, 9), dtype=np.uint64), 2)
+        with pytest.raises(ValueError, match="2-D"):
+            pipeline.topk_packed(np.zeros(1, dtype=np.uint64), 2)
+        with pytest.raises(ValueError, match="non-negative"):
+            pipeline.topk_packed(np.zeros((2, 1), dtype=np.uint64), -1)
