@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke shard-smoke coverage bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke net-smoke coverage bench bench-quick bench-paper
 
 # The fast correctness gate. `make coverage` is the slower companion gate
 # (the same tier-1 tests under a line tracer with an 85% floor on
-# src/repro/{cam,shard,serve,retrieval}); run it before shipping changes
-# to those packages.
-check: smoke test serve-smoke shard-smoke
+# src/repro/{cam,shard,serve,retrieval,net}); run it before shipping
+# changes to those packages.
+check: smoke test serve-smoke shard-smoke net-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -17,7 +17,7 @@ test:
 
 # Tier-1 under line coverage (coverage.py when installed, else the stdlib
 # tracer in repro.devtools.linecov), failing below an 85% line-coverage
-# floor on the cam/shard/serve/retrieval packages.
+# floor on the cam/shard/serve/retrieval/net packages.
 coverage:
 	$(PYTHON) scripts/coverage_run.py --fail-under 85
 
@@ -31,6 +31,13 @@ serve-smoke:
 # the end-to-end proof that scatter-gather never changes a response.
 shard-smoke:
 	$(PYTHON) scripts/loadgen.py --quick --engine sharded --shards 4 --replicas 2
+
+# Network smoke: remote loadgen over loopback sockets against a live
+# shard cluster, every response verified bit-identical to in-process
+# serving, with a mid-run replica kill that must fail over and
+# re-replicate.
+net-smoke:
+	$(PYTHON) scripts/net_smoke.py
 
 # Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json
 # (kernels, e2e, serving and shard-scaling suites).

@@ -36,6 +36,7 @@ from repro.api.bench import (  # noqa: E402  (path bootstrap above)
     collect_environment,
     e2e_benchmarks,
     kernel_microbench,
+    net_benchmarks,
     retrieval_benchmarks,
     run_paper_benchmarks,
     serve_benchmarks,
@@ -94,6 +95,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] retrieval workloads ({mode})")
     retrieval_records, retrieval_summary = retrieval_benchmarks(quick=args.quick)
     e2e_records.extend(retrieval_records)
+    print(f"[bench] network overhead workloads ({mode})")
+    net_records, net_summary = net_benchmarks(quick=args.quick)
+    e2e_records.extend(net_records)
     if not args.skip_paper:
         files = list(QUICK_PAPER_FILES) if args.quick else None
         max_time = 0.2 if args.quick else 0.5
@@ -105,7 +109,8 @@ def main(argv: list[str] | None = None) -> int:
     write_bench_report(e2e_path, e2e_records, environment,
                        extra={"mode": mode, "serve": serve_summary,
                               "shard": shard_summary,
-                              "retrieval": retrieval_summary})
+                              "retrieval": retrieval_summary,
+                              "net": net_summary})
     for record in e2e_records:
         if record.group in ("e2e", "serve"):
             print(f"[bench]   {record.name}: median {record.median_s * 1e3:.2f} ms")
@@ -120,6 +125,9 @@ def main(argv: list[str] | None = None) -> int:
     for name, speedup in retrieval_summary["speedups"].items():
         print(f"[bench]   retrieval partial vs full gather {name}: "
               f"{speedup:.1f}x")
+    # Report-only: the wire's loopback overhead factor, no gate attached.
+    for op, factor in net_summary["remote_vs_inproc"].items():
+        print(f"[bench]   net remote vs in-process {op}: {factor:.1f}x")
     print(f"[bench] wrote {e2e_path}")
 
     # -- acceptance gates -----------------------------------------------------

@@ -777,6 +777,88 @@ def retrieval_benchmarks(quick: bool = False, rounds: int | None = None,
     return records, summary
 
 
+# -- network transparency ------------------------------------------------------
+
+#: Engine geometry of the remote-vs-in-process overhead record.
+NET_BENCH_ENGINE: dict[str, int] = {
+    "classes": 64, "input_dim": 128, "hash_length": 256,
+}
+
+
+def net_benchmarks(quick: bool = False, rounds: int | None = None,
+                   seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Remote :class:`~repro.net.client.NetClient` vs in-process serving.
+
+    The same classify and top-k batches run twice against identically
+    seeded demo engines -- once through an in-process
+    :class:`~repro.serve.client.ServeClient`, once over loopback HTTP
+    through a serve-plane :class:`~repro.net.server.NetServer` -- with the
+    responses asserted bit-identical before any timing.  The summary's
+    ``remote_vs_inproc`` entries record the wire's overhead factor
+    (remote median / in-process median) per operation.  Report-only:
+    ``scripts/bench.py`` folds it into ``BENCH_e2e.json`` under ``"net"``
+    but no acceptance gate hangs off it -- loopback overhead is a number
+    to watch, not a property of the substrate.
+    """
+    from repro.net.client import NetClient
+    from repro.net.server import NetServer
+    from repro.serve import ServeClient, build_demo_engine, demo_queries
+
+    effective_rounds = rounds if rounds is not None else (3 if quick else 5)
+    batch = 16 if quick else 64
+    k = 8
+    geometry = NET_BENCH_ENGINE
+    params = {**geometry, "batch": batch, "k": k}
+
+    records: list[BenchRecord] = []
+    overhead: dict[str, float] = {}
+    throughput_rps: dict[str, float] = {}
+    with ServeClient(build_demo_engine(seed=seed, **geometry)) as inproc:
+        queries = demo_queries(inproc.server.engine, batch, seed=seed)
+        with NetServer(engine=build_demo_engine(seed=seed, **geometry)) as server:
+            with NetClient(server.base_url) as remote:
+                if not np.array_equal(remote.infer_many(queries),
+                                      inproc.infer_many(queries)):
+                    raise AssertionError(
+                        "remote classify diverged from in-process serving")
+                remote_topk = remote.topk_many(queries, k)
+                local_topk = inproc.topk_many(queries, k)
+                if not (np.array_equal(remote_topk[0], local_topk[0])
+                        and np.array_equal(remote_topk[1], local_topk[1])):
+                    raise AssertionError(
+                        "remote top-k diverged from in-process serving")
+
+                cell = f"batch={batch}"
+                pairs = {
+                    "classify": (lambda: inproc.infer_many(queries),
+                                 lambda: remote.infer_many(queries)),
+                    f"topk_k={k}": (lambda: inproc.topk_many(queries, k),
+                                    lambda: remote.topk_many(queries, k)),
+                }
+                for op, (local_fn, remote_fn) in pairs.items():
+                    local_record = benchmark_callable(
+                        f"net/inproc/{op}/{cell}", "net", params, local_fn,
+                        rounds=effective_rounds)
+                    remote_record = benchmark_callable(
+                        f"net/remote/{op}/{cell}", "net", params, remote_fn,
+                        rounds=effective_rounds)
+                    records.extend((local_record, remote_record))
+                    overhead[op] = (remote_record.median_s
+                                    / max(local_record.median_s, 1e-12))
+                    throughput_rps[f"inproc_{op}"] = (
+                        batch / local_record.median_s)
+                    throughput_rps[f"remote_{op}"] = (
+                        batch / remote_record.median_s)
+
+    summary: dict[str, Any] = {
+        "workload": dict(params),
+        "remote_vs_inproc": overhead,
+        "throughput_rps": throughput_rps,
+        "verified_bit_identical": True,
+    }
+    return records, summary
+
+
 # -- paper-figure workloads (pytest-benchmark) ---------------------------------
 
 

@@ -1,0 +1,109 @@
+"""Asyncio facade over the network client SDK.
+
+:class:`AsyncNetClient` is the awaitable twin of
+:class:`~repro.net.client.NetClient`, built the same way
+:class:`~repro.serve.async_client.AsyncServeClient` wraps the sync serve
+client: no second execution path, every request runs the sync client's
+retried transport call on the event loop's default executor (blocking
+socket I/O must stall a worker thread, never the loop)::
+
+    from repro.net import AsyncNetClient
+
+    async def main():
+        async with AsyncNetClient("http://127.0.0.1:8451") as client:
+            logits = await client.infer(my_vector)
+            indices, distances = await client.topk(my_vector, k=8)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Callable, Dict, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.net.client import NetClient
+from repro.net.transport import RetryPolicy, Transport
+
+T = TypeVar("T")
+
+
+class AsyncNetClient:
+    """Awaitable request/response facade over a remote ``NetServer``.
+
+    Parameters are those of :class:`~repro.net.client.NetClient` (exactly
+    one of ``base_url``/``transport``; retry policy and the connect/read
+    timeout split forwarded to the shared transport core).
+    """
+
+    def __init__(self, base_url: Optional[str] = None,
+                 transport: Optional[Transport] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 5.0,
+                 read_timeout_s: float = 30.0,
+                 seed: Optional[int] = None) -> None:
+        self._sync = NetClient(base_url=base_url, transport=transport,
+                               retry=retry,
+                               connect_timeout_s=connect_timeout_s,
+                               read_timeout_s=read_timeout_s, seed=seed)
+
+    @property
+    def transport(self):
+        """The shared retrying transport (for counters and tests)."""
+        return self._sync.transport
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Release the pooled connection off the event loop."""
+        await self._run(self._sync.close)
+
+    async def __aenter__(self) -> "AsyncNetClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- plumbing ----------------------------------------------------------------
+
+    async def _run(self, call: Callable[..., T], *args: Any,
+                   **kwargs: Any) -> T:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(call, *args, **kwargs))
+
+    # -- requests ----------------------------------------------------------------
+
+    async def infer(self, sample: np.ndarray) -> np.ndarray:
+        """Serve one sample remotely; awaits its logits row."""
+        return await self._run(self._sync.infer, sample)
+
+    async def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray
+                         ) -> np.ndarray:
+        """Serve a sample batch; awaits the ``(n, output_dim)`` logits."""
+        return await self._run(self._sync.infer_many, samples)
+
+    async def topk(self, sample: np.ndarray,
+                   k: int) -> tuple[np.ndarray, np.ndarray]:
+        """One remote top-k request; awaits ``(indices, distances)``."""
+        return await self._run(self._sync.topk, sample, k)
+
+    async def topk_many(self, samples: Sequence[np.ndarray] | np.ndarray,
+                        k: int) -> tuple[np.ndarray, np.ndarray]:
+        """A remote top-k batch; awaits stacked ``(n, k_eff)`` arrays."""
+        return await self._run(self._sync.topk_many, samples, k)
+
+    # -- reporting ---------------------------------------------------------------
+
+    async def healthz(self) -> Dict[str, Any]:
+        """The server's liveness document."""
+        return await self._run(self._sync.healthz)
+
+    async def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot."""
+        return await self._run(self._sync.metrics)
+
+    def stats(self) -> Dict[str, Any]:
+        """Client-side transport counters (no I/O, stays sync)."""
+        return self._sync.stats()

@@ -1,0 +1,154 @@
+"""Synchronous client SDK over the wire protocol.
+
+:class:`NetClient` mirrors :class:`~repro.serve.client.ServeClient` --
+``infer`` / ``infer_many`` / ``topk`` / ``topk_many`` / ``stats`` -- but
+speaks HTTP to a :class:`~repro.net.server.NetServer` instead of holding
+the micro-batch server in-process.  One
+:class:`~repro.net.transport.RetryingTransport` over one pooled
+:class:`~repro.net.transport.HttpTransport` carries every call, so the
+client gets keep-alive, the connect/read timeout split, retries with
+decorrelated jitter, a retry budget and per-request idempotency keys
+without any per-method wiring::
+
+    from repro.net import NetClient
+
+    with NetClient("http://127.0.0.1:8451") as client:
+        logits = client.infer(my_vector)
+        indices, distances = client.topk(my_vector, k=8)
+        print(client.metrics()["serve"]["latency_ms"])
+
+Pass ``transport=`` to stack differently (tests wrap the pool in a
+:class:`~repro.net.transport.FlakyTransport`); pass ``seed=`` to pin the
+retry jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cam.topk import decode_topk_rows
+from repro.net import protocol
+from repro.net.transport import (
+    HttpTransport,
+    RetryingTransport,
+    RetryPolicy,
+    Transport,
+)
+
+
+class NetClient:
+    """Blocking request/response facade over a remote :class:`NetServer`.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the server.  Mutually exclusive with
+        ``transport``.
+    transport:
+        A pre-stacked single-attempt :class:`Transport` to wrap with the
+        retry layer instead (fault injection, custom pooling).
+    retry:
+        The :class:`RetryPolicy`; defaults are modest (4 attempts).
+    connect_timeout_s / read_timeout_s:
+        The SDK's two timeouts: establishing the connection vs waiting
+        for the response bytes (``base_url`` mode only).
+    seed:
+        Seeds the retry jitter RNG; ``None`` leaves it entropy-seeded.
+    """
+
+    def __init__(self, base_url: Optional[str] = None,
+                 transport: Optional[Transport] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 5.0,
+                 read_timeout_s: float = 30.0,
+                 seed: Optional[int] = None) -> None:
+        if (base_url is None) == (transport is None):
+            raise ValueError("pass exactly one of base_url or transport")
+        if transport is None:
+            transport = HttpTransport(base_url,
+                                      connect_timeout_s=connect_timeout_s,
+                                      read_timeout_s=read_timeout_s)
+        rng = random.Random(seed) if seed is not None else None
+        self.transport = RetryingTransport(transport, policy=retry, rng=rng)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pooled connection."""
+        self.transport.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              envelope: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One logical request: send (retried), unwrap the envelope."""
+        body = protocol.dumps(envelope) if envelope is not None else b""
+        headers = ({"Content-Type": protocol.CONTENT_TYPE_JSON}
+                   if envelope is not None else {})
+        response = self.transport.send(method, path, body, headers)
+        return protocol.parse_response(response.json())
+
+    # -- requests ----------------------------------------------------------------
+
+    def infer(self, sample: np.ndarray) -> np.ndarray:
+        """Serve one sample remotely; returns its logits row."""
+        return self.infer_many(np.asarray(sample, dtype=np.float64)[None, :])[0]
+
+    def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray
+                   ) -> np.ndarray:
+        """Serve a sample batch; returns the ``(n, output_dim)`` logits.
+
+        The whole batch travels in one request, so the server's
+        micro-batcher sees it together -- the remote analogue of
+        :meth:`ServeClient.infer_many`.
+        """
+        batch = np.asarray(samples, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        result = self._call("POST", "/v1/classify", protocol.request_envelope(
+            "classify", protocol.encode_classify_request(batch)))
+        return protocol.decode_classify_response(result)
+
+    def topk(self, sample: np.ndarray,
+             k: int) -> tuple[np.ndarray, np.ndarray]:
+        """One remote top-k request; returns ``(indices, distances)``."""
+        indices, distances = self.topk_many(
+            np.asarray(sample, dtype=np.float64)[None, :], k)
+        return indices[0], distances[0]
+
+    def topk_many(self, samples: Sequence[np.ndarray] | np.ndarray,
+                  k: int) -> tuple[np.ndarray, np.ndarray]:
+        """A remote top-k batch; returns stacked ``(n, k_eff)`` arrays."""
+        batch = np.asarray(samples, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        result = self._call("POST", "/v1/topk", protocol.request_envelope(
+            "topk", protocol.encode_topk_request(batch, k)))
+        rows = protocol.decode_topk_response(result)
+        if rows.shape[0] == 0:
+            empty = np.zeros((0, rows.shape[1] // 2), dtype=np.int64)
+            return empty, empty.copy()
+        return decode_topk_rows(rows)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness document."""
+        return self._call("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (net counters + serve/shard)."""
+        return self._call("GET", "/v1/metrics")
+
+    def stats(self) -> Dict[str, Any]:
+        """Client-side transport counters (requests, retries, reconnects)."""
+        return self.transport.stats()

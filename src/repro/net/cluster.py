@@ -1,0 +1,128 @@
+"""In-process launcher for a loopback shard cluster.
+
+:class:`LocalShardCluster` provisions the server side of a
+:class:`~repro.net.remote.RemoteCamCluster`: one shard-plane
+:class:`~repro.net.server.NetServer` per (shard, replica) on ephemeral
+loopback ports, with geometry taken from a
+:class:`~repro.shard.plan.ShardPlan` so each server's row capacity matches
+its shard exactly.  The servers run on daemon threads in this process --
+no subprocess management -- which is what tier-1 tests, the smoke run and
+``examples/net_demo.py`` need:
+
+* :attr:`endpoints` is the ``[[base_url, ...], ...]`` grid a remote
+  cluster or :func:`~repro.net.remote.build_demo_remote_engine` consumes;
+* :meth:`kill` stops one replica's server (its port stops accepting and
+  open connections are severed -- a faithful node loss);
+* :meth:`spawn_replacement` starts a fresh, empty server sized for one
+  shard and returns its URL -- pass the bound method as the cluster's
+  ``replacement_factory`` and re-replication is fully wired::
+
+      with LocalShardCluster(total_rows=16, word_bits=256) as cluster:
+          engine = build_demo_remote_engine(
+              cluster.endpoints,
+              replacement_factory=cluster.spawn_replacement)
+          ...
+          cluster.kill(0, 0)   # searches fail over and re-replicate
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.server import NetServer
+from repro.shard.plan import ShardPlan
+
+
+class LocalShardCluster:
+    """A grid of loopback shard servers matching one :class:`ShardPlan`."""
+
+    def __init__(self, total_rows: int, word_bits: int, num_shards: int = 2,
+                 num_replicas: int = 2, policy: str = "contiguous",
+                 host: str = "127.0.0.1") -> None:
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        self.plan = ShardPlan.build(int(total_rows), int(num_shards), policy)
+        self.word_bits = int(word_bits)
+        self.host = host
+        self._servers: List[List[NetServer]] = [
+            [self._spawn(spec.rows) for _ in range(int(num_replicas))]
+            for spec in self.plan.shards
+        ]
+        self._replacements: List[NetServer] = []
+
+    def _spawn(self, rows: int) -> NetServer:
+        return NetServer(shard_rows=rows, word_bits=self.word_bits,
+                         host=self.host, port=0).start()
+
+    # -- the grid ----------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._servers[0])
+
+    @property
+    def endpoints(self) -> List[List[str]]:
+        """``endpoints[shard][replica]`` base URLs (dead replicas included)."""
+        return [[server.base_url if server.running else "http://0.0.0.0:0"
+                 for server in replicas]
+                for replicas in self._servers]
+
+    def server(self, shard: int, replica: int) -> NetServer:
+        """One replica's server (e.g. to read its request counters)."""
+        return self._servers[shard][replica]
+
+    # -- chaos -------------------------------------------------------------------
+
+    def kill(self, shard: int, replica: int) -> None:
+        """Stop one replica: port unbound, open connections severed."""
+        self._servers[shard][replica].stop()
+
+    def spawn_replacement(self, shard: int) -> str:
+        """A fresh empty server sized for ``shard``; returns its base URL.
+
+        This is the ``replacement_factory`` signature
+        :class:`~repro.net.remote.RemoteCamCluster` expects; the cluster
+        re-replicates the shard's rows into it from its own storage.
+        """
+        server = self._spawn(self.plan.shards[shard].rows)
+        self._replacements.append(server)
+        return server.base_url
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop every server, killed or not (idempotent)."""
+        for replicas in self._servers:
+            for server in replicas:
+                if server.running:
+                    server.stop()
+        for server in self._replacements:
+            if server.running:
+                server.stop()
+
+    def __enter__(self) -> "LocalShardCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Per-replica liveness and request counters."""
+        return {
+            "plan": repr(self.plan),
+            "replicas": [
+                [{"base_url": server.base_url if server.running else None,
+                  "running": server.running,
+                  **({"requests": server.stats()["requests"]}
+                     if server.running else {})}
+                 for server in replicas]
+                for replicas in self._servers
+            ],
+            "replacements": len(self._replacements),
+        }

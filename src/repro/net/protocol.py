@@ -1,0 +1,554 @@
+"""The wire protocol of the network-transparent cluster.
+
+Everything that crosses a socket in :mod:`repro.net` is built from three
+layers defined here, all of them pure functions with exact round-trip
+semantics (the property suite asserts encode -> decode identity):
+
+* **array codecs** -- ndarrays travel as ``{"dtype", "shape", "encoding",
+  "data"}`` objects with the raw C-order bytes base64- or hex-encoded
+  (:func:`encode_array` / :func:`decode_array`).  Bytes, not digits:
+  float64 logits and uint64 packed signature words survive the wire
+  bit-exactly, which is what lets the remote loadgen verify against
+  in-process execution with ``array_equal`` instead of ``allclose``.
+* **envelopes** -- every JSON request is ``{"v", "kind", "payload"}`` and
+  every response ``{"v", "ok", "result" | "error"}``, with typed error
+  codes (:data:`ERROR_STATUS`) mapping 1:1 onto HTTP statuses.  Version
+  checks happen at the envelope, so incompatible peers fail fast with
+  ``unsupported_version`` instead of misreading payloads.
+* **binary framing** -- the optional length-prefixed frame for packed
+  queries (:func:`encode_array_frame` / :func:`decode_array_frame`):
+  ``magic | u32 header length | header JSON | u32 payload length | raw
+  array bytes``.  The header carries dtype/shape plus any scalar extras
+  (``k``, energy, latency); the payload is the array verbatim -- no base64
+  expansion on the hot scatter-gather path.
+
+On top of those sit the typed request/response payload codecs for the four
+server surfaces: ``classify`` and ``topk`` (the serve plane, float64
+samples in, float64 logits / encoded top-k rows out) and ``shard/search``,
+``shard/topk``, ``shard/write`` (the shard plane, packed uint64 query
+words in, raw mismatch counts or top-k candidates out, with the energy and
+latency accounting riding alongside so the remote cluster's books match
+the in-process ones).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import struct
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: Envelope schema version; peers reject anything else with
+#: ``unsupported_version``.
+PROTOCOL_VERSION = 1
+
+#: Content types the server negotiates on.
+CONTENT_TYPE_JSON = "application/json"
+CONTENT_TYPE_FRAME = "application/x-repro-frame"
+
+#: Magic prefix of a binary frame (4 bytes, version folded into the header).
+FRAME_MAGIC = b"RPN1"
+
+#: Supported byte encodings of the JSON array codec.
+ARRAY_ENCODINGS = ("b64", "hex")
+
+#: Typed error codes -> HTTP status.  ``error_status`` resolves unknown
+#: codes to 500 so a future peer's new code degrades to a generic server
+#: error instead of a crash.
+ERROR_STATUS: Dict[str, int] = {
+    "bad_request": 400,
+    "unsupported_version": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "unsupported_media": 415,
+    "engine_error": 500,
+    "internal": 500,
+    "unavailable": 503,
+    "shutting_down": 503,
+}
+
+
+def error_status(code: str) -> int:
+    """HTTP status of a typed error code (unknown codes -> 500)."""
+    return ERROR_STATUS.get(code, 500)
+
+
+class WireError(Exception):
+    """A typed protocol-level failure (either side of the socket).
+
+    Servers map it onto the envelope's ``error`` object and the HTTP
+    status; clients raise it back out of :func:`parse_response` when the
+    server reported a failure, so callers see one exception type with a
+    stable ``code`` regardless of which peer produced it.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+    @property
+    def status(self) -> int:
+        """The HTTP status this error travels under."""
+        return error_status(self.code)
+
+
+# -- array codec ---------------------------------------------------------------
+
+
+def encode_array(array: np.ndarray, encoding: str = "b64") -> Dict[str, Any]:
+    """Encode an ndarray as a JSON-safe object (exact bytes, C order)."""
+    if encoding not in ARRAY_ENCODINGS:
+        raise ValueError(
+            f"encoding must be one of {ARRAY_ENCODINGS}, got {encoding!r}")
+    data = np.ascontiguousarray(array)
+    raw = data.tobytes()
+    text = (base64.b64encode(raw) if encoding == "b64"
+            else binascii.hexlify(raw)).decode("ascii")
+    return {
+        "dtype": data.dtype.name,
+        "shape": [int(dim) for dim in data.shape],
+        "encoding": encoding,
+        "data": text,
+    }
+
+
+def decode_array(obj: Any, dtype: Optional[str] = None,
+                 ndim: Optional[int] = None) -> np.ndarray:
+    """Decode :func:`encode_array` output; raises ``bad_request`` on damage."""
+    if not isinstance(obj, Mapping):
+        raise WireError("bad_request", "array object must be a mapping")
+    try:
+        wire_dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(dim) for dim in obj["shape"])
+        encoding = obj.get("encoding", "b64")
+        text = obj["data"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError("bad_request",
+                        f"malformed array object: {error}") from None
+    if encoding not in ARRAY_ENCODINGS:
+        raise WireError("bad_request",
+                        f"unknown array encoding {encoding!r}")
+    if any(dim < 0 for dim in shape):
+        raise WireError("bad_request", f"negative array shape {shape}")
+    if dtype is not None and wire_dtype != np.dtype(dtype):
+        raise WireError("bad_request",
+                        f"expected dtype {dtype}, got {wire_dtype.name}")
+    if ndim is not None and len(shape) != ndim:
+        raise WireError("bad_request",
+                        f"expected a {ndim}-D array, got shape {shape}")
+    try:
+        raw = (base64.b64decode(text, validate=True) if encoding == "b64"
+               else binascii.unhexlify(text))
+    except (binascii.Error, ValueError, TypeError) as error:
+        raise WireError("bad_request",
+                        f"undecodable array data: {error}") from None
+    expected = int(np.prod(shape, dtype=np.int64)) * wire_dtype.itemsize
+    if len(raw) != expected:
+        raise WireError(
+            "bad_request",
+            f"array data holds {len(raw)} bytes, shape {shape} of "
+            f"{wire_dtype.name} needs {expected}")
+    return np.frombuffer(raw, dtype=wire_dtype).reshape(shape).copy()
+
+
+# -- envelopes -----------------------------------------------------------------
+
+
+def request_envelope(kind: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Wrap one request payload in the versioned envelope."""
+    return {"v": PROTOCOL_VERSION, "kind": kind, "payload": dict(payload)}
+
+
+def parse_request(document: Any, kind: Optional[str] = None) -> Dict[str, Any]:
+    """Validate a request envelope; returns its payload."""
+    if not isinstance(document, Mapping):
+        raise WireError("bad_request", "request body must be a JSON object")
+    version = document.get("v")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            "unsupported_version",
+            f"protocol version {version!r} is not {PROTOCOL_VERSION}")
+    if kind is not None and document.get("kind") != kind:
+        raise WireError(
+            "bad_request",
+            f"expected kind {kind!r}, got {document.get('kind')!r}")
+    payload = document.get("payload", {})
+    if not isinstance(payload, Mapping):
+        raise WireError("bad_request", "payload must be a JSON object")
+    return dict(payload)
+
+
+def ok_envelope(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """A success response envelope."""
+    return {"v": PROTOCOL_VERSION, "ok": True, "result": dict(result)}
+
+
+def error_envelope(code: str, message: str) -> Dict[str, Any]:
+    """A failure response envelope with a typed error code."""
+    return {"v": PROTOCOL_VERSION, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def parse_response(document: Any) -> Dict[str, Any]:
+    """Validate a response envelope; returns the result or raises the error."""
+    if not isinstance(document, Mapping):
+        raise WireError("bad_request", "response body must be a JSON object")
+    version = document.get("v")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            "unsupported_version",
+            f"protocol version {version!r} is not {PROTOCOL_VERSION}")
+    if document.get("ok"):
+        result = document.get("result", {})
+        if not isinstance(result, Mapping):
+            raise WireError("bad_request", "result must be a JSON object")
+        return dict(result)
+    error = document.get("error")
+    if isinstance(error, Mapping):
+        raise WireError(str(error.get("code", "internal")),
+                        str(error.get("message", "unknown server error")))
+    raise WireError("internal", "response reported failure with no error")
+
+
+def dumps(document: Mapping[str, Any]) -> bytes:
+    """Serialise one envelope; numpy scalars degrade to plain numbers."""
+    def _default(value: Any) -> Any:
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        raise TypeError(f"unserialisable value of type {type(value).__name__}")
+
+    return json.dumps(document, default=_default).encode("utf-8")
+
+
+def loads(body: bytes) -> Any:
+    """Parse a JSON body; raises ``bad_request`` on damage."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError("bad_request",
+                        f"undecodable JSON body: {error}") from None
+
+
+# -- binary framing ------------------------------------------------------------
+
+
+def encode_frame(header: Mapping[str, Any], payload: bytes) -> bytes:
+    """One length-prefixed binary frame: magic, header JSON, raw payload."""
+    head = dumps({"v": PROTOCOL_VERSION, **header})
+    return b"".join((
+        FRAME_MAGIC,
+        struct.pack("<I", len(head)),
+        head,
+        struct.pack("<I", len(payload)),
+        payload,
+    ))
+
+
+def decode_frame(blob: bytes) -> Tuple[Dict[str, Any], bytes]:
+    """Split one binary frame back into ``(header, payload)``."""
+    if len(blob) < len(FRAME_MAGIC) + 4:
+        raise WireError("bad_request", "binary frame is truncated")
+    if blob[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise WireError("bad_request", "binary frame has a bad magic prefix")
+    offset = len(FRAME_MAGIC)
+    (header_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    if len(blob) < offset + header_len + 4:
+        raise WireError("bad_request", "binary frame header is truncated")
+    header = loads(blob[offset: offset + header_len])
+    if not isinstance(header, Mapping):
+        raise WireError("bad_request", "frame header must be a JSON object")
+    offset += header_len
+    (payload_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    payload = blob[offset: offset + payload_len]
+    if len(payload) != payload_len or len(blob) != offset + payload_len:
+        raise WireError("bad_request", "binary frame payload length mismatch")
+    version = header.get("v")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            "unsupported_version",
+            f"frame version {version!r} is not {PROTOCOL_VERSION}")
+    return dict(header), payload
+
+
+def encode_array_frame(kind: str, array: np.ndarray,
+                       extra: Optional[Mapping[str, Any]] = None) -> bytes:
+    """A binary frame carrying one ndarray (dtype/shape in the header)."""
+    data = np.ascontiguousarray(array)
+    header = {
+        "kind": kind,
+        "dtype": data.dtype.name,
+        "shape": [int(dim) for dim in data.shape],
+        **(dict(extra) if extra else {}),
+    }
+    return encode_frame(header, data.tobytes())
+
+
+def decode_array_frame(blob: bytes, kind: Optional[str] = None,
+                       dtype: Optional[str] = None,
+                       ndim: Optional[int] = None
+                       ) -> Tuple[np.ndarray, Dict[str, Any]]:
+    """Decode :func:`encode_array_frame` output; returns ``(array, header)``."""
+    header, payload = decode_frame(blob)
+    if kind is not None and header.get("kind") != kind:
+        raise WireError("bad_request",
+                        f"expected frame kind {kind!r}, "
+                        f"got {header.get('kind')!r}")
+    try:
+        frame_dtype = np.dtype(header["dtype"])
+        shape = tuple(int(dim) for dim in header["shape"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError("bad_request",
+                        f"malformed frame header: {error}") from None
+    if dtype is not None and frame_dtype != np.dtype(dtype):
+        raise WireError("bad_request",
+                        f"expected frame dtype {dtype}, "
+                        f"got {frame_dtype.name}")
+    if ndim is not None and len(shape) != ndim:
+        raise WireError("bad_request",
+                        f"expected a {ndim}-D frame array, got shape {shape}")
+    expected = int(np.prod(shape, dtype=np.int64)) * frame_dtype.itemsize
+    if len(payload) != expected:
+        raise WireError(
+            "bad_request",
+            f"frame payload holds {len(payload)} bytes, shape {shape} of "
+            f"{frame_dtype.name} needs {expected}")
+    array = np.frombuffer(payload, dtype=frame_dtype).reshape(shape).copy()
+    return array, header
+
+
+# -- serve plane payloads ------------------------------------------------------
+
+
+def encode_classify_request(samples: np.ndarray,
+                            encoding: str = "b64") -> Dict[str, Any]:
+    """Payload of ``POST /v1/classify``: a float64 ``(n, input_dim)`` batch."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"samples must be 2-D, got shape {data.shape}")
+    return {"samples": encode_array(data, encoding)}
+
+
+def decode_classify_request(payload: Mapping[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_classify_request`."""
+    if "samples" not in payload:
+        raise WireError("bad_request", "classify payload needs 'samples'")
+    return decode_array(payload["samples"], dtype="float64", ndim=2)
+
+
+def encode_classify_response(logits: np.ndarray,
+                             encoding: str = "b64") -> Dict[str, Any]:
+    """Result of ``POST /v1/classify``: the ``(n, output_dim)`` logits."""
+    return {"logits": encode_array(np.asarray(logits, dtype=np.float64),
+                                   encoding)}
+
+
+def decode_classify_response(result: Mapping[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_classify_response`."""
+    if "logits" not in result:
+        raise WireError("bad_request", "classify result needs 'logits'")
+    return decode_array(result["logits"], dtype="float64", ndim=2)
+
+
+def encode_topk_request(samples: np.ndarray, k: int,
+                        encoding: str = "b64") -> Dict[str, Any]:
+    """Payload of ``POST /v1/topk``: a sample batch plus the neighbour count."""
+    payload = encode_classify_request(samples, encoding)
+    size = int(k)
+    if size < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    payload["k"] = size
+    return payload
+
+
+def decode_topk_request(payload: Mapping[str, Any]) -> Tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_topk_request`."""
+    samples = decode_classify_request(payload)
+    try:
+        k = int(payload["k"])
+    except (KeyError, TypeError, ValueError):
+        raise WireError("bad_request",
+                        "topk payload needs an integer 'k'") from None
+    if k < 0:
+        raise WireError("bad_request", f"k must be non-negative, got {k}")
+    return samples, k
+
+
+def encode_topk_response(rows: np.ndarray,
+                         encoding: str = "b64") -> Dict[str, Any]:
+    """Result of ``POST /v1/topk``: encoded ``(n, 2 * k_eff)`` top-k rows."""
+    return {"rows": encode_array(np.asarray(rows, dtype=np.float64), encoding)}
+
+
+def decode_topk_response(result: Mapping[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_topk_response`."""
+    if "rows" not in result:
+        raise WireError("bad_request", "topk result needs 'rows'")
+    return decode_array(result["rows"], dtype="float64", ndim=2)
+
+
+# -- shard plane payloads ------------------------------------------------------
+
+
+def encode_shard_search_request(packed: np.ndarray,
+                                encoding: str = "b64") -> Dict[str, Any]:
+    """Payload of ``POST /v1/shard/search``: packed uint64 query words."""
+    data = np.ascontiguousarray(packed, dtype=np.uint64)
+    if data.ndim != 2:
+        raise ValueError(f"packed queries must be 2-D, got shape {data.shape}")
+    return {"packed": encode_array(data, encoding)}
+
+
+def decode_shard_search_request(payload: Mapping[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_shard_search_request`."""
+    if "packed" not in payload:
+        raise WireError("bad_request", "shard search payload needs 'packed'")
+    return decode_array(payload["packed"], dtype="uint64", ndim=2)
+
+
+def encode_shard_search_response(counts: np.ndarray, energy_pj: float,
+                                 latency_cycles: int,
+                                 encoding: str = "b64") -> Dict[str, Any]:
+    """Result of ``POST /v1/shard/search``: raw counts plus the accounting."""
+    return {
+        "counts": encode_array(np.asarray(counts, dtype=np.int64), encoding),
+        "energy_pj": float(energy_pj),
+        "latency_cycles": int(latency_cycles),
+    }
+
+
+def decode_shard_search_response(result: Mapping[str, Any]
+                                 ) -> Tuple[np.ndarray, float, int]:
+    """Inverse of :func:`encode_shard_search_response`."""
+    if "counts" not in result:
+        raise WireError("bad_request", "shard search result needs 'counts'")
+    counts = decode_array(result["counts"], dtype="int64", ndim=2)
+    return counts, _number(result, "energy_pj"), int(_number(result,
+                                                            "latency_cycles"))
+
+
+def encode_shard_topk_request(packed: np.ndarray, k: int,
+                              encoding: str = "b64") -> Dict[str, Any]:
+    """Payload of ``POST /v1/shard/topk``: packed words plus the local k."""
+    payload = encode_shard_search_request(packed, encoding)
+    size = int(k)
+    if size < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    payload["k"] = size
+    return payload
+
+
+def decode_shard_topk_request(payload: Mapping[str, Any]
+                              ) -> Tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_shard_topk_request`."""
+    packed = decode_shard_search_request(payload)
+    try:
+        k = int(payload["k"])
+    except (KeyError, TypeError, ValueError):
+        raise WireError("bad_request",
+                        "shard topk payload needs an integer 'k'") from None
+    if k < 0:
+        raise WireError("bad_request", f"k must be non-negative, got {k}")
+    return packed, k
+
+
+def encode_shard_topk_response(indices: np.ndarray, raw: np.ndarray,
+                               energy_pj: float, latency_cycles: int,
+                               encoding: str = "b64") -> Dict[str, Any]:
+    """Result of ``POST /v1/shard/topk``: the local candidate set.
+
+    ``indices`` are *global* row ids (the shard server learned its global
+    placement from the write requests), ``raw`` the raw mismatch counts of
+    those candidates -- exactly what the in-process partial gather merges,
+    so the remote merge is bit-identical.
+    """
+    return {
+        "indices": encode_array(np.asarray(indices, dtype=np.int64), encoding),
+        "raw": encode_array(np.asarray(raw, dtype=np.int64), encoding),
+        "energy_pj": float(energy_pj),
+        "latency_cycles": int(latency_cycles),
+    }
+
+
+def decode_shard_topk_response(result: Mapping[str, Any]
+                               ) -> Tuple[np.ndarray, np.ndarray, float, int]:
+    """Inverse of :func:`encode_shard_topk_response`."""
+    for field in ("indices", "raw"):
+        if field not in result:
+            raise WireError("bad_request",
+                            f"shard topk result needs {field!r}")
+    indices = decode_array(result["indices"], dtype="int64", ndim=2)
+    raw = decode_array(result["raw"], dtype="int64", ndim=2)
+    if indices.shape != raw.shape:
+        raise WireError("bad_request",
+                        f"candidate shapes disagree: {indices.shape} "
+                        f"vs {raw.shape}")
+    return indices, raw, _number(result, "energy_pj"), int(
+        _number(result, "latency_cycles"))
+
+
+def encode_shard_write_request(bits: np.ndarray, start_row: int,
+                               global_ids: np.ndarray, id_bound: int,
+                               encoding: str = "b64") -> Dict[str, Any]:
+    """Payload of ``POST /v1/shard/write``: a row block plus its placement.
+
+    ``global_ids`` names the global row each local row stores and
+    ``id_bound`` the exclusive bound on row ids (the cluster's total row
+    count) -- the shard server needs both to run the tie-broken local
+    top-k selection that makes the remote partial gather exact.
+    """
+    data = np.asarray(bits, dtype=np.uint8)
+    if data.ndim != 2:
+        raise ValueError(f"bits must be 2-D, got shape {data.shape}")
+    ids = np.asarray(global_ids, dtype=np.int64)
+    if ids.shape != (data.shape[0],):
+        raise ValueError(
+            f"global_ids must have shape ({data.shape[0]},), got {ids.shape}")
+    if int(start_row) < 0 or int(id_bound) <= 0:
+        raise ValueError("start_row must be >= 0 and id_bound positive")
+    return {
+        "bits": encode_array(data, encoding),
+        "start_row": int(start_row),
+        "global_ids": encode_array(ids, encoding),
+        "id_bound": int(id_bound),
+    }
+
+
+def decode_shard_write_request(payload: Mapping[str, Any]
+                               ) -> Tuple[np.ndarray, int, np.ndarray, int]:
+    """Inverse of :func:`encode_shard_write_request`."""
+    for field in ("bits", "start_row", "global_ids", "id_bound"):
+        if field not in payload:
+            raise WireError("bad_request",
+                            f"shard write payload needs {field!r}")
+    bits = decode_array(payload["bits"], dtype="uint8", ndim=2)
+    global_ids = decode_array(payload["global_ids"], dtype="int64", ndim=1)
+    start_row = int(_number(payload, "start_row"))
+    id_bound = int(_number(payload, "id_bound"))
+    if global_ids.shape != (bits.shape[0],):
+        raise WireError(
+            "bad_request",
+            f"global_ids must have shape ({bits.shape[0]},), "
+            f"got {global_ids.shape}")
+    if start_row < 0 or id_bound <= 0:
+        raise WireError("bad_request",
+                        "start_row must be >= 0 and id_bound positive")
+    return bits, start_row, global_ids, id_bound
+
+
+def _number(mapping: Mapping[str, Any], field: str) -> float:
+    """One numeric field of a payload; raises ``bad_request`` when absent."""
+    try:
+        return float(mapping[field])
+    except (KeyError, TypeError, ValueError):
+        raise WireError("bad_request",
+                        f"payload needs a numeric {field!r}") from None

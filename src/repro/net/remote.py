@@ -1,0 +1,599 @@
+"""Remote shards: the sharded CAM cluster over sockets, with failover.
+
+Three pieces turn :class:`~repro.shard.pipeline.ShardedCamPipeline` into a
+network-transparent cluster:
+
+* :class:`RemoteShardTransport` -- one shard replica's *port*.  It speaks
+  the shard plane of a :class:`~repro.net.server.NetServer` (write /
+  search / local top-k, binary frames on the hot paths) behind the exact
+  surface the pipeline expects of a port (``write_rows`` /
+  ``mismatch_counts_packed``), so the pipeline's scatter, fan-out and
+  re-replication machinery drive it unchanged.  Each transport knows its
+  shard's *global placement* (which global row each local row stores) and
+  teaches it to the server on every write -- that is what makes the remote
+  local top-k return global ids and the remote partial gather exact.
+* :class:`RemoteCamCluster` -- a :class:`ShardedCamPipeline` whose ports
+  are those transports.  Searches fan out per shard exactly as in-process
+  ``"ports"`` mode; what is new is the *failover loop* around every
+  per-shard call: a transport failure marks the replica dead in the
+  router, the call retries on a surviving replica, and -- when a
+  ``replacement_factory`` is configured -- the lost replica is
+  *re-replicated* from the pipeline-owned row storage (``self._bits``,
+  the same source of truth ``rebalance()`` rebuilds from) onto a fresh
+  endpoint, swapped into the replica slot and marked alive again.
+  Results stay bit-identical to the in-process cluster throughout: raw
+  counts merge and digitise exactly as before, whichever replica answers.
+* :class:`RemoteShardedEngine` -- the :class:`~repro.shard.engine.ShardedEngine`
+  twin over a remote cluster, so a :class:`~repro.serve.server.MicroBatchServer`
+  (or a serve-plane :class:`NetServer`) fronts the whole remote cluster
+  unchanged; :func:`build_demo_remote_engine` mirrors the demo seeds so
+  its answers are bit-identical to :func:`~repro.serve.engine.build_demo_engine`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cam.topk import select_topk
+from repro.net import protocol
+from repro.net.transport import (
+    HttpTransport,
+    RetryingTransport,
+    RetryPolicy,
+    Transport,
+    TransportError,
+)
+from repro.serve.metrics import notify_all
+from repro.shard.engine import ShardedEngine
+from repro.shard.pipeline import ShardedCamPipeline
+from repro.shard.plan import ShardSpec
+
+#: Shard-plane default: few quick attempts per replica -- the cluster's
+#: failover (not the transport's retries) owns recovery from a dead node.
+SHARD_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.01,
+                          max_delay_s=0.1, budget_s=2.0)
+
+#: ``base_url -> Transport`` builder (injection point for fault wrappers).
+TransportFactory = Callable[[str], Transport]
+
+#: ``shard_index -> base_url`` of a fresh replacement replica server.
+ReplacementFactory = Callable[[int], str]
+
+
+class ShardUnavailableError(TransportError):
+    """Every replica of one shard is dead and irreparable."""
+
+
+class RemoteShardTransport:
+    """One remote shard replica behind the pipeline's port surface.
+
+    Parameters
+    ----------
+    base_url:
+        The replica's shard-plane :class:`NetServer`.
+    global_rows:
+        ``(rows,)`` global row ids this shard stores, in local-row order
+        (the plan's :attr:`~repro.shard.plan.ShardSpec.global_rows`).
+    id_bound / word_bits:
+        The cluster's total row count (the tie-break bound) and word width.
+    retry / connect_timeout_s / read_timeout_s / seed:
+        The transport core's knobs (see :class:`RetryingTransport`).
+    transport_factory:
+        Optional ``base_url -> Transport`` override; tests inject
+        :class:`~repro.net.transport.FlakyTransport` stacks here.
+    use_frames:
+        Binary frames on the search/topk hot paths (default); ``False``
+        forces JSON envelopes everywhere.
+    """
+
+    def __init__(self, base_url: str, global_rows: np.ndarray,
+                 id_bound: int, word_bits: int,
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 5.0,
+                 read_timeout_s: float = 30.0,
+                 seed: Optional[int] = None,
+                 transport_factory: Optional[TransportFactory] = None,
+                 use_frames: bool = True) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.global_rows = np.asarray(global_rows, dtype=np.int64)
+        self.id_bound = int(id_bound)
+        self.word_bits = int(word_bits)
+        self.use_frames = bool(use_frames)
+        if transport_factory is None:
+            inner: Transport = HttpTransport(
+                self.base_url, connect_timeout_s=connect_timeout_s,
+                read_timeout_s=read_timeout_s)
+        else:
+            inner = transport_factory(self.base_url)
+        rng = random.Random(seed) if seed is not None else None
+        self.transport = RetryingTransport(
+            inner, policy=retry if retry is not None else SHARD_RETRY,
+            rng=rng)
+
+    @property
+    def rows(self) -> int:
+        """Local row capacity of this shard."""
+        return int(self.global_rows.size)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _call_json(self, method: str, path: str,
+                   envelope: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+        body = protocol.dumps(envelope) if envelope is not None else b""
+        headers = ({"Content-Type": protocol.CONTENT_TYPE_JSON}
+                   if envelope is not None else {})
+        response = self.transport.send(method, path, body, headers)
+        return protocol.parse_response(response.json())
+
+    def _call_frame(self, path: str, frame: bytes, kind: str
+                    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        response = self.transport.send(
+            "POST", path, frame,
+            {"Content-Type": protocol.CONTENT_TYPE_FRAME})
+        if response.content_type == protocol.CONTENT_TYPE_FRAME:
+            return protocol.decode_array_frame(response.body, kind=kind)
+        # Failures always arrive as JSON envelopes; this raises the typed
+        # WireError the server reported.
+        protocol.parse_response(response.json())
+        raise protocol.WireError(
+            "bad_request", f"expected a {kind} frame, got JSON success")
+
+    # -- the port surface --------------------------------------------------------
+
+    def write_rows(self, bits_matrix: np.ndarray, start_row: int = 0) -> float:
+        """Store one local row block remotely, teaching the placement."""
+        bits = np.asarray(bits_matrix, dtype=np.uint8)
+        stop = start_row + bits.shape[0]
+        result = self._call_json(
+            "POST", "/v1/shard/write",
+            protocol.request_envelope("shard_write",
+                                      protocol.encode_shard_write_request(
+                                          bits, start_row,
+                                          self.global_rows[start_row:stop],
+                                          self.id_bound)))
+        return float(result.get("energy_pj", 0.0))
+
+    def mismatch_counts_packed(self, packed_queries: np.ndarray
+                               ) -> Tuple[np.ndarray, float, int]:
+        """Raw mismatch counts of the whole remote shard (full gather)."""
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if self.use_frames:
+            counts, header = self._call_frame(
+                "/v1/shard/search",
+                protocol.encode_array_frame("shard_search", packed),
+                kind="shard_counts")
+            return (counts.astype(np.int64, copy=False),
+                    float(header.get("energy_pj", 0.0)),
+                    int(header.get("latency_cycles", 0)))
+        result = self._call_json(
+            "POST", "/v1/shard/search",
+            protocol.request_envelope(
+                "shard_search",
+                protocol.encode_shard_search_request(packed)))
+        return protocol.decode_shard_search_response(result)
+
+    def topk_candidates(self, packed_queries: np.ndarray, k: int
+                        ) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        """The remote local top-k candidate set (global ids + raw counts)."""
+        packed = np.ascontiguousarray(packed_queries, dtype=np.uint64)
+        if self.use_frames:
+            stacked, header = self._call_frame(
+                "/v1/shard/topk",
+                protocol.encode_array_frame("shard_topk", packed,
+                                            extra={"k": int(k)}),
+                kind="shard_candidates")
+            if stacked.ndim != 3 or stacked.shape[0] != 2:
+                raise protocol.WireError(
+                    "bad_request",
+                    f"candidate frame must stack (2, n, k), "
+                    f"got {stacked.shape}")
+            return (stacked[0].astype(np.int64, copy=False),
+                    stacked[1].astype(np.int64, copy=False),
+                    float(header.get("energy_pj", 0.0)),
+                    int(header.get("latency_cycles", 0)))
+        result = self._call_json(
+            "POST", "/v1/shard/topk",
+            protocol.request_envelope(
+                "shard_topk",
+                protocol.encode_shard_topk_request(packed, k)))
+        return protocol.decode_shard_topk_response(result)
+
+    # -- health ------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The replica's liveness document (raises on a dead endpoint)."""
+        return self._call_json("GET", "/v1/healthz")
+
+    def info(self) -> Dict[str, Any]:
+        """The replica's geometry handshake."""
+        return self._call_json("GET", "/v1/shard/info")
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def stats(self) -> Dict[str, Any]:
+        return self.transport.stats()
+
+
+class RemoteCamCluster(ShardedCamPipeline):
+    """A sharded CAM pipeline whose shards live behind sockets.
+
+    ``endpoints[shard][replica]`` names the shard-plane servers; geometry
+    (shard count, replicas) is taken from its shape.  Every endpoint must
+    be reachable at construction (the initial row load goes over the
+    wire); losses *after* that are survived by the failover loop and --
+    with a ``replacement_factory`` -- repaired by re-replication from the
+    pipeline-owned row storage.  ``rebalance()`` / ``add_shard()`` are not
+    supported remotely (the endpoint set is the geometry).
+
+    All other parameters match :class:`ShardedCamPipeline`; fan-out is
+    always ``"ports"`` (there is no fused storage across machines).
+    """
+
+    def __init__(self, endpoints: Sequence[Sequence[str]], total_rows: int,
+                 word_bits: int, policy: str = "contiguous",
+                 routing: str = "round_robin",
+                 sense_amp: Any = None,
+                 replacement_factory: Optional[ReplacementFactory] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 5.0,
+                 read_timeout_s: float = 30.0,
+                 transport_factory: Optional[TransportFactory] = None,
+                 use_frames: bool = True,
+                 num_workers: Optional[int] = None,
+                 observers: Any = ()) -> None:
+        grid = [list(replicas) for replicas in endpoints]
+        if not grid or not grid[0]:
+            raise ValueError("endpoints must be a non-empty grid of URLs")
+        replicas_per_shard = len(grid[0])
+        if any(len(replicas) != replicas_per_shard for replicas in grid):
+            raise ValueError("every shard needs the same replica count")
+        # Everything _build_ports (called inside super().__init__) needs
+        # must exist first.
+        self._endpoints = grid
+        self._replacement_factory = replacement_factory
+        self._shard_retry = retry if retry is not None else SHARD_RETRY
+        self._connect_timeout_s = float(connect_timeout_s)
+        self._read_timeout_s = float(read_timeout_s)
+        self._transport_factory = transport_factory
+        self._use_frames = bool(use_frames)
+        self._net_lock = threading.Lock()
+        self._failovers = 0
+        self._re_replications = 0
+        self._repair_locks = [threading.Lock() for _ in grid]
+        super().__init__(total_rows=total_rows, word_bits=word_bits,
+                         num_shards=len(grid), policy=policy,
+                         num_replicas=replicas_per_shard, routing=routing,
+                         sense_amp=sense_amp, fanout="ports",
+                         num_workers=num_workers, observers=observers)
+
+    # -- structure ---------------------------------------------------------------
+
+    def _make_port(self, base_url: str,
+                   spec: ShardSpec) -> RemoteShardTransport:
+        return RemoteShardTransport(
+            base_url, global_rows=spec.global_rows,
+            id_bound=int(self._bits.shape[0]), word_bits=self.word_bits,
+            retry=self._shard_retry,
+            connect_timeout_s=self._connect_timeout_s,
+            read_timeout_s=self._read_timeout_s,
+            transport_factory=self._transport_factory,
+            use_frames=self._use_frames)
+
+    def _build_ports(self, plan: Any) -> List[List[Any]]:
+        """One transport per (shard, replica), loaded over the wire."""
+        ports: List[List[Any]] = []
+        for spec in plan.shards:
+            block = self._bits[spec.global_rows]
+            block_populated = self._populated[spec.global_rows]
+            replicas = []
+            for base_url in self._endpoints[spec.index]:
+                port = self._make_port(base_url, spec)
+                self._load_port(port, block, block_populated)
+                replicas.append(port)
+            ports.append(replicas)
+        return ports
+
+    def add_shard(self) -> Any:
+        raise NotImplementedError(
+            "a remote cluster's endpoint grid is its geometry; "
+            "provision servers and build a new cluster to grow")
+
+    def rebalance(self, num_shards: Optional[int] = None,
+                  policy: Optional[str] = None) -> Any:
+        raise NotImplementedError(
+            "a remote cluster's endpoint grid is its geometry; "
+            "provision servers and build a new cluster to re-partition")
+
+    # -- failover ----------------------------------------------------------------
+
+    def _failover_call(self, shard: int, ports: List[List[Any]],
+                       locks: List[List[threading.Lock]], preferred: int,
+                       op: Callable[[Any], Any]) -> Tuple[Any, int]:
+        """Run one per-shard call, surviving replica deaths.
+
+        A :class:`TransportError` marks the replica dead, triggers an
+        inline repair (re-replication onto a fresh endpoint when a
+        replacement factory is configured) and retries -- on the repaired
+        replica or on any surviving one.  Only when every replica has
+        failed and repair is impossible does :class:`ShardUnavailableError`
+        surface; protocol-level errors (:class:`~repro.net.protocol.WireError`)
+        are never failover triggers -- a peer that answers wrongly is a
+        bug, not a dead node.
+        """
+        tried: set = set()
+        replica = preferred
+        last_error: Optional[Exception] = None
+        # Bounded walk: every replica once, plus one repaired retry each.
+        for _ in range(2 * self._num_replicas + 2):
+            port = ports[shard][replica]
+            if id(port) not in tried:
+                try:
+                    with locks[shard][replica]:
+                        # Re-read: a concurrent repair swaps ports in place.
+                        result = op(ports[shard][replica])
+                    return result, replica
+                except TransportError as error:
+                    last_error = error
+                    tried.add(id(port))
+                    self.router.mark_dead(shard, replica)
+                    with self._net_lock:
+                        self._failovers += 1
+                    if self._repair(shard, replica, port):
+                        continue  # the slot now holds a live port
+            candidates = [index for index in range(self._num_replicas)
+                          if id(ports[shard][index]) not in tried]
+            if not candidates:
+                break
+            live = [index for index in candidates
+                    if self.router.alive(shard, index)]
+            replica = (live if live else candidates)[0]
+        raise ShardUnavailableError(
+            f"every replica of shard {shard} is unavailable: {last_error}")
+
+    def _repair(self, shard: int, replica: int, failed_port: Any) -> bool:
+        """Re-replicate one lost replica from the pipeline-owned storage.
+
+        Serialised per shard; a racer that arrives after the swap sees a
+        different port in the slot and reports the router's verdict
+        instead of repairing twice.  Returns whether the slot is live.
+        """
+        if self._replacement_factory is None:
+            return False
+        with self._repair_locks[shard]:
+            with self._state_lock:
+                if self._ports[shard][replica] is not failed_port:
+                    return self.router.alive(shard, replica)
+                spec = self.plan.shards[shard]
+                block = self._bits[spec.global_rows]
+                block_populated = self._populated[spec.global_rows]
+            try:
+                base_url = self._replacement_factory(shard)
+                port = self._make_port(base_url, spec)
+                self._load_port(port, block, block_populated)
+            except TransportError:
+                return False
+            with self._state_lock:
+                # In-place swap: snapshots share the nested lists, so
+                # in-flight searches see the repaired port immediately.
+                self._ports[shard][replica] = port
+                self._endpoints[shard][replica] = port.base_url
+            self.router.mark_alive(shard, replica)
+            with self._net_lock:
+                self._re_replications += 1
+            try:
+                failed_port.close()
+            except Exception:  # noqa: BLE001 -- already dead
+                pass
+            return True
+
+    # -- fan-out overrides -------------------------------------------------------
+
+    def _search_ports(self, packed: np.ndarray, plan: Any,
+                      ports: List[List[Any]],
+                      locks: List[List[threading.Lock]],
+                      executor: Any,
+                      selection: Tuple[int, ...]
+                      ) -> Tuple[np.ndarray, float, int]:
+        """The base per-port fan-out, each shard call behind the failover."""
+        num_queries = packed.shape[0]
+
+        def _search_one(shard: int) -> Tuple[np.ndarray, float, int]:
+            started = time.perf_counter()
+            (counts, energy, latency), replica = self._failover_call(
+                shard, ports, locks, selection[shard],
+                lambda port: port.mismatch_counts_packed(packed))
+            if self._observers:
+                notify_all(self._observers, "shard_search_completed",
+                           shard, replica, num_queries,
+                           (time.perf_counter() - started) * 1e3)
+            return counts, energy, latency
+
+        if executor is not None and plan.num_shards > 1:
+            results = list(executor.map(_search_one, range(plan.num_shards)))
+        else:
+            results = [_search_one(shard) for shard in range(plan.num_shards)]
+        global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
+        plan.gather_columns([counts for counts, _, _ in results],
+                            global_counts)
+        energy = float(sum(energy for _, energy, _ in results))
+        latency = max(latency for _, _, latency in results)
+        return global_counts, energy, latency
+
+    def _topk_ports(self, packed: np.ndarray, populated: np.ndarray,
+                    plan: Any, ports: List[List[Any]],
+                    locks: List[List[threading.Lock]], executor: Any,
+                    selection: Tuple[int, ...], k: int
+                    ) -> Tuple[np.ndarray, np.ndarray, float, int, int]:
+        """Remote partial gather: server-side local top-k, one exact merge."""
+        num_queries = packed.shape[0]
+
+        def _topk_one(shard: int
+                      ) -> Tuple[np.ndarray, np.ndarray, float, int]:
+            started = time.perf_counter()
+            (indices, raw, energy, latency), replica = self._failover_call(
+                shard, ports, locks, selection[shard],
+                lambda port: port.topk_candidates(packed, k))
+            if self._observers:
+                notify_all(self._observers, "shard_search_completed",
+                           shard, replica, num_queries,
+                           (time.perf_counter() - started) * 1e3)
+            return indices, raw, energy, latency
+
+        if executor is not None and plan.num_shards > 1:
+            results = list(executor.map(_topk_one, range(plan.num_shards)))
+        else:
+            results = [_topk_one(shard) for shard in range(plan.num_shards)]
+        candidate_ids = np.concatenate(
+            [indices for indices, _, _, _ in results], axis=1)
+        candidate_raw = np.concatenate(
+            [raw for _, raw, _, _ in results], axis=1)
+        gathered_per_query = int(candidate_ids.shape[1])
+        indices, raw = select_topk(candidate_raw, candidate_ids, k, self.rows)
+        energy = float(sum(energy for _, _, energy, _ in results))
+        latency = max(latency for _, _, _, latency in results)
+        return indices, raw, energy, latency, gathered_per_query
+
+    # -- health ------------------------------------------------------------------
+
+    def check_health(self) -> Dict[str, Any]:
+        """Probe every replica and update the router's health marks."""
+        with self._state_lock:
+            ports = self._ports
+        report: Dict[str, Any] = {"alive": [], "dead": []}
+        for shard, replicas in enumerate(ports):
+            for replica, port in enumerate(replicas):
+                try:
+                    port.healthz()
+                except (TransportError, protocol.WireError):
+                    self.router.mark_dead(shard, replica)
+                    report["dead"].append((shard, replica))
+                else:
+                    self.router.mark_alive(shard, replica)
+                    report["alive"].append((shard, replica))
+        return report
+
+    def close(self) -> None:
+        """Close every replica transport, then the fan-out pool."""
+        with self._state_lock:
+            ports = [list(replicas) for replicas in self._ports]
+        for replicas in ports:
+            for port in replicas:
+                try:
+                    port.close()
+                except Exception:  # noqa: BLE001 -- best-effort teardown
+                    pass
+        super().close()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The cluster snapshot plus the network/failover counters."""
+        base = super().stats()
+        with self._net_lock:
+            failovers, re_replications = (self._failovers,
+                                          self._re_replications)
+        with self._state_lock:
+            endpoints = [list(replicas) for replicas in self._endpoints]
+        base["net"] = {
+            "endpoints": endpoints,
+            "failovers": failovers,
+            "re_replications": re_replications,
+            "dead_replicas": list(self.router.dead_replicas()),
+        }
+        return base
+
+
+class RemoteShardedEngine(ShardedEngine):
+    """The sharded serving engine over a :class:`RemoteCamCluster`.
+
+    Same contract (and bit-identical answers) as
+    :class:`~repro.shard.engine.ShardedEngine`; geometry comes from the
+    ``endpoints`` grid and the cluster knobs ride along.  Serve it with a
+    :class:`~repro.serve.server.MicroBatchServer` -- or front that with a
+    serve-plane :class:`~repro.net.server.NetServer` for the full
+    client -> server -> remote shards path.
+    """
+
+    name = "remote_sharded_cam_pipeline"
+
+    def __init__(self, prototypes: np.ndarray,
+                 endpoints: Sequence[Sequence[str]],
+                 replacement_factory: Optional[ReplacementFactory] = None,
+                 policy: str = "contiguous", routing: str = "round_robin",
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 5.0,
+                 read_timeout_s: float = 30.0,
+                 transport_factory: Optional[TransportFactory] = None,
+                 use_frames: bool = True,
+                 num_shard_workers: Optional[int] = None,
+                 observers: Any = (), **engine_kwargs: Any) -> None:
+        grid = [list(replicas) for replicas in endpoints]
+        self._net_endpoints = grid
+        self._replacement_factory = replacement_factory
+        self._net_retry = retry
+        self._net_connect_timeout_s = connect_timeout_s
+        self._net_read_timeout_s = read_timeout_s
+        self._net_transport_factory = transport_factory
+        self._net_use_frames = use_frames
+        super().__init__(prototypes, num_shards=len(grid), policy=policy,
+                         num_replicas=len(grid[0]) if grid else 0,
+                         routing=routing, fanout="ports",
+                         num_shard_workers=num_shard_workers,
+                         observers=observers, **engine_kwargs)
+
+    def _build_cam_port(self, cam_rows: int) -> RemoteCamCluster:
+        return RemoteCamCluster(
+            endpoints=self._net_endpoints,
+            total_rows=cam_rows,
+            word_bits=self.hash_length,
+            policy=self.policy,
+            routing=self.routing,
+            sense_amp=self.sense_amp,
+            replacement_factory=self._replacement_factory,
+            retry=self._net_retry,
+            connect_timeout_s=self._net_connect_timeout_s,
+            read_timeout_s=self._net_read_timeout_s,
+            transport_factory=self._net_transport_factory,
+            use_frames=self._net_use_frames,
+            num_workers=self._num_shard_workers,
+            observers=self._shard_observers)
+
+    def rebalance(self, num_shards: Optional[int] = None,
+                  policy: Optional[str] = None) -> None:
+        raise NotImplementedError("remote clusters have fixed geometry")
+
+    def add_shard(self) -> None:
+        raise NotImplementedError("remote clusters have fixed geometry")
+
+    def close(self) -> None:
+        """Release every replica transport."""
+        self.cam.close()
+
+
+def build_demo_remote_engine(endpoints: Sequence[Sequence[str]],
+                             replacement_factory: Optional[
+                                 ReplacementFactory] = None,
+                             classes: int = 16, input_dim: int = 128,
+                             hash_length: int = 256, seed: int = 0,
+                             **engine_kwargs: Any) -> RemoteShardedEngine:
+    """Remote twin of :func:`repro.serve.engine.build_demo_engine`.
+
+    Same prototype generation from the same seed, so its responses are
+    bit-identical to the in-process demo engine -- the oracle the remote
+    loadgen verification leans on.  The shard servers behind ``endpoints``
+    must have ``classes`` total rows at ``hash_length`` bits (what
+    :class:`~repro.net.cluster.LocalShardCluster` builds).
+    """
+    rng = np.random.default_rng(seed)
+    prototypes = rng.standard_normal((classes, input_dim))
+    return RemoteShardedEngine(prototypes, endpoints,
+                               replacement_factory=replacement_factory,
+                               hash_length=hash_length, seed=seed + 1,
+                               **engine_kwargs)

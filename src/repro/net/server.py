@@ -1,0 +1,517 @@
+"""HTTP server fronting the serving stack and the shard plane.
+
+:class:`NetServer` is a stdlib ``ThreadingHTTPServer`` (no new
+dependencies) around a :class:`NetApp`, a plain request handler that is
+fully testable without sockets -- every route is a pure
+``(method, path, headers, body) -> (status, content_type, body)`` call.
+One server exposes one of two surfaces:
+
+* **serve plane** (``engine=`` or ``server=``) -- fronts a
+  :class:`~repro.serve.server.MicroBatchServer` exactly like
+  :class:`~repro.serve.client.ServeClient` does (own the server when given
+  an engine, attach when given a running server):
+
+  - ``POST /v1/classify`` -- float64 sample batch in, logits out;
+  - ``POST /v1/topk``     -- sample batch + ``k`` in, encoded top-k rows out;
+  - ``GET  /v1/healthz``  -- liveness + engine name;
+  - ``GET  /v1/metrics``  -- the full ``ServeMetrics``/cache/engine snapshot.
+
+* **shard plane** (``shard_rows=`` + ``word_bits=``) -- owns one
+  :class:`~repro.cam.array.CamArray` plus the *global placement* the write
+  requests teach it (which global row each local row stores, and the
+  cluster's row-id bound), which is what lets it answer local top-k with
+  global ids -- the true partial gather over the wire:
+
+  - ``POST /v1/shard/write``  -- row block + placement (idempotent: retried
+    writes replay the recorded answer instead of double-counting energy);
+  - ``POST /v1/shard/search`` -- packed queries in, raw mismatch counts out;
+  - ``POST /v1/shard/topk``   -- packed queries + ``k`` in, the local
+    candidate set (global ids + raw counts) out;
+  - ``GET  /v1/shard/info``   -- geometry handshake for attaching transports;
+  - ``GET  /v1/healthz`` / ``GET /v1/metrics``.
+
+The two hot shard routes speak both JSON envelopes and the length-prefixed
+binary framing; the response mirrors the request's framing, so a client
+that sends frames never pays base64 on either direction.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cam.array import CamArray
+from repro.cam.topk import select_topk
+from repro.net import protocol
+from repro.net.transport import IDEMPOTENCY_HEADER
+from repro.serve.batching import QueueFullError, ServeConfig
+from repro.serve.engine import InferenceEngine
+from repro.serve.server import MicroBatchServer
+
+#: Answers replayed for retried non-idempotent requests (per app).
+IDEMPOTENCY_CACHE_SIZE = 256
+
+#: One route's response: status, content type, body.
+Response = Tuple[int, str, bytes]
+
+
+class ShardState:
+    """Server-side shard replica: one CAM array plus its global placement.
+
+    The array is local (rows ``0..rows-1``); ``global_ids`` records which
+    global row each local row stores and ``id_bound`` the exclusive bound
+    on row ids, both learned from the write requests.  With those, the
+    replica can run the same tie-broken local top-k selection the
+    in-process partial gather runs, so the remote merge stays exact.
+    """
+
+    def __init__(self, rows: int, word_bits: int) -> None:
+        self.array = CamArray(rows=rows, word_bits=word_bits)
+        self.global_ids = np.full(rows, -1, dtype=np.int64)
+        self.id_bound = 0
+        self.lock = threading.Lock()
+        self.searches = 0
+        self.writes = 0
+
+    def write(self, bits: np.ndarray, start_row: int, global_ids: np.ndarray,
+              id_bound: int) -> float:
+        """Store one row block and its placement; returns the write energy."""
+        with self.lock:
+            energy = self.array.write_rows(bits, start_row=start_row)
+            self.global_ids[start_row: start_row + bits.shape[0]] = global_ids
+            self.id_bound = max(self.id_bound, int(id_bound))
+            self.writes += 1
+        return float(energy)
+
+    def search(self, packed: np.ndarray) -> Tuple[np.ndarray, float, int]:
+        """Raw mismatch counts of the whole local array (full gather)."""
+        with self.lock:
+            self.searches += 1
+            return self.array.mismatch_counts_packed(packed)
+
+    def topk(self, packed: np.ndarray,
+             k: int) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        """The local candidate set: ``min(k, occupancy)`` best per query."""
+        with self.lock:
+            self.searches += 1
+            counts, energy, latency = self.array.mismatch_counts_packed(packed)
+            populated = np.asarray(self.array.populated_mask)
+            local_ids = self.global_ids[populated]
+            id_bound = max(self.id_bound, 1)
+        indices, raw = select_topk(counts[:, populated], local_ids, k,
+                                   id_bound)
+        return indices, raw, float(energy), int(latency)
+
+    def info(self) -> Dict[str, Any]:
+        """Geometry handshake for attaching transports."""
+        with self.lock:
+            return {
+                "rows": int(self.array.rows),
+                "word_bits": int(self.array.word_bits),
+                "occupancy": int(self.array.occupancy),
+                "id_bound": int(self.id_bound),
+                "searches": int(self.searches),
+                "writes": int(self.writes),
+            }
+
+
+class NetApp:
+    """The socket-free request handler behind :class:`NetServer`.
+
+    Exactly one surface per app: pass ``engine`` (owns a started
+    :class:`MicroBatchServer`), ``server`` (attaches to a running one), or
+    ``shard_rows`` + ``word_bits`` (owns a :class:`ShardState`).
+    """
+
+    def __init__(self, engine: Optional[InferenceEngine] = None,
+                 server: Optional[MicroBatchServer] = None,
+                 shard_rows: Optional[int] = None,
+                 word_bits: Optional[int] = None,
+                 config: Optional[ServeConfig] = None,
+                 cache: Any = None,
+                 observers: Iterable[Any] = (),
+                 timeout_s: float = 30.0) -> None:
+        surfaces = sum(argument is not None
+                       for argument in (engine, server, shard_rows))
+        if surfaces != 1:
+            raise ValueError(
+                "pass exactly one of engine, server or shard_rows")
+        if (shard_rows is None) != (word_bits is None):
+            raise ValueError("shard_rows and word_bits go together")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+        self._owns_server = engine is not None
+        self.server: Optional[MicroBatchServer] = None
+        self.shard: Optional[ShardState] = None
+        if engine is not None:
+            self.server = MicroBatchServer(engine, config=config, cache=cache,
+                                           observers=observers).start()
+        elif server is not None:
+            if not server.running:
+                raise RuntimeError("attached server is not running")
+            self.server = server
+        else:
+            self.shard = ShardState(int(shard_rows), int(word_bits))
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._replayed = 0
+        self._idempotent: "OrderedDict[str, Response]" = OrderedDict()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the owned micro-batch server (attached ones stay up)."""
+        if (self._owns_server and self.server is not None
+                and self.server.running):
+            self.server.stop(drain=True)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(self, method: str, path: str,
+               headers: Optional[Mapping[str, str]] = None,
+               body: bytes = b"") -> Response:
+        """Route one request; never raises (failures become envelopes)."""
+        lowered = {key.lower(): value
+                   for key, value in (headers or {}).items()}
+        with self._lock:
+            self._requests += 1
+        key = lowered.get(IDEMPOTENCY_HEADER.lower())
+        replayable = method == "POST" and path == "/v1/shard/write"
+        if replayable and key:
+            with self._lock:
+                cached = self._idempotent.get(key)
+                if cached is not None:
+                    self._idempotent.move_to_end(key)
+                    self._replayed += 1
+                    return cached
+        try:
+            response = self._route(method, path, lowered, body)
+        except protocol.WireError as error:
+            response = self._error_response(error.code, error.message)
+        except QueueFullError as error:
+            response = self._error_response("unavailable", str(error))
+        except RuntimeError as error:
+            code = ("shutting_down" if "not running" in str(error)
+                    or "stopped" in str(error) else "engine_error")
+            response = self._error_response(code, str(error))
+        except (ValueError, TypeError) as error:
+            response = self._error_response("bad_request", str(error))
+        except Exception as error:  # noqa: BLE001 -- the wire must answer
+            response = self._error_response("internal", str(error))
+        if replayable and key and response[0] == 200:
+            with self._lock:
+                self._idempotent[key] = response
+                while len(self._idempotent) > IDEMPOTENCY_CACHE_SIZE:
+                    self._idempotent.popitem(last=False)
+        return response
+
+    def _route(self, method: str, path: str, headers: Mapping[str, str],
+               body: bytes) -> Response:
+        routes = {
+            ("GET", "/v1/healthz"): self._healthz,
+            ("GET", "/v1/metrics"): self._metrics,
+        }
+        if self.server is not None:
+            routes[("POST", "/v1/classify")] = self._classify
+            routes[("POST", "/v1/topk")] = self._topk
+        if self.shard is not None:
+            routes[("GET", "/v1/shard/info")] = self._shard_info
+            routes[("POST", "/v1/shard/write")] = self._shard_write
+            routes[("POST", "/v1/shard/search")] = self._shard_search
+            routes[("POST", "/v1/shard/topk")] = self._shard_topk
+        handler = routes.get((method, path))
+        if handler is None:
+            known = {route_path for _, route_path in routes}
+            if path in known:
+                raise protocol.WireError(
+                    "method_not_allowed", f"{method} not allowed on {path}")
+            raise protocol.WireError("not_found", f"no route {path}")
+        if method == "POST":
+            content_type = headers.get("content-type", "").split(";")[0].strip()
+            if content_type not in (protocol.CONTENT_TYPE_JSON,
+                                    protocol.CONTENT_TYPE_FRAME):
+                raise protocol.WireError(
+                    "unsupported_media",
+                    f"unsupported content type {content_type!r}")
+            return handler(content_type, body)
+        return handler()
+
+    def _ok_response(self, result: Mapping[str, Any]) -> Response:
+        return (200, protocol.CONTENT_TYPE_JSON,
+                protocol.dumps(protocol.ok_envelope(result)))
+
+    def _error_response(self, code: str, message: str) -> Response:
+        return (protocol.error_status(code), protocol.CONTENT_TYPE_JSON,
+                protocol.dumps(protocol.error_envelope(code, message)))
+
+    # -- shared routes -----------------------------------------------------------
+
+    def _healthz(self) -> Response:
+        if self.shard is not None:
+            return self._ok_response({"status": "ok", "plane": "shard"})
+        running = self.server is not None and self.server.running
+        return self._ok_response({
+            "status": "ok" if running else "stopping",
+            "plane": "serve",
+            "engine": getattr(self.server.engine, "name", "unknown"),
+            "running": running,
+        })
+
+    def _metrics(self) -> Response:
+        with self._lock:
+            net = {"requests": self._requests, "replayed": self._replayed}
+        if self.shard is not None:
+            return self._ok_response({"net": net, "shard": self.shard.info()})
+        return self._ok_response({"net": net, "serve": self.server.stats()})
+
+    # -- serve plane -------------------------------------------------------------
+
+    def _classify(self, content_type: str, body: bytes) -> Response:
+        samples = protocol.decode_classify_request(
+            protocol.parse_request(protocol.loads(body), "classify"))
+        if samples.shape[0] == 0:
+            output_dim = getattr(self.server.engine, "output_dim", 0)
+            logits = np.empty((0, output_dim), dtype=np.float64)
+        else:
+            futures = self.server.submit_many(samples,
+                                              timeout=self.timeout_s)
+            logits = np.stack([future.result(self.timeout_s)
+                               for future in futures])
+        return self._ok_response(protocol.encode_classify_response(logits))
+
+    def _topk(self, content_type: str, body: bytes) -> Response:
+        samples, k = protocol.decode_topk_request(
+            protocol.parse_request(protocol.loads(body), "topk"))
+        if samples.shape[0] == 0:
+            rows = np.zeros((0, 0), dtype=np.float64)
+        else:
+            futures = [self.server.submit_topk(sample, k,
+                                               timeout=self.timeout_s)
+                       for sample in samples]
+            rows = np.stack([future.result(self.timeout_s)
+                             for future in futures])
+        return self._ok_response(protocol.encode_topk_response(rows))
+
+    # -- shard plane -------------------------------------------------------------
+
+    def _shard_info(self) -> Response:
+        return self._ok_response(self.shard.info())
+
+    def _shard_write(self, content_type: str, body: bytes) -> Response:
+        bits, start_row, global_ids, id_bound = (
+            protocol.decode_shard_write_request(
+                protocol.parse_request(protocol.loads(body), "shard_write")))
+        energy = self.shard.write(bits, start_row, global_ids, id_bound)
+        return self._ok_response({"energy_pj": energy,
+                                  "rows_written": int(bits.shape[0])})
+
+    def _shard_search(self, content_type: str, body: bytes) -> Response:
+        if content_type == protocol.CONTENT_TYPE_FRAME:
+            packed, _header = protocol.decode_array_frame(
+                body, kind="shard_search", dtype="uint64", ndim=2)
+        else:
+            packed = protocol.decode_shard_search_request(
+                protocol.parse_request(protocol.loads(body), "shard_search"))
+        counts, energy, latency = self.shard.search(packed)
+        if content_type == protocol.CONTENT_TYPE_FRAME:
+            frame = protocol.encode_array_frame(
+                "shard_counts", np.asarray(counts, dtype=np.int64),
+                extra={"energy_pj": float(energy),
+                       "latency_cycles": int(latency)})
+            return 200, protocol.CONTENT_TYPE_FRAME, frame
+        return self._ok_response(protocol.encode_shard_search_response(
+            counts, energy, latency))
+
+    def _shard_topk(self, content_type: str, body: bytes) -> Response:
+        if content_type == protocol.CONTENT_TYPE_FRAME:
+            packed, header = protocol.decode_array_frame(
+                body, kind="shard_topk", dtype="uint64", ndim=2)
+            try:
+                k = int(header["k"])
+            except (KeyError, TypeError, ValueError):
+                raise protocol.WireError(
+                    "bad_request",
+                    "shard topk frame needs an integer 'k'") from None
+            if k < 0:
+                raise protocol.WireError("bad_request",
+                                         f"k must be non-negative, got {k}")
+        else:
+            packed, k = protocol.decode_shard_topk_request(
+                protocol.parse_request(protocol.loads(body), "shard_topk"))
+        indices, raw, energy, latency = self.shard.topk(packed, k)
+        if content_type == protocol.CONTENT_TYPE_FRAME:
+            # Two aligned (n, k_eff) matrices travel as one stacked
+            # (2, n, k_eff) array: ids first, raw counts second.
+            stacked = np.stack([indices, raw]).astype(np.int64)
+            frame = protocol.encode_array_frame(
+                "shard_candidates", stacked,
+                extra={"energy_pj": float(energy),
+                       "latency_cycles": int(latency)})
+            return 200, protocol.CONTENT_TYPE_FRAME, frame
+        return self._ok_response(protocol.encode_shard_topk_response(
+            indices, raw, energy, latency))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Request counters plus the fronted surface's snapshot."""
+        with self._lock:
+            base: Dict[str, Any] = {"requests": self._requests,
+                                    "replayed": self._replayed}
+        if self.shard is not None:
+            base["shard"] = self.shard.info()
+        elif self.server is not None:
+            base["serve"] = self.server.stats()
+        return base
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket adapter: reads the body, delegates to the app."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive for the pooled clients
+    app: NetApp  # bound by NetServer via a subclass attribute
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        status, content_type, payload = self.app.handle(
+            self.command, self.path, dict(self.headers.items()), body)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler contract
+        self._dispatch()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch()
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the app keeps its own counters; stderr stays quiet
+
+
+class _TrackingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that can sever its kept-alive connections.
+
+    ``shutdown()`` only stops the accept loop; handler threads blocked on
+    the next request of a kept-alive connection would keep answering a
+    "killed" replica.  This server tracks every accepted socket so
+    :meth:`close_connections` can shut them down -- a kill then looks like
+    a real node loss to pooled clients (reset / refused), which is what
+    the failover machinery must see.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Forcibly shut down every open client connection."""
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+class NetServer:
+    """A threaded HTTP server around one :class:`NetApp`.
+
+    ``port=0`` (the default) binds an ephemeral port; read
+    :attr:`base_url` after :meth:`start`.  Context-manager use starts and
+    stops the server (and the owned micro-batch server behind it)::
+
+        with NetServer(engine=build_demo_engine()) as server:
+            client = NetClient(server.base_url)
+            ...
+    """
+
+    def __init__(self, engine: Optional[InferenceEngine] = None,
+                 server: Optional[MicroBatchServer] = None,
+                 shard_rows: Optional[int] = None,
+                 word_bits: Optional[int] = None,
+                 config: Optional[ServeConfig] = None,
+                 cache: Any = None,
+                 observers: Iterable[Any] = (),
+                 timeout_s: float = 30.0,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = NetApp(engine=engine, server=server,
+                          shard_rows=shard_rows, word_bits=word_bits,
+                          config=config, cache=cache, observers=observers,
+                          timeout_s=timeout_s)
+        self.host = host
+        self.port = int(port)
+        self._httpd: Optional[_TrackingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the bound socket (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return f"http://{self.host}:{self._httpd.server_address[1]}"
+
+    def start(self) -> "NetServer":
+        """Bind the socket and serve on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("server is already running")
+        handler = type("BoundHandler", (_Handler,), {"app": self.app})
+        self._httpd = _TrackingHTTPServer((self.host, self.port), handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-net-{self._httpd.server_address[1]}", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Unbind the socket, join the serve thread, close the app."""
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.close_connections()
+            httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "NetServer":
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def stats(self) -> Dict[str, Any]:
+        """The app's counters (and the fronted surface's snapshot)."""
+        return self.app.stats()

@@ -51,10 +51,12 @@ class AsyncServeClient:
                  config: Optional[ServeConfig] = None,
                  cache: Any = None,
                  observers: Iterable[Any] = (),
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0,
+                 enqueue_timeout_s: Optional[float] = None) -> None:
         self._sync = ServeClient(engine=engine, server=server, config=config,
                                  cache=cache, observers=observers,
-                                 timeout_s=timeout_s)
+                                 timeout_s=timeout_s,
+                                 enqueue_timeout_s=enqueue_timeout_s)
 
     @property
     def server(self) -> MicroBatchServer:
@@ -63,8 +65,13 @@ class AsyncServeClient:
 
     @property
     def timeout_s(self) -> float:
-        """Default per-request timeout in seconds."""
+        """Default per-result timeout in seconds."""
         return self._sync.timeout_s
+
+    @property
+    def enqueue_timeout_s(self) -> float:
+        """Default enqueue (backpressure) timeout in seconds."""
+        return self._sync.enqueue_timeout_s
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -81,6 +88,11 @@ class AsyncServeClient:
 
     # -- requests ----------------------------------------------------------------
 
+    def _waits(self, timeout: Optional[float],
+               enqueue_timeout: Optional[float]) -> tuple[float, float]:
+        """Resolve the (enqueue, result) bounds of one call (sync rules)."""
+        return self._sync._waits(timeout, enqueue_timeout)
+
     async def _submit(self, sample: np.ndarray,
                       timeout: float) -> "asyncio.Future[np.ndarray]":
         """Enqueue off-loop (backpressure may block) and bridge the future."""
@@ -91,19 +103,23 @@ class AsyncServeClient:
         return asyncio.wrap_future(future, loop=loop)
 
     async def infer(self, sample: np.ndarray,
-                    timeout: Optional[float] = None) -> np.ndarray:
+                    timeout: Optional[float] = None,
+                    enqueue_timeout: Optional[float] = None) -> np.ndarray:
         """Serve one sample; awaits its logits row.
 
-        ``timeout`` (default ``timeout_s``) bounds the enqueue under
-        backpressure and the wait for the result separately, exactly like
-        the sync client.
+        ``enqueue_timeout`` (default ``enqueue_timeout_s``) bounds the
+        enqueue under backpressure; ``timeout`` (default ``timeout_s``)
+        the wait for the result -- the same split, defaults and
+        one-knob fallback as the sync client.
         """
-        wait = timeout if timeout is not None else self.timeout_s
-        bridged = await self._submit(sample, wait)
+        admit, wait = self._waits(timeout, enqueue_timeout)
+        bridged = await self._submit(sample, admit)
         return await asyncio.wait_for(bridged, wait)
 
     async def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray,
-                         timeout: Optional[float] = None) -> np.ndarray:
+                         timeout: Optional[float] = None,
+                         enqueue_timeout: Optional[float] = None
+                         ) -> np.ndarray:
         """Serve several samples; awaits the stacked ``(n, output_dim)`` logits.
 
         All samples are enqueued before the first result is awaited, so
@@ -115,8 +131,8 @@ class AsyncServeClient:
         if len(samples) == 0:
             output_dim = getattr(self.server.engine, "output_dim", 0)
             return np.empty((0, output_dim), dtype=np.float64)
-        wait = timeout if timeout is not None else self.timeout_s
-        bridged = [await self._submit(sample, wait) for sample in samples]
+        admit, wait = self._waits(timeout, enqueue_timeout)
+        bridged = [await self._submit(sample, admit) for sample in samples]
         rows = await asyncio.gather(
             *(asyncio.wait_for(future, wait) for future in bridged))
         return np.stack(rows)

@@ -42,7 +42,15 @@ class ServeClient:
     config / cache / observers:
         Forwarded to the owned :class:`MicroBatchServer` (engine mode only).
     timeout_s:
-        Default per-request wait for a result.
+        Default per-request wait for a *result*.
+    enqueue_timeout_s:
+        Default bound on the *enqueue* under backpressure (a full queue
+        with the ``"block"`` policy raises
+        :class:`~repro.serve.batching.QueueFullError` once it elapses).
+        ``None`` follows ``timeout_s``.  The two are separate knobs
+        because they bound different resources -- queue admission vs
+        compute -- exactly like a network client's connect vs read
+        timeouts (which :class:`~repro.net.client.NetClient` maps them to).
     """
 
     def __init__(self, engine: Optional[InferenceEngine] = None,
@@ -50,12 +58,18 @@ class ServeClient:
                  config: Optional[ServeConfig] = None,
                  cache: Any = None,
                  observers: Iterable[Any] = (),
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0,
+                 enqueue_timeout_s: Optional[float] = None) -> None:
         if (engine is None) == (server is None):
             raise ValueError("pass exactly one of engine or server")
         if timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if enqueue_timeout_s is not None and enqueue_timeout_s <= 0:
+            raise ValueError("enqueue_timeout_s must be positive")
         self.timeout_s = float(timeout_s)
+        self.enqueue_timeout_s = (float(enqueue_timeout_s)
+                                  if enqueue_timeout_s is not None
+                                  else self.timeout_s)
         self._owns_server = server is None
         if server is None:
             server = MicroBatchServer(engine, config=config, cache=cache,
@@ -79,37 +93,53 @@ class ServeClient:
 
     # -- requests ----------------------------------------------------------------
 
+    def _waits(self, timeout: Optional[float],
+               enqueue_timeout: Optional[float]) -> tuple[float, float]:
+        """Resolve the (enqueue, result) bounds of one call."""
+        wait = timeout if timeout is not None else self.timeout_s
+        admit = (enqueue_timeout if enqueue_timeout is not None
+                 else self.enqueue_timeout_s if timeout is None
+                 else wait)
+        return admit, wait
+
     def infer(self, sample: np.ndarray,
-              timeout: Optional[float] = None) -> np.ndarray:
+              timeout: Optional[float] = None,
+              enqueue_timeout: Optional[float] = None) -> np.ndarray:
         """Serve one sample; blocks until its logits row is ready.
 
-        ``timeout`` (default ``timeout_s``) bounds each blocking step
-        separately: the enqueue under backpressure (a full queue with the
-        ``"block"`` policy raises :class:`~repro.serve.batching.QueueFullError`
-        once it elapses) and the wait for the result.
+        Two bounds, separately configurable: ``enqueue_timeout`` (default
+        ``enqueue_timeout_s``) caps the enqueue under backpressure (a full
+        queue with the ``"block"`` policy raises
+        :class:`~repro.serve.batching.QueueFullError` once it elapses) and
+        ``timeout`` (default ``timeout_s``) the wait for the result.
+        Passing only ``timeout`` bounds both steps with it, preserving the
+        historical one-knob behaviour.
         """
-        wait = timeout if timeout is not None else self.timeout_s
-        return self.server.submit(sample, timeout=wait).result(wait)
+        admit, wait = self._waits(timeout, enqueue_timeout)
+        return self.server.submit(sample, timeout=admit).result(wait)
 
     def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray,
-                   timeout: Optional[float] = None) -> np.ndarray:
+                   timeout: Optional[float] = None,
+                   enqueue_timeout: Optional[float] = None) -> np.ndarray:
         """Serve several samples; returns the stacked ``(n, output_dim)`` logits.
 
         All samples are enqueued before the first result is awaited, so the
         micro-batcher sees them together.  An empty input is served for
-        free: ``(0, output_dim)`` without touching the queue.  ``timeout``
-        bounds each enqueue and each result wait as in :meth:`infer`.
+        free: ``(0, output_dim)`` without touching the queue.  The bounds
+        apply per enqueue and per result wait as in :meth:`infer`.
         """
         samples = list(samples) if not isinstance(samples, np.ndarray) else samples
         if len(samples) == 0:
             output_dim = getattr(self.server.engine, "output_dim", 0)
             return np.empty((0, output_dim), dtype=np.float64)
-        wait = timeout if timeout is not None else self.timeout_s
-        futures = self.server.submit_many(samples, timeout=wait)
+        admit, wait = self._waits(timeout, enqueue_timeout)
+        futures = self.server.submit_many(samples, timeout=admit)
         return np.stack([future.result(wait) for future in futures])
 
     def topk(self, sample: np.ndarray, k: int,
-             timeout: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+             timeout: Optional[float] = None,
+             enqueue_timeout: Optional[float] = None
+             ) -> tuple[np.ndarray, np.ndarray]:
         """Serve one top-k retrieval request; returns ``(indices, distances)``.
 
         ``indices`` are the global CAM row ids of the ``min(k, rows)`` best
@@ -117,16 +147,18 @@ class ServeClient:
         ``distances`` the sensed Hamming distances, both ``(k_eff,)``
         ``int64`` arrays.  Timeout semantics match :meth:`infer`.
         """
-        wait = timeout if timeout is not None else self.timeout_s
-        row = self.server.submit_topk(sample, k, timeout=wait).result(wait)
+        admit, wait = self._waits(timeout, enqueue_timeout)
+        row = self.server.submit_topk(sample, k, timeout=admit).result(wait)
         indices, distances = decode_topk_rows(row)
         return indices[0], distances[0]
 
     def topk_many(self, samples: Sequence[np.ndarray] | np.ndarray, k: int,
-                  timeout: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+                  timeout: Optional[float] = None,
+                  enqueue_timeout: Optional[float] = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
         """Serve several top-k requests; returns stacked ``(n, k_eff)`` arrays."""
         samples = list(samples) if not isinstance(samples, np.ndarray) else samples
-        wait = timeout if timeout is not None else self.timeout_s
+        admit, wait = self._waits(timeout, enqueue_timeout)
         if len(samples) == 0:
             width = 0
             topk_width = getattr(self.server.engine, "topk_width", None)
@@ -134,7 +166,7 @@ class ServeClient:
                 width = topk_width(k) // 2
             empty = np.zeros((0, width), dtype=np.int64)
             return empty, empty.copy()
-        futures = [self.server.submit_topk(sample, k, timeout=wait)
+        futures = [self.server.submit_topk(sample, k, timeout=admit)
                    for sample in samples]
         rows = np.stack([future.result(wait) for future in futures])
         return decode_topk_rows(rows)

@@ -18,6 +18,15 @@ different copies instead of serialising on one search port.
 Callers bracket each fanned-out search with :meth:`begin_search` /
 :meth:`end_search` so the in-flight accounting stays exact; the router is
 thread-safe and keeps per-replica selection counters for the metrics.
+
+Replicas also carry a *health* mark (:meth:`mark_dead` /
+:meth:`mark_alive`): the remote cluster marks a replica dead when its
+transport fails and alive again after re-replication, and both policies
+skip dead replicas while any live one remains.  When every replica of a
+shard is dead, selection falls back to the normal policy over all of them
+-- the caller's failover loop (not the router) owns the give-up decision,
+so a request that races a repair still gets a replica to try.  With no
+replica marked dead the selection sequence is exactly the historical one.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ class ShardRouter:
         self._next = [0] * self.num_shards  # round-robin cursors
         self._in_flight = [[0] * self.num_replicas for _ in range(self.num_shards)]
         self._selections = [[0] * self.num_replicas for _ in range(self.num_shards)]
+        self._dead = [[False] * self.num_replicas for _ in range(self.num_shards)]
         self._max_in_flight = 0
 
     # -- routing -----------------------------------------------------------------
@@ -61,12 +71,23 @@ class ShardRouter:
         with self._lock:
             selection = []
             for shard in range(self.num_shards):
+                dead = self._dead[shard]
                 if self.policy == "round_robin":
                     replica = self._next[shard]
+                    # Skip dead replicas (bounded walk); all-dead falls
+                    # through to the cursor so the caller's failover decides.
+                    for _ in range(self.num_replicas):
+                        if not dead[replica]:
+                            break
+                        replica = (replica + 1) % self.num_replicas
                     self._next[shard] = (replica + 1) % self.num_replicas
                 else:  # least_loaded
                     loads = self._in_flight[shard]
-                    replica = min(range(self.num_replicas), key=loads.__getitem__)
+                    candidates = [index for index in range(self.num_replicas)
+                                  if not dead[index]]
+                    if not candidates:
+                        candidates = list(range(self.num_replicas))
+                    replica = min(candidates, key=loads.__getitem__)
                 self._in_flight[shard][replica] += 1
                 self._selections[shard][replica] += 1
                 self._max_in_flight = max(self._max_in_flight,
@@ -91,6 +112,40 @@ class ShardRouter:
                         f"replica {replica}")
                 self._in_flight[shard][replica] -= 1
 
+    # -- health ------------------------------------------------------------------
+
+    def _check_replica(self, shard: int, replica: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range")
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"replica {replica} out of range for shard {shard}")
+
+    def mark_dead(self, shard: int, replica: int) -> None:
+        """Exclude one replica from selection until :meth:`mark_alive`."""
+        self._check_replica(shard, replica)
+        with self._lock:
+            self._dead[shard][replica] = True
+
+    def mark_alive(self, shard: int, replica: int) -> None:
+        """Return one replica to selection (idempotent)."""
+        self._check_replica(shard, replica)
+        with self._lock:
+            self._dead[shard][replica] = False
+
+    def alive(self, shard: int, replica: int) -> bool:
+        """Whether one replica is currently selectable."""
+        self._check_replica(shard, replica)
+        with self._lock:
+            return not self._dead[shard][replica]
+
+    def dead_replicas(self) -> Tuple[Tuple[int, int], ...]:
+        """Every ``(shard, replica)`` currently marked dead."""
+        with self._lock:
+            return tuple((shard, replica)
+                         for shard in range(self.num_shards)
+                         for replica in range(self.num_replicas)
+                         if self._dead[shard][replica])
+
     # -- reporting ---------------------------------------------------------------
 
     def in_flight(self, shard: int, replica: int) -> int:
@@ -107,4 +162,8 @@ class ShardRouter:
                 "num_replicas": self.num_replicas,
                 "selections": [list(per_shard) for per_shard in self._selections],
                 "max_in_flight": self._max_in_flight,
+                "dead": [(shard, replica)
+                         for shard in range(self.num_shards)
+                         for replica in range(self.num_replicas)
+                         if self._dead[shard][replica]],
             }

@@ -1,0 +1,2 @@
+# Package marker: keeps these module names (test_server, test_client) from
+# colliding with the same basenames under tests/serve/.

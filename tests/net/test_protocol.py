@@ -1,0 +1,220 @@
+"""Wire-protocol unit tests: codecs, envelopes, framing, typed errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import protocol
+from repro.net.protocol import WireError
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("encoding", ["b64", "hex"])
+    @pytest.mark.parametrize("dtype", ["float64", "int64", "uint64", "uint8"])
+    def test_round_trip_exact(self, rng, encoding, dtype):
+        if dtype == "float64":
+            array = rng.standard_normal((3, 5))
+        else:
+            array = rng.integers(0, 200, size=(3, 5)).astype(dtype)
+        decoded = protocol.decode_array(protocol.encode_array(array, encoding))
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(decoded, array)
+
+    def test_float_bits_survive(self):
+        # Exact bytes, not digits: values that would lose bits through a
+        # decimal text round-trip come back identical.
+        array = np.array([[np.pi, np.nextafter(1.0, 2.0), -0.0, 1e-308]])
+        decoded = protocol.decode_array(protocol.encode_array(array))
+        assert array.tobytes() == decoded.tobytes()
+
+    def test_zero_sized(self):
+        array = np.zeros((0, 7), dtype=np.int64)
+        decoded = protocol.decode_array(protocol.encode_array(array))
+        assert decoded.shape == (0, 7)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            protocol.encode_array(np.zeros(2), "utf8")
+
+    @pytest.mark.parametrize("mutation", [
+        {"dtype": "float32"},               # dtype mismatch vs declared bytes
+        {"data": "not base64!!"},           # undecodable payload
+        {"shape": [5, 5]},                  # byte count disagrees with shape
+        {"encoding": "zip"},                # unknown encoding
+        {"shape": [-1, 4]},                 # negative dimension
+    ])
+    def test_damaged_object_raises_bad_request(self, mutation):
+        obj = protocol.encode_array(np.arange(8, dtype=np.int64).reshape(2, 4))
+        obj.update(mutation)
+        with pytest.raises(WireError) as excinfo:
+            protocol.decode_array(obj)
+        assert excinfo.value.code == "bad_request"
+
+    def test_expected_dtype_and_ndim_enforced(self):
+        obj = protocol.encode_array(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(WireError):
+            protocol.decode_array(obj, dtype="uint64")
+        with pytest.raises(WireError):
+            protocol.decode_array(obj, ndim=1)
+
+
+class TestEnvelopes:
+    def test_request_round_trip(self):
+        payload = {"alpha": 1, "beta": [1, 2]}
+        document = protocol.request_envelope("classify", payload)
+        assert protocol.parse_request(document, "classify") == payload
+
+    def test_version_mismatch(self):
+        document = protocol.request_envelope("classify", {})
+        document["v"] = 99
+        with pytest.raises(WireError) as excinfo:
+            protocol.parse_request(document)
+        assert excinfo.value.code == "unsupported_version"
+        assert excinfo.value.status == 400
+
+    def test_kind_mismatch(self):
+        document = protocol.request_envelope("classify", {})
+        with pytest.raises(WireError):
+            protocol.parse_request(document, "topk")
+
+    def test_ok_response_round_trip(self):
+        result = {"answer": 42}
+        assert protocol.parse_response(protocol.ok_envelope(result)) == result
+
+    def test_error_response_raises_typed(self):
+        document = protocol.error_envelope("unavailable", "busy")
+        with pytest.raises(WireError) as excinfo:
+            protocol.parse_response(document)
+        assert excinfo.value.code == "unavailable"
+        assert excinfo.value.status == 503
+
+    def test_unknown_error_code_maps_to_500(self):
+        assert protocol.error_status("from-the-future") == 500
+
+    def test_dumps_handles_numpy_scalars(self):
+        blob = protocol.dumps({"a": np.int64(3), "b": np.float64(0.5),
+                               "c": np.arange(2)})
+        assert protocol.loads(blob) == {"a": 3, "b": 0.5, "c": [0, 1]}
+
+    def test_loads_rejects_damage(self):
+        with pytest.raises(WireError):
+            protocol.loads(b"{not json")
+
+
+class TestBinaryFraming:
+    def test_array_frame_round_trip(self, rng):
+        packed = rng.integers(0, 2**63, size=(4, 4)).astype(np.uint64)
+        frame = protocol.encode_array_frame("shard_search", packed,
+                                            extra={"k": 7})
+        decoded, header = protocol.decode_array_frame(
+            frame, kind="shard_search", dtype="uint64", ndim=2)
+        assert np.array_equal(decoded, packed)
+        assert header["k"] == 7
+
+    def test_bad_magic(self):
+        frame = protocol.encode_array_frame("x", np.zeros(1))
+        with pytest.raises(WireError):
+            protocol.decode_frame(b"XXXX" + frame[4:])
+
+    def test_truncated_frame(self):
+        frame = protocol.encode_array_frame("x", np.arange(8.0))
+        for cut in (2, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(WireError):
+                protocol.decode_frame(frame[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        frame = protocol.encode_array_frame("x", np.arange(8.0))
+        with pytest.raises(WireError):
+            protocol.decode_frame(frame + b"tail")
+
+    def test_kind_and_dtype_enforced(self):
+        frame = protocol.encode_array_frame("a", np.zeros((1, 1)))
+        with pytest.raises(WireError):
+            protocol.decode_array_frame(frame, kind="b")
+        with pytest.raises(WireError):
+            protocol.decode_array_frame(frame, dtype="int64")
+
+
+class TestTypedPayloads:
+    def test_classify_round_trip(self, rng):
+        samples = rng.standard_normal((6, 16))
+        payload = protocol.encode_classify_request(samples)
+        assert np.array_equal(protocol.decode_classify_request(payload),
+                              samples)
+        logits = rng.standard_normal((6, 4))
+        result = protocol.encode_classify_response(logits)
+        assert np.array_equal(protocol.decode_classify_response(result),
+                              logits)
+
+    def test_topk_round_trip(self, rng):
+        samples = rng.standard_normal((3, 8))
+        payload = protocol.encode_topk_request(samples, 5)
+        decoded, k = protocol.decode_topk_request(payload)
+        assert np.array_equal(decoded, samples) and k == 5
+        rows = rng.standard_normal((3, 10))
+        result = protocol.encode_topk_response(rows)
+        assert np.array_equal(protocol.decode_topk_response(result), rows)
+
+    def test_topk_k_validation(self, rng):
+        samples = rng.standard_normal((1, 4))
+        with pytest.raises(ValueError):
+            protocol.encode_topk_request(samples, -1)
+        payload = protocol.encode_topk_request(samples, 2)
+        payload["k"] = "three"
+        with pytest.raises(WireError):
+            protocol.decode_topk_request(payload)
+
+    def test_shard_search_round_trip(self, rng):
+        packed = rng.integers(0, 2**63, size=(2, 4)).astype(np.uint64)
+        payload = protocol.encode_shard_search_request(packed)
+        assert np.array_equal(protocol.decode_shard_search_request(payload),
+                              packed)
+        counts = rng.integers(0, 256, size=(2, 8)).astype(np.int64)
+        result = protocol.encode_shard_search_response(counts, 1.5, 7)
+        back, energy, latency = protocol.decode_shard_search_response(result)
+        assert np.array_equal(back, counts)
+        assert energy == 1.5 and latency == 7
+
+    def test_shard_topk_round_trip(self, rng):
+        packed = rng.integers(0, 2**63, size=(2, 4)).astype(np.uint64)
+        payload = protocol.encode_shard_topk_request(packed, 3)
+        back, k = protocol.decode_shard_topk_request(payload)
+        assert np.array_equal(back, packed) and k == 3
+        indices = rng.integers(0, 16, size=(2, 3)).astype(np.int64)
+        raw = rng.integers(0, 256, size=(2, 3)).astype(np.int64)
+        result = protocol.encode_shard_topk_response(indices, raw, 2.0, 9)
+        b_idx, b_raw, energy, latency = (
+            protocol.decode_shard_topk_response(result))
+        assert np.array_equal(b_idx, indices)
+        assert np.array_equal(b_raw, raw)
+        assert energy == 2.0 and latency == 9
+
+    def test_shard_topk_shape_mismatch(self, rng):
+        result = protocol.encode_shard_topk_response(
+            np.zeros((2, 3), dtype=np.int64), np.zeros((2, 3), dtype=np.int64),
+            0.0, 0)
+        result["raw"] = protocol.encode_array(np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(WireError):
+            protocol.decode_shard_topk_response(result)
+
+    def test_shard_write_round_trip(self, rng):
+        bits = rng.integers(0, 2, size=(4, 8)).astype(np.uint8)
+        ids = np.arange(10, 14, dtype=np.int64)
+        payload = protocol.encode_shard_write_request(bits, 2, ids, 32)
+        b_bits, start, b_ids, bound = (
+            protocol.decode_shard_write_request(payload))
+        assert np.array_equal(b_bits, bits)
+        assert start == 2 and bound == 32
+        assert np.array_equal(b_ids, ids)
+
+    def test_shard_write_placement_validation(self, rng):
+        bits = rng.integers(0, 2, size=(4, 8)).astype(np.uint8)
+        with pytest.raises(ValueError):
+            protocol.encode_shard_write_request(
+                bits, 0, np.arange(3, dtype=np.int64), 32)
+        payload = protocol.encode_shard_write_request(
+            bits, 0, np.arange(4, dtype=np.int64), 32)
+        payload["id_bound"] = 0
+        with pytest.raises(WireError):
+            protocol.decode_shard_write_request(payload)

@@ -1,0 +1,159 @@
+"""The enqueue vs result-wait timeout split on both serve clients.
+
+Two separately-bounded resources per request: queue admission under
+backpressure (``enqueue_timeout``) and compute (``timeout``).  The split
+must also preserve the historical one-knob behaviour -- a bare per-call
+``timeout`` bounds both steps.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncServeClient,
+    MicroBatchServer,
+    QueueFullError,
+    ServeClient,
+    ServeConfig,
+    build_demo_engine,
+    demo_queries,
+)
+
+GEOMETRY = dict(classes=8, input_dim=32, hash_length=128)
+
+
+class SlowEngine:
+    """Engine whose execute blocks until released (controllable stall)."""
+
+    name = "slow"
+    output_dim = 4
+
+    def __init__(self):
+        self.release = threading.Event()
+
+    def prepare(self, queries):
+        from repro.serve.engine import PreparedBatch
+        matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return PreparedBatch(queries=matrix)
+
+    def execute(self, prepared):
+        self.release.wait(timeout=10.0)
+        return np.zeros((prepared.size, self.output_dim))
+
+    def stats(self):
+        return {}
+
+
+class TestWaitResolution:
+    """_waits is the one place the (enqueue, result) bounds come from."""
+
+    @pytest.fixture
+    def client(self):
+        with ServeClient(build_demo_engine(**GEOMETRY), timeout_s=30.0,
+                         enqueue_timeout_s=5.0) as client:
+            yield client
+
+    def test_defaults(self, client):
+        assert client._waits(None, None) == (5.0, 30.0)
+
+    def test_explicit_enqueue_only(self, client):
+        assert client._waits(None, 1.0) == (1.0, 30.0)
+
+    def test_both_explicit(self, client):
+        assert client._waits(2.0, 1.0) == (1.0, 2.0)
+
+    def test_bare_timeout_bounds_both(self, client):
+        # The historical one-knob call: timeout=3 must override the
+        # configured enqueue default too, not mix 5.0 admission with a
+        # 3.0 result wait.
+        assert client._waits(3.0, None) == (3.0, 3.0)
+
+    def test_enqueue_default_follows_timeout_when_unset(self):
+        with ServeClient(build_demo_engine(**GEOMETRY),
+                         timeout_s=7.0) as client:
+            assert client.enqueue_timeout_s == 7.0
+            assert client._waits(None, None) == (7.0, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeClient(build_demo_engine(**GEOMETRY), enqueue_timeout_s=0)
+        with pytest.raises(ValueError):
+            ServeClient(build_demo_engine(**GEOMETRY), enqueue_timeout_s=-1.0)
+
+    def test_async_client_mirrors_sync_rules(self):
+        async def scenario():
+            async with AsyncServeClient(build_demo_engine(**GEOMETRY),
+                                        timeout_s=30.0,
+                                        enqueue_timeout_s=5.0) as client:
+                assert client.enqueue_timeout_s == 5.0
+                assert client._waits(None, None) == (5.0, 30.0)
+                assert client._waits(3.0, None) == (3.0, 3.0)
+                assert client._waits(2.0, 1.0) == (1.0, 2.0)
+        asyncio.run(scenario())
+
+
+class TestBackpressureBehaviour:
+    def make_stalled_server(self):
+        """A running server whose queue is full behind a stalled batch."""
+        engine = SlowEngine()
+        config = ServeConfig(max_batch=1, queue_depth=1, max_wait_ms=0.0,
+                             full_policy="block")
+        server = MicroBatchServer(engine, config=config).start()
+        # The first request stalls the worker; submits then pile up until
+        # one times out on admission -- the queue is provably full.
+        server.submit(np.zeros(4), timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                server.submit(np.zeros(4), timeout=0.05)
+            except QueueFullError:
+                return engine, server
+            if time.monotonic() > deadline:  # pragma: no cover
+                raise AssertionError("queue never filled")
+
+    def test_short_enqueue_timeout_raises_queue_full(self):
+        engine, server = self.make_stalled_server()
+        try:
+            client = ServeClient(server=server, timeout_s=30.0)
+            started = time.monotonic()
+            with pytest.raises(QueueFullError):
+                client.infer(np.zeros(4), enqueue_timeout=0.05)
+            # The admission bound did the limiting, not the 30 s result wait.
+            assert time.monotonic() - started < 5.0
+        finally:
+            engine.release.set()
+            server.stop(drain=True)
+
+    def test_result_wait_unaffected_by_enqueue_bound(self):
+        # A healthy server with a generous result wait but a tiny enqueue
+        # bound: admission is instant, so the request must succeed.
+        with ServeClient(build_demo_engine(**GEOMETRY),
+                         timeout_s=30.0) as client:
+            queries = demo_queries(client.server.engine, 2)
+            row = client.infer(queries[0], enqueue_timeout=0.25)
+            assert row.shape == (GEOMETRY["classes"],)
+            rows = client.infer_many(queries, enqueue_timeout=0.25)
+            assert rows.shape == (2, GEOMETRY["classes"])
+            indices, distances = client.topk(queries[0], 3,
+                                             enqueue_timeout=0.25)
+            assert indices.shape == distances.shape == (3,)
+            many_i, many_d = client.topk_many(queries, 3,
+                                              enqueue_timeout=0.25)
+            assert many_i.shape == many_d.shape == (2, 3)
+
+    def test_async_short_enqueue_timeout_raises_queue_full(self):
+        engine, server = self.make_stalled_server()
+        try:
+            async def scenario():
+                async with AsyncServeClient(server=server,
+                                            timeout_s=30.0) as client:
+                    with pytest.raises(QueueFullError):
+                        await client.infer(np.zeros(4), enqueue_timeout=0.05)
+            asyncio.run(scenario())
+        finally:
+            engine.release.set()
+            server.stop(drain=True)
