@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke shard-smoke net-smoke coverage bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke coverage bench bench-quick bench-paper
 
 # The fast correctness gate. `make coverage` is the slower companion gate
 # (the same tier-1 tests under a line tracer with an 85% floor on
-# src/repro/{cam,shard,serve,retrieval,net}); run it before shipping
+# src/repro/{cam,shard,serve,retrieval,net,exec}); run it before shipping
 # changes to those packages.
-check: smoke test serve-smoke shard-smoke net-smoke
+check: smoke test serve-smoke shard-smoke net-smoke exec-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -15,9 +15,15 @@ smoke:
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Execution-plane smoke: the sharded loadgen scenarios served off the
+# processes engine (SharedMemory zero-copy fan-out), every response
+# verified bit-identical to the in-process unsharded reference.
+exec-smoke:
+	REPRO_EXECUTOR=processes $(PYTHON) scripts/loadgen.py --quick --engine sharded --shards 4 --executor processes
+
 # Tier-1 under line coverage (coverage.py when installed, else the stdlib
 # tracer in repro.devtools.linecov), failing below an 85% line-coverage
-# floor on the cam/shard/serve/retrieval/net packages.
+# floor on the cam/shard/serve/retrieval/net/exec packages.
 coverage:
 	$(PYTHON) scripts/coverage_run.py --fail-under 85
 

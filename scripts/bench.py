@@ -8,8 +8,10 @@ the commit and timestamp, so every PR has a perf baseline to beat:
   +-1 int16 GEMM across a rows x hash-length grid (includes the 2048x2048,
   k=128 acceptance workload, which must show >= 5x speedup);
 * end-to-end -- DeepCAM approximate inference, bit-level CAM batch search,
-  batch hashing, and (in full mode) the pytest-benchmark timings of the
-  paper-figure workloads under ``benchmarks/``.
+  batch hashing, the serving/sharding/retrieval/net suites, the executor
+  scaling curve (inline vs threads vs processes on one cluster search),
+  and (in full mode) the pytest-benchmark timings of the paper-figure
+  workloads under ``benchmarks/``.
 
 Usage::
 
@@ -35,6 +37,7 @@ from repro.api.bench import (  # noqa: E402  (path bootstrap above)
     QUICK_KERNEL_GRID,
     collect_environment,
     e2e_benchmarks,
+    executor_benchmarks,
     kernel_microbench,
     net_benchmarks,
     retrieval_benchmarks,
@@ -81,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         for label, speedup in by_threads.items():
             print(f"[bench]   threaded packed ({label}) vs serial {cell}: "
                   f"{speedup:.2f}x")
+    for label, speedup in kernel_summary["worker_scaling"].items():
+        print(f"[bench]   process engine ({label}) vs serial: {speedup:.2f}x")
     print(f"[bench] wrote {kernels_path}")
 
     # -- end to end -----------------------------------------------------------
@@ -92,6 +97,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] sharded serving workloads ({mode})")
     shard_records, shard_summary = shard_benchmarks(quick=args.quick)
     e2e_records.extend(shard_records)
+    print(f"[bench] executor scaling workloads ({mode})")
+    executor_records, executor_summary = executor_benchmarks(quick=args.quick)
+    e2e_records.extend(executor_records)
     print(f"[bench] retrieval workloads ({mode})")
     retrieval_records, retrieval_summary = retrieval_benchmarks(quick=args.quick)
     e2e_records.extend(retrieval_records)
@@ -109,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
     write_bench_report(e2e_path, e2e_records, environment,
                        extra={"mode": mode, "serve": serve_summary,
                               "shard": shard_summary,
+                              "executor": executor_summary,
                               "retrieval": retrieval_summary,
                               "net": net_summary})
     for record in e2e_records:
@@ -122,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[bench]   shard scaling {name}: {rps:,.0f} req/s")
     for name, rps in shard_summary["throughput_rps"].items():
         print(f"[bench]   shard throughput {name}: {rps:,.0f} req/s")
+    for name, qps in executor_summary["throughput_qps"].items():
+        print(f"[bench]   executor scaling {name}: {qps:,.0f} q/s")
     for name, speedup in retrieval_summary["speedups"].items():
         print(f"[bench]   retrieval partial vs full gather {name}: "
               f"{speedup:.1f}x")
@@ -151,6 +162,21 @@ def main(argv: list[str] | None = None) -> int:
           f"{shard_acceptance['speedup']:.1f}x "
           f"(required >= {shard_acceptance['min_required_speedup']}x) -> {verdict}")
     failed = failed or not shard_acceptance["passed"]
+    executor_acceptance = executor_summary["acceptance"]
+    verdict = "PASS" if executor_acceptance["passed"] else "FAIL"
+    if "skipped" in executor_acceptance:
+        print(f"[bench] executor acceptance {executor_acceptance['workload']}: "
+              f"speedup gate skipped ({executor_acceptance['skipped']}, "
+              f"{executor_acceptance['cores']} core(s)); parity "
+              f"{executor_acceptance['parity_ratio']:.2f}x "
+              f"(allowed <= {executor_acceptance['max_allowed_ratio']}x) "
+              f"-> {verdict}")
+    else:
+        print(f"[bench] executor acceptance {executor_acceptance['workload']}: "
+              f"processes vs threads {executor_acceptance['speedup']:.2f}x "
+              f"(required >= "
+              f"{executor_acceptance['min_required_speedup']}x) -> {verdict}")
+    failed = failed or not executor_acceptance["passed"]
     retrieval_acceptance = retrieval_summary["acceptance"]
     verdict = "PASS" if retrieval_acceptance["passed"] else "FAIL"
     print(f"[bench] retrieval acceptance {retrieval_acceptance['workload']}: "

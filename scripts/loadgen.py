@@ -23,10 +23,12 @@ p50/p99 latency, cache hit rate):
 
 ``--engine sharded`` serves every scenario through a
 :class:`~repro.shard.ShardedEngine` cluster (``--shards`` / ``--replicas``
-/ ``--routing`` / ``--fanout``) instead of the single-array engine; the
-verification reference stays the *unsharded* engine, so a verified run is
-an end-to-end proof that sharding never changes a response
-(``make shard-smoke``).
+/ ``--routing`` / ``--fanout`` / ``--executor``) instead of the
+single-array engine; the verification reference stays the *unsharded*
+engine, so a verified run is an end-to-end proof that sharding never
+changes a response (``make shard-smoke``); with
+``--executor processes`` the same proof covers the SharedMemory
+execution plane end to end (``make exec-smoke``).
 
 ``--verify`` (on by default in ``--quick``) recomputes every distinct query
 directly on an identical engine and checks the served responses against it
@@ -119,7 +121,8 @@ def build_engine(args: argparse.Namespace):
             classes=args.classes, input_dim=args.input_dim,
             hash_length=args.hash_length, seed=args.seed,
             num_shards=args.shards, num_replicas=args.replicas,
-            routing=args.routing, fanout=args.fanout)
+            routing=args.routing, fanout=args.fanout,
+            executor=args.executor)
     return build_demo_engine(classes=args.classes, input_dim=args.input_dim,
                              hash_length=args.hash_length, seed=args.seed)
 
@@ -128,8 +131,8 @@ def serve_queries(scenario: str, args: argparse.Namespace,
                   queries: np.ndarray, config: ServeConfig) -> tuple[list, float, dict]:
     """Serve one query stream; returns (responses, serving_s, stats)."""
     observers = (PrintObserver(every=args.verbose),) if args.verbose else ()
-    server = MicroBatchServer(build_engine(args), config=config,
-                              observers=observers)
+    engine = build_engine(args)
+    server = MicroBatchServer(engine, config=config, observers=observers)
     server.start()
     try:
         start = time.perf_counter()
@@ -147,6 +150,12 @@ def serve_queries(scenario: str, args: argparse.Namespace,
         serving_s = time.perf_counter() - start
     finally:
         server.stop(drain=True)
+        # Sharded engines hold an execution plane (worker pools, published
+        # SharedMemory storage); release it rather than leaning on the
+        # resource tracker's exit sweep.
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
     return responses, serving_s, server.stats()
 
 
@@ -174,6 +183,7 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
         cache_capacity=cache_capacity,
         adaptive_wait=args.adaptive_wait,
         cache_admission=cache_admission,
+        executor=args.executor,
     )
     lru_hit_rate = None
     if scenario == "cache_busting" and cache_capacity > 0:
@@ -188,6 +198,7 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
     report = {
         "scenario": scenario,
         "engine": args.engine,
+        "executor": args.executor,
         "requests": int(args.requests),
         "serving_s": serving_s,
         "throughput_rps": args.requests / serving_s,
@@ -337,6 +348,11 @@ def main(argv: list[str] | None = None) -> int:
                         default="round_robin")
     parser.add_argument("--fanout", choices=("fused", "ports"),
                         default="fused")
+    parser.add_argument("--executor", choices=("inline", "threads",
+                                               "processes"), default=None,
+                        help="execution-plane engine for the sharded "
+                             "cluster's fan-outs (default: REPRO_EXECUTOR, "
+                             "then the pre-plane behaviour)")
     parser.add_argument("--adaptive-wait", action="store_true",
                         help="scale max_wait_ms with queue depth")
     parser.add_argument("--cache-admission", type=int, default=None,

@@ -66,8 +66,30 @@ SERVE_BENCH_ENGINE: dict[str, int] = {
     "classes": 32, "input_dim": 256, "hash_length": 512,
 }
 
+#: Worker counts of the process-engine kernel scaling curve
+#: (``kernel/scaling/workers=N`` on the acceptance workload).
+KERNEL_SCALING_WORKERS: tuple[int, ...] = (1, 2, 4, 8)
+
 #: Shard counts of the scaling curve recorded by :func:`shard_benchmarks`.
 SHARD_SCALING_COUNTS: tuple[int, ...] = (1, 2, 4, 8)
+
+#: Direct-search workload of the executor scaling curve
+#: (``shard/scaling/executor={inline,threads,processes}``): deliberately
+#: word-heavy (8192-bit rows) so the popcount kernel dominates the
+#: per-search fan-out overhead -- the regime the process engine exists
+#: for.  On a tiny cluster the pipe/pickle overhead would swamp the
+#: comparison and measure the plumbing instead of the engines.
+EXECUTOR_BENCH_WORKLOAD: dict[str, int] = {
+    "rows": 2048, "word_bits": 8192, "shards": 4, "batch": 64,
+}
+#: Cores below which the processes-vs-threads speedup gate is skipped
+#: (recorded as ``skipped: single-core``) and replaced by the parity band.
+EXECUTOR_MIN_CORES: int = 4
+#: Acceptance on >= EXECUTOR_MIN_CORES cores: processes >= 1.5x threads.
+EXECUTOR_ACCEPTANCE_MIN_SPEEDUP: float = 1.5
+#: Acceptance below EXECUTOR_MIN_CORES cores: the three engines must stay
+#: within this factor of each other (no engine may regress the search).
+EXECUTOR_PARITY_MAX_RATIO: float = 1.3
 
 #: Engine geometry of the shard scaling curve (256 prototype rows spread
 #: across 1/2/4/8 shards, served over the same 1000-request uniform load).
@@ -267,13 +289,20 @@ def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
     serial packed kernel* is reported per cell -- expect ~1x on single-core
     boxes.
 
+    The execution-plane scaling curve rides along: the acceptance workload
+    also runs through the process engine at each of
+    :data:`KERNEL_SCALING_WORKERS` workers (``kernel/scaling/workers=N``,
+    results asserted bit-identical to the serial kernel first), so every
+    BENCH_kernels.json carries the true-parallel trajectory next to the
+    GIL-bound one.
+
     Returns
     -------
     (records, summary):
         ``records`` holds one record per (kernel, cell); ``summary`` maps
         ``"rows=R,k=K"`` to the measured speedup, plus the acceptance
-        verdict for the 2048 x 2048, k=128 workload and the per-cell
-        ``threaded_speedups``.
+        verdict for the 2048 x 2048, k=128 workload, the per-cell
+        ``threaded_speedups`` and the process-engine ``worker_scaling``.
     """
     if thread_counts is None:
         thread_counts = (max(2, min(4, os.cpu_count() or 1)),)
@@ -345,9 +374,50 @@ def kernel_microbench(grid: Sequence[tuple[int, int]] = DEFAULT_KERNEL_GRID,
                 "passed": speedup >= ACCEPTANCE_MIN_SPEEDUP,
             }
 
+    # -- execution-plane worker scaling ----------------------------------------
+    # The process engine at 1/2/4/8 workers on the acceptance workload
+    # (kernel/scaling/workers=N), against the serial packed kernel.  Row
+    # blocks write into a SharedMemory output segment, so the curve times
+    # compute, not result pickling; expect ~1x on single-core boxes and
+    # near-linear wins where cores exist.
+    from repro.exec import resolve_executor
+
+    rows, k = ACCEPTANCE_WORKLOAD
+    scale_a = pack_bits(rng.integers(0, 2, size=(rows, k), dtype=np.uint8))
+    scale_b = pack_bits(rng.integers(0, 2, size=(rows, k), dtype=np.uint8))
+    serial_record = benchmark_callable(
+        "kernel/scaling/serial", "kernel",
+        {"rows_a": rows, "rows_b": rows, "hash_length": k},
+        lambda: packed_hamming_matrix(scale_a, scale_b), rounds=rounds)
+    records.append(serial_record)
+    serial_result = packed_hamming_matrix(scale_a, scale_b)
+    worker_scaling: dict[str, float] = {}
+    for workers in KERNEL_SCALING_WORKERS:
+        engine = resolve_executor("processes", workers=workers,
+                                  fallback=False)
+        try:
+            if not np.array_equal(engine.hamming_blocked(scale_a, scale_b),
+                                  serial_result):
+                raise AssertionError(
+                    f"process engine ({workers} workers) diverged from the "
+                    f"serial kernel at rows={rows}, k={k}")
+            record = benchmark_callable(
+                f"kernel/scaling/workers={workers}", "kernel",
+                {"rows_a": rows, "rows_b": rows, "hash_length": k,
+                 "executor": "processes", "workers": workers},
+                lambda e=engine: e.hamming_blocked(scale_a, scale_b),
+                rounds=rounds)
+        finally:
+            engine.close()
+        records.append(record)
+        worker_scaling[f"workers={workers}"] = (
+            serial_record.median_s / max(record.median_s, 1e-12))
+
     summary: dict[str, Any] = {"speedups": speedups,
                                "threaded_speedups": threaded_speedups,
-                               "thread_counts": list(thread_counts)}
+                               "thread_counts": list(thread_counts),
+                               "worker_scaling": worker_scaling,
+                               "cores": os.cpu_count() or 1}
     if acceptance is not None:
         summary["acceptance"] = acceptance
     return records, summary
@@ -659,6 +729,104 @@ def shard_benchmarks(total_requests: int = SHARD_ACCEPTANCE_REQUESTS,
             "min_required_speedup": SHARD_ACCEPTANCE_MIN_SPEEDUP,
             "passed": speedup >= SHARD_ACCEPTANCE_MIN_SPEEDUP,
         },
+    }
+    return records, summary
+
+
+# -- execution-plane workloads ---------------------------------------------------
+
+
+def executor_benchmarks(quick: bool = False, rounds: int | None = None,
+                        seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Executor scaling curve: the same cluster search on all three engines.
+
+    The :data:`EXECUTOR_BENCH_WORKLOAD` cluster (2048 rows of 8192-bit
+    words across 4 shards) answers the same 64-query packed batch under
+    ``executor=inline``, ``threads`` and ``processes``
+    (``shard/scaling/executor=NAME``), with every engine's counts asserted
+    bit-identical to the first before any timing -- the executor is a pure
+    substitution, so the curve isolates throughput.
+
+    The acceptance gate adapts to the machine:
+
+    * on >= :data:`EXECUTOR_MIN_CORES` cores, the process engine must be
+      >= :data:`EXECUTOR_ACCEPTANCE_MIN_SPEEDUP` x faster than threads
+      (true parallelism must actually buy something);
+    * below that the speedup is unmeasurable, so the verdict records
+      ``"skipped": "single-core"`` and instead requires the three engines
+      to stay within :data:`EXECUTOR_PARITY_MAX_RATIO` x of each other --
+      the plane must never *cost* a serial box its throughput.
+
+    Returns ``(records, summary)``; ``scripts/bench.py`` folds the summary
+    into ``BENCH_e2e.json`` under ``"executor"``.
+    """
+    from repro.exec import EXECUTOR_NAMES
+    from repro.shard import ShardedCamPipeline
+
+    workload = EXECUTOR_BENCH_WORKLOAD
+    effective_rounds = rounds if rounds is not None else (2 if quick else 3)
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, size=(workload["rows"], workload["word_bits"]),
+                        dtype=np.uint8)
+    queries = pack_bits(rng.integers(
+        0, 2, size=(workload["batch"], workload["word_bits"]),
+        dtype=np.uint8))
+
+    records: list[BenchRecord] = []
+    medians: dict[str, float] = {}
+    throughput_qps: dict[str, float] = {}
+    reference: np.ndarray | None = None
+    for name in EXECUTOR_NAMES:
+        pipeline = ShardedCamPipeline(
+            total_rows=workload["rows"], word_bits=workload["word_bits"],
+            num_shards=workload["shards"], executor=name)
+        try:
+            pipeline.write_rows(bits)
+            counts, _, _ = pipeline.search_batch_packed(queries)
+            if reference is None:
+                reference = counts
+            elif not np.array_equal(counts, reference):
+                raise AssertionError(
+                    f"executor={name} diverged from {EXECUTOR_NAMES[0]} on "
+                    f"the scaling workload")
+            record = benchmark_callable(
+                f"shard/scaling/executor={name}", "shard",
+                {**workload, "executor": name},
+                lambda p=pipeline: p.search_batch_packed(queries),
+                rounds=effective_rounds)
+        finally:
+            pipeline.close()
+        records.append(record)
+        medians[name] = record.median_s
+        throughput_qps[name] = workload["batch"] / record.median_s
+
+    cell = (f"rows={workload['rows']},word_bits={workload['word_bits']},"
+            f"shards={workload['shards']}")
+    cores = os.cpu_count() or 1
+    if cores >= EXECUTOR_MIN_CORES:
+        speedup = medians["threads"] / max(medians["processes"], 1e-12)
+        acceptance: dict[str, Any] = {
+            "workload": cell,
+            "cores": cores,
+            "speedup": speedup,
+            "min_required_speedup": EXECUTOR_ACCEPTANCE_MIN_SPEEDUP,
+            "passed": speedup >= EXECUTOR_ACCEPTANCE_MIN_SPEEDUP,
+        }
+    else:
+        parity = max(medians.values()) / max(min(medians.values()), 1e-12)
+        acceptance = {
+            "workload": cell,
+            "cores": cores,
+            "skipped": "single-core",
+            "parity_ratio": parity,
+            "max_allowed_ratio": EXECUTOR_PARITY_MAX_RATIO,
+            "passed": parity <= EXECUTOR_PARITY_MAX_RATIO,
+        }
+    summary: dict[str, Any] = {
+        "workload": dict(workload),
+        "medians_s": medians,
+        "throughput_qps": throughput_qps,
+        "acceptance": acceptance,
     }
     return records, summary
 

@@ -64,8 +64,40 @@ KERNEL_BLOCK_ROWS: int = 512
 #: "0" means one thread per CPU.
 NUM_THREADS_ENV: str = "REPRO_NUM_THREADS"
 
+#: Environment variable selecting the execution-plane engine
+#: (``inline`` / ``threads`` / ``processes``).  Defined here -- the leaf
+#: module -- so :mod:`repro.exec` can import it without a cycle; when it
+#: is set and the caller did not pin ``num_threads``, the pairwise kernel
+#: routes through :mod:`repro.exec` instead of the legacy thread pool.
+EXECUTOR_ENV: str = "REPRO_EXECUTOR"
+
 _EXECUTOR_LOCK = threading.Lock()
 _EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+
+_PLANE_LOCK = threading.Lock()
+_PLANE_EXECUTORS: dict = {}
+
+
+def _plane_executor(spec):
+    """The shared execution-plane engine for ``spec``.
+
+    ``spec`` is an engine name or an :class:`repro.exec.Executor`
+    instance (returned as-is).  Named engines are created once and cached
+    for the life of the process: the process engine reaps its own idle
+    pool, so a cached instance costs nothing while unused.  The import is
+    deferred because :mod:`repro.exec` builds on this module.
+    """
+    from repro import exec as exec_plane
+
+    if not isinstance(spec, str):
+        return spec
+    name = exec_plane.resolve_executor_name(spec)
+    with _PLANE_LOCK:
+        engine = _PLANE_EXECUTORS.get(name)
+        if engine is None:
+            engine = exec_plane.resolve_executor(name)
+            _PLANE_EXECUTORS[name] = engine
+        return engine
 
 
 def resolve_num_threads(num_threads: int | None = None) -> int:
@@ -234,7 +266,8 @@ def _hamming_block(a: np.ndarray, b: np.ndarray, out: np.ndarray,
 
 
 def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray,
-                          num_threads: int | None = None) -> np.ndarray:
+                          num_threads: int | None = None,
+                          executor=None) -> np.ndarray:
     """Pairwise Hamming distances between two packed signature sets.
 
     Parameters
@@ -244,20 +277,32 @@ def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray,
     b_packed:
         ``(rows_b, words)`` packed signatures.
     num_threads:
-        Row-block parallelism.  ``None`` (default) defers to the
-        ``REPRO_NUM_THREADS`` environment variable, keeping the kernel
-        serial when that is unset; ``0`` means one thread per CPU.  The
-        threaded path splits ``rows_a`` into the same cache-sized blocks
-        the serial path uses and runs them on a shared thread pool -- the
-        XOR and popcount ufuncs release the GIL on blocks this large, so
-        the blocks genuinely overlap on multi-core machines.
+        Row-block parallelism of the legacy threaded path.  ``None``
+        (default) defers to the ``REPRO_NUM_THREADS`` environment
+        variable, keeping the kernel serial when that is unset; ``0``
+        means one thread per CPU.  The threaded path splits ``rows_a``
+        into the same cache-sized blocks the serial path uses and runs
+        them on a shared thread pool -- the XOR and popcount ufuncs
+        release the GIL on blocks this large, so the blocks genuinely
+        overlap on multi-core machines.
+    executor:
+        Execution-plane engine: an engine name (``"inline"``,
+        ``"threads"``, ``"processes"``) or an :class:`repro.exec.Executor`
+        instance.  When given, the row blocks run on that engine and
+        ``num_threads`` is ignored.  When ``None`` and ``num_threads`` is
+        also ``None``, the ``REPRO_EXECUTOR`` environment variable (if
+        set) selects the engine; an explicit ``num_threads`` pins the
+        legacy path, which is also what keeps process workers -- which
+        inherit the environment across ``fork`` -- from re-entering the
+        plane recursively.
 
     Returns
     -------
     np.ndarray
         ``(rows_a, rows_b)`` ``int64`` distance matrix, bit-exact against
-        the naive XOR-sum over the unpacked bits (threaded and serial paths
-        produce identical results; blocks write disjoint output rows).
+        the naive XOR-sum over the unpacked bits (all engines run the
+        same block body over disjoint output rows, so serial, threaded
+        and process results are identical bytes).
 
     The kernel iterates over the (few) words and blocks over ``rows_a`` so
     the XOR temporary stays cache-resident; distances accumulate in the
@@ -276,6 +321,10 @@ def packed_hamming_matrix(a_packed: np.ndarray, b_packed: np.ndarray,
     out = np.empty((rows_a, rows_b), dtype=np.int64)
     if rows_a == 0 or rows_b == 0:
         return out
+    if executor is None and num_threads is None:
+        executor = os.environ.get(EXECUTOR_ENV, "").strip() or None
+    if executor is not None:
+        return _plane_executor(executor).hamming_blocked(a, b)
     acc_dtype = _accumulator_dtype(word_count)
     workers = resolve_num_threads(num_threads)
 

@@ -366,14 +366,25 @@ class CamArray:
         """Kernel + accounting for a validated, non-empty packed batch."""
         if self.debug_validate:
             self._debug_recheck_storage()
-        num_queries = packed.shape[0]
         mismatches = packed_hamming_matrix(packed, self._storage)
+        energy, latency = self.account_packed_search(packed.shape[0])
+        return mismatches, energy, latency
 
+    def account_packed_search(self, num_queries: int) -> tuple[float, int]:
+        """Accrue search counters for a packed batch computed off-array.
+
+        The execution plane can evaluate this array's rows outside the
+        object -- process workers reading the cluster's shared packed
+        storage -- but the analytic cost model is per-array state, so
+        accounting stays on this side.  Charges exactly what an in-array
+        :meth:`search_batch_packed` of ``num_queries`` queries would and
+        returns the ``(energy_pj, latency_cycles)`` pair for the batch.
+        """
+        num_queries = int(num_queries)
         energy = num_queries * self.search_energy_pj()
         self._search_energy_pj += energy
         self._search_count += num_queries
-        latency = num_queries * self.search_latency_cycles
-        return mismatches, energy, latency
+        return energy, num_queries * self.search_latency_cycles
 
     def topk_packed(self, packed_queries: np.ndarray, k: int) -> TopKResult:
         """Top-k nearest rows for a packed batch (the retrieval fast path).

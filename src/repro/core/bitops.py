@@ -10,6 +10,7 @@ application code::
 """
 
 from repro.bitops import (
+    EXECUTOR_ENV,
     HAVE_BITWISE_COUNT,
     INT16_SAFE_MAX_BITS,
     KERNEL_BLOCK_ROWS,
@@ -28,6 +29,7 @@ from repro.bitops import (
 )
 
 __all__ = [
+    "EXECUTOR_ENV",
     "HAVE_BITWISE_COUNT",
     "INT16_SAFE_MAX_BITS",
     "KERNEL_BLOCK_ROWS",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -398,7 +399,7 @@ class RemoteCamCluster(ShardedCamPipeline):
     def _search_ports(self, packed: np.ndarray, plan: Any,
                       ports: List[List[Any]],
                       locks: List[List[threading.Lock]],
-                      executor: Any,
+                      plane: Any,
                       selection: Tuple[int, ...]
                       ) -> Tuple[np.ndarray, float, int]:
         """The base per-port fan-out, each shard call behind the failover."""
@@ -415,10 +416,8 @@ class RemoteCamCluster(ShardedCamPipeline):
                            (time.perf_counter() - started) * 1e3)
             return counts, energy, latency
 
-        if executor is not None and plan.num_shards > 1:
-            results = list(executor.map(_search_one, range(plan.num_shards)))
-        else:
-            results = [_search_one(shard) for shard in range(plan.num_shards)]
+        results = plane.run_tasks(
+            [partial(_search_one, shard) for shard in range(plan.num_shards)])
         global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
         plan.gather_columns([counts for counts, _, _ in results],
                             global_counts)
@@ -428,7 +427,7 @@ class RemoteCamCluster(ShardedCamPipeline):
 
     def _topk_ports(self, packed: np.ndarray, populated: np.ndarray,
                     plan: Any, ports: List[List[Any]],
-                    locks: List[List[threading.Lock]], executor: Any,
+                    locks: List[List[threading.Lock]], plane: Any,
                     selection: Tuple[int, ...], k: int
                     ) -> Tuple[np.ndarray, np.ndarray, float, int, int]:
         """Remote partial gather: server-side local top-k, one exact merge."""
@@ -446,10 +445,8 @@ class RemoteCamCluster(ShardedCamPipeline):
                            (time.perf_counter() - started) * 1e3)
             return indices, raw, energy, latency
 
-        if executor is not None and plan.num_shards > 1:
-            results = list(executor.map(_topk_one, range(plan.num_shards)))
-        else:
-            results = [_topk_one(shard) for shard in range(plan.num_shards)]
+        results = plane.run_tasks(
+            [partial(_topk_one, shard) for shard in range(plan.num_shards)])
         candidate_ids = np.concatenate(
             [indices for indices, _, _, _ in results], axis=1)
         candidate_raw = np.concatenate(

@@ -26,6 +26,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.exec import EXECUTOR_NAMES
+
 #: Queue-full policies: block the producer, or fail fast with
 #: :class:`QueueFullError`.
 FULL_POLICIES = ("block", "reject")
@@ -71,6 +73,15 @@ class ServeConfig:
         doorkeeper threshold of :class:`~repro.serve.cache.PackedSignatureCache`).
         ``1`` admits immediately (plain LRU, the default); ``2`` keeps
         one-shot flood traffic from evicting the working set.
+    executor:
+        Execution-plane engine the served engine's fan-outs should use
+        (``"inline"``, ``"threads"`` or ``"processes"``).  ``None``
+        (default) leaves the engine's own configuration -- and the
+        ``REPRO_EXECUTOR`` environment variable -- in charge.  Purely a
+        deployment knob carried to engine builders (the load generator
+        and benches thread it into
+        :func:`repro.shard.engine.build_demo_sharded_engine`); the
+        server itself never touches it.
     """
 
     max_batch: int = 64
@@ -82,6 +93,7 @@ class ServeConfig:
     poll_timeout_ms: float = 50.0
     adaptive_wait: bool = False
     cache_admission: int = 1
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0:
@@ -102,6 +114,10 @@ class ServeConfig:
             raise ValueError("poll_timeout_ms must be positive")
         if self.cache_admission <= 0:
             raise ValueError("cache_admission must be positive")
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
+            )
 
 
 @dataclass

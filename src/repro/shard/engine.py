@@ -46,9 +46,14 @@ class ShardedEngine(CamPipelineEngine):
         Cluster execution mode: ``"fused"`` (default, one vectorised
         kernel over the fused storage) or ``"ports"`` (hardware-faithful
         per-port execution).  Results are bit-identical either way.
+    executor:
+        Execution-plane engine for the cluster fan-outs (``"inline"``,
+        ``"threads"``, ``"processes"`` or a ready
+        :class:`repro.exec.Executor`); ``None`` defers to
+        ``REPRO_EXECUTOR`` and then to the pre-plane defaults.
     num_shard_workers:
-        Fan-out worker threads inside the cluster in ``"ports"`` mode
-        (``None`` sizes to the machine; ``<= 1`` fans out inline).
+        Worker budget of the cluster's plane engine (``None``/``0`` size
+        to the machine; ``1`` fans out serially).
     observers:
         Per-shard search listeners.  A :class:`MicroBatchServer` attaches
         its own observers automatically through :meth:`bind_observers`, so
@@ -60,6 +65,7 @@ class ShardedEngine(CamPipelineEngine):
     def __init__(self, prototypes: np.ndarray, num_shards: int = 2,
                  policy: str = "contiguous", num_replicas: int = 1,
                  routing: str = "round_robin", fanout: str = "fused",
+                 executor: Optional[Any] = None,
                  num_shard_workers: Optional[int] = None,
                  observers: Iterable[Any] = (),
                  **engine_kwargs: Any) -> None:
@@ -68,6 +74,7 @@ class ShardedEngine(CamPipelineEngine):
         self.num_replicas = int(num_replicas)
         self.routing = routing
         self.fanout = fanout
+        self.executor = executor
         self._num_shard_workers = num_shard_workers
         self._shard_observers = tuple(observers)
         super().__init__(prototypes, **engine_kwargs)
@@ -82,6 +89,7 @@ class ShardedEngine(CamPipelineEngine):
             num_replicas=self.num_replicas,
             routing=self.routing,
             fanout=self.fanout,
+            executor=self.executor,
             sense_amp=self.sense_amp,
             num_workers=self._num_shard_workers,
             observers=self._shard_observers,
@@ -125,6 +133,10 @@ class ShardedEngine(CamPipelineEngine):
         """Grow the cluster by one shard; logits are unchanged."""
         plan = self.cam.add_shard()
         self.num_shards = plan.num_shards
+
+    def close(self) -> None:
+        """Release the cluster's execution plane and published storage."""
+        self.cam.close()
 
     # -- reporting ---------------------------------------------------------------
 

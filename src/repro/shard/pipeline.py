@@ -37,14 +37,30 @@ Two fan-out modes execute that contract:
   of per-cell circuits), applied one level up -- counts are bit-identical
   to the per-port path because XOR+popcount is row-wise.
 * ``"ports"`` -- hardware-faithful per-port execution: each selected
-  replica's array runs its own kernel (inline, or on the worker pool when
-  ``num_workers > 1``) and the results are gathered by the plan.  Custom
-  ports (e.g. :class:`~repro.cam.dynamic.DynamicCam`) always use this
-  path.
+  replica's array runs its own kernel and the results are gathered by the
+  plan.  Custom ports (e.g. :class:`~repro.cam.dynamic.DynamicCam`)
+  always use this path.
+
+Both modes fan out on the :mod:`repro.exec` execution plane.  The
+``executor`` argument (or ``REPRO_EXECUTOR``) picks the engine: ``inline``
+runs everything serially, ``threads`` fans shard searches out on a thread
+pool sized by the worker budget (the pre-plane behaviour), and
+``processes`` reads the cluster's packed storage zero-copy from a
+SharedMemory segment in worker processes -- true parallelism on
+multi-core hosts where the GIL-bound thread pool stalls.  Under the
+process engine the per-shard kernels run against the *published global
+storage* sliced by each shard's rows (identical words to the port
+arrays, so counts are bit-identical) while energy/latency accrue
+parent-side through the ports' analytic surface; ports without that
+surface degrade to in-process execution, never to an error.
 
 ``add_shard()`` / ``rebalance()`` rebuild the plan and the port matrix
 online from the pipeline's own copy of the stored rows; results before and
-after are identical because the global row order never changes.
+after are identical because the global row order never changes.  The
+packed storage itself is untouched by a rebalance, so the published
+segment (and the worker pool reading it) survives; only ``write_rows``
+re-publishes, copy-on-write, with in-flight searches pinning the retired
+segment via its refcount until they finish.
 """
 
 from __future__ import annotations
@@ -52,12 +68,19 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.bitops import pack_bits, packed_hamming_matrix, words_for_bits
+from repro.bitops import EXECUTOR_ENV, pack_bits, packed_hamming_matrix, words_for_bits
+from repro.exec import (
+    Executor,
+    StorageHandle,
+    resolve_executor,
+    resolve_executor_name,
+    split_rows,
+)
 from repro.cam.array import CamArray
 from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
 from repro.cam.topk import (
@@ -79,6 +102,11 @@ PortFactory = Callable[[int], Any]
 
 #: Fan-out execution modes (see the module docstring).
 FANOUT_MODES = ("fused", "ports")
+
+#: Smallest storage span worth handing to a plane worker in fused mode;
+#: below this the fan-out overhead dwarfs the kernel and the search runs
+#: as a single span (serial for every engine).
+FUSED_SPAN_MIN_ROWS = 256
 
 
 def validate_row_block(matrix: np.ndarray, word_bits: int, total_rows: int,
@@ -137,11 +165,20 @@ class ShardedCamPipeline:
         separately.  Ports without the :class:`CamArray` analytic surface
         (``search_energy_pj`` / ``search_latency_cycles``) fall back to
         ``"ports"`` automatically.
+    executor:
+        Execution-plane engine for the fan-outs: ``"inline"``,
+        ``"threads"``, ``"processes"`` or a ready
+        :class:`repro.exec.Executor` instance (whose lifecycle the caller
+        then owns).  ``None`` defers to the ``REPRO_EXECUTOR``
+        environment variable; when that is unset too, ports mode fans
+        out on the default thread engine and fused mode keeps the
+        single vectorised kernel -- exactly the pre-plane behaviour.
+        The process engine is wrapped in the crash-containment fallback,
+        so a killed worker degrades to a bit-identical inline replay.
     num_workers:
-        Fan-out worker threads for ``"ports"`` mode (the serve-style
-        pool).  ``None`` sizes the pool to ``min(num_shards, cpu_count)``;
-        ``<= 1`` searches shards inline, which is optimal on single-core
-        hosts.
+        Worker budget of the plane engine (threads or processes).
+        ``None``/``0`` mean one worker per CPU; ``1`` keeps every
+        fan-out serial, which is optimal on single-core hosts.
     observers:
         :class:`~repro.serve.metrics.ServeObserver`-style listeners; every
         per-shard search emits ``shard_search_completed(shard, replica,
@@ -154,6 +191,7 @@ class ShardedCamPipeline:
                  port_factory: Optional[PortFactory] = None,
                  sense_amp: Optional[ClockedSelfReferencedSenseAmp] = None,
                  fanout: str = "fused",
+                 executor: Optional[Union[str, Executor]] = None,
                  num_workers: Optional[int] = None,
                  observers: Iterable[Any] = ()) -> None:
         if word_bits <= 0:
@@ -190,7 +228,20 @@ class ShardedCamPipeline:
         # searches snapshot it and run lock-free on the snapshot.
         self._state_lock = threading.Lock()
         self._requested_workers = num_workers
-        self._executor: Optional[ThreadPoolExecutor] = None
+        # Execution plane: the spec is pinned at construction (argument,
+        # then REPRO_EXECUTOR); the engine itself is resolved lazily so a
+        # pipeline that never fans out never spawns a pool.  spec None
+        # means "legacy defaults": ports fan out on the default thread
+        # engine, fused keeps the single in-process kernel.
+        if executor is None:
+            executor = os.environ.get(EXECUTOR_ENV, "").strip() or None
+        if isinstance(executor, str):
+            executor = resolve_executor_name(executor)
+        self._executor_spec: Optional[Union[str, Executor]] = executor
+        self._owns_plane = not isinstance(executor, Executor)
+        self._plane: Optional[Executor] = (
+            executor if isinstance(executor, Executor) else None)
+        self._storage_handle: Optional[StorageHandle] = None
         self._install(ShardPlan.build(int(total_rows), num_shards, policy))
 
     # -- structure ---------------------------------------------------------------
@@ -249,25 +300,103 @@ class ShardedCamPipeline:
             self._port_locks = locks
             self.router = router
             self.fanout = fanout
+            # The shared-storage ports path needs parent-side accounting
+            # (the plane computes counts outside the port objects); ports
+            # without the surface run in-process instead.
+            self._ports_analytic = all(
+                callable(getattr(port, "account_packed_search", None))
+                for replicas in ports for port in replicas)
+            # A rebalance changes only the plan/ports -- the packed
+            # storage (and therefore any published segment) is untouched,
+            # so the plane and its worker pool survive every _install.
 
-    def _fanout_executor(self, plan: ShardPlan) -> Optional[ThreadPoolExecutor]:
-        """The ports-mode worker pool, created lazily and kept for life.
+    def _get_plane_locked(self) -> Executor:
+        """The execution-plane engine, resolved lazily and kept for life.
 
-        One pool serves every structure the pipeline ever installs --
-        in-flight searches that snapshotted it can always still submit to
-        it (a rebalance never shuts it down; only :meth:`close` does).  It
-        is sized on first use, so a fused-mode pipeline never creates one.
-        Callers hold the state lock.
+        One engine serves every structure the pipeline ever installs --
+        a rebalance never closes it (only :meth:`close` does), so worker
+        pools survive plan changes and in-flight searches can always
+        still fan out on their snapshot.  Sized by the configured worker
+        budget, never by shard count.  Callers hold the state lock.
         """
-        workers = self._requested_workers
-        if workers is None:
-            workers = min(plan.num_shards, os.cpu_count() or 1)
-        if workers <= 1:
-            return None
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-shard")
-        return self._executor
+        if self._plane is None:
+            self._plane = resolve_executor(
+                self._executor_spec, workers=self._requested_workers)
+        return self._plane
+
+    def _ensure_handle_locked(self, plane: Executor) -> StorageHandle:
+        """The published packed-storage handle, created on first use.
+
+        In-process engines wrap the array for free; the process engine
+        copies it once into a SharedMemory segment that its workers then
+        read zero-copy on every search.  Callers hold the state lock.
+        """
+        if self._storage_handle is None:
+            self._storage_handle = plane.publish(self._packed)
+        return self._storage_handle
+
+    @staticmethod
+    def _shard_selector(spec: Any) -> Union[Tuple[int, int], np.ndarray]:
+        """A shard's rows as a plane selector: a span when contiguous.
+
+        Spans slice the published storage zero-copy inside workers;
+        strided plans fall back to explicit index arrays.
+        """
+        rows = np.asarray(spec.global_rows, dtype=np.int64)
+        if rows.size and (rows.size == 1 or np.all(np.diff(rows) == 1)):
+            return (int(rows[0]), int(rows[-1]) + 1)
+        return rows
+
+    def _snapshot_plane_locked(
+            self, fanout: str
+    ) -> Tuple[Optional[Executor], Optional[StorageHandle], bool]:
+        """Plane decisions for one search; the caller holds the state lock.
+
+        Returns ``(plane, handle, shared)``.  ``plane`` is ``None`` only
+        for fused mode with no configured engine (the legacy single
+        in-process kernel).  ``handle`` is *acquired* for the caller
+        whenever the fan-out reads published storage -- fused mode on a
+        configured engine, or the process engine's shared ports path --
+        and must be released when the search finishes; the acquire is
+        what keeps a concurrently retired segment alive until then.
+        ``shared`` selects the ports path that computes counts from the
+        published global storage with parent-side accounting.
+        """
+        if fanout == "fused":
+            if self._executor_spec is None:
+                return None, None, False
+            plane = self._get_plane_locked()
+            handle = self._ensure_handle_locked(plane)
+            handle.acquire()
+            return plane, handle, False
+        plane = self._get_plane_locked()
+        shared = (not plane.in_process) and self._ports_analytic
+        handle = None
+        if shared:
+            handle = self._ensure_handle_locked(plane)
+            handle.acquire()
+        return plane, handle, shared
+
+    def _fused_counts(self, packed: np.ndarray,
+                      storage: Union[np.ndarray, StorageHandle],
+                      plane: Optional[Executor]) -> np.ndarray:
+        """The fused kernel, spanned across the plane when one is configured.
+
+        Splitting the *storage* rows (the long axis) into per-worker
+        column blocks and concatenating is bit-identical to the single
+        kernel call -- every count is an independent ``popcount(XOR)``
+        -- and parallelises even small query batches.
+        """
+        if plane is None:
+            return packed_hamming_matrix(packed, storage)
+        data = storage.array if isinstance(storage, StorageHandle) else storage
+        total = int(data.shape[0])
+        spans = split_rows(total, plane.workers,
+                           min_rows=min(total, FUSED_SPAN_MIN_ROWS))
+        blocks = plane.hamming_fanout(packed, storage, spans)
+        if len(blocks) == 1:
+            return blocks[0]
+        return np.concatenate(blocks, axis=1)
 
     def add_shard(self) -> ShardPlan:
         """Grow the cluster by one shard; results are unchanged."""
@@ -304,11 +433,22 @@ class ShardedCamPipeline:
                 if not any(observer is drop for drop in dropped))
 
     def close(self) -> None:
-        """Shut down the fan-out worker pool (idempotent)."""
+        """Retire the published storage and shut the plane down (idempotent).
+
+        The SharedMemory segment is unlinked as soon as the last in-flight
+        search releases its reference; an engine passed in as an instance
+        is left running (its owner closes it).  A later search lazily
+        resolves a fresh engine, mirroring the old pool behaviour.
+        """
         with self._state_lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+            handle, self._storage_handle = self._storage_handle, None
+            plane = self._plane
+            if self._owns_plane:
+                self._plane = None
+        if handle is not None:
+            handle.retire()
+        if plane is not None and self._owns_plane:
+            plane.close()
 
     # -- contents ----------------------------------------------------------------
 
@@ -368,6 +508,13 @@ class ShardedCamPipeline:
             populated[start_row:stop] = True
             self._bits, self._packed, self._populated = (
                 bits, packed_storage, populated)
+            # Re-publish the plane storage copy-on-write: searches that
+            # acquired the old handle keep reading the retired segment
+            # until they release it, then its refcount frees it.
+            if self._storage_handle is not None:
+                retired = self._storage_handle
+                self._storage_handle = self._plane.publish(packed_storage)
+                retired.retire()
             energy = 0.0
             for spec in plan.shards:
                 mask = (spec.global_rows >= start_row) & (spec.global_rows < stop)
@@ -427,8 +574,7 @@ class ShardedCamPipeline:
         with self._state_lock:
             plan, ports, locks = self.plan, self._ports, self._port_locks
             router, fanout = self.router, self.fanout
-            executor = (self._fanout_executor(plan) if fanout == "ports"
-                        else None)
+            plane, handle, shared = self._snapshot_plane_locked(fanout)
             # Copy-on-write snapshots: write_rows swaps whole arrays, so
             # these stay internally consistent for the rest of the search.
             packed_storage, populated = self._packed, self._populated
@@ -436,12 +582,18 @@ class ShardedCamPipeline:
         try:
             if fanout == "fused":
                 global_counts, energy, latency = self._search_fused(
-                    packed, packed_storage, plan, ports, selection)
+                    packed, handle if handle is not None else packed_storage,
+                    plan, ports, selection, plane)
+            elif shared:
+                global_counts, energy, latency = self._search_ports_shared(
+                    packed, plan, ports, locks, selection, plane, handle)
             else:
                 global_counts, energy, latency = self._search_ports(
-                    packed, plan, ports, locks, executor, selection)
+                    packed, plan, ports, locks, plane, selection)
         finally:
             router.end_search(selection)
+            if handle is not None:
+                handle.release()
 
         distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
         if populated.any():
@@ -509,9 +661,9 @@ class ShardedCamPipeline:
         with self._state_lock:
             plan, ports, locks = self.plan, self._ports, self._port_locks
             router, fanout = self.router, self.fanout
-            executor = (self._fanout_executor(plan) if fanout == "ports"
-                        else None)
+            plane, handle, shared = self._snapshot_plane_locked(fanout)
             packed_storage, populated = self._packed, self._populated
+        fused_storage = handle if handle is not None else packed_storage
         noisy = getattr(self.sense_amp, "timing_noise_sigma_ps", 0.0) > 0
         selection = router.begin_search()
         try:
@@ -521,10 +673,13 @@ class ShardedCamPipeline:
                 # amplifier), then select over the sensed distances.
                 if fanout == "fused":
                     counts, energy, latency = self._search_fused(
-                        packed, packed_storage, plan, ports, selection)
+                        packed, fused_storage, plan, ports, selection, plane)
+                elif shared:
+                    counts, energy, latency = self._search_ports_shared(
+                        packed, plan, ports, locks, selection, plane, handle)
                 else:
                     counts, energy, latency = self._search_ports(
-                        packed, plan, ports, locks, executor, selection)
+                        packed, plan, ports, locks, plane, selection)
                 row_ids = np.nonzero(populated)[0].astype(np.int64)
                 with self._accounting_lock:
                     sensed = self.sense_amp.estimate_distances(
@@ -536,16 +691,24 @@ class ShardedCamPipeline:
                 gathered_per_query = int(row_ids.size)
             elif fanout == "fused":
                 indices, raw, energy, latency, gathered_per_query = (
-                    self._topk_fused(packed, packed_storage, populated,
-                                     plan, ports, selection, k))
+                    self._topk_fused(packed, fused_storage, populated,
+                                     plan, ports, selection, k, plane))
+                distances = self._digitise_selected(raw)
+            elif shared:
+                indices, raw, energy, latency, gathered_per_query = (
+                    self._topk_ports_shared(packed, populated, plan, ports,
+                                            locks, selection, plane, handle,
+                                            k))
                 distances = self._digitise_selected(raw)
             else:
                 indices, raw, energy, latency, gathered_per_query = (
                     self._topk_ports(packed, populated, plan, ports, locks,
-                                     executor, selection, k))
+                                     plane, selection, k))
                 distances = self._digitise_selected(raw)
         finally:
             router.end_search(selection)
+            if handle is not None:
+                handle.release()
         with self._accounting_lock:
             self._search_energy_pj += energy
             self._search_count += num_queries * plan.num_shards
@@ -565,10 +728,12 @@ class ShardedCamPipeline:
             self.sense_amp.estimate_distances(raw.reshape(-1)),
             dtype=np.int64).reshape(raw.shape)
 
-    def _topk_fused(self, packed: np.ndarray, packed_storage: np.ndarray,
+    def _topk_fused(self, packed: np.ndarray,
+                    packed_storage: Union[np.ndarray, StorageHandle],
                     populated: np.ndarray, plan: ShardPlan,
                     ports: List[List[Any]], selection: Tuple[int, ...],
-                    k: int) -> tuple[np.ndarray, np.ndarray, float, int, int]:
+                    k: int, plane: Optional[Executor] = None,
+                    ) -> tuple[np.ndarray, np.ndarray, float, int, int]:
         """One vectorised kernel, then one global selection on raw counts.
 
         The fused storage is already in global row order, so the global
@@ -578,7 +743,7 @@ class ShardedCamPipeline:
         """
         num_queries = packed.shape[0]
         started = time.perf_counter()
-        counts = packed_hamming_matrix(packed, packed_storage)
+        counts = self._fused_counts(packed, packed_storage, plane)
         if populated.all():
             row_ids = np.arange(self.rows, dtype=np.int64)
             candidates = counts
@@ -606,8 +771,7 @@ class ShardedCamPipeline:
     def _topk_ports(self, packed: np.ndarray, populated: np.ndarray,
                     plan: ShardPlan, ports: List[List[Any]],
                     locks: List[List[threading.Lock]],
-                    executor: Optional[ThreadPoolExecutor],
-                    selection: Tuple[int, ...],
+                    plane: Executor, selection: Tuple[int, ...],
                     k: int) -> tuple[np.ndarray, np.ndarray, float, int, int]:
         """Hardware-faithful partial gather: local top-k per port, one merge.
 
@@ -636,11 +800,49 @@ class ShardedCamPipeline:
                            (time.perf_counter() - started) * 1e3)
             return local_indices, local_raw, energy, latency
 
-        if executor is not None and plan.num_shards > 1:
-            results = list(executor.map(_topk_one, range(plan.num_shards)))
-        else:
-            results = [_topk_one(shard) for shard in range(plan.num_shards)]
+        results = plane.run_tasks(
+            [partial(_topk_one, shard) for shard in range(plan.num_shards)])
+        return self._merge_topk_candidates(results, k)
 
+    def _topk_ports_shared(self, packed: np.ndarray, populated: np.ndarray,
+                           plan: ShardPlan, ports: List[List[Any]],
+                           locks: List[List[threading.Lock]],
+                           selection: Tuple[int, ...], plane: Executor,
+                           handle: StorageHandle,
+                           k: int) -> tuple[np.ndarray, np.ndarray, float, int, int]:
+        """Partial gather on the process engine: shared counts, local merges.
+
+        Workers compute each shard's count block from the published global
+        storage (the same words the port arrays hold, so the counts are
+        bit-identical); the local top-k selections, the merge and the
+        analytic accounting all stay parent-side.
+        """
+        num_queries = packed.shape[0]
+        selectors = [self._shard_selector(spec) for spec in plan.shards]
+        started = time.perf_counter()
+        blocks = plane.hamming_fanout(packed, handle, selectors)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        results = []
+        for shard in range(plan.num_shards):
+            spec = plan.shards[shard]
+            replica = selection[shard]
+            with locks[shard][replica]:
+                energy, latency = (
+                    ports[shard][replica].account_packed_search(num_queries))
+            local_populated = populated[spec.global_rows]
+            local_ids = spec.global_rows[local_populated]
+            local_indices, local_raw = select_topk(
+                blocks[shard][:, local_populated], local_ids, k, self.rows)
+            if self._observers:
+                notify_all(self._observers, "shard_search_completed",
+                           shard, replica, num_queries, elapsed_ms)
+            results.append((local_indices, local_raw, energy, latency))
+        return self._merge_topk_candidates(results, k)
+
+    def _merge_topk_candidates(
+            self, results: List[tuple], k: int,
+    ) -> tuple[np.ndarray, np.ndarray, float, int, int]:
+        """Merge per-shard ``(indices, raw, energy, latency)`` candidates."""
         candidate_ids = np.concatenate(
             [indices for indices, _, _, _ in results], axis=1)
         candidate_raw = np.concatenate(
@@ -651,9 +853,12 @@ class ShardedCamPipeline:
         latency = max(latency for _, _, _, latency in results)
         return indices, raw, energy, latency, gathered_per_query
 
-    def _search_fused(self, packed: np.ndarray, packed_storage: np.ndarray,
+    def _search_fused(self, packed: np.ndarray,
+                      packed_storage: Union[np.ndarray, StorageHandle],
                       plan: ShardPlan, ports: List[List[Any]],
-                      selection: Tuple[int, ...]) -> tuple[np.ndarray, float, int]:
+                      selection: Tuple[int, ...],
+                      plane: Optional[Executor] = None,
+                      ) -> tuple[np.ndarray, float, int]:
         """One vectorised kernel over the fused storage; analytic accounting.
 
         The fused storage rows are already in global order, so the kernel's
@@ -663,7 +868,7 @@ class ShardedCamPipeline:
         """
         num_queries = packed.shape[0]
         started = time.perf_counter()
-        counts = packed_hamming_matrix(packed, packed_storage)
+        counts = self._fused_counts(packed, packed_storage, plane)
         elapsed_ms = (time.perf_counter() - started) * 1e3
         energy = 0.0
         latency = 0
@@ -679,9 +884,15 @@ class ShardedCamPipeline:
 
     def _search_ports(self, packed: np.ndarray, plan: ShardPlan,
                       ports: List[List[Any]], locks: List[List[threading.Lock]],
-                      executor: Optional[ThreadPoolExecutor],
+                      plane: Executor,
                       selection: Tuple[int, ...]) -> tuple[np.ndarray, float, int]:
-        """Hardware-faithful per-port execution, gathered by the plan."""
+        """Hardware-faithful per-port execution, gathered by the plan.
+
+        The port objects run their own kernels (in-process -- the thread
+        engine overlaps them where NumPy releases the GIL; the process
+        engine lands here only for ports without the analytic surface and
+        then runs them serially, a documented degradation).
+        """
         num_queries = packed.shape[0]
 
         def _search_one(shard: int) -> tuple[np.ndarray, float, int]:
@@ -696,16 +907,50 @@ class ShardedCamPipeline:
                            (time.perf_counter() - started) * 1e3)
             return counts, energy, latency
 
-        if executor is not None and plan.num_shards > 1:
-            results = list(executor.map(_search_one, range(plan.num_shards)))
-        else:
-            results = [_search_one(shard) for shard in range(plan.num_shards)]
+        results = plane.run_tasks(
+            [partial(_search_one, shard) for shard in range(plan.num_shards)])
 
         global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
         plan.gather_columns([counts for counts, _, _ in results], global_counts)
         energy = float(sum(energy for _, energy, _ in results))
         latency = max(latency for _, _, latency in results)
         return global_counts, energy, latency
+
+    def _search_ports_shared(self, packed: np.ndarray, plan: ShardPlan,
+                             ports: List[List[Any]],
+                             locks: List[List[threading.Lock]],
+                             selection: Tuple[int, ...], plane: Executor,
+                             handle: StorageHandle,
+                             ) -> tuple[np.ndarray, float, int]:
+        """Process-engine ports fan-out over the published global storage.
+
+        Workers slice the shared segment by each shard's rows -- exactly
+        the words that shard's port array holds (unpopulated rows are
+        zero both ways), so the counts are bit-identical to the object
+        path -- while energy/latency accrue parent-side through the
+        ports' analytic surface, keeping every port's own counters
+        consistent with an in-array search.
+        """
+        num_queries = packed.shape[0]
+        selectors = [self._shard_selector(spec) for spec in plan.shards]
+        started = time.perf_counter()
+        blocks = plane.hamming_fanout(packed, handle, selectors)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        energy = 0.0
+        latency = 0
+        for shard in range(plan.num_shards):
+            replica = selection[shard]
+            with locks[shard][replica]:
+                shard_energy, shard_latency = (
+                    ports[shard][replica].account_packed_search(num_queries))
+            energy += shard_energy
+            latency = max(latency, shard_latency)
+            if self._observers:
+                notify_all(self._observers, "shard_search_completed",
+                           shard, replica, num_queries, elapsed_ms)
+        global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
+        plan.gather_columns(blocks, global_counts)
+        return global_counts, float(energy), latency
 
     # -- accounting ----------------------------------------------------------------
 
@@ -728,10 +973,19 @@ class ShardedCamPipeline:
             return self._search_count
 
     def stats(self) -> Dict[str, Any]:
-        """Cluster snapshot: plan, router and accounting counters."""
+        """Cluster snapshot: plan, router, plane and accounting counters."""
         with self._state_lock:
             plan, router, fanout = self.plan, self.router, self.fanout
-            workers = 0 if self._executor is None else self._executor._max_workers
+            plane = self._plane
+            spec = self._executor_spec
+        workers = 0 if plane is None else plane.workers
+        if plane is not None:
+            executor_name: Optional[str] = plane.name
+            executor_stats: Optional[Dict[str, Any]] = plane.stats()
+        else:
+            executor_name = (spec if isinstance(spec, str)
+                             else getattr(spec, "name", None))
+            executor_stats = None
         with self._accounting_lock:
             counters = {
                 "search_energy_pj": self._search_energy_pj,
@@ -748,6 +1002,8 @@ class ShardedCamPipeline:
             "num_replicas": self._num_replicas,
             "fanout": fanout,
             "fanout_workers": workers,
+            "executor": executor_name,
+            "executor_stats": executor_stats,
             "router": router.stats(),
             **counters,
         }

@@ -1,0 +1,232 @@
+"""Sharded pipeline × execution plane: bit-identity against one array.
+
+The oracle is the existing sharding contract: whatever the engine, the
+fan-out mode, the plan policy or the amplifier noise, a cluster must
+return byte-for-byte the distances (and the same energy, to float
+round-off) of a single CamArray holding all rows -- including while the
+cluster is being rebalanced and rewritten under load.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bitops import pack_bits
+from repro.cam.array import CamArray
+from repro.cam.sense_amplifier import ClockedSelfReferencedSenseAmp
+from repro.exec import EXECUTOR_NAMES
+from repro.shard import ShardedCamPipeline
+
+WORD_BITS = 96
+ROWS = 220
+AMP_SEED = 97
+
+
+def shm_segments():
+    try:
+        return sorted(name for name in os.listdir("/dev/shm")
+                      if name.startswith("repro_exec_"))
+    except FileNotFoundError:
+        return []
+
+
+def make_amp(noisy):
+    return ClockedSelfReferencedSenseAmp(
+        word_bits=WORD_BITS,
+        timing_noise_sigma_ps=2.5 if noisy else 0.0,
+        seed=AMP_SEED)
+
+
+def reference(bits, queries, noisy, k=None):
+    cam = CamArray(rows=ROWS, word_bits=WORD_BITS, sense_amp=make_amp(noisy))
+    cam.write_rows(bits)
+    if k is None:
+        return cam.search_batch(queries)
+    return cam.topk_packed(pack_bits(queries), k)
+
+
+def make_pipeline(bits, executor, fanout, noisy, policy="strided",
+                  num_shards=4):
+    pipeline = ShardedCamPipeline(
+        total_rows=ROWS, word_bits=WORD_BITS, num_shards=num_shards,
+        policy=policy, sense_amp=make_amp(noisy), fanout=fanout,
+        executor=executor, num_workers=2)
+    pipeline.write_rows(bits)
+    return pipeline
+
+
+@pytest.fixture
+def stored_bits(rng):
+    return rng.integers(0, 2, size=(ROWS, WORD_BITS), dtype=np.uint8)
+
+
+@pytest.fixture
+def queries(rng):
+    return rng.integers(0, 2, size=(7, WORD_BITS), dtype=np.uint8)
+
+
+class TestExecutorMatrix:
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    @pytest.mark.parametrize("fanout", ["fused", "ports"])
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_search_bit_identical_to_single_array(self, stored_bits, queries,
+                                                  executor, fanout, noisy):
+        expected, ref_energy, _ = reference(stored_bits, queries, noisy)
+        pipeline = make_pipeline(stored_bits, executor, fanout, noisy)
+        try:
+            distances, energy, _ = pipeline.search_batch(queries)
+            assert np.array_equal(distances, expected)
+            assert energy == pytest.approx(ref_energy, rel=1e-12)
+        finally:
+            pipeline.close()
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    @pytest.mark.parametrize("fanout", ["fused", "ports"])
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_topk_bit_identical_to_single_array(self, stored_bits, queries,
+                                                executor, fanout, noisy):
+        oracle = reference(stored_bits, queries, noisy, k=5)
+        pipeline = make_pipeline(stored_bits, executor, fanout, noisy)
+        try:
+            result = pipeline.topk_packed(pack_bits(queries), 5)
+            assert np.array_equal(result.indices, oracle.indices)
+            assert np.array_equal(result.distances, oracle.distances)
+            assert result.energy_pj == pytest.approx(oracle.energy_pj,
+                                                     rel=1e-12)
+        finally:
+            pipeline.close()
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    @pytest.mark.parametrize("fanout", ["fused", "ports"])
+    def test_empty_batch_is_a_shaped_noop(self, stored_bits, executor,
+                                          fanout):
+        pipeline = make_pipeline(stored_bits, executor, fanout, noisy=False)
+        try:
+            empty = np.zeros((0, pipeline._packed.shape[1]), dtype=np.uint64)
+            distances, energy, latency = pipeline.search_batch_packed(empty)
+            assert distances.shape == (0, ROWS)
+            assert energy == 0.0 and latency == 0
+            result = pipeline.topk_packed(empty, 4)
+            assert result.indices.shape == (0, 4)
+        finally:
+            pipeline.close()
+
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    def test_port_counters_stay_consistent(self, stored_bits, queries,
+                                           executor):
+        # Parent-side accounting must hit the very same per-port counters
+        # an in-array search would (account_packed_search), so the summed
+        # port energies equal the pipeline's accrued total.
+        pipeline = make_pipeline(stored_bits, executor, "ports", noisy=False)
+        try:
+            pipeline.search_batch(queries)
+            port_total = sum(
+                port.accumulated_search_energy_pj
+                for replicas in pipeline._ports for port in replicas)
+            assert port_total == pytest.approx(
+                pipeline.accumulated_search_energy_pj, rel=1e-12)
+        finally:
+            pipeline.close()
+
+
+class TestRebalanceUnderLoad:
+    @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+    @pytest.mark.parametrize("fanout", ["fused", "ports"])
+    def test_rebalance_and_write_republish_safely(self, rng, stored_bits,
+                                                  queries, executor, fanout):
+        expected, _, _ = reference(stored_bits, queries, noisy=False)
+        pipeline = make_pipeline(stored_bits, executor, fanout, noisy=False)
+        try:
+            before, _, _ = pipeline.search_batch(queries)
+            assert np.array_equal(before, expected)
+            plane = pipeline._plane
+            pipeline.rebalance(num_shards=6, policy="contiguous")
+            # The plane (and its worker pool) survives the rebalance.
+            if plane is not None:
+                assert pipeline._plane is plane
+            mid, _, _ = pipeline.search_batch(queries)
+            assert np.array_equal(mid, expected)
+            # A write re-publishes the storage copy-on-write; the next
+            # search must see the new rows, bit-identically to a single
+            # array holding the updated contents.
+            update = rng.integers(0, 2, size=(31, WORD_BITS), dtype=np.uint8)
+            new_bits = stored_bits.copy()
+            new_bits[100:131] = update
+            pipeline.write_rows(update, start_row=100)
+            new_expected, _, _ = reference(new_bits, queries, noisy=False)
+            after, _, _ = pipeline.search_batch(queries)
+            assert np.array_equal(after, new_expected)
+            pipeline.add_shard()
+            again, _, _ = pipeline.search_batch(queries)
+            assert np.array_equal(again, new_expected)
+        finally:
+            pipeline.close()
+
+    def test_noisy_rebalance_keeps_the_noise_stream_in_lockstep(
+            self, stored_bits, queries):
+        # Two noisy searches from identically seeded amplifiers must agree
+        # even when one cluster rebalances (and re-publishes) in between.
+        baseline = make_pipeline(stored_bits, "processes", "ports", True)
+        moving = make_pipeline(stored_bits, "processes", "ports", True)
+        try:
+            a1, _, _ = baseline.search_batch(queries)
+            b1, _, _ = moving.search_batch(queries)
+            assert np.array_equal(a1, b1)
+            moving.rebalance(num_shards=3, policy="contiguous")
+            a2, _, _ = baseline.search_batch(queries)
+            b2, _, _ = moving.search_batch(queries)
+            assert np.array_equal(a2, b2)
+        finally:
+            baseline.close()
+            moving.close()
+
+
+class TestPlaneLifecycle:
+    def test_pool_sized_by_worker_budget_not_shard_count(self, stored_bits,
+                                                         queries):
+        # The pre-plane pool was keyed on the shard count at first use; the
+        # plane must follow the configured budget through any rebalance.
+        pipeline = make_pipeline(stored_bits, "threads", "ports", False,
+                                 num_shards=2)
+        try:
+            pipeline.search_batch(queries)
+            assert pipeline._plane.workers == 2
+            pipeline.rebalance(num_shards=6)
+            pipeline.search_batch(queries)
+            assert pipeline._plane.workers == 2
+            assert pipeline.stats()["fanout_workers"] == 2
+        finally:
+            pipeline.close()
+
+    def test_fused_without_configured_executor_creates_no_plane(
+            self, stored_bits, queries):
+        pipeline = ShardedCamPipeline(total_rows=ROWS, word_bits=WORD_BITS,
+                                      num_shards=4)
+        pipeline.write_rows(stored_bits)
+        pipeline.search_batch(queries)
+        assert pipeline._plane is None
+        assert pipeline.stats()["executor"] is None
+        pipeline.close()
+
+    def test_no_leaked_segments_after_close(self, stored_bits, queries):
+        baseline = shm_segments()
+        pipeline = make_pipeline(stored_bits, "processes", "ports", False)
+        pipeline.search_batch(queries)
+        pipeline.topk_packed(pack_bits(queries), 3)
+        assert len(shm_segments()) > len(baseline)  # storage is published
+        pipeline.close()
+        assert shm_segments() == baseline
+
+    def test_stats_surface_the_engine(self, stored_bits, queries):
+        pipeline = make_pipeline(stored_bits, "processes", "ports", False)
+        try:
+            pipeline.search_batch(queries)
+            stats = pipeline.stats()
+            assert stats["executor"] == "processes"
+            assert stats["executor_stats"]["workers"] == 2
+            assert stats["executor_stats"]["worker_crashes"] == 0
+            # The search really fanned out on the pool: one task per shard.
+            assert stats["executor_stats"]["tasks_executed"] == 4
+        finally:
+            pipeline.close()

@@ -173,9 +173,10 @@ class TestRestructuring:
             reference = reference_array(stored_bits)
             expected, _, _ = reference.search_batch(queries)
             a, _, _ = pipeline.search_batch(queries)
-            executor = pipeline._executor
+            executor = pipeline._plane
+            assert executor is not None
             pipeline.rebalance(num_shards=6, policy="strided")
-            assert pipeline._executor is executor
+            assert pipeline._plane is executor
             b, _, _ = pipeline.search_batch(queries)
             assert np.array_equal(a, expected)
             assert np.array_equal(b, expected)
@@ -185,7 +186,7 @@ class TestRestructuring:
     def test_fused_mode_never_creates_a_worker_pool(self, stored_bits, queries):
         pipeline = make_pipeline(stored_bits, num_shards=4, num_workers=4)
         pipeline.search_batch(queries)
-        assert pipeline._executor is None
+        assert pipeline._plane is None
 
     def test_writes_after_rebalance_land_in_new_plan(self, rng, queries):
         pipeline = ShardedCamPipeline(total_rows=30, word_bits=WORD_BITS,
