@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke coverage bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke coverage bench bench-quick bench-paper
 
 # The fast correctness gate. `make coverage` is the slower companion gate
 # (the same tier-1 tests under a line tracer with an 85% floor on
-# src/repro/{cam,shard,serve,retrieval,net,exec}); run it before shipping
-# changes to those packages.
-check: smoke test serve-smoke shard-smoke net-smoke exec-smoke
+# src/repro/{cam,shard,serve,retrieval,net,exec,obs}); run it before
+# shipping changes to those packages.
+check: smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -44,6 +44,12 @@ shard-smoke:
 # re-replicate.
 net-smoke:
 	$(PYTHON) scripts/net_smoke.py
+
+# Observability smoke: a traced serving run must reconstruct every
+# request's full-lifecycle run tree, answer bit-identically to the
+# untraced run, and cost <5% throughput (median of paired runs).
+trace-smoke:
+	$(PYTHON) scripts/trace_smoke.py
 
 # Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json
 # (kernels, e2e, serving and shard-scaling suites).

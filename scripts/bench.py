@@ -10,6 +10,7 @@ the commit and timestamp, so every PR has a perf baseline to beat:
 * end-to-end -- DeepCAM approximate inference, bit-level CAM batch search,
   batch hashing, the serving/sharding/retrieval/net suites, the executor
   scaling curve (inline vs threads vs processes on one cluster search),
+  the traced-vs-untraced observability overhead pair (report-only),
   and (in full mode) the pytest-benchmark timings of the paper-figure
   workloads under ``benchmarks/``.
 
@@ -40,6 +41,7 @@ from repro.api.bench import (  # noqa: E402  (path bootstrap above)
     executor_benchmarks,
     kernel_microbench,
     net_benchmarks,
+    obs_benchmarks,
     retrieval_benchmarks,
     run_paper_benchmarks,
     serve_benchmarks,
@@ -106,6 +108,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] network overhead workloads ({mode})")
     net_records, net_summary = net_benchmarks(quick=args.quick)
     e2e_records.extend(net_records)
+    print(f"[bench] observability overhead workloads ({mode})")
+    obs_records, obs_summary = obs_benchmarks(quick=args.quick)
+    e2e_records.extend(obs_records)
     if not args.skip_paper:
         files = list(QUICK_PAPER_FILES) if args.quick else None
         max_time = 0.2 if args.quick else 0.5
@@ -119,7 +124,8 @@ def main(argv: list[str] | None = None) -> int:
                               "shard": shard_summary,
                               "executor": executor_summary,
                               "retrieval": retrieval_summary,
-                              "net": net_summary})
+                              "net": net_summary,
+                              "obs": obs_summary})
     for record in e2e_records:
         if record.group in ("e2e", "serve"):
             print(f"[bench]   {record.name}: median {record.median_s * 1e3:.2f} ms")
@@ -139,6 +145,10 @@ def main(argv: list[str] | None = None) -> int:
     # Report-only: the wire's loopback overhead factor, no gate attached.
     for op, factor in net_summary["remote_vs_inproc"].items():
         print(f"[bench]   net remote vs in-process {op}: {factor:.1f}x")
+    # Report-only: tracing overhead trajectory (the gate is `make trace-smoke`).
+    print(f"[bench]   obs tracing overhead: "
+          f"{obs_summary['overhead_pct']:+.2f}% "
+          f"({obs_summary['spans_per_request']:.1f} spans/request)")
     print(f"[bench] wrote {e2e_path}")
 
     # -- acceptance gates -----------------------------------------------------

@@ -35,7 +35,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
 
 #: Packages the floor applies to (src/repro/<name>).
-DEFAULT_PACKAGES = ("cam", "shard", "serve", "retrieval", "net", "exec")
+DEFAULT_PACKAGES = ("cam", "shard", "serve", "retrieval", "net", "exec",
+                    "obs")
 DEFAULT_FAIL_UNDER = 85.0
 
 

@@ -60,7 +60,13 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.serve import (  # noqa: E402  (path bootstrap above)
+from repro.obs import (  # noqa: E402  (path bootstrap above)
+    InMemoryExporter,
+    JsonlExporter,
+    Tracer,
+    report as obs_report,
+)
+from repro.serve import (  # noqa: E402
     MicroBatchServer,
     PrintObserver,
     ServeConfig,
@@ -128,11 +134,13 @@ def build_engine(args: argparse.Namespace):
 
 
 def serve_queries(scenario: str, args: argparse.Namespace,
-                  queries: np.ndarray, config: ServeConfig) -> tuple[list, float, dict]:
+                  queries: np.ndarray, config: ServeConfig,
+                  tracer: Tracer | None = None) -> tuple[list, float, dict]:
     """Serve one query stream; returns (responses, serving_s, stats)."""
     observers = (PrintObserver(every=args.verbose),) if args.verbose else ()
     engine = build_engine(args)
-    server = MicroBatchServer(engine, config=config, observers=observers)
+    server = MicroBatchServer(engine, config=config, observers=observers,
+                              tracer=tracer)
     server.start()
     try:
         start = time.perf_counter()
@@ -193,7 +201,15 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
             scenario, args, queries,
             dataclasses.replace(config, cache_admission=1))
         lru_hit_rate = lru_stats["cache"]["hit_rate"]
-    responses, serving_s, stats = serve_queries(scenario, args, queries, config)
+    tracer = exporter = None
+    if args.trace:
+        exporter = InMemoryExporter()
+        exporters: list = [exporter]
+        if args.trace_out is not None:
+            exporters.append(JsonlExporter(args.trace_out))
+        tracer = Tracer(exporters=exporters)
+    responses, serving_s, stats = serve_queries(scenario, args, queries,
+                                                config, tracer=tracer)
 
     report = {
         "scenario": scenario,
@@ -215,6 +231,18 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
             report["verified"] = verify_topk_responses(args, queries, responses)
         else:
             report["verified"] = verify_responses(args, queries, responses)
+    if tracer is not None:
+        tracer.shutdown()
+        trees = obs_report.build_run_trees(exporter.spans())
+        complete, problems = obs_report.verify_run_trees(
+            trees, expected_requests=int(args.requests))
+        report["trace"] = {
+            "run_trees": len(trees),
+            "complete": complete,
+            "problems": problems,
+            "stages": obs_report.stage_table(trees),
+            "obs": tracer.snapshot(),
+        }
     return report
 
 
@@ -307,6 +335,16 @@ def print_report(report: dict) -> None:
     print(f"[loadgen]   queue depth max={stats['queue_depth']['max']}")
     if "verified" in report:
         print(f"[loadgen]   verified={'OK' if report['verified'] else 'FAIL'}")
+    if "trace" in report:
+        trace = report["trace"]
+        status = "OK" if trace["complete"] else "INCOMPLETE"
+        print(f"[loadgen]   trace: {trace['run_trees']} run trees "
+              f"({status}), {trace['obs']['spans_ended']} spans, "
+              f"dropped={trace['obs']['export_dropped']}")
+        for problem in trace["problems"][:5]:
+            print(f"[loadgen]     problem: {problem}")
+        for line in obs_report.render_stage_table(trace["stages"]).splitlines():
+            print(f"[loadgen]   {line}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -363,6 +401,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout-s", type=float, default=60.0)
     parser.add_argument("--verify", action="store_true",
                         help="check served responses against a direct pass")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace every request (repro.obs) and print the "
+                             "per-stage latency attribution; fails the run "
+                             "unless every request lands in exactly one "
+                             "complete run tree")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="also export the spans to this JSONL file "
+                             "(read it back with scripts/trace_report.py)")
     parser.add_argument("--verbose", type=int, default=0, metavar="N",
                         help="print every N-th batch (0 = silent)")
     parser.add_argument("--json", type=Path, default=None,
@@ -385,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         print_report(report)
         reports.append(report)
         all_verified = all_verified and report.get("verified", True)
+        if "trace" in report:
+            all_verified = all_verified and report["trace"]["complete"]
 
     if args.json is not None:
         args.json.write_text(json.dumps(reports, indent=2, sort_keys=True) + "\n")

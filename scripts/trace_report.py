@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Reconstruct run trees from a JSONL span export and attribute latency.
+
+Reads the file a :class:`repro.obs.JsonlExporter` wrote (one span per
+line), reassembles every request's run tree -- enqueue, batch, the
+execute sub-stages (fan-out, per-shard search, gather, digitise), cache
+write, reply -- and prints the per-stage latency attribution across all
+of them.  With ``--tree N`` it also renders the first N trees in full.
+
+Usage::
+
+    PYTHONPATH=src python scripts/loadgen.py --trace --trace-out /tmp/spans.jsonl
+    PYTHONPATH=src python scripts/trace_report.py /tmp/spans.jsonl
+    PYTHONPATH=src python scripts/trace_report.py /tmp/spans.jsonl --tree 3
+    PYTHONPATH=src python scripts/trace_report.py /tmp/spans.jsonl --expect 1000
+
+Exit status is nonzero when ``--expect`` is given and the export does not
+reconstruct into exactly that many complete run trees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import report  # noqa: E402  (path bootstrap above)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", type=Path,
+                        help="JSONL span export (JsonlExporter output)")
+    parser.add_argument("--tree", type=int, default=0, metavar="N",
+                        help="render the first N run trees in full")
+    parser.add_argument("--expect", type=int, default=None, metavar="REQUESTS",
+                        help="fail unless exactly this many complete run "
+                             "trees reconstruct")
+    parser.add_argument("--slowest", type=int, default=0, metavar="N",
+                        help="render the N slowest run trees in full")
+    args = parser.parse_args(argv)
+
+    spans = report.load_spans(args.path)
+    trees = report.build_run_trees(spans)
+    print(f"[trace] {len(spans)} spans -> {len(trees)} run trees")
+    if not trees:
+        return 0 if args.expect in (None, 0) else 1
+
+    print(report.render_stage_table(report.stage_table(trees)))
+
+    for tree in trees[: args.tree]:
+        print()
+        print(report.render_tree(tree))
+    if args.slowest > 0:
+        ranked = sorted(trees, key=lambda tree: tree.root.duration_ms,
+                        reverse=True)
+        for tree in ranked[: args.slowest]:
+            print()
+            print(report.render_tree(tree))
+
+    if args.expect is not None:
+        ok, problems = report.verify_run_trees(trees,
+                                               expected_requests=args.expect)
+        for problem in problems:
+            print(f"[trace] problem: {problem}")
+        print(f"[trace] verification: {'OK' if ok else 'FAIL'} "
+              f"({len(trees)}/{args.expect} run trees)")
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1027,6 +1027,107 @@ def net_benchmarks(quick: bool = False, rounds: int | None = None,
     return records, summary
 
 
+# -- observability overhead ----------------------------------------------------
+
+#: Engine geometry of the traced-vs-untraced serving pair.  Deliberately
+#: compute-heavy (large CAM, sharded, no cache hits): span bookkeeping is a
+#: fixed few microseconds per request, so it is measured against requests
+#: that do real work -- the regime tracing must be cheap in (same reasoning
+#: as ``scripts/trace_smoke.py``).
+OBS_BENCH_ENGINE: dict[str, int] = {
+    "classes": 2048, "input_dim": 256, "hash_length": 1024, "num_shards": 2,
+}
+
+
+def _obs_serve_seconds(queries: np.ndarray, max_batch: int, traced: bool,
+                       seed: int = 0) -> tuple[float, dict[str, Any]]:
+    """Serve ``queries`` through a fresh sharded server, optionally traced."""
+    from repro.obs import InMemoryExporter, Tracer
+    from repro.serve import MicroBatchServer, ServeConfig
+    from repro.shard import build_demo_sharded_engine
+
+    engine = build_demo_sharded_engine(seed=seed, **OBS_BENCH_ENGINE)
+    tracer = Tracer(exporters=[InMemoryExporter()]) if traced else None
+    config = ServeConfig(max_batch=max_batch, max_wait_ms=2.0,
+                         queue_depth=max(len(queries), 1), cache_capacity=0)
+    server = MicroBatchServer(engine, config=config, tracer=tracer)
+    server.start()
+    try:
+        start = time.perf_counter()
+        futures = [server.submit(query) for query in queries]
+        for future in futures:
+            future.result(timeout=300.0)
+        elapsed = time.perf_counter() - start
+        stats = server.stats()
+    finally:
+        server.stop(drain=True)
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
+        if tracer is not None:
+            tracer.shutdown()
+    return elapsed, stats
+
+
+def obs_benchmarks(total_requests: int = 400, max_batch: int = 64,
+                   quick: bool = False, rounds: int | None = None,
+                   seed: int = 0) -> tuple[list[BenchRecord], dict[str, Any]]:
+    """Tracing overhead: the same serving load untraced vs fully traced.
+
+    The :data:`OBS_BENCH_ENGINE` sharded demo cluster serves an identical
+    uniform load twice per round -- once with ``tracer=None`` and once with
+    a ``sample_rate=1.0`` tracer exporting every span in memory -- and the
+    summary's ``overhead_pct`` compares the medians (``quick`` trims
+    rounds, never the load).  Runs are interleaved per round so machine
+    drift hits both sides equally.  Report-only: ``scripts/bench.py``
+    folds the summary into ``BENCH_e2e.json`` under ``"obs"`` with no
+    acceptance gate attached -- the <5% gate lives in ``make trace-smoke``;
+    this entry tracks the trajectory of the number across PRs.
+    """
+    effective_rounds = rounds if rounds is not None else (2 if quick else 3)
+    rng = np.random.default_rng(seed)
+    queries = rng.standard_normal((total_requests,
+                                   OBS_BENCH_ENGINE["input_dim"]))
+    params = {"requests": total_requests, "max_batch": max_batch,
+              **OBS_BENCH_ENGINE}
+
+    _obs_serve_seconds(queries, max_batch, traced=False, seed=seed)  # warmup
+    untraced_s: list[float] = []
+    traced_s: list[float] = []
+    traced_stats: dict[str, Any] = {}
+    for _ in range(effective_rounds):
+        elapsed, _ = _obs_serve_seconds(queries, max_batch, traced=False,
+                                        seed=seed)
+        untraced_s.append(elapsed)
+        elapsed, traced_stats = _obs_serve_seconds(queries, max_batch,
+                                                   traced=True, seed=seed)
+        traced_s.append(elapsed)
+
+    untraced_record = record_from_times(
+        f"obs/untraced/max_batch={max_batch}", "obs",
+        {**params, "traced": False}, untraced_s)
+    traced_record = record_from_times(
+        f"obs/traced/max_batch={max_batch}", "obs",
+        {**params, "traced": True}, traced_s)
+
+    obs_counters = traced_stats.get("obs", {})
+    spans_ended = int(obs_counters.get("spans_ended", 0))
+    overhead_pct = 100.0 * (traced_record.median_s - untraced_record.median_s
+                            ) / max(untraced_record.median_s, 1e-12)
+    summary: dict[str, Any] = {
+        "workload": dict(params),
+        "overhead_pct": overhead_pct,
+        "throughput_rps": {
+            "untraced": total_requests / untraced_record.median_s,
+            "traced": total_requests / traced_record.median_s,
+        },
+        "spans_per_request": spans_ended / max(total_requests, 1),
+        "spans_dropped": int(obs_counters.get("export_dropped", 0)),
+        "report_only": True,
+    }
+    return [untraced_record, traced_record], summary
+
+
 # -- paper-figure workloads (pytest-benchmark) ---------------------------------
 
 

@@ -42,11 +42,13 @@ class AsyncNetClient:
                  retry: Optional[RetryPolicy] = None,
                  connect_timeout_s: float = 5.0,
                  read_timeout_s: float = 30.0,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 tracer: Any = None) -> None:
         self._sync = NetClient(base_url=base_url, transport=transport,
                                retry=retry,
                                connect_timeout_s=connect_timeout_s,
-                               read_timeout_s=read_timeout_s, seed=seed)
+                               read_timeout_s=read_timeout_s, seed=seed,
+                               tracer=tracer)
 
     @property
     def transport(self):

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.cam.topk import decode_topk_rows
 from repro.net import protocol
+from repro.obs import default_tracer, inject_headers
 from repro.net.transport import (
     HttpTransport,
     RetryingTransport,
@@ -57,6 +58,11 @@ class NetClient:
         for the response bytes (``base_url`` mode only).
     seed:
         Seeds the retry jitter RNG; ``None`` leaves it entropy-seeded.
+    tracer:
+        A :class:`repro.obs.Tracer` for client-side spans.  ``None``
+        falls back to the process default
+        (:func:`repro.obs.configure`); with no tracer at all the client
+        still forwards any ambient trace context on the wire.
     """
 
     def __init__(self, base_url: Optional[str] = None,
@@ -64,7 +70,8 @@ class NetClient:
                  retry: Optional[RetryPolicy] = None,
                  connect_timeout_s: float = 5.0,
                  read_timeout_s: float = 30.0,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 tracer: Any = None) -> None:
         if (base_url is None) == (transport is None):
             raise ValueError("pass exactly one of base_url or transport")
         if transport is None:
@@ -73,6 +80,7 @@ class NetClient:
                                       read_timeout_s=read_timeout_s)
         rng = random.Random(seed) if seed is not None else None
         self.transport = RetryingTransport(transport, policy=retry, rng=rng)
+        self.tracer = tracer if tracer is not None else default_tracer()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -89,13 +97,32 @@ class NetClient:
     # -- plumbing ----------------------------------------------------------------
 
     def _call(self, method: str, path: str,
-              envelope: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """One logical request: send (retried), unwrap the envelope."""
+              envelope: Optional[Dict[str, Any]] = None,
+              accept: Optional[str] = None) -> Dict[str, Any]:
+        """One logical request: send (retried), unwrap the envelope.
+
+        When tracing, the call runs under a ``client.<verb>`` span whose
+        context rides the ``X-Repro-Trace`` header, so the server's
+        ``rpc.*`` span (and the whole request tree behind it) shares the
+        client's trace id.
+        """
         body = protocol.dumps(envelope) if envelope is not None else b""
-        headers = ({"Content-Type": protocol.CONTENT_TYPE_JSON}
-                   if envelope is not None else {})
-        response = self.transport.send(method, path, body, headers)
-        return protocol.parse_response(response.json())
+        headers: Dict[str, str] = {}
+        if envelope is not None:
+            headers["Content-Type"] = protocol.CONTENT_TYPE_JSON
+        if accept is not None:
+            headers["Accept"] = accept
+        if self.tracer is None:
+            headers = inject_headers(headers)  # forward any ambient context
+            response = self.transport.send(method, path, body, headers)
+            return protocol.parse_response(response.json())
+        verb = path.rsplit("/", 1)[-1]
+        with self.tracer.span(f"client.{verb}",
+                              attributes={"method": method,
+                                          "path": path}) as span:
+            headers = inject_headers(headers, span.context)
+            response = self.transport.send(method, path, body, headers)
+            return protocol.parse_response(response.json())
 
     # -- requests ----------------------------------------------------------------
 
@@ -146,8 +173,17 @@ class NetClient:
         return self._call("GET", "/v1/healthz")
 
     def metrics(self) -> Dict[str, Any]:
-        """The server's metrics snapshot (net counters + serve/shard)."""
-        return self._call("GET", "/v1/metrics")
+        """The server's metrics snapshot (net counters + serve/shard).
+
+        Asks for the JSON envelope explicitly -- without the ``Accept``
+        header the endpoint answers in Prometheus text exposition.
+        """
+        return self._call("GET", "/v1/metrics",
+                          accept=protocol.CONTENT_TYPE_JSON)
+
+    def trace(self) -> Dict[str, Any]:
+        """The server's tracer snapshot and most recent spans."""
+        return self._call("GET", "/v1/trace")
 
     def stats(self) -> Dict[str, Any]:
         """Client-side transport counters (requests, retries, reconnects)."""

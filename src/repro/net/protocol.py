@@ -41,6 +41,13 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.span import (  # re-exported: the wire's trace-context field
+    TRACE_HEADER,
+    TraceContext,
+    format_trace_header,
+    parse_trace_header,
+)
+
 #: Envelope schema version; peers reject anything else with
 #: ``unsupported_version``.
 PROTOCOL_VERSION = 1

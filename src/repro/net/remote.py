@@ -49,6 +49,7 @@ from repro.net.transport import (
     Transport,
     TransportError,
 )
+from repro.obs import current_span, inject_headers, scoped_task
 from repro.serve.metrics import notify_all
 from repro.shard.engine import ShardedEngine
 from repro.shard.pipeline import ShardedCamPipeline
@@ -126,17 +127,20 @@ class RemoteShardTransport:
     def _call_json(self, method: str, path: str,
                    envelope: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
+        headers: Dict[str, str] = {}
+        if envelope is not None:
+            headers["Content-Type"] = protocol.CONTENT_TYPE_JSON
         body = protocol.dumps(envelope) if envelope is not None else b""
-        headers = ({"Content-Type": protocol.CONTENT_TYPE_JSON}
-                   if envelope is not None else {})
+        # Any ambient trace context (the serve plane's fan-out span)
+        # rides along, so remote shard spans join the request's trace.
+        headers = inject_headers(headers)
         response = self.transport.send(method, path, body, headers)
         return protocol.parse_response(response.json())
 
     def _call_frame(self, path: str, frame: bytes, kind: str
                     ) -> Tuple[np.ndarray, Dict[str, Any]]:
-        response = self.transport.send(
-            "POST", path, frame,
-            {"Content-Type": protocol.CONTENT_TYPE_FRAME})
+        headers = inject_headers({"Content-Type": protocol.CONTENT_TYPE_FRAME})
+        response = self.transport.send("POST", path, frame, headers)
         if response.content_type == protocol.CONTENT_TYPE_FRAME:
             return protocol.decode_array_frame(response.body, kind=kind)
         # Failures always arrive as JSON envelopes; this raises the typed
@@ -416,8 +420,10 @@ class RemoteCamCluster(ShardedCamPipeline):
                            (time.perf_counter() - started) * 1e3)
             return counts, energy, latency
 
+        ambient = current_span()
         results = plane.run_tasks(
-            [partial(_search_one, shard) for shard in range(plan.num_shards)])
+            [scoped_task(partial(_search_one, shard), ambient)
+             for shard in range(plan.num_shards)])
         global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
         plan.gather_columns([counts for counts, _, _ in results],
                             global_counts)
@@ -445,8 +451,10 @@ class RemoteCamCluster(ShardedCamPipeline):
                            (time.perf_counter() - started) * 1e3)
             return indices, raw, energy, latency
 
+        ambient = current_span()
         results = plane.run_tasks(
-            [partial(_topk_one, shard) for shard in range(plan.num_shards)])
+            [scoped_task(partial(_topk_one, shard), ambient)
+             for shard in range(plan.num_shards)])
         candidate_ids = np.concatenate(
             [indices for indices, _, _, _ in results], axis=1)
         candidate_raw = np.concatenate(

@@ -14,7 +14,10 @@ One server exposes one of two surfaces:
   - ``POST /v1/classify`` -- float64 sample batch in, logits out;
   - ``POST /v1/topk``     -- sample batch + ``k`` in, encoded top-k rows out;
   - ``GET  /v1/healthz``  -- liveness + engine name;
-  - ``GET  /v1/metrics``  -- the full ``ServeMetrics``/cache/engine snapshot.
+  - ``GET  /v1/metrics``  -- Prometheus text exposition of the full
+    ``ServeMetrics``/cache/engine snapshot (the JSON envelope survives
+    under ``Accept: application/json``);
+  - ``GET  /v1/trace``    -- tracer counters plus the most recent spans.
 
 * **shard plane** (``shard_rows=`` + ``word_bits=``) -- owns one
   :class:`~repro.cam.array.CamArray` plus the *global placement* the write
@@ -40,6 +43,7 @@ from __future__ import annotations
 import socket
 import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
@@ -49,6 +53,7 @@ from repro.cam.array import CamArray
 from repro.cam.topk import select_topk
 from repro.net import protocol
 from repro.net.transport import IDEMPOTENCY_HEADER
+from repro.obs import CONTENT_TYPE_PROMETHEUS, default_tracer, render_prometheus
 from repro.serve.batching import QueueFullError, ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.server import MicroBatchServer
@@ -135,7 +140,8 @@ class NetApp:
                  config: Optional[ServeConfig] = None,
                  cache: Any = None,
                  observers: Iterable[Any] = (),
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0,
+                 tracer: Any = None) -> None:
         surfaces = sum(argument is not None
                        for argument in (engine, server, shard_rows))
         if surfaces != 1:
@@ -146,12 +152,17 @@ class NetApp:
         if timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         self.timeout_s = float(timeout_s)
+        # rpc.* server spans; the owned micro-batch server gets the same
+        # tracer so request trees nest under the rpc span.  None falls
+        # back to the process default (repro.obs.configure).
+        self.tracer = tracer if tracer is not None else default_tracer()
         self._owns_server = engine is not None
         self.server: Optional[MicroBatchServer] = None
         self.shard: Optional[ShardState] = None
         if engine is not None:
             self.server = MicroBatchServer(engine, config=config, cache=cache,
-                                           observers=observers).start()
+                                           observers=observers,
+                                           tracer=self.tracer).start()
         elif server is not None:
             if not server.running:
                 raise RuntimeError("attached server is not running")
@@ -216,6 +227,7 @@ class NetApp:
         routes = {
             ("GET", "/v1/healthz"): self._healthz,
             ("GET", "/v1/metrics"): self._metrics,
+            ("GET", "/v1/trace"): self._trace,
         }
         if self.server is not None:
             routes[("POST", "/v1/classify")] = self._classify
@@ -239,8 +251,23 @@ class NetApp:
                 raise protocol.WireError(
                     "unsupported_media",
                     f"unsupported content type {content_type!r}")
-            return handler(content_type, body)
-        return handler()
+            return handler(content_type, body, headers)
+        return handler(headers)
+
+    def _rpc_span(self, name: str, headers: Mapping[str, str],
+                  **attributes: Any):
+        """A server-side rpc span parented under the wire's trace context.
+
+        Returns a context manager; with no tracer it is a no-op (an
+        incoming context still reaches the serve plane through ``submit``'s
+        ``trace=`` argument).
+        """
+        if self.tracer is None:
+            return nullcontext()
+        context = protocol.parse_trace_header(
+            headers.get(protocol.TRACE_HEADER.lower()))
+        return self.tracer.span(name, parent=context,
+                                attributes=attributes or None)
 
     def _ok_response(self, result: Mapping[str, Any]) -> Response:
         return (200, protocol.CONTENT_TYPE_JSON,
@@ -252,7 +279,7 @@ class NetApp:
 
     # -- shared routes -----------------------------------------------------------
 
-    def _healthz(self) -> Response:
+    def _healthz(self, headers: Mapping[str, str]) -> Response:
         if self.shard is not None:
             return self._ok_response({"status": "ok", "plane": "shard"})
         running = self.server is not None and self.server.running
@@ -263,62 +290,109 @@ class NetApp:
             "running": running,
         })
 
-    def _metrics(self) -> Response:
+    def _metrics_document(self) -> Dict[str, Any]:
         with self._lock:
             net = {"requests": self._requests, "replayed": self._replayed}
         if self.shard is not None:
-            return self._ok_response({"net": net, "shard": self.shard.info()})
-        return self._ok_response({"net": net, "serve": self.server.stats()})
+            document: Dict[str, Any] = {"net": net, "shard": self.shard.info()}
+        else:
+            document = {"net": net, "serve": self.server.stats()}
+        if self.tracer is not None and "obs" not in document.get("serve", {}):
+            document["obs"] = self.tracer.snapshot()
+        return document
+
+    def _metrics(self, headers: Mapping[str, str]) -> Response:
+        """Metrics snapshot: Prometheus text by default, JSON on Accept.
+
+        ``Accept: application/json`` keeps the original envelope (what
+        :meth:`NetClient.metrics` sends); anything else gets the
+        Prometheus text exposition of the same document.
+        """
+        accept = headers.get("accept", "")
+        if protocol.CONTENT_TYPE_JSON in accept:
+            return self._ok_response(self._metrics_document())
+        text = render_prometheus(self._metrics_document())
+        return 200, CONTENT_TYPE_PROMETHEUS, text.encode("utf-8")
+
+    def _trace(self, headers: Mapping[str, str]) -> Response:
+        """Tracer counters plus the most recent finished spans."""
+        if self.tracer is None:
+            return self._ok_response({"enabled": False, "spans": []})
+        return self._ok_response({
+            "enabled": True,
+            "obs": self.tracer.snapshot(),
+            "spans": self.tracer.recent(),
+        })
 
     # -- serve plane -------------------------------------------------------------
 
-    def _classify(self, content_type: str, body: bytes) -> Response:
+    def _classify(self, content_type: str, body: bytes,
+                  headers: Mapping[str, str]) -> Response:
         samples = protocol.decode_classify_request(
             protocol.parse_request(protocol.loads(body), "classify"))
-        if samples.shape[0] == 0:
-            output_dim = getattr(self.server.engine, "output_dim", 0)
-            logits = np.empty((0, output_dim), dtype=np.float64)
-        else:
-            futures = self.server.submit_many(samples,
-                                              timeout=self.timeout_s)
-            logits = np.stack([future.result(self.timeout_s)
-                               for future in futures])
+        context = protocol.parse_trace_header(
+            headers.get(protocol.TRACE_HEADER.lower()))
+        with self._rpc_span("rpc.classify", headers,
+                            batch=int(samples.shape[0])) as rpc:
+            trace = rpc if rpc is not None else context
+            if samples.shape[0] == 0:
+                output_dim = getattr(self.server.engine, "output_dim", 0)
+                logits = np.empty((0, output_dim), dtype=np.float64)
+            else:
+                futures = [self.server.submit(sample, timeout=self.timeout_s,
+                                              trace=trace)
+                           for sample in samples]
+                logits = np.stack([future.result(self.timeout_s)
+                                   for future in futures])
         return self._ok_response(protocol.encode_classify_response(logits))
 
-    def _topk(self, content_type: str, body: bytes) -> Response:
+    def _topk(self, content_type: str, body: bytes,
+              headers: Mapping[str, str]) -> Response:
         samples, k = protocol.decode_topk_request(
             protocol.parse_request(protocol.loads(body), "topk"))
-        if samples.shape[0] == 0:
-            rows = np.zeros((0, 0), dtype=np.float64)
-        else:
-            futures = [self.server.submit_topk(sample, k,
-                                               timeout=self.timeout_s)
-                       for sample in samples]
-            rows = np.stack([future.result(self.timeout_s)
-                             for future in futures])
+        context = protocol.parse_trace_header(
+            headers.get(protocol.TRACE_HEADER.lower()))
+        with self._rpc_span("rpc.topk", headers, batch=int(samples.shape[0]),
+                            k=int(k)) as rpc:
+            trace = rpc if rpc is not None else context
+            if samples.shape[0] == 0:
+                rows = np.zeros((0, 0), dtype=np.float64)
+            else:
+                futures = [self.server.submit_topk(sample, k,
+                                                   timeout=self.timeout_s,
+                                                   trace=trace)
+                           for sample in samples]
+                rows = np.stack([future.result(self.timeout_s)
+                                 for future in futures])
         return self._ok_response(protocol.encode_topk_response(rows))
 
     # -- shard plane -------------------------------------------------------------
 
-    def _shard_info(self) -> Response:
+    def _shard_info(self, headers: Mapping[str, str]) -> Response:
         return self._ok_response(self.shard.info())
 
-    def _shard_write(self, content_type: str, body: bytes) -> Response:
+    def _shard_write(self, content_type: str, body: bytes,
+                     headers: Mapping[str, str]) -> Response:
         bits, start_row, global_ids, id_bound = (
             protocol.decode_shard_write_request(
                 protocol.parse_request(protocol.loads(body), "shard_write")))
-        energy = self.shard.write(bits, start_row, global_ids, id_bound)
+        with self._rpc_span("rpc.shard_write", headers,
+                            rows=int(bits.shape[0])):
+            energy = self.shard.write(bits, start_row, global_ids, id_bound)
         return self._ok_response({"energy_pj": energy,
                                   "rows_written": int(bits.shape[0])})
 
-    def _shard_search(self, content_type: str, body: bytes) -> Response:
+    def _shard_search(self, content_type: str, body: bytes,
+                      headers: Mapping[str, str]) -> Response:
         if content_type == protocol.CONTENT_TYPE_FRAME:
             packed, _header = protocol.decode_array_frame(
                 body, kind="shard_search", dtype="uint64", ndim=2)
         else:
             packed = protocol.decode_shard_search_request(
                 protocol.parse_request(protocol.loads(body), "shard_search"))
-        counts, energy, latency = self.shard.search(packed)
+        with self._rpc_span("rpc.shard_search", headers,
+                            queries=int(packed.shape[0])):
+            counts, energy, latency = self.shard.search(packed)
         if content_type == protocol.CONTENT_TYPE_FRAME:
             frame = protocol.encode_array_frame(
                 "shard_counts", np.asarray(counts, dtype=np.int64),
@@ -328,7 +402,8 @@ class NetApp:
         return self._ok_response(protocol.encode_shard_search_response(
             counts, energy, latency))
 
-    def _shard_topk(self, content_type: str, body: bytes) -> Response:
+    def _shard_topk(self, content_type: str, body: bytes,
+                    headers: Mapping[str, str]) -> Response:
         if content_type == protocol.CONTENT_TYPE_FRAME:
             packed, header = protocol.decode_array_frame(
                 body, kind="shard_topk", dtype="uint64", ndim=2)
@@ -344,7 +419,9 @@ class NetApp:
         else:
             packed, k = protocol.decode_shard_topk_request(
                 protocol.parse_request(protocol.loads(body), "shard_topk"))
-        indices, raw, energy, latency = self.shard.topk(packed, k)
+        with self._rpc_span("rpc.shard_topk", headers,
+                            queries=int(packed.shape[0]), k=int(k)):
+            indices, raw, energy, latency = self.shard.topk(packed, k)
         if content_type == protocol.CONTENT_TYPE_FRAME:
             # Two aligned (n, k_eff) matrices travel as one stacked
             # (2, n, k_eff) array: ids first, raw counts second.
@@ -459,11 +536,12 @@ class NetServer:
                  cache: Any = None,
                  observers: Iterable[Any] = (),
                  timeout_s: float = 30.0,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 tracer: Any = None) -> None:
         self.app = NetApp(engine=engine, server=server,
                           shard_rows=shard_rows, word_bits=word_bits,
                           config=config, cache=cache, observers=observers,
-                          timeout_s=timeout_s)
+                          timeout_s=timeout_s, tracer=tracer)
         self.host = host
         self.port = int(port)
         self._httpd: Optional[_TrackingHTTPServer] = None

@@ -1,0 +1,92 @@
+"""repro.obs -- the distributed-trace observability pipeline.
+
+Per-request causality over the serve/shard/net/exec planes:
+
+* :mod:`repro.obs.span` -- monotonic-clock :class:`Span` objects with ids,
+  parent links and typed attributes; :class:`TraceContext` rides the
+  ``X-Repro-Trace`` header so remote planes stitch into one trace.
+* :mod:`repro.obs.tracer` -- the :class:`Tracer` (head sampling with
+  always-on error export, ambient per-thread context, counters) and the
+  process-default tracer entry points use to switch tracing on.
+* :mod:`repro.obs.export` -- the non-blocking export pipeline: bounded
+  ring buffer, background drain thread, drop counting, JSONL/in-memory
+  exporters.
+* :mod:`repro.obs.report` -- run-tree reconstruction (which micro-batch
+  did this request ride in?) and per-stage latency attribution.
+* :mod:`repro.obs.promtext` -- Prometheus-style text exposition of the
+  ``/v1/metrics`` snapshot.
+* :mod:`repro.obs.observer` -- the ServeObserver adapter turning
+  ``shard_search_completed`` events into ``shard_search`` spans.
+
+Tracing disabled costs ~zero: every instrumentation site guards on a
+``None`` tracer or a ``None`` ambient span before doing any work.
+"""
+
+from repro.obs.export import (
+    ExportPipeline,
+    InMemoryExporter,
+    JsonlExporter,
+    SpanExporter,
+)
+from repro.obs.observer import TracingObserver
+from repro.obs.promtext import CONTENT_TYPE_PROMETHEUS, render_prometheus
+from repro.obs.report import (
+    RunTree,
+    STAGES,
+    TreeNode,
+    build_run_trees,
+    load_spans,
+    render_stage_table,
+    render_tree,
+    stage_table,
+    verify_run_trees,
+)
+from repro.obs.span import (
+    Span,
+    TRACE_HEADER,
+    TraceContext,
+    format_trace_header,
+    new_id,
+    parse_trace_header,
+)
+from repro.obs.tracer import (
+    Tracer,
+    configure,
+    current_span,
+    default_tracer,
+    inject_headers,
+    scoped_task,
+    use_span,
+)
+
+__all__ = [
+    "CONTENT_TYPE_PROMETHEUS",
+    "ExportPipeline",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "RunTree",
+    "STAGES",
+    "Span",
+    "SpanExporter",
+    "TRACE_HEADER",
+    "TraceContext",
+    "Tracer",
+    "TracingObserver",
+    "TreeNode",
+    "build_run_trees",
+    "configure",
+    "current_span",
+    "default_tracer",
+    "format_trace_header",
+    "inject_headers",
+    "load_spans",
+    "new_id",
+    "parse_trace_header",
+    "render_prometheus",
+    "render_stage_table",
+    "render_tree",
+    "scoped_task",
+    "stage_table",
+    "use_span",
+    "verify_run_trees",
+]

@@ -1,0 +1,227 @@
+"""Non-blocking span export: bounded ring buffer + background drain thread.
+
+The hot path (a worker thread finishing a span) does exactly one thing:
+append the span to a bounded deque under a lock; serialisation to a dict
+happens later, on the drain thread.  When the buffer is full the span is
+*dropped and counted* -- the serving plane must never block on, or
+allocate unboundedly for, its own observability.  A daemon thread drains
+the buffer in batches and hands them to the exporters; exporter
+exceptions are swallowed and counted (a broken trace sink must never
+take down the drain thread, let alone a request).
+
+Two exporters ship with the pipeline:
+
+* :class:`InMemoryExporter` -- collects span dicts in a list; the test and
+  loadgen workhorse.
+* :class:`JsonlExporter` -- appends one JSON object per line to a file;
+  ``scripts/trace_report.py`` reconstructs run trees from it.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class SpanExporter(Protocol):
+    """Destination for finished spans (called from the drain thread only)."""
+
+    def export(self, spans: Sequence[Dict[str, Any]]) -> None:
+        """Persist a batch of span dicts."""
+        ...  # pragma: no cover -- protocol stub
+
+    def close(self) -> None:
+        """Release resources; no exports follow."""
+        ...  # pragma: no cover -- protocol stub
+
+
+class InMemoryExporter:
+    """Thread-safe in-memory sink; `spans()` returns a snapshot copy."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def export(self, spans: Sequence[Dict[str, Any]]) -> None:
+        with self._lock:
+            self._spans.extend(spans)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class JsonlExporter:
+    """Appends one JSON object per line to ``path`` (created on first export)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._file: Optional[Any] = None
+        self.lines_written = 0
+
+    def export(self, spans: Sequence[Dict[str, Any]]) -> None:
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            for span in spans:
+                self._file.write(json.dumps(span, separators=(",", ":"),
+                                            default=str))
+                self._file.write("\n")
+                self.lines_written += 1
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class ExportPipeline:
+    """Bounded buffer between span-producing threads and the exporters.
+
+    ``offer`` never blocks: a full buffer increments ``dropped`` and
+    returns ``False``.  The drain thread is spawned lazily on the first
+    offered span (constructing a tracer that never samples costs no
+    thread) and batches up to ``batch_size`` spans per exporter call.
+    """
+
+    def __init__(self, exporters: Sequence[SpanExporter] = (),
+                 capacity: int = 2048, batch_size: int = 64,
+                 flush_interval_s: float = 0.05) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.exporters = tuple(exporters)
+        self.capacity = int(capacity)
+        self.batch_size = int(batch_size)
+        self.flush_interval_s = float(flush_interval_s)
+        self._buffer: "collections.deque[Any]" = collections.deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._thread: Optional[threading.Thread] = None
+        self._stop = False
+        self._draining = False
+        # Counters (read via snapshot(); guarded by _lock).
+        self.offered = 0
+        self.exported = 0
+        self.dropped = 0
+        self.export_errors = 0
+
+    # -- producer side ----------------------------------------------------------
+
+    def offer(self, span: Any) -> bool:
+        """Enqueue one finished span; drop-and-count when the buffer is full.
+
+        Accepts a :class:`~repro.obs.span.Span` (serialised on the drain
+        thread, keeping the producer path cheap) or a pre-built dict.
+        There is deliberately no per-offer wake-up -- the drain thread
+        polls every ``flush_interval_s``, so the hot path pays one lock
+        acquisition and one deque append, nothing more.
+        """
+        with self._lock:
+            if self._stop:
+                self.dropped += 1
+                return False
+            self.offered += 1
+            if len(self._buffer) >= self.capacity:
+                self.dropped += 1
+                return False
+            self._buffer.append(span)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain_loop, daemon=True, name="repro-obs-export")
+                self._thread.start()
+        return True
+
+    # -- drain thread -----------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._buffer and not self._stop:
+                    self._wake.wait(timeout=self.flush_interval_s)
+                if self._stop and not self._buffer:
+                    return
+                batch = [self._buffer.popleft()
+                         for _ in range(min(self.batch_size, len(self._buffer)))]
+                self._draining = True
+            try:
+                self._export_batch(batch)
+            finally:
+                with self._lock:
+                    self._draining = False
+                    self._wake.notify_all()
+
+    def _export_batch(self, batch: List[Any]) -> None:
+        # Deferred serialisation: Span objects become dicts here, on the
+        # drain thread, off the request path.
+        spans = [item.to_dict() if hasattr(item, "to_dict") else item
+                 for item in batch]
+        for exporter in self.exporters:
+            try:
+                exporter.export(spans)
+            except Exception:  # noqa: BLE001 -- a broken sink must not kill the drain
+                with self._lock:
+                    self.export_errors += 1
+        with self._lock:
+            self.exported += len(batch)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def flush(self, timeout_s: float = 5.0) -> bool:
+        """Wait until every offered span has been handed to the exporters."""
+        limit = time.monotonic() + timeout_s
+        with self._lock:
+            self._wake.notify_all()
+            while self._buffer or self._draining:
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wake.wait(timeout=min(remaining, self.flush_interval_s))
+        return True
+
+    def shutdown(self, timeout_s: float = 5.0) -> bool:
+        """Flush, stop the drain thread, close the exporters."""
+        flushed = self.flush(timeout_s)
+        with self._lock:
+            self._stop = True
+            self._wake.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+        for exporter in self.exporters:
+            try:
+                exporter.close()
+            except Exception:  # noqa: BLE001
+                with self._lock:
+                    self.export_errors += 1
+        return flushed
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "exported": self.exported,
+                "dropped": self.dropped,
+                "export_errors": self.export_errors,
+                "buffer_depth": len(self._buffer),
+            }

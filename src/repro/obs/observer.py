@@ -1,0 +1,42 @@
+"""TracingObserver: turns ServeObserver events into spans.
+
+The shard cluster already announces every per-shard search through the
+observer seam (``shard_search_completed(shard, replica, queries,
+service_ms)``).  Rather than threading span handles through the engine
+protocol, this observer synthesises a ``shard_search`` span from each
+event, parented under the *ambient* span of the emitting thread (the
+``fanout`` span the pipeline establishes around its scatter).  With no
+ambient span -- tracing off, or an unrelated caller -- the event is
+ignored at the cost of one thread-local read.
+
+The span's start time is back-dated by the reported ``service_ms`` so the
+run tree shows the true shard service window even though the span object
+is created after the fact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.tracer import Tracer, current_span
+
+
+class TracingObserver:
+    """ServeObserver adapter feeding shard fan-out events into a tracer."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def shard_search_completed(self, shard: int, replica: int, queries: int,
+                               service_ms: float) -> None:
+        parent = current_span()
+        if parent is None:
+            return
+        now = time.monotonic_ns()
+        span = self.tracer.start_span(
+            "shard_search", parent=parent,
+            attributes={"shard": int(shard), "replica": int(replica),
+                        "queries": int(queries)},
+            start_ns=now - int(max(service_ms, 0.0) * 1e6))
+        span.end(now)

@@ -1,0 +1,90 @@
+"""Prometheus-style text exposition of nested stats dictionaries.
+
+Flattens the JSON snapshot the net servers already expose (``/v1/metrics``)
+into the Prometheus text format, one gauge per numeric leaf:
+
+* path segments join with ``_`` under a ``repro`` prefix
+  (``serve.latency_ms.p99`` -> ``repro_serve_latency_ms_p99``);
+* integer-keyed mappings (the batch-size histogram, per-shard tables)
+  become labels named after the mapping's own path segment
+  (``repro_serve_batches_size_histogram{size_histogram="64"} 3``,
+  ``repro_serve_shards_queries{shards="0"} 128``);
+* booleans render as ``1``/``0``; strings are skipped (they are not
+  measurements).
+
+The format is locked by a wire test -- treat the flattening rules above as
+a public contract.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(segment: str) -> str:
+    cleaned = _NAME_RE.sub("_", str(segment))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _int_like(key: Any) -> bool:
+    if isinstance(key, bool):
+        return False
+    if isinstance(key, int):
+        return True
+    return isinstance(key, str) and key.isdigit()
+
+
+def _flatten(value: Any, path: List[str], labels: List[Tuple[str, str]],
+             out: List[Tuple[str, Tuple[Tuple[str, str], ...], float]]) -> None:
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if _int_like(key):
+                # Integer keys are dimensions, not name parts: keep the
+                # metric name stable and carry the key as a label named
+                # after this mapping's path segment.
+                label_name = _sanitize(path[-1]) if path else "key"
+                _flatten(item, path, labels + [(label_name, str(key))], out)
+            else:
+                _flatten(item, path + [str(key)], labels, out)
+        return
+    if isinstance(value, bool):
+        out.append(("_".join(_sanitize(p) for p in path), tuple(labels),
+                    1.0 if value else 0.0))
+        return
+    if isinstance(value, (int, float)):
+        out.append(("_".join(_sanitize(p) for p in path), tuple(labels),
+                    float(value)))
+        return
+    # Strings / lists / None are not measurements.
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def render_prometheus(stats: Mapping[str, Any], prefix: str = "repro") -> str:
+    """Render a nested stats mapping as Prometheus text exposition."""
+    flat: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = []
+    _flatten(stats, [prefix] if prefix else [], [], flat)
+    by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], float]]] = {}
+    for name, labels, value in flat:
+        by_name.setdefault(name, []).append((labels, value))
+    lines: List[str] = []
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in sorted(by_name[name]):
+            if labels:
+                rendered = ",".join(f'{key}="{val}"' for key, val in labels)
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,227 @@
+"""Run-tree reconstruction and per-stage latency attribution.
+
+Finished spans (dicts, from an exporter or a JSONL file) are reassembled
+into one tree per request.  Two linking mechanisms cooperate:
+
+* ``parent_id`` links within one trace (``enqueue`` and ``reply`` under
+  their ``request`` root; ``prepare``/``cache_lookup``/``execute``/
+  ``cache_write`` under their ``batch``; ``fanout``/``gather``/
+  ``digitise``/``shard_search`` under ``execute``);
+* the ``batch.id`` attribute on a ``request`` root names the micro-batch
+  span the request rode in.  A batch serves many requests, so the batch
+  span is a root of its own and its subtree is *grafted* into every
+  member request's tree -- the run tree answers "which exact micro-batch
+  did this request ride in, and where did that batch spend its time".
+
+``verify_run_trees`` is the loadgen ``--trace`` self-check: every
+submitted request appears in exactly one tree and every tree names a
+batch whose recorded size matches the number of requests that claim it.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Stage names in lifecycle order (missing stages read as 0 ms).
+STAGES = ("enqueue", "batch", "prepare", "cache_lookup", "execute",
+          "fanout", "shard_search", "gather", "digitise", "cache_write",
+          "reply")
+
+
+@dataclass
+class TreeNode:
+    """One span plus its children, ordered by start time."""
+
+    span: Dict[str, Any]
+    children: List["TreeNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.span.get("name", "?"))
+
+    @property
+    def duration_ms(self) -> float:
+        return float(self.span.get("duration_ms", 0.0))
+
+
+@dataclass
+class RunTree:
+    """The reconstructed lifecycle of one request."""
+
+    root: TreeNode
+    batch: Optional[TreeNode] = None
+
+    @property
+    def trace_id(self) -> str:
+        return str(self.root.span.get("trace_id", ""))
+
+    @property
+    def batch_id(self) -> Optional[str]:
+        value = self.root.span.get("attributes", {}).get("batch.id")
+        return str(value) if value is not None else None
+
+    def stage_ms(self) -> Dict[str, float]:
+        """Per-stage latency attribution (same-name spans sum)."""
+        stages: Dict[str, float] = {name: 0.0 for name in STAGES}
+
+        def walk(node: TreeNode) -> None:
+            if node.name in stages:
+                stages[node.name] += node.duration_ms
+            for child in node.children:
+                walk(child)
+
+        walk(self.root)
+        if self.batch is not None:
+            walk(self.batch)
+        return stages
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Read span dicts from a JSONL export (blank lines skipped)."""
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def _index(spans: Iterable[Dict[str, Any]]):
+    by_id: Dict[str, Dict[str, Any]] = {}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        span_id = span.get("span_id")
+        if span_id is not None:
+            by_id[str(span_id)] = span
+        children.setdefault(span.get("parent_id"), []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda item: item.get("start_ns", 0))
+    return by_id, children
+
+
+def _subtree(span: Dict[str, Any],
+             children: Dict[Optional[str], List[Dict[str, Any]]]) -> TreeNode:
+    node = TreeNode(span)
+    for child in children.get(str(span.get("span_id")), []):
+        node.children.append(_subtree(child, children))
+    return node
+
+
+def build_run_trees(spans: Iterable[Dict[str, Any]]) -> List[RunTree]:
+    """One :class:`RunTree` per ``request`` root, batch subtrees grafted."""
+    spans = list(spans)
+    by_id, children = _index(spans)
+    trees: List[RunTree] = []
+    for span in spans:
+        # A request root may itself be parented (under an rpc.* server span
+        # when the request came over the wire) -- every "request" span
+        # anchors a tree of its own either way.
+        if span.get("name") != "request":
+            continue
+        root = _subtree(span, children)
+        batch_node: Optional[TreeNode] = None
+        batch_id = span.get("attributes", {}).get("batch.id")
+        if batch_id is not None and str(batch_id) in by_id:
+            batch_node = _subtree(by_id[str(batch_id)], children)
+        trees.append(RunTree(root=root, batch=batch_node))
+    trees.sort(key=lambda tree: tree.root.span.get("start_ns", 0))
+    return trees
+
+
+def verify_run_trees(trees: Sequence[RunTree],
+                     expected_requests: int) -> Tuple[bool, List[str]]:
+    """Every request in exactly one tree; batch membership consistent."""
+    problems: List[str] = []
+    seen_roots = [tree.root.span.get("span_id") for tree in trees]
+    if len(set(seen_roots)) != len(seen_roots):
+        problems.append("duplicate request roots across trees")
+    if len(trees) != expected_requests:
+        problems.append(
+            f"expected {expected_requests} run trees, reconstructed {len(trees)}")
+    membership: Dict[str, int] = {}
+    declared: Dict[str, int] = {}
+    for tree in trees:
+        if tree.batch_id is None:
+            problems.append(
+                f"request {tree.root.span.get('span_id')} has no batch.id")
+            continue
+        if tree.batch is None:
+            problems.append(
+                f"request {tree.root.span.get('span_id')} names batch "
+                f"{tree.batch_id} but no such batch span was exported")
+            continue
+        membership[tree.batch_id] = membership.get(tree.batch_id, 0) + 1
+        declared[tree.batch_id] = int(
+            tree.batch.span.get("attributes", {}).get("batch.size", -1))
+    for batch_id, count in membership.items():
+        if declared.get(batch_id) != count:
+            problems.append(
+                f"batch {batch_id} declares size {declared.get(batch_id)} "
+                f"but {count} request(s) rode in it")
+    return (not problems), problems
+
+
+def stage_table(trees: Sequence[RunTree]) -> Dict[str, Dict[str, float]]:
+    """Aggregate per-stage latency stats (mean/p50/max ms) across trees."""
+    samples: Dict[str, List[float]] = {name: [] for name in STAGES}
+    for tree in trees:
+        for name, value in tree.stage_ms().items():
+            samples[name].append(value)
+    table: Dict[str, Dict[str, float]] = {}
+    for name, values in samples.items():
+        if not values:
+            continue
+        table[name] = {
+            "mean_ms": sum(values) / len(values),
+            "p50_ms": statistics.median(values),
+            "max_ms": max(values),
+        }
+    return table
+
+
+def render_stage_table(table: Dict[str, Dict[str, float]]) -> str:
+    """ASCII per-stage attribution table in lifecycle order."""
+    lines = [f"{'stage':<14} {'mean ms':>10} {'p50 ms':>10} {'max ms':>10}"]
+    for name in STAGES:
+        stats = table.get(name)
+        if stats is None:
+            continue
+        lines.append(f"{name:<14} {stats['mean_ms']:>10.3f} "
+                     f"{stats['p50_ms']:>10.3f} {stats['max_ms']:>10.3f}")
+    return "\n".join(lines)
+
+
+def render_tree(tree: RunTree) -> str:
+    """ASCII rendering of one run tree (batch subtree grafted in place)."""
+    lines: List[str] = []
+
+    def describe(node: TreeNode) -> str:
+        attrs = node.span.get("attributes", {})
+        extras = ""
+        if attrs:
+            keys = sorted(attrs)[:4]
+            extras = " {" + ", ".join(f"{key}={attrs[key]}" for key in keys) + "}"
+        status = ""
+        if node.span.get("status") == "error":
+            status = f" ERROR({node.span.get('error')})"
+        return f"{node.name} [{node.duration_ms:.3f} ms]{extras}{status}"
+
+    def walk(node: TreeNode, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + describe(node))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for index, child in enumerate(node.children):
+            walk(child, child_prefix, index == len(node.children) - 1)
+
+    lines.append(f"trace {tree.trace_id}: {describe(tree.root)}")
+    children = list(tree.root.children)
+    for index, child in enumerate(children):
+        last = index == len(children) - 1 and tree.batch is None
+        walk(child, "", last)
+    if tree.batch is not None:
+        walk(tree.batch, "", True)
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Span primitives of the distributed-trace pipeline.
+
+A :class:`Span` is one timed operation: a name, a pair of monotonic-clock
+timestamps, typed attributes, and links (``trace_id`` shared by every span
+of one logical request, ``parent_id`` pointing at the enclosing span).
+Spans from the serve, shard and net planes assemble into per-request *run
+trees* (:mod:`repro.obs.report`).
+
+:class:`TraceContext` is the wire-portable slice of a span -- just the ids
+plus the sampling decision -- serialised into the ``X-Repro-Trace`` HTTP
+header as ``"1-<trace_id>-<span_id>-<01|00>"`` so a remote server can
+parent its spans under the caller's.  Parsing is total: a malformed header
+yields ``None``, never an exception, because trace propagation must never
+fail a request.
+
+Ids are cheap by design: a per-process random prefix plus a monotonically
+increasing counter (``uuid4`` costs microseconds per call, which is real
+money at hundreds of thousands of spans per second).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Version tag leading every serialised trace-context header value.
+TRACE_CONTEXT_VERSION = 1
+
+#: HTTP header (and envelope field) carrying the trace context on the wire.
+TRACE_HEADER = "X-Repro-Trace"
+
+# One random prefix per process keeps ids globally unique across the
+# processes of a net cluster while the counter keeps them unique (and
+# fast) within one.  ``next()`` on an itertools.count is atomic under the
+# GIL, so id generation needs no lock at all.
+_ID_PREFIX = os.urandom(4).hex()
+_ID_COUNTER = itertools.count(1)
+
+
+def new_id() -> str:
+    """A 16-hex-char process-unique id (8 random + 8 counter chars)."""
+    return f"{_ID_PREFIX}{next(_ID_COUNTER) & 0xFFFFFFFF:08x}"
+
+
+# Wall-clock anchor: one clock read pair at import, so every span derives
+# its wall time from the monotonic timestamp it already takes instead of
+# paying a second clock call.
+_WALL_OFFSET_NS = time.time_ns() - time.monotonic_ns()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The wire-portable identity of a span: ids plus the sampling bit."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_header(self) -> str:
+        """Serialise for the ``X-Repro-Trace`` header."""
+        flag = "01" if self.sampled else "00"
+        return f"{TRACE_CONTEXT_VERSION}-{self.trace_id}-{self.span_id}-{flag}"
+
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a header value; ``None`` on anything malformed."""
+        if not value or not isinstance(value, str):
+            return None
+        parts = value.strip().split("-")
+        if len(parts) != 4 or parts[0] != str(TRACE_CONTEXT_VERSION):
+            return None
+        _, trace_id, span_id, flag = parts
+        if not trace_id or not span_id or flag not in ("00", "01"):
+            return None
+        if not all(c in "0123456789abcdef" for c in trace_id + span_id):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id, sampled=flag == "01")
+
+
+def format_trace_header(context: "TraceContext | Span | None") -> Optional[str]:
+    """Header value for a context or span (``None`` passes through)."""
+    if context is None:
+        return None
+    if isinstance(context, TraceContext):
+        return context.to_header()
+    return context.context.to_header()
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[TraceContext]:
+    """Alias of :meth:`TraceContext.from_header` (import symmetry)."""
+    return TraceContext.from_header(value)
+
+
+class Span:
+    """One timed operation in a run tree.
+
+    Created by :meth:`repro.obs.tracer.Tracer.start_span`; finished exactly
+    once by :meth:`end` (idempotent -- a double ``end`` is a no-op), at
+    which point the tracer hands the serialised form to the export
+    pipeline.  Timestamps are ``time.monotonic_ns()`` so durations are
+    immune to wall-clock steps; ``wall_ns`` anchors the span in real time
+    for cross-process ordering.
+    """
+
+    __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_id",
+                 "sampled", "start_ns", "end_ns", "wall_ns", "attributes",
+                 "status", "error")
+
+    def __init__(self, tracer: Any, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str], sampled: bool,
+                 attributes: Optional[Dict[str, Any]] = None,
+                 start_ns: Optional[int] = None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+        self.start_ns = time.monotonic_ns() if start_ns is None else int(start_ns)
+        self.end_ns: Optional[int] = None
+        self.wall_ns = self.start_ns + _WALL_OFFSET_NS
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def context(self) -> TraceContext:
+        """The propagatable slice of this span."""
+        return TraceContext(self.trace_id, self.span_id, self.sampled)
+
+    @property
+    def ended(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Elapsed milliseconds (to *now* while the span is still open)."""
+        end = self.end_ns if self.end_ns is not None else time.monotonic_ns()
+        return (end - self.start_ns) / 1e6
+
+    # -- mutation ---------------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def record_error(self, error: "BaseException | str") -> "Span":
+        """Mark the span failed; error spans are exported even when unsampled."""
+        self.status = "error"
+        if isinstance(error, BaseException):
+            self.error = f"{type(error).__name__}: {error}"
+        else:
+            self.error = str(error)
+        return self
+
+    def end(self, end_ns: Optional[int] = None) -> "Span":
+        """Finish the span and hand it to the tracer (idempotent)."""
+        if self.end_ns is not None:
+            return self
+        self.end_ns = time.monotonic_ns() if end_ns is None else int(end_ns)
+        if self.tracer is not None:
+            self.tracer._on_span_end(self)
+        return self
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The exported JSON-able form (what run trees are built from)."""
+        end_ns = self.end_ns if self.end_ns is not None else self.start_ns
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": end_ns,
+            "wall_ns": self.wall_ns,
+            "duration_ms": (end_ns - self.start_ns) / 1e6,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        state = f"{self.duration_ms:.3f}ms" if self.ended else "open"
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id}, {state})")

@@ -1,0 +1,281 @@
+"""The tracer: span factory, head sampling, ambient context, snapshot.
+
+One :class:`Tracer` owns an :class:`~repro.obs.export.ExportPipeline` and
+mints :class:`~repro.obs.span.Span` objects.  The sampling decision is
+*head-based*: made once when a root span is created (``sample_rate``) and
+inherited by every descendant, so a run tree is exported whole or not at
+all.  Error spans override the decision -- a failed request is always
+worth keeping.
+
+Ambient context is a per-thread span stack (:meth:`Tracer.scope`,
+:func:`current_span`): the serve worker pushes its ``execute`` span before
+calling into the engine, and the shard pipeline / TracingObserver pick it
+up without any parameter threading through the engine protocol.  Fan-outs
+that hop threads re-establish the scope on the worker side via
+:func:`scoped_task`.
+
+A process-wide default tracer (:func:`configure` / :func:`default_tracer`)
+lets entry points (loadgen, net servers, examples) switch tracing on
+without plumbing a tracer through every constructor; everything also
+accepts an explicit ``tracer=``.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.export import ExportPipeline, SpanExporter
+from repro.obs.span import Span, TRACE_HEADER, TraceContext, new_id
+
+_ambient = threading.local()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost span entered on *this* thread, or ``None``."""
+    stack = getattr(_ambient, "stack", None)
+    return stack[-1] if stack else None
+
+
+def _push(span: Span) -> None:
+    stack = getattr(_ambient, "stack", None)
+    if stack is None:
+        stack = []
+        _ambient.stack = stack
+    stack.append(span)
+
+
+def _pop(span: Span) -> None:
+    stack = getattr(_ambient, "stack", None)
+    if stack and stack[-1] is span:
+        stack.pop()
+
+
+@contextmanager
+def use_span(span: Optional[Span]) -> Iterator[Optional[Span]]:
+    """Make ``span`` the ambient span for the duration (``None`` is a no-op)."""
+    if span is None:
+        yield None
+        return
+    _push(span)
+    try:
+        yield span
+    finally:
+        _pop(span)
+
+
+def scoped_task(fn: Callable[[], Any],
+                span: Optional[Span]) -> Callable[[], Any]:
+    """Wrap a fan-out task so it re-establishes ``span`` on its worker thread.
+
+    Thread pools break thread-local ambient context; shard fan-outs wrap
+    their task closures with this so ``shard_search_completed`` events
+    emitted from pool threads still find their parent.  With ``span=None``
+    the task is returned untouched (zero overhead when tracing is off).
+    """
+    if span is None:
+        return fn
+
+    def run() -> Any:
+        with use_span(span):
+            return fn()
+
+    return run
+
+
+def inject_headers(headers: Optional[Dict[str, str]] = None,
+                   context: "TraceContext | Span | None" = None,
+                   header: str = TRACE_HEADER) -> Dict[str, str]:
+    """Return ``headers`` with the trace header added when a context exists.
+
+    ``context=None`` falls back to the ambient span of the calling thread;
+    with neither, the headers pass through untouched.
+    """
+    if context is None:
+        context = current_span()
+    result = dict(headers) if headers else {}
+    if context is not None:
+        if isinstance(context, Span):
+            context = context.context
+        result[header] = context.to_header()
+    return result
+
+
+class Tracer:
+    """Span factory + export pipeline + counters.
+
+    Parameters
+    ----------
+    exporters:
+        Sinks for finished spans (e.g. :class:`InMemoryExporter`,
+        :class:`JsonlExporter`).  With none, spans still feed the
+        ``recent()`` ring and the counters -- the ``/v1/trace`` surface.
+    sample_rate:
+        Probability a *new root* is sampled (descendants inherit).  Error
+        spans are exported regardless.
+    capacity / batch_size / flush_interval_s:
+        Export-pipeline knobs (see :class:`ExportPipeline`).
+    recent_capacity:
+        Finished sampled spans kept in memory for ``recent()``.
+    seed:
+        Seeds the sampling RNG for reproducible sampling tests.
+    """
+
+    def __init__(self, exporters: Sequence[SpanExporter] = (),
+                 sample_rate: float = 1.0, capacity: int = 2048,
+                 batch_size: int = 64, flush_interval_s: float = 0.05,
+                 recent_capacity: int = 256,
+                 seed: Optional[int] = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.sample_rate = float(sample_rate)
+        self.pipeline = ExportPipeline(exporters, capacity=capacity,
+                                       batch_size=batch_size,
+                                       flush_interval_s=flush_interval_s)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._recent: "collections.deque[Span]" = collections.deque(
+            maxlen=max(1, int(recent_capacity)))
+        # Monitoring counters, deliberately unlocked: `+= 1` is a handful
+        # of GIL-serialised bytecodes, so concurrent span churn can at
+        # worst lose the odd increment -- acceptable for counters whose
+        # job is dashboards, and the hot path stays lock-free.
+        self.started = 0
+        self.ended = 0
+        self.errors = 0
+        self.sampled_out = 0
+
+    # -- span factory ------------------------------------------------------------
+
+    def _sample_root(self) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < self.sample_rate
+
+    def start_span(self, name: str,
+                   parent: "Span | TraceContext | None" = None,
+                   attributes: Optional[Dict[str, Any]] = None,
+                   sampled: Optional[bool] = None,
+                   start_ns: Optional[int] = None) -> Span:
+        """Create a span; a ``None`` parent starts a new trace (and samples)."""
+        span_id = new_id()
+        if parent is None:
+            # A root's span id doubles as the trace id -- one id generation
+            # per root instead of two, and trace ids stay unique.
+            trace_id = span_id
+            parent_id = None
+            decided = self._sample_root() if sampled is None else bool(sampled)
+            if not decided:
+                self.sampled_out += 1
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            decided = parent.sampled if sampled is None else bool(sampled)
+        self.started += 1
+        return Span(self, name, trace_id=trace_id, span_id=span_id,
+                    parent_id=parent_id, sampled=decided,
+                    attributes=attributes, start_ns=start_ns)
+
+    @contextmanager
+    def span(self, name: str, parent: "Span | TraceContext | None" = None,
+             attributes: Optional[Dict[str, Any]] = None,
+             ambient: bool = True) -> Iterator[Span]:
+        """Context-managed span: error-recorded on exception, always ended.
+
+        ``ambient=True`` (default) also makes it the current span of the
+        calling thread for the duration.
+        """
+        if parent is None and ambient:
+            parent = current_span()
+        item = self.start_span(name, parent=parent, attributes=attributes)
+        if ambient:
+            _push(item)
+        try:
+            yield item
+        except BaseException as error:
+            item.record_error(error)
+            raise
+        finally:
+            if ambient:
+                _pop(item)
+            item.end()
+
+    @contextmanager
+    def scope(self, span: Optional[Span]) -> Iterator[Optional[Span]]:
+        """Ambient-only scope for an externally managed span."""
+        with use_span(span) as current:
+            yield current
+
+    # -- span completion ---------------------------------------------------------
+
+    def _on_span_end(self, span: Span) -> None:
+        """Called by :meth:`Span.end` exactly once per span.
+
+        This is the hottest tracer path (once per finished span on the
+        serving threads), so it does the bare minimum: bump counters,
+        append the *span object* to the recent ring (``deque.append`` is
+        GIL-atomic) and offer it to the pipeline.  Serialisation to a
+        dict happens on the drain thread, never here.
+        """
+        self.ended += 1
+        if span.status == "error":
+            self.errors += 1
+        elif not span.sampled:
+            return  # head-sampled out; errors override
+        self._recent.append(span)
+        self.pipeline.offer(span)
+
+    # -- reporting / lifecycle ---------------------------------------------------
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The last finished (sampled) spans as dicts, oldest first."""
+        spans = list(self._recent)
+        if limit is not None:
+            spans = spans[-int(limit):]
+        return [span.to_dict() for span in spans]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counter snapshot (folded into ``MicroBatchServer.stats()``)."""
+        with self._lock:
+            counters = {
+                "spans_started": self.started,
+                "spans_ended": self.ended,
+                "spans_errored": self.errors,
+                "sampled_out": self.sampled_out,
+                "sample_rate": self.sample_rate,
+            }
+        counters.update(
+            {key if key.startswith("export_") else f"export_{key}": value
+             for key, value in self.pipeline.snapshot().items()})
+        return counters
+
+    def flush(self, timeout_s: float = 5.0) -> bool:
+        return self.pipeline.flush(timeout_s)
+
+    def shutdown(self, timeout_s: float = 5.0) -> bool:
+        return self.pipeline.shutdown(timeout_s)
+
+
+# -- process-wide default ---------------------------------------------------------
+
+_default_lock = threading.Lock()
+_default_tracer: Optional[Tracer] = None
+
+
+def configure(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or clear, with ``None``) the process-default tracer."""
+    global _default_tracer
+    with _default_lock:
+        _default_tracer = tracer
+    return tracer
+
+
+def default_tracer() -> Optional[Tracer]:
+    """The process-default tracer, or ``None`` when tracing is off."""
+    return _default_tracer

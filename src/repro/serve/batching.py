@@ -22,7 +22,7 @@ import queue
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -126,12 +126,16 @@ class ServeRequest:
 
     The ``future`` resolves to a read-only ``(output_dim,)`` logits row (or
     to the batch's exception); ``enqueued_at`` feeds the end-to-end latency
-    metric.
+    metric.  When the server traces (:mod:`repro.obs`), ``span`` is the
+    request's root span and ``enqueue_span`` the open queue-wait child --
+    both ``None`` on an untraced server so the dataclass stays cheap.
     """
 
     sample: np.ndarray
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    span: Any = None
+    enqueue_span: Any = None
 
 
 @dataclass

@@ -31,11 +31,13 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cam.topk import validate_k
+from repro.obs import TracingObserver, default_tracer
 from repro.serve.batching import (
     QueueFullError,
     ServeConfig,
@@ -66,12 +68,21 @@ class MicroBatchServer:
     observers:
         Extra :class:`~repro.serve.metrics.ServeObserver` instances; the
         built-in :class:`ServeMetrics` is always first.
+    tracer:
+        A :class:`repro.obs.Tracer` to emit per-request run trees into
+        (request/enqueue/batch/prepare/cache/execute/reply spans, plus a
+        :class:`~repro.obs.TracingObserver` so shard fan-out events become
+        ``shard_search`` spans).  ``None`` (default) falls back to the
+        process-default tracer (:func:`repro.obs.configure`); with neither,
+        tracing is off and every instrumentation site short-circuits on one
+        ``None`` check.
     """
 
     def __init__(self, engine: InferenceEngine,
                  config: Optional[ServeConfig] = None,
                  cache: "PackedSignatureCache | bool | None" = None,
-                 observers: Iterable[Any] = ()) -> None:
+                 observers: Iterable[Any] = (),
+                 tracer: Any = None) -> None:
         self.engine = engine
         self.config = config if config is not None else ServeConfig()
         if cache is None:
@@ -84,6 +95,9 @@ class MicroBatchServer:
         else:
             self.cache = cache
         self.metrics = ServeMetrics()
+        self._tracer = tracer if tracer is not None else default_tracer()
+        if self._tracer is not None:
+            observers = (*observers, TracingObserver(self._tracer))
         self._observers = (self.metrics, *observers)
         self._queue: "queue.Queue[ServeRequest]" = queue.Queue(
             maxsize=self.config.queue_depth)
@@ -183,23 +197,39 @@ class MicroBatchServer:
                 return
             if request is not None and request.future.set_running_or_notify_cancel():
                 request.future.set_exception(error)
+                self._end_request_spans(request, error)
             self._queue.task_done()
+
+    @staticmethod
+    def _end_request_spans(request: ServeRequest,
+                           error: "Exception | None" = None) -> None:
+        """Finish a request's open spans (error-marked when given)."""
+        for span in (request.enqueue_span, request.span):
+            if span is not None and not span.ended:
+                if error is not None:
+                    span.record_error(error)
+                span.end()
 
     # -- submission --------------------------------------------------------------
 
     def submit(self, sample: np.ndarray,
-               timeout: Optional[float] = None) -> "Future[np.ndarray]":
+               timeout: Optional[float] = None,
+               trace: Any = None) -> "Future[np.ndarray]":
         """Enqueue one sample; returns the future of its logits row.
 
         Backpressure follows ``config.full_policy``: ``"block"`` waits (up
         to ``timeout`` seconds, then raises :class:`QueueFullError`);
-        ``"reject"`` raises immediately when the queue is full.
+        ``"reject"`` raises immediately when the queue is full.  ``trace``
+        optionally parents the request's root span under an incoming
+        :class:`repro.obs.TraceContext` (the net plane passes the parsed
+        ``X-Repro-Trace`` header here).
         """
         return self._enqueue(ServeRequest(sample=self._validate_sample(sample)),
-                             timeout)
+                             timeout, trace=trace)
 
     def submit_topk(self, sample: np.ndarray, k: int,
-                    timeout: Optional[float] = None) -> "Future[np.ndarray]":
+                    timeout: Optional[float] = None,
+                    trace: Any = None) -> "Future[np.ndarray]":
         """Enqueue one top-k retrieval request; returns the future of its row.
 
         The future resolves to a read-only encoded ``(2 * k_eff,)`` row of
@@ -216,7 +246,7 @@ class MicroBatchServer:
                 f"support top-k retrieval (no execute_topk)")
         return self._enqueue(
             TopKRequest(sample=self._validate_sample(sample), k=validate_k(k)),
-            timeout)
+            timeout, trace=trace)
 
     def _validate_sample(self, sample: np.ndarray) -> np.ndarray:
         """Shared submit-time validation of one sample."""
@@ -231,17 +261,29 @@ class MicroBatchServer:
         return data
 
     def _enqueue(self, request: ServeRequest,
-                 timeout: Optional[float]) -> "Future[np.ndarray]":
+                 timeout: Optional[float],
+                 trace: Any = None) -> "Future[np.ndarray]":
         """Shared enqueue + backpressure tail of the submit paths."""
+        if self._tracer is not None:
+            k = getattr(request, "k", None)
+            request.span = self._tracer.start_span(
+                "request", parent=trace,
+                attributes={"kind": "classify" if k is None else "topk",
+                            **({} if k is None else {"k": int(k)})})
+            request.enqueue_span = self._tracer.start_span(
+                "enqueue", parent=request.span)
         block = self.config.full_policy == "block"
         try:
             self._queue.put(request, block=block, timeout=timeout)
         except queue.Full:
             notify_all(self._observers, "request_rejected", self._queue.qsize())
-            raise QueueFullError(
+            error = QueueFullError(
                 f"request queue is full (depth {self.config.queue_depth}, "
-                f"policy {self.config.full_policy!r})"
-            ) from None
+                f"policy {self.config.full_policy!r})")
+            if request.span is not None:
+                request.enqueue_span.record_error(error).end()
+                request.span.record_error(error).end()
+            raise error from None
         if not self._running and not self._workers:
             # stop() completed between the running guard and the put; no
             # worker will ever drain this request, so fail it rather than
@@ -290,12 +332,31 @@ class MicroBatchServer:
             if request.future.set_running_or_notify_cancel():
                 live.append(request)
             else:
+                self._end_request_spans(
+                    request, RuntimeError("cancelled before serving"))
                 self._queue.task_done()  # cancelled before a worker got to it
         if not live:
             return
         waited_ms = (collected_at - live[0].enqueued_at) * 1e3
         notify_all(self._observers, "batch_collected", len(live), waited_ms,
                    self._queue.qsize())
+        # The micro-batch gets one span of its own (a fresh trace -- many
+        # requests ride in it); each member request records the batch's id
+        # so the run tree can graft the batch subtree back in.  Sampling
+        # follows the members: the batch is kept if any rider is kept.
+        batch_span = None
+        if self._tracer is not None:
+            batch_span = self._tracer.start_span(
+                "batch",
+                sampled=any(request.span is not None and request.span.sampled
+                            for request in live),
+                attributes={"batch.size": len(live), "waited_ms": waited_ms})
+            for request in live:
+                if request.span is not None:
+                    request.span.set_attribute("batch.id", batch_span.span_id)
+                    request.span.set_attribute("batch.size", len(live))
+                if request.enqueue_span is not None:
+                    request.enqueue_span.end()
         # One coalesced engine call per request kind: classification
         # (k=None) plus one group per distinct top-k size.  A failure fails
         # only its own group; the other kinds in the batch still resolve.
@@ -306,21 +367,33 @@ class MicroBatchServer:
         total_hits = 0
         for k, group in groups.items():
             try:
-                results, hits = self._answer(group, k)
+                results, hits = self._answer(group, k, batch_span)
             except Exception as error:  # noqa: BLE001 -- fail the group, keep serving
                 for request in group:
                     request.future.set_exception(error)
+                    self._end_request_spans(request, error)
                     self._queue.task_done()
                 notify_all(self._observers, "batch_failed", len(group), error)
                 continue
             done_at = time.perf_counter()
             for request, row in zip(group, results):
-                request.future.set_result(row)
-                notify_all(self._observers, "request_completed",
-                           (done_at - request.enqueued_at) * 1e3)
+                if request.span is not None:
+                    reply = self._tracer.start_span("reply",
+                                                    parent=request.span)
+                    request.future.set_result(row)
+                    notify_all(self._observers, "request_completed",
+                               (done_at - request.enqueued_at) * 1e3)
+                    reply.end()
+                    request.span.end()
+                else:
+                    request.future.set_result(row)
+                    notify_all(self._observers, "request_completed",
+                               (done_at - request.enqueued_at) * 1e3)
                 self._queue.task_done()
             served += len(group)
             total_hits += hits
+        if batch_span is not None:
+            batch_span.end()
         # One batch_completed per *collected* micro-batch -- the batch
         # count / size histogram / service window keep meaning what they
         # measured before mixed-kind traffic existed.  Groups that failed
@@ -330,8 +403,15 @@ class MicroBatchServer:
                        served - total_hits,
                        (time.perf_counter() - collected_at) * 1e3)
 
-    def _answer(self, live: List[ServeRequest],
-                k: Optional[int] = None) -> tuple[List[np.ndarray], int]:
+    def _stage(self, parent: Any, name: str, **attributes: Any):
+        """A traced stage under ``parent``, or a no-op when tracing is off."""
+        if self._tracer is None or parent is None:
+            return nullcontext()
+        return self._tracer.span(name, parent=parent,
+                                 attributes=attributes or None)
+
+    def _answer(self, live: List[ServeRequest], k: Optional[int] = None,
+                batch_span: Any = None) -> tuple[List[np.ndarray], int]:
         """Prepare, consult the cache, execute the misses; returns (rows, hits).
 
         Misses sharing a cache key within one micro-batch (Zipf-popular
@@ -342,12 +422,13 @@ class MicroBatchServer:
         for different ``k`` coexist in one cache without aliasing.
         """
         samples = np.stack([request.sample for request in live])
-        if self._prepare_takes_want_keys:
-            prepared = self.engine.prepare(samples,
-                                           want_keys=self.cache is not None)
-        else:
-            prepared = self.engine.prepare(samples)
         count = len(live)
+        with self._stage(batch_span, "prepare", queries=count):
+            if self._prepare_takes_want_keys:
+                prepared = self.engine.prepare(samples,
+                                               want_keys=self.cache is not None)
+            else:
+                prepared = self.engine.prepare(samples)
         results: List[Optional[np.ndarray]] = [None] * count
         hits = 0
         keys = prepared.keys if self.cache is not None else None
@@ -355,11 +436,20 @@ class MicroBatchServer:
             suffix = b"topk" + int(k).to_bytes(8, "little")
             keys = tuple(key + suffix for key in keys)
         if keys is not None:
-            for index, key in enumerate(keys):
-                row = self.cache.get(key)
-                if row is not None:
-                    results[index] = row
-                    hits += 1
+            with self._stage(batch_span, "cache_lookup", queries=count) as look:
+                for index, key in enumerate(keys):
+                    row = self.cache.get(key)
+                    if row is not None:
+                        results[index] = row
+                        hits += 1
+                        if live[index].span is not None:
+                            live[index].span.set_attribute("cache.hit", True)
+                if look is not None:
+                    look.set_attribute("hits", hits)
+        if batch_span is not None:
+            for request in live:
+                if request.span is not None:
+                    request.span.attributes.setdefault("cache.hit", False)
         miss_indices = [index for index in range(count) if results[index] is None]
         if miss_indices:
             if keys is not None:
@@ -378,21 +468,31 @@ class MicroBatchServer:
                 miss_slots = list(range(len(miss_indices)))
             subset = (prepared if len(execute_indices) == count
                       else prepared.select(execute_indices))
-            if k is None:
-                logits = np.asarray(self.engine.execute(subset))
-            else:
-                logits = np.asarray(self.engine.execute_topk(subset, k))
+            # The execute stage is *ambient*: the sharded pipeline (and the
+            # TracingObserver fed by its shard_search events) attaches its
+            # fanout/gather/digitise spans under whatever span is current
+            # on this thread.
+            with self._stage(batch_span, "execute",
+                             queries=len(execute_indices),
+                             **({} if k is None else {"k": int(k)})):
+                if k is None:
+                    logits = np.asarray(self.engine.execute(subset))
+                else:
+                    logits = np.asarray(self.engine.execute_topk(subset, k))
             if logits.ndim != 2 or logits.shape[0] != len(execute_indices):
                 raise RuntimeError(
                     f"engine returned shape {logits.shape} for "
                     f"{len(execute_indices)} queries")
             rows: List[np.ndarray] = []
-            for position, index in enumerate(execute_indices):
+            for position in range(len(execute_indices)):
                 row = np.ascontiguousarray(logits[position])
                 row.flags.writeable = False
                 rows.append(row)
-                if keys is not None:
-                    self.cache.put(keys[index], row)
+            if keys is not None:
+                with self._stage(batch_span, "cache_write",
+                                 entries=len(execute_indices)):
+                    for position, index in enumerate(execute_indices):
+                        self.cache.put(keys[index], rows[position])
             for slot, index in zip(miss_slots, miss_indices):
                 results[index] = rows[slot]
         return results, hits  # type: ignore[return-value]
@@ -421,4 +521,6 @@ class MicroBatchServer:
         if callable(engine_stats):
             snapshot["engine"] = engine_stats()
         snapshot["engine_name"] = getattr(self.engine, "name", "unknown")
+        if self._tracer is not None:
+            snapshot["obs"] = self._tracer.snapshot()
         return snapshot

@@ -68,10 +68,14 @@ from __future__ import annotations
 import os
 import threading
 import time
+from contextlib import nullcontext
 from functools import partial
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.obs import current_span as _obs_current_span
+from repro.obs import scoped_task as _obs_scoped_task
 
 from repro.bitops import EXECUTOR_ENV, pack_bits, packed_hamming_matrix, words_for_bits
 from repro.exec import (
@@ -93,6 +97,21 @@ from repro.cam.topk import (
 from repro.serve.metrics import notify_all
 from repro.shard.plan import ShardPlan
 from repro.shard.router import ShardRouter
+
+
+def _traced_stage(name: str, **attributes: Any):
+    """A pipeline-stage span under the ambient trace, or a no-op.
+
+    The serving worker establishes an ambient ``execute`` span before
+    calling into the engine (:mod:`repro.obs`); the pipeline attaches its
+    ``fanout``/``gather``/``digitise`` stages under it without any tracer
+    parameter threading.  With no ambient span (tracing off) the cost is
+    one thread-local read per stage per batch.
+    """
+    parent = _obs_current_span()
+    if parent is None or parent.tracer is None:
+        return nullcontext()
+    return parent.tracer.span(name, attributes=attributes or None)
 
 #: A shard port: anything with ``write_rows(bits, start_row)`` and
 #: ``mismatch_counts_packed(packed) -> (counts, energy_pj, latency_cycles)``
@@ -580,16 +599,20 @@ class ShardedCamPipeline:
             packed_storage, populated = self._packed, self._populated
         selection = router.begin_search()
         try:
-            if fanout == "fused":
-                global_counts, energy, latency = self._search_fused(
-                    packed, handle if handle is not None else packed_storage,
-                    plan, ports, selection, plane)
-            elif shared:
-                global_counts, energy, latency = self._search_ports_shared(
-                    packed, plan, ports, locks, selection, plane, handle)
-            else:
-                global_counts, energy, latency = self._search_ports(
-                    packed, plan, ports, locks, plane, selection)
+            with _traced_stage("fanout", mode=fanout,
+                               shards=plan.num_shards, queries=num_queries,
+                               executor=getattr(plane, "name", "inline")):
+                if fanout == "fused":
+                    global_counts, energy, latency = self._search_fused(
+                        packed,
+                        handle if handle is not None else packed_storage,
+                        plan, ports, selection, plane)
+                elif shared:
+                    global_counts, energy, latency = self._search_ports_shared(
+                        packed, plan, ports, locks, selection, plane, handle)
+                else:
+                    global_counts, energy, latency = self._search_ports(
+                        packed, plan, ports, locks, plane, selection)
         finally:
             router.end_search(selection)
             if handle is not None:
@@ -597,7 +620,8 @@ class ShardedCamPipeline:
 
         distances = np.full((num_queries, self.rows), -1, dtype=np.int64)
         if populated.any():
-            flat_counts = global_counts[:, populated].reshape(-1)
+            with _traced_stage("gather", rows=int(self.rows)):
+                flat_counts = global_counts[:, populated].reshape(-1)
             # One global digitisation pass in global row order -- the same
             # flat stream a single array would sense, so a (seeded) noisy
             # amplifier consumes its noise identically.  Only a *noisy*
@@ -605,12 +629,13 @@ class ShardedCamPipeline:
             # default digitises lock-free so concurrent replica searches
             # never serialise on the O(batch x rows) pass.
             noisy = getattr(self.sense_amp, "timing_noise_sigma_ps", 0.0) > 0
-            if noisy:
-                with self._accounting_lock:
+            with _traced_stage("digitise", values=int(flat_counts.size)):
+                if noisy:
+                    with self._accounting_lock:
+                        sensed = self.sense_amp.estimate_distances(flat_counts)
+                else:
                     sensed = self.sense_amp.estimate_distances(flat_counts)
-            else:
-                sensed = self.sense_amp.estimate_distances(flat_counts)
-            distances[:, populated] = sensed.reshape(num_queries, -1)
+                distances[:, populated] = sensed.reshape(num_queries, -1)
         with self._accounting_lock:
             self._search_energy_pj += energy
             self._search_count += num_queries * plan.num_shards
@@ -667,43 +692,57 @@ class ShardedCamPipeline:
         noisy = getattr(self.sense_amp, "timing_noise_sigma_ps", 0.0) > 0
         selection = router.begin_search()
         try:
+            fanout_stage = partial(
+                _traced_stage, "fanout", mode=fanout, k=int(k),
+                shards=plan.num_shards, queries=num_queries,
+                executor=getattr(plane, "name", "inline"))
             if noisy:
                 # Full gather: digitise every populated row in global row
                 # order (the same flat stream search_batch_packed feeds the
                 # amplifier), then select over the sensed distances.
-                if fanout == "fused":
-                    counts, energy, latency = self._search_fused(
-                        packed, fused_storage, plan, ports, selection, plane)
-                elif shared:
-                    counts, energy, latency = self._search_ports_shared(
-                        packed, plan, ports, locks, selection, plane, handle)
-                else:
-                    counts, energy, latency = self._search_ports(
-                        packed, plan, ports, locks, plane, selection)
+                with fanout_stage():
+                    if fanout == "fused":
+                        counts, energy, latency = self._search_fused(
+                            packed, fused_storage, plan, ports, selection,
+                            plane)
+                    elif shared:
+                        counts, energy, latency = self._search_ports_shared(
+                            packed, plan, ports, locks, selection, plane,
+                            handle)
+                    else:
+                        counts, energy, latency = self._search_ports(
+                            packed, plan, ports, locks, plane, selection)
                 row_ids = np.nonzero(populated)[0].astype(np.int64)
-                with self._accounting_lock:
-                    sensed = self.sense_amp.estimate_distances(
-                        counts[:, populated].reshape(-1))
-                sensed = np.asarray(sensed, dtype=np.int64).reshape(
-                    num_queries, -1)
-                indices, distances = select_topk(sensed, row_ids, k_eff,
-                                                 self.rows)
+                with _traced_stage("digitise", values=int(
+                        num_queries * row_ids.size)):
+                    with self._accounting_lock:
+                        sensed = self.sense_amp.estimate_distances(
+                            counts[:, populated].reshape(-1))
+                    sensed = np.asarray(sensed, dtype=np.int64).reshape(
+                        num_queries, -1)
+                with _traced_stage("gather", values=int(
+                        num_queries * row_ids.size)):
+                    indices, distances = select_topk(sensed, row_ids, k_eff,
+                                                     self.rows)
                 gathered_per_query = int(row_ids.size)
             elif fanout == "fused":
-                indices, raw, energy, latency, gathered_per_query = (
-                    self._topk_fused(packed, fused_storage, populated,
-                                     plan, ports, selection, k, plane))
+                with fanout_stage():
+                    indices, raw, energy, latency, gathered_per_query = (
+                        self._topk_fused(packed, fused_storage, populated,
+                                         plan, ports, selection, k, plane))
                 distances = self._digitise_selected(raw)
             elif shared:
-                indices, raw, energy, latency, gathered_per_query = (
-                    self._topk_ports_shared(packed, populated, plan, ports,
-                                            locks, selection, plane, handle,
-                                            k))
+                with fanout_stage():
+                    indices, raw, energy, latency, gathered_per_query = (
+                        self._topk_ports_shared(packed, populated, plan,
+                                                ports, locks, selection,
+                                                plane, handle, k))
                 distances = self._digitise_selected(raw)
             else:
-                indices, raw, energy, latency, gathered_per_query = (
-                    self._topk_ports(packed, populated, plan, ports, locks,
-                                     plane, selection, k))
+                with fanout_stage():
+                    indices, raw, energy, latency, gathered_per_query = (
+                        self._topk_ports(packed, populated, plan, ports,
+                                         locks, plane, selection, k))
                 distances = self._digitise_selected(raw)
         finally:
             router.end_search(selection)
@@ -724,9 +763,10 @@ class ShardedCamPipeline:
 
     def _digitise_selected(self, raw: np.ndarray) -> np.ndarray:
         """Noise-free elementwise read-out of the merged survivors only."""
-        return np.asarray(
-            self.sense_amp.estimate_distances(raw.reshape(-1)),
-            dtype=np.int64).reshape(raw.shape)
+        with _traced_stage("digitise", values=int(raw.size)):
+            return np.asarray(
+                self.sense_amp.estimate_distances(raw.reshape(-1)),
+                dtype=np.int64).reshape(raw.shape)
 
     def _topk_fused(self, packed: np.ndarray,
                     packed_storage: Union[np.ndarray, StorageHandle],
@@ -800,8 +840,13 @@ class ShardedCamPipeline:
                            (time.perf_counter() - started) * 1e3)
             return local_indices, local_raw, energy, latency
 
+        # Pool threads don't inherit this thread's ambient trace scope;
+        # scoped_task re-establishes it so the shard_search_completed
+        # events the tasks emit still find their fanout parent.
+        ambient = _obs_current_span()
         results = plane.run_tasks(
-            [partial(_topk_one, shard) for shard in range(plan.num_shards)])
+            [_obs_scoped_task(partial(_topk_one, shard), ambient)
+             for shard in range(plan.num_shards)])
         return self._merge_topk_candidates(results, k)
 
     def _topk_ports_shared(self, packed: np.ndarray, populated: np.ndarray,
@@ -843,12 +888,14 @@ class ShardedCamPipeline:
             self, results: List[tuple], k: int,
     ) -> tuple[np.ndarray, np.ndarray, float, int, int]:
         """Merge per-shard ``(indices, raw, energy, latency)`` candidates."""
-        candidate_ids = np.concatenate(
-            [indices for indices, _, _, _ in results], axis=1)
-        candidate_raw = np.concatenate(
-            [raw for _, raw, _, _ in results], axis=1)
-        gathered_per_query = int(candidate_ids.shape[1])
-        indices, raw = select_topk(candidate_raw, candidate_ids, k, self.rows)
+        with _traced_stage("gather", shards=len(results)):
+            candidate_ids = np.concatenate(
+                [indices for indices, _, _, _ in results], axis=1)
+            candidate_raw = np.concatenate(
+                [raw for _, raw, _, _ in results], axis=1)
+            gathered_per_query = int(candidate_ids.shape[1])
+            indices, raw = select_topk(candidate_raw, candidate_ids, k,
+                                       self.rows)
         energy = float(sum(energy for _, _, energy, _ in results))
         latency = max(latency for _, _, _, latency in results)
         return indices, raw, energy, latency, gathered_per_query
@@ -907,8 +954,10 @@ class ShardedCamPipeline:
                            (time.perf_counter() - started) * 1e3)
             return counts, energy, latency
 
+        ambient = _obs_current_span()  # re-established on the pool threads
         results = plane.run_tasks(
-            [partial(_search_one, shard) for shard in range(plan.num_shards)])
+            [_obs_scoped_task(partial(_search_one, shard), ambient)
+             for shard in range(plan.num_shards)])
 
         global_counts = np.empty((num_queries, self.rows), dtype=np.int64)
         plan.gather_columns([counts for counts, _, _ in results], global_counts)

@@ -74,7 +74,8 @@ class TestServePlaneRoutes:
         assert result["plane"] == "serve" and result["status"] == "ok"
 
     def test_metrics_has_net_and_serve_sections(self, app):
-        result = unwrap(app.handle("GET", "/v1/metrics"))
+        result = unwrap(app.handle("GET", "/v1/metrics",
+                                   {"Accept": protocol.CONTENT_TYPE_JSON}))
         assert result["net"]["requests"] >= 1
         assert "latency_ms" in result["serve"]
 

@@ -1,0 +1,158 @@
+"""Export pipeline: non-blocking offers, drop counting, sink isolation.
+
+The contract under test: the hot path never blocks and never raises --
+a full buffer drops and counts, a broken exporter is swallowed and
+counted, and shutdown flushes whatever was accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import ExportPipeline, InMemoryExporter, JsonlExporter, Tracer
+
+
+def span_dict(index: int) -> dict:
+    return {"name": f"op{index}", "trace_id": "t", "span_id": f"s{index}",
+            "parent_id": None, "start_ns": index, "end_ns": index + 1,
+            "duration_ms": 0.0, "status": "ok", "error": None,
+            "attributes": {}}
+
+
+class BrokenExporter:
+    """Raises on every export; close raises too."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def export(self, spans) -> None:
+        self.calls += 1
+        raise RuntimeError("sink is down")
+
+    def close(self) -> None:
+        raise RuntimeError("close is down too")
+
+
+class BlockingExporter:
+    """Holds the drain thread until released, so the buffer can fill."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def export(self, spans) -> None:
+        self.entered.set()
+        self.release.wait(timeout=10.0)
+
+    def close(self) -> None:
+        pass
+
+
+class TestValidation:
+    def test_capacity_and_batch_size_positive(self):
+        with pytest.raises(ValueError):
+            ExportPipeline(capacity=0)
+        with pytest.raises(ValueError):
+            ExportPipeline(batch_size=0)
+
+
+class TestOfferAndFlush:
+    def test_everything_offered_reaches_the_exporter(self):
+        sink = InMemoryExporter()
+        pipeline = ExportPipeline([sink], capacity=64, batch_size=8)
+        for index in range(20):
+            assert pipeline.offer(span_dict(index))
+        assert pipeline.flush(timeout_s=5.0)
+        names = [span["name"] for span in sink.spans()]
+        assert names == [f"op{index}" for index in range(20)]
+        snapshot = pipeline.snapshot()
+        assert snapshot["offered"] == 20
+        assert snapshot["exported"] == 20
+        assert snapshot["dropped"] == 0
+        assert snapshot["buffer_depth"] == 0
+        assert pipeline.shutdown(timeout_s=5.0)
+
+    def test_span_objects_serialised_on_drain(self):
+        sink = InMemoryExporter()
+        pipeline = ExportPipeline([sink], capacity=64)
+        tracer = Tracer()
+        span = tracer.start_span("op")
+        span.end_ns = span.start_ns + 1  # end without a tracer callback
+        pipeline.offer(span)
+        assert pipeline.flush(timeout_s=5.0)
+        exported = sink.spans()
+        assert len(exported) == 1
+        assert isinstance(exported[0], dict)
+        assert exported[0]["name"] == "op"
+        pipeline.shutdown(timeout_s=5.0)
+
+    def test_overflow_drops_and_counts_exactly(self):
+        blocker = BlockingExporter()
+        pipeline = ExportPipeline([blocker], capacity=4, batch_size=1)
+        # First offer starts the drain thread, which parks in the sink.
+        assert pipeline.offer(span_dict(0))
+        assert blocker.entered.wait(timeout=5.0)
+        # The buffer (capacity 4) now fills; everything beyond drops.
+        accepted = sum(pipeline.offer(span_dict(index))
+                       for index in range(1, 11))
+        assert accepted == 4
+        assert pipeline.snapshot()["dropped"] == 6
+        assert pipeline.snapshot()["offered"] == 11
+        blocker.release.set()
+        assert pipeline.shutdown(timeout_s=5.0)
+
+    def test_offer_after_shutdown_drops(self):
+        pipeline = ExportPipeline([InMemoryExporter()], capacity=4)
+        assert pipeline.shutdown(timeout_s=5.0)
+        assert not pipeline.offer(span_dict(0))
+        assert pipeline.snapshot()["dropped"] == 1
+
+
+class TestSinkIsolation:
+    def test_raising_exporter_is_swallowed_and_counted(self):
+        broken = BrokenExporter()
+        healthy = InMemoryExporter()
+        pipeline = ExportPipeline([broken, healthy], capacity=64, batch_size=4)
+        for index in range(8):
+            pipeline.offer(span_dict(index))
+        assert pipeline.flush(timeout_s=5.0)
+        # The healthy sink got every span despite its broken neighbour.
+        assert len(healthy.spans()) == 8
+        assert broken.calls >= 1
+        snapshot = pipeline.snapshot()
+        assert snapshot["export_errors"] >= broken.calls
+        assert snapshot["exported"] == 8
+        # shutdown survives the exporter whose close() raises as well.
+        assert pipeline.shutdown(timeout_s=5.0)
+
+    def test_flush_timeout_reports_false(self):
+        blocker = BlockingExporter()
+        pipeline = ExportPipeline([blocker], capacity=8, batch_size=1)
+        pipeline.offer(span_dict(0))
+        pipeline.offer(span_dict(1))
+        assert blocker.entered.wait(timeout=5.0)
+        assert not pipeline.flush(timeout_s=0.05)
+        blocker.release.set()
+        assert pipeline.shutdown(timeout_s=5.0)
+
+
+class TestJsonlExporter:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        exporter = JsonlExporter(str(path))
+        exporter.export([span_dict(0), span_dict(1)])
+        exporter.export([span_dict(2)])
+        exporter.close()
+        assert exporter.lines_written == 3
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == [
+            "op0", "op1", "op2"]
+
+    def test_no_file_until_first_export(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        exporter = JsonlExporter(str(path))
+        exporter.close()
+        assert not path.exists()

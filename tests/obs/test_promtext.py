@@ -1,0 +1,57 @@
+"""Prometheus text exposition: the flattening rules are a wire contract."""
+
+from __future__ import annotations
+
+from repro.obs import CONTENT_TYPE_PROMETHEUS, render_prometheus
+
+
+class TestWireFormat:
+    def test_exact_document_is_locked(self):
+        stats = {
+            "net": {"requests": 7, "replayed": 0},
+            "serve": {
+                "latency_ms": {"p50": 1.5, "p99": 12.0},
+                "batches": {"size_histogram": {"1": 2, "64": 3}},
+                "cache": {"enabled": True},
+            },
+        }
+        assert render_prometheus(stats) == (
+            "# TYPE repro_net_replayed gauge\n"
+            "repro_net_replayed 0\n"
+            "# TYPE repro_net_requests gauge\n"
+            "repro_net_requests 7\n"
+            "# TYPE repro_serve_batches_size_histogram gauge\n"
+            'repro_serve_batches_size_histogram{size_histogram="1"} 2\n'
+            'repro_serve_batches_size_histogram{size_histogram="64"} 3\n'
+            "# TYPE repro_serve_cache_enabled gauge\n"
+            "repro_serve_cache_enabled 1\n"
+            "# TYPE repro_serve_latency_ms_p50 gauge\n"
+            "repro_serve_latency_ms_p50 1.5\n"
+            "# TYPE repro_serve_latency_ms_p99 gauge\n"
+            "repro_serve_latency_ms_p99 12\n"
+        )
+
+    def test_content_type_is_the_prometheus_text_type(self):
+        assert CONTENT_TYPE_PROMETHEUS == (
+            "text/plain; version=0.0.4; charset=utf-8")
+
+    def test_strings_and_lists_are_skipped(self):
+        text = render_prometheus({"engine_name": "demo", "tags": [1, 2],
+                                  "count": 3})
+        assert text == "# TYPE repro_count gauge\nrepro_count 3\n"
+
+    def test_integer_keys_become_labels(self):
+        text = render_prometheus({"shards": {0: {"queries": 5},
+                                             1: {"queries": 6}}})
+        assert text == (
+            "# TYPE repro_shards_queries gauge\n"
+            'repro_shards_queries{shards="0"} 5\n'
+            'repro_shards_queries{shards="1"} 6\n'
+        )
+
+    def test_name_sanitisation(self):
+        text = render_prometheus({"a-b": {"99th": 1}})
+        assert text == "# TYPE repro_a_b__99th gauge\nrepro_a_b__99th 1\n"
+
+    def test_empty_document(self):
+        assert render_prometheus({}) == ""

@@ -1,0 +1,173 @@
+"""Run-tree reconstruction, verification, and stage attribution.
+
+These tests drive :mod:`repro.obs.report` with hand-built span dicts, so
+the linking contract (parent_id within a trace, ``batch.id`` grafting
+across traces) is pinned independently of the serve plane emitting it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import report
+from repro.obs.report import (
+    STAGES,
+    build_run_trees,
+    load_spans,
+    render_stage_table,
+    render_tree,
+    stage_table,
+    verify_run_trees,
+)
+
+
+def span(name, trace, sid, parent=None, start=0, dur_ms=1.0, attrs=None,
+         status="ok", error=None):
+    return {"name": name, "trace_id": trace, "span_id": sid,
+            "parent_id": parent, "start_ns": start,
+            "end_ns": start + int(dur_ms * 1e6),
+            "duration_ms": dur_ms, "status": status, "error": error,
+            "attributes": attrs or {}}
+
+
+def lifecycle_spans(requests=2, batch_id="b1"):
+    """A micro-batch trace plus ``requests`` request traces riding in it."""
+    spans = [
+        span("batch", "tb", batch_id, start=100,
+             attrs={"batch.size": requests}),
+        span("prepare", "tb", "p1", parent=batch_id, start=110),
+        span("cache_lookup", "tb", "c1", parent=batch_id, start=120),
+        span("execute", "tb", "x1", parent=batch_id, start=130, dur_ms=5.0),
+        span("fanout", "tb", "f1", parent="x1", start=131, dur_ms=3.0),
+        span("shard_search", "tb", "ss1", parent="f1", start=132),
+        span("shard_search", "tb", "ss2", parent="f1", start=133),
+        span("gather", "tb", "g1", parent="x1", start=135),
+        span("digitise", "tb", "d1", parent="x1", start=136),
+        span("cache_write", "tb", "w1", parent=batch_id, start=140),
+    ]
+    for index in range(requests):
+        trace = f"tr{index}"
+        root = f"r{index}"
+        spans += [
+            span("request", trace, root, start=index,
+                 attrs={"batch.id": batch_id, "batch.size": requests}),
+            span("enqueue", trace, f"e{index}", parent=root, start=index + 1),
+            span("reply", trace, f"y{index}", parent=root, start=index + 2),
+        ]
+    return spans
+
+
+class TestBuildRunTrees:
+    def test_one_tree_per_request_in_submit_order(self):
+        trees = build_run_trees(lifecycle_spans(requests=3))
+        assert len(trees) == 3
+        assert [tree.root.span["span_id"] for tree in trees] == [
+            "r0", "r1", "r2"]
+
+    def test_batch_subtree_grafted(self):
+        (tree, _) = build_run_trees(lifecycle_spans(requests=2))
+        assert tree.batch_id == "b1"
+        assert tree.batch is not None
+        assert tree.batch.name == "batch"
+        grafted = {node.name for node in tree.batch.children}
+        assert grafted == {"prepare", "cache_lookup", "execute",
+                           "cache_write"}
+
+    def test_children_ordered_by_start(self):
+        (tree, _) = build_run_trees(lifecycle_spans(requests=2))
+        assert [child.name for child in tree.root.children] == [
+            "enqueue", "reply"]
+
+    def test_stage_attribution_covers_the_lifecycle(self):
+        (tree, _) = build_run_trees(lifecycle_spans())
+        stages = tree.stage_ms()
+        assert set(stages) == set(STAGES)
+        for name in STAGES:
+            assert stages[name] > 0.0, name
+        # Same-name spans sum: two shard searches of 1 ms each.
+        assert stages["shard_search"] == 2.0
+
+    def test_request_without_batch_has_no_graft(self):
+        trees = build_run_trees([span("request", "t", "r0")])
+        assert trees[0].batch is None
+        assert trees[0].batch_id is None
+
+
+class TestVerifyRunTrees:
+    def test_complete_set_verifies(self):
+        trees = build_run_trees(lifecycle_spans(requests=2))
+        ok, problems = verify_run_trees(trees, expected_requests=2)
+        assert ok, problems
+
+    def test_missing_request_detected(self):
+        trees = build_run_trees(lifecycle_spans(requests=2))
+        ok, problems = verify_run_trees(trees, expected_requests=3)
+        assert not ok
+        assert any("expected 3" in problem for problem in problems)
+
+    def test_batch_size_mismatch_detected(self):
+        spans = lifecycle_spans(requests=2)
+        for item in spans:
+            if item["name"] == "batch":
+                item["attributes"]["batch.size"] = 5
+        ok, problems = verify_run_trees(build_run_trees(spans),
+                                        expected_requests=2)
+        assert not ok
+        assert any("declares size 5" in problem for problem in problems)
+
+    def test_missing_batch_span_detected(self):
+        spans = [item for item in lifecycle_spans(requests=1)
+                 if item["span_id"] != "b1"]
+        ok, problems = verify_run_trees(build_run_trees(spans),
+                                        expected_requests=1)
+        assert not ok
+        assert any("no such batch span" in problem for problem in problems)
+
+    def test_request_without_batch_id_detected(self):
+        ok, problems = verify_run_trees(
+            build_run_trees([span("request", "t", "r0")]),
+            expected_requests=1)
+        assert not ok
+        assert any("no batch.id" in problem for problem in problems)
+
+
+class TestRendering:
+    def test_stage_table_stats_and_render(self):
+        trees = build_run_trees(lifecycle_spans(requests=4))
+        table = stage_table(trees)
+        assert table["shard_search"]["mean_ms"] == 2.0
+        assert table["shard_search"]["p50_ms"] == 2.0
+        assert table["shard_search"]["max_ms"] == 2.0
+        text = render_stage_table(table)
+        lines = text.splitlines()
+        assert lines[0].split() == ["stage", "mean", "ms", "p50", "ms",
+                                    "max", "ms"]
+        # Rows appear in lifecycle order.
+        names = [line.split()[0] for line in lines[1:]]
+        assert names == list(STAGES)
+
+    def test_render_tree_shows_graft_and_errors(self):
+        spans = lifecycle_spans(requests=1)
+        spans.append(span("reply", "tr0", "bad", parent="r0", start=50,
+                          status="error", error="TimeoutError: too slow"))
+        (tree,) = build_run_trees(spans)
+        text = render_tree(tree)
+        assert text.startswith("trace tr0: request")
+        assert "batch" in text
+        assert "shard_search" in text
+        assert "ERROR(TimeoutError: too slow)" in text
+
+
+class TestLoadSpans:
+    def test_jsonl_round_trip(self, tmp_path):
+        spans = lifecycle_spans(requests=2)
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for item in spans:
+                handle.write(json.dumps(item) + "\n")
+            handle.write("\n")  # blank lines are skipped
+        loaded = load_spans(str(path))
+        assert loaded == spans
+        ok, problems = report.verify_run_trees(
+            report.build_run_trees(loaded), expected_requests=2)
+        assert ok, problems
