@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke coverage bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke slo-smoke coverage bench bench-quick bench-paper
 
 # The fast correctness gate. `make coverage` is the slower companion gate
 # (the same tier-1 tests under a line tracer with an 85% floor on
 # src/repro/{cam,shard,serve,retrieval,net,exec,obs}); run it before
 # shipping changes to those packages.
-check: smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke
+check: smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke slo-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -50,6 +50,13 @@ net-smoke:
 # untraced run, and cost <5% throughput (median of paired runs).
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py
+
+# Metrics & SLO smoke: a tight SLO must breach and a loose one pass on
+# the same traffic; at 1% head sampling every slow request must still
+# export as a complete run tree through the tail sampler; the p99
+# histogram bucket's exemplar must reconstruct into a run tree.
+slo-smoke:
+	$(PYTHON) scripts/slo_smoke.py
 
 # Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json
 # (kernels, e2e, serving and shard-scaling suites).

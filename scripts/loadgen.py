@@ -63,6 +63,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs import (  # noqa: E402  (path bootstrap above)
     InMemoryExporter,
     JsonlExporter,
+    SloEngine,
+    SloSpec,
+    TailSampler,
     Tracer,
     report as obs_report,
 )
@@ -135,13 +138,18 @@ def build_engine(args: argparse.Namespace):
 
 def serve_queries(scenario: str, args: argparse.Namespace,
                   queries: np.ndarray, config: ServeConfig,
-                  tracer: Tracer | None = None) -> tuple[list, float, dict]:
-    """Serve one query stream; returns (responses, serving_s, stats)."""
+                  tracer: Tracer | None = None,
+                  slo_specs: tuple = ()) -> tuple[list, float, dict, dict | None]:
+    """Serve one query stream; returns (responses, serving_s, stats, slo)."""
     observers = (PrintObserver(every=args.verbose),) if args.verbose else ()
     engine = build_engine(args)
     server = MicroBatchServer(engine, config=config, observers=observers,
                               tracer=tracer)
     server.start()
+    # The SLO engine baselines at construction, so it must exist before
+    # traffic for its windows to cover the run.
+    slo_engine = (SloEngine(list(slo_specs), server.metrics.registry)
+                  if slo_specs else None)
     try:
         start = time.perf_counter()
         futures = []
@@ -156,6 +164,7 @@ def serve_queries(scenario: str, args: argparse.Namespace,
                 time.sleep(1.0 / args.rate)
         responses = [future.result(timeout=args.timeout_s) for future in futures]
         serving_s = time.perf_counter() - start
+        slo = slo_engine.evaluate() if slo_engine is not None else None
     finally:
         server.stop(drain=True)
         # Sharded engines hold an execution plane (worker pools, published
@@ -164,7 +173,7 @@ def serve_queries(scenario: str, args: argparse.Namespace,
         close = getattr(engine, "close", None)
         if callable(close):
             close()
-    return responses, serving_s, server.stats()
+    return responses, serving_s, server.stats(), slo
 
 
 def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
@@ -197,19 +206,27 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
     if scenario == "cache_busting" and cache_capacity > 0:
         # The contrast run: same adversarial stream, plain LRU admission.
         # (Pointless without a cache, so --no-cache skips it.)
-        _, _, lru_stats = serve_queries(
+        _, _, lru_stats, _ = serve_queries(
             scenario, args, queries,
             dataclasses.replace(config, cache_admission=1))
         lru_hit_rate = lru_stats["cache"]["hit_rate"]
-    tracer = exporter = None
-    if args.trace:
+    tracer = exporter = tail = tail_sink = None
+    if args.trace or args.tail_slow_ms is not None:
         exporter = InMemoryExporter()
         exporters: list = [exporter]
         if args.trace_out is not None:
             exporters.append(JsonlExporter(args.trace_out))
-        tracer = Tracer(exporters=exporters)
-    responses, serving_s, stats = serve_queries(scenario, args, queries,
-                                                config, tracer=tracer)
+        if args.tail_slow_ms is not None:
+            # The tail sampler sees every span regardless of head
+            # sampling, so slow traces export whole even at
+            # --sample-rate 0.01.
+            tail_sink = InMemoryExporter()
+            tail = TailSampler([tail_sink], keep_slow_ms=args.tail_slow_ms)
+        tracer = Tracer(exporters=exporters, sample_rate=args.sample_rate,
+                        tail_sampler=tail)
+    slo_specs = build_slo_specs(args)
+    responses, serving_s, stats, slo = serve_queries(
+        scenario, args, queries, config, tracer=tracer, slo_specs=slo_specs)
 
     report = {
         "scenario": scenario,
@@ -226,6 +243,8 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
             "admission_hit_rate": stats["cache"]["hit_rate"],
             "admission_threshold": cache_admission,
         }
+    if slo is not None:
+        report["slo"] = slo
     if args.verify:
         if scenario == "retrieval":
             report["verified"] = verify_topk_responses(args, queries, responses)
@@ -233,17 +252,49 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
             report["verified"] = verify_responses(args, queries, responses)
     if tracer is not None:
         tracer.shutdown()
-        trees = obs_report.build_run_trees(exporter.spans())
-        complete, problems = obs_report.verify_run_trees(
-            trees, expected_requests=int(args.requests))
-        report["trace"] = {
-            "run_trees": len(trees),
-            "complete": complete,
-            "problems": problems,
-            "stages": obs_report.stage_table(trees),
-            "obs": tracer.snapshot(),
-        }
+        if args.trace and args.sample_rate >= 1.0:
+            trees = obs_report.build_run_trees(exporter.spans())
+            complete, problems = obs_report.verify_run_trees(
+                trees, expected_requests=int(args.requests))
+            report["trace"] = {
+                "run_trees": len(trees),
+                "complete": complete,
+                "problems": problems,
+                "stages": obs_report.stage_table(trees),
+                "obs": tracer.snapshot(),
+            }
+        elif args.trace:
+            # Head-sampled runs cannot expect every request in the sink.
+            trees = obs_report.build_run_trees(exporter.spans())
+            report["trace"] = {
+                "run_trees": len(trees),
+                "complete": True,
+                "problems": [],
+                "stages": obs_report.stage_table(trees),
+                "obs": tracer.snapshot(),
+            }
+        if tail is not None:
+            tail_trees = obs_report.build_run_trees(tail_sink.spans())
+            report["tail"] = {
+                "run_trees": len(tail_trees),
+                "kept_request_traces": sum(
+                    1 for tree in tail_trees
+                    if tree.root.name == "request"),
+                **{key: value for key, value in tail.snapshot().items()
+                   if not key.startswith("export_")},
+            }
     return report
+
+
+def build_slo_specs(args: argparse.Namespace) -> tuple:
+    """SloSpecs from the --slo-* flags ([] when none are set)."""
+    if (args.slo_p99_ms is None and args.slo_error_rate_max is None
+            and args.slo_hit_rate_min is None):
+        return ()
+    return (SloSpec(name="loadgen",
+                    latency_p99_ms=args.slo_p99_ms,
+                    error_rate_max=args.slo_error_rate_max,
+                    hit_rate_min=args.slo_hit_rate_min),)
 
 
 def verify_topk_responses(args: argparse.Namespace, queries: np.ndarray,
@@ -345,6 +396,23 @@ def print_report(report: dict) -> None:
             print(f"[loadgen]     problem: {problem}")
         for line in obs_report.render_stage_table(trace["stages"]).splitlines():
             print(f"[loadgen]   {line}")
+    if "tail" in report:
+        tail = report["tail"]
+        print(f"[loadgen]   tail: kept {tail['kept_traces']} traces "
+              f"({tail['kept_slow']} slow, {tail['kept_error']} error, "
+              f"{tail['kept_link']} linked) of {tail['roots_seen']} roots; "
+              f"{tail['kept_request_traces']} slow request trees exported "
+              f"whole")
+    if "slo" in report:
+        slo = report["slo"]
+        print(f"[loadgen]   slo: {slo['status']}")
+        for spec in slo["specs"]:
+            for objective in spec["objectives"]:
+                short = objective["windows"]["short"]
+                print(f"[loadgen]     {spec['name']}/"
+                      f"{objective['objective']}: {objective['status']} "
+                      f"(burn {short['burn']:.2f}, "
+                      f"bad {short['bad']:.0f}/{short['total']:.0f})")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -409,6 +477,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", type=Path, default=None,
                         help="also export the spans to this JSONL file "
                              "(read it back with scripts/trace_report.py)")
+    parser.add_argument("--sample-rate", type=float, default=1.0,
+                        help="head-sampling rate for --trace (1.0 = every "
+                             "request; tail-kept traces export regardless)")
+    parser.add_argument("--tail-slow-ms", type=float, default=None,
+                        help="attach a tail sampler keeping whole traces "
+                             "whose request root is at least this slow "
+                             "(works even when head-sampled out)")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        help="evaluate a p99 latency SLO against the run")
+    parser.add_argument("--slo-error-rate-max", type=float, default=None,
+                        help="evaluate an error-rate SLO against the run")
+    parser.add_argument("--slo-hit-rate-min", type=float, default=None,
+                        help="evaluate a cache-hit-rate SLO against the run")
     parser.add_argument("--verbose", type=int, default=0, metavar="N",
                         help="print every N-th batch (0 = silent)")
     parser.add_argument("--json", type=Path, default=None,

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Metrics & SLO smoke gate: burn-rate verdicts, tail capture, exemplars.
+
+Three properties of the metrics plane, checked end to end on a seeded
+serving run (``make slo-smoke``):
+
+1. **SLO verdicts** -- a deliberately tight spec (sub-microsecond p99
+   ceiling) must report ``breach`` and a loose one (1000 s ceiling, 99%
+   error budget) must report ``ok`` over the same traffic; the burn-rate
+   math may not be trivially always-hot or always-cold.
+2. **Tail capture at 1% head sampling** -- with ``sample_rate=0.01`` the
+   head exporter sees almost nothing, but every request slower than the
+   calibrated threshold must still export as a *complete* run tree
+   through the tail sampler -- including traces the head sampler dropped.
+3. **Exemplars resolve** -- the trace id riding the p99 histogram bucket
+   must reconstruct into a run tree via :mod:`repro.obs.report`.
+
+The slow threshold is calibrated from a first fully-traced run (the
+median request latency), so the gate adapts to the machine instead of
+hard-coding milliseconds.
+
+Usage::
+
+    PYTHONPATH=src python scripts/slo_smoke.py            # make slo-smoke
+    PYTHONPATH=src python scripts/slo_smoke.py --requests 400
+
+Exit status is nonzero on any failed property.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import (  # noqa: E402  (path bootstrap above)
+    InMemoryExporter,
+    SloEngine,
+    SloSpec,
+    TailSampler,
+    Tracer,
+    report,
+)
+from repro.serve import (  # noqa: E402
+    MicroBatchServer,
+    ServeConfig,
+    build_demo_engine,
+)
+
+#: Stages every tail-kept request tree must attribute time to.
+REQUIRED_STAGES = ("enqueue", "batch", "prepare", "execute", "reply")
+
+#: The verdict pair of property 1: same traffic, opposite ceilings.
+SLO_SPECS = (
+    (SloSpec(name="tight", latency_p99_ms=1e-6), "breach"),
+    (SloSpec(name="loose", latency_p99_ms=1e6, error_rate_max=0.99), "ok"),
+)
+
+
+def serve_run(args: argparse.Namespace, sample_rate: float,
+              tail: TailSampler | None, slo_specs=()):
+    """One seeded serving run.
+
+    Returns ``(metrics, head_sink, verdicts)`` where ``verdicts`` maps
+    each spec name to its post-run status.  The SLO engines are
+    constructed *before* traffic (on the server's live registry), so
+    their construction-time baseline makes the whole run the evaluation
+    window.
+    """
+    engine = build_demo_engine(classes=args.classes,
+                               input_dim=args.input_dim,
+                               hash_length=args.hash_length, seed=args.seed)
+    head_sink = InMemoryExporter()
+    tracer = Tracer(exporters=[head_sink], sample_rate=sample_rate,
+                    tail_sampler=tail, flush_interval_s=0.01)
+    config = ServeConfig(max_batch=args.max_batch, max_wait_ms=1.0,
+                         cache_capacity=args.requests)
+    rng = np.random.default_rng(args.seed)
+    queries = rng.standard_normal((args.requests, args.input_dim))
+    server = MicroBatchServer(engine, config=config, tracer=tracer).start()
+    engines = {spec.name: SloEngine([spec], server.metrics.registry)
+               for spec in slo_specs}
+    try:
+        futures = [server.submit(query) for query in queries]
+        for future in futures:
+            future.result(timeout=args.timeout_s)
+        verdicts = {name: engine.evaluate()["status"]
+                    for name, engine in engines.items()}
+        metrics = server.metrics
+    finally:
+        server.stop(drain=True)
+        tracer.shutdown()
+    return metrics, head_sink, verdicts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--classes", type=int, default=256)
+    parser.add_argument("--input-dim", type=int, default=64)
+    parser.add_argument("--hash-length", type=int, default=512)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--sample-rate", type=float, default=0.01)
+    parser.add_argument("--timeout-s", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    # -- calibration run: fully traced, no tail; yields the slow
+    # threshold, the SLO verdicts, and the exemplar property on a
+    # complete span set.
+    metrics, head_sink, verdicts = serve_run(
+        args, sample_rate=1.0, tail=None,
+        slo_specs=[spec for spec, _ in SLO_SPECS])
+    latency = metrics.registry.get("serve_request_latency_ms")
+    threshold_ms = latency.percentile(50.0)
+    print(f"[slo-smoke] calibrated keep-slow threshold: p50 = "
+          f"{threshold_ms:.3f} ms over {latency.count} requests")
+
+    # Property 1: tight breaches, loose passes.
+    for spec, expected in SLO_SPECS:
+        status = verdicts[spec.name]
+        if status != expected:
+            failures.append(f"{spec.name} SLO reported {status!r}, "
+                            f"expected {expected!r}")
+        else:
+            print(f"[slo-smoke] {spec.name} spec "
+                  f"(p99 <= {spec.latency_p99_ms:g} ms): "
+                  f"{status} as expected")
+
+    # Property 3: the p99 bucket exemplar names a reconstructable trace.
+    _, exemplar = latency.percentile_bucket(99.0)
+    if exemplar is None:
+        failures.append("p99 bucket carries no exemplar on a traced run")
+    else:
+        trees = [tree for tree in report.build_run_trees(head_sink.spans())
+                 if tree.root.span["trace_id"] == exemplar.trace_id]
+        if len(trees) == 1 and trees[0].root.name == "request":
+            print(f"[slo-smoke] p99 exemplar trace {exemplar.trace_id} "
+                  f"({exemplar.value:.3f} ms) reconstructs into a run tree")
+        else:
+            failures.append(
+                f"p99 exemplar trace {exemplar.trace_id} did not "
+                f"reconstruct into exactly one request tree "
+                f"({len(trees)} matched)")
+
+    # -- the real run: 1% head sampling plus the calibrated tail sampler.
+    tail_sink = InMemoryExporter()
+    tail = TailSampler([tail_sink], keep_slow_ms=threshold_ms,
+                       flush_interval_s=0.01)
+    metrics, head_sink, _ = serve_run(args, args.sample_rate, tail)
+    tail_snap = tail.snapshot()
+    head_traces = {span["trace_id"] for span in head_sink.spans()}
+    tail_trees = report.build_run_trees(tail_sink.spans())
+    request_trees = [tree for tree in tail_trees
+                     if tree.root.name == "request"]
+    print(f"[slo-smoke] head sampling {args.sample_rate:.0%}: "
+          f"{len(head_traces)} head traces; tail kept "
+          f"{tail_snap['kept_traces']} traces "
+          f"({tail_snap['kept_slow']} slow) of "
+          f"{tail_snap['roots_seen']} roots")
+
+    # Property 2a: every slow request exported as a complete run tree.
+    if tail_snap["kept_slow"] == 0:
+        failures.append("tail sampler kept no slow traces at the "
+                        "calibrated p50 threshold")
+    if len(request_trees) != tail_snap["kept_slow"]:
+        failures.append(
+            f"{tail_snap['kept_slow']} slow roots kept but "
+            f"{len(request_trees)} request trees reconstructed")
+    incomplete = 0
+    for tree in request_trees:
+        stages = tree.stage_ms()
+        if any(stages[name] <= 0.0 for name in REQUIRED_STAGES):
+            incomplete += 1
+    if incomplete:
+        failures.append(f"{incomplete} tail-kept request trees are missing "
+                        f"lifecycle stages")
+    elif request_trees:
+        print(f"[slo-smoke] all {len(request_trees)} tail-kept request "
+              f"trees carry the full lifecycle")
+
+    # Property 2b: the tail keeps traces the head sampler dropped.
+    tail_only = {tree.root.span["trace_id"] for tree in request_trees} \
+        - head_traces
+    if not tail_only:
+        failures.append("every tail-kept trace was also head-sampled -- "
+                        "tail capture proved nothing beyond head sampling")
+    else:
+        print(f"[slo-smoke] {len(tail_only)} slow traces exported by the "
+              f"tail only (head-sampled out)")
+
+    for failure in failures:
+        print(f"[slo-smoke] FAIL: {failure}")
+    print(f"[slo-smoke] {'FAILED' if failures else 'OK'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.obs import (  # noqa: E402  (path bootstrap above)
     InMemoryExporter,
+    TailSampler,
     Tracer,
     report,
 )
@@ -72,7 +73,14 @@ def serve_once(args: argparse.Namespace,
         hash_length=args.hash_length, seed=args.seed,
         num_shards=args.shards)
     exporter = InMemoryExporter() if traced else None
-    tracer = Tracer(exporters=[exporter]) if traced else None
+    tracer = None
+    if traced:
+        # The traced arm carries the full metrics plane: every span also
+        # flows through a tail sampler with a live rolling-quantile
+        # policy, so the <5% overhead gate covers tail buffering too
+        # (the serve metrics instruments are always on in both arms).
+        tail = TailSampler([InMemoryExporter()], keep_slow_quantile=0.99)
+        tracer = Tracer(exporters=[exporter], tail_sampler=tail)
     config = ServeConfig(max_batch=args.max_batch, max_wait_ms=2.0,
                          cache_capacity=args.requests)
     server = MicroBatchServer(engine, config=config, tracer=tracer).start()

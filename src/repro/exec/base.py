@@ -39,6 +39,9 @@ import numpy as np
 # Canonically defined in the leaf kernel module so it can consult the
 # plane without an import cycle; re-exported here as the public home.
 from repro.bitops import EXECUTOR_ENV
+# The leaf metrics module (not the repro.obs package) keeps the exec
+# plane import-light and cycle-free.
+from repro.obs.metrics import default_registry as _default_metrics_registry
 
 #: The pluggable engines, in cost order.
 EXECUTOR_NAMES: Tuple[str, ...] = ("inline", "threads", "processes")
@@ -313,6 +316,15 @@ class FallbackExecutor(Executor):
             with self._lock:
                 self._crashes += 1
                 self._fallback_batches += 1
+            registry = _default_metrics_registry()
+            registry.counter(
+                "exec_worker_crashes",
+                "Worker-pool crashes contained by the fallback engine",
+                labels={"engine": self.name}).inc()
+            registry.counter(
+                "exec_fallback_batches",
+                "Batches replayed on the fallback engine",
+                labels={"engine": self.name}).inc()
             return attempt(self.fallback)
 
     def publish(self, packed: np.ndarray) -> StorageHandle:

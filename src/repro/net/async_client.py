@@ -106,6 +106,10 @@ class AsyncNetClient:
         """The server's metrics snapshot."""
         return await self._run(self._sync.metrics)
 
+    async def slo(self) -> Dict[str, Any]:
+        """The server's burn-rate SLO verdicts."""
+        return await self._run(self._sync.slo)
+
     def stats(self) -> Dict[str, Any]:
         """Client-side transport counters (no I/O, stays sync)."""
         return self._sync.stats()

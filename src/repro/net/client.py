@@ -185,6 +185,10 @@ class NetClient:
         """The server's tracer snapshot and most recent spans."""
         return self._call("GET", "/v1/trace")
 
+    def slo(self) -> Dict[str, Any]:
+        """The server's burn-rate SLO verdicts (``enabled: false`` if none)."""
+        return self._call("GET", "/v1/slo")
+
     def stats(self) -> Dict[str, Any]:
         """Client-side transport counters (requests, retries, reconnects)."""
         return self.transport.stats()

@@ -53,7 +53,14 @@ from repro.cam.array import CamArray
 from repro.cam.topk import select_topk
 from repro.net import protocol
 from repro.net.transport import IDEMPOTENCY_HEADER
-from repro.obs import CONTENT_TYPE_PROMETHEUS, default_tracer, render_prometheus
+from repro.obs import (
+    CONTENT_TYPE_PROMETHEUS,
+    SloEngine,
+    default_registry,
+    default_tracer,
+    render_openmetrics,
+    render_prometheus,
+)
 from repro.serve.batching import QueueFullError, ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.server import MicroBatchServer
@@ -141,7 +148,8 @@ class NetApp:
                  cache: Any = None,
                  observers: Iterable[Any] = (),
                  timeout_s: float = 30.0,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None,
+                 slo_specs: Iterable[Any] = ()) -> None:
         surfaces = sum(argument is not None
                        for argument in (engine, server, shard_rows))
         if surfaces != 1:
@@ -169,6 +177,14 @@ class NetApp:
             self.server = server
         else:
             self.shard = ShardState(int(shard_rows), int(word_bits))
+        # Declarative SLOs over the serve plane's instrument registry,
+        # queryable at GET /v1/slo (burn-rate verdicts per objective).
+        specs = tuple(slo_specs)
+        if specs and self.server is None:
+            raise ValueError("slo_specs need a serve surface (engine/server)")
+        self.slo_engine: Optional[SloEngine] = (
+            SloEngine(list(specs), self.server.metrics.registry)
+            if specs else None)
         self._lock = threading.Lock()
         self._requests = 0
         self._replayed = 0
@@ -228,6 +244,7 @@ class NetApp:
             ("GET", "/v1/healthz"): self._healthz,
             ("GET", "/v1/metrics"): self._metrics,
             ("GET", "/v1/trace"): self._trace,
+            ("GET", "/v1/slo"): self._slo,
         }
         if self.server is not None:
             routes[("POST", "/v1/classify")] = self._classify
@@ -301,6 +318,21 @@ class NetApp:
             document["obs"] = self.tracer.snapshot()
         return document
 
+    def _instrument_registries(self):
+        """The instrument registries this app exposes, deduped by identity.
+
+        The serve plane's per-server registry (request/latency/cache
+        series with exemplars) plus the process-default one (shard
+        fan-out / exec crash counters); a shared registry appears once.
+        """
+        registries = []
+        if self.server is not None:
+            registries.append(self.server.metrics.registry)
+        shared = default_registry()
+        if all(shared is not registry for registry in registries):
+            registries.append(shared)
+        return registries
+
     def _metrics(self, headers: Mapping[str, str]) -> Response:
         """Metrics snapshot: Prometheus text by default, JSON on Accept.
 
@@ -310,9 +342,26 @@ class NetApp:
         """
         accept = headers.get("accept", "")
         if protocol.CONTENT_TYPE_JSON in accept:
-            return self._ok_response(self._metrics_document())
+            document = self._metrics_document()
+            document["instruments"] = {
+                f"registry_{index}": registry.snapshot()
+                for index, registry in
+                enumerate(self._instrument_registries())}
+            return self._ok_response(document)
+        # Legacy flattened gauges first (locked wire format), then the
+        # typed instruments in OpenMetrics syntax -- histogram buckets
+        # carry their trace-id exemplars -- with the single terminating
+        # `# EOF` supplied by the OpenMetrics renderer.
         text = render_prometheus(self._metrics_document())
+        text += render_openmetrics(*self._instrument_registries())
         return 200, CONTENT_TYPE_PROMETHEUS, text.encode("utf-8")
+
+    def _slo(self, headers: Mapping[str, str]) -> Response:
+        """Burn-rate SLO verdicts (``enabled: false`` without specs)."""
+        if self.slo_engine is None:
+            return self._ok_response({"enabled": False, "specs": []})
+        report = self.slo_engine.evaluate()
+        return self._ok_response({"enabled": True, **report})
 
     def _trace(self, headers: Mapping[str, str]) -> Response:
         """Tracer counters plus the most recent finished spans."""
@@ -537,11 +586,13 @@ class NetServer:
                  observers: Iterable[Any] = (),
                  timeout_s: float = 30.0,
                  host: str = "127.0.0.1", port: int = 0,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None,
+                 slo_specs: Iterable[Any] = ()) -> None:
         self.app = NetApp(engine=engine, server=server,
                           shard_rows=shard_rows, word_bits=word_bits,
                           config=config, cache=cache, observers=observers,
-                          timeout_s=timeout_s, tracer=tracer)
+                          timeout_s=timeout_s, tracer=tracer,
+                          slo_specs=slo_specs)
         self.host = host
         self.port = int(port)
         self._httpd: Optional[_TrackingHTTPServer] = None

@@ -1,4 +1,4 @@
-"""repro.obs -- the distributed-trace observability pipeline.
+"""repro.obs -- the observability plane: traces, metrics, SLOs.
 
 Per-request causality over the serve/shard/net/exec planes:
 
@@ -11,12 +11,26 @@ Per-request causality over the serve/shard/net/exec planes:
 * :mod:`repro.obs.export` -- the non-blocking export pipeline: bounded
   ring buffer, background drain thread, drop counting, JSONL/in-memory
   exporters.
+* :mod:`repro.obs.otlp` -- the OTLP/JSON mapping (``resourceSpans``) and
+  the :class:`OtlpJsonExporter` drop-in sink.
 * :mod:`repro.obs.report` -- run-tree reconstruction (which micro-batch
   did this request ride in?) and per-stage latency attribution.
 * :mod:`repro.obs.promtext` -- Prometheus-style text exposition of the
   ``/v1/metrics`` snapshot.
 * :mod:`repro.obs.observer` -- the ServeObserver adapter turning
   ``shard_search_completed`` events into ``shard_search`` spans.
+
+And the aggregate view that ties back into the traces:
+
+* :mod:`repro.obs.metrics` -- typed :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments behind a :class:`MetricsRegistry`;
+  histogram buckets retain trace-id **exemplars**, and
+  :func:`render_openmetrics` exposes everything (exemplars included) in
+  OpenMetrics text.
+* :mod:`repro.obs.tail` -- the :class:`TailSampler`: keep slow and error
+  traces *after the fact*, even when head sampling dropped them.
+* :mod:`repro.obs.slo` -- declarative :class:`SloSpec` objectives
+  evaluated by the :class:`SloEngine` with multi-window burn-rate math.
 
 Tracing disabled costs ~zero: every instrumentation site guards on a
 ``None`` tracer or a ``None`` ambient span before doing any work.
@@ -28,8 +42,28 @@ from repro.obs.export import (
     JsonlExporter,
     SpanExporter,
 )
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Exemplar,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure_registry,
+    default_registry,
+    render_openmetrics,
+)
 from repro.obs.observer import TracingObserver
-from repro.obs.promtext import CONTENT_TYPE_PROMETHEUS, render_prometheus
+from repro.obs.otlp import (
+    OtlpJsonExporter,
+    otlp_to_span_dicts,
+    spans_to_otlp_payload,
+)
+from repro.obs.promtext import (
+    CONTENT_TYPE_PROMETHEUS,
+    escape_label_value,
+    render_prometheus,
+)
 from repro.obs.report import (
     RunTree,
     STAGES,
@@ -41,6 +75,7 @@ from repro.obs.report import (
     stage_table,
     verify_run_trees,
 )
+from repro.obs.slo import SloEngine, SloSpec
 from repro.obs.span import (
     Span,
     TRACE_HEADER,
@@ -49,6 +84,7 @@ from repro.obs.span import (
     new_id,
     parse_trace_header,
 )
+from repro.obs.tail import TailSampler
 from repro.obs.tracer import (
     Tracer,
     configure,
@@ -61,31 +97,47 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CONTENT_TYPE_PROMETHEUS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Exemplar",
     "ExportPipeline",
+    "Gauge",
+    "Histogram",
     "InMemoryExporter",
     "JsonlExporter",
+    "MetricsRegistry",
+    "OtlpJsonExporter",
     "RunTree",
     "STAGES",
+    "SloEngine",
+    "SloSpec",
     "Span",
     "SpanExporter",
     "TRACE_HEADER",
+    "TailSampler",
     "TraceContext",
     "Tracer",
     "TracingObserver",
     "TreeNode",
     "build_run_trees",
     "configure",
+    "configure_registry",
     "current_span",
+    "default_registry",
     "default_tracer",
+    "escape_label_value",
     "format_trace_header",
     "inject_headers",
     "load_spans",
     "new_id",
+    "otlp_to_span_dicts",
     "parse_trace_header",
+    "render_openmetrics",
     "render_prometheus",
     "render_stage_table",
     "render_tree",
     "scoped_task",
+    "spans_to_otlp_payload",
     "stage_table",
     "use_span",
     "verify_run_trees",

@@ -1,0 +1,492 @@
+"""Typed metric instruments: Counter, Gauge, Histogram with trace exemplars.
+
+Where :mod:`repro.obs.span` answers *what happened to this request*, this
+module answers *what is happening in aggregate* -- and ties the two views
+together.  Three instrument types live behind a :class:`MetricsRegistry`:
+
+* :class:`Counter` -- a monotonically increasing count (requests served,
+  worker crashes, shard fan-outs);
+* :class:`Gauge`   -- a value that goes both ways (queue depth);
+* :class:`Histogram` -- observations bucketed over *fixed* upper bounds
+  (latency distributions).  Each bucket retains the most recent
+  **exemplar**: the trace id (plus value and wall time) of an observation
+  that landed in it.  A p99 latency bucket therefore links directly to a
+  reconstructable run tree -- the jump from "the p99 is bad" to "here is
+  the exact slow request" costs one lookup, and the
+  :class:`~repro.obs.tail.TailSampler` guarantees the slow trace was
+  exported even under aggressive head sampling.
+
+Instruments are get-or-create by ``(name, labels)`` so independent layers
+can share one registry without coordination; all mutation paths are a
+single small lock acquisition, cheap enough for the serve hot path.  A
+process-default registry (:func:`default_registry`) serves cross-cutting
+counters (shard fan-outs, executor crashes) the way the process-default
+tracer serves cross-cutting spans.
+
+:func:`render_openmetrics` exposes a registry in the OpenMetrics text
+format -- counters with the ``_total`` sample suffix, full
+``_bucket``/``_sum``/``_count`` histogram series, and the ``# {...}``
+exemplar syntax on histogram buckets -- terminated by ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.promtext import escape_label_value
+
+#: Default latency bucket upper bounds in milliseconds (+Inf is implicit).
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0)
+
+#: Label set rendered per instrument, frozen at creation.
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value))
+                        for key, value in labels.items()))
+
+
+def _exemplar_id(exemplar: Any) -> Optional[str]:
+    """Normalise a Span / TraceContext / str exemplar to a trace id."""
+    if exemplar is None:
+        return None
+    trace_id = getattr(exemplar, "trace_id", None)
+    if trace_id is not None:
+        return str(trace_id)
+    return str(exemplar)
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One retained observation: the trace that produced a bucket sample."""
+
+    trace_id: str
+    value: float
+    wall_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "value": self.value,
+                "wall_s": self.wall_s}
+
+
+class Instrument:
+    """Shared identity of every instrument: name, help text, labels."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        if not name or not name.replace("_", "a").isalnum() \
+                or name[0].isdigit():
+            raise ValueError(
+                f"instrument name must be a [a-zA-Z_][a-zA-Z0-9_]* "
+                f"identifier, got {name!r}")
+        self.name = name
+        self.help = str(help)
+        self.labels: Labels = _freeze_labels(labels)
+        self._lock = threading.Lock()
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (queue depth, buffer fill)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram(Instrument):
+    """Observations over fixed bucket upper bounds, with trace exemplars.
+
+    Buckets follow Prometheus ``le`` semantics: bucket *i* counts
+    observations ``bounds[i-1] < value <= bounds[i]``, with an implicit
+    final ``+Inf`` bucket.  Counts are stored per bucket (non-cumulative);
+    :meth:`cumulative` and the OpenMetrics renderer derive the cumulative
+    series.  Each bucket retains the most recent :class:`Exemplar` whose
+    observation landed in it, so any bucket -- in particular the one the
+    p99 falls in -- names a concrete trace to reconstruct.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+                 labels: Optional[Mapping[str, str]] = None) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}")
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]  # +Inf is implicit
+            if not bounds:
+                raise ValueError("histogram needs a finite bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._exemplars: List[Optional[Exemplar]] = [None] * len(self._counts)
+        self._sum = 0.0
+        self._count = 0
+        self._max = float("-inf")
+
+    # -- recording ---------------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The slot ``value`` lands in (``len(bounds)`` = the +Inf bucket)."""
+        return bisect.bisect_left(self.bounds, float(value))
+
+    def observe(self, value: float, exemplar: Any = None) -> None:
+        """Record one observation; ``exemplar`` links it to a trace.
+
+        ``exemplar`` accepts a trace-id string, a
+        :class:`~repro.obs.span.TraceContext` or a
+        :class:`~repro.obs.span.Span`; ``None`` records no exemplar.  The
+        wall timestamp is taken only when an exemplar is stored, keeping
+        the un-exemplared hot path to one bisect and one lock.
+        """
+        value = float(value)
+        index = self.bucket_index(value)
+        trace_id = _exemplar_id(exemplar)
+        stamp = time.time() if trace_id is not None else 0.0
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+            if trace_id is not None:
+                self._exemplars[index] = Exemplar(trace_id, value, stamp)
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, +Inf slot last."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per upper bound (last entry equals count)."""
+        counts = self.counts()
+        total = 0
+        out = []
+        for value in counts:
+            total += value
+            out.append(total)
+        return out
+
+    def exemplars(self) -> List[Optional[Exemplar]]:
+        with self._lock:
+            return list(self._exemplars)
+
+    def percentile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (``q`` in percent).
+
+        Interpolates linearly inside the bucket the quantile falls in; the
+        +Inf bucket reports the maximum observed value (the honest upper
+        bound the histogram still knows).  ``0.0`` with no observations.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be within [0, 100]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            maximum = self._max
+        if total == 0:
+            return 0.0
+        rank = q / 100.0 * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if index >= len(self.bounds):
+                    return maximum
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                within = (rank - (cumulative - count)) / count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+        return maximum
+
+    def percentile_bucket(self, q: float) -> Tuple[int, Optional[Exemplar]]:
+        """The bucket index the ``q``-th percentile falls in + its exemplar."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be within [0, 100]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            exemplars = list(self._exemplars)
+        if total == 0:
+            return 0, None
+        rank = q / 100.0 * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                return index, exemplars[index]
+        return len(counts) - 1, exemplars[-1]
+
+    def count_above(self, threshold: float) -> int:
+        """Observations in buckets whose *entire range* exceeds ``threshold``.
+
+        Uses the smallest bucket bound ``>= threshold`` as the cut, so the
+        answer is exact when ``threshold`` is a bucket bound and
+        conservative (an undercount) otherwise -- the SLO engine treats a
+        ceiling between bounds as the next bound up.
+        """
+        cut = bisect.bisect_left(self.bounds, float(threshold))
+        counts = self.counts()
+        return sum(counts[cut + 1:]) if cut < len(self.bounds) else 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            exemplars = list(self._exemplars)
+            total, total_sum = self._count, self._sum
+        bounds = [*map(str, self.bounds), "+Inf"]
+        return {
+            "type": self.kind,
+            "count": total,
+            "sum": total_sum,
+            "buckets": dict(zip(bounds, counts)),
+            "exemplars": {bound: exemplar.to_dict()
+                          for bound, exemplar in zip(bounds, exemplars)
+                          if exemplar is not None},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of a set of instruments.
+
+    Instruments are keyed by ``(name, labels)``; asking twice returns the
+    same object, so independent layers can instrument against one registry
+    without coordination.  Re-requesting a name with a *different*
+    instrument type is an error -- silent type aliasing would corrupt both
+    series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: "Dict[Tuple[str, Labels], Instrument]" = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       labels: Optional[Mapping[str, str]],
+                       **kwargs: Any) -> Any:
+        key = (str(name), _freeze_labels(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"instrument {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")  # type: ignore[attr-defined]
+                return existing
+            instrument = cls(name, help=help, labels=labels, **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+                  labels: Optional[Mapping[str, str]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def get(self, name: str,
+            labels: Optional[Mapping[str, str]] = None) -> Optional[Instrument]:
+        """The registered instrument, or ``None`` (never creates)."""
+        with self._lock:
+            return self._instruments.get((str(name), _freeze_labels(labels)))
+
+    def instruments(self) -> List[Instrument]:
+        """Every registered instrument, in stable (name, labels) order."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return [instrument for _, instrument in sorted(items,
+                                                       key=lambda kv: kv[0])]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Nested plain-dict view: ``{name: {label_repr: instrument}}``.
+
+        Unlabelled instruments collapse one level (``{name: snapshot}``);
+        labelled families key their children by the rendered label set.
+        """
+        out: Dict[str, Any] = {}
+        for instrument in self.instruments():
+            snap = instrument.snapshot()
+            if not instrument.labels:
+                out[instrument.name] = snap
+            else:
+                rendered = ",".join(f"{key}={value}"
+                                    for key, value in instrument.labels)
+                out.setdefault(instrument.name, {})[rendered] = snap
+        return out
+
+
+# -- OpenMetrics text exposition ---------------------------------------------------
+
+
+def _om_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _om_labels(labels: Labels, extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    rendered = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in items)
+    return "{" + rendered + "}"
+
+
+def _om_exemplar(exemplar: Optional[Exemplar]) -> str:
+    if exemplar is None:
+        return ""
+    return (f' # {{trace_id="{escape_label_value(exemplar.trace_id)}"}} '
+            f"{_om_value(exemplar.value)} {exemplar.wall_s:.3f}")
+
+
+def render_openmetrics(*registries: MetricsRegistry,
+                       prefix: str = "repro", terminate: bool = True) -> str:
+    """Render registries as OpenMetrics text (exemplars included).
+
+    Counters render their sample with the ``_total`` suffix, histograms
+    the full cumulative ``_bucket`` series (exemplars attached with the
+    ``# {...}`` syntax) plus ``_sum``/``_count``.  ``terminate=True``
+    appends the mandatory ``# EOF`` line; pass ``False`` when embedding
+    the output inside a larger document that terminates itself.
+    """
+    lines: List[str] = []
+    seen_families: set = set()
+    for registry in registries:
+        for instrument in registry.instruments():
+            family = f"{prefix}_{instrument.name}" if prefix else instrument.name
+            if family not in seen_families:
+                seen_families.add(family)
+                lines.append(f"# TYPE {family} {instrument.kind}")
+                if instrument.help:
+                    lines.append(f"# HELP {family} {instrument.help}")
+            if isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative()
+                exemplars = instrument.exemplars()
+                bounds = [*(_om_value(b) for b in instrument.bounds), "+Inf"]
+                for bound, total, exemplar in zip(bounds, cumulative,
+                                                  exemplars):
+                    labels = _om_labels(instrument.labels, ("le", bound))
+                    lines.append(f"{family}_bucket{labels} {total}"
+                                 f"{_om_exemplar(exemplar)}")
+                labels = _om_labels(instrument.labels)
+                lines.append(f"{family}_sum{labels} "
+                             f"{_om_value(instrument.sum)}")
+                lines.append(f"{family}_count{labels} {instrument.count}")
+            elif isinstance(instrument, Counter):
+                labels = _om_labels(instrument.labels)
+                lines.append(f"{family}_total{labels} "
+                             f"{_om_value(instrument.value)}")
+            else:
+                labels = _om_labels(instrument.labels)
+                lines.append(f"{family}{labels} "
+                             f"{_om_value(instrument.value)}")  # type: ignore[attr-defined]
+    if terminate:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- process-wide default registry -------------------------------------------------
+
+_default_lock = threading.Lock()
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-default registry (cross-cutting shard/exec counters)."""
+    return _default_registry
+
+
+def configure_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Swap the process-default registry (``None`` installs a fresh one).
+
+    Mainly a test seam: swapping in a fresh registry isolates the
+    cross-cutting counters of one scenario from every other.
+    """
+    global _default_registry
+    with _default_lock:
+        _default_registry = registry if registry is not None else MetricsRegistry()
+    return _default_registry

@@ -1,0 +1,182 @@
+"""OTLP/JSON span export: the OpenTelemetry collector wire shape.
+
+Maps the pipeline's span dicts onto the OTLP/JSON ``resourceSpans``
+payload (the body an OTel collector accepts on ``/v1/traces``), so the
+repo's traces can feed any OTLP-speaking backend without a vendor SDK.
+:class:`OtlpJsonExporter` is a drop-in sink next to
+:class:`~repro.obs.export.JsonlExporter`: one JSON payload per export
+batch, appended line-by-line to a file (an "OTLP JSONL" stream that a
+collector's file receiver replays).
+
+Shape notes (OTLP 1.x JSON encoding):
+
+* ``traceId`` is 32 hex chars and ``spanId`` 16; repro ids are 16, so
+  trace ids are left-padded with zeros on the way out and un-padded on
+  the way back (:func:`otlp_to_span_dicts` -- the round-trip inverse).
+* timestamps are wall-clock ``...UnixNano`` stringified uint64s; repro
+  spans carry a monotonic pair plus a wall anchor, so the wall timeline
+  is what survives the trip (durations are preserved exactly).
+* attribute values use the ``AnyValue`` tagged union; int/bool/float/str
+  map natively, anything else ships as its ``str()``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: status.code values from the OTLP proto.
+_STATUS_UNSET = 0
+_STATUS_OK = 1
+_STATUS_ERROR = 2
+
+
+def _pad_trace_id(trace_id: str) -> str:
+    return str(trace_id).rjust(32, "0")
+
+
+def _unpad_trace_id(trace_id: str) -> str:
+    if len(trace_id) == 32 and trace_id[:16] == "0" * 16:
+        return trace_id[16:]
+    return trace_id
+
+
+def _any_value(value: Any) -> Dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}  # int64s are strings in OTLP/JSON
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, str):
+        return {"stringValue": value}
+    return {"stringValue": str(value)}
+
+
+def _from_any_value(value: Mapping[str, Any]) -> Any:
+    if "boolValue" in value:
+        return bool(value["boolValue"])
+    if "intValue" in value:
+        return int(value["intValue"])
+    if "doubleValue" in value:
+        return float(value["doubleValue"])
+    return value.get("stringValue")
+
+
+def span_dict_to_otlp(span: Mapping[str, Any]) -> Dict[str, Any]:
+    """One exported span dict -> one OTLP/JSON span object."""
+    start_ns = int(span.get("start_ns", 0))
+    end_ns = int(span.get("end_ns", start_ns))
+    wall_ns = int(span.get("wall_ns", start_ns))
+    otlp: Dict[str, Any] = {
+        "traceId": _pad_trace_id(span.get("trace_id", "")),
+        "spanId": str(span.get("span_id", "")),
+        "name": span.get("name", ""),
+        "kind": 1,  # SPAN_KIND_INTERNAL
+        "startTimeUnixNano": str(wall_ns),
+        "endTimeUnixNano": str(wall_ns + (end_ns - start_ns)),
+        "attributes": [{"key": str(key), "value": _any_value(value)}
+                       for key, value in
+                       (span.get("attributes") or {}).items()],
+    }
+    parent_id = span.get("parent_id")
+    if parent_id:
+        otlp["parentSpanId"] = str(parent_id)
+    if span.get("status") == "error":
+        otlp["status"] = {"code": _STATUS_ERROR,
+                          "message": span.get("error") or ""}
+    else:
+        otlp["status"] = {"code": _STATUS_OK}
+    return otlp
+
+
+def spans_to_otlp_payload(spans: Sequence[Mapping[str, Any]],
+                          service_name: str = "repro",
+                          scope_name: str = "repro.obs") -> Dict[str, Any]:
+    """A batch of span dicts -> one OTLP/JSON ``resourceSpans`` payload."""
+    return {
+        "resourceSpans": [{
+            "resource": {"attributes": [{
+                "key": "service.name",
+                "value": {"stringValue": service_name},
+            }]},
+            "scopeSpans": [{
+                "scope": {"name": scope_name},
+                "spans": [span_dict_to_otlp(span) for span in spans],
+            }],
+        }],
+    }
+
+
+def otlp_to_span_dicts(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The inverse mapping: OTLP/JSON payload -> pipeline span dicts.
+
+    Monotonic timestamps do not cross process boundaries, so the
+    reconstructed ``start_ns``/``end_ns`` live on the wall timeline (the
+    anchor every span in one payload shares); durations, ids, names,
+    status and attributes round-trip exactly, which is what
+    :func:`repro.obs.report.build_run_trees` needs.
+    """
+    out: List[Dict[str, Any]] = []
+    for resource_spans in payload.get("resourceSpans", ()):
+        for scope_spans in resource_spans.get("scopeSpans", ()):
+            for span in scope_spans.get("spans", ()):
+                start_ns = int(span.get("startTimeUnixNano", 0))
+                end_ns = int(span.get("endTimeUnixNano", start_ns))
+                status = span.get("status") or {}
+                is_error = status.get("code") == _STATUS_ERROR
+                out.append({
+                    "name": span.get("name", ""),
+                    "trace_id": _unpad_trace_id(span.get("traceId", "")),
+                    "span_id": span.get("spanId", ""),
+                    "parent_id": span.get("parentSpanId") or None,
+                    "start_ns": start_ns,
+                    "end_ns": end_ns,
+                    "wall_ns": start_ns,
+                    "duration_ms": (end_ns - start_ns) / 1e6,
+                    "status": "error" if is_error else "ok",
+                    "error": (status.get("message") or None)
+                             if is_error else None,
+                    "attributes": {
+                        str(attr.get("key")):
+                            _from_any_value(attr.get("value") or {})
+                        for attr in span.get("attributes", ())},
+                })
+    return out
+
+
+class OtlpJsonExporter:
+    """File sink writing one OTLP/JSON payload per export batch.
+
+    Drop-in next to :class:`~repro.obs.export.JsonlExporter`: hand it to a
+    tracer or tail sampler and each drained batch appends one
+    ``resourceSpans`` line to ``path``.  A collector file receiver (or
+    :func:`otlp_to_span_dicts` in tests) replays the stream.
+    """
+
+    def __init__(self, path: str, service_name: str = "repro") -> None:
+        self.path = str(path)
+        self.service_name = service_name
+        self._lock = threading.Lock()
+        self._file: Optional[Any] = None
+        self.payloads_written = 0
+
+    def export(self, spans: Sequence[Dict[str, Any]]) -> None:
+        if not spans:
+            return
+        payload = spans_to_otlp_payload(spans, service_name=self.service_name)
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(json.dumps(payload, separators=(",", ":"),
+                                        default=str))
+            self._file.write("\n")
+            self._file.flush()
+            self.payloads_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None

@@ -10,7 +10,9 @@ into the Prometheus text format, one gauge per numeric leaf:
   (``repro_serve_batches_size_histogram{size_histogram="64"} 3``,
   ``repro_serve_shards_queries{shards="0"} 128``);
 * booleans render as ``1``/``0``; strings are skipped (they are not
-  measurements).
+  measurements);
+* label values are escaped per the exposition spec (backslash, double
+  quote and newline -- see :func:`escape_label_value`).
 
 The format is locked by a wire test -- treat the flattening rules above as
 a public contract.
@@ -24,6 +26,17 @@ from typing import Any, Dict, List, Mapping, Tuple
 CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Inside a quoted label value exactly three characters must be escaped:
+    backslash (``\\``), double quote (``\"``) and line feed (``\\n``).
+    The backslash goes first so the other escapes are not double-escaped.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _sanitize(segment: str) -> str:
@@ -83,7 +96,9 @@ def render_prometheus(stats: Mapping[str, Any], prefix: str = "repro") -> str:
         lines.append(f"# TYPE {name} gauge")
         for labels, value in sorted(by_name[name]):
             if labels:
-                rendered = ",".join(f'{key}="{val}"' for key, val in labels)
+                rendered = ",".join(
+                    f'{key}="{escape_label_value(val)}"'
+                    for key, val in labels)
                 lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
             else:
                 lines.append(f"{name} {_format_value(value)}")

@@ -1,0 +1,294 @@
+"""Declarative SLOs evaluated with multi-window burn-rate math.
+
+An :class:`SloSpec` states an objective the serving plane must hold --
+"p99 latency under 50 ms", "error rate under 0.1%", "cache hit rate over
+60%" -- and the :class:`SloEngine` turns the metric instruments of a
+:class:`~repro.obs.metrics.MetricsRegistry` into a verdict.
+
+The math is the standard burn-rate formulation.  Every objective implies
+an **error budget**: the fraction of requests allowed to be *bad*.
+
+* a p99 ceiling allows 1% of requests over the ceiling
+  (``1 - quantile/100`` in general);
+* an error-rate ceiling *is* the budget;
+* a hit-rate floor allows ``1 - floor`` misses.
+
+The **burn rate** over a window is ``bad_fraction / budget`` -- burn 1.0
+spends the budget exactly at the allowed pace, burn 100 spends it 100x
+too fast.  A breach requires the burn to exceed the spec's threshold in
+**both** a short and a long window: the long window proves the problem is
+sustained (one slow request cannot page), the short window proves it is
+still happening (a resolved incident stops alerting).
+
+The engine samples *cumulative* counters (monotonic, so windowed deltas
+are exact regardless of sampling cadence) into a bounded history; window
+lookups walk back to the newest sample at least the window old, falling
+back to the oldest -- a baseline sample taken at construction -- so short
+runs still evaluate over their whole lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Objective verdicts, ordered by severity.
+STATUS_NO_DATA = "no_data"
+STATUS_OK = "ok"
+STATUS_BREACH = "breach"
+
+_SEVERITY = {STATUS_NO_DATA: 0, STATUS_OK: 1, STATUS_BREACH: 2}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective over the serve plane.
+
+    Any subset of the three objectives may be set; unset ones are skipped.
+
+    latency_p99_ms:
+        Ceiling on the ``latency_quantile`` (default p99) request latency
+        in milliseconds.  Budget: ``1 - quantile/100`` of requests may
+        exceed the ceiling.
+    error_rate_max:
+        Ceiling on the failed-request fraction.  Budget: itself.
+    hit_rate_min:
+        Floor on the cache hit fraction.  Budget: ``1 - floor`` misses.
+    short_window_s / long_window_s:
+        The two burn-rate windows; a breach needs both to burn hot.
+    burn_threshold:
+        Minimum burn rate (in both windows) that constitutes a breach.
+        1.0 = "spending budget faster than allowed at all".
+    """
+
+    name: str
+    latency_p99_ms: Optional[float] = None
+    error_rate_max: Optional[float] = None
+    hit_rate_min: Optional[float] = None
+    latency_quantile: float = 99.0
+    short_window_s: float = 60.0
+    long_window_s: float = 3600.0
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SloSpec needs a name")
+        if not 0.0 < self.latency_quantile < 100.0:
+            raise ValueError("latency_quantile must be within (0, 100)")
+        if self.error_rate_max is not None \
+                and not 0.0 <= self.error_rate_max <= 1.0:
+            raise ValueError("error_rate_max must be within [0, 1]")
+        if self.hit_rate_min is not None \
+                and not 0.0 <= self.hit_rate_min <= 1.0:
+            raise ValueError("hit_rate_min must be within [0, 1]")
+        if self.short_window_s <= 0 or self.long_window_s <= 0:
+            raise ValueError("windows must be positive")
+        if self.short_window_s > self.long_window_s:
+            raise ValueError("short window must not exceed the long window")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+        if self.latency_p99_ms is None and self.error_rate_max is None \
+                and self.hit_rate_min is None:
+            raise ValueError("SloSpec sets no objective")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_quantile": self.latency_quantile,
+            "error_rate_max": self.error_rate_max,
+            "hit_rate_min": self.hit_rate_min,
+            "short_window_s": self.short_window_s,
+            "long_window_s": self.long_window_s,
+            "burn_threshold": self.burn_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class _Sample:
+    """Cumulative counter values at one instant (monotonic seconds)."""
+
+    at_s: float
+    requests: float      # completed + failed
+    errors: float        # failed
+    hits: float
+    misses: float
+    observations: int    # latency histogram count
+    slow: int            # latency observations above the spec ceiling
+
+
+def _window_delta(newest: _Sample, history: "deque[_Sample]",
+                  window_s: float) -> Tuple[_Sample, float]:
+    """The baseline sample for a window and the actual span covered."""
+    baseline = history[0]
+    for sample in reversed(history):
+        if newest.at_s - sample.at_s >= window_s:
+            baseline = sample
+            break
+    return baseline, newest.at_s - baseline.at_s
+
+
+def _burn(bad: float, total: float, budget: float) -> Tuple[float, float]:
+    """(bad_fraction, burn_rate) with a zero-guarded budget."""
+    if total <= 0:
+        return 0.0, 0.0
+    fraction = bad / total
+    return fraction, fraction / max(budget, 1e-9)
+
+
+class SloEngine:
+    """Evaluate :class:`SloSpec` objectives against registry instruments.
+
+    The engine reads the serve plane's conventional instrument names by
+    default (override the ``*_counter`` / ``latency_histogram`` names to
+    point it elsewhere).  Instruments may not exist yet at construction;
+    missing ones read as zero, and the latency objective reports
+    ``no_data`` until the histogram has observations in the window.
+
+    ``evaluate()`` records a fresh sample and returns the full report, so
+    calling it *is* the sampling cadence; long-running servers get real
+    short-vs-long window separation for free, one-shot scripts fall back
+    to whole-run windows via the construction-time baseline sample.
+    """
+
+    def __init__(self, specs: "List[SloSpec] | Tuple[SloSpec, ...]",
+                 registry: MetricsRegistry,
+                 latency_histogram: str = "serve_request_latency_ms",
+                 completed_counter: str = "serve_requests_completed",
+                 failed_counter: str = "serve_requests_failed",
+                 hits_counter: str = "serve_cache_hits",
+                 misses_counter: str = "serve_cache_misses",
+                 history: int = 512,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.specs = tuple(specs)
+        if not self.specs:
+            raise ValueError("SloEngine needs at least one SloSpec")
+        self.registry = registry
+        self._names = {
+            "latency": latency_histogram,
+            "completed": completed_counter,
+            "failed": failed_counter,
+            "hits": hits_counter,
+            "misses": misses_counter,
+        }
+        # Per-spec history: the slow-count column depends on the ceiling.
+        self._histories: Dict[str, "deque[_Sample]"] = {
+            spec.name: deque(maxlen=max(2, int(history)))
+            for spec in self.specs}
+        seen = set()
+        for spec in self.specs:
+            if spec.name in seen:
+                raise ValueError(f"duplicate SloSpec name {spec.name!r}")
+            seen.add(spec.name)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.record()  # baseline: windows on short runs cover the whole run
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _counter_value(self, key: str) -> float:
+        instrument = self.registry.get(self._names[key])
+        value = getattr(instrument, "value", None)
+        return float(value) if value is not None else 0.0
+
+    def _take_sample(self, spec: SloSpec) -> _Sample:
+        completed = self._counter_value("completed")
+        failed = self._counter_value("failed")
+        histogram = self.registry.get(self._names["latency"])
+        observations = slow = 0
+        if isinstance(histogram, Histogram):
+            observations = histogram.count
+            if spec.latency_p99_ms is not None:
+                slow = histogram.count_above(spec.latency_p99_ms)
+        return _Sample(
+            at_s=self._clock(),
+            requests=completed + failed,
+            errors=failed,
+            hits=self._counter_value("hits"),
+            misses=self._counter_value("misses"),
+            observations=observations,
+            slow=slow,
+        )
+
+    def record(self) -> None:
+        """Append one cumulative sample per spec to the histories."""
+        with self._lock:
+            for spec in self.specs:
+                self._histories[spec.name].append(self._take_sample(spec))
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _objective(self, kind: str, budget: float, bad: float, total: float,
+                   window_s: float, spec: SloSpec,
+                   detail: Dict[str, Any]) -> Dict[str, Any]:
+        fraction, burn = _burn(bad, total, budget)
+        status = STATUS_NO_DATA if total <= 0 else (
+            STATUS_BREACH if burn >= spec.burn_threshold else STATUS_OK)
+        return {"objective": kind, "bad": bad, "total": total,
+                "bad_fraction": fraction, "budget": budget, "burn": burn,
+                "window_s": window_s, "status": status, **detail}
+
+    def _evaluate_spec(self, spec: SloSpec,
+                       history: "deque[_Sample]") -> Dict[str, Any]:
+        newest = history[-1]
+        windows: Dict[str, Tuple[_Sample, float]] = {
+            "short": _window_delta(newest, history, spec.short_window_s),
+            "long": _window_delta(newest, history, spec.long_window_s),
+        }
+        objectives: List[Dict[str, Any]] = []
+
+        def add(kind: str, budget: float, bad_of, total_of,
+                **detail: Any) -> None:
+            per_window = {}
+            for label, (base, span_s) in windows.items():
+                per_window[label] = self._objective(
+                    kind, budget, bad_of(newest) - bad_of(base),
+                    total_of(newest) - total_of(base), span_s, spec, detail)
+            statuses = {report["status"] for report in per_window.values()}
+            if STATUS_NO_DATA in statuses:
+                status = STATUS_NO_DATA
+            elif statuses == {STATUS_BREACH}:
+                status = STATUS_BREACH  # both windows burn hot
+            else:
+                status = STATUS_OK
+            objectives.append({"objective": kind, "status": status,
+                               "windows": per_window, **detail})
+
+        if spec.latency_p99_ms is not None:
+            add("latency", 1.0 - spec.latency_quantile / 100.0,
+                lambda s: s.slow, lambda s: s.observations,
+                ceiling_ms=spec.latency_p99_ms,
+                quantile=spec.latency_quantile)
+        if spec.error_rate_max is not None:
+            add("error_rate", spec.error_rate_max,
+                lambda s: s.errors, lambda s: s.requests,
+                ceiling=spec.error_rate_max)
+        if spec.hit_rate_min is not None:
+            add("hit_rate", 1.0 - spec.hit_rate_min,
+                lambda s: s.misses, lambda s: s.hits + s.misses,
+                floor=spec.hit_rate_min)
+
+        status = max((obj["status"] for obj in objectives),
+                     key=_SEVERITY.__getitem__)
+        return {"name": spec.name, "status": status, "spec": spec.to_dict(),
+                "objectives": objectives}
+
+    def evaluate(self) -> Dict[str, Any]:
+        """Record a fresh sample and report every spec's verdict."""
+        with self._lock:
+            for spec in self.specs:
+                self._histories[spec.name].append(self._take_sample(spec))
+            reports = [self._evaluate_spec(spec, self._histories[spec.name])
+                       for spec in self.specs]
+        status = max((report["status"] for report in reports),
+                     key=_SEVERITY.__getitem__)
+        return {"status": status, "specs": reports}
+
+    def breached(self) -> bool:
+        """``True`` when any spec currently reports a breach."""
+        return self.evaluate()["status"] == STATUS_BREACH

@@ -1,0 +1,433 @@
+"""Tail-based sampling: keep the slow and broken traces *after the fact*.
+
+Head sampling decides a trace's fate at its root's birth -- which throws
+away precisely the traces worth keeping, because nobody knows at enqueue
+time which request will hit the p99.  The :class:`TailSampler` fixes that:
+it sees **every** finished span (the tracer offers spans to it regardless
+of the head decision), buffers them per trace until the trace's *root*
+span completes, and then decides with hindsight:
+
+* **keep-error** -- any span in the tree recorded an error;
+* **keep-slow**  -- the root's latency exceeds ``keep_slow_ms``, or the
+  rolling ``keep_slow_quantile`` of recent root latencies.
+
+Kept traces are exported *whole* through the sampler's own non-blocking
+:class:`~repro.obs.export.ExportPipeline`.  When a kept root names
+companion traces through link attributes (the serve plane's ``batch.id``
+-- the micro-batch a request rode in is a root of its own trace), those
+traces are kept too, so the exported tree reconstructs completely via
+:func:`repro.obs.report.build_run_trees`.
+
+Ingestion is asynchronous: :meth:`TailSampler.offer` (called by the
+tracer once per finished span, on the serving threads) only appends to a
+bounded queue -- one lock, one append, never a decision.  A dedicated
+ingest thread drains the queue in batches and does the buffering and
+policy work, taking the bookkeeping lock once per *batch* rather than
+once per span, so the request path pays almost nothing for the tail.
+
+Memory is bounded everywhere and every bound drops-and-counts:
+
+* at most ``ingest_capacity`` spans wait in the ingest queue;
+* at most ``max_traces`` undecided traces are buffered; a new trace past
+  the bound evicts the oldest undecided one (stuck traces cannot pin the
+  buffer);
+* at most ``max_spans_per_trace`` spans buffer per trace;
+* traces whose root never arrives are swept after ``trace_timeout_s``;
+* decisions are remembered in a bounded LRU so late spans of a kept trace
+  (the batch span ends after its member requests) still export, while
+  late spans of a discarded trace are dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import ExportPipeline, SpanExporter
+from repro.obs.span import Span
+
+#: How many offers between opportunistic timeout sweeps.
+_SWEEP_EVERY = 256
+
+#: Max spans pulled off the ingest queue per processing batch -- one
+#: bookkeeping-lock acquisition covers this many spans.
+_INGEST_BATCH = 128
+
+#: How many root latencies between rolling-quantile recomputations --
+#: sorting the reservoir on every root would put an O(n log n) pass on
+#: the request path; a threshold a few roots stale is still a threshold.
+_THRESHOLD_REFRESH = 32
+
+
+class _TraceBuffer:
+    """Spans of one undecided trace plus the flags the policy needs."""
+
+    __slots__ = ("spans", "has_error", "first_ns", "truncated")
+
+    def __init__(self, first_ns: int) -> None:
+        self.spans: List[Span] = []
+        self.has_error = False
+        self.first_ns = first_ns
+        self.truncated = 0
+
+
+class TailSampler:
+    """Buffer completed traces briefly; export whole trees worth keeping.
+
+    Parameters
+    ----------
+    exporters:
+        Sinks for kept spans -- the sampler owns its own export pipeline,
+        separate from the tracer's head-sampled stream, so a tail sink
+        holds exactly the slow/error trees.
+    keep_slow_ms:
+        Absolute root-latency threshold; a root at or above it keeps its
+        trace.  ``None`` disables the absolute policy.
+    keep_slow_quantile:
+        Rolling-quantile threshold (e.g. ``0.99``): a root slower than
+        this quantile of the last ``reservoir`` root latencies keeps its
+        trace.  Needs ``min_reservoir`` observations before it arms.
+    keep_errors:
+        Keep any trace containing an error span (default ``True``).
+    latency_roots:
+        Root span names the latency policies apply to.  Defaults to
+        ``("request",)`` -- batch/rpc roots are kept through links or
+        errors, not their own duration.
+    link_attributes:
+        Root attributes naming companion trace ids to keep alongside
+        (default ``("batch.id",)``).
+    max_traces / max_spans_per_trace / trace_timeout_s:
+        The memory bounds described in the module docstring.
+    decided_capacity:
+        Bound on the remembered keep/discard decisions.
+    ingest_capacity:
+        Bound on the queue between :meth:`offer` (request threads) and
+        the ingest thread; a full queue drops-and-counts.
+    capacity / batch_size / flush_interval_s:
+        Export-pipeline knobs (see :class:`ExportPipeline`); the ingest
+        thread also polls at ``flush_interval_s``.
+    clock_ns:
+        Monotonic clock override for deterministic timeout tests.
+    """
+
+    def __init__(self, exporters: Sequence[SpanExporter] = (),
+                 keep_slow_ms: Optional[float] = None,
+                 keep_slow_quantile: Optional[float] = None,
+                 keep_errors: bool = True,
+                 latency_roots: Sequence[str] = ("request",),
+                 link_attributes: Sequence[str] = ("batch.id",),
+                 max_traces: int = 1024,
+                 max_spans_per_trace: int = 512,
+                 trace_timeout_s: float = 30.0,
+                 decided_capacity: int = 4096,
+                 reservoir: int = 2048,
+                 min_reservoir: int = 32,
+                 ingest_capacity: int = 8192,
+                 capacity: int = 4096, batch_size: int = 64,
+                 flush_interval_s: float = 0.05,
+                 clock_ns: Any = None) -> None:
+        if keep_slow_ms is not None and keep_slow_ms < 0:
+            raise ValueError("keep_slow_ms must be non-negative")
+        if keep_slow_quantile is not None \
+                and not 0.0 < keep_slow_quantile < 1.0:
+            raise ValueError("keep_slow_quantile must be within (0, 1)")
+        if max_traces <= 0 or max_spans_per_trace <= 0:
+            raise ValueError("trace bounds must be positive")
+        self.keep_slow_ms = keep_slow_ms
+        self.keep_slow_quantile = keep_slow_quantile
+        self.keep_errors = bool(keep_errors)
+        self.latency_roots = frozenset(latency_roots)
+        self.link_attributes = tuple(link_attributes)
+        self.max_traces = int(max_traces)
+        self.max_spans_per_trace = int(max_spans_per_trace)
+        self.trace_timeout_s = float(trace_timeout_s)
+        self.decided_capacity = max(1, int(decided_capacity))
+        self.pipeline = ExportPipeline(exporters, capacity=capacity,
+                                       batch_size=batch_size,
+                                       flush_interval_s=flush_interval_s)
+        self._clock_ns = clock_ns if clock_ns is not None else time.monotonic_ns
+        # Ingest queue between the span-finishing threads and the ingest
+        # thread (guarded by _ingest_wake's lock, separate from _lock so
+        # the hot path never contends with decision bookkeeping).
+        self._ingest_wake = threading.Condition(threading.Lock())
+        self._ingest_queue: "deque[Span]" = deque()
+        self._ingest_capacity = max(1, int(ingest_capacity))
+        self._ingest_thread: Optional[threading.Thread] = None
+        self._ingest_stop = False
+        self._ingest_busy = False
+        self._ingest_dropped = 0
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, _TraceBuffer]" = OrderedDict()
+        # True = kept (late spans export), False = discarded (late spans drop).
+        self._decided: "OrderedDict[str, bool]" = OrderedDict()
+        self._latencies_ms: "deque[float]" = deque(maxlen=max(int(reservoir), 1))
+        self._min_reservoir = max(1, int(min_reservoir))
+        self._quantile_cache: Optional[float] = None
+        self._quantile_stale = 0
+        # Counters (guarded by _lock).  Algebra:
+        #   spans_offered == spans_exported + spans_dropped + buffered_spans
+        self._spans_offered = 0
+        self._spans_exported = 0
+        self._spans_dropped = 0
+        self._buffered_spans = 0
+        self._roots_seen = 0
+        self._kept_traces = 0
+        self._kept_slow = 0
+        self._kept_error = 0
+        self._kept_link = 0
+        self._discarded_traces = 0
+        self._evicted_traces = 0
+        self._timed_out_traces = 0
+
+    # -- policy ------------------------------------------------------------------
+
+    def threshold_ms(self) -> Optional[float]:
+        """The live keep-slow threshold (``None`` while unarmed)."""
+        with self._lock:
+            return self._threshold_ms_locked()
+
+    def _threshold_ms_locked(self) -> Optional[float]:
+        candidates = []
+        if self.keep_slow_ms is not None:
+            candidates.append(self.keep_slow_ms)
+        quantile = self._quantile_threshold_locked()
+        if quantile is not None:
+            candidates.append(quantile)
+        return min(candidates) if candidates else None
+
+    def _quantile_threshold_locked(self) -> Optional[float]:
+        if self.keep_slow_quantile is None \
+                or len(self._latencies_ms) < self._min_reservoir:
+            return None
+        if self._quantile_cache is None \
+                or self._quantile_stale >= _THRESHOLD_REFRESH:
+            ordered = sorted(self._latencies_ms)
+            rank = min(len(ordered) - 1,
+                       int(self.keep_slow_quantile * len(ordered)))
+            self._quantile_cache = ordered[rank]
+            self._quantile_stale = 0
+        return self._quantile_cache
+
+    # -- ingest ------------------------------------------------------------------
+
+    def offer(self, span: Span) -> None:
+        """Enqueue one finished span for tail buffering; never blocks.
+
+        Called by the tracer on the span-finishing thread for *every*
+        ended span -- sampled or not -- so the hot path is one lock and
+        one append; the buffering and keep/discard decisions run on the
+        sampler's own ingest thread.  A full queue drops-and-counts.
+        """
+        with self._ingest_wake:
+            if self._ingest_stop \
+                    or len(self._ingest_queue) >= self._ingest_capacity:
+                self._ingest_dropped += 1
+                return
+            self._ingest_queue.append(span)
+            if self._ingest_thread is None:
+                self._ingest_thread = threading.Thread(
+                    target=self._ingest_loop, daemon=True,
+                    name="repro-obs-tail")
+                self._ingest_thread.start()
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Wait until every offered span has been buffered and decided.
+
+        Decisions are made asynchronously; tests and reporters call this
+        (or :meth:`flush`, which drains first) before reading counters.
+        """
+        limit = time.monotonic() + timeout_s
+        with self._ingest_wake:
+            self._ingest_wake.notify_all()
+            while self._ingest_queue or self._ingest_busy:
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._ingest_wake.wait(
+                    timeout=min(remaining, self.pipeline.flush_interval_s))
+        return True
+
+    def _ingest_loop(self) -> None:
+        while True:
+            with self._ingest_wake:
+                while not self._ingest_queue and not self._ingest_stop:
+                    self._ingest_wake.wait(
+                        timeout=self.pipeline.flush_interval_s)
+                if self._ingest_stop and not self._ingest_queue:
+                    return
+                batch = [self._ingest_queue.popleft()
+                         for _ in range(min(_INGEST_BATCH,
+                                            len(self._ingest_queue)))]
+                self._ingest_busy = True
+            try:
+                self._process_batch(batch)
+            finally:
+                with self._ingest_wake:
+                    self._ingest_busy = False
+                    self._ingest_wake.notify_all()
+
+    def _process_batch(self, batch: Sequence[Span]) -> None:
+        """Buffer a batch of spans; decide each trace when its root ends."""
+        to_export: List[Span] = []
+        with self._lock:
+            for span in batch:
+                self._spans_offered += 1
+                if self._spans_offered % _SWEEP_EVERY == 0:
+                    self._sweep_locked(to_export)
+                trace_id = span.trace_id
+                decided = self._decided.get(trace_id)
+                if decided is not None:
+                    self._decided.move_to_end(trace_id)
+                    if decided:
+                        self._spans_exported += 1
+                        to_export.append(span)
+                    else:
+                        self._spans_dropped += 1
+                    continue
+                buffer = self._traces.get(trace_id)
+                if buffer is None:
+                    if len(self._traces) >= self.max_traces:
+                        _, evicted = self._traces.popitem(last=False)
+                        self._evicted_traces += 1
+                        # Truncated spans were already drop-counted at
+                        # ingest time; only the buffered ones drop here.
+                        self._spans_dropped += len(evicted.spans)
+                        self._buffered_spans -= len(evicted.spans)
+                        # Remember the eviction so stragglers drop too.
+                        self._remember_locked(
+                            evicted.spans[0].trace_id if evicted.spans
+                            else trace_id, False)
+                    buffer = _TraceBuffer(self._clock_ns())
+                    self._traces[trace_id] = buffer
+                # Roots always buffer (the decision span must be exportable
+                # even for a truncated trace), so the per-trace bound is
+                # effectively max_spans_per_trace + 1.
+                if span.parent_id is None \
+                        or len(buffer.spans) < self.max_spans_per_trace:
+                    buffer.spans.append(span)
+                    self._buffered_spans += 1
+                else:
+                    buffer.truncated += 1
+                    self._spans_dropped += 1
+                if span.status == "error":
+                    buffer.has_error = True
+                if span.parent_id is None:
+                    self._decide_locked(trace_id, buffer, span, to_export)
+        for item in to_export:
+            self.pipeline.offer(item)
+
+    def _remember_locked(self, trace_id: str, kept: bool) -> None:
+        self._decided[trace_id] = kept
+        self._decided.move_to_end(trace_id)
+        while len(self._decided) > self.decided_capacity:
+            self._decided.popitem(last=False)
+
+    def _decide_locked(self, trace_id: str, buffer: _TraceBuffer,
+                       root: Span, to_export: List[Span]) -> None:
+        """Policy evaluation at root completion (under the lock)."""
+        self._roots_seen += 1
+        duration_ms = root.duration_ms
+        slow = False
+        if root.name in self.latency_roots:
+            threshold = self._threshold_ms_locked()
+            # Record *after* thresholding, so a quantile threshold is
+            # computed over earlier roots, never over the root it judges.
+            self._latencies_ms.append(duration_ms)
+            self._quantile_stale += 1
+            slow = threshold is not None and duration_ms >= threshold
+        error = self.keep_errors and buffer.has_error
+        del self._traces[trace_id]
+        self._buffered_spans -= len(buffer.spans)
+        if not (slow or error):
+            self._discarded_traces += 1
+            self._spans_dropped += len(buffer.spans)
+            self._remember_locked(trace_id, False)
+            return
+        self._kept_traces += 1
+        if slow:
+            self._kept_slow += 1
+        if error:
+            self._kept_error += 1
+        self._spans_exported += len(buffer.spans)
+        to_export.extend(buffer.spans)
+        self._remember_locked(trace_id, True)
+        for attribute in self.link_attributes:
+            linked = root.attributes.get(attribute)
+            if linked is None:
+                continue
+            self._keep_linked_locked(str(linked), to_export)
+
+    def _keep_linked_locked(self, trace_id: str,
+                            to_export: List[Span]) -> None:
+        """Keep a companion trace (flush its buffer, remember the verdict)."""
+        if self._decided.get(trace_id):
+            return  # already kept
+        linked = self._traces.pop(trace_id, None)
+        if linked is not None:
+            self._buffered_spans -= len(linked.spans)
+            self._spans_exported += len(linked.spans)
+            to_export.extend(linked.spans)
+            self._kept_traces += 1
+        self._kept_link += 1
+        self._remember_locked(trace_id, True)
+
+    def _sweep_locked(self, to_export: List[Span]) -> None:
+        """Drop undecided traces older than ``trace_timeout_s``."""
+        deadline = self._clock_ns() - int(self.trace_timeout_s * 1e9)
+        stale = [trace_id for trace_id, buffer in self._traces.items()
+                 if buffer.first_ns < deadline]
+        for trace_id in stale:
+            buffer = self._traces.pop(trace_id)
+            self._timed_out_traces += 1
+            self._spans_dropped += len(buffer.spans)
+            self._buffered_spans -= len(buffer.spans)
+            self._remember_locked(trace_id, False)
+
+    # -- lifecycle / reporting ---------------------------------------------------
+
+    def flush(self, timeout_s: float = 5.0) -> bool:
+        drained = self.drain(timeout_s)
+        return self.pipeline.flush(timeout_s) and drained
+
+    def shutdown(self, timeout_s: float = 5.0) -> bool:
+        drained = self.drain(timeout_s)
+        with self._ingest_wake:
+            self._ingest_stop = True
+            self._ingest_wake.notify_all()
+            thread = self._ingest_thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+        return self.pipeline.shutdown(timeout_s) and drained
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._ingest_wake:
+            ingest_dropped = self._ingest_dropped
+            ingest_backlog = len(self._ingest_queue)
+        with self._lock:
+            counters = {
+                # Spans dropped at the ingest queue count as offered AND
+                # dropped, keeping the counter algebra exact; spans still
+                # queued (ingest_backlog) count as neither yet.
+                "spans_offered": self._spans_offered + ingest_dropped,
+                "spans_exported": self._spans_exported,
+                "spans_dropped": self._spans_dropped + ingest_dropped,
+                "buffered_spans": self._buffered_spans,
+                "ingest_backlog": ingest_backlog,
+                "ingest_dropped": ingest_dropped,
+                "buffered_traces": len(self._traces),
+                "roots_seen": self._roots_seen,
+                "kept_traces": self._kept_traces,
+                "kept_slow": self._kept_slow,
+                "kept_error": self._kept_error,
+                "kept_link": self._kept_link,
+                "discarded_traces": self._discarded_traces,
+                "evicted_traces": self._evicted_traces,
+                "timed_out_traces": self._timed_out_traces,
+                "threshold_ms": self._threshold_ms_locked(),
+            }
+        counters.update(
+            {f"export_{key}": value
+             for key, value in self.pipeline.snapshot().items()})
+        return counters

@@ -122,19 +122,27 @@ class Tracer:
         Finished sampled spans kept in memory for ``recent()``.
     seed:
         Seeds the sampling RNG for reproducible sampling tests.
+    tail_sampler:
+        Optional :class:`~repro.obs.tail.TailSampler`.  When set, *every*
+        finished span is offered to it -- including head-sampled-out
+        ones -- so slow/error traces survive aggressive head sampling.
+        The tracer forwards ``flush``/``shutdown`` and folds the tail
+        counters into :meth:`snapshot`.
     """
 
     def __init__(self, exporters: Sequence[SpanExporter] = (),
                  sample_rate: float = 1.0, capacity: int = 2048,
                  batch_size: int = 64, flush_interval_s: float = 0.05,
                  recent_capacity: int = 256,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 tail_sampler: Optional[Any] = None) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be within [0, 1]")
         self.sample_rate = float(sample_rate)
         self.pipeline = ExportPipeline(exporters, capacity=capacity,
                                        batch_size=batch_size,
                                        flush_interval_s=flush_interval_s)
+        self.tail_sampler = tail_sampler
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._recent: "collections.deque[Span]" = collections.deque(
@@ -224,10 +232,14 @@ class Tracer:
         dict happens on the drain thread, never here.
         """
         self.ended += 1
+        if self.tail_sampler is not None:
+            # The tail sampler sees every span -- its whole point is to
+            # keep traces head sampling would have thrown away.
+            self.tail_sampler.offer(span)
         if span.status == "error":
             self.errors += 1
         elif not span.sampled:
-            return  # head-sampled out; errors override
+            return  # head-sampled out; errors override (and the tail decides)
         self._recent.append(span)
         self.pipeline.offer(span)
 
@@ -253,13 +265,21 @@ class Tracer:
         counters.update(
             {key if key.startswith("export_") else f"export_{key}": value
              for key, value in self.pipeline.snapshot().items()})
+        if self.tail_sampler is not None:
+            counters["tail"] = self.tail_sampler.snapshot()
         return counters
 
     def flush(self, timeout_s: float = 5.0) -> bool:
-        return self.pipeline.flush(timeout_s)
+        flushed = self.pipeline.flush(timeout_s)
+        if self.tail_sampler is not None:
+            flushed = self.tail_sampler.flush(timeout_s) and flushed
+        return flushed
 
     def shutdown(self, timeout_s: float = 5.0) -> bool:
-        return self.pipeline.shutdown(timeout_s)
+        stopped = self.pipeline.shutdown(timeout_s)
+        if self.tail_sampler is not None:
+            stopped = self.tail_sampler.shutdown(timeout_s) and stopped
+        return stopped
 
 
 # -- process-wide default ---------------------------------------------------------

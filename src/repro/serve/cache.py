@@ -118,6 +118,9 @@ class PackedSignatureCache:
         if self.doorkeeper_capacity <= 0:
             raise ValueError("doorkeeper_capacity must be positive")
         self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        # Producing trace id per resident key (cache-hit provenance): who
+        # computed this answer?  Kept beside the LRU, evicted with it.
+        self._provenance: Dict[bytes, str] = {}
         self._doorkeeper: Dict[bytes, int] = {}
         self._lock = threading.Lock()
         self._hits = 0
@@ -148,13 +151,20 @@ class PackedSignatureCache:
         """Look up several keys in order (``None`` marks each miss)."""
         return [self.get(key) for key in keys]
 
-    def put(self, key: bytes, value: np.ndarray) -> None:
+    def put(self, key: bytes, value: np.ndarray,
+            trace_id: Optional[str] = None) -> None:
         """Store one logits row, evicting least-recently-used entries.
 
         With the doorkeeper on (``admission_threshold > 1``), the first
         sightings of a key only raise its frequency count; the row is
         admitted once the key has been seen ``admission_threshold`` times.
         Keys already resident always refresh in place.
+
+        ``trace_id`` records *who computed this answer*: the trace of the
+        request whose ``cache_write`` stored the row.  A later hit's
+        ``cache_lookup`` span links back to it (:meth:`provenance`), so a
+        run tree that skipped the compute path still names the trace that
+        paid for it.
         """
         # Prepared outside the (single) critical section; the server hands
         # in read-only rows, so this is normally copy-free.
@@ -175,14 +185,27 @@ class PackedSignatureCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = row
+            if trace_id is not None:
+                self._provenance[key] = str(trace_id)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._provenance.pop(evicted_key, None)
                 self._evictions += 1
+
+    def provenance(self, key: bytes) -> Optional[str]:
+        """The trace id that produced ``key``'s resident row, if recorded.
+
+        Does not count as a lookup and does not refresh recency -- it is
+        observability metadata, not a cache access.
+        """
+        with self._lock:
+            return self._provenance.get(key)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; they describe the lifetime)."""
         with self._lock:
             self._entries.clear()
+            self._provenance.clear()
             self._doorkeeper.clear()
 
     def stats(self) -> CacheStats:

@@ -22,6 +22,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Protocol, Tuple, runtime_
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import current_span
+
 
 @runtime_checkable
 class ServeObserver(Protocol):
@@ -90,26 +93,52 @@ class ServeMetrics:
 
     Keeps bounded latency/service/wait reservoirs (the most recent
     ``reservoir`` samples) so long-running servers don't grow without
-    bound, plus exact counters for everything countable.  ``snapshot()``
-    folds the state into one plain dictionary -- the payload of
+    bound -- the snapshot's percentiles stay *exact* over the reservoir --
+    while everything countable lives on typed instruments in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (one private registry per
+    aggregator unless ``registry`` shares one), alongside bucketed
+    latency/service/wait histograms whose buckets carry trace-id
+    exemplars: when a request completes under an ambient span, its trace
+    id is recorded on the bucket its latency lands in, so a bad p99
+    bucket names the exact slow trace.  The registry is what
+    :class:`~repro.obs.slo.SloEngine` and the OpenMetrics endpoint read;
+    ``snapshot()`` keeps its original plain-dict shape -- the payload of
     ``server_stopped``, ``stats()`` and the load generator's report.
     """
 
-    def __init__(self, reservoir: int = 100_000) -> None:
+    def __init__(self, reservoir: int = 100_000,
+                 registry: "MetricsRegistry | None" = None) -> None:
         if reservoir <= 0:
             raise ValueError("reservoir must be positive")
         self._lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._latencies_ms: "deque[float]" = deque(maxlen=reservoir)
         self._service_ms: "deque[float]" = deque(maxlen=reservoir)
         self._wait_ms: "deque[float]" = deque(maxlen=reservoir)
         self._batch_size_histogram: Dict[int, int] = {}
-        self._enqueued = 0
-        self._rejected = 0
-        self._completed = 0
-        self._failed = 0
-        self._batches = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
+        self._c_enqueued = self.registry.counter(
+            "serve_requests_enqueued", "Requests accepted into the queue")
+        self._c_rejected = self.registry.counter(
+            "serve_requests_rejected", "Requests rejected on backpressure")
+        self._c_completed = self.registry.counter(
+            "serve_requests_completed", "Requests answered successfully")
+        self._c_failed = self.registry.counter(
+            "serve_requests_failed", "Requests failed by a batch error")
+        self._c_batches = self.registry.counter(
+            "serve_batches", "Micro-batches completed")
+        self._c_cache_hits = self.registry.counter(
+            "serve_cache_hits", "Signature-cache hits")
+        self._c_cache_misses = self.registry.counter(
+            "serve_cache_misses", "Signature-cache misses")
+        self._g_queue_depth = self.registry.gauge(
+            "serve_queue_depth", "Last observed request-queue depth")
+        self._h_latency = self.registry.histogram(
+            "serve_request_latency_ms",
+            "End-to-end request latency (enqueue to reply)")
+        self._h_service = self.registry.histogram(
+            "serve_batch_service_ms", "Batch service time")
+        self._h_wait = self.registry.histogram(
+            "serve_batch_wait_ms", "Batch collection wait")
         self._max_queue_depth = 0
         self._last_queue_depth = 0
         self._started_at: float | None = None
@@ -131,17 +160,19 @@ class ServeMetrics:
                 self._started_at = None
 
     def request_enqueued(self, queue_depth: int) -> None:
+        self._c_enqueued.inc()
+        self._g_queue_depth.set(queue_depth)
         with self._lock:
-            self._enqueued += 1
             self._last_queue_depth = queue_depth
             if queue_depth > self._max_queue_depth:
                 self._max_queue_depth = queue_depth
 
     def request_rejected(self, queue_depth: int) -> None:
-        with self._lock:
-            self._rejected += 1
+        self._c_rejected.inc()
 
     def batch_collected(self, size: int, waited_ms: float, queue_depth: int) -> None:
+        self._h_wait.observe(waited_ms)
+        self._g_queue_depth.set(queue_depth)
         with self._lock:
             self._wait_ms.append(waited_ms)
             self._last_queue_depth = queue_depth
@@ -150,21 +181,25 @@ class ServeMetrics:
 
     def batch_completed(self, size: int, cache_hits: int, cache_misses: int,
                         service_ms: float) -> None:
+        self._c_batches.inc()
+        self._c_cache_hits.inc(cache_hits)
+        self._c_cache_misses.inc(cache_misses)
+        self._h_service.observe(service_ms)
         with self._lock:
-            self._batches += 1
             self._batch_size_histogram[size] = (
                 self._batch_size_histogram.get(size, 0) + 1)
-            self._cache_hits += cache_hits
-            self._cache_misses += cache_misses
             self._service_ms.append(service_ms)
 
     def batch_failed(self, size: int, error: Exception) -> None:
-        with self._lock:
-            self._failed += size
+        self._c_failed.inc(size)
 
     def request_completed(self, latency_ms: float) -> None:
+        # The server notifies under the request's span scope (when traced),
+        # so the histogram bucket this latency lands in remembers the trace
+        # id -- the p99 bucket's exemplar IS a reconstructable slow trace.
+        self._c_completed.inc()
+        self._h_latency.observe(latency_ms, exemplar=current_span())
         with self._lock:
-            self._completed += 1
             self._latencies_ms.append(latency_ms)
 
     def shard_search_completed(self, shard: int, replica: int, queries: int,
@@ -183,16 +218,19 @@ class ServeMetrics:
     @property
     def completed(self) -> int:
         """Requests successfully answered so far."""
-        with self._lock:
-            return self._completed
+        return int(self._c_completed.value)
 
     def snapshot(self) -> Dict[str, Any]:
         """Fold the aggregated state into one plain dictionary."""
+        completed = int(self._c_completed.value)
+        cache_hits = int(self._c_cache_hits.value)
+        cache_misses = int(self._c_cache_misses.value)
+        batches = int(self._c_batches.value)
         with self._lock:
             elapsed = self._elapsed_s
             if self._started_at is not None:
                 elapsed += time.perf_counter() - self._started_at
-            lookups = self._cache_hits + self._cache_misses
+            lookups = cache_hits + cache_misses
             sizes = self._batch_size_histogram
             batched = sum(size * count for size, count in sizes.items())
             shards = {
@@ -207,29 +245,29 @@ class ServeMetrics:
             }
             return {
                 "requests": {
-                    "enqueued": self._enqueued,
-                    "completed": self._completed,
-                    "rejected": self._rejected,
-                    "failed": self._failed,
+                    "enqueued": int(self._c_enqueued.value),
+                    "completed": completed,
+                    "rejected": int(self._c_rejected.value),
+                    "failed": int(self._c_failed.value),
                 },
                 "queue_depth": {
                     "max": self._max_queue_depth,
                     "last": self._last_queue_depth,
                 },
                 "batches": {
-                    "count": self._batches,
-                    "mean_size": (batched / self._batches) if self._batches else 0.0,
+                    "count": batches,
+                    "mean_size": (batched / batches) if batches else 0.0,
                     "size_histogram": dict(sorted(sizes.items())),
                 },
                 "latency_ms": _percentiles(self._latencies_ms),
                 "service_ms": _percentiles(self._service_ms),
                 "batch_wait_ms": _percentiles(self._wait_ms),
-                "throughput_rps": (self._completed / elapsed) if elapsed > 0 else 0.0,
+                "throughput_rps": (completed / elapsed) if elapsed > 0 else 0.0,
                 "elapsed_s": elapsed,
                 "cache": {
-                    "hits": self._cache_hits,
-                    "misses": self._cache_misses,
-                    "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                    "hits": cache_hits,
+                    "misses": cache_misses,
+                    "hit_rate": (cache_hits / lookups) if lookups else 0.0,
                 },
                 "shards": shards,
             }

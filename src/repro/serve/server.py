@@ -37,7 +37,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.cam.topk import validate_k
-from repro.obs import TracingObserver, default_tracer
+from repro.obs import TracingObserver, default_tracer, use_span
 from repro.serve.batching import (
     QueueFullError,
     ServeConfig,
@@ -76,13 +76,21 @@ class MicroBatchServer:
         process-default tracer (:func:`repro.obs.configure`); with neither,
         tracing is off and every instrumentation site short-circuits on one
         ``None`` check.
+    registry:
+        A :class:`repro.obs.MetricsRegistry` for the built-in
+        :class:`ServeMetrics` instruments (request/latency/cache series
+        with trace exemplars).  ``None`` gives the metrics object its own
+        private registry; pass one to share instruments with an SLO
+        engine or a metrics endpoint (also reachable as
+        ``server.metrics.registry``).
     """
 
     def __init__(self, engine: InferenceEngine,
                  config: Optional[ServeConfig] = None,
                  cache: "PackedSignatureCache | bool | None" = None,
                  observers: Iterable[Any] = (),
-                 tracer: Any = None) -> None:
+                 tracer: Any = None,
+                 registry: Any = None) -> None:
         self.engine = engine
         self.config = config if config is not None else ServeConfig()
         if cache is None:
@@ -94,7 +102,7 @@ class MicroBatchServer:
             self.cache = None
         else:
             self.cache = cache
-        self.metrics = ServeMetrics()
+        self.metrics = ServeMetrics(registry=registry)
         self._tracer = tracer if tracer is not None else default_tracer()
         if self._tracer is not None:
             observers = (*observers, TracingObserver(self._tracer))
@@ -381,8 +389,12 @@ class MicroBatchServer:
                     reply = self._tracer.start_span("reply",
                                                     parent=request.span)
                     request.future.set_result(row)
-                    notify_all(self._observers, "request_completed",
-                               (done_at - request.enqueued_at) * 1e3)
+                    # Notify under the request's span scope so observers
+                    # (ServeMetrics' latency histogram) can stamp the
+                    # trace id as the bucket exemplar.
+                    with use_span(request.span):
+                        notify_all(self._observers, "request_completed",
+                                   (done_at - request.enqueued_at) * 1e3)
                     reply.end()
                     request.span.end()
                 else:
@@ -444,6 +456,12 @@ class MicroBatchServer:
                         hits += 1
                         if live[index].span is not None:
                             live[index].span.set_attribute("cache.hit", True)
+                            # Provenance link: the trace whose cache_write
+                            # computed this answer ("who paid for it").
+                            producer = self.cache.provenance(key)
+                            if producer is not None:
+                                live[index].span.set_attribute(
+                                    "link.trace_id", producer)
                 if look is not None:
                     look.set_attribute("hits", hits)
         if batch_span is not None:
@@ -492,7 +510,11 @@ class MicroBatchServer:
                 with self._stage(batch_span, "cache_write",
                                  entries=len(execute_indices)):
                     for position, index in enumerate(execute_indices):
-                        self.cache.put(keys[index], rows[position])
+                        span = live[index].span
+                        self.cache.put(
+                            keys[index], rows[position],
+                            trace_id=span.trace_id
+                            if span is not None else None)
             for slot, index in zip(miss_slots, miss_indices):
                 results[index] = rows[slot]
         return results, hits  # type: ignore[return-value]

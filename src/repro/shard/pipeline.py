@@ -75,6 +75,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.obs import current_span as _obs_current_span
+from repro.obs import default_registry as _default_metrics_registry
 from repro.obs import scoped_task as _obs_scoped_task
 
 from repro.bitops import EXECUTOR_ENV, pack_bits, packed_hamming_matrix, words_for_bits
@@ -112,6 +113,22 @@ def _traced_stage(name: str, **attributes: Any):
     if parent is None or parent.tracer is None:
         return nullcontext()
     return parent.tracer.span(name, attributes=attributes or None)
+
+
+def _count_fanout(mode: str, queries: int) -> None:
+    """Bump the process-default fan-out counters (one call per batch).
+
+    Goes through :func:`repro.obs.metrics.default_registry` on every call
+    (get-or-create is one lock + dict hit, amortised over a whole batch)
+    so the ``configure_registry`` test seam keeps working.
+    """
+    registry = _default_metrics_registry()
+    registry.counter(
+        "shard_fanouts", "Scatter-gather fan-outs by mode",
+        labels={"mode": mode}).inc()
+    registry.counter(
+        "shard_fanout_queries", "Queries scattered across shards by mode",
+        labels={"mode": mode}).inc(queries)
 
 #: A shard port: anything with ``write_rows(bits, start_row)`` and
 #: ``mismatch_counts_packed(packed) -> (counts, energy_pj, latency_cycles)``
@@ -598,6 +615,7 @@ class ShardedCamPipeline:
             # these stay internally consistent for the rest of the search.
             packed_storage, populated = self._packed, self._populated
         selection = router.begin_search()
+        _count_fanout(fanout, num_queries)
         try:
             with _traced_stage("fanout", mode=fanout,
                                shards=plan.num_shards, queries=num_queries,
@@ -691,6 +709,7 @@ class ShardedCamPipeline:
         fused_storage = handle if handle is not None else packed_storage
         noisy = getattr(self.sense_amp, "timing_noise_sigma_ps", 0.0) > 0
         selection = router.begin_search()
+        _count_fanout(f"topk_{fanout}", num_queries)
         try:
             fanout_stage = partial(
                 _traced_stage, "fanout", mode=fanout, k=int(k),

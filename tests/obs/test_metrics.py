@@ -1,0 +1,343 @@
+"""Typed instruments, registry semantics, OpenMetrics rendering.
+
+Includes the histogram bucket-math property suite: counts sum to the
+observation count, the cumulative series is monotone, and an exemplar
+always lands in the bucket of its own value.
+"""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Exemplar,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure_registry,
+    default_registry,
+    render_openmetrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_rejects_bad_names(self):
+        for name in ("", "9lead", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                Counter(name)
+
+    def test_snapshot(self):
+        counter = Counter("requests")
+        counter.inc(4)
+        assert counter.snapshot() == {"type": "counter", "value": 4.0}
+
+    def test_concurrent_increments_are_exact(self):
+        counter = Counter("requests")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+        assert gauge.snapshot() == {"type": "gauge", "value": 12.0}
+
+
+class TestHistogram:
+    def test_bucket_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(float("inf"),))
+
+    def test_trailing_inf_is_stripped(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0, float("inf")))
+        assert histogram.bounds == (1.0, 5.0)
+        assert len(histogram.counts()) == 3  # 2 finite + implicit +Inf
+
+    def test_le_semantics_on_exact_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0))
+        histogram.observe(1.0)  # == bound -> le bucket 0
+        histogram.observe(5.0)
+        histogram.observe(5.0001)
+        assert histogram.counts() == [1, 1, 1]
+
+    def test_sum_count_max(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        for value in (1.0, 2.0, 30.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(33.0)
+        assert histogram.percentile(100.0) == pytest.approx(30.0)
+
+    def test_exemplar_from_string_and_span_like(self):
+        class FakeSpan:
+            trace_id = "abcd1234"
+
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5, exemplar="aaaa")
+        histogram.observe(5.0, exemplar=FakeSpan())
+        exemplars = histogram.exemplars()
+        assert exemplars[0].trace_id == "aaaa"
+        assert exemplars[0].value == 0.5
+        assert exemplars[1].trace_id == "abcd1234"
+        assert exemplars[2] is None
+
+    def test_exemplar_keeps_most_recent(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        histogram.observe(1.0, exemplar="first")
+        histogram.observe(2.0, exemplar="second")
+        assert histogram.exemplars()[0].trace_id == "second"
+
+    def test_none_exemplar_records_nothing(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        histogram.observe(1.0)
+        assert histogram.exemplars() == [None, None]
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        for _ in range(100):
+            histogram.observe(15.0)
+        # All mass in (10, 20]; the median interpolates to the middle.
+        assert 10.0 < histogram.percentile(50.0) <= 20.0
+
+    def test_percentile_empty(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        assert histogram.percentile(99.0) == 0.0
+        assert histogram.percentile_bucket(99.0) == (0, None)
+
+    def test_percentile_validates_range(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        with pytest.raises(ValueError):
+            histogram.percentile(101.0)
+        with pytest.raises(ValueError):
+            histogram.percentile_bucket(-1.0)
+
+    def test_percentile_bucket_names_the_tail_exemplar(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            histogram.observe(0.5, exemplar="fast")
+        histogram.observe(50.0, exemplar="slow")
+        index, exemplar = histogram.percentile_bucket(99.5)
+        assert index == histogram.bucket_index(50.0)
+        assert exemplar.trace_id == "slow"
+
+    def test_count_above(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count_above(10.0) == 2   # 50 and 500
+        assert histogram.count_above(100.0) == 1  # 500
+        assert histogram.count_above(0.25) == 3   # conservative: cut at 1.0
+        assert histogram.count_above(1000.0) == 0
+
+    def test_snapshot_shape(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5, exemplar="t1")
+        snap = histogram.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1
+        assert snap["buckets"] == {"1.0": 1, "+Inf": 0}
+        assert snap["exemplars"]["1.0"]["trace_id"] == "t1"
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                max_size=200))
+def test_histogram_counts_sum_to_observations(values):
+    histogram = Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS_MS)
+    for value in values:
+        histogram.observe(value)
+    assert sum(histogram.counts()) == len(values)
+    assert histogram.count == len(values)
+    assert histogram.sum == pytest.approx(math.fsum(values), abs=1e-6)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e5,
+                          allow_nan=False, allow_infinity=False),
+                max_size=200))
+def test_histogram_cumulative_is_monotone(values):
+    histogram = Histogram("h", buckets=(0.5, 5.0, 50.0, 5000.0))
+    for value in values:
+        histogram.observe(value)
+    cumulative = histogram.cumulative()
+    assert all(later >= earlier
+               for earlier, later in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == len(values)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e5,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=100))
+def test_exemplar_lands_in_its_values_bucket(values):
+    histogram = Histogram("h", buckets=(1.0, 10.0, 100.0, 1000.0))
+    for index, value in enumerate(values):
+        histogram.observe(value, exemplar=f"trace{index}")
+    bounds = (*histogram.bounds, float("inf"))
+    for index, exemplar in enumerate(histogram.exemplars()):
+        if exemplar is None:
+            continue
+        lower = bounds[index - 1] if index > 0 else -float("inf")
+        assert lower < exemplar.value <= bounds[index]
+        assert histogram.bucket_index(exemplar.value) == index
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=100),
+       st.floats(min_value=0.0, max_value=100.0))
+def test_percentile_bucket_contains_the_rank(values, q):
+    histogram = Histogram("h", buckets=(1.0, 10.0, 100.0, 1000.0))
+    for value in values:
+        histogram.observe(value)
+    index, _ = histogram.percentile_bucket(q)
+    cumulative = histogram.cumulative()
+    rank = q / 100.0 * len(values)
+    # Every bucket before the reported one holds strictly less mass
+    # than the rank requires.
+    if index > 0:
+        assert cumulative[index - 1] < rank or histogram.counts()[index] > 0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_labels_separate_instruments(self):
+        registry = MetricsRegistry()
+        one = registry.counter("a", labels={"mode": "x"})
+        two = registry.counter("a", labels={"mode": "y"})
+        assert one is not two
+        assert registry.counter("a", labels={"mode": "x"}) is one
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_get_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.get("missing") is None
+        counter = registry.counter("a")
+        assert registry.get("a") is counter
+
+    def test_instruments_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert [i.name for i in registry.instruments()] == ["a", "b"]
+
+    def test_snapshot_nests_labelled_families(self):
+        registry = MetricsRegistry()
+        registry.counter("plain").inc()
+        registry.counter("fam", labels={"mode": "x"}).inc(2)
+        snap = registry.snapshot()
+        assert snap["plain"]["value"] == 1.0
+        assert snap["fam"]["mode=x"]["value"] == 2.0
+
+
+class TestDefaultRegistry:
+    def test_configure_swaps_and_resets(self):
+        original = default_registry()
+        try:
+            fresh = configure_registry(None)
+            assert fresh is not original
+            assert default_registry() is fresh
+            mine = MetricsRegistry()
+            assert configure_registry(mine) is mine
+            assert default_registry() is mine
+        finally:
+            configure_registry(original)
+
+
+class TestRenderOpenMetrics:
+    def test_counter_total_suffix_and_eof(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", "served requests").inc(3)
+        text = render_openmetrics(registry)
+        assert "# TYPE repro_requests counter" in text
+        assert "# HELP repro_requests served requests" in text
+        assert "repro_requests_total 3\n" in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_histogram_buckets_sum_count_exemplar(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_ms", buckets=(1.0, 10.0))
+        histogram.observe(0.5, exemplar="aaaa")
+        histogram.observe(5.0)
+        text = render_openmetrics(registry)
+        assert 'repro_lat_ms_bucket{le="1"} 1 # {trace_id="aaaa"} 0.5 ' in text
+        assert 'repro_lat_ms_bucket{le="10"} 2\n' in text
+        assert 'repro_lat_ms_bucket{le="+Inf"} 2\n' in text
+        assert "repro_lat_ms_sum 5.5\n" in text
+        assert "repro_lat_ms_count 2\n" in text
+
+    def test_labels_rendered_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"mode": 'we"ird\\\n'}).inc()
+        text = render_openmetrics(registry)
+        assert 'mode="we\\"ird\\\\\\n"' in text
+
+    def test_gauge_bare_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(7)
+        assert "repro_depth 7\n" in render_openmetrics(registry)
+
+    def test_multiple_registries_dedupe_family_headers(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("shared").inc()
+        two.counter("shared").inc(2)
+        text = render_openmetrics(one, two)
+        assert text.count("# TYPE repro_shared counter") == 1
+        assert text.count("repro_shared_total") == 2
+
+    def test_no_terminate_and_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert "# EOF" not in render_openmetrics(registry, terminate=False)
+        assert render_openmetrics(MetricsRegistry(),
+                                  terminate=False) == ""
+
+    def test_exemplar_dataclass_roundtrip(self):
+        exemplar = Exemplar("t", 1.5, 2.0)
+        assert exemplar.to_dict() == {"trace_id": "t", "value": 1.5,
+                                      "wall_s": 2.0}

@@ -1,0 +1,144 @@
+"""OTLP/JSON mapping: payload shape, round-trip fidelity, file sink."""
+
+import json
+
+from repro.obs import (
+    InMemoryExporter,
+    OtlpJsonExporter,
+    Tracer,
+    otlp_to_span_dicts,
+    spans_to_otlp_payload,
+)
+from repro.obs.otlp import span_dict_to_otlp
+from repro.obs.report import build_run_trees
+
+
+def _traced_spans(error=False):
+    """Real span dicts from a tracer: one request root, two children."""
+    sink = InMemoryExporter()
+    tracer = Tracer(exporters=[sink], sample_rate=1.0)
+    with tracer.span("request", attributes={"batch.id": "b1", "n": 3,
+                                            "hit": True, "lat": 1.5}):
+        with tracer.span("cache_lookup"):
+            pass
+        with tracer.span("batch_wait") as child:
+            if error:
+                child.record_error(RuntimeError("boom"))
+    tracer.shutdown()
+    return sink.spans()
+
+
+class TestPayloadShape:
+    def test_resource_spans_envelope(self):
+        spans = _traced_spans()
+        payload = spans_to_otlp_payload(spans, service_name="svc",
+                                        scope_name="scope")
+        (resource,) = payload["resourceSpans"]
+        assert resource["resource"]["attributes"] == [
+            {"key": "service.name", "value": {"stringValue": "svc"}}]
+        (scope,) = resource["scopeSpans"]
+        assert scope["scope"]["name"] == "scope"
+        assert len(scope["spans"]) == len(spans)
+
+    def test_trace_id_padded_to_32_hex(self):
+        spans = _traced_spans()
+        otlp = span_dict_to_otlp(spans[0])
+        assert len(otlp["traceId"]) == 32
+        assert otlp["traceId"].startswith("0" * 16)
+        assert len(otlp["spanId"]) == 16
+
+    def test_int64s_ship_as_strings(self):
+        spans = _traced_spans()
+        otlp = span_dict_to_otlp(spans[0])
+        assert isinstance(otlp["startTimeUnixNano"], str)
+        assert isinstance(otlp["endTimeUnixNano"], str)
+
+    def test_any_value_union(self):
+        root = [s for s in _traced_spans() if s["parent_id"] is None][0]
+        otlp = span_dict_to_otlp(root)
+        values = {attr["key"]: attr["value"] for attr in otlp["attributes"]}
+        assert values["batch.id"] == {"stringValue": "b1"}
+        assert values["n"] == {"intValue": "3"}
+        assert values["hit"] == {"boolValue": True}
+        assert values["lat"] == {"doubleValue": 1.5}
+
+    def test_error_status(self):
+        spans = _traced_spans(error=True)
+        by_name = {s["name"]: span_dict_to_otlp(s) for s in spans}
+        assert by_name["batch_wait"]["status"]["code"] == 2
+        assert "boom" in by_name["batch_wait"]["status"]["message"]
+        assert by_name["cache_lookup"]["status"]["code"] == 1
+
+    def test_payload_is_json_serializable(self):
+        payload = spans_to_otlp_payload(_traced_spans())
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRoundTrip:
+    def test_identity_fields_survive(self):
+        spans = _traced_spans(error=True)
+        back = otlp_to_span_dicts(spans_to_otlp_payload(spans))
+        assert len(back) == len(spans)
+        for original, restored in zip(spans, back):
+            assert restored["name"] == original["name"]
+            assert restored["trace_id"] == original["trace_id"]
+            assert restored["span_id"] == original["span_id"]
+            assert restored["parent_id"] == original["parent_id"]
+            assert restored["status"] == original["status"]
+            assert restored["error"] == original["error"]
+            assert restored["attributes"] == original["attributes"]
+
+    def test_durations_survive_exactly(self):
+        spans = _traced_spans()
+        back = otlp_to_span_dicts(spans_to_otlp_payload(spans))
+        for original, restored in zip(spans, back):
+            original_ns = original["end_ns"] - original["start_ns"]
+            restored_ns = restored["end_ns"] - restored["start_ns"]
+            assert restored_ns == original_ns
+
+    def test_round_tripped_spans_rebuild_run_trees(self):
+        spans = _traced_spans()
+        back = otlp_to_span_dicts(spans_to_otlp_payload(spans))
+        (tree,) = build_run_trees(back)
+        assert tree.root.name == "request"
+        assert {node.name for node in tree.root.children} \
+            == {"cache_lookup", "batch_wait"}
+
+    def test_foreign_trace_ids_pass_through(self):
+        foreign = "a" * 32  # a real 128-bit id, not a repro-padded one
+        payload = spans_to_otlp_payload([{
+            "name": "x", "trace_id": foreign, "span_id": "b" * 16,
+            "parent_id": None, "start_ns": 0, "end_ns": 10,
+            "wall_ns": 0, "status": "ok", "attributes": {}}])
+        (restored,) = otlp_to_span_dicts(payload)
+        assert restored["trace_id"] == foreign
+
+
+class TestOtlpJsonExporter:
+    def test_writes_one_payload_line_per_batch(self, tmp_path):
+        path = tmp_path / "spans.otlp.jsonl"
+        exporter = OtlpJsonExporter(str(path), service_name="svc")
+        spans = _traced_spans()
+        exporter.export(spans[:1])
+        exporter.export(spans[1:])
+        exporter.export([])  # empty batches write nothing
+        exporter.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert exporter.payloads_written == 2
+        restored = []
+        for line in lines:
+            restored.extend(otlp_to_span_dicts(json.loads(line)))
+        assert [s["name"] for s in restored] == [s["name"] for s in spans]
+
+    def test_as_tracer_sink(self, tmp_path):
+        path = tmp_path / "traced.otlp.jsonl"
+        tracer = Tracer(exporters=[OtlpJsonExporter(str(path))],
+                        sample_rate=1.0)
+        with tracer.span("request"):
+            pass
+        tracer.shutdown()
+        spans = []
+        for line in path.read_text().splitlines():
+            spans.extend(otlp_to_span_dicts(json.loads(line)))
+        assert [s["name"] for s in spans] == ["request"]

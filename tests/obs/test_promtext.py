@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from repro.obs import CONTENT_TYPE_PROMETHEUS, render_prometheus
+from repro.obs import (
+    CONTENT_TYPE_PROMETHEUS,
+    escape_label_value,
+    render_prometheus,
+)
 
 
 class TestWireFormat:
@@ -55,3 +59,29 @@ class TestWireFormat:
 
     def test_empty_document(self):
         assert render_prometheus({}) == ""
+
+
+class TestLabelValueEscaping:
+    """Exposition-spec escaping inside quoted label values is a wire lock."""
+
+    def test_the_three_escapes(self):
+        assert escape_label_value('plain') == 'plain'
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value('a\nb') == 'a\\nb'
+
+    def test_backslash_escapes_first(self):
+        # A literal backslash-n must not collapse into an escaped newline.
+        assert escape_label_value('a\\nb') == 'a\\\\nb'
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_rendered_label_values_are_escaped(self):
+        # render_prometheus only ever labels with digit strings; the
+        # instrument exposition is where arbitrary label values travel.
+        from repro.obs import MetricsRegistry, render_openmetrics
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "lookups", labels={"path": 'a\\b"c\nd'}).inc()
+        text = render_openmetrics(registry, terminate=False)
+        assert 'repro_lookups_total{path="a\\\\b\\"c\\nd"} 1\n' in text

@@ -1,0 +1,241 @@
+"""Burn-rate SLO engine: spec validation, window math, verdicts."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    STATUS_BREACH,
+    STATUS_NO_DATA,
+    STATUS_OK,
+    SloEngine,
+    SloSpec,
+)
+
+LATENCY_BUCKETS = (1.0, 5.0, 10.0, 50.0, 100.0)
+
+
+def _registry():
+    """A registry pre-populated with the serve plane's instrument names."""
+    registry = MetricsRegistry()
+    instruments = {
+        "completed": registry.counter("serve_requests_completed"),
+        "failed": registry.counter("serve_requests_failed"),
+        "hits": registry.counter("serve_cache_hits"),
+        "misses": registry.counter("serve_cache_misses"),
+        "latency": registry.histogram("serve_request_latency_ms",
+                                      buckets=LATENCY_BUCKETS),
+    }
+    return registry, instruments
+
+
+class _Clock:
+    """A settable monotonic clock."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSloSpec:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            SloSpec(name="", latency_p99_ms=50.0)
+
+    def test_requires_an_objective(self):
+        with pytest.raises(ValueError, match="no objective"):
+            SloSpec(name="empty")
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            SloSpec(name="q", latency_p99_ms=1.0, latency_quantile=100.0)
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ValueError, match="error_rate_max"):
+            SloSpec(name="e", error_rate_max=1.5)
+        with pytest.raises(ValueError, match="hit_rate_min"):
+            SloSpec(name="h", hit_rate_min=-0.1)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError, match="short window"):
+            SloSpec(name="w", latency_p99_ms=1.0,
+                    short_window_s=120.0, long_window_s=60.0)
+
+    def test_rejects_non_positive_burn_threshold(self):
+        with pytest.raises(ValueError, match="burn_threshold"):
+            SloSpec(name="b", latency_p99_ms=1.0, burn_threshold=0.0)
+
+    def test_to_dict_round_trips_fields(self):
+        spec = SloSpec(name="latency", latency_p99_ms=50.0,
+                       error_rate_max=0.01, hit_rate_min=0.5)
+        doc = spec.to_dict()
+        assert doc["name"] == "latency"
+        assert doc["latency_p99_ms"] == 50.0
+        assert doc["error_rate_max"] == 0.01
+        assert doc["hit_rate_min"] == 0.5
+        assert doc["latency_quantile"] == 99.0
+
+
+class TestSloEngineConstruction:
+    def test_requires_specs(self):
+        registry, _ = _registry()
+        with pytest.raises(ValueError, match="at least one"):
+            SloEngine([], registry)
+
+    def test_rejects_duplicate_names(self):
+        registry, _ = _registry()
+        spec = SloSpec(name="dup", latency_p99_ms=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine([spec, spec], registry)
+
+    def test_missing_instruments_read_as_no_data(self):
+        engine = SloEngine([SloSpec(name="s", error_rate_max=0.1)],
+                           MetricsRegistry())
+        report = engine.evaluate()
+        assert report["status"] == STATUS_NO_DATA
+
+
+class TestVerdicts:
+    def test_no_traffic_is_no_data(self):
+        registry, _ = _registry()
+        engine = SloEngine([SloSpec(name="s", latency_p99_ms=50.0,
+                                    error_rate_max=0.1)], registry)
+        assert engine.evaluate()["status"] == STATUS_NO_DATA
+        assert not engine.breached()
+
+    def test_error_rate_ok_then_breach(self):
+        registry, ins = _registry()
+        engine = SloEngine([SloSpec(name="errors", error_rate_max=0.1)],
+                           registry)
+        ins["completed"].inc(99)
+        ins["failed"].inc(1)  # 1% errors, budget 10% -> burn 0.1
+        assert engine.evaluate()["status"] == STATUS_OK
+        ins["failed"].inc(99)  # ~50% errors -> burn 5
+        report = engine.evaluate()
+        assert report["status"] == STATUS_BREACH
+        assert engine.breached()
+        (objective,) = report["specs"][0]["objectives"]
+        assert objective["objective"] == "error_rate"
+        assert objective["windows"]["short"]["burn"] >= 1.0
+        assert objective["windows"]["long"]["burn"] >= 1.0
+
+    def test_latency_breach_counts_slow_observations(self):
+        registry, ins = _registry()
+        engine = SloEngine([SloSpec(name="lat", latency_p99_ms=10.0)],
+                           registry)
+        for _ in range(50):
+            ins["latency"].observe(2.0)   # fast
+        for _ in range(50):
+            ins["latency"].observe(80.0)  # slow: 50% > 1% budget
+        report = engine.evaluate()
+        assert report["status"] == STATUS_BREACH
+        (objective,) = report["specs"][0]["objectives"]
+        assert objective["objective"] == "latency"
+        assert objective["windows"]["short"]["bad"] == 50
+
+    def test_latency_ok_when_under_ceiling(self):
+        registry, ins = _registry()
+        engine = SloEngine([SloSpec(name="lat", latency_p99_ms=100.0)],
+                           registry)
+        for _ in range(100):
+            ins["latency"].observe(2.0)
+        assert engine.evaluate()["status"] == STATUS_OK
+
+    def test_hit_rate_floor(self):
+        registry, ins = _registry()
+        engine = SloEngine([SloSpec(name="cache", hit_rate_min=0.5)],
+                           registry)
+        ins["hits"].inc(90)
+        ins["misses"].inc(10)  # 10% misses, budget 50% -> ok
+        assert engine.evaluate()["status"] == STATUS_OK
+        ins["misses"].inc(190)  # ~69% misses -> breach
+        assert engine.evaluate()["status"] == STATUS_BREACH
+
+    def test_overall_status_is_most_severe(self):
+        registry, ins = _registry()
+        engine = SloEngine(
+            [SloSpec(name="ok-spec", error_rate_max=0.9),
+             SloSpec(name="hot-spec", error_rate_max=0.001)], registry)
+        ins["completed"].inc(90)
+        ins["failed"].inc(10)
+        report = engine.evaluate()
+        by_name = {spec["name"]: spec["status"] for spec in report["specs"]}
+        assert by_name["ok-spec"] == STATUS_OK
+        assert by_name["hot-spec"] == STATUS_BREACH
+        assert report["status"] == STATUS_BREACH
+
+
+class TestWindowMath:
+    def test_short_window_recovers_after_incident(self):
+        """A resolved incident stops breaching once the short window clears."""
+        registry, ins = _registry()
+        clock = _Clock()
+        spec = SloSpec(name="errors", error_rate_max=0.01,
+                       short_window_s=60.0, long_window_s=3600.0)
+        engine = SloEngine([spec], registry, clock=clock)
+        # Incident: pure errors.
+        ins["completed"].inc(1)
+        ins["failed"].inc(99)
+        clock.advance(30.0)
+        assert engine.evaluate()["status"] == STATUS_BREACH
+        # Recovery: clean traffic for several short windows.
+        for _ in range(10):
+            clock.advance(30.0)
+            ins["completed"].inc(1000)
+            engine.record()
+        report = engine.evaluate()
+        (objective,) = report["specs"][0]["objectives"]
+        short = objective["windows"]["short"]
+        long_ = objective["windows"]["long"]
+        # The long window still remembers the incident...
+        assert long_["bad"] == 99
+        # ...but the short window sees only clean traffic, so no breach.
+        assert short["status"] == STATUS_OK
+        assert report["status"] == STATUS_OK
+
+    def test_window_baseline_falls_back_to_oldest(self):
+        """Runs shorter than the window evaluate over their whole life."""
+        registry, ins = _registry()
+        clock = _Clock()
+        engine = SloEngine([SloSpec(name="e", error_rate_max=0.1,
+                                    short_window_s=60.0,
+                                    long_window_s=3600.0)],
+                           registry, clock=clock)
+        clock.advance(1.0)  # far less than either window
+        ins["completed"].inc(10)
+        ins["failed"].inc(90)
+        report = engine.evaluate()
+        (objective,) = report["specs"][0]["objectives"]
+        assert objective["windows"]["short"]["total"] == 100
+        assert objective["windows"]["long"]["total"] == 100
+        assert report["status"] == STATUS_BREACH
+
+    def test_burn_threshold_scales_sensitivity(self):
+        registry, ins = _registry()
+        lenient = SloSpec(name="lenient", error_rate_max=0.1,
+                          burn_threshold=10.0)
+        strict = SloSpec(name="strict", error_rate_max=0.1,
+                         burn_threshold=1.0)
+        engine = SloEngine([lenient, strict], registry)
+        ins["completed"].inc(80)
+        ins["failed"].inc(20)  # 20% errors = burn 2.0
+        report = engine.evaluate()
+        by_name = {spec["name"]: spec["status"] for spec in report["specs"]}
+        assert by_name["lenient"] == STATUS_OK   # burn 2 < threshold 10
+        assert by_name["strict"] == STATUS_BREACH
+
+    def test_history_is_bounded(self):
+        registry, ins = _registry()
+        clock = _Clock()
+        engine = SloEngine([SloSpec(name="e", error_rate_max=0.5)],
+                           registry, history=8, clock=clock)
+        for _ in range(50):
+            clock.advance(1.0)
+            ins["completed"].inc(1)
+            engine.record()
+        assert len(engine._histories["e"]) == 8
+        assert engine.evaluate()["status"] == STATUS_OK

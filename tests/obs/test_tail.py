@@ -1,0 +1,403 @@
+"""TailSampler policies, linked-trace keeping, and bounded-memory invariants.
+
+The concurrency suite drives many traces to completion from several
+threads at once and checks the counter algebra the sampler promises:
+
+    spans_offered == spans_exported + spans_dropped + buffered_spans
+
+plus the bounded-buffer guarantees (never more than ``max_traces``
+undecided traces, never more than ``max_spans_per_trace`` spans buffered
+per trace).
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import InMemoryExporter, TailSampler, Tracer
+from repro.obs.report import build_run_trees
+
+
+def _make(tracer_kwargs=None, **tail_kwargs):
+    sink = InMemoryExporter()
+    tail_kwargs.setdefault("flush_interval_s", 0.005)
+    tail = TailSampler([sink], **tail_kwargs)
+    tracer = Tracer(sample_rate=0.0, tail_sampler=tail,
+                    **(tracer_kwargs or {}))
+    return tracer, tail, sink
+
+
+def _finish_trace(tracer, name="request", slow_ns=0, error=False, children=1,
+                  attributes=None):
+    root = tracer.start_span(name, attributes=attributes)
+    spans = [tracer.start_span(f"child{i}", parent=root)
+             for i in range(children)]
+    for span in spans:
+        span.end()
+    if error:
+        root.record_error("boom")
+    root.end(end_ns=root.start_ns + slow_ns)
+    return root
+
+
+def _algebra(tail):
+    snap = tail.snapshot()
+    assert snap["spans_offered"] == (snap["spans_exported"]
+                                     + snap["spans_dropped"]
+                                     + snap["buffered_spans"]), snap
+    return snap
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TailSampler(keep_slow_ms=-1)
+        with pytest.raises(ValueError):
+            TailSampler(keep_slow_quantile=1.5)
+        with pytest.raises(ValueError):
+            TailSampler(max_traces=0)
+        with pytest.raises(ValueError):
+            TailSampler(max_spans_per_trace=0)
+
+
+class TestKeepPolicies:
+    def test_keep_slow_absolute(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        _finish_trace(tracer, slow_ns=1_000_000)      # 1ms: discard
+        kept = _finish_trace(tracer, slow_ns=50_000_000)  # 50ms: keep
+        tracer.flush()
+        snap = _algebra(tail)
+        assert snap["kept_traces"] == 1
+        assert snap["kept_slow"] == 1
+        assert snap["discarded_traces"] == 1
+        trace_ids = {span["trace_id"] for span in sink.spans()}
+        assert trace_ids == {kept.trace_id}
+        # The kept trace exports whole: root + child.
+        assert len(sink.spans()) == 2
+        tracer.shutdown()
+
+    def test_keep_error_even_when_fast(self):
+        tracer, tail, sink = _make(keep_slow_ms=1e9)
+        _finish_trace(tracer, error=True)
+        tracer.flush()
+        snap = _algebra(tail)
+        assert snap["kept_error"] == 1
+        assert len(sink.spans()) == 2
+        tracer.shutdown()
+
+    def test_keep_errors_off(self):
+        tracer, tail, sink = _make(keep_slow_ms=1e9, keep_errors=False)
+        _finish_trace(tracer, error=True)
+        tracer.flush()
+        assert _algebra(tail)["kept_traces"] == 0
+        assert sink.spans() == []
+        tracer.shutdown()
+
+    def test_error_in_child_keeps_trace(self):
+        tracer, tail, sink = _make(keep_slow_ms=1e9)
+        root = tracer.start_span("request")
+        child = tracer.start_span("execute", parent=root)
+        child.record_error("exploded")
+        child.end()
+        root.end()
+        tracer.flush()
+        assert _algebra(tail)["kept_error"] == 1
+        assert len(sink.spans()) == 2
+        tracer.shutdown()
+
+    def test_latency_roots_filter(self):
+        # A slow root named something else is not a latency candidate.
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        _finish_trace(tracer, name="batch", slow_ns=50_000_000, children=0)
+        tracer.flush()
+        assert _algebra(tail)["kept_traces"] == 0
+        tracer.shutdown()
+
+    def test_quantile_threshold_arms_after_reservoir(self):
+        tracer, tail, sink = _make(keep_slow_quantile=0.9, min_reservoir=10)
+        assert tail.threshold_ms() is None
+        # Descending latencies (2.0ms .. 0.1ms): once the quantile arms,
+        # every later root sits below the rolling p90, so none is kept.
+        for index in range(20):
+            _finish_trace(tracer, slow_ns=(20 - index) * 100_000, children=0)
+        assert tail.drain()
+        threshold = tail.threshold_ms()
+        assert threshold is not None and threshold >= 1.8
+        # A 100ms outlier is far above the rolling p90 and is kept.
+        _finish_trace(tracer, slow_ns=100_000_000, children=0)
+        tracer.flush()
+        assert _algebra(tail)["kept_slow"] == 1
+        tracer.shutdown()
+
+    def test_no_policy_discards_everything(self):
+        tracer, tail, sink = _make(keep_errors=False)
+        _finish_trace(tracer, slow_ns=50_000_000)
+        tracer.flush()
+        assert _algebra(tail)["kept_traces"] == 0
+        tracer.shutdown()
+
+
+class TestLinkedTraces:
+    def test_batch_trace_kept_with_member(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        # Mimic the serve plane: the batch span is its own trace; member
+        # request roots record batch.id; stage spans end before the
+        # members, the batch span ends after them.
+        batch = tracer.start_span("batch")
+        stage = tracer.start_span("execute", parent=batch)
+        stage.end()
+        member = tracer.start_span(
+            "request", attributes={"batch.id": batch.trace_id})
+        member.end(end_ns=member.start_ns + 50_000_000)  # slow: kept
+        batch.end()
+        tracer.flush()
+        snap = _algebra(tail)
+        assert snap["kept_slow"] == 1
+        assert snap["kept_link"] == 1
+        names = sorted(span["name"] for span in sink.spans())
+        assert names == ["batch", "execute", "request"]
+        # And the exported set reconstructs: the batch subtree grafts in.
+        trees = build_run_trees(sink.spans())
+        assert len(trees) == 1
+        assert trees[0].batch_id == batch.trace_id
+        assert trees[0].batch is not None
+        tracer.shutdown()
+
+    def test_fast_member_does_not_keep_batch(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        batch = tracer.start_span("batch")
+        member = tracer.start_span(
+            "request", attributes={"batch.id": batch.trace_id})
+        member.end()  # fast: discarded
+        batch.end()
+        tracer.flush()
+        assert _algebra(tail)["kept_traces"] == 0
+        assert sink.spans() == []
+        tracer.shutdown()
+
+    def test_late_spans_of_kept_trace_export(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        batch = tracer.start_span("batch")
+        member = tracer.start_span(
+            "request", attributes={"batch.id": batch.trace_id})
+        member.end(end_ns=member.start_ns + 50_000_000)
+        tracer.flush()
+        before = len(sink.spans())
+        batch.end()  # arrives after the keep decision
+        tracer.flush()
+        assert len(sink.spans()) == before + 1
+        _algebra(tail)
+        tracer.shutdown()
+
+
+class TestBoundedMemory:
+    def test_max_traces_evicts_oldest(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0, max_traces=4)
+        # Open (never-rooted) traces pile up...
+        orphans = [tracer.start_span("child", parent=None, sampled=False)
+                   for _ in range(10)]
+        # ...but only via offered child spans: craft unrooted spans.
+        tracer2, tail2, _ = _make(keep_slow_ms=5.0, max_traces=4)
+        for index in range(10):
+            root = tracer2.start_span("request")
+            child = tracer2.start_span("child", parent=root)
+            child.end()  # buffers under its trace; root never ends
+        assert tail2.drain()
+        snap = tail2.snapshot()
+        assert snap["buffered_traces"] <= 4
+        assert snap["evicted_traces"] >= 6
+        _algebra(tail2)
+        tracer.shutdown()
+        tracer2.shutdown()
+
+    def test_max_spans_per_trace_truncates(self):
+        tracer, tail, sink = _make(keep_slow_ms=0.0, max_spans_per_trace=3)
+        root = tracer.start_span("request")
+        for index in range(10):
+            tracer.start_span(f"child{index}", parent=root).end()
+        root.end(end_ns=root.start_ns + 50_000_000)
+        tracer.flush()
+        snap = _algebra(tail)
+        assert snap["kept_traces"] == 1
+        # 3 buffered children + the root were exported; the rest dropped.
+        assert len(sink.spans()) == 4
+        assert any(s["parent_id"] is None for s in sink.spans())
+        assert snap["spans_dropped"] == 7
+        tracer.shutdown()
+
+    def test_timeout_sweep_drops_stale_traces(self):
+        clock = [0]
+        tail = TailSampler(keep_slow_ms=0.0, trace_timeout_s=1.0,
+                           clock_ns=lambda: clock[0])
+        tracer = Tracer(sample_rate=0.0, tail_sampler=tail)
+        root = tracer.start_span("request")
+        tracer.start_span("child", parent=root).end()
+        assert tail.drain()  # buffer the child before the clock jumps
+        clock[0] = int(5e9)  # 5s later
+        # Sweeps run every 256 offers; drive enough traffic to trigger one.
+        for _ in range(300):
+            tracer.start_span("request").end()
+        assert tail.drain()
+        snap = _algebra(tail)
+        assert snap["timed_out_traces"] == 1
+        tracer.shutdown()
+
+    def test_decided_lru_bounded(self):
+        tracer, tail, sink = _make(keep_slow_ms=0.0, decided_capacity=5)
+        for _ in range(20):
+            _finish_trace(tracer, slow_ns=10_000_000, children=0)
+        assert tail.drain()
+        assert len(tail._decided) <= 5
+        _algebra(tail)
+        tracer.shutdown()
+
+
+class TestConcurrentInvariants:
+    def test_counter_algebra_under_concurrent_completion(self):
+        tracer, tail, sink = _make(
+            keep_slow_ms=5.0, max_traces=32, max_spans_per_trace=4,
+            decided_capacity=64)
+        errors = []
+
+        def worker(seed):
+            try:
+                for index in range(200):
+                    slow = (index % 7 == seed % 7)
+                    error = (index % 13 == seed % 13)
+                    root = tracer.start_span("request")
+                    for c in range(index % 5):
+                        tracer.start_span(f"c{c}", parent=root).end()
+                    if error:
+                        root.record_error("x")
+                    root.end(end_ns=root.start_ns
+                             + (50_000_000 if slow else 1_000))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert tracer.flush(10.0)
+        snap = _algebra(tail)
+        assert snap["roots_seen"] == 6 * 200
+        assert snap["buffered_traces"] <= 32
+        assert snap["kept_traces"] > 0
+        assert snap["discarded_traces"] > 0
+        # Everything handed to the pipeline reached the sink.
+        pipeline = tail.pipeline.snapshot()
+        assert len(sink.spans()) == pipeline["exported"] - pipeline["dropped"]
+        tracer.shutdown()
+
+    def test_every_kept_slow_trace_is_complete_in_the_sink(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        slow_ids = set()
+        for index in range(50):
+            slow = index % 3 == 0
+            root = _finish_trace(
+                tracer, slow_ns=50_000_000 if slow else 1_000, children=2)
+            if slow:
+                slow_ids.add(root.trace_id)
+        tracer.flush()
+        by_trace = {}
+        for span in sink.spans():
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        assert set(by_trace) == slow_ids
+        for spans in by_trace.values():
+            assert len(spans) == 3  # root + 2 children, whole tree
+        _algebra(tail)
+        tracer.shutdown()
+
+
+class TestBoundedBufferProperties:
+    """Hypothesis: the counter algebra and buffer bounds hold for any mix."""
+
+    @given(traces=st.lists(
+               st.tuples(st.integers(0, 6),   # children per trace
+                         st.booleans(),       # slow root?
+                         st.booleans()),      # error child?
+               min_size=1, max_size=25),
+           max_traces=st.integers(1, 4),
+           max_spans=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_algebra_and_bounds_for_any_trace_mix(self, traces, max_traces,
+                                                  max_spans):
+        tracer, tail, sink = _make(keep_slow_ms=5.0, max_traces=max_traces,
+                                   max_spans_per_trace=max_spans)
+        offered = 0
+        expected_kept = 0
+        for children, slow, error in traces:
+            _finish_trace(tracer, slow_ns=50_000_000 if slow else 1_000,
+                          error=error, children=children)
+            offered += children + 1
+            if slow or error:
+                expected_kept += 1
+        assert tracer.flush(10.0)
+        snap = _algebra(tail)
+        # Every span offered is accounted for, none buffered at the end
+        # (each root ends before the next trace starts, so every trace
+        # gets a decision).
+        assert snap["spans_offered"] == offered
+        assert snap["buffered_spans"] == 0
+        assert snap["buffered_traces"] == 0
+        assert snap["roots_seen"] == len(traces)
+        assert snap["kept_traces"] == expected_kept
+        assert snap["discarded_traces"] == len(traces) - expected_kept
+        # Truncation: a kept trace exports at most max_spans buffered
+        # spans plus its always-buffered root.
+        by_trace = {}
+        for span in sink.spans():
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        assert len(by_trace) == expected_kept
+        for spans in by_trace.values():
+            assert len(spans) <= max_spans + 1
+        tracer.shutdown()
+
+    @given(extra=st.integers(0, 40), max_traces=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_undecided_traces_never_exceed_bound(self, extra, max_traces):
+        tracer, tail, sink = _make(keep_slow_ms=5.0, max_traces=max_traces)
+        # Open traces (roots never end) pile up past the bound.
+        for _ in range(max_traces + extra):
+            root = tracer.start_span("request")
+            tracer.start_span("child", parent=root).end()
+        assert tail.drain()
+        snap = _algebra(tail)
+        assert snap["buffered_traces"] <= max_traces
+        assert snap["evicted_traces"] == max(0, extra)
+        # Each evicted trace dropped exactly its one buffered child span.
+        assert snap["spans_dropped"] == max(0, extra)
+        tracer.shutdown()
+
+
+class TestTracerIntegration:
+    def test_snapshot_includes_tail_counters(self):
+        tracer, tail, sink = _make(keep_slow_ms=5.0)
+        _finish_trace(tracer, slow_ns=50_000_000)
+        tracer.flush()
+        assert tracer.snapshot()["tail"]["kept_traces"] == 1
+        tracer.shutdown()
+
+    def test_tail_sees_head_sampled_spans_too(self):
+        # Head sampling at 100% must not double-export into the tail sink.
+        head_sink = InMemoryExporter()
+        tail_sink = InMemoryExporter()
+        tail = TailSampler([tail_sink], keep_slow_ms=5.0,
+                           flush_interval_s=0.005)
+        tracer = Tracer([head_sink], sample_rate=1.0, tail_sampler=tail)
+        _finish_trace(tracer, slow_ns=50_000_000, children=0)
+        tracer.flush()
+        assert len(head_sink.spans()) == 1
+        assert len(tail_sink.spans()) == 1
+        tracer.shutdown()
+
+    def test_shutdown_forwards_to_tail_pipeline(self):
+        tracer, tail, sink = _make(keep_slow_ms=0.0)
+        _finish_trace(tracer, slow_ns=10_000_000, children=0)
+        assert tracer.shutdown()
+        assert sink.closed

@@ -206,3 +206,53 @@ class TestCacheStats:
     def test_zero_lookup_hit_rate_is_zero(self):
         stats = CacheStats(capacity=8, size=0, hits=0, misses=0, evictions=0)
         assert stats.hit_rate == 0.0
+
+
+class TestProvenance:
+    def test_put_records_producing_trace(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"k", np.array([1.0]), trace_id="abc123")
+        assert cache.provenance(b"k") == "abc123"
+
+    def test_put_without_trace_leaves_none(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"k", np.array([1.0]))
+        assert cache.provenance(b"k") is None
+
+    def test_provenance_does_not_count_as_lookup(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"k", np.array([1.0]), trace_id="t")
+        cache.provenance(b"k")
+        cache.provenance(b"missing")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_eviction_drops_provenance(self):
+        cache = PackedSignatureCache(capacity=2)
+        cache.put(b"a", np.array([1.0]), trace_id="ta")
+        cache.put(b"b", np.array([2.0]), trace_id="tb")
+        cache.put(b"c", np.array([3.0]), trace_id="tc")  # evicts a
+        assert cache.provenance(b"a") is None
+        assert cache.provenance(b"b") == "tb"
+        assert cache.provenance(b"c") == "tc"
+        # No orphaned provenance entries pinning memory.
+        assert len(cache._provenance) == 2
+
+    def test_clear_drops_provenance(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"k", np.array([1.0]), trace_id="t")
+        cache.clear()
+        assert cache.provenance(b"k") is None
+
+    def test_refresh_overwrites_provenance(self):
+        cache = PackedSignatureCache(capacity=4)
+        cache.put(b"k", np.array([1.0]), trace_id="old")
+        cache.put(b"k", np.array([2.0]), trace_id="new")
+        assert cache.provenance(b"k") == "new"
+
+    def test_doorkeeper_rejection_records_nothing(self):
+        cache = PackedSignatureCache(capacity=4, admission_threshold=2)
+        cache.put(b"k", np.array([1.0]), trace_id="first")  # rejected
+        assert cache.provenance(b"k") is None
+        cache.put(b"k", np.array([1.0]), trace_id="second")  # admitted
+        assert cache.provenance(b"k") == "second"
