@@ -1,13 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke slo-smoke coverage bench bench-quick bench-paper
+.PHONY: check smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke slo-smoke tenant-smoke coverage bench bench-quick bench-paper
 
 # The fast correctness gate. `make coverage` is the slower companion gate
 # (the same tier-1 tests under a line tracer with an 85% floor on
 # src/repro/{cam,shard,serve,retrieval,net,exec,obs}); run it before
 # shipping changes to those packages.
-check: smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke slo-smoke
+check: smoke test serve-smoke shard-smoke net-smoke exec-smoke trace-smoke slo-smoke tenant-smoke
 
 smoke:
 	$(PYTHON) scripts/smoke.py
@@ -57,6 +57,13 @@ trace-smoke:
 # histogram bucket's exemplar must reconstruct into a run tree.
 slo-smoke:
 	$(PYTHON) scripts/slo_smoke.py
+
+# Multi-tenant smoke: a flood tenant at 10x its token-bucket rate must
+# not move well-behaved tenants' p99 beyond 1.5x the no-flood baseline,
+# must stay inside its bucket's admitted arithmetic, and every served
+# answer must stay bit-identical to direct execution.
+tenant-smoke:
+	$(PYTHON) scripts/tenant_smoke.py
 
 # Full perf trajectory: writes BENCH_kernels.json + BENCH_e2e.json
 # (kernels, e2e, serving and shard-scaling suites).

@@ -19,7 +19,15 @@ p50/p99 latency, cache hit rate):
   set resident;
 * ``retrieval`` -- top-k requests (``--topk`` nearest CAM rows per query,
   ``submit_topk``) with a repeated tail that exercises the (query, k)
-  cache keys: the retrieval workload the partial gather exists for.
+  cache keys: the retrieval workload the partial gather exists for;
+* ``tenants`` -- multi-tenant Zipf traffic through a tenanted server
+  (:mod:`repro.serve.tenancy`): two well-behaved tenants (``gold`` at
+  weight 3, ``silver`` at weight 1) paced at ``--wb-rate`` beside a
+  ``flood`` tenant submitting at ``--flood-factor`` times its token
+  bucket (``--tenant-rate``/``--tenant-burst``, degradation ``shed``).
+  Reports client-side per-tenant p50/p99 and admit/shed counts;
+  ``--no-flood`` runs the same well-behaved traffic alone (the baseline
+  ``scripts/tenant_smoke.py`` gates against).
 
 ``--engine sharded`` serves every scenario through a
 :class:`~repro.shard.ShardedEngine` cluster (``--shards`` / ``--replicas``
@@ -50,8 +58,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import itertools
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -70,14 +80,20 @@ from repro.obs import (  # noqa: E402  (path bootstrap above)
     report as obs_report,
 )
 from repro.serve import (  # noqa: E402
+    AdmissionError,
     MicroBatchServer,
     PrintObserver,
     ServeConfig,
+    TenantPolicy,
+    TenantRegistry,
     build_demo_engine,
 )
 from repro.shard import build_demo_sharded_engine  # noqa: E402
 
 SCENARIOS = ("uniform", "bursty", "zipf", "cache_busting", "retrieval")
+
+#: The tenants scenario's cast: two well-behaved tenants and one flood.
+WELL_BEHAVED = (("gold", 3.0), ("silver", 1.0))
 
 
 def build_queries(scenario: str, args: argparse.Namespace,
@@ -286,6 +302,186 @@ def run_scenario(scenario: str, args: argparse.Namespace) -> dict:
     return report
 
 
+def run_tenants_scenario(args: argparse.Namespace,
+                         flood: bool | None = None) -> dict:
+    """The multi-tenant scenario: Zipf traffic from three tenants.
+
+    Two well-behaved tenants (paced at ``--wb-rate``) run beside a flood
+    tenant submitting at ``--flood-factor`` times its token-bucket rate
+    (shed on overflow).  Latency is measured *client-side* per tenant --
+    submit to future resolution -- because that is what a tenant
+    experiences; the server's bucket-resolution histogram is too coarse
+    for the smoke gate's 1.5x comparison.  ``flood=False`` (or
+    ``--no-flood``) runs only the well-behaved traffic: the baseline
+    ``scripts/tenant_smoke.py`` gates the flooded run against.
+    """
+    if flood is None:
+        flood = not args.no_flood
+    rng = np.random.default_rng(args.seed)
+    pool = rng.standard_normal((args.pool, args.input_dim))
+    burst = (args.tenant_burst if args.tenant_burst is not None
+             else args.tenant_rate)
+    registry = TenantRegistry()
+    registry.register("flood", TenantPolicy(
+        weight=1.0, rate=args.tenant_rate, burst=burst, degradation="shed"))
+    for name, weight in WELL_BEHAVED:
+        registry.register(name, TenantPolicy(weight=weight))
+    config = ServeConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth, num_workers=args.workers,
+        cache_capacity=(0 if args.no_cache
+                        else (args.cache_capacity or 4096)),
+        adaptive_wait=args.adaptive_wait, executor=args.executor)
+    engine = build_engine(args)
+    server = MicroBatchServer(engine, config=config, tenancy=registry)
+
+    lock = threading.Lock()
+    names = [name for name, _ in WELL_BEHAVED] + ["flood"]
+    latencies: dict[str, list[float]] = {name: [] for name in names}
+    completions: list[tuple[str, int, np.ndarray]] = []
+    counts = {name: {"submitted": 0, "rejected": 0, "failed": 0}
+              for name in names}
+    stop = threading.Event()
+
+    def pump(name: str, indices, interval_s: float,
+             until_stop: bool = False) -> None:
+        iterator = itertools.cycle(indices) if until_stop else iter(indices)
+        for pool_index in iterator:
+            if until_stop and stop.is_set():
+                break
+            submitted_at = time.perf_counter()
+            with lock:
+                counts[name]["submitted"] += 1
+            try:
+                future = server.submit(pool[pool_index], tenant=name)
+            except AdmissionError:
+                with lock:
+                    counts[name]["rejected"] += 1
+            else:
+                def done(resolved, name=name, pool_index=pool_index,
+                         submitted_at=submitted_at):
+                    latency_ms = (time.perf_counter() - submitted_at) * 1e3
+                    with lock:
+                        if resolved.exception() is None:
+                            latencies[name].append(latency_ms)
+                            completions.append(
+                                (name, pool_index, resolved.result()))
+                        else:
+                            counts[name]["failed"] += 1
+                future.add_done_callback(done)
+            if interval_s > 0:
+                time.sleep(interval_s)
+
+    def zipf_indices(name: str, size: int) -> np.ndarray:
+        tenant_rng = np.random.default_rng(
+            [args.seed, abs(hash(name)) % (2 ** 31)])
+        return tenant_rng.zipf(args.zipf_alpha, size=size) % args.pool
+
+    wb_interval = 1.0 / args.wb_rate if args.wb_rate > 0 else 0.0
+    flood_interval = 1.0 / (args.flood_factor * args.tenant_rate)
+    wb_threads = [
+        threading.Thread(target=pump, name=f"wb-{name}",
+                         args=(name, zipf_indices(name, args.requests),
+                               wb_interval))
+        for name, _ in WELL_BEHAVED]
+    flood_thread = threading.Thread(
+        target=pump, name="flood",
+        args=("flood", zipf_indices("flood", args.pool), flood_interval, True))
+
+    server.start()
+    try:
+        start = time.perf_counter()
+        if flood:
+            flood_thread.start()
+        for thread in wb_threads:
+            thread.start()
+        for thread in wb_threads:
+            thread.join()
+        stop.set()
+        if flood:
+            flood_thread.join()
+        elapsed_s = time.perf_counter() - start
+    finally:
+        server.stop(drain=True)  # resolves every admitted future
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
+
+    def percentile(name: str, q: float) -> float:
+        values = latencies[name]
+        return float(np.percentile(values, q)) if values else 0.0
+
+    tenants = {}
+    for name in names:
+        entry = dict(counts[name])
+        entry["admitted"] = entry["submitted"] - entry["rejected"]
+        entry["completed"] = len(latencies[name])
+        entry["p50_ms"] = percentile(name, 50.0)
+        entry["p99_ms"] = percentile(name, 99.0)
+        tenants[name] = entry
+    report = {
+        "scenario": "tenants",
+        "engine": args.engine,
+        "flood": bool(flood),
+        "elapsed_s": elapsed_s,
+        "tenant_rate": args.tenant_rate,
+        "tenant_burst": burst,
+        "flood_factor": args.flood_factor,
+        "tenants": tenants,
+        "stats": server.stats(),
+    }
+    if args.verify:
+        report["verified"] = verify_tenant_completions(args, pool, completions)
+    return report
+
+
+def verify_tenant_completions(args: argparse.Namespace, pool: np.ndarray,
+                              completions: list) -> bool:
+    """Every served row must match direct execution on an identical engine.
+
+    Repeats within one tenant ride its cache namespace, so they must be
+    *bit-identical* to each other; against the independently built
+    reference engine the check is ``allclose`` plus exact argmax
+    equality, exactly as the single-tenant scenarios verify.
+    """
+    reference_engine = build_demo_engine(classes=args.classes,
+                                         input_dim=args.input_dim,
+                                         hash_length=args.hash_length,
+                                         seed=args.seed)
+    reference = reference_engine.execute(reference_engine.prepare(pool))
+    seen: dict[tuple[str, int], np.ndarray] = {}
+    for tenant, pool_index, row in completions:
+        expected = reference[pool_index]
+        if not np.allclose(row, expected) \
+                or int(np.argmax(row)) != int(np.argmax(expected)):
+            print(f"[loadgen] VERIFY FAIL: tenant {tenant!r} pool row "
+                  f"{pool_index} deviates from direct execution")
+            return False
+        key = (tenant, int(pool_index))
+        if key in seen and not np.array_equal(seen[key], row):
+            print(f"[loadgen] VERIFY FAIL: tenant {tenant!r} served "
+                  f"non-identical repeats of pool row {pool_index}")
+            return False
+        seen[key] = row
+    return True
+
+
+def print_tenants_report(report: dict) -> None:
+    flood = "flood on" if report["flood"] else "no flood (baseline)"
+    print(f"[loadgen] scenario=tenants engine={report['engine']} {flood} "
+          f"elapsed={report['elapsed_s']:.2f}s")
+    for name, entry in report["tenants"].items():
+        print(f"[loadgen]   {name}: submitted={entry['submitted']} "
+              f"admitted={entry['admitted']} rejected={entry['rejected']} "
+              f"p50={entry['p50_ms']:.2f}ms p99={entry['p99_ms']:.2f}ms")
+    server_tenants = report["stats"].get("tenants", {})
+    shed = {name: entry.get("shed", 0)
+            for name, entry in server_tenants.items()}
+    print(f"[loadgen]   server shed counts={shed}")
+    if "verified" in report:
+        print(f"[loadgen]   verified={'OK' if report['verified'] else 'FAIL'}")
+
+
 def build_slo_specs(args: argparse.Namespace) -> tuple:
     """SloSpecs from the --slo-* flags ([] when none are set)."""
     if (args.slo_p99_ms is None and args.slo_error_rate_max is None
@@ -415,10 +611,13 @@ def print_report(report: dict) -> None:
                       f"bad {short['bad']:.0f}/{short['total']:.0f})")
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The loadgen CLI (exposed so tenant_smoke reuses the defaults)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scenario", choices=(*SCENARIOS, "all"),
-                        default="uniform")
+    parser.add_argument("--scenario", choices=(*SCENARIOS, "tenants", "all"),
+                        default="uniform",
+                        help="traffic shape ('tenants' is the multi-tenant "
+                             "flood scenario; not part of 'all')")
     parser.add_argument("--requests", type=int, default=1000)
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
@@ -465,6 +664,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="doorkeeper admission threshold for any "
                              "scenario (default: 2 for cache_busting, "
                              "1 = plain LRU otherwise)")
+    parser.add_argument("--tenant-rate", type=float, default=20.0,
+                        help="tenants scenario: the flood tenant's "
+                             "token-bucket rate (req/s)")
+    parser.add_argument("--tenant-burst", type=float, default=None,
+                        help="tenants scenario: the flood tenant's bucket "
+                             "capacity (default: its rate)")
+    parser.add_argument("--flood-factor", type=float, default=10.0,
+                        help="tenants scenario: flood submits at this "
+                             "multiple of its admitted rate")
+    parser.add_argument("--wb-rate", type=float, default=200.0,
+                        help="tenants scenario: each well-behaved tenant's "
+                             "submit pace (req/s)")
+    parser.add_argument("--no-flood", action="store_true",
+                        help="tenants scenario: run only the well-behaved "
+                             "tenants (the tenant_smoke baseline)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--timeout-s", type=float, default=60.0)
     parser.add_argument("--verify", action="store_true",
@@ -497,7 +711,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: all scenarios, 200 requests each, "
                              "verification on (make serve-smoke)")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
 
     if args.quick:
         args.requests = min(args.requests, 200)
@@ -508,8 +726,12 @@ def main(argv: list[str] | None = None) -> int:
     reports = []
     all_verified = True
     for scenario in scenarios:
-        report = run_scenario(scenario, args)
-        print_report(report)
+        if scenario == "tenants":
+            report = run_tenants_scenario(args)
+            print_tenants_report(report)
+        else:
+            report = run_scenario(scenario, args)
+            print_report(report)
         reports.append(report)
         all_verified = all_verified and report.get("verified", True)
         if "trace" in report:

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Multi-tenant smoke gate: a flood tenant must not hurt its neighbours.
+
+Runs the loadgen ``tenants`` scenario twice on identical knobs -- once
+with only the well-behaved tenants (the baseline), once with the flood
+tenant submitting at ``--flood-factor`` times its token-bucket rate --
+and gates three properties:
+
+1. **Isolation.**  Every well-behaved tenant's client-side p99 under
+   flood stays within ``--p99-ratio`` (default 1.5x) of its no-flood
+   baseline, plus a small absolute epsilon so sub-millisecond baselines
+   don't gate on scheduler noise.
+2. **Admission.**  The flood tenant's admitted count stays within its
+   token bucket's arithmetic: ``burst + rate * elapsed`` plus slack for
+   timer jitter.  The bucket is actually limiting, too: with the pump
+   submitting at 10x, at least half of the flood's submits are shed.
+3. **Correctness.**  Both runs verify every served answer against
+   direct execution on an independently built engine (``--verify`` is
+   forced on), so admission control never changes a bit of any answer.
+
+Exits nonzero on any failed property.  Wired up as ``make tenant-smoke``
+inside ``make check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import loadgen  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=300,
+                        help="requests per well-behaved tenant per run")
+    parser.add_argument("--tenant-rate", type=float, default=20.0)
+    parser.add_argument("--flood-factor", type=float, default=10.0)
+    parser.add_argument("--wb-rate", type=float, default=200.0)
+    parser.add_argument("--p99-ratio", type=float, default=1.5,
+                        help="flood p99 must stay within this multiple of "
+                             "the baseline p99 per well-behaved tenant")
+    parser.add_argument("--p99-epsilon-ms", type=float, default=5.0,
+                        help="absolute headroom added to the ratio gate")
+    parser.add_argument("--seed", type=int, default=0)
+    ns = parser.parse_args(argv)
+
+    # Reuse loadgen's own parser so defaults never drift.
+    base_args = loadgen.build_parser().parse_args([
+        "--scenario", "tenants", "--requests", str(ns.requests),
+        "--tenant-rate", str(ns.tenant_rate),
+        "--flood-factor", str(ns.flood_factor),
+        "--wb-rate", str(ns.wb_rate), "--seed", str(ns.seed), "--verify",
+    ])
+
+    print("[tenant-smoke] baseline run (no flood)")
+    baseline = loadgen.run_tenants_scenario(base_args, flood=False)
+    loadgen.print_tenants_report(baseline)
+    print("[tenant-smoke] flood run "
+          f"({ns.flood_factor:g}x the flood tenant's bucket rate)")
+    flooded = loadgen.run_tenants_scenario(base_args, flood=True)
+    loadgen.print_tenants_report(flooded)
+
+    failures = []
+
+    # 1. Isolation: well-behaved p99 within ratio x baseline (+ epsilon).
+    for name, _ in loadgen.WELL_BEHAVED:
+        base_p99 = baseline["tenants"][name]["p99_ms"]
+        flood_p99 = flooded["tenants"][name]["p99_ms"]
+        ceiling = ns.p99_ratio * base_p99 + ns.p99_epsilon_ms
+        print(f"[tenant-smoke] {name}: baseline p99={base_p99:.2f}ms "
+              f"flood p99={flood_p99:.2f}ms ceiling={ceiling:.2f}ms")
+        if flood_p99 > ceiling:
+            failures.append(
+                f"{name} p99 {flood_p99:.2f}ms exceeds {ceiling:.2f}ms "
+                f"({ns.p99_ratio:g}x baseline {base_p99:.2f}ms "
+                f"+ {ns.p99_epsilon_ms:g}ms)")
+
+    # 2. Admission: the flood stays inside its token bucket's arithmetic.
+    flood_entry = flooded["tenants"]["flood"]
+    burst = flooded["tenant_burst"]
+    elapsed = flooded["elapsed_s"]
+    admitted_ceiling = burst + ns.tenant_rate * elapsed * 1.25 + 2.0
+    print(f"[tenant-smoke] flood: admitted={flood_entry['admitted']} "
+          f"of {flood_entry['submitted']} "
+          f"(bucket ceiling ~{admitted_ceiling:.0f} over {elapsed:.2f}s)")
+    if flood_entry["admitted"] > admitted_ceiling:
+        failures.append(
+            f"flood admitted {flood_entry['admitted']} exceeds the bucket "
+            f"ceiling {admitted_ceiling:.0f}")
+    if flood_entry["submitted"] > 0 \
+            and flood_entry["rejected"] < flood_entry["submitted"] * 0.5:
+        failures.append(
+            f"flood shed only {flood_entry['rejected']} of "
+            f"{flood_entry['submitted']} submits; the bucket is not limiting")
+
+    # 3. Correctness: both runs verified bit-identical to direct execution.
+    for label, report in (("baseline", baseline), ("flood", flooded)):
+        if not report.get("verified", False):
+            failures.append(f"{label} run failed response verification")
+
+    if failures:
+        for failure in failures:
+            print(f"[tenant-smoke] FAIL: {failure}")
+        return 1
+    print("[tenant-smoke] OK: flood isolated, bucket enforced, "
+          "answers bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

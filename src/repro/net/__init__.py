@@ -51,7 +51,7 @@ and a forced mid-run replica kill; it runs as part of ``make check``.
 from repro.net.async_client import AsyncNetClient
 from repro.net.client import NetClient
 from repro.net.cluster import LocalShardCluster
-from repro.net.protocol import PROTOCOL_VERSION, WireError
+from repro.net.protocol import PROTOCOL_VERSION, TENANT_HEADER, WireError
 from repro.net.remote import (
     RemoteCamCluster,
     RemoteShardTransport,
@@ -90,6 +90,7 @@ __all__ = [
     "RetryPolicy",
     "RetryingTransport",
     "ShardUnavailableError",
+    "TENANT_HEADER",
     "TransportError",
     "TransportResponse",
     "WireError",

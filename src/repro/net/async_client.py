@@ -43,17 +43,23 @@ class AsyncNetClient:
                  connect_timeout_s: float = 5.0,
                  read_timeout_s: float = 30.0,
                  seed: Optional[int] = None,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None,
+                 tenant: Optional[str] = None) -> None:
         self._sync = NetClient(base_url=base_url, transport=transport,
                                retry=retry,
                                connect_timeout_s=connect_timeout_s,
                                read_timeout_s=read_timeout_s, seed=seed,
-                               tracer=tracer)
+                               tracer=tracer, tenant=tenant)
 
     @property
     def transport(self):
         """The shared retrying transport (for counters and tests)."""
         return self._sync.transport
+
+    @property
+    def tenant(self) -> Optional[str]:
+        """Tenant id stamped on every request (``X-Repro-Tenant``)."""
+        return self._sync.tenant
 
     # -- lifecycle ---------------------------------------------------------------
 

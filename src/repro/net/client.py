@@ -63,6 +63,12 @@ class NetClient:
         falls back to the process default
         (:func:`repro.obs.configure`); with no tracer at all the client
         still forwards any ambient trace context on the wire.
+    tenant:
+        Tenant id carried on every request as the ``X-Repro-Tenant``
+        header (multi-tenant admission on the serve plane).  ``None``
+        sends no header -- the server books the traffic under its
+        default tenant.  Rate-limited answers come back as HTTP 429
+        with a ``Retry-After`` hint the retry layer honours.
     """
 
     def __init__(self, base_url: Optional[str] = None,
@@ -71,7 +77,8 @@ class NetClient:
                  connect_timeout_s: float = 5.0,
                  read_timeout_s: float = 30.0,
                  seed: Optional[int] = None,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None,
+                 tenant: Optional[str] = None) -> None:
         if (base_url is None) == (transport is None):
             raise ValueError("pass exactly one of base_url or transport")
         if transport is None:
@@ -81,6 +88,7 @@ class NetClient:
         rng = random.Random(seed) if seed is not None else None
         self.transport = RetryingTransport(transport, policy=retry, rng=rng)
         self.tracer = tracer if tracer is not None else default_tracer()
+        self.tenant = tenant
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -112,6 +120,8 @@ class NetClient:
             headers["Content-Type"] = protocol.CONTENT_TYPE_JSON
         if accept is not None:
             headers["Accept"] = accept
+        if self.tenant is not None:
+            headers[protocol.TENANT_HEADER] = self.tenant
         if self.tracer is None:
             headers = inject_headers(headers)  # forward any ambient context
             response = self.transport.send(method, path, body, headers)

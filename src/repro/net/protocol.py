@@ -48,6 +48,14 @@ from repro.obs.span import (  # re-exported: the wire's trace-context field
     parse_trace_header,
 )
 
+#: Header naming the tenant a request is attributed to (multi-tenant
+#: admission/fair-queueing on the serve plane; absent = default tenant).
+TENANT_HEADER = "X-Repro-Tenant"
+
+#: Header carrying the server's retry-after hint on 429 responses
+#: (seconds, decimal; the retry layer honours fractions).
+RETRY_AFTER_HEADER = "Retry-After"
+
 #: Envelope schema version; peers reject anything else with
 #: ``unsupported_version``.
 PROTOCOL_VERSION = 1
@@ -75,6 +83,8 @@ ERROR_STATUS: Dict[str, int] = {
     "internal": 500,
     "unavailable": 503,
     "shutting_down": 503,
+    "rate_limited": 429,
+    "quota_exceeded": 429,
 }
 
 
@@ -92,10 +102,15 @@ class WireError(Exception):
     stable ``code`` regardless of which peer produced it.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        #: Server's hint of when a retry could succeed (429 responses);
+        #: ``None`` when the server gave none.
+        self.retry_after_s = (float(retry_after_s)
+                              if retry_after_s is not None else None)
 
     @property
     def status(self) -> int:
@@ -194,10 +209,18 @@ def ok_envelope(result: Mapping[str, Any]) -> Dict[str, Any]:
     return {"v": PROTOCOL_VERSION, "ok": True, "result": dict(result)}
 
 
-def error_envelope(code: str, message: str) -> Dict[str, Any]:
-    """A failure response envelope with a typed error code."""
-    return {"v": PROTOCOL_VERSION, "ok": False,
-            "error": {"code": code, "message": message}}
+def error_envelope(code: str, message: str,
+                   retry_after_s: Optional[float] = None) -> Dict[str, Any]:
+    """A failure response envelope with a typed error code.
+
+    ``retry_after_s`` rides inside the error object on rate-limit
+    responses so the hint survives transports that drop response headers
+    (and direct ``NetApp.handle`` callers see it too).
+    """
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = float(retry_after_s)
+    return {"v": PROTOCOL_VERSION, "ok": False, "error": error}
 
 
 def parse_response(document: Any) -> Dict[str, Any]:
@@ -216,8 +239,15 @@ def parse_response(document: Any) -> Dict[str, Any]:
         return dict(result)
     error = document.get("error")
     if isinstance(error, Mapping):
+        retry_after = error.get("retry_after_s")
+        try:
+            retry_after = (float(retry_after)
+                           if retry_after is not None else None)
+        except (TypeError, ValueError):
+            retry_after = None
         raise WireError(str(error.get("code", "internal")),
-                        str(error.get("message", "unknown server error")))
+                        str(error.get("message", "unknown server error")),
+                        retry_after_s=retry_after)
     raise WireError("internal", "response reported failure with no error")
 
 

@@ -64,6 +64,11 @@ from repro.obs import (
 from repro.serve.batching import QueueFullError, ServeConfig
 from repro.serve.engine import InferenceEngine
 from repro.serve.server import MicroBatchServer
+from repro.serve.tenancy import (
+    AdmissionError,
+    QuotaExceededError,
+    TenantRegistry,
+)
 
 #: Answers replayed for retried non-idempotent requests (per app).
 IDEMPOTENCY_CACHE_SIZE = 256
@@ -149,7 +154,8 @@ class NetApp:
                  observers: Iterable[Any] = (),
                  timeout_s: float = 30.0,
                  tracer: Any = None,
-                 slo_specs: Iterable[Any] = ()) -> None:
+                 slo_specs: Iterable[Any] = (),
+                 tenancy: Optional[TenantRegistry] = None) -> None:
         surfaces = sum(argument is not None
                        for argument in (engine, server, shard_rows))
         if surfaces != 1:
@@ -170,7 +176,8 @@ class NetApp:
         if engine is not None:
             self.server = MicroBatchServer(engine, config=config, cache=cache,
                                            observers=observers,
-                                           tracer=self.tracer).start()
+                                           tracer=self.tracer,
+                                           tenancy=tenancy).start()
         elif server is not None:
             if not server.running:
                 raise RuntimeError("attached server is not running")
@@ -221,6 +228,13 @@ class NetApp:
             response = self._route(method, path, lowered, body)
         except protocol.WireError as error:
             response = self._error_response(error.code, error.message)
+        except AdmissionError as error:
+            # Before QueueFullError: a quota rejection is both, and must
+            # travel as 429 + retry-after, not 503.
+            code = ("quota_exceeded" if isinstance(error, QuotaExceededError)
+                    else "rate_limited")
+            response = self._error_response(
+                code, str(error), retry_after_s=error.retry_after_s)
         except QueueFullError as error:
             response = self._error_response("unavailable", str(error))
         except RuntimeError as error:
@@ -290,9 +304,11 @@ class NetApp:
         return (200, protocol.CONTENT_TYPE_JSON,
                 protocol.dumps(protocol.ok_envelope(result)))
 
-    def _error_response(self, code: str, message: str) -> Response:
+    def _error_response(self, code: str, message: str,
+                        retry_after_s: Optional[float] = None) -> Response:
         return (protocol.error_status(code), protocol.CONTENT_TYPE_JSON,
-                protocol.dumps(protocol.error_envelope(code, message)))
+                protocol.dumps(protocol.error_envelope(
+                    code, message, retry_after_s=retry_after_s)))
 
     # -- shared routes -----------------------------------------------------------
 
@@ -381,15 +397,18 @@ class NetApp:
             protocol.parse_request(protocol.loads(body), "classify"))
         context = protocol.parse_trace_header(
             headers.get(protocol.TRACE_HEADER.lower()))
+        tenant = headers.get(protocol.TENANT_HEADER.lower())
         with self._rpc_span("rpc.classify", headers,
-                            batch=int(samples.shape[0])) as rpc:
+                            batch=int(samples.shape[0]),
+                            **({} if tenant is None
+                               else {"tenant": tenant})) as rpc:
             trace = rpc if rpc is not None else context
             if samples.shape[0] == 0:
                 output_dim = getattr(self.server.engine, "output_dim", 0)
                 logits = np.empty((0, output_dim), dtype=np.float64)
             else:
                 futures = [self.server.submit(sample, timeout=self.timeout_s,
-                                              trace=trace)
+                                              trace=trace, tenant=tenant)
                            for sample in samples]
                 logits = np.stack([future.result(self.timeout_s)
                                    for future in futures])
@@ -401,15 +420,19 @@ class NetApp:
             protocol.parse_request(protocol.loads(body), "topk"))
         context = protocol.parse_trace_header(
             headers.get(protocol.TRACE_HEADER.lower()))
+        tenant = headers.get(protocol.TENANT_HEADER.lower())
         with self._rpc_span("rpc.topk", headers, batch=int(samples.shape[0]),
-                            k=int(k)) as rpc:
+                            k=int(k),
+                            **({} if tenant is None
+                               else {"tenant": tenant})) as rpc:
             trace = rpc if rpc is not None else context
             if samples.shape[0] == 0:
                 rows = np.zeros((0, 0), dtype=np.float64)
             else:
                 futures = [self.server.submit_topk(sample, k,
                                                    timeout=self.timeout_s,
-                                                   trace=trace)
+                                                   trace=trace,
+                                                   tenant=tenant)
                            for sample in samples]
                 rows = np.stack([future.result(self.timeout_s)
                                  for future in futures])
@@ -511,6 +534,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if status == 429:
+            # Surface the envelope's retry hint as a real Retry-After
+            # header (decimal seconds) for header-only HTTP clients.
+            try:
+                error = protocol.loads(payload).get("error", {})
+                retry_after = error.get("retry_after_s")
+                if retry_after is not None:
+                    self.send_header(protocol.RETRY_AFTER_HEADER,
+                                     f"{float(retry_after):.3f}")
+            except Exception:  # noqa: BLE001 -- a hint, never a failure
+                pass
         self.end_headers()
         self.wfile.write(payload)
 
@@ -587,12 +621,13 @@ class NetServer:
                  timeout_s: float = 30.0,
                  host: str = "127.0.0.1", port: int = 0,
                  tracer: Any = None,
-                 slo_specs: Iterable[Any] = ()) -> None:
+                 slo_specs: Iterable[Any] = (),
+                 tenancy: Optional[TenantRegistry] = None) -> None:
         self.app = NetApp(engine=engine, server=server,
                           shard_rows=shard_rows, word_bits=word_bits,
                           config=config, cache=cache, observers=observers,
                           timeout_s=timeout_s, tracer=tracer,
-                          slo_specs=slo_specs)
+                          slo_specs=slo_specs, tenancy=tenancy)
         self.host = host
         self.port = int(port)
         self._httpd: Optional[_TrackingHTTPServer] = None

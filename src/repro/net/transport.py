@@ -360,6 +360,30 @@ class FlakyTransport:
         return {**self.inner.stats(), "injected": injected}
 
 
+def _retry_after_hint(response: TransportResponse) -> Optional[float]:
+    """The server's retry-after hint on a 429/5xx, if it sent one.
+
+    Prefers the ``Retry-After`` header (decimal seconds); falls back to
+    the JSON envelope's ``error.retry_after_s`` for transports that
+    surface only the body (``NetApp.handle`` called directly).
+    """
+    header = response.headers.get("retry-after") if response.headers else None
+    if header is not None:
+        try:
+            return max(0.0, float(header))
+        except (TypeError, ValueError):
+            pass
+    if response.content_type == protocol.CONTENT_TYPE_JSON:
+        try:
+            error = protocol.loads(response.body).get("error", {})
+            value = error.get("retry_after_s")
+            if value is not None:
+                return max(0.0, float(value))
+        except Exception:  # noqa: BLE001 -- a hint, never a failure
+            return None
+    return None
+
+
 class RetryingTransport:
     """Retries with backoff, jitter, a budget and idempotency keys.
 
@@ -402,6 +426,7 @@ class RetryingTransport:
         delay = policy.base_delay_s
         last_error: Optional[Exception] = None
         for attempt in itertools.count(1):
+            retry_after: Optional[float] = None
             try:
                 response = self.inner.send_once(method, path, body,
                                                 request_headers)
@@ -410,6 +435,7 @@ class RetryingTransport:
             else:
                 if response.status not in policy.retry_statuses:
                     return response
+                retry_after = _retry_after_hint(response)
                 last_error = TransportError(
                     f"{method} {path} returned retryable status "
                     f"{response.status}")
@@ -420,6 +446,11 @@ class RetryingTransport:
                     f"{method} {path} failed after {attempt} attempts: "
                     f"{last_error}", attempts=attempt, last_error=last_error)
             delay = policy.next_delay(delay, self._rng)
+            if retry_after is not None:
+                # A rate-limited server knows when its bucket refills;
+                # sleeping less than its hint only burns attempts.  The
+                # policy cap still bounds the sleep.
+                delay = min(policy.max_delay_s, max(delay, retry_after))
             if slept + delay > policy.budget_s:
                 with self._lock:
                     self._exhausted += 1

@@ -64,6 +64,11 @@ class SloSpec:
     burn_threshold:
         Minimum burn rate (in both windows) that constitutes a breach.
         1.0 = "spending budget faster than allowed at all".
+    tenant:
+        Scope the objective to one tenant's labelled series
+        (``{tenant="name"}`` on the conventional instruments, emitted by
+        a tenanted :class:`~repro.serve.server.MicroBatchServer`).
+        ``None`` reads the unlabelled whole-plane series.
     """
 
     name: str
@@ -74,6 +79,7 @@ class SloSpec:
     short_window_s: float = 60.0
     long_window_s: float = 3600.0
     burn_threshold: float = 1.0
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -106,6 +112,7 @@ class SloSpec:
             "short_window_s": self.short_window_s,
             "long_window_s": self.long_window_s,
             "burn_threshold": self.burn_threshold,
+            "tenant": self.tenant,
         }
 
 
@@ -191,15 +198,19 @@ class SloEngine:
 
     # -- sampling ----------------------------------------------------------------
 
-    def _counter_value(self, key: str) -> float:
-        instrument = self.registry.get(self._names[key])
+    def _counter_value(self, key: str,
+                       labels: Optional[Dict[str, str]] = None) -> float:
+        instrument = self.registry.get(self._names[key], labels=labels)
         value = getattr(instrument, "value", None)
         return float(value) if value is not None else 0.0
 
     def _take_sample(self, spec: SloSpec) -> _Sample:
-        completed = self._counter_value("completed")
-        failed = self._counter_value("failed")
-        histogram = self.registry.get(self._names["latency"])
+        # A tenant-scoped spec reads the labelled per-tenant series the
+        # serve plane emits beside the unlabelled whole-plane ones.
+        labels = {"tenant": spec.tenant} if spec.tenant is not None else None
+        completed = self._counter_value("completed", labels)
+        failed = self._counter_value("failed", labels)
+        histogram = self.registry.get(self._names["latency"], labels=labels)
         observations = slow = 0
         if isinstance(histogram, Histogram):
             observations = histogram.count
@@ -209,8 +220,8 @@ class SloEngine:
             at_s=self._clock(),
             requests=completed + failed,
             errors=failed,
-            hits=self._counter_value("hits"),
-            misses=self._counter_value("misses"),
+            hits=self._counter_value("hits", labels),
+            misses=self._counter_value("misses", labels),
             observations=observations,
             slow=slow,
         )

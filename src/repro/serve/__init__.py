@@ -69,12 +69,26 @@ from repro.serve.metrics import (
     notify_all,
 )
 from repro.serve.server import MicroBatchServer
+from repro.serve.tenancy import (
+    DEFAULT_TENANT,
+    DEGRADATION_MODES,
+    AdmissionError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenantPolicy,
+    TenantQueues,
+    TenantRegistry,
+    TokenBucket,
+)
 
 __all__ = [
+    "AdmissionError",
     "AsyncServeClient",
     "BackendEngine",
     "CacheStats",
     "CamPipelineEngine",
+    "DEFAULT_TENANT",
+    "DEGRADATION_MODES",
     "FULL_POLICIES",
     "InferenceEngine",
     "MicroBatchServer",
@@ -82,12 +96,18 @@ __all__ = [
     "PreparedBatch",
     "PrintObserver",
     "QueueFullError",
+    "QuotaExceededError",
+    "RateLimitedError",
     "RecordingObserver",
     "ServeClient",
     "ServeConfig",
     "ServeMetrics",
     "ServeObserver",
     "ServeRequest",
+    "TenantPolicy",
+    "TenantQueues",
+    "TenantRegistry",
+    "TokenBucket",
     "TopKRequest",
     "adaptive_wait_s",
     "build_demo_engine",

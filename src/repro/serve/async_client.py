@@ -52,11 +52,13 @@ class AsyncServeClient:
                  cache: Any = None,
                  observers: Iterable[Any] = (),
                  timeout_s: float = 30.0,
-                 enqueue_timeout_s: Optional[float] = None) -> None:
+                 enqueue_timeout_s: Optional[float] = None,
+                 tenant: Optional[str] = None) -> None:
         self._sync = ServeClient(engine=engine, server=server, config=config,
                                  cache=cache, observers=observers,
                                  timeout_s=timeout_s,
-                                 enqueue_timeout_s=enqueue_timeout_s)
+                                 enqueue_timeout_s=enqueue_timeout_s,
+                                 tenant=tenant)
 
     @property
     def server(self) -> MicroBatchServer:
@@ -72,6 +74,11 @@ class AsyncServeClient:
     def enqueue_timeout_s(self) -> float:
         """Default enqueue (backpressure) timeout in seconds."""
         return self._sync.enqueue_timeout_s
+
+    @property
+    def tenant(self) -> Optional[str]:
+        """Default tenant attribution (see :mod:`repro.serve.tenancy`)."""
+        return self._sync.tenant
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -93,18 +100,21 @@ class AsyncServeClient:
         """Resolve the (enqueue, result) bounds of one call (sync rules)."""
         return self._sync._waits(timeout, enqueue_timeout)
 
-    async def _submit(self, sample: np.ndarray,
-                      timeout: float) -> "asyncio.Future[np.ndarray]":
+    async def _submit(self, sample: np.ndarray, timeout: float,
+                      tenant: Optional[str] = None
+                      ) -> "asyncio.Future[np.ndarray]":
         """Enqueue off-loop (backpressure may block) and bridge the future."""
         loop = asyncio.get_running_loop()
         future = await loop.run_in_executor(
-            None, functools.partial(self.server.submit, sample,
-                                    timeout=timeout))
+            None, functools.partial(
+                self.server.submit, sample, timeout=timeout,
+                tenant=tenant if tenant is not None else self._sync.tenant))
         return asyncio.wrap_future(future, loop=loop)
 
     async def infer(self, sample: np.ndarray,
                     timeout: Optional[float] = None,
-                    enqueue_timeout: Optional[float] = None) -> np.ndarray:
+                    enqueue_timeout: Optional[float] = None,
+                    tenant: Optional[str] = None) -> np.ndarray:
         """Serve one sample; awaits its logits row.
 
         ``enqueue_timeout`` (default ``enqueue_timeout_s``) bounds the
@@ -113,12 +123,13 @@ class AsyncServeClient:
         one-knob fallback as the sync client.
         """
         admit, wait = self._waits(timeout, enqueue_timeout)
-        bridged = await self._submit(sample, admit)
+        bridged = await self._submit(sample, admit, tenant=tenant)
         return await asyncio.wait_for(bridged, wait)
 
     async def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray,
                          timeout: Optional[float] = None,
-                         enqueue_timeout: Optional[float] = None
+                         enqueue_timeout: Optional[float] = None,
+                         tenant: Optional[str] = None
                          ) -> np.ndarray:
         """Serve several samples; awaits the stacked ``(n, output_dim)`` logits.
 
@@ -132,7 +143,8 @@ class AsyncServeClient:
             output_dim = getattr(self.server.engine, "output_dim", 0)
             return np.empty((0, output_dim), dtype=np.float64)
         admit, wait = self._waits(timeout, enqueue_timeout)
-        bridged = [await self._submit(sample, admit) for sample in samples]
+        bridged = [await self._submit(sample, admit, tenant=tenant)
+                   for sample in samples]
         rows = await asyncio.gather(
             *(asyncio.wait_for(future, wait) for future in bridged))
         return np.stack(rows)

@@ -136,6 +136,12 @@ class ServeRequest:
     enqueued_at: float = field(default_factory=time.perf_counter)
     span: Any = None
     enqueue_span: Any = None
+    #: Tenant attribution (:mod:`repro.serve.tenancy`): ``None`` on an
+    #: untenanted server.  ``key_suffix`` is the tenant's cache-namespace
+    #: suffix, precomputed at admission so the worker's key loop stays a
+    #: plain concatenation.
+    tenant: Optional[str] = None
+    key_suffix: bytes = b""
 
 
 @dataclass
@@ -171,7 +177,8 @@ def adaptive_wait_s(max_wait_s: float, queue_depth: int, max_batch: int) -> floa
 
 
 def drain_batch(request_queue: "queue.Queue[ServeRequest]", max_batch: int,
-                max_wait_s: float, first_timeout_s: float) -> List[ServeRequest]:
+                max_wait_s: float, first_timeout_s: float,
+                adaptive: bool = False) -> List[ServeRequest]:
     """Collect one micro-batch, flushing on size or time -- whichever first.
 
     Blocks up to ``first_timeout_s`` for the first request (the idle poll);
@@ -179,6 +186,16 @@ def drain_batch(request_queue: "queue.Queue[ServeRequest]", max_batch: int,
     budget as the timeout until ``max_batch`` is reached or the budget is
     spent.  ``max_wait_s <= 0`` takes only what is already queued.  Returns
     ``[]`` when the queue stayed empty for the whole poll.
+
+    ``adaptive=True`` applies the :func:`adaptive_wait_s` policy *per
+    iteration* instead of once up front: every dequeue re-evaluates the
+    window from the requests in hand plus the live backlog, so a burst
+    arriving mid-drain collapses the remaining wait immediately (the stale
+    single-sample window was the bug: a batch that started draining an
+    idle queue kept its full wait even after the queue filled).  When the
+    window closes with a backlog present, whatever is already queued is
+    taken without further waiting, so the flush is a full batch rather
+    than a partial one with work left behind.
     """
     try:
         first = request_queue.get(timeout=first_timeout_s)
@@ -192,10 +209,31 @@ def drain_batch(request_queue: "queue.Queue[ServeRequest]", max_batch: int,
             except queue.Empty:
                 break
         return batch
-    deadline = time.perf_counter() + max_wait_s
+    started = time.perf_counter()
+    if not adaptive:
+        deadline = started + max_wait_s
+        while len(batch) < max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(request_queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
     while len(batch) < max_batch:
-        remaining = deadline - time.perf_counter()
+        window = adaptive_wait_s(max_wait_s,
+                                 len(batch) + request_queue.qsize(),
+                                 max_batch)
+        remaining = started + window - time.perf_counter()
         if remaining <= 0:
+            # Window spent (or the backlog already fills the batch): take
+            # what is queued right now, never wait further.
+            while len(batch) < max_batch:
+                try:
+                    batch.append(request_queue.get_nowait())
+                except queue.Empty:
+                    break
             break
         try:
             batch.append(request_queue.get(timeout=remaining))

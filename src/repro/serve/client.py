@@ -51,6 +51,11 @@ class ServeClient:
         because they bound different resources -- queue admission vs
         compute -- exactly like a network client's connect vs read
         timeouts (which :class:`~repro.net.client.NetClient` maps them to).
+    tenant:
+        Tenant every request of this client is attributed to on a
+        tenanted server (see :mod:`repro.serve.tenancy`); per-call
+        ``tenant=`` overrides it.  ``None`` on an untenanted server is a
+        no-op.
     """
 
     def __init__(self, engine: Optional[InferenceEngine] = None,
@@ -59,7 +64,8 @@ class ServeClient:
                  cache: Any = None,
                  observers: Iterable[Any] = (),
                  timeout_s: float = 30.0,
-                 enqueue_timeout_s: Optional[float] = None) -> None:
+                 enqueue_timeout_s: Optional[float] = None,
+                 tenant: Optional[str] = None) -> None:
         if (engine is None) == (server is None):
             raise ValueError("pass exactly one of engine or server")
         if timeout_s <= 0:
@@ -70,6 +76,7 @@ class ServeClient:
         self.enqueue_timeout_s = (float(enqueue_timeout_s)
                                   if enqueue_timeout_s is not None
                                   else self.timeout_s)
+        self.tenant = tenant
         self._owns_server = server is None
         if server is None:
             server = MicroBatchServer(engine, config=config, cache=cache,
@@ -104,7 +111,8 @@ class ServeClient:
 
     def infer(self, sample: np.ndarray,
               timeout: Optional[float] = None,
-              enqueue_timeout: Optional[float] = None) -> np.ndarray:
+              enqueue_timeout: Optional[float] = None,
+              tenant: Optional[str] = None) -> np.ndarray:
         """Serve one sample; blocks until its logits row is ready.
 
         Two bounds, separately configurable: ``enqueue_timeout`` (default
@@ -116,11 +124,14 @@ class ServeClient:
         historical one-knob behaviour.
         """
         admit, wait = self._waits(timeout, enqueue_timeout)
-        return self.server.submit(sample, timeout=admit).result(wait)
+        return self.server.submit(
+            sample, timeout=admit,
+            tenant=tenant if tenant is not None else self.tenant).result(wait)
 
     def infer_many(self, samples: Sequence[np.ndarray] | np.ndarray,
                    timeout: Optional[float] = None,
-                   enqueue_timeout: Optional[float] = None) -> np.ndarray:
+                   enqueue_timeout: Optional[float] = None,
+                   tenant: Optional[str] = None) -> np.ndarray:
         """Serve several samples; returns the stacked ``(n, output_dim)`` logits.
 
         All samples are enqueued before the first result is awaited, so the
@@ -133,12 +144,15 @@ class ServeClient:
             output_dim = getattr(self.server.engine, "output_dim", 0)
             return np.empty((0, output_dim), dtype=np.float64)
         admit, wait = self._waits(timeout, enqueue_timeout)
-        futures = self.server.submit_many(samples, timeout=admit)
+        futures = self.server.submit_many(
+            samples, timeout=admit,
+            tenant=tenant if tenant is not None else self.tenant)
         return np.stack([future.result(wait) for future in futures])
 
     def topk(self, sample: np.ndarray, k: int,
              timeout: Optional[float] = None,
-             enqueue_timeout: Optional[float] = None
+             enqueue_timeout: Optional[float] = None,
+             tenant: Optional[str] = None
              ) -> tuple[np.ndarray, np.ndarray]:
         """Serve one top-k retrieval request; returns ``(indices, distances)``.
 
@@ -148,13 +162,16 @@ class ServeClient:
         ``int64`` arrays.  Timeout semantics match :meth:`infer`.
         """
         admit, wait = self._waits(timeout, enqueue_timeout)
-        row = self.server.submit_topk(sample, k, timeout=admit).result(wait)
+        row = self.server.submit_topk(
+            sample, k, timeout=admit,
+            tenant=tenant if tenant is not None else self.tenant).result(wait)
         indices, distances = decode_topk_rows(row)
         return indices[0], distances[0]
 
     def topk_many(self, samples: Sequence[np.ndarray] | np.ndarray, k: int,
                   timeout: Optional[float] = None,
-                  enqueue_timeout: Optional[float] = None
+                  enqueue_timeout: Optional[float] = None,
+                  tenant: Optional[str] = None
                   ) -> tuple[np.ndarray, np.ndarray]:
         """Serve several top-k requests; returns stacked ``(n, k_eff)`` arrays."""
         samples = list(samples) if not isinstance(samples, np.ndarray) else samples
@@ -166,7 +183,9 @@ class ServeClient:
                 width = topk_width(k) // 2
             empty = np.zeros((0, width), dtype=np.int64)
             return empty, empty.copy()
-        futures = [self.server.submit_topk(sample, k, timeout=admit)
+        resolved = tenant if tenant is not None else self.tenant
+        futures = [self.server.submit_topk(sample, k, timeout=admit,
+                                           tenant=resolved)
                    for sample in samples]
         rows = np.stack([future.result(wait) for future in futures])
         return decode_topk_rows(rows)

@@ -55,6 +55,17 @@ class ServeObserver(Protocol):
     def shard_search_completed(self, shard: int, replica: int, queries: int,
                                service_ms: float) -> None: ...
 
+    # Tenant hooks fire only on tenanted servers (repro.serve.tenancy);
+    # the untenanted hot path never emits them.
+
+    def tenant_request_admitted(self, tenant: str) -> None: ...
+
+    def tenant_request_rejected(self, tenant: str, reason: str) -> None: ...
+
+    def tenant_request_degraded(self, tenant: str, mode: str) -> None: ...
+
+    def tenant_request_completed(self, tenant: str, latency_ms: float) -> None: ...
+
 
 def notify_all(observers: Iterable[Any], event: str, *args: Any) -> None:
     """Invoke ``event`` on every observer that defines it.
@@ -143,6 +154,11 @@ class ServeMetrics:
         self._last_queue_depth = 0
         self._started_at: float | None = None
         self._elapsed_s = 0.0  # serving time of completed runs (restarts accumulate)
+        # Per-tenant aggregates (tenanted servers only).  Labelled
+        # instruments reuse the serve-plane names -- the SLO engine and
+        # OpenMetrics endpoint read e.g. serve_request_latency_ms{tenant=x}
+        # next to the unlabelled series.
+        self._tenants: Dict[str, Dict[str, Any]] = {}
         # Per-shard counters of a sharded engine's fan-out (empty unless a
         # cluster feeds shard_search_completed events).
         self._shards: Dict[int, Dict[str, Any]] = {}
@@ -213,6 +229,65 @@ class ServeMetrics:
             entry["service_ms_total"] += service_ms
             entry["replicas"][replica] = entry["replicas"].get(replica, 0) + 1
 
+    # -- tenant hooks ------------------------------------------------------------
+
+    def _tenant_entry(self, tenant: str) -> Dict[str, Any]:
+        """Get-or-create one tenant's aggregates + labelled instruments."""
+        with self._lock:
+            entry = self._tenants.get(tenant)
+            if entry is None:
+                labels = {"tenant": tenant}
+                entry = {
+                    "admitted": 0,
+                    "completed": 0,
+                    "rejected": {},
+                    "degraded": {},
+                    "latencies": deque(maxlen=10_000),
+                    "c_admitted": self.registry.counter(
+                        "serve_requests_enqueued",
+                        "Requests accepted into the queue", labels=labels),
+                    "c_completed": self.registry.counter(
+                        "serve_requests_completed",
+                        "Requests answered successfully", labels=labels),
+                    "h_latency": self.registry.histogram(
+                        "serve_request_latency_ms",
+                        "End-to-end request latency (enqueue to reply)",
+                        labels=labels),
+                }
+                self._tenants[tenant] = entry
+            return entry
+
+    def tenant_request_admitted(self, tenant: str) -> None:
+        entry = self._tenant_entry(tenant)
+        entry["c_admitted"].inc()
+        with self._lock:
+            entry["admitted"] += 1
+
+    def tenant_request_rejected(self, tenant: str, reason: str) -> None:
+        entry = self._tenant_entry(tenant)
+        self.registry.counter(
+            "serve_requests_rejected", "Requests rejected on backpressure",
+            labels={"tenant": tenant, "reason": reason}).inc()
+        with self._lock:
+            entry["rejected"][reason] = entry["rejected"].get(reason, 0) + 1
+
+    def tenant_request_degraded(self, tenant: str, mode: str) -> None:
+        entry = self._tenant_entry(tenant)
+        self.registry.counter(
+            "serve_requests_degraded",
+            "Over-rate requests taken by a degradation mode",
+            labels={"tenant": tenant, "mode": mode}).inc()
+        with self._lock:
+            entry["degraded"][mode] = entry["degraded"].get(mode, 0) + 1
+
+    def tenant_request_completed(self, tenant: str, latency_ms: float) -> None:
+        entry = self._tenant_entry(tenant)
+        entry["c_completed"].inc()
+        entry["h_latency"].observe(latency_ms, exemplar=current_span())
+        with self._lock:
+            entry["completed"] += 1
+            entry["latencies"].append(latency_ms)
+
     # -- reporting ---------------------------------------------------------------
 
     @property
@@ -243,7 +318,18 @@ class ServeMetrics:
                 }
                 for shard, entry in sorted(self._shards.items())
             }
+            tenants = {
+                name: {
+                    "admitted": entry["admitted"],
+                    "completed": entry["completed"],
+                    "rejected": dict(entry["rejected"]),
+                    "degraded": dict(entry["degraded"]),
+                    "latency_ms": _percentiles(entry["latencies"]),
+                }
+                for name, entry in sorted(self._tenants.items())
+            }
             return {
+                **({"tenants": tenants} if tenants else {}),
                 "requests": {
                     "enqueued": int(self._c_enqueued.value),
                     "completed": completed,

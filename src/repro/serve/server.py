@@ -43,12 +43,18 @@ from repro.serve.batching import (
     ServeConfig,
     ServeRequest,
     TopKRequest,
-    adaptive_wait_s,
     drain_batch,
 )
 from repro.serve.cache import PackedSignatureCache
 from repro.serve.engine import InferenceEngine
 from repro.serve.metrics import ServeMetrics, notify_all
+from repro.serve.tenancy import (
+    QuotaExceededError,
+    RateLimitedError,
+    TenantQueues,
+    TenantRegistry,
+    TenantState,
+)
 
 
 class MicroBatchServer:
@@ -83,6 +89,13 @@ class MicroBatchServer:
         private registry; pass one to share instruments with an SLO
         engine or a metrics endpoint (also reachable as
         ``server.metrics.registry``).
+    tenancy:
+        A :class:`repro.serve.tenancy.TenantRegistry` turning on
+        multi-tenant traffic control: token-bucket admission and queue
+        quotas per tenant at submit time, per-tenant queues merged by
+        deficit-weighted round-robin instead of the single FIFO,
+        per-tenant cache namespaces and labelled metric series.  ``None``
+        (default) keeps the untenanted single-queue fast path untouched.
     """
 
     def __init__(self, engine: InferenceEngine,
@@ -90,7 +103,8 @@ class MicroBatchServer:
                  cache: "PackedSignatureCache | bool | None" = None,
                  observers: Iterable[Any] = (),
                  tracer: Any = None,
-                 registry: Any = None) -> None:
+                 registry: Any = None,
+                 tenancy: Optional[TenantRegistry] = None) -> None:
         self.engine = engine
         self.config = config if config is not None else ServeConfig()
         if cache is None:
@@ -107,8 +121,11 @@ class MicroBatchServer:
         if self._tracer is not None:
             observers = (*observers, TracingObserver(self._tracer))
         self._observers = (self.metrics, *observers)
-        self._queue: "queue.Queue[ServeRequest]" = queue.Queue(
-            maxsize=self.config.queue_depth)
+        self.tenancy = tenancy
+        self._queue: "queue.Queue[ServeRequest]" = (
+            TenantQueues(self.config.queue_depth, tenancy)
+            if tenancy is not None
+            else queue.Queue(maxsize=self.config.queue_depth))
         self._workers: List[threading.Thread] = []
         self._stop_event = threading.Event()
         self._state_lock = threading.Lock()
@@ -222,7 +239,8 @@ class MicroBatchServer:
 
     def submit(self, sample: np.ndarray,
                timeout: Optional[float] = None,
-               trace: Any = None) -> "Future[np.ndarray]":
+               trace: Any = None,
+               tenant: Optional[str] = None) -> "Future[np.ndarray]":
         """Enqueue one sample; returns the future of its logits row.
 
         Backpressure follows ``config.full_policy``: ``"block"`` waits (up
@@ -230,14 +248,22 @@ class MicroBatchServer:
         ``"reject"`` raises immediately when the queue is full.  ``trace``
         optionally parents the request's root span under an incoming
         :class:`repro.obs.TraceContext` (the net plane passes the parsed
-        ``X-Repro-Trace`` header here).
+        ``X-Repro-Trace`` header here).  ``tenant`` attributes the request
+        for admission/fair-queueing/metrics on a tenanted server (the net
+        plane passes the ``X-Repro-Tenant`` header); over-rate or
+        over-quota submissions raise
+        :class:`~repro.serve.tenancy.RateLimitedError` /
+        :class:`~repro.serve.tenancy.QuotaExceededError` with a
+        ``retry_after_s`` hint.
         """
-        return self._enqueue(ServeRequest(sample=self._validate_sample(sample)),
-                             timeout, trace=trace)
+        return self._enqueue(
+            ServeRequest(sample=self._validate_sample(sample), tenant=tenant),
+            timeout, trace=trace)
 
     def submit_topk(self, sample: np.ndarray, k: int,
                     timeout: Optional[float] = None,
-                    trace: Any = None) -> "Future[np.ndarray]":
+                    trace: Any = None,
+                    tenant: Optional[str] = None) -> "Future[np.ndarray]":
         """Enqueue one top-k retrieval request; returns the future of its row.
 
         The future resolves to a read-only encoded ``(2 * k_eff,)`` row of
@@ -253,7 +279,8 @@ class MicroBatchServer:
                 f"engine {getattr(self.engine, 'name', '?')!r} does not "
                 f"support top-k retrieval (no execute_topk)")
         return self._enqueue(
-            TopKRequest(sample=self._validate_sample(sample), k=validate_k(k)),
+            TopKRequest(sample=self._validate_sample(sample), k=validate_k(k),
+                        tenant=tenant),
             timeout, trace=trace)
 
     def _validate_sample(self, sample: np.ndarray) -> np.ndarray:
@@ -277,9 +304,15 @@ class MicroBatchServer:
             request.span = self._tracer.start_span(
                 "request", parent=trace,
                 attributes={"kind": "classify" if k is None else "topk",
-                            **({} if k is None else {"k": int(k)})})
+                            **({} if k is None else {"k": int(k)}),
+                            **({} if request.tenant is None
+                               else {"tenant": request.tenant})})
             request.enqueue_span = self._tracer.start_span(
                 "enqueue", parent=request.span)
+        if self.tenancy is not None:
+            served = self._admit(request)
+            if served is not None:
+                return served  # answered stale from the cache
         block = self.config.full_policy == "block"
         try:
             self._queue.put(request, block=block, timeout=timeout)
@@ -288,9 +321,7 @@ class MicroBatchServer:
             error = QueueFullError(
                 f"request queue is full (depth {self.config.queue_depth}, "
                 f"policy {self.config.full_policy!r})")
-            if request.span is not None:
-                request.enqueue_span.record_error(error).end()
-                request.span.record_error(error).end()
+            self._end_request_spans(request, error)
             raise error from None
         if not self._running and not self._workers:
             # stop() completed between the running guard and the put; no
@@ -301,9 +332,131 @@ class MicroBatchServer:
         return request.future
 
     def submit_many(self, samples: Sequence[np.ndarray] | np.ndarray,
-                    timeout: Optional[float] = None) -> List["Future[np.ndarray]"]:
+                    timeout: Optional[float] = None,
+                    tenant: Optional[str] = None) -> List["Future[np.ndarray]"]:
         """Enqueue several samples; returns their futures in order."""
-        return [self.submit(sample, timeout=timeout) for sample in samples]
+        return [self.submit(sample, timeout=timeout, tenant=tenant)
+                for sample in samples]
+
+    # -- admission (tenanted servers) --------------------------------------------
+
+    def _queue_pressure(self) -> float:
+        """Queue fill fraction in [0, 1] -- the degradation selector."""
+        return min(1.0, self._queue.qsize() / self.config.queue_depth)
+
+    def _reject(self, request: ServeRequest, state: TenantState,
+                error: "RateLimitedError | QuotaExceededError",
+                reason: str) -> None:
+        """Shared tail of every admission rejection: count, trace, raise."""
+        notify_all(self._observers, "request_rejected", self._queue.qsize())
+        notify_all(self._observers, "tenant_request_rejected",
+                   state.name, reason)
+        self._end_request_spans(request, error)
+        raise error
+
+    def _admit(self, request: ServeRequest) -> "Optional[Future[np.ndarray]]":
+        """Token-bucket + quota gates ahead of the shared queue bound.
+
+        Returns ``None`` when the request may proceed to the queue, or an
+        already-resolved future when ``"stale"`` degradation answered it
+        from the cache.  Raises :class:`RateLimitedError` /
+        :class:`QuotaExceededError` (span-ended, counted) otherwise.
+        """
+        state = self.tenancy.state(request.tenant)
+        request.tenant = state.name  # normalise None -> "default"
+        if self.cache is not None:
+            request.key_suffix = state.key_suffix
+        policy = state.policy
+        if state.bucket is not None and not state.bucket.try_acquire():
+            state.count("rate_limited")
+            degrade = policy.degradation
+            if degrade == "stale":
+                future = self._serve_stale(request, state)
+                if future is not None:
+                    return future
+            if degrade == "shed" \
+                    or self._queue_pressure() >= policy.degrade_pressure:
+                state.count("shed")
+                retry = state.bucket.retry_after()
+                self._reject(request, state, RateLimitedError(
+                    f"tenant {state.name!r} is over its rate "
+                    f"({policy.rate:g}/s, burst {policy.effective_burst:g}); "
+                    f"retry in {retry:.3f}s",
+                    state.name, retry_after_s=retry), "rate_limited")
+            # "queue"/"stale" under low pressure: admit over-rate traffic.
+            state.count("degraded_queued")
+            notify_all(self._observers, "tenant_request_degraded",
+                       state.name, "queue")
+        if policy.queue_quota is not None \
+                and isinstance(self._queue, TenantQueues) \
+                and self._queue.tenant_depth(state.name) >= policy.queue_quota:
+            state.count("quota_rejected")
+            retry = (state.bucket.retry_after()
+                     if state.bucket is not None else 0.0)
+            self._reject(request, state, QuotaExceededError(
+                f"tenant {state.name!r} has {policy.queue_quota} requests "
+                f"queued (its quota)", state.name, retry_after_s=retry),
+                "quota")
+        state.count("admitted")
+        notify_all(self._observers, "tenant_request_admitted", state.name)
+        return None
+
+    def _serve_stale(self, request: ServeRequest,
+                     state: TenantState) -> "Optional[Future[np.ndarray]]":
+        """Answer an over-rate request from the cache, if resident.
+
+        "Stale" is nominal: signature-cache entries never invalidate (the
+        logits are a pure function of the key), so a degraded answer is
+        still bit-identical to a fresh computation -- the tenant only
+        loses freshness of *side effects* it never had.  Returns ``None``
+        on a miss (or when the engine exposes no keys), letting the
+        pressure decision take over.
+        """
+        if self.cache is None:
+            return None
+        sample = request.sample[np.newaxis, :]
+        try:
+            prepared = (self.engine.prepare(sample, want_keys=True)
+                        if self._prepare_takes_want_keys
+                        else self.engine.prepare(sample))
+        except Exception:  # noqa: BLE001 -- admission must not fail the server
+            return None
+        keys = getattr(prepared, "keys", None)
+        if not keys:
+            return None
+        key = keys[0]
+        k = getattr(request, "k", None)
+        if k is not None:
+            key += b"topk" + int(k).to_bytes(8, "little")
+        key += request.key_suffix
+        row = self.cache.get(key)
+        if row is None:
+            return None
+        state.count("stale_served")
+        state.count("completed")
+        request.future.set_result(row)
+        latency_ms = (time.perf_counter() - request.enqueued_at) * 1e3
+        if request.span is not None:
+            request.span.set_attribute("cache.hit", True)
+            request.span.set_attribute("degraded", "stale")
+            producer = self.cache.provenance(key)
+            if producer is not None:
+                request.span.set_attribute("link.trace_id", producer)
+            request.enqueue_span.end()
+            with use_span(request.span):
+                notify_all(self._observers, "request_completed", latency_ms)
+                notify_all(self._observers, "tenant_request_degraded",
+                           state.name, "stale")
+                notify_all(self._observers, "tenant_request_completed",
+                           state.name, latency_ms)
+            request.span.end()
+        else:
+            notify_all(self._observers, "request_completed", latency_ms)
+            notify_all(self._observers, "tenant_request_degraded",
+                       state.name, "stale")
+            notify_all(self._observers, "tenant_request_completed",
+                       state.name, latency_ms)
+        return request.future
 
     # -- worker ------------------------------------------------------------------
 
@@ -311,11 +464,12 @@ class MicroBatchServer:
         poll_s = self.config.poll_timeout_ms / 1e3
         max_wait_s = self.config.max_wait_ms / 1e3
         while True:
-            wait_s = (adaptive_wait_s(max_wait_s, self._queue.qsize(),
-                                      self.config.max_batch)
-                      if self.config.adaptive_wait else max_wait_s)
+            # The adaptive window is re-evaluated inside drain_batch per
+            # dequeue (a single qsize() sample up front went stale the
+            # moment a burst arrived mid-drain).
             batch = drain_batch(self._queue, self.config.max_batch,
-                                wait_s, poll_s)
+                                max_wait_s, poll_s,
+                                adaptive=self.config.adaptive_wait)
             real = [request for request in batch if request is not None]
             for _ in range(len(batch) - len(real)):  # shutdown sentinels
                 self._queue.task_done()
@@ -325,6 +479,10 @@ class MicroBatchServer:
                     for request in real:
                         if request.future.set_running_or_notify_cancel():
                             request.future.set_exception(error)
+                        # Aborted requests must still close their spans,
+                        # or traced roots leak into the tail buffer until
+                        # the trace-timeout sweep.
+                        self._end_request_spans(request, error)
                         self._queue.task_done()
                 else:
                     self._process(real)
@@ -385,6 +543,7 @@ class MicroBatchServer:
                 continue
             done_at = time.perf_counter()
             for request, row in zip(group, results):
+                latency_ms = (done_at - request.enqueued_at) * 1e3
                 if request.span is not None:
                     reply = self._tracer.start_span("reply",
                                                     parent=request.span)
@@ -394,13 +553,23 @@ class MicroBatchServer:
                     # trace id as the bucket exemplar.
                     with use_span(request.span):
                         notify_all(self._observers, "request_completed",
-                                   (done_at - request.enqueued_at) * 1e3)
+                                   latency_ms)
+                        if request.tenant is not None:
+                            notify_all(self._observers,
+                                       "tenant_request_completed",
+                                       request.tenant, latency_ms)
                     reply.end()
                     request.span.end()
                 else:
                     request.future.set_result(row)
                     notify_all(self._observers, "request_completed",
-                               (done_at - request.enqueued_at) * 1e3)
+                               latency_ms)
+                    if request.tenant is not None:
+                        notify_all(self._observers,
+                                   "tenant_request_completed",
+                                   request.tenant, latency_ms)
+                if request.tenant is not None and self.tenancy is not None:
+                    self.tenancy.state(request.tenant).count("completed")
                 self._queue.task_done()
             served += len(group)
             total_hits += hits
@@ -447,6 +616,11 @@ class MicroBatchServer:
         if keys is not None and k is not None:
             suffix = b"topk" + int(k).to_bytes(8, "little")
             keys = tuple(key + suffix for key in keys)
+        if keys is not None and any(request.key_suffix for request in live):
+            # Per-tenant cache namespace: the suffix isolates tenants from
+            # each other's entries (a k-group can mix tenants).
+            keys = tuple(key + request.key_suffix
+                         for key, request in zip(keys, live))
         if keys is not None:
             with self._stage(batch_span, "cache_lookup", queries=count) as look:
                 for index, key in enumerate(keys):
@@ -545,4 +719,13 @@ class MicroBatchServer:
         snapshot["engine_name"] = getattr(self.engine, "name", "unknown")
         if self._tracer is not None:
             snapshot["obs"] = self._tracer.snapshot()
+        if self.tenancy is not None:
+            # Merge the registry's admission/policy view into the metrics
+            # aggregator's latency view (snapshot() already seeded it).
+            tenants = snapshot.setdefault("tenants", {})
+            for name, info in self.tenancy.snapshot().items():
+                tenants.setdefault(name, {}).update(info)
+            if isinstance(self._queue, TenantQueues):
+                for name, depth in self._queue.depths().items():
+                    tenants.setdefault(name, {})["queued"] = depth
         return snapshot

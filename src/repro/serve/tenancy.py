@@ -1,0 +1,482 @@
+"""Multi-tenant traffic control: admission, fair queueing, namespaces.
+
+The server treats every request as one anonymous tenant until this module
+is attached.  A :class:`TenantRegistry` names the tenants and their
+:class:`TenantPolicy` (scheduling weight, token-bucket rate/burst, queue
+quota, degradation mode); :class:`MicroBatchServer` consults it at submit
+time and swaps its single FIFO for a :class:`TenantQueues` -- per-tenant
+queues merged by deficit-weighted round-robin -- so one flooding tenant
+can never displace others from a micro-batch.
+
+Admission is three gates, in order:
+
+1. **token bucket** -- each tenant spends one token per request from a
+   bucket refilled at ``rate`` tokens/second up to ``burst``.  An empty
+   bucket triggers the policy's *degradation mode*: ``"shed"`` rejects
+   with :class:`RateLimitedError` (carrying a retry-after hint),
+   ``"queue"`` admits the over-rate request anyway while global queue
+   pressure is low (sheds above ``degrade_pressure``), and ``"stale"``
+   first tries to answer from the signature cache (bit-identical by
+   construction, since entries never go stale) before falling back to the
+   pressure decision;
+2. **queue quota** -- a cap on the tenant's simultaneously queued
+   requests, so even an in-rate tenant cannot monopolise the bounded
+   queue; exceeding it raises :class:`QuotaExceededError` (which is also
+   a :class:`~repro.serve.batching.QueueFullError`, so existing
+   backpressure handling keeps working);
+3. **global queue bound** -- unchanged: the shared ``queue_depth``.
+
+Scheduling is textbook DWRR: each non-empty tenant queue holds a deficit
+topped up by its ``weight`` once per rotation pass, and is served while
+the deficit covers a request.  Over any window, a backlogged tenant's
+drained share converges to its weight share regardless of how fast it
+submits.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.serve.batching import QueueFullError
+
+#: The tenant every unattributed request is accounted to.
+DEFAULT_TENANT = "default"
+
+#: Degradation modes an over-rate tenant's traffic can take.
+DEGRADATION_MODES = ("shed", "queue", "stale")
+
+
+class AdmissionError(RuntimeError):
+    """A request was refused at admission (rate limit or quota).
+
+    ``retry_after_s`` is the server's hint of when a retry could succeed
+    (seconds; ``0.0`` when the condition is load-dependent rather than
+    time-based).  The net plane maps this to HTTP 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, tenant: str,
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = max(0.0, float(retry_after_s))
+
+
+class RateLimitedError(AdmissionError):
+    """The tenant's token bucket is empty (and the policy sheds)."""
+
+
+class QuotaExceededError(AdmissionError, QueueFullError):
+    """The tenant's queue quota is full.
+
+    Also a :class:`QueueFullError`: to callers that predate tenancy, a
+    per-tenant quota rejection is indistinguishable from global
+    backpressure, so retry/backoff layers keep working unchanged.
+    """
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill and an injectable clock.
+
+    ``rate`` tokens/second flow in, up to ``capacity`` banked tokens;
+    ``try_acquire(n)`` spends ``n`` if available.  ``rate=0`` never
+    refills -- the initial ``capacity`` is all the bucket ever grants.
+    The clock must be monotonic; a clock that steps backwards is treated
+    as not having advanced (the bucket never refunds on time travel).
+    """
+
+    def __init__(self, rate: float, capacity: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.rate)
+        self._refilled_at = max(self._refilled_at, now)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if banked; never blocks."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        with self._lock:
+            self._refill_locked()
+            if self._tokens + 1e-12 >= tokens:
+                self._tokens = max(0.0, self._tokens - tokens)
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` could be granted (``inf`` if never)."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        with self._lock:
+            self._refill_locked()
+            missing = tokens - self._tokens
+            if missing <= 0:
+                return 0.0
+            if self.rate <= 0 or tokens > self.capacity:
+                return float("inf")
+            return missing / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Currently banked tokens (after a refill to *now*)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Traffic contract of one tenant.
+
+    Attributes
+    ----------
+    weight:
+        DWRR scheduling weight; over any backlogged window a tenant
+        drains in proportion to its weight.
+    rate / burst:
+        Token-bucket refill rate (requests/second) and bank size.
+        ``rate=None`` disables rate limiting; ``burst=None`` defaults to
+        ``max(1, rate)`` so a limited tenant can always send at least one
+        request and ride its rate in steady state.
+    queue_quota:
+        Cap on the tenant's simultaneously queued requests (``None`` =
+        bounded only by the shared queue).
+    degradation:
+        What happens to over-rate traffic: ``"shed"`` (reject),
+        ``"queue"`` (admit while queue pressure < ``degrade_pressure``,
+        shed above) or ``"stale"`` (serve from the signature cache when
+        the answer is resident -- bit-identical, the cache never
+        invalidates -- else the ``"queue"`` pressure decision).
+    degrade_pressure:
+        Queue-fill fraction (0..1] above which degraded traffic sheds.
+    cache_namespace:
+        Fold the tenant id into cache keys, so tenants never share
+        entries (isolation beats dedup for billing/QoS accounting).
+    """
+
+    weight: float = 1.0
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    queue_quota: Optional[int] = None
+    degradation: str = "shed"
+    degrade_pressure: float = 0.5
+    cache_namespace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.rate is not None and self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if self.queue_quota is not None and self.queue_quota <= 0:
+            raise ValueError("queue_quota must be positive")
+        if self.degradation not in DEGRADATION_MODES:
+            raise ValueError(
+                f"degradation must be one of {DEGRADATION_MODES}, "
+                f"got {self.degradation!r}")
+        if not 0.0 < self.degrade_pressure <= 1.0:
+            raise ValueError("degrade_pressure must be within (0, 1]")
+
+    @property
+    def effective_burst(self) -> Optional[float]:
+        """The bucket capacity this policy implies (``None`` = unlimited)."""
+        if self.rate is None:
+            return None
+        if self.burst is not None:
+            return self.burst
+        return max(1.0, self.rate)
+
+
+class TenantState:
+    """Runtime state of one tenant: its bucket and admission counters."""
+
+    __slots__ = ("name", "policy", "bucket", "key_suffix", "admitted",
+                 "rate_limited", "quota_rejected", "shed", "degraded_queued",
+                 "stale_served", "completed", "_lock")
+
+    def __init__(self, name: str, policy: TenantPolicy,
+                 clock: Callable[[], float]) -> None:
+        self.name = name
+        self.policy = policy
+        self.bucket: Optional[TokenBucket] = None
+        if policy.rate is not None:
+            self.bucket = TokenBucket(policy.rate, policy.effective_burst,
+                                      clock=clock)
+        # Cache-key namespace suffix: length-prefixed so distinct tenant
+        # names can never collide by concatenation.
+        encoded = name.encode("utf-8")
+        self.key_suffix = (
+            b"\xffT" + len(encoded).to_bytes(2, "little") + encoded
+            if policy.cache_namespace else b"")
+        self.admitted = 0
+        self.rate_limited = 0
+        self.quota_rejected = 0
+        self.shed = 0
+        self.degraded_queued = 0
+        self.stale_served = 0
+        self.completed = 0
+        self._lock = threading.Lock()
+
+    def count(self, field: str, amount: int = 1) -> None:
+        """Bump one counter thread-safely."""
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            out = {
+                "weight": self.policy.weight,
+                "rate": self.policy.rate,
+                "burst": self.policy.effective_burst,
+                "queue_quota": self.policy.queue_quota,
+                "degradation": self.policy.degradation,
+                "admitted": self.admitted,
+                "rate_limited": self.rate_limited,
+                "quota_rejected": self.quota_rejected,
+                "shed": self.shed,
+                "degraded_queued": self.degraded_queued,
+                "stale_served": self.stale_served,
+                "completed": self.completed,
+            }
+        if self.bucket is not None:
+            out["tokens"] = self.bucket.tokens
+        return out
+
+
+class TenantRegistry:
+    """Named tenants and their policies; unknown tenants get the default.
+
+    Thread-safe get-or-create: the first request naming a tenant
+    materialises its :class:`TenantState` under ``default_policy`` unless
+    :meth:`register` installed an explicit one.  Registration is
+    idempotent on identical policies and rejects silent re-definition.
+    """
+
+    def __init__(self, default_policy: Optional[TenantPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.default_policy = (default_policy if default_policy is not None
+                               else TenantPolicy())
+        self._clock = clock
+        self._states: "OrderedDict[str, TenantState]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def register(self, name: str,
+                 policy: Optional[TenantPolicy] = None) -> TenantState:
+        """Install ``policy`` for ``name``; returns its state."""
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        resolved = policy if policy is not None else self.default_policy
+        with self._lock:
+            existing = self._states.get(name)
+            if existing is not None:
+                if existing.policy != resolved:
+                    raise ValueError(
+                        f"tenant {name!r} already registered with a "
+                        f"different policy")
+                return existing
+            state = TenantState(name, resolved, self._clock)
+            self._states[name] = state
+            return state
+
+    def state(self, name: Optional[str]) -> TenantState:
+        """Get-or-create the state of ``name`` (``None`` = default tenant)."""
+        resolved = name if name else DEFAULT_TENANT
+        with self._lock:
+            state = self._states.get(resolved)
+            if state is None:
+                state = TenantState(resolved, self.default_policy, self._clock)
+                self._states[resolved] = state
+            return state
+
+    def policy(self, name: Optional[str]) -> TenantPolicy:
+        """The policy governing ``name``."""
+        return self.state(name).policy
+
+    def tenants(self) -> List[str]:
+        """Known tenant names, in registration order."""
+        with self._lock:
+            return list(self._states)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant counters and policy, as one plain dict."""
+        with self._lock:
+            states = list(self._states.values())
+        return {state.name: state.snapshot() for state in states}
+
+
+class TenantQueues:
+    """Per-tenant bounded queues merged by deficit-weighted round-robin.
+
+    A drop-in for the subset of ``queue.Queue`` the micro-batcher uses
+    (``put``/``get``/``get_nowait``/``put_nowait``/``qsize``/``task_done``
+    /``join``), raising the stdlib ``queue.Full``/``queue.Empty`` so
+    :func:`~repro.serve.batching.drain_batch` and the server's
+    backpressure paths work unchanged.  ``None`` items (the server's
+    shutdown sentinels) ride a separate control lane that ignores the
+    capacity bound and is always served first.
+
+    DWRR: a rotation of non-empty tenants; the head tenant is served
+    while its *deficit* covers a request (one token per request), else it
+    banks ``weight`` more deficit and the rotation turns.  An emptied
+    queue leaves the rotation and forfeits its deficit, so idle tenants
+    never bank credit.
+    """
+
+    def __init__(self, maxsize: int, registry: TenantRegistry) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self.registry = registry
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._all_tasks_done = threading.Condition(self._mutex)
+        self._queues: Dict[str, "deque[Any]"] = {}
+        self._rotation: "deque[str]" = deque()
+        self._deficits: Dict[str, float] = {}
+        self._control: "deque[Any]" = deque()
+        self._size = 0  # real (non-sentinel) items across tenants
+        self._unfinished = 0
+
+    # -- producer side -----------------------------------------------------------
+
+    def _tenant_of(self, item: Any) -> str:
+        name = getattr(item, "tenant", None)
+        return name if name else DEFAULT_TENANT
+
+    def put(self, item: Any, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        """Enqueue ``item`` under its tenant; ``None`` takes the control lane."""
+        with self._not_full:
+            if item is None:
+                self._control.append(item)
+            else:
+                if not block:
+                    if self._size >= self.maxsize:
+                        raise queue_module.Full
+                elif timeout is None:
+                    while self._size >= self.maxsize:
+                        self._not_full.wait()
+                else:
+                    if timeout < 0:
+                        raise ValueError(
+                            "'timeout' must be a non-negative number")
+                    deadline = time.monotonic() + timeout
+                    while self._size >= self.maxsize:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise queue_module.Full
+                        self._not_full.wait(remaining)
+                tenant = self._tenant_of(item)
+                line = self._queues.get(tenant)
+                if line is None:
+                    line = deque()
+                    self._queues[tenant] = line
+                if not line:
+                    self._rotation.append(tenant)
+                    self._deficits[tenant] = 0.0
+                line.append(item)
+                self._size += 1
+            self._unfinished += 1
+            self._not_empty.notify()
+
+    def put_nowait(self, item: Any) -> None:
+        self.put(item, block=False)
+
+    # -- consumer side -----------------------------------------------------------
+
+    def _pop_locked(self) -> Any:
+        """One DWRR scheduling decision; caller holds the mutex, queue non-empty."""
+        if self._control:
+            return self._control.popleft()
+        while True:
+            tenant = self._rotation[0]
+            line = self._queues[tenant]
+            deficit = self._deficits[tenant]
+            if deficit >= 1.0:
+                self._deficits[tenant] = deficit - 1.0
+                item = line.popleft()
+                self._size -= 1
+                if not line:
+                    # Emptied queues forfeit their deficit: idle tenants
+                    # must not bank credit against future bursts.
+                    self._rotation.popleft()
+                    del self._deficits[tenant]
+                self._not_full.notify()
+                return item
+            self._deficits[tenant] = deficit + self.registry.policy(tenant).weight
+            self._rotation.rotate(-1)
+
+    def get(self, block: bool = True, timeout: Optional[float] = None) -> Any:
+        with self._not_empty:
+            if not block:
+                if not (self._size or self._control):
+                    raise queue_module.Empty
+            elif timeout is None:
+                while not (self._size or self._control):
+                    self._not_empty.wait()
+            else:
+                if timeout < 0:
+                    raise ValueError("'timeout' must be a non-negative number")
+                deadline = time.monotonic() + timeout
+                while not (self._size or self._control):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise queue_module.Empty
+                    self._not_empty.wait(remaining)
+            return self._pop_locked()
+
+    def get_nowait(self) -> Any:
+        return self.get(block=False)
+
+    # -- accounting --------------------------------------------------------------
+
+    def qsize(self) -> int:
+        """Queued real requests (shutdown sentinels excluded)."""
+        with self._mutex:
+            return self._size
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Queued requests of one tenant."""
+        with self._mutex:
+            line = self._queues.get(tenant)
+            return len(line) if line else 0
+
+    def depths(self) -> Dict[str, int]:
+        """Per-tenant queued counts (non-empty tenants only)."""
+        with self._mutex:
+            return {tenant: len(line)
+                    for tenant, line in self._queues.items() if line}
+
+    def task_done(self) -> None:
+        with self._all_tasks_done:
+            unfinished = self._unfinished - 1
+            if unfinished < 0:
+                raise ValueError("task_done() called too many times")
+            self._unfinished = unfinished
+            if unfinished == 0:
+                self._all_tasks_done.notify_all()
+
+    def join(self) -> None:
+        with self._all_tasks_done:
+            while self._unfinished:
+                self._all_tasks_done.wait()

@@ -7,18 +7,27 @@ spans, never arithmetic.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.exec import EXECUTOR_ENV
 from repro.obs import (
     InMemoryExporter,
+    TailSampler,
     Tracer,
     build_run_trees,
     stage_table,
     verify_run_trees,
 )
-from repro.serve import MicroBatchServer, ServeConfig, build_demo_engine
+from repro.serve import (
+    MicroBatchServer,
+    QueueFullError,
+    ServeConfig,
+    build_demo_engine,
+)
 from repro.shard import build_demo_sharded_engine
 
 GEOMETRY = dict(classes=16, input_dim=32, hash_length=128)
@@ -190,3 +199,91 @@ class TestProcessExecutorPropagation:
         batch_traces = {span["trace_id"] for span in sink.spans()
                         if span["name"] == "batch"}
         assert all(fanout["trace_id"] in batch_traces for fanout in fanouts)
+
+
+class _GateEngine:
+    """Wraps an engine so execute() blocks until released (abort tests)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.name = inner.name
+        self.input_dim = inner.input_dim
+        self.output_dim = inner.output_dim
+
+    def prepare(self, queries):
+        return self._inner.prepare(queries)
+
+    def execute(self, prepared):
+        self.started.set()
+        assert self.gate.wait(30)
+        return self._inner.execute(prepared)
+
+
+class TestRejectionSpanLifecycle:
+    """Every refused request must close its spans -- rejected or aborted
+    requests used to leave open roots that sat in the tail buffer until
+    the trace-timeout sweep."""
+
+    def test_queue_full_rejection_ends_request_spans(self, rng):
+        tracer, sink = make_tracer()
+        engine = build_demo_engine(seed=0, **GEOMETRY)
+        config = ServeConfig(max_batch=4, queue_depth=2, full_policy="reject",
+                             poll_timeout_ms=10_000.0, cache_capacity=0)
+        server = MicroBatchServer(engine, config=config, tracer=tracer)
+        server._running = True  # submit guard only; workers stay down
+        try:
+            queries = rng.standard_normal((3, GEOMETRY["input_dim"]))
+            server.submit(queries[0])
+            server.submit(queries[1])
+            with pytest.raises(QueueFullError):
+                server.submit(queries[2])
+            assert tracer.flush()
+            exported = sink.spans()
+            rejected = [span for span in exported
+                        if span["name"] == "request"
+                        and span["status"] == "error"]
+            assert len(rejected) == 1  # root span exported = it was ended
+            enqueues = [span for span in exported
+                        if span["name"] == "enqueue"]
+            assert any(span["trace_id"] == rejected[0]["trace_id"]
+                       for span in enqueues)
+        finally:
+            server._running = False
+            server._flush_queue(RuntimeError("test teardown"))
+
+    def test_abort_stop_leaves_no_open_roots_in_the_tail_buffer(self, rng):
+        sink = InMemoryExporter()
+        tail = TailSampler([sink], flush_interval_s=0.005)
+        tracer = Tracer(sample_rate=0.0, tail_sampler=tail)
+        engine = _GateEngine(build_demo_engine(seed=0, **GEOMETRY))
+        config = ServeConfig(max_batch=1, max_wait_ms=0.0, queue_depth=16,
+                             num_workers=1, poll_timeout_ms=5.0,
+                             cache_capacity=0)
+        queries = rng.standard_normal((5, GEOMETRY["input_dim"]))
+        server = MicroBatchServer(engine, config=config, tracer=tracer)
+        server.start()
+        blocker = server.submit(queries[0])
+        assert engine.started.wait(30)  # worker is inside execute()
+        aborted = [server.submit(query) for query in queries[1:]]
+        releaser = threading.Timer(0.1, engine.gate.set)
+        releaser.start()
+        try:
+            server.stop(drain=False)
+        finally:
+            releaser.cancel()
+            engine.gate.set()
+        assert blocker.result(30).shape == (GEOMETRY["classes"],)
+        for future in aborted:
+            with pytest.raises(RuntimeError, match="stopped"):
+                future.result(5)
+        assert tail.drain(10)
+        snap = tail.snapshot()
+        # Every root arrived at the tail (5 request roots + the blocker's
+        # batch root): the aborted requests' spans were ended, not leaked
+        # to the trace-timeout sweep.
+        assert snap["roots_seen"] == len(queries) + 1
+        assert snap["buffered_traces"] == 0
+        assert snap["timed_out_traces"] == 0
+        assert tail.shutdown(10)

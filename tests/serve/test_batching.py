@@ -134,6 +134,56 @@ class TestDrainBatch:
         thread.join()
         assert len(batch) == 2
 
+    def test_adaptive_mid_drain_burst_collapses_a_stale_window(self):
+        # Regression: the adaptive window used to be computed from one
+        # qsize() sample when the drain started (empty queue -> the full
+        # cap), so a burst arriving mid-drain still waited out the cap.
+        # Per-iteration re-evaluation shrinks the window with the backlog.
+        q = queue.Queue()
+        q.put(make_request())
+
+        def burst():
+            time.sleep(0.05)
+            for _ in range(32):
+                q.put(make_request())
+
+        thread = threading.Thread(target=burst)
+        thread.start()
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=64, max_wait_s=1.0,
+                            first_timeout_s=1.0, adaptive=True)
+        elapsed = time.perf_counter() - start
+        thread.join()
+        assert len(batch) == 33  # the burst flushed with the opener
+        # adaptive_wait_s(1.0, 33, 64) ~ 0.48: well under the stale cap.
+        assert elapsed < 0.8
+
+    def test_adaptive_partial_backlog_waits_only_the_shrunk_window(self):
+        q = queue.Queue()
+        for _ in range(4):
+            q.put(make_request())
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=8, max_wait_s=0.4,
+                            first_timeout_s=1.0, adaptive=True)
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 4
+        # Window is 0.4 * (1 - 4/8) = 0.2, re-derived every iteration --
+        # the drain waits that, never the full 0.4 cap.
+        assert 0.15 <= elapsed < 0.35
+
+    def test_adaptive_window_closure_takes_the_queued_backlog(self):
+        # When the window closes with work still queued, the flush takes
+        # it greedily instead of leaving a partial batch behind.
+        q = queue.Queue()
+        for _ in range(8):
+            q.put(make_request())
+        start = time.perf_counter()
+        batch = drain_batch(q, max_batch=8, max_wait_s=5.0,
+                            first_timeout_s=1.0, adaptive=True)
+        assert len(batch) == 8
+        assert time.perf_counter() - start < 0.5
+        assert q.qsize() == 0
+
     def test_preserves_fifo_order(self):
         q = queue.Queue()
         for value in range(5):

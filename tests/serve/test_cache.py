@@ -196,6 +196,42 @@ class TestConcurrency:
         assert not errors
         assert len(cache) <= 64
 
+    def test_doorkeeper_counter_algebra_under_concurrent_hammer(self):
+        # Sighting + LRU insert are one atomic step under the cache lock,
+        # so per fresh key with P >= t puts and threshold t, exactly t - 1
+        # are rejected -- no interleaving can double-count a sighting or
+        # admit early.
+        threshold = 3
+        writers = 8
+        keys = [f"hammer-{index}".encode() for index in range(16)]
+        cache = PackedSignatureCache(capacity=256,
+                                     admission_threshold=threshold)
+        barrier = threading.Barrier(writers)
+        errors = []
+
+        def worker(tag):
+            try:
+                barrier.wait(5)
+                # Half the writers walk the keys backwards to force
+                # different interleavings on every key.
+                for key in (keys if tag % 2 else reversed(keys)):
+                    cache.put(key, np.array([1.0]))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.rejected_admissions == len(keys) * (threshold - 1)
+        assert stats.size == len(keys)
+        for key in keys:
+            assert cache.get(key) is not None
+
 
 class TestCacheStats:
     def test_hit_rate_and_to_dict(self):

@@ -1,0 +1,511 @@
+"""Multi-tenant traffic control: bucket properties, DWRR fairness, admission.
+
+The token-bucket and fair-queueing tests run on injected clocks and plain
+data objects -- no timers, no real traffic -- so every property is exact.
+The admission tests drive a real :class:`MicroBatchServer` (workers down
+for the deterministic rejection paths, running for the served ones).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloEngine, SloSpec
+from repro.serve import (
+    DEFAULT_TENANT,
+    MicroBatchServer,
+    QueueFullError,
+    QuotaExceededError,
+    RateLimitedError,
+    ServeConfig,
+    TenantPolicy,
+    TenantQueues,
+    TenantRegistry,
+    TokenBucket,
+    build_demo_engine,
+    demo_queries,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def small_engine(seed=0):
+    return build_demo_engine(classes=8, input_dim=32, hash_length=128,
+                             seed=seed)
+
+
+def small_config(**overrides):
+    defaults = dict(max_batch=16, max_wait_ms=5.0, queue_depth=256,
+                    cache_capacity=512)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_burst_is_the_cap(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=3.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_request_above_capacity_never_grants(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=clock)
+        assert not bucket.try_acquire(3.0)
+        assert bucket.retry_after(3.0) == float("inf")
+        clock.advance(1e6)  # no amount of waiting banks above capacity
+        assert not bucket.try_acquire(3.0)
+
+    def test_zero_rate_grants_only_the_initial_bank(self):
+        bucket = TokenBucket(rate=0.0, capacity=2.0, clock=FakeClock())
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == float("inf")
+
+    def test_retry_after_is_exact_and_sufficient(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+        assert bucket.try_acquire()
+        hint = bucket.retry_after()
+        assert hint == pytest.approx(0.5)
+        clock.advance(hint - 1e-6)
+        assert not bucket.try_acquire()
+        clock.advance(1e-6)
+        assert bucket.try_acquire()
+
+    def test_refill_is_monotone_and_capped(self, rng):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=7.0, capacity=5.0, clock=clock)
+        for _ in range(5):
+            bucket.try_acquire()
+        previous = bucket.tokens
+        for dt in rng.uniform(0.0, 0.3, size=200):
+            clock.advance(float(dt))
+            tokens = bucket.tokens
+            assert tokens >= previous - 1e-9  # no acquisition: never shrinks
+            assert tokens <= 5.0 + 1e-9
+            previous = tokens
+        assert bucket.tokens == pytest.approx(5.0)  # long idle refills to cap
+
+    def test_backwards_clock_is_not_a_refund(self):
+        clock = FakeClock(now=100.0)
+        bucket = TokenBucket(rate=1.0, capacity=4.0, clock=clock)
+        for _ in range(4):
+            bucket.try_acquire()
+        clock.advance(-50.0)
+        assert bucket.tokens == pytest.approx(0.0)
+        assert not bucket.try_acquire()
+        # Time resumes from the high-water mark, not the rewound instant.
+        clock.advance(50.0)
+        assert bucket.tokens == pytest.approx(0.0)
+        clock.advance(1.0)
+        assert bucket.try_acquire()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            bucket.try_acquire(0.0)
+        with pytest.raises(ValueError):
+            bucket.retry_after(-1.0)
+
+
+class TestTenantPolicy:
+    def test_burst_defaults_to_rate_with_a_floor_of_one(self):
+        assert TenantPolicy(rate=8.0).effective_burst == 8.0
+        assert TenantPolicy(rate=0.25).effective_burst == 1.0
+        assert TenantPolicy(rate=4.0, burst=32.0).effective_burst == 32.0
+        assert TenantPolicy().effective_burst is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(weight=0.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(rate=-1.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(rate=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TenantPolicy(queue_quota=0)
+        with pytest.raises(ValueError):
+            TenantPolicy(degradation="explode")
+        with pytest.raises(ValueError):
+            TenantPolicy(degrade_pressure=0.0)
+
+
+class TestTenantRegistry:
+    def test_unknown_tenants_materialise_under_the_default_policy(self):
+        registry = TenantRegistry(default_policy=TenantPolicy(weight=2.0))
+        state = registry.state("newcomer")
+        assert state.policy.weight == 2.0
+        assert registry.tenants() == ["newcomer"]
+
+    def test_none_resolves_to_the_default_tenant(self):
+        registry = TenantRegistry()
+        assert registry.state(None).name == DEFAULT_TENANT
+
+    def test_register_is_idempotent_but_rejects_redefinition(self):
+        registry = TenantRegistry()
+        policy = TenantPolicy(rate=5.0)
+        first = registry.register("gold", policy)
+        assert registry.register("gold", TenantPolicy(rate=5.0)) is first
+        with pytest.raises(ValueError, match="different policy"):
+            registry.register("gold", TenantPolicy(rate=6.0))
+        with pytest.raises(ValueError):
+            registry.register("")
+
+    def test_key_suffixes_never_alias_across_tenant_names(self):
+        registry = TenantRegistry()
+        # "ab" + "c" vs "a" + "bc" must not collide: length-prefixed names.
+        assert registry.state("abc").key_suffix != registry.state("ab").key_suffix
+        assert (registry.state("ab").key_suffix + b"c"
+                != registry.state("abc").key_suffix)
+
+    def test_snapshot_carries_policy_and_counters(self):
+        registry = TenantRegistry(clock=FakeClock())
+        registry.register("gold", TenantPolicy(weight=3.0, rate=10.0))
+        registry.state("gold").count("admitted")
+        snap = registry.snapshot()["gold"]
+        assert snap["weight"] == 3.0 and snap["admitted"] == 1
+        assert snap["tokens"] == pytest.approx(10.0)
+
+
+def item(tenant):
+    return SimpleNamespace(tenant=tenant)
+
+
+class TestTenantQueuesDWRR:
+    def make(self, weights, maxsize=4096):
+        registry = TenantRegistry()
+        for name, weight in weights.items():
+            registry.register(name, TenantPolicy(weight=weight))
+        return TenantQueues(maxsize, registry)
+
+    def drain(self, queues, count):
+        return [queues.get_nowait().tenant for _ in range(count)]
+
+    @pytest.mark.parametrize("weights", [{"a": 3.0, "b": 1.0},
+                                         {"a": 1.0, "b": 1.0},
+                                         {"a": 1.5, "b": 1.0, "c": 0.5}])
+    def test_backlogged_share_tracks_weight_share_over_any_window(self, weights):
+        queues = self.make(weights)
+        per_tenant = 120
+        for name in weights:
+            for _ in range(per_tenant):
+                queues.put(item(name))
+        total_weight = sum(weights.values())
+        drained = self.drain(queues, per_tenant * len(weights) // 2)
+        counts = {name: 0 for name in weights}
+        # Every prefix window stays within one rotation of the weight share.
+        slack = max(weights.values()) + 1.0
+        for position, name in enumerate(drained, start=1):
+            counts[name] += 1
+            for tenant, weight in weights.items():
+                expected = position * weight / total_weight
+                assert abs(counts[tenant] - expected) <= slack, (
+                    f"{tenant} drained {counts[tenant]} of {position}, "
+                    f"expected ~{expected:.1f}")
+
+    def test_flood_cannot_displace_a_light_tenant(self):
+        queues = self.make({"flood": 1.0, "light": 1.0})
+        for _ in range(200):
+            queues.put(item("flood"))
+        queues.put(item("light"))
+        # The light tenant's lone request drains within one rotation, not
+        # behind the flood's 200-deep backlog.
+        assert "light" in self.drain(queues, 3)
+
+    def test_emptied_tenant_leaves_the_rotation(self):
+        queues = self.make({"a": 1.0, "b": 1.0})
+        queues.put(item("a"))
+        queues.put(item("b"))
+        while True:
+            try:
+                queues.get_nowait()
+            except queue_module.Empty:
+                break
+        assert queues.depths() == {}
+        assert queues.qsize() == 0
+
+    def test_capacity_bound_and_stdlib_exceptions(self):
+        queues = self.make({"a": 1.0}, maxsize=2)
+        queues.put(item("a"))
+        queues.put(item("a"))
+        with pytest.raises(queue_module.Full):
+            queues.put_nowait(item("a"))
+        with pytest.raises(queue_module.Full):
+            queues.put(item("a"), timeout=0.01)
+        self.drain(queues, 2)
+        with pytest.raises(queue_module.Empty):
+            queues.get_nowait()
+        with pytest.raises(queue_module.Empty):
+            queues.get(timeout=0.01)
+
+    def test_sentinels_bypass_capacity_and_are_served_first(self):
+        queues = self.make({"a": 1.0}, maxsize=1)
+        queues.put(item("a"))
+        queues.put_nowait(None)  # control lane ignores the full queue
+        assert queues.get_nowait() is None
+        assert queues.get_nowait().tenant == "a"
+        assert queues.qsize() == 0
+
+    def test_join_waits_for_task_done_including_sentinels(self):
+        queues = self.make({"a": 1.0})
+        queues.put(item("a"))
+        queues.put_nowait(None)
+        done = threading.Event()
+
+        def consume():
+            for _ in range(2):
+                queues.get(timeout=5)
+                queues.task_done()
+            done.set()
+
+        worker = threading.Thread(target=consume)
+        worker.start()
+        queues.join()
+        worker.join(5)
+        assert done.is_set()
+        with pytest.raises(ValueError):
+            queues.task_done()
+
+    def test_tenant_depth_tracks_per_tenant_backlog(self):
+        queues = self.make({"a": 1.0, "b": 1.0})
+        for _ in range(3):
+            queues.put(item("a"))
+        queues.put(item("b"))
+        assert queues.tenant_depth("a") == 3
+        assert queues.tenant_depth("b") == 1
+        assert queues.tenant_depth("ghost") == 0
+        assert queues.depths() == {"a": 3, "b": 1}
+
+
+class TestAdmissionRejections:
+    """Deterministic rejection paths: workers down, queue can only fill."""
+
+    def idle_server(self, tenancy, **config_overrides):
+        config = small_config(full_policy="reject", poll_timeout_ms=10_000.0,
+                              cache_capacity=0, **config_overrides)
+        server = MicroBatchServer(small_engine(), config=config,
+                                  tenancy=tenancy)
+        server._running = True  # submit guard only; workers stay down
+        return server
+
+    def teardown_server(self, server):
+        server._running = False
+        server._flush_queue(RuntimeError("test teardown"))
+
+    def test_rate_limit_sheds_with_a_retry_hint(self):
+        clock = FakeClock()
+        registry = TenantRegistry(clock=clock)
+        registry.register("flood", TenantPolicy(rate=5.0, burst=2.0))
+        server = self.idle_server(registry)
+        try:
+            queries = demo_queries(server.engine, 3)
+            server.submit(queries[0], tenant="flood")
+            server.submit(queries[1], tenant="flood")
+            with pytest.raises(RateLimitedError) as excinfo:
+                server.submit(queries[2], tenant="flood")
+            assert excinfo.value.tenant == "flood"
+            assert excinfo.value.retry_after_s == pytest.approx(0.2)
+            # The hint is honest: waiting that long readmits.
+            clock.advance(0.2)
+            server.submit(queries[2], tenant="flood")
+            snap = server.stats()["tenants"]["flood"]
+            assert snap["admitted"] == 3
+            assert snap["rate_limited"] == 1 and snap["shed"] == 1
+        finally:
+            self.teardown_server(server)
+
+    def test_queue_quota_rejects_as_queue_full(self):
+        registry = TenantRegistry()
+        registry.register("greedy", TenantPolicy(queue_quota=2))
+        server = self.idle_server(registry)
+        try:
+            queries = demo_queries(server.engine, 4)
+            server.submit(queries[0], tenant="greedy")
+            server.submit(queries[1], tenant="greedy")
+            with pytest.raises(QuotaExceededError) as excinfo:
+                server.submit(queries[2], tenant="greedy")
+            # Pre-tenancy backpressure handling must keep working:
+            assert isinstance(excinfo.value, QueueFullError)
+            # the quota is per tenant -- others still get in.
+            server.submit(queries[3], tenant="polite")
+            snap = server.stats()["tenants"]
+            assert snap["greedy"]["quota_rejected"] == 1
+            assert snap["greedy"]["queued"] == 2
+            assert snap["polite"]["admitted"] == 1
+        finally:
+            self.teardown_server(server)
+
+    def test_queue_degradation_admits_until_pressure(self):
+        registry = TenantRegistry(clock=FakeClock())
+        registry.register("besteffort", TenantPolicy(
+            rate=5.0, burst=1.0, degradation="queue", degrade_pressure=0.9))
+        server = self.idle_server(registry, queue_depth=4)
+        try:
+            queries = demo_queries(server.engine, 5)
+            server.submit(queries[0], tenant="besteffort")   # the one token
+            for query in queries[1:4]:                       # over rate, low pressure
+                server.submit(query, tenant="besteffort")
+            with pytest.raises(RateLimitedError):            # pressure 1.0 >= 0.9
+                server.submit(queries[4], tenant="besteffort")
+            snap = server.stats()["tenants"]["besteffort"]
+            assert snap["admitted"] == 4
+            assert snap["degraded_queued"] == 3
+            assert snap["shed"] == 1
+        finally:
+            self.teardown_server(server)
+
+    def test_admission_rejections_count_in_serve_metrics(self):
+        registry = TenantRegistry(clock=FakeClock())
+        registry.register("flood", TenantPolicy(rate=1.0, burst=1.0))
+        server = self.idle_server(registry)
+        try:
+            queries = demo_queries(server.engine, 2)
+            server.submit(queries[0], tenant="flood")
+            with pytest.raises(RateLimitedError):
+                server.submit(queries[1], tenant="flood")
+            snapshot = server.metrics.snapshot()
+            assert snapshot["requests"]["rejected"] == 1
+            assert snapshot["tenants"]["flood"]["rejected"] == {
+                "rate_limited": 1}
+        finally:
+            self.teardown_server(server)
+
+
+class TestServedTenancy:
+    """End-to-end behaviour with workers running."""
+
+    def test_tenants_get_isolated_cache_namespaces(self):
+        registry = TenantRegistry()
+        query = demo_queries(small_engine(), 1, seed=3)[0]
+        with MicroBatchServer(small_engine(), config=small_config(),
+                              tenancy=registry) as server:
+            row_a = server.submit(query, tenant="a").result(30)
+            row_b = server.submit(query, tenant="b").result(30)
+            cold = server.stats()["cache"]
+            row_a_again = server.submit(query, tenant="a").result(30)
+            warm = server.stats()["cache"]
+        assert np.array_equal(row_a, row_b)          # same engine, same maths
+        assert cold["hits"] == 0 and cold["misses"] == 2   # namespaces split
+        assert warm["hits"] == 1                     # within a tenant: shared
+        assert np.array_equal(row_a, row_a_again)
+
+    def test_tenanted_answers_match_untenanted_execution(self):
+        queries = demo_queries(small_engine(), 12, seed=5)
+        reference_engine = small_engine()
+        reference = reference_engine.execute(reference_engine.prepare(queries))
+        with MicroBatchServer(small_engine(), config=small_config(),
+                              tenancy=TenantRegistry()) as server:
+            served = np.stack([
+                server.submit(query, tenant=f"t{index % 3}").result(30)
+                for index, query in enumerate(queries)])
+        assert np.array_equal(served, reference)
+
+    def test_stale_degradation_serves_bit_identical_cached_answers(self):
+        clock = FakeClock()
+        registry = TenantRegistry(clock=clock)
+        registry.register("spiky", TenantPolicy(
+            rate=1.0, burst=1.0, degradation="stale", degrade_pressure=1.0))
+        query = demo_queries(small_engine(), 1, seed=7)[0]
+        with MicroBatchServer(small_engine(), config=small_config(),
+                              tenancy=registry) as server:
+            fresh = server.submit(query, tenant="spiky").result(30)  # token spent
+            stale = server.submit(query, tenant="spiky").result(30)  # over rate
+            snap = server.stats()["tenants"]["spiky"]
+        assert np.array_equal(fresh, stale)
+        assert snap["stale_served"] == 1
+        assert snap["completed"] == 2
+
+    def test_stale_miss_falls_back_to_queue_pressure_decision(self):
+        clock = FakeClock()
+        registry = TenantRegistry(clock=clock)
+        registry.register("spiky", TenantPolicy(
+            rate=1.0, burst=1.0, degradation="stale", degrade_pressure=1.0))
+        queries = demo_queries(small_engine(), 2, seed=11)
+        with MicroBatchServer(small_engine(), config=small_config(),
+                              tenancy=registry) as server:
+            server.submit(queries[0], tenant="spiky").result(30)
+            # Over rate AND a cache miss: low pressure admits it normally.
+            row = server.submit(queries[1], tenant="spiky").result(30)
+            snap = server.stats()["tenants"]["spiky"]
+        assert row.shape == (8,)
+        assert snap["stale_served"] == 0
+        assert snap["degraded_queued"] == 1
+
+    def test_unattributed_requests_book_under_the_default_tenant(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config(),
+                              tenancy=TenantRegistry()) as server:
+            server.submit(demo_queries(engine, 1)[0]).result(30)
+            snap = server.stats()["tenants"]
+        assert snap[DEFAULT_TENANT]["admitted"] == 1
+        assert snap[DEFAULT_TENANT]["completed"] == 1
+
+    def test_untenanted_server_path_is_unchanged(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config()) as server:
+            server.submit(demo_queries(engine, 1)[0]).result(30)
+            stats = server.stats()
+        assert server.tenancy is None
+        assert "tenants" not in stats
+
+    def test_per_tenant_labelled_instruments_and_slo(self):
+        metrics_registry = MetricsRegistry()
+        tenancy = TenantRegistry()
+        engine = small_engine()
+        # The SLO engine samples a baseline at construction: build it
+        # *before* traffic so the evaluation window sees the deltas.
+        engine_slo = SloEngine(
+            [SloSpec(name="gold-latency", latency_p99_ms=60_000.0,
+                     tenant="gold"),
+             SloSpec(name="ghost-latency", latency_p99_ms=60_000.0,
+                     tenant="ghost")],
+            metrics_registry)
+        with MicroBatchServer(engine, config=small_config(),
+                              registry=metrics_registry,
+                              tenancy=tenancy) as server:
+            for future in server.submit_many(demo_queries(engine, 8),
+                                             tenant="gold"):
+                future.result(30)
+        counter = metrics_registry.get("serve_requests_completed",
+                                       labels={"tenant": "gold"})
+        assert counter is not None and counter.value == 8
+        histogram = metrics_registry.get("serve_request_latency_ms",
+                                         labels={"tenant": "gold"})
+        assert histogram is not None and histogram.count == 8
+        report = {spec["name"]: spec["status"]
+                  for spec in engine_slo.evaluate()["specs"]}
+        assert report["gold-latency"] == "ok"
+        assert report["ghost-latency"] == "no_data"  # no such labelled series
+
+    def test_metrics_snapshot_reports_per_tenant_latency(self):
+        engine = small_engine()
+        with MicroBatchServer(engine, config=small_config(),
+                              tenancy=TenantRegistry()) as server:
+            for future in server.submit_many(demo_queries(engine, 6),
+                                             tenant="gold"):
+                future.result(30)
+            snap = server.stats()["tenants"]["gold"]
+        assert snap["completed"] == 6
+        assert snap["latency_ms"]["p99"] >= snap["latency_ms"]["p50"] >= 0.0
